@@ -1,0 +1,47 @@
+// Ablation: the tradeoff policy's averaging window T (§4.3.1).
+//
+// T is the only tunable the paper's framework retains (footnote in §6).
+// The Availability Change Index alpha = r_avail / avg_T(r_avail) reacts
+// faster with a small T and smoother with a large one; this sweep shows
+// how the success-rate gain and the QoS give-up move with T.
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+using namespace qres::bench;
+
+int main(int argc, char** argv) {
+  const HarnessOptions options = parse_options(argc, argv);
+  ThreadPool pool;
+  const double rates[] = {100, 180};
+  const double windows[] = {1.0, 3.0, 10.0, 30.0};
+
+  TablePrinter table({"rate (ssn/60TU)", "T=1", "T=3 (paper)", "T=10",
+                      "T=30", "basic (ref)"});
+  for (double rate : rates) {
+    std::vector<std::string> row{TablePrinter::fmt(rate, 0)};
+    for (double window : windows) {
+      RunSpec spec;
+      spec.rate_per_60 = rate;
+      spec.algorithm = "tradeoff";
+      spec.alpha_window = window;
+      const SimulationStats stats = run_replicated(spec, options, &pool);
+      row.push_back(TablePrinter::pct(stats.overall_success().value()) +
+                    "/" + TablePrinter::fmt(mean_qos(stats)));
+    }
+    RunSpec reference;
+    reference.rate_per_60 = rate;
+    reference.algorithm = "basic";
+    const SimulationStats stats = run_replicated(reference, options, &pool);
+    row.push_back(TablePrinter::pct(stats.overall_success().value()) + "/" +
+                  TablePrinter::fmt(mean_qos(stats)));
+    table.add_row(std::move(row));
+  }
+  std::cout << "Ablation: tradeoff window T (success rate / avg QoS)\n";
+  print_table(table, options, std::cout);
+  std::cout << "\n(replicas per point: " << options.replicas
+            << ", run length: " << options.run_length << " TU)\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) for the runtime algorithm itself,
+// validating the paper's O(K * Q^2) complexity claim (§4.2): K = number
+// of components in the chain, Q = QoS levels per component. Also measures
+// QRG construction and the full establishment pipeline on the paper
+// scenario's service shapes.
+#include <benchmark/benchmark.h>
+
+#include "core/planner.hpp"
+#include "core/random_planner.hpp"
+#include "scenario/paper_scenario.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+/// Synthetic chain: K components, Q levels each, dense tables over one
+/// resource per component pair (so the QRG has K*Q^2 translation edges).
+struct Synthetic {
+  ServiceDefinition service;
+  AvailabilityView view;
+};
+
+Synthetic make_chain(int k, int q) {
+  Rng rng(static_cast<std::uint64_t>(k) * 1000 + q);
+  AvailabilityView view;
+  std::uint32_t next_resource = 0;
+  const QoSSchema schema({"level"});
+  std::vector<ServiceComponent> components;
+  std::vector<std::pair<ComponentIndex, ComponentIndex>> edges;
+  for (int c = 0; c < k; ++c) {
+    const int ins = c == 0 ? 1 : q;
+    TranslationTable table;
+    const ResourceId cpu{next_resource++};
+    const ResourceId bw{next_resource++};
+    view.set(cpu, 1000.0);
+    view.set(bw, 1000.0);
+    for (int in = 0; in < ins; ++in)
+      for (int out = 0; out < q; ++out) {
+        ResourceVector req;
+        req.set(cpu, rng.uniform(1.0, 100.0));
+        req.set(bw, rng.uniform(1.0, 100.0));
+        table.set(static_cast<LevelIndex>(in),
+                  static_cast<LevelIndex>(out), req);
+      }
+    std::vector<QoSVector> levels;
+    for (int i = 0; i < q; ++i)
+      levels.push_back(QoSVector(schema, {static_cast<double>(q - i)}));
+    components.emplace_back("c" + std::to_string(c), std::move(levels),
+                            table.as_function());
+    if (c > 0)
+      edges.push_back({static_cast<ComponentIndex>(c - 1),
+                       static_cast<ComponentIndex>(c)});
+  }
+  ServiceDefinition service("synthetic", std::move(components),
+                            std::move(edges), QoSVector(schema, {1.0}));
+  return Synthetic{std::move(service), std::move(view)};
+}
+
+void BM_QrgConstruction(benchmark::State& state) {
+  const Synthetic s =
+      make_chain(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    Qrg qrg(s.service, s.view);
+    benchmark::DoNotOptimize(qrg.edge_count());
+  }
+  state.SetComplexityN(state.range(0) * state.range(1) * state.range(1));
+}
+
+void BM_PlannerRelax(benchmark::State& state) {
+  const Synthetic s =
+      make_chain(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1)));
+  const Qrg qrg(s.service, s.view);
+  for (auto _ : state) {
+    auto labels = relax_qrg(qrg);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetComplexityN(state.range(0) * state.range(1) * state.range(1));
+}
+
+void BM_BasicPlanFull(benchmark::State& state) {
+  const Synthetic s =
+      make_chain(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1)));
+  const Qrg qrg(s.service, s.view);
+  BasicPlanner planner;
+  Rng rng(1);
+  for (auto _ : state) {
+    PlanResult result = planner.plan(qrg, rng);
+    benchmark::DoNotOptimize(result.plan);
+  }
+  state.SetComplexityN(state.range(0) * state.range(1) * state.range(1));
+}
+
+void BM_RandomPlanFull(benchmark::State& state) {
+  const Synthetic s =
+      make_chain(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1)));
+  const Qrg qrg(s.service, s.view);
+  RandomPlanner planner;
+  Rng rng(1);
+  for (auto _ : state) {
+    PlanResult result = planner.plan(qrg, rng);
+    benchmark::DoNotOptimize(result.plan);
+  }
+}
+
+// K x Q grid matching §4.2's "fewer than ten components, tens of levels".
+void planner_args(benchmark::internal::Benchmark* b) {
+  for (int k : {2, 4, 8})
+    for (int q : {4, 16, 64}) b->Args({k, q});
+}
+
+BENCHMARK(BM_QrgConstruction)->Apply(planner_args)->Complexity(
+    benchmark::oN);
+BENCHMARK(BM_PlannerRelax)->Apply(planner_args)->Complexity(benchmark::oN);
+BENCHMARK(BM_BasicPlanFull)->Apply(planner_args)->Complexity(benchmark::oN);
+BENCHMARK(BM_RandomPlanFull)->Args({3, 4})->Args({3, 16});
+
+// Full three-phase establishment on the real paper-scenario service
+// (availability collection + QRG + plan + reserve + rollback teardown).
+void BM_EstablishTeardown(benchmark::State& state) {
+  PaperScenario scenario;
+  BasicPlanner planner;
+  Rng rng(1);
+  double now = 0.0;
+  std::uint32_t session = 0;
+  SessionCoordinator& coordinator = scenario.coordinator(4, 2);
+  for (auto _ : state) {
+    now += 1.0;
+    EstablishResult result =
+        coordinator.establish(SessionId{session++}, now, planner, rng);
+    if (result.success)
+      coordinator.teardown(result.holdings, SessionId{session - 1}, now);
+  }
+}
+BENCHMARK(BM_EstablishTeardown);
+
+}  // namespace
+}  // namespace qres
+
+BENCHMARK_MAIN();

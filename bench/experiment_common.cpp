@@ -1,0 +1,100 @@
+#include "experiment_common.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/random_planner.hpp"
+#include "scenario/paper_scenario.hpp"
+
+namespace qres::bench {
+
+HarnessOptions parse_options(int argc, char** argv) {
+  HarnessOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      options.replicas = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--run-length") == 0 && i + 1 < argc) {
+      options.run_length = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.base_seed =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      options.replicas = 2;
+      options.run_length = 1500.0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--replicas N] [--run-length T] [--seed S] "
+                   "[--csv] [--fast]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (options.replicas == 0) options.replicas = 1;
+  return options;
+}
+
+std::unique_ptr<IPlanner> make_planner(const std::string& algorithm,
+                                       const PlannerOptions& options) {
+  if (algorithm == "basic") return std::make_unique<BasicPlanner>(options);
+  if (algorithm == "tradeoff")
+    return std::make_unique<TradeoffPlanner>(options);
+  if (algorithm == "random") return std::make_unique<RandomPlanner>();
+  std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+  std::exit(2);
+}
+
+SimulationStats run_paper_sim(const RunSpec& spec, std::uint64_t seed) {
+  PaperScenarioConfig scenario_config;
+  scenario_config.setup_seed = seed;
+  scenario_config.low_diversity = spec.low_diversity;
+  scenario_config.alpha_window = spec.alpha_window;
+  scenario_config.alpha_mode = spec.alpha_mode;
+  scenario_config.psi_kind = spec.psi_kind;
+  PaperScenario scenario(scenario_config);
+
+  PlannerOptions planner_options;
+  planner_options.use_tie_break = spec.use_tie_break;
+  const std::unique_ptr<IPlanner> planner =
+      make_planner(spec.algorithm, planner_options);
+
+  SimulationConfig config;
+  config.arrival_rate = spec.rate_per_60 / 60.0;
+  config.run_length = spec.run_length;
+  config.seed = seed ^ 0x51a5d1ce5eedULL;
+  config.staleness_max = spec.staleness;
+  config.record_paths = spec.record_paths;
+
+  Simulation simulation(scenario.make_source(), planner.get(), config);
+  return simulation.run();
+}
+
+SimulationStats run_replicated(const RunSpec& spec,
+                               const HarnessOptions& options,
+                               ThreadPool* pool) {
+  RunSpec adjusted = spec;
+  adjusted.run_length = options.run_length;
+  return run_replicas(
+      options.replicas, options.base_seed,
+      [&adjusted](std::uint64_t seed, std::size_t) {
+        return run_paper_sim(adjusted, seed);
+      },
+      pool);
+}
+
+double mean_qos(const SimulationStats& stats) {
+  return stats.overall_qos().empty() ? 0.0 : stats.overall_qos().mean();
+}
+
+void print_table(const TablePrinter& table, const HarnessOptions& options,
+                 std::ostream& os) {
+  if (options.csv)
+    table.print_csv(os);
+  else
+    table.print(os);
+}
+
+}  // namespace qres::bench

@@ -1,0 +1,74 @@
+// Shared harness code for the experiment binaries (bench/fig*, bench/tab*,
+// bench/ablation_*): configuring and running replicated simulations of the
+// paper scenario, and consistent CLI handling.
+//
+// Every experiment binary accepts:
+//   --replicas N     number of independent replicas per configuration
+//                    (default 3; each replica redraws capacities, as the
+//                    paper does per run)
+//   --run-length T   simulated time units per run (default 10800, the
+//                    paper's run length)
+//   --seed S         base seed (replica seeds derive from it)
+//   --csv            emit CSV rows instead of aligned tables
+//   --fast           shorthand for quick smoke runs (1500 TU, 2 replicas)
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/planner.hpp"
+#include "util/table.hpp"
+#include "sim/replicas.hpp"
+#include "sim/simulation.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qres::bench {
+
+struct HarnessOptions {
+  std::size_t replicas = 3;
+  double run_length = 10800.0;
+  std::uint64_t base_seed = 1;
+  bool csv = false;  ///< emit CSV instead of aligned tables
+};
+
+/// Parses the common CLI flags; unknown flags abort with a usage message.
+HarnessOptions parse_options(int argc, char** argv);
+
+/// One simulation configuration of the paper scenario.
+struct RunSpec {
+  double rate_per_60 = 120.0;       ///< sessions per 60 TUs
+  std::string algorithm = "basic";  ///< basic | tradeoff | random
+  double run_length = 10800.0;
+  double staleness = 0.0;           ///< E (§5.2.4)
+  bool low_diversity = false;       ///< figure-13 variant
+  double alpha_window = 3.0;        ///< T for the tradeoff policy
+  AlphaMode alpha_mode = AlphaMode::kTimeWeighted;  ///< ablation: eq.5 form
+  bool use_tie_break = true;        ///< ablation: the paper tie-break rule
+  PsiKind psi_kind = PsiKind::kRatio;  ///< ablation: psi definition
+  bool record_paths = false;
+};
+
+std::unique_ptr<IPlanner> make_planner(const std::string& algorithm,
+                                       const PlannerOptions& options = {});
+
+/// Runs one full simulation of the paper scenario; `seed` drives both the
+/// capacity draw and the session stream.
+SimulationStats run_paper_sim(const RunSpec& spec, std::uint64_t seed);
+
+/// Runs `replicas` independent replicas (parallelized over `pool` when
+/// given) and merges their statistics.
+SimulationStats run_replicated(const RunSpec& spec,
+                               const HarnessOptions& options,
+                               ThreadPool* pool = nullptr);
+
+/// QoS level value of a run: mean of (levels - rank), the paper's 3/2/1
+/// scale; 0 when no session succeeded.
+double mean_qos(const SimulationStats& stats);
+
+/// Prints `table` as an aligned console table, or as CSV when
+/// options.csv is set.
+void print_table(const TablePrinter& table, const HarnessOptions& options,
+                 std::ostream& os);
+
+}  // namespace qres::bench

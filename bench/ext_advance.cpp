@@ -1,0 +1,119 @@
+// Extension experiment: advance (book-ahead) reservations — the paper's
+// §6 future work, built on the AdvanceBroker/AdvanceSessionCoordinator
+// subsystem.
+//
+// Sessions arrive as in §5.1; a fraction f of them books a window that
+// starts B time units in the future (advance sessions), the rest reserve
+// immediately (B = 0). Both go through the same QRG planning over
+// interval availability.
+//
+// Questions answered:
+//   * How does the overall success rate move as the advance fraction
+//     grows? (book-ahead flattens instantaneous peaks: future windows are
+//     spread out, so a moderate advance fraction helps everyone)
+//   * Do advance sessions crowd out immediate ones? (per-population
+//     success rates)
+#include <iostream>
+
+#include "core/planner.hpp"
+#include "scenario/advance_scenario.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/summary.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+
+namespace {
+
+struct Outcome {
+  Ratio overall;
+  Ratio immediate;
+  Ratio advance;
+};
+
+Outcome run(double rate_per_60, double advance_fraction, double horizon,
+            double run_length, std::uint64_t seed) {
+  AdvanceScenarioConfig config;
+  config.setup_seed = seed;
+  AdvanceScenario scenario(config);
+  BasicPlanner planner;
+  EventQueue queue;
+  Rng rng(seed ^ 0xadfaceULL);
+  Outcome outcome;
+  std::uint32_t next_session = 0;
+
+  std::function<void()> arrival = [&] {
+    const double now = queue.now();
+    const AdvanceScenario::Request request = scenario.sample_request(rng);
+    const bool advance =
+        advance_fraction > 0.0 && rng.bernoulli(advance_fraction);
+    const double start = advance ? now + horizon : now;
+    const double end = start + request.traits.duration;
+    const AdvanceEstablishResult result = request.coordinator->establish(
+        SessionId{next_session++}, start, end, planner, rng,
+        request.traits.scale);
+    outcome.overall.record(result.success);
+    (advance ? outcome.advance : outcome.immediate).record(result.success);
+    // Bookings expire on their own at `end`; prune periodically so the
+    // books stay small.
+    if ((next_session & 0x3ff) == 0) scenario.registry().prune_all(now);
+    const double next_time =
+        now + rng.exponential(rate_per_60 / 60.0);
+    if (next_time <= run_length) queue.schedule(next_time, arrival);
+  };
+  queue.schedule(rng.exponential(rate_per_60 / 60.0), arrival);
+  queue.run_all();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double run_length = 5400.0;
+  std::size_t replicas = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      run_length = 1500.0;
+      replicas = 2;
+    } else if (arg == "--run-length" && i + 1 < argc) {
+      run_length = std::atof(argv[++i]);
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      replicas = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+  }
+
+  std::cout << "Extension: advance reservations (paper §6 future work)\n";
+  TablePrinter table({"rate", "adv. fraction", "horizon B", "overall",
+                      "immediate", "advance"});
+  for (double rate : {120.0, 180.0}) {
+    for (double fraction : {0.0, 0.3, 0.7}) {
+      for (double horizon : {60.0, 300.0}) {
+        if (fraction == 0.0 && horizon != 60.0) continue;  // B irrelevant
+        Outcome merged;
+        for (std::size_t r = 0; r < replicas; ++r) {
+          const Outcome o =
+              run(rate, fraction, horizon, run_length, 1000 + r);
+          merged.overall.merge(o.overall);
+          merged.immediate.merge(o.immediate);
+          merged.advance.merge(o.advance);
+        }
+        table.add_row(
+            {TablePrinter::fmt(rate, 0), TablePrinter::fmt(fraction, 1),
+             fraction == 0.0 ? "-" : TablePrinter::fmt(horizon, 0),
+             TablePrinter::pct(merged.overall.value()),
+             merged.immediate.attempts() == 0
+                 ? "-"
+                 : TablePrinter::pct(merged.immediate.value()),
+             merged.advance.attempts() == 0
+                 ? "-"
+                 : TablePrinter::pct(merged.advance.value())});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(replicas per point: " << replicas
+            << ", run length: " << run_length << " TU)\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Extension experiment: centralized vs. distributed model storage (§3).
+//
+// The paper's overhead analysis (§4.2) assumes the centralized mode: one
+// availability round trip per participating proxy plus local execution at
+// the main QoSProxy. The distributed mode replaces that with hop-by-hop
+// forward/backward protocol messages. This harness verifies on random
+// chain services that the two modes compute identical plans, and tabulates
+// their message counts and wall-clock planning cost per chain length K.
+#include <chrono>
+#include <iostream>
+
+#include "proxy/distributed.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<BrokerRegistry> registry;
+  std::unique_ptr<ServiceDefinition> service;
+  std::vector<ResourceId> all_resources;
+  std::vector<std::vector<ResourceId>> footprints;
+};
+
+Built build_random_chain(int k, Rng& rng) {
+  Built built;
+  built.registry = std::make_unique<BrokerRegistry>();
+  std::vector<std::pair<ComponentIndex, ComponentIndex>> edges;
+  std::vector<ServiceComponent> components;
+  const QoSSchema schema({"level"});
+  int prev = 1;
+  for (int c = 0; c < k; ++c) {
+    const ResourceId rid = built.registry->add_resource(
+        "r" + std::to_string(c), ResourceKind::kCpu, HostId{},
+        rng.uniform(60.0, 160.0));
+    built.all_resources.push_back(rid);
+    built.footprints.push_back({rid});
+    const int levels = 3;
+    TranslationTable table;
+    for (int in = 0; in < prev; ++in)
+      for (int out = 0; out < levels; ++out)
+        if (rng.bernoulli(0.8)) {
+          ResourceVector req;
+          req.set(rid, rng.uniform(2.0, 50.0));
+          table.set(static_cast<LevelIndex>(in),
+                    static_cast<LevelIndex>(out), req);
+        }
+    if (table.size() == 0) {
+      ResourceVector req;
+      req.set(rid, 2.0);
+      table.set(0, 0, req);
+    }
+    std::vector<QoSVector> out_levels;
+    for (int i = 0; i < levels; ++i)
+      out_levels.push_back(QoSVector(schema, {static_cast<double>(levels - i)}));
+    components.emplace_back("c" + std::to_string(c), std::move(out_levels),
+                            table.as_function());
+    if (c > 0)
+      edges.push_back({static_cast<ComponentIndex>(c - 1),
+                       static_cast<ComponentIndex>(c)});
+    prev = levels;
+  }
+  built.service = std::make_unique<ServiceDefinition>(
+      "chain", std::move(components), std::move(edges),
+      QoSVector(schema, {1.0}));
+  return built;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int trials = 300;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--trials" && i + 1 < argc)
+      trials = std::atoi(argv[++i]);
+
+  std::cout << "Extension: centralized vs distributed planning (chain "
+               "services, "
+            << trials << " trials per K)\n";
+  TablePrinter table({"K", "plans equal", "msgs centralized",
+                      "msgs distributed", "us centralized",
+                      "us distributed"});
+  Rng rng(42);
+  for (int k : {2, 3, 5, 8}) {
+    int equal = 0, comparable = 0;
+    std::uint64_t msgs_central = 0, msgs_distributed = 0;
+    double us_central = 0.0, us_distributed = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      Built built = build_random_chain(k, rng);
+      BasicPlanner planner;
+      Rng planner_rng(1);
+
+      SessionCoordinator centralized(built.service.get(),
+                                     built.all_resources,
+                                     built.registry.get());
+      const auto c0 = std::chrono::steady_clock::now();
+      EstablishResult central =
+          centralized.establish(SessionId{1}, 1.0, planner, planner_rng);
+      const auto c1 = std::chrono::steady_clock::now();
+      if (central.success)
+        centralized.teardown(central.holdings, SessionId{1}, 1.5);
+
+      DistributedSession distributed(built.service.get(), built.footprints,
+                                     built.registry.get());
+      const auto d0 = std::chrono::steady_clock::now();
+      EstablishResult dist = distributed.establish(SessionId{2}, 2.0);
+      const auto d1 = std::chrono::steady_clock::now();
+      if (dist.success) distributed.teardown(dist.holdings, SessionId{2}, 2.5);
+
+      us_central +=
+          std::chrono::duration<double, std::micro>(c1 - c0).count();
+      us_distributed +=
+          std::chrono::duration<double, std::micro>(d1 - d0).count();
+      msgs_central += central.stats.availability_messages +
+                      central.stats.dispatch_messages;
+      msgs_distributed +=
+          dist.stats.availability_messages + dist.stats.dispatch_messages;
+      if (central.plan.has_value() == dist.plan.has_value()) {
+        ++comparable;
+        if (!central.plan ||
+            (central.plan->end_to_end_rank == dist.plan->end_to_end_rank &&
+             std::abs(central.plan->bottleneck_psi -
+                      dist.plan->bottleneck_psi) < 1e-12))
+          ++equal;
+      }
+    }
+    table.add_row(
+        {std::to_string(k),
+         std::to_string(equal) + "/" + std::to_string(comparable),
+         TablePrinter::fmt(static_cast<double>(msgs_central) / trials, 1),
+         TablePrinter::fmt(static_cast<double>(msgs_distributed) / trials,
+                           1),
+         TablePrinter::fmt(us_central / trials, 1),
+         TablePrinter::fmt(us_distributed / trials, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

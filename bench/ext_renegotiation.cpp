@@ -1,0 +1,175 @@
+// Extension experiment: mid-session QoS renegotiation.
+//
+// In the base framework a session keeps the QoS level its admission-time
+// plan achieved, even if it was degraded and the contention later clears.
+// This extension re-plans every *degraded* active session every R time
+// units: the session's holdings are released, the end-to-end plan is
+// recomputed against current availability, and the session re-reserves —
+// never ending up worse, because its old plan is feasible again the
+// moment its own holdings are released (single-writer environment).
+//
+// Metrics: time-weighted average end-to-end QoS level over each session's
+// lifetime (equals the static level when renegotiation is off), overall
+// admission success rate (upgraded sessions hold more, so admission can
+// get slightly harder), and the upgrade count.
+#include <iostream>
+#include <map>
+
+#include "core/planner.hpp"
+#include "scenario/paper_scenario.hpp"
+#include "sim/event_queue.hpp"
+#include "util/summary.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+
+namespace {
+
+struct Active {
+  SessionCoordinator* coordinator;
+  std::vector<std::pair<ResourceId, double>> holdings;
+  double scale;
+  std::size_t rank;       // current end-to-end rank (0 = best)
+  double admitted_at;
+  double last_change;
+  double weighted_level;  // integral of level over time so far
+};
+
+struct Outcome {
+  Ratio admission;
+  Summary lifetime_qos;  // time-weighted level per departed session
+  std::uint64_t upgrades = 0;
+  std::uint64_t renegotiation_attempts = 0;
+};
+
+Outcome run(double rate_per_60, double renegotiation_period,
+            double run_length, std::uint64_t seed) {
+  PaperScenarioConfig config;
+  config.setup_seed = seed;
+  PaperScenario scenario(config);
+  BasicPlanner planner;
+  EventQueue queue;
+  Rng rng(seed ^ 0x5e55105ULL);
+  const SessionSource source = scenario.make_source();
+  Outcome outcome;
+  std::map<std::uint32_t, Active> active;
+  std::uint32_t next_session = 0;
+  const std::size_t levels = kPaperQoSLevels;
+
+  auto level_of = [&](std::size_t rank) {
+    return static_cast<double>(levels - rank);
+  };
+
+  std::function<void()> arrival = [&] {
+    const double now = queue.now();
+    const SessionSpec spec = source(rng, now);
+    const SessionId session{next_session++};
+    EstablishResult result = spec.coordinator->establish(
+        session, now, planner, rng, spec.traits.scale);
+    outcome.admission.record(result.success);
+    if (result.success) {
+      Active entry;
+      entry.coordinator = spec.coordinator;
+      entry.holdings = std::move(result.holdings);
+      entry.scale = spec.traits.scale;
+      entry.rank = result.plan->end_to_end_rank;
+      entry.admitted_at = now;
+      entry.last_change = now;
+      entry.weighted_level = 0.0;
+      active.emplace(session.value(), std::move(entry));
+      queue.schedule_in(spec.traits.duration, [&, session] {
+        auto it = active.find(session.value());
+        if (it == active.end()) return;
+        Active& a = it->second;
+        const double t = queue.now();
+        a.weighted_level += level_of(a.rank) * (t - a.last_change);
+        const double lifetime = t - a.admitted_at;
+        outcome.lifetime_qos.add(
+            lifetime > 0.0 ? a.weighted_level / lifetime
+                           : level_of(a.rank));
+        a.coordinator->teardown(a.holdings, session, t);
+        active.erase(it);
+      });
+    }
+    const double next_time = now + rng.exponential(rate_per_60 / 60.0);
+    if (next_time <= run_length) queue.schedule(next_time, arrival);
+  };
+  queue.schedule(rng.exponential(rate_per_60 / 60.0), arrival);
+
+  std::function<void()> renegotiate = [&] {
+    const double now = queue.now();
+    for (auto& [id, a] : active) {
+      if (a.rank == 0) continue;  // already at the top level
+      ++outcome.renegotiation_attempts;
+      const SessionId session{id};
+      // Release, re-plan, re-reserve. The old plan is feasible again the
+      // instant the holdings are freed, so this never fails or regresses.
+      a.coordinator->teardown(a.holdings, session, now);
+      EstablishResult result =
+          a.coordinator->establish(session, now, planner, rng, a.scale);
+      QRES_ASSERT(result.success);
+      QRES_ASSERT(result.plan->end_to_end_rank <= a.rank);
+      if (result.plan->end_to_end_rank < a.rank) {
+        a.weighted_level += level_of(a.rank) * (now - a.last_change);
+        a.last_change = now;
+        a.rank = result.plan->end_to_end_rank;
+        ++outcome.upgrades;
+      }
+      a.holdings = std::move(result.holdings);
+    }
+    if (now + renegotiation_period <= run_length)
+      queue.schedule_in(renegotiation_period, renegotiate);
+  };
+  if (renegotiation_period > 0.0)
+    queue.schedule(renegotiation_period, renegotiate);
+
+  queue.run_all();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double run_length = 5400.0;
+  std::size_t replicas = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      run_length = 1500.0;
+      replicas = 2;
+    } else if (arg == "--run-length" && i + 1 < argc) {
+      run_length = std::atof(argv[++i]);
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      replicas = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+  }
+
+  std::cout << "Extension: mid-session QoS renegotiation (basic planner)\n";
+  TablePrinter table({"rate", "reneg. period", "admission", "lifetime QoS",
+                      "upgrades/1k ssn"});
+  for (double rate : {120.0, 180.0, 240.0}) {
+    for (double period : {0.0, 120.0, 30.0}) {
+      Outcome merged;
+      for (std::size_t r = 0; r < replicas; ++r) {
+        const Outcome o = run(rate, period, run_length, 2000 + r);
+        merged.admission.merge(o.admission);
+        merged.lifetime_qos.merge(o.lifetime_qos);
+        merged.upgrades += o.upgrades;
+        merged.renegotiation_attempts += o.renegotiation_attempts;
+      }
+      table.add_row(
+          {TablePrinter::fmt(rate, 0),
+           period == 0.0 ? "off" : TablePrinter::fmt(period, 0),
+           TablePrinter::pct(merged.admission.value()),
+           TablePrinter::fmt(merged.lifetime_qos.mean()),
+           TablePrinter::fmt(
+               1000.0 * static_cast<double>(merged.upgrades) /
+                   static_cast<double>(merged.admission.attempts()),
+               1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(replicas per point: " << replicas
+            << ", run length: " << run_length << " TU)\n";
+  return 0;
+}

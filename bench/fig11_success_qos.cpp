@@ -1,0 +1,51 @@
+// Reproduces figure 11 of the paper: (a) overall reservation success rate
+// and (b) average end-to-end QoS level of successful sessions, as
+// functions of the session generation rate (60..240 sessions per 60 TUs),
+// for the algorithms basic, tradeoff and random.
+//
+// Expected shape (paper §5.2.1): tradeoff >= basic >= random in success
+// rate at every rate; basic and random deliver average QoS close to the
+// top level 3 while tradeoff sits visibly lower.
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+using namespace qres::bench;
+
+int main(int argc, char** argv) {
+  const HarnessOptions options = parse_options(argc, argv);
+  ThreadPool pool;
+  const double rates[] = {60, 90, 120, 150, 180, 210, 240};
+  const char* algorithms[] = {"basic", "tradeoff", "random"};
+
+  TablePrinter success(
+      {"rate (ssn/60TU)", "basic", "tradeoff", "random"});
+  TablePrinter qos({"rate (ssn/60TU)", "basic", "tradeoff", "random"});
+
+  for (double rate : rates) {
+    std::vector<std::string> success_row{TablePrinter::fmt(rate, 0)};
+    std::vector<std::string> qos_row{TablePrinter::fmt(rate, 0)};
+    for (const char* algorithm : algorithms) {
+      RunSpec spec;
+      spec.rate_per_60 = rate;
+      spec.algorithm = algorithm;
+      const SimulationStats stats = run_replicated(spec, options, &pool);
+      success_row.push_back(
+          TablePrinter::pct(stats.overall_success().value()));
+      qos_row.push_back(TablePrinter::fmt(mean_qos(stats)));
+    }
+    success.add_row(std::move(success_row));
+    qos.add_row(std::move(qos_row));
+  }
+
+  std::cout << "\nFigure 11(a): overall reservation success rate\n";
+  print_table(success, options, std::cout);
+  std::cout << "\nFigure 11(b): average end-to-end QoS level of successful "
+               "sessions\n";
+  print_table(qos, options, std::cout);
+  std::cout << "\n(replicas per point: " << options.replicas
+            << ", run length: " << options.run_length << " TU)\n";
+  return 0;
+}

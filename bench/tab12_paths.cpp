@@ -1,0 +1,80 @@
+// Reproduces tables 1 and 2 of the paper: the distribution of selected
+// end-to-end reservation paths in the QRGs generated from the figure-10(a)
+// and figure-10(b) QoS tables, for the algorithms basic and tradeoff, at a
+// session generation rate of 80 sessions per 60 TUs.
+//
+// Expected shape (paper §5.2.2): both algorithms spread their choices over
+// most of the existing paths (adaptivity); basic concentrates on
+// top-QoS-level paths while tradeoff shifts a large share to level-2
+// paths; every resource becomes a bottleneck at least once.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "experiment_common.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+using namespace qres::bench;
+
+int main(int argc, char** argv) {
+  const HarnessOptions options = parse_options(argc, argv);
+  ThreadPool pool;
+
+  // Collect histograms for both algorithms.
+  std::map<std::string, SimulationStats> results;
+  for (const char* algorithm : {"basic", "tradeoff"}) {
+    RunSpec spec;
+    spec.rate_per_60 = 80.0;  // the paper's table-1/2 rate
+    spec.algorithm = algorithm;
+    spec.record_paths = true;
+    results.emplace(algorithm, run_replicated(spec, options, &pool));
+  }
+
+  for (const char* group : {"a", "b"}) {
+    // Union of paths selected by either algorithm, ordered by the basic
+    // algorithm's share (descending) to mirror the paper's layout.
+    std::set<std::string> paths;
+    std::map<std::string, double> share[2];
+    int index = 0;
+    for (const char* algorithm : {"basic", "tradeoff"}) {
+      const auto& histogram = results.at(algorithm).path_histogram();
+      const auto it = histogram.find(group);
+      if (it != histogram.end()) {
+        std::uint64_t total = 0;
+        for (const auto& [path, count] : it->second) total += count;
+        for (const auto& [path, count] : it->second) {
+          paths.insert(path);
+          share[index][path] =
+              static_cast<double>(count) / static_cast<double>(total);
+        }
+      }
+      ++index;
+    }
+    std::vector<std::string> ordered(paths.begin(), paths.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [&](const std::string& x, const std::string& y) {
+                return share[0][x] > share[0][y];
+              });
+
+    std::cout << "\nTable " << (group[0] == 'a' ? 1 : 2)
+              << ": selected reservation paths, figure-10(" << group
+              << ") services, rate 80 ssn/60TU\n";
+    TablePrinter table({"selected path", "basic", "tradeoff"});
+    for (const std::string& path : ordered)
+      table.add_row({path, TablePrinter::pct(share[0][path]),
+                     TablePrinter::pct(share[1][path])});
+    print_table(table, options, std::cout);
+  }
+
+  // §5.2.2's side claim: every resource becomes a bottleneck.
+  for (const char* algorithm : {"basic", "tradeoff"}) {
+    const auto& counts = results.at(algorithm).bottleneck_counts();
+    std::cout << "\n" << algorithm << ": " << counts.size()
+              << " distinct resources acted as plan bottleneck\n";
+  }
+  std::cout << "\n(replicas: " << options.replicas
+            << ", run length: " << options.run_length << " TU)\n";
+  return 0;
+}

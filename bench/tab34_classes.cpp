@@ -1,0 +1,53 @@
+// Reproduces tables 3 and 4 of the paper: reservation success rate and
+// average end-to-end QoS level per session class (normal/fat x short/long),
+// at generation rates 60, 100 and 180 sessions per 60 TUs, for the basic
+// (table 3) and tradeoff (table 4) algorithms.
+//
+// Expected shape (paper §5.2.3): fat classes degrade much faster than
+// normal classes; short vs. long makes little difference — requirement
+// heterogeneity dominates duration heterogeneity.
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+using namespace qres::bench;
+
+int main(int argc, char** argv) {
+  const HarnessOptions options = parse_options(argc, argv);
+  ThreadPool pool;
+  const double rates[] = {60, 100, 180};
+
+  for (const char* algorithm : {"basic", "tradeoff"}) {
+    // One run per rate; rows are classes, columns rates (paper layout).
+    std::vector<SimulationStats> per_rate;
+    for (double rate : rates) {
+      RunSpec spec;
+      spec.rate_per_60 = rate;
+      spec.algorithm = algorithm;
+      per_rate.push_back(run_replicated(spec, options, &pool));
+    }
+
+    std::cout << "\nTable " << (std::string(algorithm) == "basic" ? 3 : 4)
+              << ": success rate / avg QoS per class, algorithm "
+              << algorithm << "\n";
+    TablePrinter table({"class/gen.rate", "60 ssn/60TU", "100 ssn/60TU",
+                        "180 ssn/60TU"});
+    for (int c = 0; c < static_cast<int>(kSessionClassCount); ++c) {
+      const auto session_class = static_cast<SessionClass>(c);
+      std::vector<std::string> row{to_string(session_class)};
+      for (const SimulationStats& stats : per_rate) {
+        const auto& ratio = stats.class_success(session_class);
+        const auto& qos = stats.class_qos(session_class);
+        row.push_back(TablePrinter::pct(ratio.value()) + "/" +
+                      (qos.empty() ? "-" : TablePrinter::fmt(qos.mean())));
+      }
+      table.add_row(std::move(row));
+    }
+    print_table(table, options, std::cout);
+  }
+  std::cout << "\n(replicas per point: " << options.replicas
+            << ", run length: " << options.run_length << " TU)\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Runs the paper's simulated environment (§5.1, figure 9) end to end and
+// prints a summary: overall and per-class success rates, average
+// end-to-end QoS, the most frequently selected reservation paths, and the
+// resources that acted as bottlenecks.
+//
+//   $ ./live_simulation [rate_per_60tu] [algorithm] [seed]
+//     rate_per_60tu: session generation rate (default 120)
+//     algorithm:     basic | tradeoff | random (default basic)
+//     seed:          simulation seed (default 1)
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/random_planner.hpp"
+#include "scenario/paper_scenario.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+
+int main(int argc, char** argv) {
+  const double rate_per_60 = argc > 1 ? std::atof(argv[1]) : 120.0;
+  const char* algorithm = argc > 2 ? argv[2] : "basic";
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  std::unique_ptr<IPlanner> planner;
+  if (std::strcmp(algorithm, "tradeoff") == 0)
+    planner = std::make_unique<TradeoffPlanner>();
+  else if (std::strcmp(algorithm, "random") == 0)
+    planner = std::make_unique<RandomPlanner>();
+  else
+    planner = std::make_unique<BasicPlanner>();
+
+  PaperScenarioConfig scenario_config;
+  scenario_config.setup_seed = seed;
+  PaperScenario scenario(scenario_config);
+
+  SimulationConfig config;
+  config.arrival_rate = rate_per_60 / 60.0;
+  config.run_length = 10800.0;
+  config.seed = seed + 1000;
+
+  std::cout << "environment: 4 servers, 8 domains, 14 links; 4 services\n"
+            << "algorithm=" << planner->name() << " rate=" << rate_per_60
+            << " sessions/60TU run=" << config.run_length
+            << " TU seed=" << seed << "\n\n";
+
+  Simulation simulation(scenario.make_source(), planner.get(), config);
+  const SimulationStats stats = simulation.run();
+
+  std::cout << "sessions generated: " << stats.overall_success().attempts()
+            << "\noverall reservation success rate: "
+            << TablePrinter::pct(stats.overall_success().value())
+            << "\naverage end-to-end QoS level (successful sessions): "
+            << (stats.overall_qos().empty()
+                    ? std::string("-")
+                    : TablePrinter::fmt(stats.overall_qos().mean()))
+            << "\n\n";
+
+  TablePrinter per_class({"class", "success rate", "avg QoS"});
+  for (int c = 0; c < static_cast<int>(kSessionClassCount); ++c) {
+    const auto session_class = static_cast<SessionClass>(c);
+    const auto& ratio = stats.class_success(session_class);
+    const auto& qos = stats.class_qos(session_class);
+    per_class.add_row({to_string(session_class),
+                       TablePrinter::pct(ratio.value()),
+                       qos.empty() ? "-" : TablePrinter::fmt(qos.mean())});
+  }
+  per_class.print(std::cout);
+
+  // Top selected reservation paths per QRG table type (tables 1/2).
+  for (const auto& [group, histogram] : stats.path_histogram()) {
+    std::vector<std::pair<std::string, std::uint64_t>> paths(
+        histogram.begin(), histogram.end());
+    std::sort(paths.begin(), paths.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::uint64_t total = 0;
+    for (const auto& [path, count] : paths) total += count;
+    std::cout << "\ntop reservation paths (figure-10(" << group
+              << ") services):\n";
+    for (std::size_t i = 0; i < paths.size() && i < 5; ++i)
+      std::cout << "  " << paths[i].first << "  "
+                << TablePrinter::pct(
+                       static_cast<double>(paths[i].second) /
+                       static_cast<double>(total))
+                << "\n";
+  }
+
+  // Which resources acted as plan bottlenecks.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> bottlenecks(
+      stats.bottleneck_counts().begin(), stats.bottleneck_counts().end());
+  std::sort(bottlenecks.begin(), bottlenecks.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::cout << "\nbottleneck resources (distinct: " << bottlenecks.size()
+            << "):\n";
+  for (std::size_t i = 0; i < bottlenecks.size() && i < 6; ++i)
+    std::cout << "  "
+              << scenario.registry().catalog().name(
+                     ResourceId{bottlenecks[i].first})
+              << "  " << bottlenecks[i].second << " plans\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Quickstart: define a two-component distributed service, stand up
+// Resource Brokers, compute a QoS- and contention-aware reservation plan,
+// and make the end-to-end reservation.
+//
+//   $ ./quickstart
+//
+// Walks through the full public API surface: ResourceBroker/BrokerRegistry
+// (paper §3), the component-based QoS-Resource Model (§2), the QRG and the
+// basic planning algorithm (§4.1), and the three-phase establishment
+// protocol of the QoSProxy layer.
+#include <cstdio>
+
+#include "broker/registry.hpp"
+#include "proxy/qos_proxy.hpp"
+
+using namespace qres;
+
+int main() {
+  // ----------------------------------------------------------------- //
+  // 1. A reservation-enabled environment: one broker per resource.     //
+  // ----------------------------------------------------------------- //
+  BrokerRegistry registry;
+  const ResourceId server_cpu =
+      registry.add_resource("cpu@server", ResourceKind::kCpu, HostId{0},
+                            /*capacity=*/100.0);
+  const ResourceId link_bw = registry.add_resource(
+      "bw(server-client)", ResourceKind::kNetworkBandwidth, HostId{},
+      /*capacity=*/50.0);
+
+  // ----------------------------------------------------------------- //
+  // 2. The QoS-Resource Model: components, levels, translations.       //
+  // ----------------------------------------------------------------- //
+  const QoSSchema video({"frame_rate", "resolution"});
+
+  // The encoder on the server can produce three output qualities; its
+  // translation function (paper eq. 1) says what each costs in CPU.
+  TranslationTable encoder_cost;
+  {
+    ResourceVector high, medium, low;
+    high.set(server_cpu, 60.0);
+    medium.set(server_cpu, 30.0);
+    low.set(server_cpu, 10.0);
+    encoder_cost.set(0, 0, high);    // source -> (30 fps, 1080p)
+    encoder_cost.set(0, 1, medium);  // source -> (30 fps, 720p)
+    encoder_cost.set(0, 2, low);     // source -> (15 fps, 480p)
+  }
+  ServiceComponent encoder(
+      "Encoder",
+      {QoSVector(video, {30, 1080}), QoSVector(video, {30, 720}),
+       QoSVector(video, {15, 480})},
+      encoder_cost.as_function(), HostId{0});
+
+  // The player consumes what the encoder produced; streaming each quality
+  // needs bandwidth (input level i = encoder output level i).
+  TranslationTable player_cost;
+  for (LevelIndex in = 0; in < 3; ++in) {
+    ResourceVector need;
+    need.set(link_bw, 40.0 - 15.0 * in);  // 40, 25, 10
+    player_cost.set(in, in, need);        // plays back what it receives
+  }
+  ServiceComponent player(
+      "Player",
+      {QoSVector(video, {30, 1080}), QoSVector(video, {30, 720}),
+       QoSVector(video, {15, 480})},
+      player_cost.as_function(), HostId{1});
+
+  ServiceDefinition service("VideoStreaming", {encoder, player}, {{0, 1}},
+                            QoSVector(video, {30, 1080}));
+
+  // ----------------------------------------------------------------- //
+  // 3. Plan and reserve through the main QoSProxy.                     //
+  // ----------------------------------------------------------------- //
+  SessionCoordinator coordinator(&service, {server_cpu, link_bw}, &registry);
+  BasicPlanner planner;
+  Rng rng(42);
+
+  const EstablishResult first =
+      coordinator.establish(SessionId{1}, /*now=*/0.0, planner, rng);
+  std::printf("session 1: %s, end-to-end QoS = %s (level rank %zu), "
+              "bottleneck psi = %.2f\n",
+              first.success ? "established" : "failed",
+              service.component(service.sink())
+                  .out_level(first.plan->end_to_end_level)
+                  .to_string()
+                  .c_str(),
+              first.plan->end_to_end_rank, first.plan->bottleneck_psi);
+
+  // A second session now competes for what is left (contention!). The
+  // planner degrades it to the QoS level the remaining resources admit.
+  const EstablishResult second =
+      coordinator.establish(SessionId{2}, /*now=*/1.0, planner, rng);
+  if (second.success) {
+    std::printf("session 2: established at %s (cpu left: %.0f, bw left: "
+                "%.0f)\n",
+                service.component(service.sink())
+                    .out_level(second.plan->end_to_end_level)
+                    .to_string()
+                    .c_str(),
+                registry.broker(server_cpu).available(),
+                registry.broker(link_bw).available());
+  } else {
+    std::printf("session 2: failed\n");
+  }
+
+  // ----------------------------------------------------------------- //
+  // 4. Teardown releases everything.                                   //
+  // ----------------------------------------------------------------- //
+  coordinator.teardown(first.holdings, SessionId{1}, 2.0);
+  if (second.success) coordinator.teardown(second.holdings, SessionId{2}, 2.0);
+  std::printf("after teardown: cpu %.0f/100, bw %.0f/50\n",
+              registry.broker(server_cpu).available(),
+              registry.broker(link_bw).available());
+  return 0;
+}

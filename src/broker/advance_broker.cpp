@@ -1,0 +1,137 @@
+#include "broker/advance_broker.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+AdvanceBroker::AdvanceBroker(ResourceId id, std::string name, double capacity)
+    : id_(id), name_(std::move(name)), capacity_(capacity) {
+  QRES_REQUIRE(id_.valid(), "AdvanceBroker: invalid resource id");
+  QRES_REQUIRE(!name_.empty(), "AdvanceBroker: name must be non-empty");
+  QRES_REQUIRE(capacity_ > 0.0, "AdvanceBroker: capacity must be positive");
+}
+
+double AdvanceBroker::min_available(double start, double end) const {
+  QRES_REQUIRE(start < end, "AdvanceBroker: empty or inverted interval");
+  // The booked profile is piecewise constant; its peak over [start, end)
+  // is attained at `start` or at some booking start inside the window.
+  // Sweep the (clamped) booking boundaries.
+  double base = 0.0;  // booked amount at `start`
+  std::vector<std::pair<double, double>> deltas;  // (time, +/- amount)
+  for (const Booking& booking : bookings_) {
+    if (booking.cancelled) continue;
+    if (booking.end <= start || booking.start >= end) continue;
+    if (booking.start <= start) {
+      base += booking.amount;
+    } else {
+      deltas.push_back({booking.start, booking.amount});
+    }
+    if (booking.end < end) deltas.push_back({booking.end, -booking.amount});
+  }
+  std::sort(deltas.begin(), deltas.end());
+  double peak = base;
+  double current = base;
+  for (std::size_t i = 0; i < deltas.size();) {
+    // Apply all deltas at the same time point before sampling.
+    const double t = deltas[i].first;
+    while (i < deltas.size() && deltas[i].first == t)
+      current += deltas[i++].second;
+    peak = std::max(peak, current);
+  }
+  const double available = capacity_ - peak;
+  return available > 0.0 ? available : 0.0;
+}
+
+BookingId AdvanceBroker::book(SessionId session, double amount, double start,
+                              double end) {
+  QRES_REQUIRE(session.valid(), "AdvanceBroker::book: invalid session");
+  QRES_REQUIRE(amount >= 0.0, "AdvanceBroker::book: negative amount");
+  QRES_REQUIRE(start < end, "AdvanceBroker::book: empty interval");
+  if (amount > min_available(start, end) + 1e-9) return 0;
+  Booking booking;
+  booking.id = next_booking_++;
+  booking.session = session;
+  booking.amount = amount;
+  booking.start = start;
+  booking.end = end;
+  bookings_.push_back(booking);
+  return booking.id;
+}
+
+const AdvanceBroker::Booking* AdvanceBroker::find(BookingId booking) const {
+  for (const Booking& b : bookings_)
+    if (b.id == booking) return &b;
+  return nullptr;
+}
+
+void AdvanceBroker::cancel(BookingId booking) {
+  for (Booking& b : bookings_)
+    if (b.id == booking) {
+      b.cancelled = true;
+      return;
+    }
+}
+
+void AdvanceBroker::close(BookingId booking, double end) {
+  for (Booking& b : bookings_) {
+    if (b.id != booking) continue;
+    QRES_REQUIRE(!b.cancelled, "AdvanceBroker::close: booking cancelled");
+    QRES_REQUIRE(b.end == kOpenEnd,
+                 "AdvanceBroker::close: booking is not open-ended");
+    QRES_REQUIRE(end > b.start, "AdvanceBroker::close: end before start");
+    b.end = end;
+    return;
+  }
+  QRES_REQUIRE(false, "AdvanceBroker::close: unknown booking");
+}
+
+std::size_t AdvanceBroker::booking_count() const noexcept {
+  std::size_t count = 0;
+  for (const Booking& b : bookings_)
+    if (!b.cancelled) ++count;
+  return count;
+}
+
+void AdvanceBroker::prune(double now) {
+  bookings_.erase(
+      std::remove_if(bookings_.begin(), bookings_.end(),
+                     [now](const Booking& b) {
+                       return b.cancelled || b.end <= now;
+                     }),
+      bookings_.end());
+}
+
+ResourceId AdvanceRegistry::add_resource(std::string name, ResourceKind kind,
+                                         double capacity) {
+  const ResourceId id = catalog_.add(name, kind);
+  brokers_.emplace_back(id, catalog_.name(id), capacity);
+  return id;
+}
+
+AdvanceBroker& AdvanceRegistry::broker(ResourceId id) {
+  QRES_REQUIRE(id.valid() && id.value() < brokers_.size(),
+               "AdvanceRegistry::broker: unknown resource id");
+  return brokers_[id.value()];
+}
+
+const AdvanceBroker& AdvanceRegistry::broker(ResourceId id) const {
+  QRES_REQUIRE(id.valid() && id.value() < brokers_.size(),
+               "AdvanceRegistry::broker: unknown resource id");
+  return brokers_[id.value()];
+}
+
+void AdvanceRegistry::prune_all(double now) {
+  for (AdvanceBroker& broker : brokers_) broker.prune(now);
+}
+
+AvailabilityView AdvanceRegistry::collect(const std::vector<ResourceId>& ids,
+                                          double start, double end) const {
+  AvailabilityView view;
+  for (ResourceId id : ids)
+    view.set(id, broker(id).min_available(start, end), 1.0);
+  return view;
+}
+
+}  // namespace qres

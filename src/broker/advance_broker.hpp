@@ -1,0 +1,115 @@
+// Advance (book-ahead) reservations — the extension the paper names as
+// its next step (§6: "to extend our multi-resource reservation framework
+// to support advance reservations", following Foster et al., IWQoS '99).
+//
+// An advance broker manages one resource's *booking profile over time*:
+// a reservation claims an amount over a future interval [start, end).
+// Planning-time availability for an interval is the minimum unreserved
+// amount over that interval, which plugs straight into the QRG
+// construction — the planner is unchanged, only the availability snapshot
+// is interval-aware. Immediate reservations are the special case
+// start = now with an open end that is closed on release.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/availability.hpp"
+#include "core/ids.hpp"
+#include "core/resource.hpp"
+
+namespace qres {
+
+/// Identifies one booking within an AdvanceBroker.
+using BookingId = std::uint64_t;
+
+class AdvanceBroker {
+ public:
+  static constexpr double kOpenEnd = std::numeric_limits<double>::infinity();
+
+  AdvanceBroker(ResourceId id, std::string name, double capacity);
+
+  ResourceId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  double capacity() const noexcept { return capacity_; }
+
+  /// Minimum unreserved amount over [start, end). Requires start < end.
+  /// An empty book yields the full capacity.
+  double min_available(double start, double end) const;
+
+  /// Peak booked amount over [start, end) (capacity - min_available).
+  double peak_booked(double start, double end) const {
+    return capacity_ - min_available(start, end);
+  }
+
+  /// Books `amount` over [start, end) for `session` if it fits under
+  /// capacity throughout the interval; returns the booking id, or 0 on
+  /// admission failure. `end` may be kOpenEnd for an immediate
+  /// reservation of unknown duration.
+  BookingId book(SessionId session, double amount, double start, double end);
+
+  /// Cancels a booking entirely (no-op if already cancelled).
+  void cancel(BookingId booking);
+
+  /// Closes an open-ended booking at time `end` (releases the tail).
+  /// Requires the booking to exist and be open-ended.
+  void close(BookingId booking, double end);
+
+  /// Number of live (not cancelled) bookings.
+  std::size_t booking_count() const noexcept;
+
+  /// Drops bookings that ended at or before `now` (housekeeping; queries
+  /// about the dropped past become inaccurate).
+  void prune(double now);
+
+ private:
+  struct Booking {
+    BookingId id = 0;
+    SessionId session;
+    double amount = 0.0;
+    double start = 0.0;
+    double end = kOpenEnd;
+    bool cancelled = false;
+  };
+
+  const Booking* find(BookingId booking) const;
+
+  ResourceId id_;
+  std::string name_;
+  double capacity_;
+  BookingId next_booking_ = 1;
+  std::vector<Booking> bookings_;
+};
+
+/// Owns the advance brokers of an environment; mirrors BrokerRegistry for
+/// the book-ahead world.
+class AdvanceRegistry {
+ public:
+  AdvanceRegistry() = default;
+  AdvanceRegistry(const AdvanceRegistry&) = delete;
+  AdvanceRegistry& operator=(const AdvanceRegistry&) = delete;
+
+  ResourceId add_resource(std::string name, ResourceKind kind,
+                          double capacity);
+
+  AdvanceBroker& broker(ResourceId id);
+  const AdvanceBroker& broker(ResourceId id) const;
+  std::size_t size() const noexcept { return brokers_.size(); }
+  const ResourceCatalog& catalog() const noexcept { return catalog_; }
+
+  /// Availability snapshot for the interval [start, end): per resource,
+  /// the minimum unreserved amount over the interval (alpha = 1).
+  AvailabilityView collect(const std::vector<ResourceId>& ids, double start,
+                           double end) const;
+
+  /// Prunes expired bookings from every broker (see AdvanceBroker::prune).
+  void prune_all(double now);
+
+ private:
+  ResourceCatalog catalog_;
+  std::vector<AdvanceBroker> brokers_;
+};
+
+}  // namespace qres

@@ -1,0 +1,81 @@
+#include "broker/network_broker.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+NetworkPathBroker::NetworkPathBroker(ResourceId id, std::string name,
+                                     std::vector<IBroker*> links)
+    : id_(id), name_(std::move(name)), links_(std::move(links)) {
+  QRES_REQUIRE(id_.valid(), "NetworkPathBroker: invalid resource id");
+  QRES_REQUIRE(!name_.empty(), "NetworkPathBroker: name must be non-empty");
+  QRES_REQUIRE(!links_.empty(), "NetworkPathBroker: path must be non-empty");
+  for (const IBroker* link : links_)
+    QRES_REQUIRE(link != nullptr, "NetworkPathBroker: null link broker");
+}
+
+double NetworkPathBroker::capacity() const noexcept {
+  double minimum = std::numeric_limits<double>::infinity();
+  for (const IBroker* link : links_)
+    minimum = std::min(minimum, link->capacity());
+  return minimum;
+}
+
+double NetworkPathBroker::available() const noexcept {
+  double minimum = std::numeric_limits<double>::infinity();
+  for (const IBroker* link : links_)
+    minimum = std::min(minimum, link->available());
+  return minimum;
+}
+
+double NetworkPathBroker::available_at(double t) const {
+  double minimum = std::numeric_limits<double>::infinity();
+  for (const IBroker* link : links_)
+    minimum = std::min(minimum, link->available_at(t));
+  return minimum;
+}
+
+ResourceObservation NetworkPathBroker::observe(double t) const {
+  const IBroker* bottleneck = links_.front();
+  double minimum = std::numeric_limits<double>::infinity();
+  for (const IBroker* link : links_) {
+    const double avail = link->available_at(t);
+    if (avail < minimum) {
+      minimum = avail;
+      bottleneck = link;
+    }
+  }
+  return bottleneck->observe(t);
+}
+
+bool NetworkPathBroker::reserve(double now, SessionId session, double amount) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (!links_[i]->reserve(now, session, amount)) {
+      // Roll back exactly what this call reserved so far (the session may
+      // hold other reservations on these links via other paths).
+      for (std::size_t j = 0; j < i; ++j)
+        links_[j]->release_amount(now, session, amount);
+      return false;
+    }
+  }
+  return true;
+}
+
+void NetworkPathBroker::release(double now, SessionId session) {
+  for (IBroker* link : links_) link->release(now, session);
+}
+
+void NetworkPathBroker::release_amount(double now, SessionId session,
+                                       double amount) {
+  for (IBroker* link : links_) link->release_amount(now, session, amount);
+}
+
+const IBroker& NetworkPathBroker::link(std::size_t index) const {
+  QRES_REQUIRE(index < links_.size(),
+               "NetworkPathBroker::link: index out of range");
+  return *links_[index];
+}
+
+}  // namespace qres

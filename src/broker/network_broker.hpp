@@ -1,0 +1,57 @@
+// Two-level end-to-end network resource brokerage (paper §3).
+//
+// At the higher level, a NetworkPathBroker treats the whole path of
+// network links between two end hosts as one reservable resource. At the
+// lower level, each physical link has its own ResourceBroker (the paper's
+// RSVP-enabled per-router bandwidth broker). The path broker reports the
+// *minimum* of the link availabilities and reserves the same bandwidth on
+// every link of the path, rolling back on partial failure — this is the
+// compatibility property §4.1.1 relies on when it computes r_avail for a
+// network resource.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "broker/resource_broker.hpp"
+
+namespace qres {
+
+class NetworkPathBroker final : public IBroker {
+ public:
+  /// `links`: the lower-level per-link brokers along the path, in order.
+  /// The path broker does not own them (they are shared among paths that
+  /// traverse the same link); the owner (BrokerRegistry) must outlive it.
+  NetworkPathBroker(ResourceId id, std::string name,
+                    std::vector<IBroker*> links);
+
+  ResourceId id() const noexcept override { return id_; }
+  const std::string& name() const noexcept override { return name_; }
+
+  /// Minimum link capacity along the path.
+  double capacity() const noexcept override;
+  /// Minimum current link availability along the path.
+  double available() const noexcept override;
+  double available_at(double t) const override;
+
+  /// Availability = min over links; alpha = the change index of the link
+  /// attaining the minimum (the path's current bottleneck link).
+  ResourceObservation observe(double t) const override;
+
+  /// Reserves `amount` on every link; on any link failure the links
+  /// already reserved are rolled back and false is returned.
+  bool reserve(double now, SessionId session, double amount) override;
+
+  void release(double now, SessionId session) override;
+  void release_amount(double now, SessionId session, double amount) override;
+
+  std::size_t link_count() const noexcept { return links_.size(); }
+  const IBroker& link(std::size_t index) const;
+
+ private:
+  ResourceId id_;
+  std::string name_;
+  std::vector<IBroker*> links_;
+};
+
+}  // namespace qres

@@ -1,0 +1,62 @@
+#include "broker/registry.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+ResourceId BrokerRegistry::add_resource(std::string name, ResourceKind kind,
+                                        HostId host, double capacity,
+                                        double alpha_window,
+                                        double history_keep,
+                                        AlphaMode alpha_mode) {
+  const ResourceId id = catalog_.add(name, kind, host);
+  brokers_.push_back(std::make_unique<ResourceBroker>(
+      id, catalog_.name(id), capacity, alpha_window, history_keep,
+      alpha_mode));
+  return id;
+}
+
+ResourceId BrokerRegistry::add_network_path(
+    std::string name, const std::vector<ResourceId>& link_ids) {
+  std::vector<IBroker*> links;
+  links.reserve(link_ids.size());
+  for (ResourceId link : link_ids) links.push_back(&broker(link));
+  const ResourceId id =
+      catalog_.add(std::move(name), ResourceKind::kNetworkBandwidth);
+  brokers_.push_back(
+      std::make_unique<NetworkPathBroker>(id, catalog_.name(id),
+                                          std::move(links)));
+  return id;
+}
+
+IBroker& BrokerRegistry::broker(ResourceId id) {
+  QRES_REQUIRE(id.valid() && id.value() < brokers_.size(),
+               "BrokerRegistry::broker: unknown resource id");
+  return *brokers_[id.value()];
+}
+
+const IBroker& BrokerRegistry::broker(ResourceId id) const {
+  QRES_REQUIRE(id.valid() && id.value() < brokers_.size(),
+               "BrokerRegistry::broker: unknown resource id");
+  return *brokers_[id.value()];
+}
+
+AvailabilityView BrokerRegistry::collect(
+    const std::vector<ResourceId>& ids, double now,
+    const std::function<double(ResourceId)>& staleness) const {
+  AvailabilityView view;
+  for (ResourceId id : ids) {
+    double t = now;
+    if (staleness) {
+      const double lag = staleness(id);
+      QRES_REQUIRE(lag >= 0.0, "BrokerRegistry::collect: negative staleness");
+      t = now - lag;
+      if (t < 0.0) t = 0.0;
+    }
+    const ResourceObservation obs = broker(id).observe(t);
+    view.set(id, obs.available, obs.alpha);
+  }
+  return view;
+}
+
+}  // namespace qres

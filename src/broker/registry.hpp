@@ -1,0 +1,54 @@
+// Broker registry: owns every broker in the reservation-enabled
+// environment and ties broker creation to the ResourceCatalog so each
+// broker's resource id is also a catalog entry (name, kind, host).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/network_broker.hpp"
+#include "broker/resource_broker.hpp"
+#include "core/resource.hpp"
+
+namespace qres {
+
+class BrokerRegistry {
+ public:
+  BrokerRegistry() = default;
+  BrokerRegistry(const BrokerRegistry&) = delete;
+  BrokerRegistry& operator=(const BrokerRegistry&) = delete;
+
+  /// Creates a broker for a host-local resource (or a physical link when
+  /// `kind` is kNetworkBandwidth) and registers it in the catalog.
+  ResourceId add_resource(std::string name, ResourceKind kind, HostId host,
+                          double capacity, double alpha_window = 3.0,
+                          double history_keep = 64.0,
+                          AlphaMode alpha_mode = AlphaMode::kTimeWeighted);
+
+  /// Creates a two-level end-to-end network resource over existing link
+  /// brokers (by their resource ids, in path order).
+  ResourceId add_network_path(std::string name,
+                              const std::vector<ResourceId>& link_ids);
+
+  const ResourceCatalog& catalog() const noexcept { return catalog_; }
+
+  std::size_t size() const noexcept { return brokers_.size(); }
+
+  IBroker& broker(ResourceId id);
+  const IBroker& broker(ResourceId id) const;
+
+  /// Collects an availability snapshot for the given resources. Each
+  /// resource is observed at `now - staleness(id)`; pass a null staleness
+  /// function for accurate observations.
+  AvailabilityView collect(const std::vector<ResourceId>& ids, double now,
+                           const std::function<double(ResourceId)>& staleness =
+                               nullptr) const;
+
+ private:
+  ResourceCatalog catalog_;
+  std::vector<std::unique_ptr<IBroker>> brokers_;
+};
+
+}  // namespace qres

@@ -1,0 +1,148 @@
+#include "broker/resource_broker.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+ResourceBroker::ResourceBroker(ResourceId id, std::string name,
+                               double capacity, double alpha_window,
+                               double history_keep, AlphaMode alpha_mode)
+    : id_(id),
+      name_(std::move(name)),
+      capacity_(capacity),
+      alpha_window_(alpha_window),
+      history_keep_(history_keep),
+      alpha_mode_(alpha_mode) {
+  QRES_REQUIRE(id_.valid(), "ResourceBroker: invalid resource id");
+  QRES_REQUIRE(!name_.empty(), "ResourceBroker: name must be non-empty");
+  QRES_REQUIRE(capacity_ > 0.0, "ResourceBroker: capacity must be positive");
+  QRES_REQUIRE(alpha_window_ > 0.0,
+               "ResourceBroker: alpha window must be positive");
+  QRES_REQUIRE(history_keep_ >= alpha_window_,
+               "ResourceBroker: history must cover the alpha window");
+  history_.push_back({0.0, capacity_});
+}
+
+double ResourceBroker::available_at(double t) const {
+  // Last recorded availability at or before t; history_ is sorted by time.
+  auto it = std::upper_bound(
+      history_.begin(), history_.end(), t,
+      [](double time, const std::pair<double, double>& e) {
+        return time < e.first;
+      });
+  if (it == history_.begin()) return history_.front().second;
+  return std::prev(it)->second;
+}
+
+double ResourceBroker::windowed_average(double t) const {
+  const double start = t - alpha_window_;
+  // Integrate the piecewise-constant availability over [start, t].
+  double integral = 0.0;
+  double covered = 0.0;
+  double prev_time = start;
+  double prev_value = available_at(start);
+  for (const auto& [time, value] : history_) {
+    if (time <= start) continue;
+    if (time > t) break;
+    integral += prev_value * (time - prev_time);
+    covered += time - prev_time;
+    prev_time = time;
+    prev_value = value;
+  }
+  integral += prev_value * (t - prev_time);
+  covered += t - prev_time;
+  if (covered <= 0.0) return prev_value;
+  return integral / covered;
+}
+
+ResourceObservation ResourceBroker::observe(double t) const {
+  const double avail = available_at(t);
+  ResourceObservation obs;
+  obs.available = avail;
+  if (alpha_mode_ == AlphaMode::kTimeWeighted) {
+    const double avg = windowed_average(t);
+    obs.alpha = avg > 0.0 ? avail / avg : 1.0;
+    return obs;
+  }
+  // kReportBased (the paper's eq. 5): r_avg is the mean of the values
+  // reported during the past T; updated after each report.
+  QRES_REQUIRE(reports_.empty() || t >= reports_.back().first,
+               "ResourceBroker: report-based alpha requires "
+               "non-decreasing observation times (no staleness)");
+  while (!reports_.empty() && reports_.front().first < t - alpha_window_)
+    reports_.pop_front();
+  if (reports_.empty()) {
+    obs.alpha = 1.0;
+  } else {
+    double sum = 0.0;
+    for (const auto& [time, value] : reports_) sum += value;
+    const double avg = sum / static_cast<double>(reports_.size());
+    obs.alpha = avg > 0.0 ? avail / avg : 1.0;
+  }
+  reports_.push_back({t, avail});
+  return obs;
+}
+
+bool ResourceBroker::reserve(double now, SessionId session, double amount) {
+  QRES_REQUIRE(session.valid(), "ResourceBroker::reserve: invalid session");
+  QRES_REQUIRE(amount >= 0.0, "ResourceBroker::reserve: negative amount");
+  if (amount > available() + 1e-9) return false;
+  holdings_[session] += amount;
+  reserved_ += amount;
+  if (reserved_ > capacity_) reserved_ = capacity_;  // clamp fp drift
+  record(now);
+  return true;
+}
+
+void ResourceBroker::release(double now, SessionId session) {
+  auto it = holdings_.find(session);
+  if (it == holdings_.end()) return;
+  reserved_ -= it->second;
+  if (reserved_ < 0.0) reserved_ = 0.0;  // clamp fp drift
+  holdings_.erase(session);
+  record(now);
+}
+
+void ResourceBroker::release_amount(double now, SessionId session,
+                                    double amount) {
+  QRES_REQUIRE(amount >= 0.0,
+               "ResourceBroker::release_amount: negative amount");
+  auto it = holdings_.find(session);
+  if (it == holdings_.end()) return;
+  const double freed = std::min(amount, it->second);
+  it->second -= freed;
+  reserved_ -= freed;
+  if (reserved_ < 0.0) reserved_ = 0.0;  // clamp fp drift
+  if (it->second <= 1e-12) holdings_.erase(session);
+  record(now);
+}
+
+void ResourceBroker::record(double now) {
+  QRES_REQUIRE(history_.empty() || now >= history_.back().first,
+               "ResourceBroker: time went backwards");
+  if (!history_.empty() && history_.back().first == now) {
+    history_.back().second = available();
+  } else {
+    history_.push_back({now, available()});
+  }
+  prune(now);
+}
+
+void ResourceBroker::prune(double now) {
+  const double horizon = now - history_keep_;
+  // Keep the newest entry older than the horizon as the baseline value.
+  std::size_t first_kept = 0;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    if (history_[i].first < horizon)
+      first_kept = i;
+    else
+      break;
+  }
+  if (first_kept > 0)
+    history_.erase(history_.begin(),
+                   history_.begin() + static_cast<std::ptrdiff_t>(first_kept));
+}
+
+}  // namespace qres

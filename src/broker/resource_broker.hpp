@@ -1,0 +1,134 @@
+// Resource Brokers (paper §3).
+//
+// A Resource Broker makes and enforces reservations for one resource. Its
+// basic operations are exactly the paper's: (1) report current availability
+// (plus the §4.3.1 Availability Change Index), (2) make/enforce
+// reservations, (3) terminate reservations.
+//
+// Enforcement here is admission-controlled accounting: a reservation
+// succeeds iff the requested amount fits in capacity minus the sum of all
+// live reservations, and the reserved amount stays excluded from
+// availability until released — the same abstraction the paper's
+// simulation uses for DSRT/RSVP/Cello-backed brokers.
+//
+// Brokers record their full availability history, which serves two
+// purposes: (a) computing the change index alpha = r_avail / r_avg over a
+// sliding window T (eq. 5), and (b) answering *stale* observations
+// ("availability as of t time units ago") for the §5.2.4 inaccurate-
+// observation experiments.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/availability.hpp"
+#include "core/ids.hpp"
+#include "util/flat_map.hpp"
+
+namespace qres {
+
+/// Abstract broker: local resources and two-level network resources share
+/// this interface (paper treats both uniformly at planning time).
+class IBroker {
+ public:
+  virtual ~IBroker() = default;
+
+  virtual ResourceId id() const noexcept = 0;
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Total capacity of the resource (for a network path: the minimum link
+  /// capacity along the path).
+  virtual double capacity() const noexcept = 0;
+
+  /// Currently unreserved amount.
+  virtual double available() const noexcept = 0;
+
+  /// Availability as recorded at time `t` (the most recent change at or
+  /// before `t`; before any history, the initial capacity).
+  virtual double available_at(double t) const = 0;
+
+  /// Observation at time `t`: availability plus change index. Passing the
+  /// current simulation time yields an accurate observation; passing an
+  /// earlier time models observation staleness (§5.2.4).
+  virtual ResourceObservation observe(double t) const = 0;
+
+  /// Attempts to reserve `amount` for `session` at time `now`. Amounts for
+  /// the same session accumulate. Returns false (and changes nothing) when
+  /// the amount does not fit.
+  virtual bool reserve(double now, SessionId session, double amount) = 0;
+
+  /// Releases everything held by `session`; no-op when it holds nothing.
+  virtual void release(double now, SessionId session) = 0;
+
+  /// Releases exactly `amount` of the session's holding (capped at the
+  /// held amount). Needed when a session holds several logically distinct
+  /// reservations that share this broker (e.g. two network paths crossing
+  /// the same link) and only one of them is being torn down.
+  virtual void release_amount(double now, SessionId session,
+                              double amount) = 0;
+};
+
+/// How r_avg (the denominator of the change index, eq. 5) is computed.
+enum class AlphaMode : std::uint8_t {
+  /// Time-weighted mean of the availability history over the past T.
+  /// Works for arbitrary (including stale) observation times.
+  kTimeWeighted,
+  /// The paper's literal definition: the plain average of the
+  /// availability values *reported* during the past T, updated after
+  /// each report. Requires non-decreasing observation times (reports are
+  /// protocol events); stale queries are rejected.
+  kReportBased,
+};
+
+/// Broker for a single host-local resource (CPU, memory, disk I/O
+/// bandwidth) or a single physical network link.
+class ResourceBroker final : public IBroker {
+ public:
+  /// `alpha_window` is the paper's T: the span of history averaged into
+  /// r_avg for the change index. `history_keep` bounds how far back stale
+  /// observations can reach (older samples are pruned).
+  ResourceBroker(ResourceId id, std::string name, double capacity,
+                 double alpha_window = 3.0, double history_keep = 64.0,
+                 AlphaMode alpha_mode = AlphaMode::kTimeWeighted);
+
+  ResourceId id() const noexcept override { return id_; }
+  const std::string& name() const noexcept override { return name_; }
+  double capacity() const noexcept override { return capacity_; }
+  double available() const noexcept override { return capacity_ - reserved_; }
+  double available_at(double t) const override;
+  ResourceObservation observe(double t) const override;
+  bool reserve(double now, SessionId session, double amount) override;
+  void release(double now, SessionId session) override;
+  void release_amount(double now, SessionId session, double amount) override;
+
+  /// Number of sessions currently holding reservations.
+  std::size_t active_sessions() const noexcept { return holdings_.size(); }
+  double reserved() const noexcept { return reserved_; }
+
+ private:
+  void record(double now);
+  /// Time-weighted mean availability over [t - alpha_window, t]; this is
+  /// the continuous analogue of the paper's "average of availability
+  /// values reported during the past T" and is what alpha divides by in
+  /// kTimeWeighted mode.
+  double windowed_average(double t) const;
+  void prune(double now);
+
+  ResourceId id_;
+  std::string name_;
+  double capacity_;
+  double alpha_window_;
+  double history_keep_;
+  AlphaMode alpha_mode_;
+  double reserved_ = 0.0;
+  FlatMap<SessionId, double> holdings_;
+  /// (time, availability-after-change), append-only within the kept window.
+  std::vector<std::pair<double, double>> history_;
+  /// kReportBased: the (time, value) log of past reports within T.
+  /// Mutable because observe() is logically read-only resource inspection
+  /// while the paper's protocol updates r_avg after each report.
+  mutable std::deque<std::pair<double, double>> reports_;
+};
+
+}  // namespace qres

@@ -1,0 +1,37 @@
+#include "core/component.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+ServiceComponent::ServiceComponent(std::string name,
+                                   std::vector<QoSVector> out_levels,
+                                   TranslationFn translate, HostId host)
+    : name_(std::move(name)),
+      out_levels_(std::move(out_levels)),
+      translate_(std::move(translate)),
+      host_(host) {
+  QRES_REQUIRE(!name_.empty(), "ServiceComponent: name must be non-empty");
+  QRES_REQUIRE(!out_levels_.empty(),
+               "ServiceComponent: at least one output QoS level required");
+  QRES_REQUIRE(translate_ != nullptr,
+               "ServiceComponent: translation function required");
+  for (std::size_t i = 1; i < out_levels_.size(); ++i)
+    QRES_REQUIRE(out_levels_[i].schema() == out_levels_[0].schema(),
+                 "ServiceComponent: output levels must share one schema");
+}
+
+const QoSVector& ServiceComponent::out_level(LevelIndex index) const {
+  QRES_REQUIRE(index < out_levels_.size(),
+               "ServiceComponent::out_level: index out of range");
+  return out_levels_[index];
+}
+
+std::optional<ResourceVector> ServiceComponent::requirement(
+    LevelIndex in, LevelIndex out) const {
+  QRES_REQUIRE(out < out_levels_.size(),
+               "ServiceComponent::requirement: output index out of range");
+  return translate_(in, out);
+}
+
+}  // namespace qres

@@ -1,0 +1,57 @@
+// Service components (paper §2.1-2.2).
+//
+// A service component is a functional unit of a distributed service. It
+// enumerates the output QoS levels it can achieve and carries a
+// Translation Function giving the resource cost of producing each output
+// level from each input level.
+//
+// Input levels are not declared by the component itself: per the model, the
+// input QoS of a component is *equivalent to* the output QoS of its
+// upstream component(s) — for the source component it is the original
+// quality of the source data (a single level), and for a fan-in component
+// it is the concatenation of all upstream outputs. The ServiceDefinition
+// derives them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/qos.hpp"
+#include "core/translation.hpp"
+
+namespace qres {
+
+class ServiceComponent {
+ public:
+  /// `out_levels` enumerates the component's achievable output QoS levels
+  /// (all under the same schema); `translate` is the plug-in Translation
+  /// Function over (input level index, output level index). `host`
+  /// identifies where the component runs (informational for the core
+  /// algorithms; used by the proxy/runtime layer).
+  ServiceComponent(std::string name, std::vector<QoSVector> out_levels,
+                   TranslationFn translate, HostId host = HostId{});
+
+  const std::string& name() const noexcept { return name_; }
+  HostId host() const noexcept { return host_; }
+  void set_host(HostId host) noexcept { host_ = host; }
+
+  std::size_t out_level_count() const noexcept { return out_levels_.size(); }
+  const QoSVector& out_level(LevelIndex index) const;
+  const std::vector<QoSVector>& out_levels() const noexcept {
+    return out_levels_;
+  }
+
+  /// Resource requirement for producing output level `out` from input
+  /// level `in`; nullopt when the operating point is not realizable.
+  std::optional<ResourceVector> requirement(LevelIndex in,
+                                            LevelIndex out) const;
+
+ private:
+  std::string name_;
+  std::vector<QoSVector> out_levels_;
+  TranslationFn translate_;
+  HostId host_;
+};
+
+}  // namespace qres

@@ -1,0 +1,33 @@
+// Exhaustive reference planner.
+//
+// Enumerates every feasible embedded graph (every assignment of one output
+// level per component whose induced translation edges all exist in the
+// QRG) and returns the plan with the smallest bottleneck contention index
+// Psi_G among those achieving the highest reachable end-to-end QoS level.
+//
+// This is the ground truth the paper's algorithms approximate: on chains
+// the basic planner must match it exactly (tested), on DAGs it bounds the
+// two-pass heuristic's optimality gap (measured by the DAG ablation
+// bench). Exponential in the component count — intended for small
+// services and for validation only.
+#pragma once
+
+#include "core/planner.hpp"
+
+namespace qres {
+
+class ExhaustivePlanner final : public IPlanner {
+ public:
+  /// `max_assignments` caps the enumeration (product of output level
+  /// counts); construction of a plan for a larger service throws.
+  explicit ExhaustivePlanner(std::size_t max_assignments = 1u << 20)
+      : max_assignments_(max_assignments) {}
+
+  PlanResult plan(const Qrg& qrg, Rng& rng) const override;
+  std::string name() const override { return "exhaustive"; }
+
+ private:
+  std::size_t max_assignments_;
+};
+
+}  // namespace qres

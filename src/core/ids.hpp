@@ -1,0 +1,68 @@
+// Strong identifier types used across the library.
+//
+// Following Core Guidelines (Type.1 / I.4: avoid "naked" ints for distinct
+// concepts), resources, hosts and links get distinct, non-convertible id
+// types so a link id can never be passed where a resource id is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace qres {
+
+namespace detail {
+/// CRTP-free tagged id: a 32-bit index wrapped per-tag.
+template <typename Tag>
+class TaggedId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Sentinel for "no id"; default-constructed ids are invalid.
+  static constexpr underlying_type kInvalid = 0xffffffffu;
+
+  constexpr TaggedId() noexcept = default;
+  constexpr explicit TaggedId(underlying_type value) noexcept : value_(value) {}
+
+  constexpr underlying_type value() const noexcept { return value_; }
+  constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(TaggedId a, TaggedId b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TaggedId a, TaggedId b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TaggedId a, TaggedId b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+}  // namespace detail
+
+struct ResourceTag {};
+struct HostTag {};
+struct LinkTag {};
+struct SessionTag {};
+
+/// Identifies one reservable resource (a host-local resource or a network
+/// link) registered in a ResourceCatalog.
+using ResourceId = detail::TaggedId<ResourceTag>;
+/// Identifies an end host in a topology.
+using HostId = detail::TaggedId<HostTag>;
+/// Identifies a physical network link in a topology.
+using LinkId = detail::TaggedId<LinkTag>;
+/// Identifies one distributed-service session.
+using SessionId = detail::TaggedId<SessionTag>;
+
+}  // namespace qres
+
+namespace std {
+template <typename Tag>
+struct hash<qres::detail::TaggedId<Tag>> {
+  size_t operator()(qres::detail::TaggedId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,253 @@
+#include "core/model_io.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+double parse_number(const std::string& token, std::size_t line) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    throw ModelParseError(line, "expected a number, got '" + token + "'");
+  }
+  if (consumed != token.size())
+    throw ModelParseError(line, "trailing junk in number '" + token + "'");
+  return value;
+}
+
+std::uint32_t parse_index(const std::string& token, std::size_t line) {
+  const double value = parse_number(token, line);
+  if (value < 0 || value != static_cast<std::uint32_t>(value))
+    throw ModelParseError(line, "expected a non-negative integer, got '" +
+                                    token + "'");
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+ServiceDefinition ModelDescription::instantiate() const {
+  QRES_REQUIRE(source_schema.size() == source_values.size(),
+               "ModelDescription: source arity mismatch");
+  std::vector<ServiceComponent> runtime;
+  runtime.reserve(components.size());
+  for (const ComponentDescription& c : components)
+    runtime.emplace_back(c.name, c.out_levels, c.table.as_function(),
+                         c.host);
+  ServiceDefinition service(service_name, std::move(runtime), edges,
+                            QoSVector(source_schema, source_values));
+  if (!ranking.empty()) service.set_end_to_end_ranking(ranking);
+  return service;
+}
+
+std::vector<ResourceId> ModelDescription::footprint() const {
+  std::vector<ResourceId> ids;
+  for (const ComponentDescription& c : components)
+    for (const auto& [key, requirement] : c.table)
+      for (const auto& [id, amount] : requirement) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+ModelDescription parse_model(std::istream& input,
+                             const ResourceCatalog& catalog) {
+  ModelDescription model;
+  ComponentDescription* current = nullptr;
+  std::vector<std::string> source_params;
+  bool have_service = false;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "service") {
+      if (tokens.size() != 2)
+        throw ModelParseError(line_number, "service expects one name");
+      model.service_name = tokens[1];
+      have_service = true;
+    } else if (keyword == "source_param") {
+      if (tokens.size() < 2)
+        throw ModelParseError(line_number,
+                              "source_param expects parameter names");
+      source_params.assign(tokens.begin() + 1, tokens.end());
+      model.source_schema = QoSSchema(source_params);
+    } else if (keyword == "source") {
+      if (model.source_schema.empty())
+        throw ModelParseError(line_number,
+                              "source before source_param");
+      if (tokens.size() - 1 != model.source_schema.size())
+        throw ModelParseError(line_number,
+                              "source value count does not match "
+                              "source_param");
+      model.source_values.clear();
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        model.source_values.push_back(parse_number(tokens[i], line_number));
+    } else if (keyword == "component") {
+      if (tokens.size() < 2)
+        throw ModelParseError(line_number, "component expects a name");
+      ComponentDescription component;
+      component.name = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i].rfind("host=", 0) == 0) {
+          component.host =
+              HostId{parse_index(tokens[i].substr(5), line_number)};
+        } else {
+          throw ModelParseError(line_number,
+                                "unknown component attribute '" +
+                                    tokens[i] + "'");
+        }
+      }
+      model.components.push_back(std::move(component));
+      current = &model.components.back();
+    } else if (keyword == "param") {
+      if (current == nullptr)
+        throw ModelParseError(line_number, "param outside a component");
+      if (tokens.size() < 2)
+        throw ModelParseError(line_number, "param expects names");
+      current->schema =
+          QoSSchema(std::vector<std::string>(tokens.begin() + 1,
+                                             tokens.end()));
+    } else if (keyword == "out") {
+      if (current == nullptr)
+        throw ModelParseError(line_number, "out outside a component");
+      if (current->schema.empty())
+        throw ModelParseError(line_number, "out before param");
+      if (tokens.size() - 1 != current->schema.size())
+        throw ModelParseError(line_number,
+                              "out value count does not match param");
+      std::vector<double> values;
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        values.push_back(parse_number(tokens[i], line_number));
+      current->out_levels.emplace_back(current->schema, std::move(values));
+    } else if (keyword == "translate") {
+      if (current == nullptr)
+        throw ModelParseError(line_number, "translate outside a component");
+      if (tokens.size() < 4)
+        throw ModelParseError(
+            line_number, "translate expects: in out res=amount ...");
+      const LevelIndex in = parse_index(tokens[1], line_number);
+      const LevelIndex out = parse_index(tokens[2], line_number);
+      ResourceVector requirement;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const std::size_t eq = tokens[i].rfind('=');
+        if (eq == std::string::npos || eq == 0)
+          throw ModelParseError(line_number,
+                                "expected res=amount, got '" + tokens[i] +
+                                    "'");
+        const std::string name = tokens[i].substr(0, eq);
+        const auto id = catalog.find(name);
+        if (!id)
+          throw ModelParseError(line_number,
+                                "unknown resource '" + name + "'");
+        requirement.set(*id,
+                        parse_number(tokens[i].substr(eq + 1), line_number));
+      }
+      current->table.set(in, out, std::move(requirement));
+    } else if (keyword == "link") {
+      if (tokens.size() != 3)
+        throw ModelParseError(line_number, "link expects: from to");
+      model.edges.push_back({parse_index(tokens[1], line_number),
+                             parse_index(tokens[2], line_number)});
+    } else if (keyword == "ranking") {
+      if (tokens.size() < 2)
+        throw ModelParseError(line_number, "ranking expects level indices");
+      model.ranking.clear();
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        model.ranking.push_back(parse_index(tokens[i], line_number));
+    } else {
+      throw ModelParseError(line_number,
+                            "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!have_service) throw ModelParseError(line_number, "missing 'service'");
+  if (model.components.empty())
+    throw ModelParseError(line_number, "no components defined");
+  if (model.source_values.empty())
+    throw ModelParseError(line_number, "missing 'source'");
+  return model;
+}
+
+ModelDescription parse_model(const std::string& text,
+                             const ResourceCatalog& catalog) {
+  std::istringstream stream(text);
+  return parse_model(stream, catalog);
+}
+
+void write_model(std::ostream& output, const ModelDescription& model,
+                 const ResourceCatalog& catalog) {
+  // Round-trip exactness: print doubles with enough digits to recover the
+  // same value on parse.
+  const auto old_precision = output.precision(
+      std::numeric_limits<double>::max_digits10);
+  output << "service " << model.service_name << "\n";
+  output << "source_param";
+  for (std::size_t i = 0; i < model.source_schema.size(); ++i)
+    output << ' ' << model.source_schema.name(i);
+  output << "\nsource";
+  for (double v : model.source_values) output << ' ' << v;
+  output << "\n";
+  for (const ComponentDescription& c : model.components) {
+    output << "\ncomponent " << c.name;
+    if (c.host.valid()) output << " host=" << c.host.value();
+    output << "\nparam";
+    for (std::size_t i = 0; i < c.schema.size(); ++i)
+      output << ' ' << c.schema.name(i);
+    output << "\n";
+    for (const QoSVector& level : c.out_levels) {
+      output << "out";
+      for (double v : level.values()) output << ' ' << v;
+      output << "\n";
+    }
+    for (const auto& [key, requirement] : c.table) {
+      output << "translate " << key.first << ' ' << key.second;
+      for (const auto& [id, amount] : requirement)
+        output << ' ' << catalog.name(id) << '=' << amount;
+      output << "\n";
+    }
+  }
+  output << "\n";
+  for (const auto& [from, to] : model.edges)
+    output << "link " << from << ' ' << to << "\n";
+  if (!model.ranking.empty()) {
+    output << "ranking";
+    for (LevelIndex level : model.ranking) output << ' ' << level;
+    output << "\n";
+  }
+  output.precision(old_precision);
+}
+
+std::string write_model(const ModelDescription& model,
+                        const ResourceCatalog& catalog) {
+  std::ostringstream stream;
+  write_model(stream, model, catalog);
+  return stream.str();
+}
+
+}  // namespace qres

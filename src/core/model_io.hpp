@@ -1,0 +1,89 @@
+// Textual QoS-Resource Model definitions (.qrm).
+//
+// The paper's architecture stores a service's QoS-Resource Model in the
+// main QoSProxy and treats Translation Functions as developer-supplied
+// plug-ins (§3). Table-backed translations (the figure-10 form) are pure
+// data, so this module gives them a small line-oriented text format that
+// can be parsed at runtime — making services deployable without
+// recompiling the proxy.
+//
+// Format (order matters only where noted; '#' starts a comment):
+//
+//   service  <name>
+//   source_param <p1> <p2> ...          # schema of the source data
+//   source   <v1> <v2> ...              # original source quality
+//   component <name> [host=<n>]         # starts a component block
+//     param  <p1> <p2> ...              # output QoS schema
+//     out    <v1> <v2> ...              # one line per output level
+//     translate <in> <out> <res>=<amt> [<res>=<amt> ...]
+//   link <from> <to>                    # dependency edge (component idx)
+//   ranking <l0> <l1> ...               # optional end-to-end ranking
+//
+// Resource names in `translate` lines resolve against the caller's
+// ResourceCatalog; unknown names are parse errors (declare brokers
+// first). Parse errors throw ModelParseError with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/service.hpp"
+
+namespace qres {
+
+class ModelParseError : public std::runtime_error {
+ public:
+  ModelParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// The parsed, data-only form of a service model. Unlike
+/// ServiceDefinition (whose translation functions are opaque callables),
+/// a ModelDescription can be written back out (round-trippable).
+struct ComponentDescription {
+  std::string name;
+  HostId host;
+  QoSSchema schema;
+  std::vector<QoSVector> out_levels;
+  TranslationTable table;
+};
+
+struct ModelDescription {
+  std::string service_name;
+  QoSSchema source_schema;
+  std::vector<double> source_values;
+  std::vector<ComponentDescription> components;
+  std::vector<std::pair<ComponentIndex, ComponentIndex>> edges;
+  std::vector<LevelIndex> ranking;  ///< empty = declaration order
+
+  /// Instantiates the runtime ServiceDefinition (validates the graph).
+  ServiceDefinition instantiate() const;
+
+  /// Every resource referenced by any translation entry (the service's
+  /// footprint for availability collection), deduplicated and sorted.
+  std::vector<ResourceId> footprint() const;
+};
+
+/// Parses a model; resource names resolve against `catalog`.
+ModelDescription parse_model(std::istream& input,
+                             const ResourceCatalog& catalog);
+
+/// Convenience overload for in-memory text.
+ModelDescription parse_model(const std::string& text,
+                             const ResourceCatalog& catalog);
+
+/// Writes a model in the same format (parse(write(m)) == m).
+void write_model(std::ostream& output, const ModelDescription& model,
+                 const ResourceCatalog& catalog);
+
+std::string write_model(const ModelDescription& model,
+                        const ResourceCatalog& catalog);
+
+}  // namespace qres

@@ -1,0 +1,72 @@
+#include "core/plan.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+ResourceVector ReservationPlan::total_requirement() const {
+  ResourceVector total;
+  for (const PlanStep& step : steps) total += step.requirement;
+  return total;
+}
+
+std::string ReservationPlan::path_string(const Qrg& qrg) const {
+  const ServiceDefinition& service = qrg.service();
+  QRES_REQUIRE(service.is_chain(),
+               "ReservationPlan::path_string: chain services only");
+  QRES_REQUIRE(steps.size() == service.component_count(),
+               "ReservationPlan::path_string: malformed plan");
+  // The paper's table 1/2 path form lists, per component, its input node
+  // then its output node (the input node of a downstream component is the
+  // equivalence twin of the upstream output node).
+  std::string path;
+  for (const PlanStep& step : steps) {
+    if (!path.empty()) path += '-';
+    path += qrg.node_name(
+        qrg.node_of(step.component, QrgNodeKind::kIn, step.in_level));
+    path += '-';
+    path += qrg.node_name(
+        qrg.node_of(step.component, QrgNodeKind::kOut, step.out_level));
+  }
+  return path;
+}
+
+std::string plan_path_string(const ServiceDefinition& service,
+                             const ReservationPlan& plan) {
+  QRES_REQUIRE(service.is_chain(), "plan_path_string: chain services only");
+  QRES_REQUIRE(plan.steps.size() == service.component_count(),
+               "plan_path_string: malformed plan");
+
+  // Reproduce the QRG node numbering (components in topological order,
+  // input nodes before output nodes) without building a QRG.
+  std::vector<std::uint32_t> in_base(service.component_count());
+  std::vector<std::uint32_t> out_base(service.component_count());
+  std::uint32_t next = 0;
+  for (ComponentIndex c : service.topological_order()) {
+    in_base[c] = next;
+    next += static_cast<std::uint32_t>(service.in_level_count(c));
+    out_base[c] = next;
+    next += static_cast<std::uint32_t>(service.component(c).out_level_count());
+  }
+  auto name_of = [](std::uint32_t index) {
+    std::string suffix;
+    std::uint32_t n = index;
+    for (;;) {
+      suffix.insert(suffix.begin(), static_cast<char>('a' + n % 26));
+      if (n < 26) break;
+      n = n / 26 - 1;
+    }
+    return "Q" + suffix;
+  };
+
+  std::string path;
+  for (const PlanStep& step : plan.steps) {
+    if (!path.empty()) path += '-';
+    path += name_of(in_base[step.component] + step.in_level);
+    path += '-';
+    path += name_of(out_base[step.component] + step.out_level);
+  }
+  return path;
+}
+
+}  // namespace qres

@@ -1,0 +1,59 @@
+// End-to-end multi-resource reservation plans (paper §4.1.2).
+//
+// A plan fixes, for every component of a service session, the input and
+// output QoS level and the resulting resource requirement. For a chain
+// service a plan is a source-to-sink path in the QRG; for a DAG service it
+// is an embedded graph (paper §4.3.2). Either way it reduces to one
+// (input level, output level, requirement) step per component.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/qrg.hpp"
+
+namespace qres {
+
+struct PlanStep {
+  ComponentIndex component = 0;
+  /// Flat input-level index (see ServiceDefinition's convention).
+  LevelIndex in_level = 0;
+  LevelIndex out_level = 0;
+  /// The translated (already session-scaled) requirement of this step.
+  ResourceVector requirement;
+  /// Contention-index weight of this step's translation edge.
+  double psi = 0.0;
+};
+
+struct ReservationPlan {
+  /// One step per component, in topological order (source first).
+  std::vector<PlanStep> steps;
+
+  /// The sink output level this plan achieves (the end-to-end QoS), and
+  /// its rank (0 = best possible level of the service).
+  LevelIndex end_to_end_level = 0;
+  std::size_t end_to_end_rank = 0;
+
+  /// Bottleneck of the plan: the highest contention index over the plan's
+  /// translation edges (Psi_P / Psi_G, eq. 4/6), the resource attaining
+  /// it, and that resource's availability change index.
+  double bottleneck_psi = 0.0;
+  ResourceId bottleneck_resource;
+  double bottleneck_alpha = 1.0;
+
+  /// Sum of all step requirements (what the session reserves in total;
+  /// resources appearing in several steps accumulate).
+  ResourceVector total_requirement() const;
+
+  /// Paper-style path string, e.g. "Qa-Qb-Qe-Qh-Ql-Qp" (tables 1/2).
+  /// Only defined for chain services; requires the QRG the plan was
+  /// computed from.
+  std::string path_string(const Qrg& qrg) const;
+};
+
+/// Same path string computed without a QRG (node labels depend only on the
+/// service structure, not on availability). Chain services only.
+std::string plan_path_string(const ServiceDefinition& service,
+                             const ReservationPlan& plan);
+
+}  // namespace qres

@@ -1,0 +1,17 @@
+#include "core/psi.hpp"
+
+namespace qres {
+
+const char* to_string(PsiKind kind) noexcept {
+  switch (kind) {
+    case PsiKind::kRatio:
+      return "ratio";
+    case PsiKind::kHeadroom:
+      return "headroom";
+    case PsiKind::kLogRatio:
+      return "log_ratio";
+  }
+  return "unknown";
+}
+
+}  // namespace qres

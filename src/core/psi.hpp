@@ -1,0 +1,50 @@
+// Contention index definitions (paper §4.1.1, eq. 2 and footnote 2).
+//
+// The paper defines psi_i = r_i^req / r_i^avail and notes that other
+// definitions with the same monotonicity property can be plugged in. We
+// provide the paper's definition plus two alternatives exercised by the
+// ablation benchmark.
+#pragma once
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+enum class PsiKind : std::uint8_t {
+  /// psi = req / avail (paper eq. 2). Default.
+  kRatio,
+  /// psi = req / (avail - req + req0), req0 = 1: emphasizes how little
+  /// headroom the reservation leaves behind.
+  kHeadroom,
+  /// psi = -log(1 - req/avail) clamped: log-scale version of the ratio
+  /// (same ordering for a single resource, different max-composition
+  /// across resources).
+  kLogRatio,
+};
+
+/// Evaluates the contention index for reserving `req` out of `avail`
+/// available units. Requires 0 <= req <= avail and avail > 0.
+inline double contention_index(PsiKind kind, double req, double avail) {
+  QRES_REQUIRE(avail > 0.0, "contention_index: availability must be positive");
+  QRES_REQUIRE(req >= 0.0 && req <= avail,
+               "contention_index: requirement must be within availability");
+  switch (kind) {
+    case PsiKind::kRatio:
+      return req / avail;
+    case PsiKind::kHeadroom:
+      return req / (avail - req + 1.0);
+    case PsiKind::kLogRatio: {
+      const double ratio = req / avail;
+      // Clamp so a full reservation maps to a large-but-finite index.
+      constexpr double kMaxRatio = 1.0 - 1e-9;
+      return -std::log1p(-(ratio < kMaxRatio ? ratio : kMaxRatio));
+    }
+  }
+  return req / avail;
+}
+
+const char* to_string(PsiKind kind) noexcept;
+
+}  // namespace qres

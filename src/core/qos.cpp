@@ -1,0 +1,87 @@
+#include "core/qos.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+QoSSchema::QoSSchema(std::vector<std::string> parameter_names) {
+  std::set<std::string> seen;
+  for (const auto& name : parameter_names) {
+    QRES_REQUIRE(!name.empty(), "QoSSchema: parameter names must be non-empty");
+    QRES_REQUIRE(seen.insert(name).second,
+                 "QoSSchema: duplicate parameter name '" + name + "'");
+  }
+  names_ = std::make_shared<const std::vector<std::string>>(
+      std::move(parameter_names));
+}
+
+const std::string& QoSSchema::name(std::size_t index) const {
+  QRES_REQUIRE(names_ && index < names_->size(),
+               "QoSSchema::name: index out of range");
+  return (*names_)[index];
+}
+
+QoSSchema QoSSchema::concatenate(const QoSSchema& a, const QoSSchema& b) {
+  std::vector<std::string> names;
+  names.reserve(a.size() + b.size());
+  std::set<std::string> seen;
+  auto push_unique = [&](const std::string& base) {
+    std::string candidate = base;
+    int suffix = 2;
+    while (!seen.insert(candidate).second) {
+      candidate = base + "#" + std::to_string(suffix++);
+    }
+    names.push_back(candidate);
+  };
+  for (std::size_t i = 0; i < a.size(); ++i) push_unique(a.name(i));
+  for (std::size_t i = 0; i < b.size(); ++i) push_unique(b.name(i));
+  return QoSSchema(std::move(names));
+}
+
+QoSVector::QoSVector(QoSSchema schema, std::vector<double> values)
+    : schema_(std::move(schema)), values_(std::move(values)) {
+  QRES_REQUIRE(values_.size() == schema_.size(),
+               "QoSVector: value count must match schema");
+}
+
+double QoSVector::operator[](std::size_t index) const {
+  QRES_REQUIRE(index < values_.size(), "QoSVector: index out of range");
+  return values_[index];
+}
+
+bool QoSVector::all_leq(const QoSVector& other) const {
+  QRES_REQUIRE(schema_ == other.schema_,
+               "QoSVector::all_leq: schemas must match to compare");
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    if (values_[i] > other.values_[i]) return false;
+  return true;
+}
+
+bool QoSVector::incomparable_with(const QoSVector& other) const {
+  return !all_leq(other) && !other.all_leq(*this);
+}
+
+QoSVector QoSVector::concatenate(const QoSVector& a, const QoSVector& b) {
+  std::vector<double> values;
+  values.reserve(a.size() + b.size());
+  values.insert(values.end(), a.values_.begin(), a.values_.end());
+  values.insert(values.end(), b.values_.begin(), b.values_.end());
+  return QoSVector(QoSSchema::concatenate(a.schema_, b.schema_),
+                   std::move(values));
+}
+
+std::string QoSVector::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i) os << ", ";
+    os << schema_.name(i) << '=' << values_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace qres

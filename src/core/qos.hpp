@@ -1,0 +1,89 @@
+// Application-level QoS vectors (paper §2.2).
+//
+// A QoS vector holds discrete values for a set of named QoS parameters
+// (e.g. [Frame_Rate, Image_Size]). Vectors are partially ordered: Qa <= Qb
+// iff every parameter of Qa is <= the corresponding parameter of Qb, and
+// comparison requires identical schemas (same parameter set).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qres {
+
+/// The named parameter list shared by a family of QoS vectors. Schemas are
+/// immutable and shared (cheap to copy around).
+class QoSSchema {
+ public:
+  QoSSchema() = default;
+
+  /// Builds a schema from parameter names; names must be non-empty and
+  /// unique.
+  explicit QoSSchema(std::vector<std::string> parameter_names);
+
+  std::size_t size() const noexcept {
+    return names_ ? names_->size() : 0;
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Parameter name at the given position. Requires index < size().
+  const std::string& name(std::size_t index) const;
+
+  /// Two schemas are compatible when they list the same parameters in the
+  /// same order (shared-pointer fast path included).
+  friend bool operator==(const QoSSchema& a, const QoSSchema& b) {
+    if (a.names_ == b.names_) return true;
+    if (!a.names_ || !b.names_) return a.size() == b.size() && a.size() == 0;
+    return *a.names_ == *b.names_;
+  }
+
+  /// Concatenation of two schemas, used for fan-in components whose input
+  /// QoS is the concatenation of their upstream components' output QoS
+  /// (paper §4.3.2). Duplicate names are disambiguated with a "#k" suffix.
+  static QoSSchema concatenate(const QoSSchema& a, const QoSSchema& b);
+
+ private:
+  std::shared_ptr<const std::vector<std::string>> names_;
+};
+
+/// One QoS operating point: discrete parameter values under a schema.
+class QoSVector {
+ public:
+  QoSVector() = default;
+
+  /// Requires values.size() == schema.size().
+  QoSVector(QoSSchema schema, std::vector<double> values);
+
+  const QoSSchema& schema() const noexcept { return schema_; }
+  std::size_t size() const noexcept { return values_.size(); }
+
+  /// Value of the index-th parameter. Requires index < size().
+  double operator[](std::size_t index) const;
+
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Partial order: true iff schemas match and each value of *this is <=
+  /// the corresponding value of other. Throws on schema mismatch.
+  bool all_leq(const QoSVector& other) const;
+
+  /// True iff neither all_leq holds in either direction and not equal:
+  /// the two operating points are incomparable under the partial order.
+  bool incomparable_with(const QoSVector& other) const;
+
+  /// Concatenation (fan-in input QoS). Schemas concatenate likewise.
+  static QoSVector concatenate(const QoSVector& a, const QoSVector& b);
+
+  friend bool operator==(const QoSVector& a, const QoSVector& b) {
+    return a.schema_ == b.schema_ && a.values_ == b.values_;
+  }
+
+  /// Human-readable "[name=value, ...]" form for logs and examples.
+  std::string to_string() const;
+
+ private:
+  QoSSchema schema_;
+  std::vector<double> values_;
+};
+
+}  // namespace qres

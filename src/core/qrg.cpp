@@ -1,0 +1,169 @@
+#include "core/qrg.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+Qrg::Qrg(const ServiceDefinition& service, const AvailabilityView& availability,
+         PsiKind psi_kind, double scale)
+    : service_(&service), psi_kind_(psi_kind) {
+  QRES_REQUIRE(scale > 0.0, "Qrg: requirement scale must be positive");
+
+  node_index_.resize(service.component_count(), {QrgEdge::kNone, QrgEdge::kNone});
+
+  // Create nodes: components in topological order, inputs before outputs,
+  // so sequential labels match the paper's figures.
+  for (ComponentIndex c : service.topological_order()) {
+    const std::size_t in_count = service.in_level_count(c);
+    node_index_[c].first = static_cast<std::uint32_t>(nodes_.size());
+    for (LevelIndex i = 0; i < in_count; ++i) add_node(c, QrgNodeKind::kIn, i);
+    node_index_[c].second = static_cast<std::uint32_t>(nodes_.size());
+    const std::size_t out_count = service.component(c).out_level_count();
+    for (LevelIndex o = 0; o < out_count; ++o)
+      add_node(c, QrgNodeKind::kOut, o);
+  }
+  source_node_ = node_of(service.source(), QrgNodeKind::kIn, 0);
+
+  // Equivalence edges: one per (input node, predecessor) pair.
+  for (ComponentIndex c : service.topological_order()) {
+    const auto& preds = service.predecessors(c);
+    if (preds.empty()) continue;
+    const std::size_t in_count = service.in_level_count(c);
+    for (LevelIndex flat = 0; flat < in_count; ++flat) {
+      const std::vector<LevelIndex> combo = service.in_level_combo(c, flat);
+      for (std::size_t p = 0; p < preds.size(); ++p) {
+        QrgEdge edge;
+        edge.from = node_of(preds[p], QrgNodeKind::kOut, combo[p]);
+        edge.to = node_of(c, QrgNodeKind::kIn, flat);
+        edge.is_translation = false;
+        add_edge(edge);
+      }
+    }
+  }
+
+  // Translation edges: feasible (input, output) operating points.
+  for (ComponentIndex c : service.topological_order()) {
+    const ServiceComponent& component = service.component(c);
+    const std::size_t in_count = service.in_level_count(c);
+    for (LevelIndex in = 0; in < in_count; ++in) {
+      for (LevelIndex out = 0; out < component.out_level_count(); ++out) {
+        const auto base = component.requirement(in, out);
+        if (!base) continue;  // operating point not realizable
+        const ResourceVector req = base->scaled(scale);
+        double psi = 0.0;
+        double alpha = 1.0;
+        ResourceId bottleneck;
+        bool feasible = true;
+        for (const auto& [rid, amount] : req) {
+          QRES_REQUIRE(availability.contains(rid),
+                       "Qrg: availability snapshot is missing a resource "
+                       "referenced by component '" +
+                           component.name() + "'");
+          const ResourceObservation& obs = availability.get(rid);
+          if (amount > obs.available || obs.available <= 0.0) {
+            feasible = false;
+            break;
+          }
+          const double index = contention_index(psi_kind_, amount, obs.available);
+          if (!bottleneck.valid() || index > psi) {
+            psi = index;
+            alpha = obs.alpha;
+            bottleneck = rid;
+          }
+        }
+        if (!feasible) continue;
+        QrgEdge edge;
+        edge.from = node_of(c, QrgNodeKind::kIn, in);
+        edge.to = node_of(c, QrgNodeKind::kOut, out);
+        edge.psi = psi;
+        edge.alpha = alpha;
+        edge.bottleneck = bottleneck;
+        edge.requirement = req;
+        edge.is_translation = true;
+        add_edge(edge);
+      }
+    }
+  }
+
+  // Sinks, best rank first.
+  ranked_sinks_.reserve(service.end_to_end_ranking().size());
+  for (LevelIndex level : service.end_to_end_ranking())
+    ranked_sinks_.push_back(node_of(service.sink(), QrgNodeKind::kOut, level));
+}
+
+std::uint32_t Qrg::add_node(ComponentIndex component, QrgNodeKind kind,
+                            LevelIndex level) {
+  nodes_.push_back(QrgNode{component, kind, level});
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void Qrg::add_edge(QrgEdge edge) {
+  const auto index = static_cast<std::uint32_t>(edges_.size());
+  in_edges_[edge.to].push_back(index);
+  out_edges_[edge.from].push_back(index);
+  edges_.push_back(std::move(edge));
+}
+
+const QrgNode& Qrg::node(std::uint32_t index) const {
+  QRES_REQUIRE(index < nodes_.size(), "Qrg::node: index out of range");
+  return nodes_[index];
+}
+
+const QrgEdge& Qrg::edge(std::uint32_t index) const {
+  QRES_REQUIRE(index < edges_.size(), "Qrg::edge: index out of range");
+  return edges_[index];
+}
+
+std::uint32_t Qrg::node_of(ComponentIndex component, QrgNodeKind kind,
+                           LevelIndex level) const {
+  QRES_REQUIRE(component < node_index_.size(),
+               "Qrg::node_of: component out of range");
+  const auto [in_base, out_base] = node_index_[component];
+  if (kind == QrgNodeKind::kIn) {
+    QRES_REQUIRE(level < service_->in_level_count(component),
+                 "Qrg::node_of: input level out of range");
+    return in_base + level;
+  }
+  QRES_REQUIRE(level < service_->component(component).out_level_count(),
+               "Qrg::node_of: output level out of range");
+  return out_base + level;
+}
+
+const std::vector<std::uint32_t>& Qrg::in_edges(std::uint32_t node) const {
+  QRES_REQUIRE(node < in_edges_.size(), "Qrg::in_edges: node out of range");
+  return in_edges_[node];
+}
+
+const std::vector<std::uint32_t>& Qrg::out_edges(std::uint32_t node) const {
+  QRES_REQUIRE(node < out_edges_.size(), "Qrg::out_edges: node out of range");
+  return out_edges_[node];
+}
+
+std::string Qrg::node_name(std::uint32_t index) const {
+  QRES_REQUIRE(index < nodes_.size(), "Qrg::node_name: index out of range");
+  return label(index);
+}
+
+std::string Qrg::label(std::uint32_t index) {
+  // Spreadsheet-style base-26 suffix: a..z, aa, ab, ...
+  std::string suffix;
+  std::uint32_t n = index;
+  for (;;) {
+    suffix.insert(suffix.begin(), static_cast<char>('a' + n % 26));
+    if (n < 26) break;
+    n = n / 26 - 1;
+  }
+  return "Q" + suffix;
+}
+
+std::uint32_t Qrg::find_edge(std::uint32_t from,
+                             std::uint32_t to) const noexcept {
+  if (from >= nodes_.size() || to >= nodes_.size()) return QrgEdge::kNone;
+  for (std::uint32_t e : out_edges_[from])
+    if (edges_[e].to == to) return e;
+  return QrgEdge::kNone;
+}
+
+}  // namespace qres

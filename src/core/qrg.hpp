@@ -1,0 +1,130 @@
+// The QoS-Resource Graph (paper §4.1.1).
+//
+// A QRG is a snapshot structure built per service session from (a) the
+// service's QoS-Resource Model and (b) the current end-to-end resource
+// availability. Its nodes are the input/output QoS levels of every
+// participating component; its edges are
+//   * translation edges (input level -> output level within a component),
+//     present iff the translated requirement fits within the current
+//     availability, weighted by the contention index of their most
+//     contended resource (eq. 2-3); and
+//   * equivalence edges (output level of a component -> the matching input
+//     level of a downstream component), weight zero.
+//
+// Input nodes of a fan-in component receive one equivalence edge per
+// predecessor and have AND semantics: the node is realized only when every
+// constituent upstream output is realized (paper §4.3.2). Input nodes of
+// chain components have exactly one incoming equivalence edge, so the
+// basic (chain) and DAG cases share one representation.
+//
+// Nodes are created components-in-topological-order, input levels before
+// output levels, and named "Qa", "Qb", ... in creation order — matching
+// the labeling of the paper's figures 4/5 and tables 1/2.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/availability.hpp"
+#include "core/psi.hpp"
+#include "core/service.hpp"
+
+namespace qres {
+
+enum class QrgNodeKind : std::uint8_t { kIn, kOut };
+
+struct QrgNode {
+  ComponentIndex component = 0;
+  QrgNodeKind kind = QrgNodeKind::kIn;
+  /// Output-level index for kOut nodes; flat input-level index for kIn
+  /// nodes (see ServiceDefinition's input-level convention).
+  LevelIndex level = 0;
+};
+
+struct QrgEdge {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::uint32_t from = kNone;
+  std::uint32_t to = kNone;
+  /// Contention-index weight Psi (eq. 3); zero for equivalence edges.
+  double psi = 0.0;
+  /// Availability change index of the edge's bottleneck resource; 1.0 for
+  /// equivalence edges.
+  double alpha = 1.0;
+  /// Resource attaining the max in eq. 3; invalid for equivalence edges.
+  ResourceId bottleneck;
+  /// The translated requirement R^req; empty for equivalence edges.
+  ResourceVector requirement;
+  /// True for translation (in->out) edges, false for equivalence edges.
+  bool is_translation = false;
+};
+
+class Qrg {
+ public:
+  /// Builds the QRG for one session of `service` under `availability`.
+  ///
+  /// `scale` multiplies every translated requirement before the
+  /// feasibility test (the paper's "fat" sessions reserve N times the base
+  /// requirement). Requires every resource referenced by any translation
+  /// to be present in `availability` with availability > 0 or the edge is
+  /// simply infeasible (availability 0 admits nothing).
+  Qrg(const ServiceDefinition& service, const AvailabilityView& availability,
+      PsiKind psi_kind = PsiKind::kRatio, double scale = 1.0);
+
+  const ServiceDefinition& service() const noexcept { return *service_; }
+  PsiKind psi_kind() const noexcept { return psi_kind_; }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  const QrgNode& node(std::uint32_t index) const;
+  const QrgEdge& edge(std::uint32_t index) const;
+
+  /// Index of the single source node (the source component's input level).
+  std::uint32_t source_node() const noexcept { return source_node_; }
+
+  /// Node index for a component's input (flat) or output level.
+  std::uint32_t node_of(ComponentIndex component, QrgNodeKind kind,
+                        LevelIndex level) const;
+
+  /// Sink nodes (the sink component's output levels) in end-to-end QoS
+  /// rank order, best first.
+  const std::vector<std::uint32_t>& ranked_sink_nodes() const noexcept {
+    return ranked_sinks_;
+  }
+
+  /// Edge indices entering / leaving a node.
+  const std::vector<std::uint32_t>& in_edges(std::uint32_t node) const;
+  const std::vector<std::uint32_t>& out_edges(std::uint32_t node) const;
+
+  /// Paper-style node label: "Qa", "Qb", ..., "Qz", "Qaa", ...
+  std::string node_name(std::uint32_t index) const;
+
+  /// The pure labeling function behind node_name (index -> "Qa"-style
+  /// label, spreadsheet base-26).
+  static std::string label(std::uint32_t index);
+
+  /// Index of the translation edge between two nodes, or QrgEdge::kNone.
+  std::uint32_t find_edge(std::uint32_t from, std::uint32_t to) const noexcept;
+
+ private:
+  std::uint32_t add_node(ComponentIndex component, QrgNodeKind kind,
+                         LevelIndex level);
+  void add_edge(QrgEdge edge);
+
+  const ServiceDefinition* service_;
+  PsiKind psi_kind_;
+  std::vector<QrgNode> nodes_;
+  std::vector<QrgEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> in_edges_;
+  std::vector<std::vector<std::uint32_t>> out_edges_;
+  /// node_index_[component] -> {first input-node index, first output-node
+  /// index}; nodes of one component are contiguous.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> node_index_;
+  std::uint32_t source_node_ = 0;
+  std::vector<std::uint32_t> ranked_sinks_;
+};
+
+}  // namespace qres

@@ -1,0 +1,102 @@
+#include "core/qrg_dot.hpp"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+namespace {
+
+std::string format_psi(double psi) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", psi);
+  return buf;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Qrg& qrg, const DotOptions& options) {
+  const ServiceDefinition& service = qrg.service();
+
+  // Nodes / translation edges highlighted by the plan, if any.
+  std::set<std::uint32_t> plan_nodes;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> plan_edges;
+  if (options.plan != nullptr) {
+    for (const PlanStep& step : options.plan->steps) {
+      const std::uint32_t in_node =
+          qrg.node_of(step.component, QrgNodeKind::kIn, step.in_level);
+      const std::uint32_t out_node =
+          qrg.node_of(step.component, QrgNodeKind::kOut, step.out_level);
+      plan_nodes.insert(in_node);
+      plan_nodes.insert(out_node);
+      plan_edges.insert({in_node, out_node});
+    }
+  }
+
+  os << "digraph qrg {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=circle, fontsize=10];\n"
+     << "  label=\""
+     << (options.title.empty() ? service.name() : options.title)
+     << "\";\n";
+
+  // One cluster per component, in topological order.
+  for (ComponentIndex c : service.topological_order()) {
+    os << "  subgraph cluster_" << c << " {\n"
+       << "    label=\"" << service.component(c).name() << "\";\n"
+       << "    style=dashed;\n";
+    const std::size_t in_count = service.in_level_count(c);
+    for (LevelIndex i = 0; i < in_count; ++i) {
+      const std::uint32_t node = qrg.node_of(c, QrgNodeKind::kIn, i);
+      os << "    n" << node << " [label=\"" << qrg.node_name(node) << "\"";
+      if (plan_nodes.count(node)) os << ", penwidth=2.5";
+      os << "];\n";
+    }
+    for (LevelIndex o = 0; o < service.component(c).out_level_count();
+         ++o) {
+      const std::uint32_t node = qrg.node_of(c, QrgNodeKind::kOut, o);
+      os << "    n" << node << " [label=\"" << qrg.node_name(node)
+         << "\", shape=doublecircle";
+      if (plan_nodes.count(node)) os << ", penwidth=2.5";
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+
+  // Edges.
+  for (std::uint32_t e = 0; e < qrg.edge_count(); ++e) {
+    const QrgEdge& edge = qrg.edge(e);
+    os << "  n" << edge.from << " -> n" << edge.to;
+    std::vector<std::string> attributes;
+    if (edge.is_translation) {
+      if (options.show_weights)
+        attributes.push_back("label=\"" + format_psi(edge.psi) + "\"");
+      if (plan_edges.count({edge.from, edge.to}))
+        attributes.push_back("penwidth=2.5");
+    } else {
+      attributes.push_back("style=dotted");
+      attributes.push_back("arrowhead=none");
+    }
+    if (!attributes.empty()) {
+      os << " [";
+      for (std::size_t i = 0; i < attributes.size(); ++i) {
+        if (i) os << ", ";
+        os << attributes[i];
+      }
+      os << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Qrg& qrg, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(os, qrg, options);
+  return os.str();
+}
+
+}  // namespace qres

@@ -1,0 +1,35 @@
+// Graphviz export of QoS-Resource Graphs.
+//
+// Renders a QRG — and optionally a computed reservation plan highlighted
+// on top of it — in DOT format, reproducing the visual language of the
+// paper's figures 4/5/7/8: one cluster per service component, input and
+// output QoS-level nodes labeled Qa, Qb, ..., translation edges annotated
+// with their contention-index weight, the selected plan drawn bold.
+//
+//   dot -Tsvg qrg.dot -o qrg.svg
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/plan.hpp"
+#include "core/qrg.hpp"
+
+namespace qres {
+
+struct DotOptions {
+  /// Print edge weights (psi) on translation edges.
+  bool show_weights = true;
+  /// Highlight this plan's nodes and translation edges (optional).
+  const ReservationPlan* plan = nullptr;
+  /// Graph title; defaults to the service name.
+  std::string title;
+};
+
+/// Writes the QRG in Graphviz DOT format.
+void write_dot(std::ostream& os, const Qrg& qrg,
+               const DotOptions& options = {});
+
+std::string to_dot(const Qrg& qrg, const DotOptions& options = {});
+
+}  // namespace qres

@@ -1,0 +1,32 @@
+// The contention-unaware baseline of the paper's evaluation (§5): among
+// all feasible end-to-end reservation plans that achieve the highest
+// reachable end-to-end QoS level, pick one uniformly at random instead of
+// the bottleneck-minimal one.
+//
+// On chain services (the paper's evaluation case) uniformity is exact and
+// cheap: paths are counted with dynamic programming over the layered QRG
+// and sampled backward without materializing the path set. On DAG
+// services the feasible embedded graphs achieving the best reachable sink
+// are enumerated (bounded by `max_assignments`) and one is drawn
+// uniformly.
+#pragma once
+
+#include "core/planner.hpp"
+
+namespace qres {
+
+class RandomPlanner final : public IPlanner {
+ public:
+  explicit RandomPlanner(std::size_t max_assignments = 1u << 20)
+      : max_assignments_(max_assignments) {}
+
+  PlanResult plan(const Qrg& qrg, Rng& rng) const override;
+  std::string name() const override { return "random"; }
+
+ private:
+  PlanResult plan_dag(const Qrg& qrg, Rng& rng) const;
+
+  std::size_t max_assignments_;
+};
+
+}  // namespace qres

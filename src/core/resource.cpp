@@ -1,0 +1,90 @@
+#include "core/resource.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+const char* to_string(ResourceKind kind) noexcept {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kMemory:
+      return "memory";
+    case ResourceKind::kDiskBandwidth:
+      return "disk_bw";
+    case ResourceKind::kNetworkBandwidth:
+      return "net_bw";
+    case ResourceKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+void ResourceVector::set(ResourceId id, double amount) {
+  QRES_REQUIRE(id.valid(), "ResourceVector::set: invalid resource id");
+  QRES_REQUIRE(amount >= 0.0, "ResourceVector::set: negative amount");
+  amounts_.insert_or_assign(id, amount);
+}
+
+void ResourceVector::add(ResourceId id, double amount) {
+  QRES_REQUIRE(id.valid(), "ResourceVector::add: invalid resource id");
+  double& slot = amounts_[id];
+  slot += amount;
+  QRES_REQUIRE(slot >= 0.0, "ResourceVector::add: amount went negative");
+}
+
+double ResourceVector::get(ResourceId id) const noexcept {
+  auto it = amounts_.find(id);
+  return it == amounts_.end() ? 0.0 : it->second;
+}
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& other) {
+  for (const auto& [id, amount] : other) add(id, amount);
+  return *this;
+}
+
+ResourceVector ResourceVector::scaled(double factor) const {
+  QRES_REQUIRE(factor >= 0.0, "ResourceVector::scaled: negative factor");
+  ResourceVector result;
+  for (const auto& [id, amount] : amounts_) result.set(id, amount * factor);
+  return result;
+}
+
+bool ResourceVector::all_leq(const ResourceVector& other) const noexcept {
+  for (const auto& [id, amount] : amounts_)
+    if (amount > other.get(id)) return false;
+  return true;
+}
+
+ResourceId ResourceCatalog::add(std::string name, ResourceKind kind,
+                                HostId host) {
+  QRES_REQUIRE(!name.empty(), "ResourceCatalog::add: empty name");
+  entries_.push_back(Entry{std::move(name), kind, host});
+  return ResourceId{static_cast<std::uint32_t>(entries_.size() - 1)};
+}
+
+const ResourceCatalog::Entry& ResourceCatalog::entry(ResourceId id) const {
+  QRES_REQUIRE(id.valid() && id.value() < entries_.size(),
+               "ResourceCatalog: unknown resource id");
+  return entries_[id.value()];
+}
+
+const std::string& ResourceCatalog::name(ResourceId id) const {
+  return entry(id).name;
+}
+
+ResourceKind ResourceCatalog::kind(ResourceId id) const {
+  return entry(id).kind;
+}
+
+HostId ResourceCatalog::host(ResourceId id) const { return entry(id).host; }
+
+std::optional<ResourceId> ResourceCatalog::find(
+    const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].name == name)
+      return ResourceId{static_cast<std::uint32_t>(i)};
+  return std::nullopt;
+}
+
+}  // namespace qres

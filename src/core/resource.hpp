@@ -1,0 +1,102 @@
+// Resource requirement / availability vectors (paper §2.2, eq. 1) and the
+// resource catalog that names them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "util/flat_map.hpp"
+
+namespace qres {
+
+/// Broad class of a reservable resource; informational (brokers and the
+/// planner treat all resource types uniformly, as in the paper).
+enum class ResourceKind : std::uint8_t {
+  kCpu,
+  kMemory,
+  kDiskBandwidth,
+  kNetworkBandwidth,
+  kOther,
+};
+
+const char* to_string(ResourceKind kind) noexcept;
+
+/// A sparse vector of per-resource amounts. Used both for requirements
+/// (R^req) and availabilities (R^avail). Amounts are non-negative.
+class ResourceVector {
+ public:
+  ResourceVector() = default;
+
+  bool empty() const noexcept { return amounts_.empty(); }
+  std::size_t size() const noexcept { return amounts_.size(); }
+
+  /// Sets the amount for a resource (overwrites). Requires amount >= 0 and
+  /// a valid id.
+  void set(ResourceId id, double amount);
+
+  /// Adds to the amount for a resource (creates it at 0 if absent).
+  void add(ResourceId id, double amount);
+
+  /// Amount for the resource, or 0 when absent.
+  double get(ResourceId id) const noexcept;
+
+  bool contains(ResourceId id) const noexcept { return amounts_.contains(id); }
+
+  auto begin() const noexcept { return amounts_.begin(); }
+  auto end() const noexcept { return amounts_.end(); }
+
+  /// Component-wise sum (aggregating plan steps that touch the same
+  /// resource).
+  ResourceVector& operator+=(const ResourceVector& other);
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    a += b;
+    return a;
+  }
+
+  /// Uniform scaling, used for the paper's "fat" sessions whose
+  /// requirement is N times the base requirement. Requires factor >= 0.
+  ResourceVector scaled(double factor) const;
+
+  /// Partial order (paper §2.2): every amount of *this is <= the amount of
+  /// `other` for the same resource. Resources absent from *this count as 0;
+  /// resources present here but absent in `other` compare against 0.
+  bool all_leq(const ResourceVector& other) const noexcept;
+
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    return a.amounts_ == b.amounts_;
+  }
+
+ private:
+  FlatMap<ResourceId, double> amounts_;
+};
+
+/// Registry mapping resource ids to names/kinds/owning hosts. The catalog
+/// is append-only; ids are dense indices into it.
+class ResourceCatalog {
+ public:
+  /// Registers a resource and returns its id. Name must be non-empty.
+  ResourceId add(std::string name, ResourceKind kind,
+                 HostId host = HostId{});
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  const std::string& name(ResourceId id) const;
+  ResourceKind kind(ResourceId id) const;
+  HostId host(ResourceId id) const;
+
+  /// Finds a resource by name; nullopt when absent.
+  std::optional<ResourceId> find(const std::string& name) const noexcept;
+
+ private:
+  struct Entry {
+    std::string name;
+    ResourceKind kind;
+    HostId host;
+  };
+  const Entry& entry(ResourceId id) const;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace qres

@@ -1,0 +1,34 @@
+#include "core/translation.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+void TranslationTable::set(LevelIndex in, LevelIndex out,
+                           ResourceVector requirement) {
+  entries_.insert_or_assign({in, out}, std::move(requirement));
+}
+
+std::optional<ResourceVector> TranslationTable::get(LevelIndex in,
+                                                    LevelIndex out) const {
+  auto it = entries_.find({in, out});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+TranslationFn TranslationTable::as_function() const {
+  // Copies the table into the closure so the function outlives the table.
+  return [table = *this](LevelIndex in, LevelIndex out) {
+    return table.get(in, out);
+  };
+}
+
+TranslationTable TranslationTable::scaled(double factor) const {
+  QRES_REQUIRE(factor >= 0.0, "TranslationTable::scaled: negative factor");
+  TranslationTable result;
+  for (const auto& [key, requirement] : entries_)
+    result.set(key.first, key.second, requirement.scaled(factor));
+  return result;
+}
+
+}  // namespace qres

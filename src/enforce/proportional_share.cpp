@@ -1,0 +1,126 @@
+#include "enforce/proportional_share.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+ProportionalShareScheduler::ProportionalShareScheduler(double capacity)
+    : capacity_(capacity) {
+  QRES_REQUIRE(capacity_ > 0.0,
+               "ProportionalShareScheduler: capacity must be positive");
+}
+
+TaskId ProportionalShareScheduler::add_task(SessionId session,
+                                            double reserved_rate,
+                                            double demand_rate) {
+  QRES_REQUIRE(session.valid(), "add_task: invalid session");
+  QRES_REQUIRE(reserved_rate >= 0.0, "add_task: negative reservation");
+  QRES_REQUIRE(demand_rate >= 0.0, "add_task: negative demand");
+  QRES_REQUIRE(total_reserved_ + reserved_rate <= capacity_ + 1e-9,
+               "add_task: admission invariant violated (total reserved "
+               "rate exceeds capacity)");
+  Task task;
+  task.session = session;
+  task.reserved = reserved_rate;
+  task.demand = demand_rate;
+  task.live = true;
+  tasks_.push_back(task);
+  total_reserved_ += reserved_rate;
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+const ProportionalShareScheduler::Task& ProportionalShareScheduler::task(
+    TaskId id) const {
+  QRES_REQUIRE(id < tasks_.size() && tasks_[id].live,
+               "ProportionalShareScheduler: unknown task");
+  return tasks_[id];
+}
+
+ProportionalShareScheduler::Task& ProportionalShareScheduler::task(
+    TaskId id) {
+  QRES_REQUIRE(id < tasks_.size() && tasks_[id].live,
+               "ProportionalShareScheduler: unknown task");
+  return tasks_[id];
+}
+
+void ProportionalShareScheduler::set_demand(TaskId id, double demand_rate) {
+  QRES_REQUIRE(demand_rate >= 0.0, "set_demand: negative demand");
+  task(id).demand = demand_rate;
+}
+
+void ProportionalShareScheduler::remove_task(TaskId id) {
+  Task& t = task(id);
+  total_reserved_ -= t.reserved;
+  if (total_reserved_ < 0.0) total_reserved_ = 0.0;
+  t.live = false;
+}
+
+std::size_t ProportionalShareScheduler::task_count() const noexcept {
+  std::size_t count = 0;
+  for (const Task& t : tasks_)
+    if (t.live) ++count;
+  return count;
+}
+
+void ProportionalShareScheduler::advance(double dt) {
+  QRES_REQUIRE(dt >= 0.0, "advance: negative dt");
+  if (dt == 0.0) return;
+
+  // Phase 1: everyone receives min(demand, reservation) — the guarantee.
+  double spent = 0.0;
+  std::vector<double> want(tasks_.size(), 0.0);  // residual appetite
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    Task& t = tasks_[i];
+    if (!t.live) continue;
+    t.demanded += t.demand * dt;
+    const double guaranteed = std::min(t.demand, t.reserved) * dt;
+    t.delivered += guaranteed;
+    spent += guaranteed;
+    want[i] = t.demand * dt - guaranteed;
+  }
+
+  // Phase 2: work-conserving redistribution of the slack, proportional to
+  // reservations (tasks with zero reservation share equally via a small
+  // floor weight), by progressive filling.
+  double slack = capacity_ * dt - spent;
+  for (int round = 0; round < 64 && slack > 1e-12; ++round) {
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      if (tasks_[i].live && want[i] > 1e-12)
+        weight_sum += std::max(tasks_[i].reserved, 1e-6);
+    if (weight_sum <= 0.0) break;
+    double distributed = 0.0;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      Task& t = tasks_[i];
+      if (!t.live || want[i] <= 1e-12) continue;
+      const double offer =
+          slack * std::max(t.reserved, 1e-6) / weight_sum;
+      const double taken = std::min(offer, want[i]);
+      t.delivered += taken;
+      want[i] -= taken;
+      distributed += taken;
+    }
+    slack -= distributed;
+    if (distributed <= 1e-12) break;
+  }
+}
+
+double ProportionalShareScheduler::delivered(TaskId id) const {
+  return task(id).delivered;
+}
+
+double ProportionalShareScheduler::demanded(TaskId id) const {
+  return task(id).demanded;
+}
+
+double ProportionalShareScheduler::reserved_rate(TaskId id) const {
+  return task(id).reserved;
+}
+
+SessionId ProportionalShareScheduler::session(TaskId id) const {
+  return task(id).session;
+}
+
+}  // namespace qres

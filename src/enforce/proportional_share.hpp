@@ -1,0 +1,82 @@
+// Reservation *enforcement* for host resources: a proportional-share
+// scheduler in the spirit of the CPU service classes the paper builds on
+// (DSRT [1], SFQ-based hierarchical scheduling [2]).
+//
+// The brokers in src/broker/ decide *whether* a reservation is admitted;
+// this scheduler demonstrates that an admitted set of reservations can
+// actually be *delivered*: each task is guaranteed its reserved rate
+// whenever it demands at least that much, regardless of how much other
+// tasks (including misbehaving ones) demand, and unused share is
+// redistributed work-conserving in proportion to reservations.
+//
+// The model is fluid (rate-based): advance(dt) distributes capacity*dt
+// units of service among active tasks via progressive filling. Exact
+// invariants (tested):
+//   * sum(delivered in dt) <= capacity * dt       (never oversubscribed)
+//   * delivered_i >= min(demand_i, reserved_i)*dt (guarantee; requires
+//     admission control: sum(reserved) <= capacity)
+//   * work conservation: if total demand >= capacity, exactly
+//     capacity*dt is delivered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace qres {
+
+/// Identifies a task within one scheduler.
+using TaskId = std::uint32_t;
+
+class ProportionalShareScheduler {
+ public:
+  explicit ProportionalShareScheduler(double capacity);
+
+  double capacity() const noexcept { return capacity_; }
+
+  /// Admits a task with a guaranteed `reserved_rate` (units per TU) and a
+  /// current `demand_rate`. Requires reserved_rate >= 0 and the total
+  /// reserved rate to stay within capacity (that is the broker's
+  /// admission invariant; violating it here is a contract error).
+  TaskId add_task(SessionId session, double reserved_rate,
+                  double demand_rate);
+
+  /// Changes a task's demand (e.g. a misbehaving task demanding more
+  /// than it reserved — it may receive extra only from slack).
+  void set_demand(TaskId task, double demand_rate);
+
+  void remove_task(TaskId task);
+
+  std::size_t task_count() const noexcept;
+  double total_reserved() const noexcept { return total_reserved_; }
+
+  /// Advances simulated time by dt, distributing capacity*dt of service.
+  void advance(double dt);
+
+  /// Cumulative service delivered to the task since admission.
+  double delivered(TaskId task) const;
+  /// Cumulative demand expressed by the task since admission.
+  double demanded(TaskId task) const;
+  double reserved_rate(TaskId task) const;
+  SessionId session(TaskId task) const;
+
+ private:
+  struct Task {
+    SessionId session;
+    double reserved = 0.0;
+    double demand = 0.0;
+    double delivered = 0.0;
+    double demanded = 0.0;
+    bool live = false;
+  };
+  const Task& task(TaskId id) const;
+  Task& task(TaskId id);
+
+  double capacity_;
+  double total_reserved_ = 0.0;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace qres

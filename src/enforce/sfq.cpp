@@ -1,0 +1,95 @@
+#include "enforce/sfq.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+FlowId SfqScheduler::add_flow(double weight) {
+  QRES_REQUIRE(weight > 0.0, "SfqScheduler: weight must be positive");
+  Flow flow;
+  flow.weight = weight;
+  flow.last_finish = virtual_time_;
+  flow.live = true;
+  flows_.push_back(std::move(flow));
+  return static_cast<FlowId>(flows_.size() - 1);
+}
+
+const SfqScheduler::Flow& SfqScheduler::flow(FlowId id) const {
+  QRES_REQUIRE(id < flows_.size() && flows_[id].live,
+               "SfqScheduler: unknown flow");
+  return flows_[id];
+}
+
+SfqScheduler::Flow& SfqScheduler::flow(FlowId id) {
+  QRES_REQUIRE(id < flows_.size() && flows_[id].live,
+               "SfqScheduler: unknown flow");
+  return flows_[id];
+}
+
+void SfqScheduler::remove_flow(FlowId id) {
+  Flow& f = flow(id);
+  f.queue.clear();
+  f.live = false;
+}
+
+void SfqScheduler::enqueue(FlowId id, double length) {
+  QRES_REQUIRE(length > 0.0, "SfqScheduler: packet length must be positive");
+  Flow& f = flow(id);
+  Packet packet;
+  // S = max(v(arrival), F of the flow's previous packet).
+  packet.start_tag = std::max(virtual_time_, f.last_finish);
+  packet.finish_tag = packet.start_tag + length / f.weight;
+  packet.length = length;
+  f.last_finish = packet.finish_tag;
+  f.queue.push_back(packet);
+}
+
+std::optional<SfqScheduler::Dispatch> SfqScheduler::dequeue() {
+  // Pick the head packet with the smallest start tag (ties: lowest id).
+  FlowId best = 0;
+  bool found = false;
+  double best_tag = 0.0;
+  for (FlowId id = 0; id < flows_.size(); ++id) {
+    const Flow& f = flows_[id];
+    if (!f.live || f.queue.empty()) continue;
+    const double tag = f.queue.front().start_tag;
+    if (!found || tag < best_tag) {
+      found = true;
+      best = id;
+      best_tag = tag;
+    }
+  }
+  if (!found) return std::nullopt;
+  Flow& f = flows_[best];
+  const Packet packet = f.queue.front();
+  f.queue.pop_front();
+  f.served += packet.length;
+  // v is the start tag of the packet in service (SFQ's defining rule —
+  // this is what keeps v well-defined across idle/busy transitions).
+  virtual_time_ = packet.start_tag;
+  Dispatch dispatch;
+  dispatch.flow = best;
+  dispatch.length = packet.length;
+  dispatch.start_tag = packet.start_tag;
+  dispatch.finish_tag = packet.finish_tag;
+  return dispatch;
+}
+
+std::size_t SfqScheduler::backlog(FlowId id) const {
+  return flow(id).queue.size();
+}
+
+std::size_t SfqScheduler::flow_count() const noexcept {
+  std::size_t count = 0;
+  for (const Flow& f : flows_)
+    if (f.live) ++count;
+  return count;
+}
+
+double SfqScheduler::served(FlowId id) const { return flow(id).served; }
+
+double SfqScheduler::weight(FlowId id) const { return flow(id).weight; }
+
+}  // namespace qres

@@ -1,0 +1,67 @@
+#include "proxy/advance_coordinator.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+AdvanceSessionCoordinator::AdvanceSessionCoordinator(
+    const ServiceDefinition* service, std::vector<ResourceId> footprint,
+    AdvanceRegistry* registry, PsiKind psi_kind)
+    : service_(service),
+      footprint_(std::move(footprint)),
+      registry_(registry),
+      psi_kind_(psi_kind) {
+  QRES_REQUIRE(service != nullptr, "AdvanceSessionCoordinator: null service");
+  QRES_REQUIRE(registry != nullptr,
+               "AdvanceSessionCoordinator: null registry");
+  QRES_REQUIRE(!footprint_.empty(),
+               "AdvanceSessionCoordinator: empty resource footprint");
+}
+
+AdvanceEstablishResult AdvanceSessionCoordinator::establish(
+    SessionId session, double start, double end, const IPlanner& planner,
+    Rng& rng, double scale) {
+  QRES_REQUIRE(start < end, "AdvanceSessionCoordinator: empty interval");
+  AdvanceEstablishResult result;
+
+  // Phase 1: interval availability over the requested window.
+  const AvailabilityView view = registry_->collect(footprint_, start, end);
+
+  // Phase 2: plan with the unchanged algorithm.
+  const Qrg qrg(*service_, view, psi_kind_, scale);
+  PlanResult planned = planner.plan(qrg, rng);
+  result.sinks = std::move(planned.sinks);
+  if (!planned.plan) return result;
+  result.plan = std::move(planned.plan);
+
+  // Phase 3: book all-or-nothing.
+  const ResourceVector total = result.plan->total_requirement();
+  std::vector<std::pair<ResourceId, BookingId>> booked;
+  booked.reserve(total.size());
+  bool ok = true;
+  for (const auto& [id, amount] : total) {
+    const BookingId booking =
+        registry_->broker(id).book(session, amount, start, end);
+    if (booking == 0) {
+      ok = false;
+      break;
+    }
+    booked.push_back({id, booking});
+  }
+  if (!ok) {
+    for (const auto& [id, booking] : booked)
+      registry_->broker(id).cancel(booking);
+    return result;
+  }
+  result.success = true;
+  result.bookings = std::move(booked);
+  return result;
+}
+
+void AdvanceSessionCoordinator::cancel(
+    const std::vector<std::pair<ResourceId, BookingId>>& bookings) {
+  for (const auto& [id, booking] : bookings)
+    registry_->broker(id).cancel(booking);
+}
+
+}  // namespace qres

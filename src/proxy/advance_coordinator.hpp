@@ -1,0 +1,54 @@
+// Session establishment with advance reservations (paper §6 future work).
+//
+// Mirrors SessionCoordinator's three-phase protocol, but phase 1 collects
+// *interval* availability (the minimum unreserved amount over the
+// session's requested [start, end) window) from AdvanceBrokers, and phase
+// 3 books the plan's amounts over that window, all-or-nothing. The
+// planning algorithm itself (QRG + bottleneck shortest path) is reused
+// unchanged — exactly the property that makes advance reservations a
+// natural extension of the framework.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "broker/advance_broker.hpp"
+#include "core/planner.hpp"
+
+namespace qres {
+
+struct AdvanceEstablishResult {
+  bool success = false;
+  std::optional<ReservationPlan> plan;
+  std::vector<SinkInfo> sinks;
+  /// Live bookings of the session, one per distinct resource; pass to
+  /// cancel() to tear the session down (or let them expire at `end`).
+  std::vector<std::pair<ResourceId, BookingId>> bookings;
+};
+
+class AdvanceSessionCoordinator {
+ public:
+  AdvanceSessionCoordinator(const ServiceDefinition* service,
+                            std::vector<ResourceId> footprint,
+                            AdvanceRegistry* registry,
+                            PsiKind psi_kind = PsiKind::kRatio);
+
+  /// Plans and books the session over [start, end). `start` may be now
+  /// (immediate reservation) or in the future (advance reservation).
+  AdvanceEstablishResult establish(SessionId session, double start,
+                                   double end, const IPlanner& planner,
+                                   Rng& rng, double scale = 1.0);
+
+  /// Cancels every booking of a previously established session.
+  void cancel(const std::vector<std::pair<ResourceId, BookingId>>& bookings);
+
+  const ServiceDefinition& service() const noexcept { return *service_; }
+
+ private:
+  const ServiceDefinition* service_;
+  std::vector<ResourceId> footprint_;
+  AdvanceRegistry* registry_;
+  PsiKind psi_kind_;
+};
+
+}  // namespace qres

@@ -1,0 +1,267 @@
+#include "proxy/distributed.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ComponentAgent::ComponentAgent(const ServiceComponent* component,
+                               std::vector<ResourceId> local_footprint,
+                               BrokerRegistry* registry)
+    : component_(component),
+      footprint_(std::move(local_footprint)),
+      registry_(registry) {
+  QRES_REQUIRE(component != nullptr, "ComponentAgent: null component");
+  QRES_REQUIRE(registry != nullptr, "ComponentAgent: null registry");
+  QRES_REQUIRE(!footprint_.empty(), "ComponentAgent: empty footprint");
+}
+
+ForwardMessage ComponentAgent::forward(const ForwardMessage& upstream,
+                                       double now, double scale,
+                                       PsiKind psi_kind,
+                                       const PlannerOptions& options) {
+  QRES_REQUIRE(!upstream.out_labels.empty(),
+               "ComponentAgent::forward: empty upstream frontier");
+  chosen_.reset();
+  // Local availability observation (phase-1 equivalent, but local only).
+  const AvailabilityView view = registry_->collect(footprint_, now);
+
+  const std::size_t in_count = upstream.out_labels.size();
+  const std::size_t out_count = component_->out_level_count();
+  out_states_.assign(out_count, OutState{});
+  std::vector<double> best_edge_psi(out_count, kInf);
+
+  for (LevelIndex in = 0; in < in_count; ++in) {
+    const FrontierLabel& in_label = upstream.out_labels[in];
+    if (!in_label.reachable) continue;
+    for (LevelIndex out = 0; out < out_count; ++out) {
+      const auto base = component_->requirement(in, out);
+      if (!base) continue;
+      const ResourceVector requirement = base->scaled(scale);
+      double psi = 0.0;
+      double alpha = 1.0;
+      ResourceId bottleneck;
+      bool feasible = true;
+      for (const auto& [rid, amount] : requirement) {
+        QRES_REQUIRE(view.contains(rid),
+                     "ComponentAgent: translation references a resource "
+                     "outside the local footprint");
+        const ResourceObservation& obs = view.get(rid);
+        if (amount > obs.available || obs.available <= 0.0) {
+          feasible = false;
+          break;
+        }
+        const double index = contention_index(psi_kind, amount, obs.available);
+        if (!bottleneck.valid() || index > psi) {
+          psi = index;
+          alpha = obs.alpha;
+          bottleneck = rid;
+        }
+      }
+      if (!feasible) continue;
+
+      const double candidate = std::max(in_label.value, psi);
+      OutState& state = out_states_[out];
+      bool better = !state.label.reachable || candidate < state.label.value;
+      if (!better && options.use_tie_break && state.label.reachable &&
+          candidate == state.label.value)
+        better = psi < best_edge_psi[out];
+      if (!better) continue;
+      state.label.reachable = true;
+      state.label.value = candidate;
+      if (psi >= in_label.value) {
+        state.label.bottleneck = bottleneck;
+        state.label.alpha = alpha;
+      } else {
+        state.label.bottleneck = in_label.bottleneck;
+        state.label.alpha = in_label.alpha;
+      }
+      state.pred_in = in;
+      state.requirement = requirement;
+      state.edge_psi = psi;
+      best_edge_psi[out] = psi;
+    }
+  }
+
+  ForwardMessage message;
+  message.out_labels.reserve(out_count);
+  for (const OutState& state : out_states_)
+    message.out_labels.push_back(state.label);
+  return message;
+}
+
+BackwardMessage ComponentAgent::backward(const BackwardMessage& demand) {
+  QRES_REQUIRE(demand.demanded_out < out_states_.size(),
+               "ComponentAgent::backward: demand out of range");
+  const OutState& state = out_states_[demand.demanded_out];
+  QRES_REQUIRE(state.label.reachable,
+               "ComponentAgent::backward: demanded level is unreachable");
+  PlanStep step;
+  step.component = index_in_service_;
+  step.in_level = state.pred_in;
+  step.out_level = demand.demanded_out;
+  step.requirement = state.requirement;
+  step.psi = state.edge_psi;
+  chosen_ = step;
+  return BackwardMessage{state.pred_in};
+}
+
+const PlanStep& ComponentAgent::chosen_step() const {
+  QRES_REQUIRE(chosen_.has_value(),
+               "ComponentAgent: no operating point chosen yet");
+  return *chosen_;
+}
+
+bool ComponentAgent::reserve(SessionId session, double now) {
+  const PlanStep& step = chosen_step();
+  std::vector<std::pair<ResourceId, double>> taken;
+  for (const auto& [rid, amount] : step.requirement) {
+    if (!registry_->broker(rid).reserve(now, session, amount)) {
+      for (const auto& [id, held] : taken)
+        registry_->broker(id).release_amount(now, session, held);
+      return false;
+    }
+    taken.push_back({rid, amount});
+  }
+  return true;
+}
+
+void ComponentAgent::release(SessionId session, double now) {
+  const PlanStep& step = chosen_step();
+  for (const auto& [rid, amount] : step.requirement)
+    registry_->broker(rid).release_amount(now, session, amount);
+}
+
+DistributedSession::DistributedSession(
+    const ServiceDefinition* service,
+    std::vector<std::vector<ResourceId>> per_component_footprint,
+    BrokerRegistry* registry, PsiKind psi_kind, PlannerOptions options)
+    : service_(service),
+      registry_(registry),
+      psi_kind_(psi_kind),
+      options_(options) {
+  QRES_REQUIRE(service != nullptr, "DistributedSession: null service");
+  QRES_REQUIRE(registry != nullptr, "DistributedSession: null registry");
+  QRES_REQUIRE(service->is_chain(),
+               "DistributedSession: chain services only (the paper's "
+               "distributed mode predates the DAG extension)");
+  QRES_REQUIRE(per_component_footprint.size() == service->component_count(),
+               "DistributedSession: one footprint per component required");
+  agents_.reserve(service->component_count());
+  for (ComponentIndex c : service->topological_order()) {
+    agents_.emplace_back(&service->component(c),
+                         per_component_footprint[c], registry);
+    agents_.back().index_in_service_ = c;
+  }
+}
+
+EstablishResult DistributedSession::establish(SessionId session, double now,
+                                              double scale,
+                                              bool use_tradeoff) {
+  EstablishResult result;
+  result.stats.participating_proxies = agents_.size();
+
+  // Forward pass: the source frontier is the single source-quality label.
+  ForwardMessage frontier;
+  frontier.out_labels.push_back(FrontierLabel{true, 0.0, 1.0, ResourceId{}});
+  for (ComponentAgent& agent : agents_) {
+    frontier = agent.forward(frontier, now, scale, psi_kind_, options_);
+    ++result.stats.availability_messages;  // one hop-to-hop message
+  }
+  // (The last "message" stays at the sink proxy; keep the count at K-1.)
+  --result.stats.availability_messages;
+
+  // Sink decision: sink infos in rank order.
+  const auto& ranking = service_->end_to_end_ranking();
+  result.sinks.reserve(ranking.size());
+  std::size_t best_rank = ranking.size();
+  for (std::size_t rank = 0; rank < ranking.size(); ++rank) {
+    const FrontierLabel& label = frontier.out_labels[ranking[rank]];
+    SinkInfo info;
+    info.level = ranking[rank];
+    info.rank = rank;
+    info.reachable = label.reachable;
+    info.psi = label.reachable ? label.value : 0.0;
+    info.alpha = label.alpha;
+    info.bottleneck = label.bottleneck;
+    result.sinks.push_back(info);
+    if (label.reachable && best_rank == ranking.size()) best_rank = rank;
+  }
+  if (best_rank == ranking.size()) return result;  // nothing reachable
+
+  std::size_t target = best_rank;
+  if (use_tradeoff && result.sinks[best_rank].alpha < 1.0) {
+    const double budget =
+        result.sinks[best_rank].alpha * result.sinks[best_rank].psi;
+    for (std::size_t rank = best_rank; rank < result.sinks.size(); ++rank) {
+      if (!result.sinks[rank].reachable) continue;
+      if (result.sinks[rank].psi <= budget) {
+        target = rank;
+        break;
+      }
+    }
+  }
+
+  // Backward pass: demand flows sink -> source.
+  BackwardMessage demand{ranking[target]};
+  for (auto it = agents_.rbegin(); it != agents_.rend(); ++it) {
+    demand = it->backward(demand);
+    ++result.stats.dispatch_messages;
+  }
+  --result.stats.dispatch_messages;  // the source's upstream has no proxy
+
+  // Assemble the plan from the fixed operating points.
+  ReservationPlan plan;
+  plan.steps.reserve(agents_.size());
+  double bottleneck = -1.0;
+  for (const ComponentAgent& agent : agents_) {
+    const PlanStep& step = agent.chosen_step();
+    plan.steps.push_back(step);
+    if (step.psi > bottleneck) bottleneck = step.psi;
+  }
+  plan.bottleneck_psi = bottleneck < 0.0 ? 0.0 : bottleneck;
+  plan.bottleneck_resource = result.sinks[target].bottleneck;
+  plan.bottleneck_alpha = result.sinks[target].alpha;
+  plan.end_to_end_level = ranking[target];
+  plan.end_to_end_rank = target;
+  result.plan = std::move(plan);
+
+  // Reserve pass: each proxy commits its own segment; abort on failure.
+  std::size_t committed = 0;
+  bool ok = true;
+  for (ComponentAgent& agent : agents_) {
+    ++result.stats.reservations_attempted;
+    if (!agent.reserve(session, now)) {
+      ok = false;
+      break;
+    }
+    ++committed;
+  }
+  if (!ok) {
+    for (std::size_t i = 0; i < committed; ++i) {
+      agents_[i].release(session, now);
+      ++result.stats.reservations_rolled_back;
+    }
+    return result;
+  }
+  result.success = true;
+  for (const PlanStep& step : result.plan->steps)
+    for (const auto& [rid, amount] : step.requirement)
+      result.holdings.push_back({rid, amount});
+  return result;
+}
+
+void DistributedSession::teardown(
+    const std::vector<std::pair<ResourceId, double>>& holdings,
+    SessionId session, double now) {
+  for (const auto& [id, amount] : holdings)
+    registry_->broker(id).release_amount(now, session, amount);
+}
+
+}  // namespace qres

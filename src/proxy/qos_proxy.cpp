@@ -1,0 +1,171 @@
+#include "proxy/qos_proxy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+QoSProxy::QoSProxy(HostId host, BrokerRegistry* registry)
+    : host_(host), registry_(registry) {
+  QRES_REQUIRE(host.valid(), "QoSProxy: invalid host");
+  QRES_REQUIRE(registry != nullptr, "QoSProxy: null registry");
+}
+
+void QoSProxy::attach_resource(ResourceId id) {
+  QRES_REQUIRE(id.valid(), "QoSProxy::attach_resource: invalid id");
+  registry_->broker(id);  // validates existence
+  local_.push_back(id);
+}
+
+void QoSProxy::report(const std::vector<ResourceId>& ids, double t,
+                      AvailabilityView& into) const {
+  for (ResourceId id : ids) {
+    QRES_REQUIRE(std::find(local_.begin(), local_.end(), id) != local_.end(),
+                 "QoSProxy::report: resource is not local to this proxy");
+    const ResourceObservation obs = registry_->broker(id).observe(t);
+    into.set(id, obs.available, obs.alpha);
+  }
+}
+
+bool QoSProxy::reserve(ResourceId id, double now, SessionId session,
+                       double amount) {
+  return registry_->broker(id).reserve(now, session, amount);
+}
+
+void QoSProxy::release(ResourceId id, double now, SessionId session,
+                       double amount) {
+  registry_->broker(id).release_amount(now, session, amount);
+}
+
+SessionCoordinator::SessionCoordinator(const ServiceDefinition* service,
+                                       std::vector<ResourceId> footprint,
+                                       BrokerRegistry* registry,
+                                       PsiKind psi_kind)
+    : service_(service),
+      footprint_(std::move(footprint)),
+      registry_(registry),
+      psi_kind_(psi_kind) {
+  QRES_REQUIRE(service != nullptr, "SessionCoordinator: null service");
+  QRES_REQUIRE(registry != nullptr, "SessionCoordinator: null registry");
+  QRES_REQUIRE(!footprint_.empty(),
+               "SessionCoordinator: empty resource footprint");
+}
+
+EstablishResult SessionCoordinator::establish(
+    SessionId session, double now, const IPlanner& planner, Rng& rng,
+    double scale, const std::function<double(ResourceId)>& staleness) {
+  EstablishResult result;
+
+  // Overhead accounting (§4.2): one availability round trip per
+  // participating proxy (distinct component host), one dispatch per plan
+  // segment later.
+  std::set<std::uint32_t> hosts;
+  for (ComponentIndex c = 0; c < service_->component_count(); ++c) {
+    const HostId host = service_->component(c).host();
+    if (host.valid()) hosts.insert(host.value());
+  }
+  result.stats.participating_proxies = hosts.empty() ? 1 : hosts.size();
+  result.stats.availability_messages = result.stats.participating_proxies;
+
+  // Phase 1: collect availability for the service's resource footprint.
+  const AvailabilityView view = registry_->collect(footprint_, now, staleness);
+
+  // Phase 2: build the QRG and run the algorithm at the main proxy.
+  const Qrg qrg(*service_, view, psi_kind_, scale);
+  PlanResult planned = planner.plan(qrg, rng);
+  result.sinks = std::move(planned.sinks);
+  if (!planned.plan) return result;  // no feasible end-to-end plan
+  result.plan = std::move(planned.plan);
+
+  // Phase 3: dispatch plan segments; all-or-nothing reservation.
+  result.stats.dispatch_messages = result.plan->steps.size();
+  const ResourceVector total = result.plan->total_requirement();
+  std::vector<std::pair<ResourceId, double>> reserved;
+  reserved.reserve(total.size());
+  bool ok = true;
+  for (const auto& [id, amount] : total) {
+    ++result.stats.reservations_attempted;
+    if (registry_->broker(id).reserve(now, session, amount)) {
+      reserved.push_back({id, amount});
+    } else {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    // Roll back everything reserved for this session so far.
+    for (const auto& [id, amount] : reserved) {
+      registry_->broker(id).release_amount(now, session, amount);
+      ++result.stats.reservations_rolled_back;
+    }
+    return result;
+  }
+  result.success = true;
+  result.holdings = std::move(reserved);
+  return result;
+}
+
+EstablishResult SessionCoordinator::establish_resilient(
+    SessionId session, double now, std::size_t max_attempts, Rng& /*rng*/,
+    double scale, const std::function<double(ResourceId)>& staleness) {
+  QRES_REQUIRE(max_attempts >= 1,
+               "establish_resilient: at least one attempt required");
+  QRES_REQUIRE(service_->is_chain(),
+               "establish_resilient: chain services only");
+  EstablishResult result;
+  result.stats.participating_proxies = 1;
+  result.stats.availability_messages = 1;
+
+  const AvailabilityView view = registry_->collect(footprint_, now, staleness);
+  const Qrg qrg(*service_, view, psi_kind_, scale);
+  const auto labels = relax_qrg(qrg);
+  result.sinks = sink_infos(qrg, labels);
+
+  std::size_t attempts_left = max_attempts;
+  for (std::size_t rank = 0;
+       rank < result.sinks.size() && attempts_left > 0; ++rank) {
+    if (!result.sinks[rank].reachable) continue;
+    const std::uint32_t sink_node = qrg.ranked_sink_nodes()[rank];
+    for (ReservationPlan& plan :
+         enumerate_plans(qrg, sink_node, attempts_left)) {
+      if (attempts_left == 0) break;
+      --attempts_left;
+      if (!result.plan) result.plan = plan;  // report the first choice
+      ++result.stats.dispatch_messages;
+      const ResourceVector total = plan.total_requirement();
+      std::vector<std::pair<ResourceId, double>> reserved;
+      bool ok = true;
+      for (const auto& [id, amount] : total) {
+        ++result.stats.reservations_attempted;
+        if (registry_->broker(id).reserve(now, session, amount)) {
+          reserved.push_back({id, amount});
+        } else {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        result.success = true;
+        result.plan = std::move(plan);  // what was actually reserved
+        result.holdings = std::move(reserved);
+        return result;
+      }
+      for (const auto& [id, amount] : reserved) {
+        registry_->broker(id).release_amount(now, session, amount);
+        ++result.stats.reservations_rolled_back;
+      }
+    }
+  }
+  return result;
+}
+
+void SessionCoordinator::teardown(
+    const std::vector<std::pair<ResourceId, double>>& holdings,
+    SessionId session, double now) {
+  for (const auto& [id, amount] : holdings)
+    registry_->broker(id).release_amount(now, session, amount);
+}
+
+}  // namespace qres

@@ -1,0 +1,133 @@
+// QoSProxy runtime architecture (paper §3, §4.2).
+//
+// A QoSProxy runs on each end host and coordinates multi-resource
+// reservation for the sessions that involve its host. The paper's
+// centralized mode is implemented: the *main* QoSProxy (on the service's
+// main server) stores the QoS-Resource Model and runs the algorithm. A
+// session establishment has three phases:
+//   1. every participating QoSProxy reports current resource availability
+//      to the main proxy (one message round trip per participant),
+//   2. the main proxy builds the QRG and runs the planner locally,
+//   3. the main proxy dispatches each plan segment to the participating
+//      proxies, which reserve with their local Resource Brokers.
+// Phase 3 is all-or-nothing: if any reservation fails, everything already
+// reserved for the session is rolled back and establishment fails.
+//
+// CoordinationStats counts the message rounds of §4.2 so the overhead
+// model can be examined by tests and benches.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "broker/registry.hpp"
+#include "core/planner.hpp"
+
+namespace qres {
+
+/// A QoSProxy: the per-host coordination agent. In this library the proxy
+/// is a thin facade over its host's brokers; the interesting coordination
+/// logic lives in SessionCoordinator (the "main QoSProxy" role).
+class QoSProxy {
+ public:
+  QoSProxy(HostId host, BrokerRegistry* registry);
+
+  HostId host() const noexcept { return host_; }
+
+  /// Resources whose brokers this proxy fronts.
+  const std::vector<ResourceId>& local_resources() const noexcept {
+    return local_;
+  }
+  void attach_resource(ResourceId id);
+
+  /// Phase-1 operation: report observations for the requested local
+  /// resources at observation time `t`.
+  void report(const std::vector<ResourceId>& ids, double t,
+              AvailabilityView& into) const;
+
+  /// Phase-3 operation: reserve one plan segment amount with a local
+  /// broker. Returns false on admission failure.
+  bool reserve(ResourceId id, double now, SessionId session, double amount);
+
+  /// Releases a specific amount (used for rollback and teardown).
+  void release(ResourceId id, double now, SessionId session, double amount);
+
+ private:
+  HostId host_;
+  BrokerRegistry* registry_;
+  std::vector<ResourceId> local_;
+};
+
+/// Message/overhead accounting for one establishment (paper §4.2: one
+/// round trip per participating proxy plus local algorithm execution).
+struct CoordinationStats {
+  std::size_t participating_proxies = 0;
+  std::size_t availability_messages = 0;  ///< phase-1 request/report pairs
+  std::size_t dispatch_messages = 0;      ///< phase-3 plan segments sent
+  std::size_t reservations_attempted = 0;
+  std::size_t reservations_rolled_back = 0;
+};
+
+/// Outcome of a session establishment attempt.
+struct EstablishResult {
+  bool success = false;
+  /// The computed plan (present whenever planning succeeded, even if the
+  /// subsequent reservation failed due to stale observations).
+  std::optional<ReservationPlan> plan;
+  /// Diagnostics for every end-to-end QoS level.
+  std::vector<SinkInfo> sinks;
+  /// What was actually reserved (resource, amount) — empty on failure;
+  /// needed to tear the session down later.
+  std::vector<std::pair<ResourceId, double>> holdings;
+  CoordinationStats stats;
+};
+
+/// The main-QoSProxy coordination logic for one distributed service.
+class SessionCoordinator {
+ public:
+  /// `footprint` lists every resource any translation of `service` may
+  /// reference (the set the main proxy asks the participants to report).
+  /// `psi_kind` selects the contention-index definition used when
+  /// building QRGs (paper eq. 2 / footnote 2).
+  SessionCoordinator(const ServiceDefinition* service,
+                     std::vector<ResourceId> footprint,
+                     BrokerRegistry* registry,
+                     PsiKind psi_kind = PsiKind::kRatio);
+
+  /// Runs the three-phase establishment for `session` at time `now` using
+  /// `planner`. `scale` multiplies the service's base requirements (the
+  /// paper's fat sessions). `staleness` (optional) maps each resource to
+  /// how many time units old its observation is (§5.2.4); accurate when
+  /// null. `rng` feeds randomized planners only.
+  EstablishResult establish(SessionId session, double now,
+                            const IPlanner& planner, Rng& rng,
+                            double scale = 1.0,
+                            const std::function<double(ResourceId)>&
+                                staleness = nullptr);
+
+  /// Like establish() with the basic algorithm, but resilient to stale
+  /// observations: if the Psi-minimal plan's reservation is rejected
+  /// (possible only when `staleness` is non-null — with accurate
+  /// observations planning and reservation are atomic), the coordinator
+  /// falls back to the next-cheapest feasible plan for the same (then
+  /// lower-ranked) end-to-end level, attempting at most `max_attempts`
+  /// plans in total. Chain services only.
+  EstablishResult establish_resilient(
+      SessionId session, double now, std::size_t max_attempts, Rng& rng,
+      double scale = 1.0,
+      const std::function<double(ResourceId)>& staleness = nullptr);
+
+  /// Releases every holding of a previously established session.
+  void teardown(const std::vector<std::pair<ResourceId, double>>& holdings,
+                SessionId session, double now);
+
+  const ServiceDefinition& service() const noexcept { return *service_; }
+
+ private:
+  const ServiceDefinition* service_;
+  std::vector<ResourceId> footprint_;
+  BrokerRegistry* registry_;
+  PsiKind psi_kind_;
+};
+
+}  // namespace qres

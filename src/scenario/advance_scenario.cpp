@@ -1,0 +1,97 @@
+#include "scenario/advance_scenario.hpp"
+
+#include <string>
+
+#include "scenario/paper_scenario.hpp"
+#include "util/assert.hpp"
+
+namespace qres {
+
+int AdvanceScenario::template_index(int service, int domain) const {
+  QRES_REQUIRE(service >= 1 && service <= kServers,
+               "AdvanceScenario: service out of range");
+  QRES_REQUIRE(domain >= 1 && domain <= kDomains,
+               "AdvanceScenario: domain out of range");
+  return (service - 1) * kDomains + (domain - 1);
+}
+
+AdvanceScenario::AdvanceScenario(const AdvanceScenarioConfig& config)
+    : config_(config) {
+  Rng setup_rng(config_.setup_seed);
+  auto draw_capacity = [&] {
+    return setup_rng.uniform(config_.capacity_min, config_.capacity_max);
+  };
+
+  for (int i = 0; i < kServers; ++i)
+    host_res_[i] = registry_.add_resource("h_H" + std::to_string(i + 1),
+                                          ResourceKind::kCpu,
+                                          draw_capacity());
+  for (int i = 0; i < kServers; ++i)
+    for (int j = i + 1; j < kServers; ++j) {
+      const ResourceId id = registry_.add_resource(
+          "net(H" + std::to_string(i + 1) + "-H" + std::to_string(j + 1) +
+              ")",
+          ResourceKind::kNetworkBandwidth, draw_capacity());
+      net_pair_[i][j] = id;
+      net_pair_[j][i] = id;
+    }
+  for (int d = 0; d < kDomains; ++d) {
+    const int proxy = PaperScenario::proxy_host_of_domain(d + 1);
+    net_access_[d] = registry_.add_resource(
+        "net(H" + std::to_string(proxy) + "-D" + std::to_string(d + 1) +
+            ")",
+        ResourceKind::kNetworkBandwidth, draw_capacity());
+  }
+
+  services_.resize(static_cast<std::size_t>(kServers) * kDomains);
+  coordinators_.resize(services_.size());
+  PaperServiceOptions options;
+  options.low_diversity = config_.low_diversity;
+  options.requirement_scale = config_.requirement_scale;
+  for (int s = 1; s <= kServers; ++s) {
+    const QosTableKind kind =
+        (s == 1 || s == 4) ? QosTableKind::kTypeA : QosTableKind::kTypeB;
+    for (int d = 1; d <= kDomains; ++d) {
+      if (PaperScenario::excluded_service(d) == s) continue;
+      const int proxy = PaperScenario::proxy_host_of_domain(d);
+      if (proxy == s) continue;  // defensive; implied by the exclusion
+      ServiceResources resources;
+      resources.server_local = host_res_[s - 1];
+      resources.proxy_local = host_res_[proxy - 1];
+      resources.net_server_proxy = net_pair_[s - 1][proxy - 1];
+      resources.net_proxy_client = net_access_[d - 1];
+      const int index = template_index(s, d);
+      services_[index] = std::make_unique<ServiceDefinition>(
+          make_paper_service(
+              "S" + std::to_string(s) + "@D" + std::to_string(d), kind,
+              resources, HostId{static_cast<std::uint32_t>(s - 1)},
+              HostId{static_cast<std::uint32_t>(proxy - 1)},
+              HostId{static_cast<std::uint32_t>(kServers + d - 1)},
+              options));
+      coordinators_[index] = std::make_unique<AdvanceSessionCoordinator>(
+          services_[index].get(), paper_service_footprint(resources),
+          &registry_);
+    }
+  }
+}
+
+AdvanceSessionCoordinator& AdvanceScenario::coordinator(int service,
+                                                        int domain) {
+  const int index = template_index(service, domain);
+  QRES_REQUIRE(coordinators_[index] != nullptr,
+               "AdvanceScenario: service is excluded for this domain");
+  return *coordinators_[index];
+}
+
+AdvanceScenario::Request AdvanceScenario::sample_request(Rng& rng) {
+  const int domain = rng.uniform_int(1, kDomains);
+  const int excluded = PaperScenario::excluded_service(domain);
+  int service = rng.uniform_int(1, kServers - 1);
+  if (service >= excluded) ++service;  // uniform over the 3 allowed
+  Request request;
+  request.coordinator = &coordinator(service, domain);
+  request.traits = sample_traits(config_.workload, rng);
+  return request;
+}
+
+}  // namespace qres

@@ -1,0 +1,68 @@
+// The figure-9 environment rebuilt on advance (book-ahead) brokers — the
+// testbed for the paper's §6 future-work extension.
+//
+// Same hosts, services, proxy placement and figure-10 QoS tables as
+// PaperScenario; the difference is the brokerage: every resource is
+// fronted by an AdvanceBroker whose availability is interval-based, so
+// sessions can reserve [start, start + duration) windows ahead of time.
+// One simplification versus the immediate scenario: each logical network
+// resource (host pair / access path) is booked as a single advance
+// resource rather than per physical link — in figure 9 every logical path
+// is a single link anyway, so the admitted workloads are identical.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "proxy/advance_coordinator.hpp"
+#include "scenario/qos_tables.hpp"
+#include "sim/workload.hpp"
+
+namespace qres {
+
+struct AdvanceScenarioConfig {
+  double capacity_min = 1000.0;
+  double capacity_max = 4000.0;
+  std::uint64_t setup_seed = 42;
+  bool low_diversity = false;
+  double requirement_scale = 1.0;
+  WorkloadConfig workload;
+};
+
+class AdvanceScenario {
+ public:
+  static constexpr int kServers = 4;
+  static constexpr int kDomains = 8;
+
+  explicit AdvanceScenario(const AdvanceScenarioConfig& config = {});
+  AdvanceScenario(const AdvanceScenario&) = delete;
+  AdvanceScenario& operator=(const AdvanceScenario&) = delete;
+
+  AdvanceRegistry& registry() noexcept { return registry_; }
+
+  /// Coordinator for (service 1..4, domain 1..8); same exclusion rule as
+  /// PaperScenario.
+  AdvanceSessionCoordinator& coordinator(int service, int domain);
+
+  /// Samples a session request like the paper's workload: uniform domain,
+  /// uniform allowed service (popularity dynamics omitted — the advance
+  /// experiments vary the booking horizon instead), §5.1 traits.
+  struct Request {
+    AdvanceSessionCoordinator* coordinator;
+    SessionTraits traits;
+  };
+  Request sample_request(Rng& rng);
+
+ private:
+  int template_index(int service, int domain) const;
+
+  AdvanceScenarioConfig config_;
+  AdvanceRegistry registry_;
+  std::array<ResourceId, kServers> host_res_{};
+  std::array<std::array<ResourceId, kServers>, kServers> net_pair_{};
+  std::array<ResourceId, kDomains> net_access_{};
+  std::vector<std::unique_ptr<ServiceDefinition>> services_;
+  std::vector<std::unique_ptr<AdvanceSessionCoordinator>> coordinators_;
+};
+
+}  // namespace qres

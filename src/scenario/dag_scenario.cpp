@@ -1,0 +1,180 @@
+#include "scenario/dag_scenario.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "scenario/paper_scenario.hpp"
+#include "util/assert.hpp"
+
+namespace qres {
+
+namespace {
+
+ResourceVector rv1(ResourceId a, double va) {
+  ResourceVector v;
+  v.set(a, va);
+  return v;
+}
+
+ResourceVector rv2(ResourceId a, double va, ResourceId b, double vb) {
+  ResourceVector v;
+  v.set(a, va);
+  v.set(b, vb);
+  return v;
+}
+
+}  // namespace
+
+int DagScenario::template_index(int service, int domain) const {
+  QRES_REQUIRE(service >= 1 && service <= kServers,
+               "DagScenario: service out of range");
+  QRES_REQUIRE(domain >= 1 && domain <= kDomains,
+               "DagScenario: domain out of range");
+  return (service - 1) * kDomains + (domain - 1);
+}
+
+ResourceId DagScenario::net(int host_a, int host_b) {
+  const auto key = std::minmax(host_a, host_b);
+  auto it = net_res_.find({key.first, key.second});
+  if (it != net_res_.end()) return it->second;
+  const ResourceId id = registry_.add_resource(
+      "net(H" + std::to_string(key.first) + "-H" +
+          std::to_string(key.second) + ")",
+      ResourceKind::kNetworkBandwidth, HostId{},
+      capacity_rng_.uniform(config_.capacity_min, config_.capacity_max));
+  net_res_.emplace(std::pair{key.first, key.second}, id);
+  return id;
+}
+
+ResourceId DagScenario::access(int proxy, int domain) {
+  auto it = access_res_.find({proxy, domain});
+  if (it != access_res_.end()) return it->second;
+  const ResourceId id = registry_.add_resource(
+      "net(H" + std::to_string(proxy) + "-D" + std::to_string(domain) + ")",
+      ResourceKind::kNetworkBandwidth, HostId{},
+      capacity_rng_.uniform(config_.capacity_min, config_.capacity_max));
+  access_res_.emplace(std::pair{proxy, domain}, id);
+  return id;
+}
+
+DagScenario::DagScenario(const DagScenarioConfig& config)
+    : config_(config), capacity_rng_(config.setup_seed) {
+  for (int i = 0; i < kServers; ++i)
+    host_res_[i] = registry_.add_resource(
+        "h_H" + std::to_string(i + 1), ResourceKind::kCpu,
+        HostId{static_cast<std::uint32_t>(i)},
+        capacity_rng_.uniform(config_.capacity_min, config_.capacity_max));
+
+  const QoSSchema raw({"grid", "rate"});
+  const QoSSchema merged({"grid", "rate", "layers"});
+  auto levels2 = [&](double hi, double lo) {
+    return std::vector<QoSVector>{QoSVector(raw, {hi, 10}),
+                                  QoSVector(raw, {lo, 10})};
+  };
+  const std::vector<QoSVector> sink_levels{QoSVector(merged, {512, 10, 3}),
+                                           QoSVector(merged, {256, 10, 2}),
+                                           QoSVector(merged, {128, 10, 1})};
+
+  services_.resize(static_cast<std::size_t>(kServers) * kDomains);
+  coordinators_.resize(services_.size());
+  footprints_.resize(services_.size());
+  const double scale = config_.requirement_scale;
+
+  for (int s = 1; s <= kServers; ++s) {
+    for (int d = 1; d <= kDomains; ++d) {
+      if (PaperScenario::excluded_service(d) == s) continue;
+      const int p1 = PaperScenario::proxy_host_of_domain(d);
+      int p2 = p1 % kServers + 1;
+      if (p2 == s) p2 = p2 % kServers + 1;
+      QRES_ASSERT(p2 != s && p2 != p1);
+
+      const ResourceId h_s = host_res_[s - 1];
+      const ResourceId h_a = host_res_[p1 - 1];
+      const ResourceId h_b = host_res_[p2 - 1];
+      const ResourceId n_sa = net(s, p1);
+      const ResourceId n_sb = net(s, p2);
+      const ResourceId n_ad = access(p1, d);
+      const ResourceId n_bd = access(p2, d);
+
+      // c_S: source on the server (2 output levels).
+      TranslationTable t_source;
+      t_source.set(0, 0, rv1(h_s, 10 * scale));
+      t_source.set(0, 1, rv1(h_s, 4 * scale));
+      // c_F: fan-out splitter on the server.
+      TranslationTable t_split;
+      t_split.set(0, 0, rv1(h_s, 6 * scale));
+      t_split.set(0, 1, rv1(h_s, 3 * scale));
+      t_split.set(1, 1, rv1(h_s, 2 * scale));
+      // c_A: analysis branch on the primary proxy (can refine level 1).
+      TranslationTable t_a;
+      t_a.set(0, 0, rv2(h_a, 8 * scale, n_sa, 10 * scale));
+      t_a.set(1, 0, rv2(h_a, 13 * scale, n_sa, 5 * scale));
+      t_a.set(0, 1, rv2(h_a, 5 * scale, n_sa, 7 * scale));
+      t_a.set(1, 1, rv2(h_a, 3 * scale, n_sa, 4 * scale));
+      // c_B: preview/archive branch on the secondary proxy.
+      TranslationTable t_b;
+      t_b.set(0, 0, rv2(h_b, 7 * scale, n_sb, 9 * scale));
+      t_b.set(1, 0, rv2(h_b, 12 * scale, n_sb, 4 * scale));
+      t_b.set(0, 1, rv2(h_b, 4 * scale, n_sb, 6 * scale));
+      t_b.set(1, 1, rv2(h_b, 2 * scale, n_sb, 3 * scale));
+      // c_M: fan-in merge at the client; input = (c_A out, c_B out)
+      // combos, row-major with c_A (the lower component index) first.
+      TranslationTable t_m;
+      auto combo = [](LevelIndex a, LevelIndex b) {
+        return static_cast<LevelIndex>(a * 2 + b);
+      };
+      t_m.set(combo(0, 0), 0, rv2(n_ad, 12 * scale, n_bd, 10 * scale));
+      t_m.set(combo(0, 1), 1, rv2(n_ad, 8 * scale, n_bd, 4 * scale));
+      t_m.set(combo(1, 0), 1, rv2(n_ad, 5 * scale, n_bd, 8 * scale));
+      t_m.set(combo(1, 1), 1, rv2(n_ad, 6 * scale, n_bd, 5 * scale));
+      t_m.set(combo(1, 1), 2, rv2(n_ad, 3 * scale, n_bd, 2 * scale));
+
+      std::vector<ServiceComponent> components;
+      components.emplace_back("c_S", levels2(512, 256),
+                              t_source.as_function(),
+                              HostId{static_cast<std::uint32_t>(s - 1)});
+      components.emplace_back("c_F", levels2(512, 256),
+                              t_split.as_function(),
+                              HostId{static_cast<std::uint32_t>(s - 1)});
+      components.emplace_back("c_A", levels2(512, 256), t_a.as_function(),
+                              HostId{static_cast<std::uint32_t>(p1 - 1)});
+      components.emplace_back("c_B", levels2(512, 256), t_b.as_function(),
+                              HostId{static_cast<std::uint32_t>(p2 - 1)});
+      components.emplace_back("c_M", sink_levels, t_m.as_function());
+
+      const int index = template_index(s, d);
+      services_[index] = std::make_unique<ServiceDefinition>(
+          "DagS" + std::to_string(s) + "@D" + std::to_string(d),
+          std::move(components),
+          std::vector<std::pair<ComponentIndex, ComponentIndex>>{
+              {0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}},
+          QoSVector(raw, {512, 10}));
+      footprints_[index] = {h_s, h_a, h_b, n_sa, n_sb, n_ad, n_bd};
+      coordinators_[index] = std::make_unique<SessionCoordinator>(
+          services_[index].get(), footprints_[index], &registry_);
+    }
+  }
+}
+
+SessionCoordinator& DagScenario::coordinator(int service, int domain) {
+  const int index = template_index(service, domain);
+  QRES_REQUIRE(coordinators_[index] != nullptr,
+               "DagScenario: service is excluded for this domain");
+  return *coordinators_[index];
+}
+
+SessionSource DagScenario::make_source() {
+  return [this](Rng& rng, double /*now*/) {
+    const int domain = rng.uniform_int(1, kDomains);
+    const int excluded = PaperScenario::excluded_service(domain);
+    int service = rng.uniform_int(1, kServers - 1);
+    if (service >= excluded) ++service;
+    SessionSpec spec;
+    spec.coordinator = &coordinator(service, domain);
+    spec.traits = sample_traits(config_.workload, rng);
+    spec.path_group.clear();  // DAG plans are graphs, not paths
+    return spec;
+  };
+}
+
+}  // namespace qres

@@ -1,0 +1,74 @@
+// A figure-9-style environment whose services have *DAG* dependency
+// graphs (paper §4.3.2, figure 6): each session runs
+//
+//            c_S -> c_F -> { c_A, c_B } -> c_M
+//
+// where c_S (source) and c_F (fan-out splitter) run on the main server,
+// branch c_A runs on the client's primary proxy, branch c_B on a
+// secondary proxy, and the fan-in c_M on the client. This exercises the
+// two-pass heuristic — fan-in input concatenation, non-convergent
+// backtracking — inside the full closed admission loop, which the paper's
+// own evaluation (chains only) never does.
+//
+// Network resources are modeled as flat per-(endpoint pair) brokers (the
+// figure-9 routes are single links, so this admits the same workloads as
+// the two-level model).
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+
+#include "broker/registry.hpp"
+#include "proxy/qos_proxy.hpp"
+#include "sim/simulation.hpp"
+
+namespace qres {
+
+struct DagScenarioConfig {
+  double capacity_min = 1000.0;
+  double capacity_max = 4000.0;
+  std::uint64_t setup_seed = 42;
+  double requirement_scale = 1.0;
+  WorkloadConfig workload;
+};
+
+class DagScenario {
+ public:
+  static constexpr int kServers = 4;
+  static constexpr int kDomains = 8;
+
+  explicit DagScenario(const DagScenarioConfig& config = {});
+  DagScenario(const DagScenario&) = delete;
+  DagScenario& operator=(const DagScenario&) = delete;
+
+  BrokerRegistry& registry() noexcept { return registry_; }
+
+  /// Coordinator for (service 1..4, domain 1..8); the domain's excluded
+  /// service rule matches PaperScenario.
+  SessionCoordinator& coordinator(int service, int domain);
+
+  /// Number of end-to-end QoS levels of every DAG service.
+  static constexpr std::size_t kLevels = 3;
+
+  /// Session source for Simulation (uniform domain, uniform allowed
+  /// service, §5.1 traits; no path-group recording — paths are graphs).
+  SessionSource make_source();
+
+ private:
+  int template_index(int service, int domain) const;
+  ResourceId net(int host_a, int host_b);      // inter-server, lazy
+  ResourceId access(int proxy, int domain);    // proxy->client, lazy
+
+  DagScenarioConfig config_;
+  Rng capacity_rng_;
+  BrokerRegistry registry_;
+  std::array<ResourceId, kServers> host_res_{};
+  std::map<std::pair<int, int>, ResourceId> net_res_;
+  std::map<std::pair<int, int>, ResourceId> access_res_;
+  std::vector<std::unique_ptr<ServiceDefinition>> services_;
+  std::vector<std::unique_ptr<SessionCoordinator>> coordinators_;
+  std::vector<std::vector<ResourceId>> footprints_;
+};
+
+}  // namespace qres

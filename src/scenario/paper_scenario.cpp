@@ -1,0 +1,193 @@
+#include "scenario/paper_scenario.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+int PaperScenario::proxy_host_of_domain(int domain) {
+  QRES_REQUIRE(domain >= 1 && domain <= kDomains,
+               "PaperScenario: domain out of range");
+  return (domain + 1) / 2;  // ceil(d/2)
+}
+
+int PaperScenario::excluded_service(int domain) {
+  return proxy_host_of_domain(domain);
+}
+
+const char* PaperScenario::table_group(int service) {
+  QRES_REQUIRE(service >= 1 && service <= kServers,
+               "PaperScenario: service out of range");
+  return (service == 1 || service == 4) ? "a" : "b";
+}
+
+int PaperScenario::template_index(int service, int domain) const {
+  QRES_REQUIRE(service >= 1 && service <= kServers,
+               "PaperScenario: service out of range");
+  QRES_REQUIRE(domain >= 1 && domain <= kDomains,
+               "PaperScenario: domain out of range");
+  return (service - 1) * kDomains + (domain - 1);
+}
+
+PaperScenario::PaperScenario(const PaperScenarioConfig& config)
+    : config_(config) {
+  QRES_REQUIRE(config_.capacity_min > 0.0 &&
+                   config_.capacity_min <= config_.capacity_max,
+               "PaperScenario: bad capacity range");
+  Rng setup_rng(config_.setup_seed);
+
+  // --- Topology: H1..H4 full mesh + D1..D8 access (figure 9) ----------
+  for (int i = 0; i < kServers; ++i)
+    servers_[i] = topology_.add_host("H" + std::to_string(i + 1));
+  for (int d = 0; d < kDomains; ++d)
+    domains_[d] = topology_.add_host("D" + std::to_string(d + 1));
+
+  int link_number = 0;
+  std::array<LinkId, kLinks> links{};
+  for (int i = 0; i < kServers; ++i)
+    for (int j = i + 1; j < kServers; ++j) {
+      links[link_number] = topology_.add_link(
+          "L" + std::to_string(link_number + 1), servers_[i], servers_[j]);
+      ++link_number;
+    }
+  for (int d = 0; d < kDomains; ++d) {
+    const int attach = proxy_host_of_domain(d + 1) - 1;
+    links[link_number] = topology_.add_link(
+        "L" + std::to_string(link_number + 1), domains_[d], servers_[attach]);
+    ++link_number;
+  }
+  QRES_ASSERT(link_number == kLinks);
+
+  // --- Brokers: host resources and per-link brokers --------------------
+  auto draw_capacity = [&] {
+    return setup_rng.uniform(config_.capacity_min, config_.capacity_max);
+  };
+  for (int i = 0; i < kServers; ++i)
+    host_res_[i] = registry_.add_resource(
+        "h_H" + std::to_string(i + 1), ResourceKind::kCpu, servers_[i],
+        draw_capacity(), config_.alpha_window, config_.history_keep,
+        config_.alpha_mode);
+  for (int l = 0; l < kLinks; ++l)
+    link_res_[l] = registry_.add_resource(
+        topology_.link_name(links[l]), ResourceKind::kNetworkBandwidth,
+        HostId{}, draw_capacity(), config_.alpha_window,
+        config_.history_keep, config_.alpha_mode);
+
+  // Map topology link ids to broker resource ids for route lookups.
+  auto links_to_resources = [&](const std::vector<LinkId>& route) {
+    std::vector<ResourceId> ids;
+    ids.reserve(route.size());
+    for (LinkId lid : route) ids.push_back(link_res_[lid.value()]);
+    return ids;
+  };
+
+  // --- Two-level network resources -------------------------------------
+  for (int i = 0; i < kServers; ++i)
+    for (int j = i + 1; j < kServers; ++j) {
+      const auto route = topology_.route(servers_[i], servers_[j]);
+      const ResourceId id = registry_.add_network_path(
+          "net(H" + std::to_string(i + 1) + "-H" + std::to_string(j + 1) +
+              ")",
+          links_to_resources(route));
+      net_pair_[i][j] = id;
+      net_pair_[j][i] = id;
+    }
+  for (int d = 0; d < kDomains; ++d) {
+    const int proxy = proxy_host_of_domain(d + 1) - 1;
+    const auto route = topology_.route(servers_[proxy], domains_[d]);
+    net_access_[d] = registry_.add_network_path(
+        "net(H" + std::to_string(proxy + 1) + "-D" + std::to_string(d + 1) +
+            ")",
+        links_to_resources(route));
+  }
+
+  // --- Service instances and coordinators ------------------------------
+  services_.resize(static_cast<std::size_t>(kServers) * kDomains);
+  coordinators_.resize(services_.size());
+  PaperServiceOptions options;
+  options.low_diversity = config_.low_diversity;
+  options.requirement_scale = config_.requirement_scale;
+  for (int s = 1; s <= kServers; ++s) {
+    const QosTableKind kind =
+        (s == 1 || s == 4) ? QosTableKind::kTypeA : QosTableKind::kTypeB;
+    for (int d = 1; d <= kDomains; ++d) {
+      if (excluded_service(d) == s) continue;  // never requested
+      const int proxy = proxy_host_of_domain(d);
+      ServiceResources resources;
+      resources.server_local = host_res_[s - 1];
+      resources.proxy_local = host_res_[proxy - 1];
+      resources.net_server_proxy = net_pair_[s - 1][proxy - 1];
+      resources.net_proxy_client = net_access_[d - 1];
+      const int index = template_index(s, d);
+      services_[index] = std::make_unique<ServiceDefinition>(
+          make_paper_service("S" + std::to_string(s) + "@D" +
+                                 std::to_string(d),
+                             kind, resources, servers_[s - 1],
+                             servers_[proxy - 1], domains_[d - 1], options));
+      coordinators_[index] = std::make_unique<SessionCoordinator>(
+          services_[index].get(), paper_service_footprint(resources),
+          &registry_, config_.psi_kind);
+    }
+  }
+
+  popularity_.fill(1.0);
+  next_reroll_ = config_.popularity_period;
+}
+
+SessionCoordinator& PaperScenario::coordinator(int service, int domain) {
+  const int index = template_index(service, domain);
+  QRES_REQUIRE(coordinators_[index] != nullptr,
+               "PaperScenario: service is excluded for this domain");
+  return *coordinators_[index];
+}
+
+ResourceId PaperScenario::host_resource(int server) const {
+  QRES_REQUIRE(server >= 1 && server <= kServers,
+               "PaperScenario: server out of range");
+  return host_res_[server - 1];
+}
+
+ResourceId PaperScenario::link_resource(int link) const {
+  QRES_REQUIRE(link >= 1 && link <= kLinks,
+               "PaperScenario: link out of range");
+  return link_res_[link - 1];
+}
+
+std::vector<ResourceId> PaperScenario::all_physical_resources() const {
+  std::vector<ResourceId> ids;
+  ids.reserve(kServers + kLinks);
+  for (ResourceId id : host_res_) ids.push_back(id);
+  for (ResourceId id : link_res_) ids.push_back(id);
+  return ids;
+}
+
+SessionSource PaperScenario::make_source() {
+  return [this](Rng& rng, double now) {
+    // Re-draw the per-service popularity every popularity_period TUs.
+    while (now >= next_reroll_) {
+      for (double& weight : popularity_)
+        weight = rng.uniform(config_.popularity_min, config_.popularity_max);
+      next_reroll_ += config_.popularity_period;
+    }
+
+    const int domain = rng.uniform_int(1, kDomains);
+    const int excluded = excluded_service(domain);
+    std::vector<double> weights;
+    std::vector<int> candidates;
+    for (int s = 1; s <= kServers; ++s) {
+      if (s == excluded) continue;
+      candidates.push_back(s);
+      weights.push_back(popularity_[s - 1]);
+    }
+    const int service = candidates[rng.categorical(weights)];
+
+    SessionSpec spec;
+    spec.coordinator = &coordinator(service, domain);
+    spec.traits = sample_traits(config_.workload, rng);
+    spec.path_group = table_group(service);
+    return spec;
+  };
+}
+
+}  // namespace qres

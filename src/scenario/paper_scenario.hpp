@@ -1,0 +1,133 @@
+// The simulated reservation-enabled environment of the paper's §5.1
+// (figure 9): four high-performance servers H1..H4 in a full mesh (links
+// L1..L6), eight client domains D1..D8 each attached to one server (access
+// links L7..L14; domain D_i attaches to H_ceil(i/2)), four deployed
+// services S1..S4 with main server H_i for S_i.
+//
+// A session from a client in domain D_i requests a service type chosen by
+// the (dynamically changing) service popularity among the four services
+// *except* S_ceil(i/2); its proxy component runs on H_ceil(i/2). Thus every
+// session touches: the server's local resource, the proxy's local
+// resource, the server-proxy network resource, and the proxy-client
+// network resource — all fronted by Resource Brokers, with the network
+// resources brokered two-level over the per-link brokers.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "broker/registry.hpp"
+#include "core/psi.hpp"
+#include "proxy/qos_proxy.hpp"
+#include "scenario/qos_tables.hpp"
+#include "sim/simulation.hpp"
+#include "sim/topology.hpp"
+
+namespace qres {
+
+struct PaperScenarioConfig {
+  /// Initial resource capacities are drawn U(capacity_min, capacity_max)
+  /// (paper: 1000..4000 units) using setup_seed.
+  double capacity_min = 1000.0;
+  double capacity_max = 4000.0;
+  std::uint64_t setup_seed = 42;
+
+  /// The tradeoff policy's averaging window T (paper: 3 TUs).
+  double alpha_window = 3.0;
+  /// How r_avg is computed (eq. 5): time-weighted history (default) or
+  /// the paper's literal report-average (accurate observations only).
+  AlphaMode alpha_mode = AlphaMode::kTimeWeighted;
+  /// How much availability history brokers keep (bounds the staleness E).
+  double history_keep = 64.0;
+
+  /// Figure-13 variant: compress requirement diversity to 3:1.
+  bool low_diversity = false;
+  /// Contention-index definition used by the planners (ablation).
+  PsiKind psi_kind = PsiKind::kRatio;
+  /// Uniform multiplier on all base requirements (load calibration knob;
+  /// 1.0 reproduces the DESIGN.md tables as-is).
+  double requirement_scale = 1.0;
+
+  WorkloadConfig workload;
+
+  /// Service popularity is re-drawn U(popularity_min, popularity_max) per
+  /// service every popularity_period TUs ("we dynamically change the
+  /// probability that each service is requested").
+  double popularity_period = 600.0;
+  double popularity_min = 0.2;
+  double popularity_max = 1.8;
+};
+
+class PaperScenario {
+ public:
+  static constexpr int kServers = 4;
+  static constexpr int kDomains = 8;
+  static constexpr int kMeshLinks = 6;
+  static constexpr int kLinks = 14;
+
+  explicit PaperScenario(const PaperScenarioConfig& config = {});
+  PaperScenario(const PaperScenario&) = delete;
+  PaperScenario& operator=(const PaperScenario&) = delete;
+
+  const PaperScenarioConfig& config() const noexcept { return config_; }
+  BrokerRegistry& registry() noexcept { return registry_; }
+  const Topology& topology() const noexcept { return topology_; }
+
+  /// The proxy host for clients of domain `domain` (1-based): ceil(d/2).
+  static int proxy_host_of_domain(int domain);
+  /// The service a domain's clients never request: S_ceil(d/2) (1-based).
+  static int excluded_service(int domain);
+
+  /// Coordinator for (service type 1..4, client domain 1..8). Requires the
+  /// pair to be allowed (service != excluded_service(domain)).
+  SessionCoordinator& coordinator(int service, int domain);
+
+  /// Histogram group of a service type: "a" for S1/S4, "b" for S2/S3.
+  static const char* table_group(int service);
+
+  /// Host-local resource of server H_i (1-based).
+  ResourceId host_resource(int server) const;
+  /// Physical link resource L_1..L_14 (1-based, figure-9 numbering).
+  ResourceId link_resource(int link) const;
+
+  /// Builds the paper's session source: uniform domain, popularity-driven
+  /// service choice (excluding the domain's excluded service), workload
+  /// traits per §5.1. The source holds mutable popularity state inside
+  /// this scenario; one scenario instance must not be shared by
+  /// concurrent simulations.
+  SessionSource make_source();
+
+  /// All resource ids in the environment (hosts + links), for inspection.
+  std::vector<ResourceId> all_physical_resources() const;
+
+  /// Current per-service popularity weights (S1..S4); re-drawn by the
+  /// session source every popularity_period TUs. Exposed for tests.
+  const std::array<double, kServers>& service_popularity() const noexcept {
+    return popularity_;
+  }
+
+ private:
+  int template_index(int service, int domain) const;
+
+  PaperScenarioConfig config_;
+  BrokerRegistry registry_;
+  Topology topology_;
+
+  std::array<HostId, kServers> servers_{};
+  std::array<HostId, kDomains> domains_{};
+  std::array<ResourceId, kServers> host_res_{};
+  std::array<ResourceId, kLinks> link_res_{};
+  /// Two-level network resources: mesh pairs (i < j) and access paths.
+  std::array<std::array<ResourceId, kServers>, kServers> net_pair_{};
+  std::array<ResourceId, kDomains> net_access_{};
+
+  /// One service instance per allowed (service, domain) pair.
+  std::vector<std::unique_ptr<ServiceDefinition>> services_;
+  std::vector<std::unique_ptr<SessionCoordinator>> coordinators_;
+
+  /// Popularity state used by make_source().
+  std::array<double, kServers> popularity_{};
+  double next_reroll_ = 0.0;
+};
+
+}  // namespace qres

@@ -1,0 +1,238 @@
+#include "scenario/qos_tables.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+namespace {
+
+ResourceVector rv1(ResourceId a, double va) {
+  ResourceVector v;
+  v.set(a, va);
+  return v;
+}
+
+ResourceVector rv2(ResourceId a, double va, ResourceId b, double vb) {
+  ResourceVector v;
+  v.set(a, va);
+  v.set(b, vb);
+  return v;
+}
+
+}  // namespace
+
+// Requirement magnitudes: the structure (which pairs exist) is fixed by
+// the paper's tables 1/2; the values are synthesized with wide per-
+// resource diversity (max:min between ~5:1 and ~8:1) so that the §5.2.5
+// diversity experiment — which compresses each spread to 3:1 around the
+// same mean — has room to bite.
+TranslationTable server_table(QosTableKind kind, ResourceId h) {
+  TranslationTable t;
+  if (kind == QosTableKind::kTypeA) {
+    // Source quality Qa -> outs {Qb, Qc, Qd} (high, medium, low).
+    t.set(0, 0, rv1(h, 12.0));
+    t.set(0, 1, rv1(h, 6.0));
+    t.set(0, 2, rv1(h, 2.0));
+  } else {
+    // Source quality Qa -> outs {Qb, Qc}.
+    t.set(0, 0, rv1(h, 10.0));
+    t.set(0, 1, rv1(h, 4.0));
+  }
+  return t;
+}
+
+TranslationTable proxy_table(QosTableKind kind, ResourceId h, ResourceId l) {
+  TranslationTable t;
+  if (kind == QosTableKind::kTypeA) {
+    // Ins {Qe,Qf,Qg} (= server outs), outs {Qh,Qi,Qj,Qk}. The edge set is
+    // exactly the set of pairs appearing in the paper's table 1; producing
+    // a higher output than the input (image intrapolation, figure 4)
+    // costs extra host capacity but less bandwidth.
+    t.set(0, 0, rv2(h, 8.0, l, 14.0));   // Qe -> Qh
+    t.set(1, 0, rv2(h, 16.0, l, 8.0));   // Qf -> Qh (upscale)
+    t.set(0, 1, rv2(h, 5.0, l, 10.0));   // Qe -> Qi
+    t.set(1, 1, rv2(h, 6.0, l, 6.0));    // Qf -> Qi
+    t.set(1, 2, rv2(h, 4.0, l, 4.0));    // Qf -> Qj
+    t.set(2, 2, rv2(h, 8.0, l, 3.0));    // Qg -> Qj (upscale)
+    t.set(1, 3, rv2(h, 3.0, l, 4.0));    // Qf -> Qk
+    t.set(2, 3, rv2(h, 2.0, l, 2.0));    // Qg -> Qk
+  } else {
+    // Ins {Qd,Qe}, outs {Qf,Qg,Qh}; all pairs appear in table 2.
+    t.set(0, 0, rv2(h, 6.0, l, 12.0));  // Qd -> Qf
+    t.set(1, 0, rv2(h, 14.0, l, 7.0));  // Qe -> Qf (upscale)
+    t.set(0, 1, rv2(h, 5.0, l, 8.0));   // Qd -> Qg
+    t.set(1, 1, rv2(h, 8.0, l, 5.0));   // Qe -> Qg
+    t.set(0, 2, rv2(h, 3.0, l, 6.0));   // Qd -> Qh
+    t.set(1, 2, rv2(h, 5.0, l, 3.0));   // Qe -> Qh
+  }
+  return t;
+}
+
+TranslationTable client_table(QosTableKind kind, ResourceId l) {
+  TranslationTable t;
+  if (kind == QosTableKind::kTypeA) {
+    // Ins {Ql,Qm,Qn,Qo} (= proxy outs), outs {Qp,Qq,Qr}.
+    t.set(0, 0, rv1(l, 8.0));   // Ql -> Qp
+    t.set(1, 0, rv1(l, 14.0));  // Qm -> Qp (upscale)
+    t.set(2, 0, rv1(l, 20.0));  // Qn -> Qp (upscale)
+    t.set(1, 1, rv1(l, 6.0));   // Qm -> Qq
+    t.set(2, 1, rv1(l, 9.0));   // Qn -> Qq
+    t.set(3, 1, rv1(l, 12.0));  // Qo -> Qq
+    t.set(2, 2, rv1(l, 3.0));   // Qn -> Qr
+    t.set(3, 2, rv1(l, 4.0));   // Qo -> Qr
+  } else {
+    // Ins {Qi,Qj,Qk}, outs {Ql,Qm,Qn}.
+    t.set(0, 0, rv1(l, 10.0));  // Qi -> Ql
+    t.set(1, 0, rv1(l, 14.0));  // Qj -> Ql
+    t.set(2, 0, rv1(l, 20.0));  // Qk -> Ql
+    t.set(0, 1, rv1(l, 5.0));   // Qi -> Qm
+    t.set(1, 1, rv1(l, 7.0));   // Qj -> Qm
+    t.set(2, 1, rv1(l, 10.0));  // Qk -> Qm
+    t.set(2, 2, rv1(l, 3.0));   // Qk -> Qn
+  }
+  return t;
+}
+
+TranslationTable compress_diversity(const TranslationTable& table,
+                                    double ratio) {
+  QRES_REQUIRE(ratio >= 1.0, "compress_diversity: ratio must be >= 1");
+
+  // Per resource: collect (entry order, value) over all entries.
+  struct Occurrence {
+    std::pair<LevelIndex, LevelIndex> key;
+    double value;
+  };
+  std::map<std::uint32_t, std::vector<Occurrence>> per_resource;
+  for (const auto& [key, req] : table)
+    for (const auto& [rid, amount] : req)
+      per_resource[rid.value()].push_back({key, amount});
+
+  TranslationTable result = table;  // start with the same keys
+  for (auto& [rid_value, occurrences] : per_resource) {
+    const ResourceId rid{rid_value};
+    double mean = 0.0;
+    for (const auto& o : occurrences) mean += o.value;
+    mean /= static_cast<double>(occurrences.size());
+
+    // Target values: evenly spaced in [lo, ratio*lo] with the same mean,
+    // so lo = 2*mean / (1 + ratio). Assign by the rank of the original
+    // value, preserving the original ordering.
+    const double lo = 2.0 * mean / (1.0 + ratio);
+    const double hi = ratio * lo;
+    std::vector<std::size_t> order(occurrences.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return occurrences[a].value < occurrences[b].value;
+                     });
+    const std::size_t n = occurrences.size();
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      const double target =
+          n == 1 ? mean
+                 : lo + (hi - lo) * static_cast<double>(rank) /
+                            static_cast<double>(n - 1);
+      const auto& occurrence = occurrences[order[rank]];
+      auto req = result.get(occurrence.key.first, occurrence.key.second);
+      QRES_ASSERT(req.has_value());
+      req->set(rid, target);
+      result.set(occurrence.key.first, occurrence.key.second, *req);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::vector<QoSVector> type_a_server_levels() {
+  const QoSSchema schema({"frame_rate", "image_size"});
+  return {QoSVector(schema, {30, 4}), QoSVector(schema, {24, 3}),
+          QoSVector(schema, {15, 2})};
+}
+
+std::vector<QoSVector> type_a_proxy_levels() {
+  const QoSSchema schema({"frame_rate", "image_size", "tracked_objects"});
+  return {QoSVector(schema, {30, 4, 5}), QoSVector(schema, {24, 3, 4}),
+          QoSVector(schema, {20, 3, 3}), QoSVector(schema, {15, 2, 2})};
+}
+
+std::vector<QoSVector> type_a_client_levels() {
+  const QoSSchema schema({"frame_rate", "image_size", "tracked_objects"});
+  return {QoSVector(schema, {30, 4, 5}), QoSVector(schema, {24, 3, 3}),
+          QoSVector(schema, {15, 2, 2})};
+}
+
+std::vector<QoSVector> type_b_server_levels() {
+  const QoSSchema schema({"sample_rate", "precision"});
+  return {QoSVector(schema, {48, 24}), QoSVector(schema, {32, 16})};
+}
+
+std::vector<QoSVector> type_b_proxy_levels() {
+  const QoSSchema schema({"sample_rate", "precision", "channels"});
+  return {QoSVector(schema, {48, 24, 6}), QoSVector(schema, {44, 20, 4}),
+          QoSVector(schema, {32, 16, 2})};
+}
+
+std::vector<QoSVector> type_b_client_levels() {
+  const QoSSchema schema({"sample_rate", "precision", "channels"});
+  return {QoSVector(schema, {48, 24, 6}), QoSVector(schema, {44, 20, 4}),
+          QoSVector(schema, {32, 16, 2})};
+}
+
+QoSVector source_quality(QosTableKind kind) {
+  if (kind == QosTableKind::kTypeA) {
+    const QoSSchema schema({"frame_rate", "image_size"});
+    return QoSVector(schema, {30, 4});
+  }
+  const QoSSchema schema({"sample_rate", "precision"});
+  return QoSVector(schema, {48, 24});
+}
+
+TranslationTable finalize(TranslationTable table,
+                          const PaperServiceOptions& options) {
+  if (options.low_diversity) table = compress_diversity(table);
+  if (options.requirement_scale != 1.0)
+    table = table.scaled(options.requirement_scale);
+  return table;
+}
+
+}  // namespace
+
+ServiceDefinition make_paper_service(std::string name, QosTableKind kind,
+                                     const ServiceResources& resources,
+                                     HostId server, HostId proxy,
+                                     HostId client,
+                                     const PaperServiceOptions& options) {
+  const bool a = kind == QosTableKind::kTypeA;
+  std::vector<ServiceComponent> components;
+  components.reserve(3);
+  components.emplace_back(
+      "c_S", a ? type_a_server_levels() : type_b_server_levels(),
+      finalize(server_table(kind, resources.server_local), options)
+          .as_function(),
+      server);
+  components.emplace_back(
+      "c_P", a ? type_a_proxy_levels() : type_b_proxy_levels(),
+      finalize(proxy_table(kind, resources.proxy_local,
+                           resources.net_server_proxy),
+               options)
+          .as_function(),
+      proxy);
+  components.emplace_back(
+      "c_C", a ? type_a_client_levels() : type_b_client_levels(),
+      finalize(client_table(kind, resources.net_proxy_client), options)
+          .as_function(),
+      client);
+  return ServiceDefinition(std::move(name), std::move(components),
+                           {{0, 1}, {1, 2}}, source_quality(kind));
+}
+
+std::vector<ResourceId> paper_service_footprint(
+    const ServiceResources& resources) {
+  return {resources.server_local, resources.proxy_local,
+          resources.net_server_proxy, resources.net_proxy_client};
+}
+
+}  // namespace qres

@@ -1,0 +1,79 @@
+// The figure-10 QoS-Resource Model definitions of the paper's evaluation.
+//
+// Services S1/S4 share the type-(a) tables, S2/S3 the type-(b) tables.
+// Every service is a chain  c_S -> c_P -> c_C  where
+//   * c_S runs on the main server and requires the server-local resource
+//     h_S,
+//   * c_P runs on a proxy host and requires the proxy-local resource h_P
+//     and the server-proxy network resource l_P^S,
+//   * c_C runs on the client and requires the proxy-client network
+//     resource l_C^P.
+//
+// The *structure* of the tables (which (Q_in, Q_out) pairs exist and the
+// paper's node labels Qa..Qr / Qa..Qn) is fixed exactly by the paper's
+// tables 1 and 2. The requirement *magnitudes* are not printed in the
+// paper's text; the values below are synthesized to produce the resource
+// trade-offs the algorithms exploit (alternative paths stressing host
+// capacity vs. bandwidth differently) — see DESIGN.md §2.
+//
+// Type (a) QRG structure (labels as in table 1):
+//   source Qa -> c_S outs {Qb,Qc,Qd} -> c_P ins {Qe,Qf,Qg},
+//   c_P outs {Qh,Qi,Qj,Qk} -> c_C ins {Ql,Qm,Qn,Qo}, c_C outs {Qp,Qq,Qr}.
+// Type (b) QRG structure (labels as in table 2):
+//   source Qa -> c_S outs {Qb,Qc} -> c_P ins {Qd,Qe},
+//   c_P outs {Qf,Qg,Qh} -> c_C ins {Qi,Qj,Qk}, c_C outs {Ql,Qm,Qn}.
+#pragma once
+
+#include "core/service.hpp"
+
+namespace qres {
+
+enum class QosTableKind : std::uint8_t {
+  kTypeA,  ///< services S1, S4 (figure 10(a))
+  kTypeB,  ///< services S2, S3 (figure 10(b))
+};
+
+/// The four end-to-end resources of one service instance (paper §5.1).
+struct ServiceResources {
+  ResourceId server_local;      ///< h_S
+  ResourceId proxy_local;       ///< h_P
+  ResourceId net_server_proxy;  ///< l_P^S
+  ResourceId net_proxy_client;  ///< l_C^P
+};
+
+/// Base requirement tables bound to concrete resource ids.
+TranslationTable server_table(QosTableKind kind, ResourceId server_local);
+TranslationTable proxy_table(QosTableKind kind, ResourceId proxy_local,
+                             ResourceId net_server_proxy);
+TranslationTable client_table(QosTableKind kind,
+                              ResourceId net_proxy_client);
+
+/// Figure-13 variant: per resource, compresses the spread of requirement
+/// values across a component's table entries to max:min = `ratio` while
+/// preserving the per-resource mean, with the remaining values evenly
+/// distributed in between and the original ordering kept (§5.2.5).
+TranslationTable compress_diversity(const TranslationTable& table,
+                                    double ratio = 3.0);
+
+struct PaperServiceOptions {
+  bool low_diversity = false;    ///< apply compress_diversity (figure 13)
+  double requirement_scale = 1.0;  ///< uniform calibration multiplier
+};
+
+/// Builds one fully-bound chain service instance (one (service type,
+/// client placement) pair of the paper's environment).
+ServiceDefinition make_paper_service(std::string name, QosTableKind kind,
+                                     const ServiceResources& resources,
+                                     HostId server, HostId proxy,
+                                     HostId client,
+                                     const PaperServiceOptions& options = {});
+
+/// The resource footprint the main QoSProxy collects for such a service.
+std::vector<ResourceId> paper_service_footprint(
+    const ServiceResources& resources);
+
+/// Number of end-to-end QoS levels (3 for both table types; the paper's
+/// levels 3 > 2 > 1).
+constexpr std::size_t kPaperQoSLevels = 3;
+
+}  // namespace qres

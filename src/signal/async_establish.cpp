@@ -1,0 +1,141 @@
+#include "signal/async_establish.hpp"
+
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+AsyncEstablisher::AsyncEstablisher(const ServiceDefinition* service,
+                                   std::vector<ResourceId> local_footprint,
+                                   std::vector<NetBinding> bindings,
+                                   BrokerRegistry* registry,
+                                   RsvpNetwork* network, EventQueue* queue,
+                                   PsiKind psi_kind)
+    : service_(service),
+      local_footprint_(std::move(local_footprint)),
+      bindings_(std::move(bindings)),
+      registry_(registry),
+      network_(network),
+      queue_(queue),
+      psi_kind_(psi_kind) {
+  QRES_REQUIRE(service != nullptr, "AsyncEstablisher: null service");
+  QRES_REQUIRE(registry != nullptr, "AsyncEstablisher: null registry");
+  QRES_REQUIRE(network != nullptr, "AsyncEstablisher: null network");
+  QRES_REQUIRE(queue != nullptr, "AsyncEstablisher: null queue");
+  QRES_REQUIRE(!bindings_.empty() || !local_footprint_.empty(),
+               "AsyncEstablisher: empty footprint");
+}
+
+void AsyncEstablisher::establish(SessionId session, double scale,
+                                 std::function<void(const Result&)> done) {
+  QRES_REQUIRE(done != nullptr, "AsyncEstablisher: null callback");
+  const double now = queue_->now();
+
+  // 1. Snapshot: local brokers plus signaled network availability.
+  AvailabilityView view = registry_->collect(local_footprint_, now);
+  for (const NetBinding& binding : bindings_)
+    view.set(binding.resource,
+             network_->route_available(binding.from, binding.to), 1.0);
+
+  // 2. Plan.
+  const Qrg qrg(*service_, view, psi_kind_, scale);
+  Rng unused(1);
+  PlanResult planned = BasicPlanner().plan(qrg, unused);
+  auto result = std::make_shared<Result>();
+  if (!planned.plan) {
+    result->completed_at = now;
+    done(*result);
+    return;
+  }
+  result->plan = std::move(planned.plan);
+  const ResourceVector total = result->plan->total_requirement();
+
+  // 3. Host resources reserve immediately (atomic locally).
+  for (ResourceId id : local_footprint_) {
+    const double amount = total.get(id);
+    if (amount <= 0.0) continue;
+    if (!registry_->broker(id).reserve(now, session, amount)) {
+      for (const auto& [held, held_amount] : result->local_holdings)
+        registry_->broker(held).release_amount(now, session, held_amount);
+      result->local_holdings.clear();
+      result->completed_at = now;
+      done(*result);
+      return;
+    }
+    result->local_holdings.push_back({id, amount});
+  }
+
+  // 4. One signaling flow per network segment with demand, concurrently.
+  struct Pending {
+    std::size_t outstanding = 0;
+    bool failed = false;
+  };
+  auto pending = std::make_shared<Pending>();
+  std::vector<std::pair<NetBinding, double>> segments;
+  for (const NetBinding& binding : bindings_) {
+    const double amount = total.get(binding.resource);
+    if (amount > 0.0) segments.push_back({binding, amount});
+  }
+  if (segments.empty()) {
+    result->success = true;
+    result->completed_at = now;
+    done(*result);
+    return;
+  }
+  pending->outstanding = segments.size();
+
+  auto finish = [this, result, pending, session, done](bool ok) {
+    if (pending->failed) return;  // already aborted
+    if (!ok) {
+      pending->failed = true;
+      // Abort: release local holdings and every flow (successful ones
+      // included; failed flows were already torn down by the caller).
+      for (const auto& [id, amount] : result->local_holdings)
+        registry_->broker(id).release_amount(queue_->now(), session,
+                                             amount);
+      result->local_holdings.clear();
+      for (FlowKey flow : result->flows) network_->teardown(flow);
+      result->flows.clear();
+      result->success = false;
+      result->completed_at = queue_->now();
+      done(*result);
+      return;
+    }
+    if (--pending->outstanding == 0) {
+      result->success = true;
+      result->completed_at = queue_->now();
+      done(*result);
+    }
+  };
+
+  for (const auto& [binding, amount] : segments) {
+    const FlowKey flow = (static_cast<std::uint64_t>(session.value()) << 20) |
+                         next_flow_++;
+    network_->open_path(flow, binding.from, binding.to);
+    result->flows.push_back(flow);
+    network_->request_reservation(
+        flow, amount, [this, flow, result, finish](const RsvpResult& r) {
+          if (!r.success) {
+            // The failed flow holds nothing; drop it from the teardown
+            // list and tear down its path state.
+            network_->teardown(flow);
+            for (auto it = result->flows.begin();
+                 it != result->flows.end(); ++it)
+              if (*it == flow) {
+                result->flows.erase(it);
+                break;
+              }
+          }
+          finish(r.success);
+        });
+  }
+}
+
+void AsyncEstablisher::teardown(const Result& result, SessionId session) {
+  for (const auto& [id, amount] : result.local_holdings)
+    registry_->broker(id).release_amount(queue_->now(), session, amount);
+  for (FlowKey flow : result.flows) network_->teardown(flow);
+}
+
+}  // namespace qres

@@ -1,0 +1,83 @@
+// Asynchronous session establishment over the signaling plane.
+//
+// The paper's §5.2.4 attributes observation inaccuracy to "the concurrency
+// among multiple service sessions as well as the varying latency in the
+// collection of multi-resource availability". The core simulation models
+// that with the staleness knob E; this module models the *mechanism*
+// itself: planning happens against a snapshot at time t, but the network
+// segments are reserved through RSVP signaling that completes hops over
+// real (simulated) time — so two establishments whose signaling windows
+// overlap genuinely race for the same bandwidth, and the loser gets a
+// ResvErr and aborts.
+//
+// Pipeline per session:
+//   1. snapshot: host availability from the broker registry, network
+//      availability per bound segment from RsvpNetwork::route_available;
+//   2. plan with the unchanged basic algorithm over that snapshot;
+//   3. reserve host resources immediately (brokers are local: atomic);
+//   4. open one signaling flow per network segment and reserve the plan's
+//      bandwidth; flows proceed concurrently;
+//   5. when the last flow confirms, the session is established; any flow
+//      failure aborts everything (local reservations and sibling flows).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "broker/registry.hpp"
+#include "core/planner.hpp"
+#include "signal/rsvp.hpp"
+
+namespace qres {
+
+class AsyncEstablisher {
+ public:
+  /// Maps a network resource id used by the service's translations to the
+  /// (sender, receiver) pair whose route carries the traffic.
+  struct NetBinding {
+    ResourceId resource;
+    HostId from;
+    HostId to;
+  };
+
+  struct Result {
+    bool success = false;
+    std::optional<ReservationPlan> plan;
+    /// Simulation time the outcome was known (>= the request time by the
+    /// signaling latency).
+    double completed_at = 0.0;
+    /// Host-resource holdings (for teardown).
+    std::vector<std::pair<ResourceId, double>> local_holdings;
+    /// Live signaling flows (for teardown).
+    std::vector<FlowKey> flows;
+  };
+
+  /// `local_footprint` lists the host resources of the service (resolved
+  /// against `registry`); `bindings` covers every network resource id the
+  /// service's translations reference.
+  AsyncEstablisher(const ServiceDefinition* service,
+                   std::vector<ResourceId> local_footprint,
+                   std::vector<NetBinding> bindings,
+                   BrokerRegistry* registry, RsvpNetwork* network,
+                   EventQueue* queue, PsiKind psi_kind = PsiKind::kRatio);
+
+  /// Starts an establishment; `done` fires once (success or failure).
+  void establish(SessionId session, double scale,
+                 std::function<void(const Result&)> done);
+
+  /// Releases everything a successful Result holds.
+  void teardown(const Result& result, SessionId session);
+
+ private:
+  const ServiceDefinition* service_;
+  std::vector<ResourceId> local_footprint_;
+  std::vector<NetBinding> bindings_;
+  BrokerRegistry* registry_;
+  RsvpNetwork* network_;
+  EventQueue* queue_;
+  PsiKind psi_kind_;
+  std::uint64_t next_flow_ = 1;
+};
+
+}  // namespace qres

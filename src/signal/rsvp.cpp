@@ -1,0 +1,205 @@
+#include "signal/rsvp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+RsvpNetwork::RsvpNetwork(const Topology* topology,
+                         std::vector<double> link_capacities,
+                         EventQueue* queue, RsvpConfig config)
+    : topology_(topology), queue_(queue), config_(config) {
+  QRES_REQUIRE(topology != nullptr, "RsvpNetwork: null topology");
+  QRES_REQUIRE(queue != nullptr, "RsvpNetwork: null event queue");
+  QRES_REQUIRE(link_capacities.size() == topology->link_count(),
+               "RsvpNetwork: one capacity per topology link required");
+  QRES_REQUIRE(config_.hop_latency >= 0.0 && config_.refresh_period > 0.0 &&
+                   config_.state_lifetime > config_.refresh_period,
+               "RsvpNetwork: lifetime must exceed the refresh period");
+  links_.resize(link_capacities.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    QRES_REQUIRE(link_capacities[l] > 0.0,
+                 "RsvpNetwork: link capacity must be positive");
+    links_[l].broker = std::make_unique<ResourceBroker>(
+        ResourceId{static_cast<std::uint32_t>(l)},
+        topology->link_name(LinkId{static_cast<std::uint32_t>(l)}),
+        link_capacities[l]);
+  }
+}
+
+void RsvpNetwork::open_path(FlowKey flow, HostId sender, HostId receiver) {
+  QRES_REQUIRE(!flows_.count(flow), "RsvpNetwork: flow already open");
+  Flow state;
+  state.sender = sender;
+  state.receiver = receiver;
+  state.route = topology_->route(sender, receiver);
+  QRES_REQUIRE(!state.route.empty(),
+               "RsvpNetwork: sender and receiver must differ");
+  flows_.emplace(flow, std::move(state));
+  // Path propagation installs path state; modeled by the refresh loop
+  // (the first refresh doubles as the initial Path message train).
+  schedule_refresh(flow);
+}
+
+void RsvpNetwork::schedule_refresh(FlowKey flow) {
+  queue_->schedule_in(config_.refresh_period, [this, flow] {
+    auto it = flows_.find(flow);
+    if (it == flows_.end() || it->second.torn_down ||
+        !it->second.refreshing)
+      return;
+    // Path + Resv refresh: push every hop's expiry out.
+    if (it->second.reserved) {
+      const double deadline = queue_->now() + config_.state_lifetime;
+      for (LinkId link : it->second.route) {
+        auto& expiry = links_[link.value()].expiry;
+        auto hop = expiry.find(flow);
+        if (hop != expiry.end()) hop->second = deadline;
+      }
+    }
+    schedule_refresh(flow);
+  });
+}
+
+void RsvpNetwork::schedule_expiry_check(LinkId link, FlowKey flow) {
+  auto& state = links_[link.value()];
+  const auto it = state.expiry.find(flow);
+  if (it == state.expiry.end()) return;
+  const double deadline = it->second;
+  queue_->schedule(deadline, [this, link, flow, deadline] {
+    auto& expiry = links_[link.value()].expiry;
+    const auto hop = expiry.find(flow);
+    if (hop == expiry.end()) return;       // torn down already
+    if (hop->second > deadline) {
+      // Refreshed in the meantime: re-arm for the new deadline.
+      schedule_expiry_check(link, flow);
+      return;
+    }
+    release_hop(link, flow);  // soft-state timeout
+  });
+}
+
+void RsvpNetwork::release_hop(LinkId link, FlowKey flow) {
+  auto& state = links_[link.value()];
+  if (state.expiry.erase(flow) > 0)
+    state.broker->release(queue_->now(),
+                          SessionId{static_cast<std::uint32_t>(flow)});
+}
+
+void RsvpNetwork::request_reservation(
+    FlowKey flow, double bandwidth,
+    std::function<void(const RsvpResult&)> done) {
+  QRES_REQUIRE(bandwidth > 0.0,
+               "RsvpNetwork: bandwidth must be positive");
+  QRES_REQUIRE(done != nullptr, "RsvpNetwork: null completion callback");
+  auto it = flows_.find(flow);
+  QRES_REQUIRE(it != flows_.end(), "RsvpNetwork: open_path first");
+  QRES_REQUIRE(!it->second.reserved,
+               "RsvpNetwork: flow already has a reservation");
+  it->second.bandwidth = bandwidth;
+
+  // The Path train must first reach the receiver (route hops), then the
+  // Resv walks back reserving hop by hop. We simulate the walk-back as a
+  // chain of per-hop events in reverse route order.
+  const double path_delay =
+      config_.hop_latency * static_cast<double>(it->second.route.size());
+  // Copy what the closure chain needs.
+  const std::vector<LinkId> route = it->second.route;
+
+  // Recursive hop processor: index counts from the last hop (receiver
+  // side) toward the sender, per footnote 1.
+  auto hop_step = std::make_shared<std::function<void(std::size_t)>>();
+  *hop_step = [this, flow, bandwidth, route, done,
+               hop_step](std::size_t reversed_index) {
+    auto flow_it = flows_.find(flow);
+    if (flow_it == flows_.end() || flow_it->second.torn_down) return;
+    const std::size_t hop = route.size() - 1 - reversed_index;
+    LinkState& link = links_[route[hop].value()];
+    const bool admitted = link.broker->reserve(
+        queue_->now(), SessionId{static_cast<std::uint32_t>(flow)},
+        bandwidth);
+    if (!admitted) {
+      // ResvErr: release the hops already reserved downstream (closer to
+      // the receiver) and report failure after the error travels back.
+      for (std::size_t r = 0; r < reversed_index; ++r)
+        release_hop(route[route.size() - 1 - r], flow);
+      const double error_delay =
+          config_.hop_latency * static_cast<double>(reversed_index + 1);
+      queue_->schedule_in(error_delay, [this, done, link_id = route[hop]] {
+        RsvpResult result;
+        result.success = false;
+        result.failed_link = link_id;
+        result.completed_at = queue_->now();
+        done(result);
+      });
+      return;
+    }
+    link.expiry[flow] = queue_->now() + config_.state_lifetime;
+    schedule_expiry_check(route[hop], flow);
+    if (reversed_index + 1 == route.size()) {
+      // Reached the sender side: reservation complete. Confirmation
+      // travels back to the receiver.
+      flow_it->second.reserved = true;
+      queue_->schedule_in(
+          config_.hop_latency * static_cast<double>(route.size()),
+          [this, done] {
+            RsvpResult result;
+            result.success = true;
+            result.completed_at = queue_->now();
+            done(result);
+          });
+      return;
+    }
+    queue_->schedule_in(config_.hop_latency,
+                        [hop_step, reversed_index] {
+                          (*hop_step)(reversed_index + 1);
+                        });
+  };
+  queue_->schedule_in(path_delay, [hop_step] { (*hop_step)(0); });
+}
+
+void RsvpNetwork::teardown(FlowKey flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  it->second.torn_down = true;
+  for (LinkId link : it->second.route) release_hop(link, flow);
+  flows_.erase(it);
+}
+
+void RsvpNetwork::stop_refreshing(FlowKey flow) {
+  auto it = flows_.find(flow);
+  QRES_REQUIRE(it != flows_.end(), "RsvpNetwork: unknown flow");
+  it->second.refreshing = false;
+}
+
+double RsvpNetwork::link_reserved(LinkId link) const {
+  QRES_REQUIRE(link.valid() && link.value() < links_.size(),
+               "RsvpNetwork: unknown link");
+  return links_[link.value()].broker->reserved();
+}
+
+double RsvpNetwork::link_capacity(LinkId link) const {
+  QRES_REQUIRE(link.valid() && link.value() < links_.size(),
+               "RsvpNetwork: unknown link");
+  return links_[link.value()].broker->capacity();
+}
+
+double RsvpNetwork::route_available(HostId from, HostId to) const {
+  const std::vector<LinkId> route = topology_->route(from, to);
+  QRES_REQUIRE(!route.empty(), "route_available: hosts must differ");
+  double minimum = std::numeric_limits<double>::infinity();
+  for (LinkId link : route) {
+    const LinkState& state = links_[link.value()];
+    minimum = std::min(minimum, state.broker->available());
+  }
+  return minimum;
+}
+
+std::size_t RsvpNetwork::link_flow_count(LinkId link) const {
+  QRES_REQUIRE(link.valid() && link.value() < links_.size(),
+               "RsvpNetwork: unknown link");
+  return links_[link.value()].expiry.size();
+}
+
+}  // namespace qres

@@ -1,0 +1,122 @@
+// Receiver-initiated, soft-state bandwidth signaling — the "RSVP-enabled
+// bandwidth broker on each router" that the paper's two-level network
+// brokerage sits on (§3, footnote 1: "to be compatible with RSVP, the
+// network Resource Broker on the receiver side initiates an end-to-end
+// network bandwidth reservation").
+//
+// The protocol follows RSVP's shape (Zhang et al. [3]):
+//   * Path messages travel sender -> receiver along the route, installing
+//     per-hop path state (the reverse-hop pointer);
+//   * Resv messages travel receiver -> sender along the reverse path,
+//     reserving bandwidth hop by hop on each link's broker; an admission
+//     failure generates a ResvErr back to the receiver and releases the
+//     hops already reserved downstream;
+//   * all state is *soft*: it expires `state_lifetime` after the last
+//     refresh unless Path/Resv refreshes re-arm it (scheduled every
+//     `refresh_period`); expiry releases the link bandwidth;
+//   * PathTear/ResvTear remove state explicitly.
+//
+// Message propagation is simulated on an EventQueue with a per-hop
+// latency, so setup latency scales with hop count and races are real.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/resource_broker.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/topology.hpp"
+
+namespace qres {
+
+/// Identifies one end-to-end flow (session) in the signaling plane.
+using FlowKey = std::uint64_t;
+
+struct RsvpConfig {
+  double hop_latency = 0.05;     ///< message propagation per hop (TU)
+  double refresh_period = 3.0;   ///< Path/Resv refresh interval
+  double state_lifetime = 10.0;  ///< soft-state expiry without refresh
+};
+
+/// Outcome of a reservation request, delivered asynchronously once the
+/// Resv (or ResvErr) completes.
+struct RsvpResult {
+  bool success = false;
+  /// Link on which admission failed (invalid on success).
+  LinkId failed_link;
+  /// Time the outcome was known at the receiver.
+  double completed_at = 0.0;
+};
+
+class RsvpNetwork {
+ public:
+  /// `link_capacity[l]` is the bandwidth of topology link l. The network
+  /// drives its timers/messages off `queue`.
+  RsvpNetwork(const Topology* topology,
+              std::vector<double> link_capacities, EventQueue* queue,
+              RsvpConfig config = {});
+
+  /// Starts Path signaling for a flow from `sender` to `receiver`; path
+  /// state installs hop by hop and is refreshed automatically until
+  /// teardown (or stop_refreshing). Requires a route to exist.
+  void open_path(FlowKey flow, HostId sender, HostId receiver);
+
+  /// Receiver-initiated reservation of `bandwidth` along the flow's
+  /// (reverse) path. `done` fires when the outcome is known. Requires
+  /// open_path first; the Resv starts once path state has reached the
+  /// receiver (it is scheduled after the Path propagation delay).
+  void request_reservation(FlowKey flow, double bandwidth,
+                           std::function<void(const RsvpResult&)> done);
+
+  /// Explicit teardown (PathTear + ResvTear): releases every hop now.
+  void teardown(FlowKey flow);
+
+  /// Stops refreshing a flow's state (simulates endpoint failure); the
+  /// soft state then expires and releases within state_lifetime.
+  void stop_refreshing(FlowKey flow);
+
+  /// Reserved bandwidth currently held on a link (enforcement view).
+  double link_reserved(LinkId link) const;
+  double link_capacity(LinkId link) const;
+
+  /// Current end-to-end availability between two hosts: the minimum
+  /// unreserved bandwidth along the route (what a higher-level network
+  /// Resource Broker reports to the QoSProxy, §3).
+  double route_available(HostId from, HostId to) const;
+
+  /// Number of flows with live reservation state on the link.
+  std::size_t link_flow_count(LinkId link) const;
+
+ private:
+  struct Flow {
+    HostId sender;
+    HostId receiver;
+    std::vector<LinkId> route;  // sender -> receiver order
+    double bandwidth = 0.0;
+    bool reserved = false;
+    bool refreshing = true;
+    bool torn_down = false;
+  };
+
+  /// Per-link soft reservation state.
+  struct LinkState {
+    std::unique_ptr<ResourceBroker> broker;
+    /// flow -> expiry deadline (refresh pushes it out).
+    std::map<FlowKey, double> expiry;
+  };
+
+  void schedule_refresh(FlowKey flow);
+  void schedule_expiry_check(LinkId link, FlowKey flow);
+  void release_hop(LinkId link, FlowKey flow);
+
+  const Topology* topology_;
+  EventQueue* queue_;
+  RsvpConfig config_;
+  std::vector<LinkState> links_;
+  std::map<FlowKey, Flow> flows_;
+};
+
+}  // namespace qres

@@ -1,0 +1,80 @@
+// Discrete-event simulation engine.
+//
+// A time-ordered queue of closures. Events at equal times run in
+// scheduling order (a monotonic sequence number breaks ties), which keeps
+// every simulation fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+class EventQueue {
+ public:
+  /// Current simulation time (the time of the last executed event).
+  double now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute `time`; requires time >= now().
+  void schedule(double time, std::function<void()> action) {
+    QRES_REQUIRE(time >= now_, "EventQueue::schedule: time in the past");
+    QRES_REQUIRE(action != nullptr, "EventQueue::schedule: null action");
+    heap_.push(Event{time, next_seq_++, std::move(action)});
+  }
+
+  /// Schedules `action` `delay` time units from now; requires delay >= 0.
+  void schedule_in(double delay, std::function<void()> action) {
+    QRES_REQUIRE(delay >= 0.0, "EventQueue::schedule_in: negative delay");
+    schedule(now_ + delay, std::move(action));
+  }
+
+  std::size_t pending() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Executes the earliest event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move the action out before popping (top() is const; the comparator
+    // heap stores by value).
+    Event event = heap_.top();
+    heap_.pop();
+    now_ = event.time;
+    event.action();
+    return true;
+  }
+
+  /// Runs events with time <= end_time (inclusive); afterwards now() is
+  /// max(now, end_time) and later events remain pending.
+  void run_until(double end_time) {
+    QRES_REQUIRE(end_time >= now_, "EventQueue::run_until: time in the past");
+    while (!heap_.empty() && heap_.top().time <= end_time) step();
+    if (now_ < end_time) now_ = end_time;
+  }
+
+  /// Runs until no events remain.
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> action;
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace qres

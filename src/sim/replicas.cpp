@@ -1,0 +1,36 @@
+#include "sim/replicas.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t index) {
+  // splitmix64 over (base, index) gives well-separated streams.
+  std::uint64_t state = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  return splitmix64(state);
+}
+
+SimulationStats run_replicas(
+    std::size_t count, std::uint64_t base_seed,
+    const std::function<SimulationStats(std::uint64_t, std::size_t)>& run_one,
+    ThreadPool* pool) {
+  QRES_REQUIRE(count > 0, "run_replicas: at least one replica required");
+  QRES_REQUIRE(run_one != nullptr, "run_replicas: null replica function");
+  std::vector<SimulationStats> results(count);
+  if (pool != nullptr) {
+    pool->parallel_for(count, [&](std::size_t i) {
+      results[i] = run_one(replica_seed(base_seed, i), i);
+    });
+  } else {
+    for (std::size_t i = 0; i < count; ++i)
+      results[i] = run_one(replica_seed(base_seed, i), i);
+  }
+  SimulationStats merged;
+  for (const SimulationStats& r : results) merged.merge(r);
+  return merged;
+}
+
+}  // namespace qres

@@ -1,0 +1,29 @@
+// Parallel multi-replica experiment runner.
+//
+// Experiments average several independent simulation replicas. Replicas
+// are embarrassingly parallel: each gets a deterministically derived seed
+// and an output slot indexed by replica number, and results are merged in
+// index order — so the aggregate is bit-identical regardless of how many
+// worker threads execute the replicas.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qres {
+
+/// Derives the seed for replica `index` from `base_seed`.
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t index);
+
+/// Runs `count` replicas of `run_one(seed, index)` and merges their
+/// statistics in index order. Uses `pool` when provided, otherwise runs
+/// sequentially.
+SimulationStats run_replicas(
+    std::size_t count, std::uint64_t base_seed,
+    const std::function<SimulationStats(std::uint64_t, std::size_t)>& run_one,
+    ThreadPool* pool = nullptr);
+
+}  // namespace qres

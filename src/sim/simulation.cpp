@@ -1,0 +1,88 @@
+#include "sim/simulation.hpp"
+
+#include <memory>
+
+#include "sim/event_queue.hpp"
+#include "util/assert.hpp"
+
+namespace qres {
+
+Simulation::Simulation(SessionSource source, const IPlanner* planner,
+                       SimulationConfig config)
+    : source_(std::move(source)), planner_(planner), config_(config) {
+  QRES_REQUIRE(source_ != nullptr, "Simulation: null session source");
+  QRES_REQUIRE(planner_ != nullptr, "Simulation: null planner");
+  QRES_REQUIRE(config_.arrival_rate > 0.0,
+               "Simulation: arrival rate must be positive");
+  QRES_REQUIRE(config_.run_length > 0.0,
+               "Simulation: run length must be positive");
+  QRES_REQUIRE(config_.staleness_max >= 0.0,
+               "Simulation: negative staleness");
+}
+
+SimulationStats Simulation::run() {
+  SimulationStats stats;
+  EventQueue queue;
+  Rng rng(config_.seed);
+  std::uint32_t next_session = 0;
+
+  // The arrival closure reschedules itself until run_length.
+  std::function<void()> arrival = [&] {
+    const double now = queue.now();
+
+    const SessionSpec spec = source_(rng, now);
+    QRES_ASSERT(spec.coordinator != nullptr);
+    const SessionId session{next_session++};
+
+    // Observation staleness (§5.2.4): each resource may have been observed
+    // up to E time units ago, independently.
+    std::function<double(ResourceId)> staleness;
+    if (config_.staleness_max > 0.0) {
+      staleness = [&rng, this](ResourceId) {
+        return rng.uniform(0.0, config_.staleness_max);
+      };
+    }
+
+    EstablishResult result = spec.coordinator->establish(
+        session, now, *planner_, rng, spec.traits.scale, staleness);
+
+    const std::size_t level_count =
+        spec.coordinator->service().end_to_end_ranking().size();
+    const double qos_level =
+        result.plan ? static_cast<double>(level_count -
+                                          result.plan->end_to_end_rank)
+                    : 0.0;
+    stats.record_session(spec.traits.session_class(), result.success,
+                         qos_level, !result.plan.has_value());
+    if (result.plan) {
+      if (result.plan->bottleneck_resource.valid())
+        stats.record_bottleneck(result.plan->bottleneck_resource);
+      if (result.success && config_.record_paths && !spec.path_group.empty())
+        stats.record_path(spec.path_group,
+                          plan_path_string(spec.coordinator->service(),
+                                           *result.plan));
+    }
+
+    if (result.success) {
+      // Hold the reservations until departure.
+      auto holdings = std::make_shared<
+          std::vector<std::pair<ResourceId, double>>>(
+          std::move(result.holdings));
+      SessionCoordinator* coordinator = spec.coordinator;
+      queue.schedule_in(spec.traits.duration,
+                        [holdings, coordinator, session, &queue] {
+                          coordinator->teardown(*holdings, session,
+                                                queue.now());
+                        });
+    }
+
+    const double next_time = now + rng.exponential(config_.arrival_rate);
+    if (next_time <= config_.run_length) queue.schedule(next_time, arrival);
+  };
+
+  queue.schedule(rng.exponential(config_.arrival_rate), arrival);
+  queue.run_all();
+  return stats;
+}
+
+}  // namespace qres

@@ -1,0 +1,67 @@
+// The reservation-environment simulation driver (paper §5.1).
+//
+// Sessions arrive as a Poisson process; each arrival draws a session
+// specification (service instance, traits) from a pluggable session
+// source, runs the three-phase establishment through the session's
+// coordinator, and — on success — holds the reservations until a departure
+// event releases them.
+//
+// Determinism: everything derives from SimulationConfig::seed; two runs
+// with the same configuration and session source produce identical
+// statistics.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "proxy/qos_proxy.hpp"
+#include "sim/stats.hpp"
+#include "sim/workload.hpp"
+
+namespace qres {
+
+/// One sampled session: which service instance it requests (the paper's
+/// (service type, client domain) pair resolves to one coordinator), its
+/// workload traits, and the histogram group for table-1/2 path recording
+/// (empty = do not record).
+struct SessionSpec {
+  SessionCoordinator* coordinator = nullptr;
+  SessionTraits traits;
+  std::string path_group;
+};
+
+/// Draws the next session at simulation time `now`. The source may keep
+/// state (e.g. the paper's dynamically changing service popularity).
+using SessionSource = std::function<SessionSpec(Rng& rng, double now)>;
+
+struct SimulationConfig {
+  /// Session arrival rate in sessions per time unit (the paper sweeps
+  /// 60..240 sessions per 60 TUs, i.e. 1.0..4.0 here).
+  double arrival_rate = 1.0;
+  /// Arrivals are generated for [0, run_length] (paper: 10800 TUs).
+  double run_length = 10800.0;
+  std::uint64_t seed = 1;
+  /// Maximum observation staleness E (§5.2.4). Each resource of each
+  /// establishment is observed U(0, E) time units in the past; 0 =
+  /// accurate observations.
+  double staleness_max = 0.0;
+  /// Record per-session reservation paths (tables 1/2). Costs memory on
+  /// long sweeps; disable when not needed.
+  bool record_paths = true;
+};
+
+class Simulation {
+ public:
+  Simulation(SessionSource source, const IPlanner* planner,
+             SimulationConfig config);
+
+  /// Runs the full simulation and returns the collected statistics.
+  SimulationStats run();
+
+ private:
+  SessionSource source_;
+  const IPlanner* planner_;
+  SimulationConfig config_;
+};
+
+}  // namespace qres

@@ -1,0 +1,46 @@
+#include "sim/stats.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+void SimulationStats::record_session(SessionClass session_class, bool success,
+                                     double qos_level, bool planning_failed) {
+  overall_.record(success);
+  per_class_[static_cast<std::size_t>(session_class)].record(success);
+  if (success) {
+    qos_.add(qos_level);
+    qos_per_class_[static_cast<std::size_t>(session_class)].add(qos_level);
+  } else if (planning_failed) {
+    ++plan_failures_;
+  } else {
+    ++admission_failures_;
+  }
+}
+
+void SimulationStats::record_path(const std::string& group,
+                                  const std::string& path) {
+  ++paths_[group][path];
+}
+
+void SimulationStats::record_bottleneck(ResourceId resource) {
+  QRES_REQUIRE(resource.valid(), "record_bottleneck: invalid resource");
+  ++bottlenecks_[resource.value()];
+}
+
+void SimulationStats::merge(const SimulationStats& other) {
+  overall_.merge(other.overall_);
+  qos_.merge(other.qos_);
+  for (std::size_t i = 0; i < kSessionClassCount; ++i) {
+    per_class_[i].merge(other.per_class_[i]);
+    qos_per_class_[i].merge(other.qos_per_class_[i]);
+  }
+  plan_failures_ += other.plan_failures_;
+  admission_failures_ += other.admission_failures_;
+  for (const auto& [group, histogram] : other.paths_)
+    for (const auto& [path, count] : histogram) paths_[group][path] += count;
+  for (const auto& [resource, count] : other.bottlenecks_)
+    bottlenecks_[resource] += count;
+}
+
+}  // namespace qres

@@ -1,0 +1,77 @@
+// Metric collection for simulation runs.
+//
+// Records the paper's two key metrics — overall reservation success rate
+// and average end-to-end QoS level of *successful* sessions — overall and
+// per session class, plus the table-1/2 path-selection histograms and
+// per-resource bottleneck counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/ids.hpp"
+#include "sim/workload.hpp"
+#include "util/summary.hpp"
+
+namespace qres {
+
+class SimulationStats {
+ public:
+  /// Records one session attempt. `qos_level` is the paper-style level
+  /// value of the achieved end-to-end QoS (L = best, 1 = worst; the rank
+  /// converted by the caller); only consumed when success is true.
+  /// `planning_failed` distinguishes "no feasible plan existed" from
+  /// "plan existed but the reservation was rejected" (possible under
+  /// stale observations).
+  void record_session(SessionClass session_class, bool success,
+                      double qos_level, bool planning_failed);
+
+  /// Records the selected end-to-end reservation path (tables 1/2) under
+  /// a histogram group (e.g. the figure-10(a) vs 10(b) QoS tables).
+  void record_path(const std::string& group, const std::string& path);
+
+  /// Records which resource was the bottleneck of a computed plan.
+  void record_bottleneck(ResourceId resource);
+
+  // --- accessors -----------------------------------------------------
+  const Ratio& overall_success() const noexcept { return overall_; }
+  const Ratio& class_success(SessionClass c) const {
+    return per_class_[static_cast<std::size_t>(c)];
+  }
+  const Summary& overall_qos() const noexcept { return qos_; }
+  const Summary& class_qos(SessionClass c) const {
+    return qos_per_class_[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t planning_failures() const noexcept { return plan_failures_; }
+  std::uint64_t admission_failures() const noexcept {
+    return admission_failures_;
+  }
+
+  /// group -> path -> count.
+  const std::map<std::string, std::map<std::string, std::uint64_t>>&
+  path_histogram() const noexcept {
+    return paths_;
+  }
+
+  const std::map<std::uint32_t, std::uint64_t>& bottleneck_counts()
+      const noexcept {
+    return bottlenecks_;
+  }
+
+  /// Merges another run's statistics (replica aggregation).
+  void merge(const SimulationStats& other);
+
+ private:
+  Ratio overall_;
+  std::array<Ratio, kSessionClassCount> per_class_;
+  Summary qos_;
+  std::array<Summary, kSessionClassCount> qos_per_class_;
+  std::uint64_t plan_failures_ = 0;
+  std::uint64_t admission_failures_ = 0;
+  std::map<std::string, std::map<std::string, std::uint64_t>> paths_;
+  std::map<std::uint32_t, std::uint64_t> bottlenecks_;
+};
+
+}  // namespace qres

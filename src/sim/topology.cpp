@@ -1,0 +1,96 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+HostId Topology::add_host(std::string name) {
+  QRES_REQUIRE(!name.empty(), "Topology::add_host: empty name");
+  hosts_.push_back(Host{std::move(name), {}});
+  return HostId{static_cast<std::uint32_t>(hosts_.size() - 1)};
+}
+
+LinkId Topology::add_link(std::string name, HostId a, HostId b) {
+  QRES_REQUIRE(!name.empty(), "Topology::add_link: empty name");
+  QRES_REQUIRE(a.valid() && a.value() < hosts_.size(),
+               "Topology::add_link: unknown host a");
+  QRES_REQUIRE(b.valid() && b.value() < hosts_.size(),
+               "Topology::add_link: unknown host b");
+  QRES_REQUIRE(a != b, "Topology::add_link: self-link");
+  links_.push_back(Link{std::move(name), a, b});
+  const LinkId id{static_cast<std::uint32_t>(links_.size() - 1)};
+  hosts_[a.value()].links.push_back(id);
+  hosts_[b.value()].links.push_back(id);
+  return id;
+}
+
+const Topology::Host& Topology::host(HostId id) const {
+  QRES_REQUIRE(id.valid() && id.value() < hosts_.size(),
+               "Topology: unknown host id");
+  return hosts_[id.value()];
+}
+
+const Topology::Link& Topology::link(LinkId id) const {
+  QRES_REQUIRE(id.valid() && id.value() < links_.size(),
+               "Topology: unknown link id");
+  return links_[id.value()];
+}
+
+const std::string& Topology::host_name(HostId id) const {
+  return host(id).name;
+}
+
+const std::string& Topology::link_name(LinkId id) const {
+  return link(id).name;
+}
+
+std::pair<HostId, HostId> Topology::link_endpoints(LinkId id) const {
+  const Link& l = link(id);
+  return {l.a, l.b};
+}
+
+const std::vector<LinkId>& Topology::links_of(HostId id) const {
+  return host(id).links;
+}
+
+std::vector<LinkId> Topology::route(HostId from, HostId to) const {
+  host(from);
+  host(to);
+  if (from == to) return {};
+
+  // BFS over hosts; neighbors visited in ascending link id order so the
+  // chosen shortest route is deterministic.
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> via_link(hosts_.size(), kUnvisited);
+  std::vector<std::uint32_t> via_host(hosts_.size(), kUnvisited);
+  std::deque<HostId> frontier{from};
+  via_host[from.value()] = from.value();
+  while (!frontier.empty()) {
+    const HostId current = frontier.front();
+    frontier.pop_front();
+    if (current == to) break;
+    std::vector<LinkId> sorted = hosts_[current.value()].links;
+    std::sort(sorted.begin(), sorted.end());
+    for (LinkId lid : sorted) {
+      const Link& l = links_[lid.value()];
+      const HostId next = (l.a == current) ? l.b : l.a;
+      if (via_host[next.value()] != kUnvisited) continue;
+      via_host[next.value()] = current.value();
+      via_link[next.value()] = lid.value();
+      frontier.push_back(next);
+    }
+  }
+  QRES_REQUIRE(via_host[to.value()] != kUnvisited,
+               "Topology::route: hosts are not connected");
+
+  std::vector<LinkId> path;
+  for (std::uint32_t h = to.value(); h != from.value(); h = via_host[h])
+    path.push_back(LinkId{via_link[h]});
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace qres

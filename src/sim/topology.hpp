@@ -1,0 +1,52 @@
+// Network topology: hosts connected by bidirectional links, with
+// shortest-path (minimum hop count) routing. Used by the scenario layer to
+// compose two-level network resources from per-link brokers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace qres {
+
+class Topology {
+ public:
+  HostId add_host(std::string name);
+  /// Adds a bidirectional link between two distinct existing hosts.
+  LinkId add_link(std::string name, HostId a, HostId b);
+
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  const std::string& host_name(HostId id) const;
+  const std::string& link_name(LinkId id) const;
+  std::pair<HostId, HostId> link_endpoints(LinkId id) const;
+
+  /// Minimum-hop route from `from` to `to` as an ordered list of links
+  /// (BFS; ties broken by lower link id for determinism). Empty when
+  /// from == to. Throws when no route exists.
+  std::vector<LinkId> route(HostId from, HostId to) const;
+
+  /// Links incident to a host.
+  const std::vector<LinkId>& links_of(HostId id) const;
+
+ private:
+  struct Host {
+    std::string name;
+    std::vector<LinkId> links;
+  };
+  struct Link {
+    std::string name;
+    HostId a;
+    HostId b;
+  };
+
+  const Host& host(HostId id) const;
+  const Link& link(LinkId id) const;
+
+  std::vector<Host> hosts_;
+  std::vector<Link> links_;
+};
+
+}  // namespace qres

@@ -1,0 +1,53 @@
+#include "sim/workload.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+const char* to_string(SessionClass c) noexcept {
+  switch (c) {
+    case SessionClass::kNormalShort:
+      return "norm.-short";
+    case SessionClass::kNormalLong:
+      return "norm.-long";
+    case SessionClass::kFatShort:
+      return "fat-short";
+    case SessionClass::kFatLong:
+      return "fat-long";
+  }
+  return "unknown";
+}
+
+SessionTraits sample_traits(const WorkloadConfig& config, Rng& rng) {
+  QRES_REQUIRE(config.short_min > 0.0 && config.short_min <= config.short_max,
+               "WorkloadConfig: bad short duration range");
+  QRES_REQUIRE(config.long_min <= config.long_max,
+               "WorkloadConfig: bad long duration range");
+  SessionTraits traits;
+  traits.fat = rng.bernoulli(config.fat_fraction);
+  if (traits.fat) {
+    traits.scale = rng.bernoulli(config.fat10_fraction)
+                       ? config.fat_scale_large
+                       : config.fat_scale_small;
+  }
+  traits.is_long = rng.bernoulli(config.long_fraction);
+  traits.duration = traits.is_long
+                        ? rng.uniform(config.long_min, config.long_max)
+                        : rng.uniform(config.short_min, config.short_max);
+  return traits;
+}
+
+double mean_duration(const WorkloadConfig& config) noexcept {
+  const double short_mean = 0.5 * (config.short_min + config.short_max);
+  const double long_mean = 0.5 * (config.long_min + config.long_max);
+  return (1.0 - config.long_fraction) * short_mean +
+         config.long_fraction * long_mean;
+}
+
+double mean_scale(const WorkloadConfig& config) noexcept {
+  const double fat_mean = config.fat10_fraction * config.fat_scale_large +
+                          (1.0 - config.fat10_fraction) * config.fat_scale_small;
+  return (1.0 - config.fat_fraction) * 1.0 + config.fat_fraction * fat_mean;
+}
+
+}  // namespace qres

@@ -1,0 +1,68 @@
+// Workload model of the paper's evaluation (§5.1).
+//
+// Sessions are heterogeneous along two axes:
+//  * resource requirement: "normal" sessions reserve the base requirement,
+//    "fat" sessions reserve N times the base with N in {2, 10}; the
+//    normal:fat ratio is 1:2;
+//  * duration: drawn from [20, 600] time units with a forced short:long
+//    ratio of 2:1 around the 60-TU threshold (short ~ U(20,60),
+//    long ~ U(60,600)) — a single uniform draw over [20,600] could not
+//    satisfy the paper's stated 2:1 ratio.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace qres {
+
+/// The four session classes of the paper's tables 3/4.
+enum class SessionClass : std::uint8_t {
+  kNormalShort = 0,
+  kNormalLong = 1,
+  kFatShort = 2,
+  kFatLong = 3,
+};
+
+constexpr std::size_t kSessionClassCount = 4;
+
+const char* to_string(SessionClass c) noexcept;
+
+struct WorkloadConfig {
+  /// P(session is fat); the paper's normal:fat = 1:2.
+  double fat_fraction = 2.0 / 3.0;
+  /// Among fat sessions, P(N = 10) (otherwise N = 2).
+  double fat10_fraction = 0.5;
+  double fat_scale_small = 2.0;
+  double fat_scale_large = 10.0;
+
+  /// P(session is long); the paper's long:short = 1:2.
+  double long_fraction = 1.0 / 3.0;
+  double short_min = 20.0;
+  double short_max = 60.0;  ///< the paper's long/short threshold
+  double long_min = 60.0;
+  double long_max = 600.0;
+};
+
+struct SessionTraits {
+  bool fat = false;
+  bool is_long = false;
+  /// Requirement multiplier (1, 2 or 10).
+  double scale = 1.0;
+  double duration = 0.0;
+  SessionClass session_class() const noexcept {
+    return static_cast<SessionClass>((fat ? 2 : 0) + (is_long ? 1 : 0));
+  }
+};
+
+/// Samples one session's traits.
+SessionTraits sample_traits(const WorkloadConfig& config, Rng& rng);
+
+/// Mean session duration implied by the configuration (used by load
+/// calculations and tests).
+double mean_duration(const WorkloadConfig& config) noexcept;
+
+/// Mean requirement multiplier implied by the configuration.
+double mean_scale(const WorkloadConfig& config) noexcept;
+
+}  // namespace qres

@@ -1,0 +1,69 @@
+// Contract-checking macros (C++ Core Guidelines I.6/I.8 style).
+//
+// QRES_REQUIRE  - precondition on a public API; always checked, throws
+//                 qres::ContractViolation so callers can test misuse.
+// QRES_ENSURE   - postcondition; always checked, throws.
+// QRES_ASSERT   - internal invariant; checked unless NDEBUG, aborts.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qres {
+
+/// Thrown when a checked precondition or postcondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string text(kind);
+  text += " failed: ";
+  text += expr;
+  text += " at ";
+  text += file;
+  text += ":";
+  text += std::to_string(line);
+  if (!msg.empty()) {
+    text += " (";
+    text += msg;
+    text += ")";
+  }
+  throw ContractViolation(text);
+}
+}  // namespace detail
+
+}  // namespace qres
+
+#define QRES_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::qres::detail::contract_fail("precondition", #expr, __FILE__,        \
+                                    __LINE__, (msg));                       \
+  } while (false)
+
+#define QRES_ENSURE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::qres::detail::contract_fail("postcondition", #expr, __FILE__,       \
+                                    __LINE__, (msg));                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define QRES_ASSERT(expr) ((void)0)
+#else
+#include <cstdlib>
+#include <cstdio>
+#define QRES_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::fprintf(stderr, "QRES_ASSERT failed: %s at %s:%d\n", #expr,      \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+#endif

@@ -1,0 +1,112 @@
+// A small sorted-vector map.
+//
+// Resource vectors in this library hold a handful of entries (the paper's
+// scenarios use 1-4 resources per component); a contiguous sorted vector
+// beats node-based maps on both locality and allocation count
+// (Core Guidelines P.10 / SL.con.2: prefer vector-backed containers).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+  using iterator = typename std::vector<value_type>::iterator;
+
+  FlatMap() = default;
+
+  /// Builds from an unsorted list; later duplicates overwrite earlier ones.
+  FlatMap(std::initializer_list<value_type> init) {
+    for (const auto& [k, v] : init) insert_or_assign(k, v);
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  const_iterator begin() const noexcept { return entries_.begin(); }
+  const_iterator end() const noexcept { return entries_.end(); }
+  iterator begin() noexcept { return entries_.begin(); }
+  iterator end() noexcept { return entries_.end(); }
+
+  bool contains(const Key& key) const noexcept { return find(key) != end(); }
+
+  const_iterator find(const Key& key) const noexcept {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+
+  iterator find(const Key& key) noexcept {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+
+  /// Inserts or overwrites; returns a reference to the stored value.
+  Value& insert_or_assign(const Key& key, Value value) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) {
+      it->second = std::move(value);
+      return it->second;
+    }
+    it = entries_.insert(it, {key, std::move(value)});
+    return it->second;
+  }
+
+  /// Operator[] default-constructs missing values, like std::map.
+  Value& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return it->second;
+    it = entries_.insert(it, {key, Value{}});
+    return it->second;
+  }
+
+  /// Checked access; requires the key to be present.
+  const Value& at(const Key& key) const {
+    auto it = find(key);
+    QRES_REQUIRE(it != end(), "FlatMap::at: key not found");
+    return it->second;
+  }
+
+  Value& at(const Key& key) {
+    auto it = find(key);
+    QRES_REQUIRE(it != end(), "FlatMap::at: key not found");
+    return it->second;
+  }
+
+  /// Removes the key if present; returns whether anything was removed.
+  bool erase(const Key& key) noexcept {
+    auto it = find(key);
+    if (it == end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  const_iterator lower_bound(const Key& key) const noexcept {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  iterator lower_bound(const Key& key) noexcept {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace qres

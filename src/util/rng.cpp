@@ -1,0 +1,29 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace qres {
+
+double Rng::exponential(double rate) {
+  QRES_REQUIRE(rate > 0.0, "exponential: rate must be positive");
+  // Inverse-CDF; 1 - uniform01() is in (0, 1] so log() is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  QRES_REQUIRE(!weights.empty(), "categorical: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    QRES_REQUIRE(w >= 0.0, "categorical: negative weight");
+    total += w;
+  }
+  QRES_REQUIRE(total > 0.0, "categorical: weights sum to zero");
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace qres

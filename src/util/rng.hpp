@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation for reproducible
+// simulations.
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded via splitmix64 rather
+// than relying on std::mt19937 + std:: distributions, because the standard
+// distributions are not bit-reproducible across standard-library
+// implementations. Every simulation in this repository is reproducible from
+// a single 64-bit seed, on any platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    QRES_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi] (Lemire-style
+  /// unbiased bounded generation).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    QRES_REQUIRE(lo <= hi, "uniform_u64: lo must be <= hi");
+    const std::uint64_t range = hi - lo;
+    if (range == ~0ULL) return (*this)();
+    const std::uint64_t bound = range + 1;
+    // Rejection sampling on the top bits to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return lo + r % bound;
+    }
+  }
+
+  /// Uniform int in [lo, hi], inclusive.
+  int uniform_int(int lo, int hi) {
+    QRES_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+    return lo + static_cast<int>(uniform_u64(
+                    0, static_cast<std::uint64_t>(hi) - lo));
+  }
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    QRES_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p out of [0,1]");
+    return uniform01() < p;
+  }
+
+  /// Samples an index proportional to the (non-negative) weights.
+  /// Requires a non-empty weight vector with a positive sum.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Deterministically derives an independent child generator; used to give
+  /// each simulation replica / entity its own stream.
+  Rng fork() noexcept {
+    std::uint64_t s = (*this)();
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace qres

@@ -1,0 +1,111 @@
+// Streaming summary statistics (Welford) and ratio counters.
+//
+// Used by the simulator's metric collection and by the experiment
+// harnesses to aggregate across replicas.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+/// Single-pass mean / variance accumulator (Welford's algorithm, which is
+/// numerically stable for long simulation runs).
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Mean of the observations; requires at least one observation.
+  double mean() const {
+    QRES_REQUIRE(count_ > 0, "Summary::mean on empty summary");
+    return mean_;
+  }
+
+  /// Unbiased sample variance; zero for fewer than two observations.
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_half_width() const noexcept {
+    if (count_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  double min() const {
+    QRES_REQUIRE(count_ > 0, "Summary::min on empty summary");
+    return min_;
+  }
+  double max() const {
+    QRES_REQUIRE(count_ > 0, "Summary::max on empty summary");
+    return max_;
+  }
+
+  /// Merges another summary (parallel reduction across replicas).
+  void merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Success/attempt ratio counter (e.g. reservation success rate).
+class Ratio {
+ public:
+  void record(bool success) noexcept {
+    ++attempts_;
+    if (success) ++successes_;
+  }
+
+  std::uint64_t attempts() const noexcept { return attempts_; }
+  std::uint64_t successes() const noexcept { return successes_; }
+
+  /// Fraction of successes; zero when nothing was recorded.
+  double value() const noexcept {
+    return attempts_ == 0
+               ? 0.0
+               : static_cast<double>(successes_) / static_cast<double>(attempts_);
+  }
+
+  void merge(const Ratio& other) noexcept {
+    attempts_ += other.attempts_;
+    successes_ += other.successes_;
+  }
+
+ private:
+  std::uint64_t attempts_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+}  // namespace qres

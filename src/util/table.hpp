@@ -1,0 +1,38 @@
+// Fixed-width console table printer used by the experiment harnesses to
+// print paper-style tables, plus a tiny CSV writer for machine-readable
+// output of the same series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qres {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline, each column padded to its widest cell.
+  void print(std::ostream& os) const;
+
+  /// Renders the same content as CSV (no padding, comma-separated).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Formats a double with the given number of decimals (locale-free).
+  static std::string fmt(double value, int decimals = 2);
+  /// Formats a fraction as a percentage string like "97.3%".
+  static std::string pct(double fraction, int decimals = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qres

@@ -1,0 +1,56 @@
+// A minimal fixed-size thread pool for embarrassingly parallel work:
+// running independent simulation replicas concurrently.
+//
+// Determinism contract: callers assign each task its own pre-derived RNG
+// stream and an output slot indexed by task id, so results are identical
+// regardless of worker count or scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qres {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1; defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Enqueues a task. Must not be called after wait() begins from another
+  /// thread; tasks may enqueue further tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including transitively submitted
+  /// ones) has finished.
+  void wait();
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Exceptions from tasks propagate: the first one is rethrown.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace qres

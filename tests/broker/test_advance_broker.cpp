@@ -1,0 +1,172 @@
+#include "broker/advance_broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+const ResourceId rid{0};
+const SessionId s1{1}, s2{2};
+
+AdvanceBroker make(double capacity = 100.0) {
+  return AdvanceBroker(rid, "cpu", capacity);
+}
+
+TEST(AdvanceBroker, ConstructionContracts) {
+  EXPECT_THROW(AdvanceBroker(ResourceId{}, "x", 10.0), ContractViolation);
+  EXPECT_THROW(AdvanceBroker(rid, "", 10.0), ContractViolation);
+  EXPECT_THROW(AdvanceBroker(rid, "x", 0.0), ContractViolation);
+}
+
+TEST(AdvanceBroker, EmptyBookIsFullyAvailable) {
+  AdvanceBroker broker = make();
+  EXPECT_EQ(broker.min_available(0.0, 100.0), 100.0);
+  EXPECT_EQ(broker.booking_count(), 0u);
+}
+
+TEST(AdvanceBroker, BookingReducesWindowAvailability) {
+  AdvanceBroker broker = make();
+  const BookingId b = broker.book(s1, 30.0, 10.0, 20.0);
+  ASSERT_NE(b, 0u);
+  EXPECT_EQ(broker.min_available(10.0, 20.0), 70.0);
+  EXPECT_EQ(broker.min_available(12.0, 18.0), 70.0);
+  // Outside the window the booking does not count.
+  EXPECT_EQ(broker.min_available(0.0, 10.0), 100.0);   // end-exclusive
+  EXPECT_EQ(broker.min_available(20.0, 30.0), 100.0);  // start-inclusive
+  // Overlapping windows see the peak.
+  EXPECT_EQ(broker.min_available(0.0, 15.0), 70.0);
+  EXPECT_EQ(broker.min_available(15.0, 30.0), 70.0);
+}
+
+TEST(AdvanceBroker, OverlappingBookingsStack) {
+  AdvanceBroker broker = make();
+  ASSERT_NE(broker.book(s1, 40.0, 0.0, 20.0), 0u);
+  ASSERT_NE(broker.book(s2, 40.0, 10.0, 30.0), 0u);
+  EXPECT_EQ(broker.min_available(0.0, 30.0), 20.0);   // peak at overlap
+  EXPECT_EQ(broker.min_available(0.0, 10.0), 60.0);
+  EXPECT_EQ(broker.min_available(20.0, 30.0), 60.0);
+}
+
+TEST(AdvanceBroker, NonOverlappingBookingsDoNotStack) {
+  AdvanceBroker broker = make();
+  ASSERT_NE(broker.book(s1, 80.0, 0.0, 10.0), 0u);
+  // Back-to-back booking of the same amount fits (end-exclusive).
+  EXPECT_NE(broker.book(s2, 80.0, 10.0, 20.0), 0u);
+}
+
+TEST(AdvanceBroker, AdmissionControlRejectsPeakOverflow) {
+  AdvanceBroker broker = make();
+  ASSERT_NE(broker.book(s1, 70.0, 10.0, 20.0), 0u);
+  // Would overlap at [15, 20): 70 + 40 > 100.
+  EXPECT_EQ(broker.book(s2, 40.0, 15.0, 25.0), 0u);
+  // Nothing changed on failure.
+  EXPECT_EQ(broker.min_available(15.0, 25.0), 30.0);
+  // Fitting amount succeeds.
+  EXPECT_NE(broker.book(s2, 30.0, 15.0, 25.0), 0u);
+}
+
+TEST(AdvanceBroker, CancelRestoresAvailability) {
+  AdvanceBroker broker = make();
+  const BookingId b = broker.book(s1, 50.0, 0.0, 50.0);
+  ASSERT_NE(b, 0u);
+  broker.cancel(b);
+  EXPECT_EQ(broker.min_available(0.0, 50.0), 100.0);
+  EXPECT_EQ(broker.booking_count(), 0u);
+  broker.cancel(b);  // idempotent
+}
+
+TEST(AdvanceBroker, OpenEndedBookingAndClose) {
+  AdvanceBroker broker = make();
+  const BookingId b =
+      broker.book(s1, 60.0, 5.0, AdvanceBroker::kOpenEnd);
+  ASSERT_NE(b, 0u);
+  EXPECT_EQ(broker.min_available(100.0, 200.0), 40.0);  // still held
+  broker.close(b, 50.0);
+  EXPECT_EQ(broker.min_available(100.0, 200.0), 100.0);
+  EXPECT_EQ(broker.min_available(5.0, 50.0), 40.0);
+  EXPECT_THROW(broker.close(b, 60.0), ContractViolation);  // not open
+}
+
+TEST(AdvanceBroker, CloseContracts) {
+  AdvanceBroker broker = make();
+  EXPECT_THROW(broker.close(99, 10.0), ContractViolation);
+  const BookingId b = broker.book(s1, 10.0, 5.0, AdvanceBroker::kOpenEnd);
+  EXPECT_THROW(broker.close(b, 5.0), ContractViolation);  // end <= start
+}
+
+TEST(AdvanceBroker, BookContracts) {
+  AdvanceBroker broker = make();
+  EXPECT_THROW(broker.book(SessionId{}, 1.0, 0.0, 1.0), ContractViolation);
+  EXPECT_THROW(broker.book(s1, -1.0, 0.0, 1.0), ContractViolation);
+  EXPECT_THROW(broker.book(s1, 1.0, 5.0, 5.0), ContractViolation);
+  EXPECT_THROW(broker.min_available(5.0, 5.0), ContractViolation);
+}
+
+TEST(AdvanceBroker, PruneDropsThePast) {
+  AdvanceBroker broker = make();
+  ASSERT_NE(broker.book(s1, 10.0, 0.0, 10.0), 0u);
+  ASSERT_NE(broker.book(s2, 10.0, 20.0, 30.0), 0u);
+  broker.prune(15.0);
+  EXPECT_EQ(broker.booking_count(), 1u);
+  EXPECT_EQ(broker.min_available(20.0, 30.0), 90.0);  // future kept
+}
+
+// Property: availability computed by the sweep equals a brute-force
+// point-sampled profile on random booking sets.
+TEST(AdvanceBroker, SweepMatchesBruteForceSampling) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    AdvanceBroker broker = make(1000.0);
+    struct Interval {
+      double amount, start, end;
+    };
+    std::vector<Interval> accepted;
+    for (int i = 0; i < 25; ++i) {
+      const double start = rng.uniform(0.0, 100.0);
+      const double end = start + rng.uniform(1.0, 40.0);
+      const double amount = rng.uniform(10.0, 200.0);
+      if (broker.book(SessionId{static_cast<std::uint32_t>(i + 1)}, amount,
+                      start, end) != 0)
+        accepted.push_back({amount, start, end});
+    }
+    for (int q = 0; q < 20; ++q) {
+      const double w_start = rng.uniform(0.0, 120.0);
+      const double w_end = w_start + rng.uniform(0.5, 50.0);
+      // Brute force: sample booked() densely at interval boundaries.
+      double peak = 0.0;
+      std::vector<double> samples{w_start};
+      for (const Interval& iv : accepted) {
+        if (iv.start > w_start && iv.start < w_end)
+          samples.push_back(iv.start);
+      }
+      for (double t : samples) {
+        double booked = 0.0;
+        for (const Interval& iv : accepted)
+          if (iv.start <= t && t < iv.end) booked += iv.amount;
+        peak = std::max(peak, booked);
+      }
+      EXPECT_NEAR(broker.min_available(w_start, w_end), 1000.0 - peak,
+                  1e-9);
+    }
+  }
+}
+
+TEST(AdvanceRegistry, CollectBuildsIntervalSnapshot) {
+  AdvanceRegistry registry;
+  const ResourceId a =
+      registry.add_resource("a", ResourceKind::kCpu, 100.0);
+  const ResourceId b =
+      registry.add_resource("b", ResourceKind::kNetworkBandwidth, 50.0);
+  ASSERT_NE(registry.broker(a).book(s1, 30.0, 10.0, 20.0), 0u);
+  const AvailabilityView view = registry.collect({a, b}, 5.0, 15.0);
+  EXPECT_EQ(view.get(a).available, 70.0);
+  EXPECT_EQ(view.get(b).available, 50.0);
+  EXPECT_EQ(view.get(a).alpha, 1.0);
+  EXPECT_THROW(registry.broker(ResourceId{9}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,161 @@
+// Randomized invariant tests ("fuzz") for the broker layer: arbitrary
+// interleavings of reserve / release / release_amount / observe must keep
+// the accounting and history invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "broker/advance_broker.hpp"
+#include "broker/network_broker.hpp"
+#include "broker/resource_broker.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+TEST(BrokerFuzz, AccountingInvariantsUnderRandomWorkload) {
+  Rng rng(12345);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double capacity = rng.uniform(50.0, 500.0);
+    ResourceBroker broker(ResourceId{0}, "r", capacity, 3.0, 1e9);
+    std::map<std::uint32_t, double> model;  // session -> held amount
+    double now = 0.0;
+    for (int step = 0; step < 400; ++step) {
+      now += rng.uniform(0.0, 1.0);
+      const std::uint32_t session = 1 + rng.uniform_int(0, 9);
+      const int op = rng.uniform_int(0, 3);
+      if (op == 0) {
+        const double amount = rng.uniform(0.0, capacity / 3.0);
+        const double held_total = capacity - broker.available();
+        const bool accepted = broker.reserve(now, SessionId{session}, amount);
+        // Model admission: fits iff amount <= capacity - held (within fp
+        // tolerance).
+        EXPECT_EQ(accepted, amount <= capacity - held_total + 1e-9);
+        if (accepted) model[session] += amount;
+      } else if (op == 1) {
+        broker.release(now, SessionId{session});
+        model.erase(session);
+      } else if (op == 2) {
+        const double amount = rng.uniform(0.0, capacity / 4.0);
+        broker.release_amount(now, SessionId{session}, amount);
+        auto it = model.find(session);
+        if (it != model.end()) {
+          it->second -= std::min(amount, it->second);
+          if (it->second <= 1e-12) model.erase(it);
+        }
+      } else {
+        const ResourceObservation obs = broker.observe(now);
+        EXPECT_GE(obs.available, -1e-9);
+        EXPECT_LE(obs.available, capacity + 1e-9);
+        EXPECT_GE(obs.alpha, 0.0);
+      }
+      // Invariants after every step.
+      double model_total = 0.0;
+      for (const auto& [s, amount] : model) model_total += amount;
+      EXPECT_NEAR(broker.reserved(), model_total, 1e-6);
+      EXPECT_GE(broker.available(), -1e-6);
+      EXPECT_LE(broker.available(), capacity + 1e-6);
+      EXPECT_EQ(broker.active_sessions(), model.size());
+      // History answers the present consistently.
+      EXPECT_NEAR(broker.available_at(now), broker.available(), 1e-6);
+    }
+  }
+}
+
+TEST(BrokerFuzz, HistoryIsConsistentWithReplay) {
+  Rng rng(777);
+  ResourceBroker broker(ResourceId{0}, "r", 100.0, 3.0, 1e9);
+  // Record a ground-truth availability trace while mutating.
+  std::vector<std::pair<double, double>> trace{{0.0, 100.0}};
+  double now = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    now += rng.uniform(0.01, 2.0);
+    const std::uint32_t session = 1 + rng.uniform_int(0, 4);
+    if (rng.bernoulli(0.6)) {
+      (void)broker.reserve(now, SessionId{session},
+                           rng.uniform(0.0, 40.0));
+    } else {
+      broker.release(now, SessionId{session});
+    }
+    trace.push_back({now, broker.available()});
+  }
+  // Spot-check available_at against the trace at random times.
+  for (int q = 0; q < 200; ++q) {
+    const double t = rng.uniform(0.0, now);
+    double expected = 100.0;
+    for (const auto& [time, value] : trace) {
+      if (time <= t)
+        expected = value;
+      else
+        break;
+    }
+    EXPECT_NEAR(broker.available_at(t), expected, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(BrokerFuzz, PathBrokerNeverLeaksOnMixedOutcomes) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 10; ++trial) {
+    ResourceBroker l1(ResourceId{0}, "L1", rng.uniform(50.0, 150.0));
+    ResourceBroker l2(ResourceId{1}, "L2", rng.uniform(50.0, 150.0));
+    ResourceBroker l3(ResourceId{2}, "L3", rng.uniform(50.0, 150.0));
+    NetworkPathBroker path_a(ResourceId{3}, "A", {&l1, &l2});
+    NetworkPathBroker path_b(ResourceId{4}, "B", {&l2, &l3});
+    double now = 0.0;
+    // (session, path, amount) holdings that succeeded.
+    std::vector<std::tuple<std::uint32_t, int, double>> held;
+    for (int step = 0; step < 300; ++step) {
+      now += 0.5;
+      const std::uint32_t session = 1 + rng.uniform_int(0, 5);
+      NetworkPathBroker& path = rng.bernoulli(0.5) ? path_a : path_b;
+      const int path_id = &path == &path_a ? 0 : 1;
+      if (rng.bernoulli(0.6)) {
+        const double amount = rng.uniform(0.0, 60.0);
+        if (path.reserve(now, SessionId{session}, amount))
+          held.push_back({session, path_id, amount});
+      } else if (!held.empty()) {
+        const std::size_t pick = rng.uniform_int(
+            0, static_cast<int>(held.size()) - 1);
+        auto [s, p, amount] = held[pick];
+        (p == 0 ? path_a : path_b)
+            .release_amount(now, SessionId{s}, amount);
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+    // Drain everything; links must return to full capacity.
+    for (const auto& [s, p, amount] : held)
+      (p == 0 ? path_a : path_b).release_amount(now, SessionId{s}, amount);
+    EXPECT_NEAR(l1.available(), l1.capacity(), 1e-6);
+    EXPECT_NEAR(l2.available(), l2.capacity(), 1e-6);
+    EXPECT_NEAR(l3.available(), l3.capacity(), 1e-6);
+  }
+}
+
+TEST(BrokerFuzz, AdvanceBrokerRandomBookingsNeverExceedCapacity) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double capacity = rng.uniform(100.0, 400.0);
+    AdvanceBroker broker(ResourceId{0}, "r", capacity);
+    std::vector<BookingId> live;
+    for (int step = 0; step < 150; ++step) {
+      if (rng.bernoulli(0.7)) {
+        const double start = rng.uniform(0.0, 100.0);
+        const double end = start + rng.uniform(0.5, 30.0);
+        const BookingId booking = broker.book(
+            SessionId{static_cast<std::uint32_t>(step + 1)},
+            rng.uniform(1.0, capacity * 0.6), start, end);
+        if (booking != 0) live.push_back(booking);
+      } else if (!live.empty()) {
+        const std::size_t pick = rng.uniform_int(
+            0, static_cast<int>(live.size()) - 1);
+        broker.cancel(live[pick]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      // Capacity is never exceeded anywhere on the timeline.
+      EXPECT_GE(broker.min_available(0.0, 200.0), -1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,98 @@
+#include "broker/network_broker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qres {
+namespace {
+
+const SessionId s1{1}, s2{2};
+
+struct TwoLinkPath {
+  ResourceBroker l1{ResourceId{0}, "L1", 100.0};
+  ResourceBroker l2{ResourceId{1}, "L2", 60.0};
+  NetworkPathBroker path{ResourceId{2}, "net(A-B)", {&l1, &l2}};
+};
+
+TEST(NetworkPathBroker, ConstructionContracts) {
+  ResourceBroker l{ResourceId{0}, "L", 10.0};
+  EXPECT_THROW(NetworkPathBroker(ResourceId{}, "p", {&l}),
+               ContractViolation);
+  EXPECT_THROW(NetworkPathBroker(ResourceId{1}, "", {&l}),
+               ContractViolation);
+  EXPECT_THROW(NetworkPathBroker(ResourceId{1}, "p", {}),
+               ContractViolation);
+  EXPECT_THROW(NetworkPathBroker(ResourceId{1}, "p", {nullptr}),
+               ContractViolation);
+}
+
+TEST(NetworkPathBroker, CapacityAndAvailabilityAreLinkMinima) {
+  TwoLinkPath t;
+  EXPECT_EQ(t.path.capacity(), 60.0);
+  EXPECT_EQ(t.path.available(), 60.0);
+  EXPECT_TRUE(t.l1.reserve(1.0, s2, 70.0));  // direct traffic on l1
+  EXPECT_EQ(t.path.available(), 30.0);       // l1 is now the bottleneck
+}
+
+TEST(NetworkPathBroker, ReserveTouchesEveryLink) {
+  TwoLinkPath t;
+  EXPECT_TRUE(t.path.reserve(1.0, s1, 25.0));
+  EXPECT_EQ(t.l1.available(), 75.0);
+  EXPECT_EQ(t.l2.available(), 35.0);
+  t.path.release(2.0, s1);
+  EXPECT_EQ(t.l1.available(), 100.0);
+  EXPECT_EQ(t.l2.available(), 60.0);
+}
+
+TEST(NetworkPathBroker, PartialFailureRollsBack) {
+  TwoLinkPath t;
+  // 70 fits on l1 but not on l2; l1 must be rolled back.
+  EXPECT_FALSE(t.path.reserve(1.0, s1, 70.0));
+  EXPECT_EQ(t.l1.available(), 100.0);
+  EXPECT_EQ(t.l2.available(), 60.0);
+}
+
+TEST(NetworkPathBroker, RollbackPreservesOtherHoldingsOnSharedLink) {
+  // Two paths share link l1; a failed reservation on path B must not
+  // release the session's existing holding made through path A.
+  ResourceBroker l1{ResourceId{0}, "L1", 100.0};
+  ResourceBroker l2{ResourceId{1}, "L2", 100.0};
+  ResourceBroker l3{ResourceId{2}, "L3", 10.0};
+  NetworkPathBroker path_a{ResourceId{3}, "A", {&l1, &l2}};
+  NetworkPathBroker path_b{ResourceId{4}, "B", {&l1, &l3}};
+  EXPECT_TRUE(path_a.reserve(1.0, s1, 40.0));
+  EXPECT_FALSE(path_b.reserve(2.0, s1, 20.0));  // l3 too small
+  EXPECT_EQ(l1.available(), 60.0);  // path A's holding intact
+  path_a.release_amount(3.0, s1, 40.0);
+  EXPECT_EQ(l1.available(), 100.0);
+  EXPECT_EQ(l2.available(), 100.0);
+}
+
+TEST(NetworkPathBroker, AvailableAtUsesLinkHistory) {
+  TwoLinkPath t;
+  EXPECT_TRUE(t.path.reserve(10.0, s1, 20.0));
+  EXPECT_EQ(t.path.available_at(5.0), 60.0);
+  EXPECT_EQ(t.path.available_at(15.0), 40.0);
+}
+
+TEST(NetworkPathBroker, ObserveReportsBottleneckLinkAlpha) {
+  TwoLinkPath t;
+  // Make l1 the bottleneck with a recent drop: its alpha < 1 must surface.
+  EXPECT_TRUE(t.l1.reserve(10.0, s2, 90.0));
+  const ResourceObservation obs = t.path.observe(10.5);
+  EXPECT_EQ(obs.available, 10.0);
+  EXPECT_LT(obs.alpha, 1.0);
+}
+
+TEST(NetworkPathBroker, SingleLinkPathBehavesLikeTheLink) {
+  ResourceBroker l{ResourceId{0}, "L", 50.0};
+  NetworkPathBroker path{ResourceId{1}, "net", {&l}};
+  EXPECT_EQ(path.capacity(), 50.0);
+  EXPECT_TRUE(path.reserve(1.0, s1, 50.0));
+  EXPECT_FALSE(path.reserve(2.0, s2, 1.0));
+  EXPECT_EQ(path.link_count(), 1u);
+  EXPECT_EQ(&path.link(0), static_cast<const IBroker*>(&l));
+  EXPECT_THROW(path.link(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,81 @@
+#include "broker/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qres {
+namespace {
+
+TEST(BrokerRegistry, AddResourceRegistersCatalogEntry) {
+  BrokerRegistry registry;
+  const ResourceId cpu = registry.add_resource(
+      "cpu@H1", ResourceKind::kCpu, HostId{0}, 500.0);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.catalog().name(cpu), "cpu@H1");
+  EXPECT_EQ(registry.broker(cpu).capacity(), 500.0);
+  EXPECT_EQ(registry.broker(cpu).id(), cpu);
+}
+
+TEST(BrokerRegistry, AddNetworkPathComposesLinks) {
+  BrokerRegistry registry;
+  const ResourceId l1 = registry.add_resource(
+      "L1", ResourceKind::kNetworkBandwidth, HostId{}, 100.0);
+  const ResourceId l2 = registry.add_resource(
+      "L2", ResourceKind::kNetworkBandwidth, HostId{}, 80.0);
+  const ResourceId path = registry.add_network_path("net(A-B)", {l1, l2});
+  EXPECT_EQ(registry.broker(path).available(), 80.0);
+  EXPECT_TRUE(registry.broker(path).reserve(1.0, SessionId{1}, 30.0));
+  EXPECT_EQ(registry.broker(l1).available(), 70.0);
+  EXPECT_EQ(registry.broker(l2).available(), 50.0);
+}
+
+TEST(BrokerRegistry, UnknownIdThrows) {
+  BrokerRegistry registry;
+  EXPECT_THROW(registry.broker(ResourceId{3}), ContractViolation);
+  EXPECT_THROW(registry.broker(ResourceId{}), ContractViolation);
+}
+
+TEST(BrokerRegistry, CollectBuildsSnapshot) {
+  BrokerRegistry registry;
+  const ResourceId a =
+      registry.add_resource("a", ResourceKind::kCpu, HostId{}, 100.0);
+  const ResourceId b =
+      registry.add_resource("b", ResourceKind::kCpu, HostId{}, 200.0);
+  registry.broker(a).reserve(5.0, SessionId{1}, 40.0);
+  const AvailabilityView view = registry.collect({a, b}, 10.0);
+  EXPECT_EQ(view.get(a).available, 60.0);
+  EXPECT_EQ(view.get(b).available, 200.0);
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST(BrokerRegistry, CollectWithStalenessSeesThePast) {
+  BrokerRegistry registry;
+  const ResourceId a =
+      registry.add_resource("a", ResourceKind::kCpu, HostId{}, 100.0);
+  registry.broker(a).reserve(10.0, SessionId{1}, 50.0);
+  // Lag 5: observation at t=7, before the reservation.
+  const AvailabilityView stale =
+      registry.collect({a}, 12.0, [](ResourceId) { return 5.0; });
+  EXPECT_EQ(stale.get(a).available, 100.0);
+  const AvailabilityView fresh = registry.collect({a}, 12.0);
+  EXPECT_EQ(fresh.get(a).available, 50.0);
+}
+
+TEST(BrokerRegistry, CollectClampsObservationTimeAtZero) {
+  BrokerRegistry registry;
+  const ResourceId a =
+      registry.add_resource("a", ResourceKind::kCpu, HostId{}, 100.0);
+  const AvailabilityView view =
+      registry.collect({a}, 1.0, [](ResourceId) { return 50.0; });
+  EXPECT_EQ(view.get(a).available, 100.0);
+}
+
+TEST(BrokerRegistry, CollectRejectsNegativeStaleness) {
+  BrokerRegistry registry;
+  const ResourceId a =
+      registry.add_resource("a", ResourceKind::kCpu, HostId{}, 100.0);
+  EXPECT_THROW(registry.collect({a}, 1.0, [](ResourceId) { return -1.0; }),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,192 @@
+#include "broker/resource_broker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qres {
+namespace {
+
+const ResourceId rid{0};
+const SessionId s1{1}, s2{2};
+
+ResourceBroker make(double capacity = 100.0, double window = 3.0) {
+  return ResourceBroker(rid, "cpu", capacity, window);
+}
+
+TEST(ResourceBroker, ConstructionContracts) {
+  EXPECT_THROW(ResourceBroker(ResourceId{}, "x", 10.0), ContractViolation);
+  EXPECT_THROW(ResourceBroker(rid, "", 10.0), ContractViolation);
+  EXPECT_THROW(ResourceBroker(rid, "x", 0.0), ContractViolation);
+  EXPECT_THROW(ResourceBroker(rid, "x", 10.0, 0.0), ContractViolation);
+  // history_keep must cover the alpha window.
+  EXPECT_THROW(ResourceBroker(rid, "x", 10.0, 5.0, 2.0), ContractViolation);
+}
+
+TEST(ResourceBroker, ReserveAndRelease) {
+  ResourceBroker broker = make();
+  EXPECT_EQ(broker.available(), 100.0);
+  EXPECT_TRUE(broker.reserve(1.0, s1, 30.0));
+  EXPECT_EQ(broker.available(), 70.0);
+  EXPECT_EQ(broker.reserved(), 30.0);
+  EXPECT_EQ(broker.active_sessions(), 1u);
+  broker.release(2.0, s1);
+  EXPECT_EQ(broker.available(), 100.0);
+  EXPECT_EQ(broker.active_sessions(), 0u);
+}
+
+TEST(ResourceBroker, RejectsOverCommit) {
+  ResourceBroker broker = make();
+  EXPECT_TRUE(broker.reserve(1.0, s1, 80.0));
+  EXPECT_FALSE(broker.reserve(1.0, s2, 30.0));
+  // A failed reserve changes nothing.
+  EXPECT_EQ(broker.available(), 20.0);
+  EXPECT_EQ(broker.active_sessions(), 1u);
+  EXPECT_TRUE(broker.reserve(1.0, s2, 20.0));
+}
+
+TEST(ResourceBroker, AccumulatesPerSession) {
+  ResourceBroker broker = make();
+  EXPECT_TRUE(broker.reserve(1.0, s1, 10.0));
+  EXPECT_TRUE(broker.reserve(2.0, s1, 15.0));
+  EXPECT_EQ(broker.active_sessions(), 1u);
+  EXPECT_EQ(broker.available(), 75.0);
+  broker.release(3.0, s1);  // releases the whole accumulated holding
+  EXPECT_EQ(broker.available(), 100.0);
+}
+
+TEST(ResourceBroker, ReleaseAmountIsPartial) {
+  ResourceBroker broker = make();
+  EXPECT_TRUE(broker.reserve(1.0, s1, 30.0));
+  broker.release_amount(2.0, s1, 10.0);
+  EXPECT_EQ(broker.available(), 80.0);
+  EXPECT_EQ(broker.active_sessions(), 1u);
+  // Releasing more than held is capped.
+  broker.release_amount(3.0, s1, 1000.0);
+  EXPECT_EQ(broker.available(), 100.0);
+  EXPECT_EQ(broker.active_sessions(), 0u);
+}
+
+TEST(ResourceBroker, ReleaseOfUnknownSessionIsNoOp) {
+  ResourceBroker broker = make();
+  broker.release(1.0, s1);
+  broker.release_amount(1.0, s1, 5.0);
+  EXPECT_EQ(broker.available(), 100.0);
+}
+
+TEST(ResourceBroker, ReserveContracts) {
+  ResourceBroker broker = make();
+  EXPECT_THROW(broker.reserve(1.0, SessionId{}, 5.0), ContractViolation);
+  EXPECT_THROW(broker.reserve(1.0, s1, -5.0), ContractViolation);
+  EXPECT_THROW(broker.release_amount(1.0, s1, -1.0), ContractViolation);
+}
+
+TEST(ResourceBroker, TimeMustNotGoBackwards) {
+  ResourceBroker broker = make();
+  EXPECT_TRUE(broker.reserve(5.0, s1, 10.0));
+  EXPECT_THROW(broker.reserve(4.0, s2, 10.0), ContractViolation);
+}
+
+TEST(ResourceBroker, AvailableAtReadsHistory) {
+  ResourceBroker broker = make();
+  EXPECT_TRUE(broker.reserve(10.0, s1, 40.0));
+  EXPECT_TRUE(broker.reserve(20.0, s2, 20.0));
+  broker.release(30.0, s1);
+  EXPECT_EQ(broker.available_at(5.0), 100.0);   // before anything
+  EXPECT_EQ(broker.available_at(10.0), 60.0);   // at the change
+  EXPECT_EQ(broker.available_at(15.0), 60.0);   // between changes
+  EXPECT_EQ(broker.available_at(25.0), 40.0);
+  EXPECT_EQ(broker.available_at(35.0), 80.0);   // current
+}
+
+TEST(ResourceBroker, ObserveAlphaReflectsTrend) {
+  ResourceBroker broker = make(100.0, /*window=*/10.0);
+  // Steady at 100 until t=10, then a big reservation: availability drops
+  // to 20. Shortly after, the windowed average is still high, so alpha
+  // must be well below 1 (downward trend).
+  EXPECT_TRUE(broker.reserve(10.0, s1, 80.0));
+  const ResourceObservation after_drop = broker.observe(11.0);
+  EXPECT_EQ(after_drop.available, 20.0);
+  EXPECT_LT(after_drop.alpha, 0.5);
+  // Conversely a release makes alpha > 1.
+  broker.release(12.0, s1);
+  const ResourceObservation after_rise = broker.observe(13.0);
+  EXPECT_EQ(after_rise.available, 100.0);
+  EXPECT_GT(after_rise.alpha, 1.0);
+}
+
+TEST(ResourceBroker, ObserveAlphaIsOneWhenSteady) {
+  ResourceBroker broker = make();
+  const ResourceObservation obs = broker.observe(50.0);
+  EXPECT_EQ(obs.available, 100.0);
+  EXPECT_DOUBLE_EQ(obs.alpha, 1.0);
+}
+
+TEST(ResourceBroker, ReportBasedAlphaFollowsEq5) {
+  // r_avg = mean of past reported values within T; alpha = avail / r_avg,
+  // with the current report appended afterwards.
+  ResourceBroker broker(rid, "cpu", 100.0, /*T=*/10.0, 64.0,
+                        AlphaMode::kReportBased);
+  // First report: no history -> alpha 1.
+  EXPECT_DOUBLE_EQ(broker.observe(1.0).alpha, 1.0);  // reports: [100]
+  ASSERT_TRUE(broker.reserve(2.0, s1, 50.0));
+  // Second report: r_avg = 100, avail = 50 -> alpha 0.5.
+  EXPECT_DOUBLE_EQ(broker.observe(3.0).alpha, 0.5);  // reports: [100, 50]
+  // Third report: r_avg = (100 + 50)/2 = 75, avail = 50 -> 2/3.
+  EXPECT_NEAR(broker.observe(4.0).alpha, 50.0 / 75.0, 1e-12);
+  // Reports older than T drop out: at t = 12, the t=1 report is gone,
+  // r_avg = (50 + 50)/2 = 50 -> alpha 1.
+  EXPECT_DOUBLE_EQ(broker.observe(12.0).alpha, 1.0);
+}
+
+TEST(ResourceBroker, ReportBasedAlphaRejectsStaleQueries) {
+  ResourceBroker broker(rid, "cpu", 100.0, 10.0, 64.0,
+                        AlphaMode::kReportBased);
+  (void)broker.observe(5.0);
+  EXPECT_THROW(broker.observe(4.0), ContractViolation);
+}
+
+TEST(ResourceBroker, AlphaModesAgreeOnTrendDirection) {
+  for (AlphaMode mode :
+       {AlphaMode::kTimeWeighted, AlphaMode::kReportBased}) {
+    ResourceBroker broker(rid, "cpu", 100.0, 10.0, 64.0, mode);
+    (void)broker.observe(1.0);
+    ASSERT_TRUE(broker.reserve(5.0, s1, 80.0));
+    EXPECT_LT(broker.observe(6.0).alpha, 1.0);  // down-trend
+    broker.release(7.0, s1);
+    EXPECT_GT(broker.observe(8.0).alpha, 1.0);  // up-trend
+  }
+}
+
+TEST(ResourceBroker, StaleObservationDiffersFromCurrent) {
+  ResourceBroker broker = make();
+  EXPECT_TRUE(broker.reserve(10.0, s1, 50.0));
+  // Observing "as of t=9" must not see the t=10 reservation.
+  EXPECT_EQ(broker.observe(9.0).available, 100.0);
+  EXPECT_EQ(broker.observe(10.0).available, 50.0);
+}
+
+TEST(ResourceBroker, HistoryPruningKeepsBaseline) {
+  ResourceBroker broker(rid, "cpu", 100.0, 3.0, /*history_keep=*/16.0);
+  EXPECT_TRUE(broker.reserve(1.0, s1, 10.0));
+  // Many changes far in the future prune the old entries...
+  for (int t = 100; t < 120; ++t)
+    EXPECT_TRUE(broker.reserve(static_cast<double>(t), SessionId{100u + t},
+                               1.0));
+  // ...but queries before the kept window still get a sane baseline (the
+  // newest pruned value).
+  EXPECT_GT(broker.available_at(50.0), 0.0);
+}
+
+TEST(ResourceBroker, FractionalAmountsBalanceOut) {
+  ResourceBroker broker = make(1.0);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_TRUE(broker.reserve(static_cast<double>(i), SessionId{10u + i},
+                               0.1));
+  // Full to capacity within tolerance; one more fails.
+  EXPECT_FALSE(broker.reserve(20.0, s1, 0.2));
+  for (int i = 0; i < 10; ++i)
+    broker.release(30.0, SessionId{10u + i});
+  EXPECT_NEAR(broker.available(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qres

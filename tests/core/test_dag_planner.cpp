@@ -1,0 +1,283 @@
+// Tests for the DAG two-pass heuristic (§4.3.2): fan-in value
+// propagation, non-convergence resolution at fan-out components, the
+// documented limitations, and comparison against exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/exhaustive.hpp"
+#include "core/planner.hpp"
+
+namespace qres {
+namespace {
+
+using test::avail;
+using test::levels;
+using test::q;
+using test::rv;
+
+// Builds the figure-8 shaped DAG:  c0 -> c1 -> {c2, c3} -> c4  with
+// per-edge psi values chosen by each test. Each edge gets a dedicated
+// resource with availability 1.0 so edge weight == requirement.
+struct DagBuilder {
+  std::uint32_t next_resource = 0;
+  AvailabilityView view;
+
+  TranslationTable table(
+      std::vector<std::tuple<LevelIndex, LevelIndex, double>> edges) {
+    TranslationTable t;
+    for (const auto& [in, out, psi] : edges) {
+      const ResourceId id{next_resource++};
+      view.set(id, 1.0);
+      t.set(in, out, rv({{id, psi}}));
+    }
+    return t;
+  }
+
+  ServiceDefinition service(TranslationTable c0, TranslationTable c1,
+                            int c1_levels, TranslationTable c2,
+                            int c2_levels, TranslationTable c3,
+                            int c3_levels, TranslationTable c4,
+                            int c4_levels) {
+    std::vector<ServiceComponent> comps;
+    comps.emplace_back("c0", levels(1), c0.as_function());
+    comps.emplace_back("c1", levels(c1_levels), c1.as_function());
+    comps.emplace_back("c2", levels(c2_levels), c2.as_function());
+    comps.emplace_back("c3", levels(c3_levels), c3.as_function());
+    comps.emplace_back("c4", levels(c4_levels), c4.as_function());
+    return ServiceDefinition(
+        "fig8", std::move(comps),
+        {{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}}, q(1));
+  }
+};
+
+TEST(DagPlanner, FanInTakesMaxOfConstituents) {
+  DagBuilder b;
+  // c2 reaches out0 at 0.3, c3 at 0.2; the fan-in combo value must be 0.3.
+  const ServiceDefinition service = b.service(
+      b.table({{0, 0, 0.01}}), b.table({{0, 0, 0.01}}), 1,
+      b.table({{0, 0, 0.3}}), 1, b.table({{0, 0, 0.2}}), 1,
+      b.table({{0, 0, 0.01}}), 1);
+  const Qrg qrg(service, b.view);
+  const auto labels = relax_qrg(qrg);
+  const std::uint32_t sink = qrg.ranked_sink_nodes()[0];
+  EXPECT_TRUE(labels[sink].reachable);
+  EXPECT_DOUBLE_EQ(labels[sink].value, 0.3);
+}
+
+TEST(DagPlanner, ConvergentBacktrackNeedsNoResolution) {
+  DagBuilder b;
+  // Both branches prefer c1's out level 0: no conflict.
+  const ServiceDefinition service = b.service(
+      b.table({{0, 0, 0.01}}), b.table({{0, 0, 0.05}, {0, 1, 0.05}}), 2,
+      b.table({{0, 0, 0.1}, {1, 0, 0.4}}), 1,
+      b.table({{0, 0, 0.1}, {1, 0, 0.4}}), 1, b.table({{0, 0, 0.01}}), 1);
+  const Qrg qrg(service, b.view);
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_DOUBLE_EQ(result.plan->bottleneck_psi, 0.1);
+  // The plan fixes c1's out level 0 and both branches use their 0.1 edges.
+  EXPECT_EQ(result.plan->steps[1].out_level, 0u);
+}
+
+TEST(DagPlanner, NonConvergenceResolvedByLowestDownstreamContention) {
+  DagBuilder b;
+  // Pass I: c2 prefers c1-out0 (0.1 vs 0.3), c3 prefers c1-out1 (0.1 vs
+  // 0.4): backtracking does not converge at the fan-out c1. The local
+  // rule compares, per candidate c1 out level, the highest downstream
+  // edge weight: out0 -> max(0.1, 0.4) = 0.4; out1 -> max(0.3, 0.1) =
+  // 0.3. It must pick out1.
+  const ServiceDefinition service = b.service(
+      b.table({{0, 0, 0.01}}), b.table({{0, 0, 0.05}, {0, 1, 0.05}}), 2,
+      b.table({{0, 0, 0.1}, {1, 0, 0.3}}), 1,
+      b.table({{0, 0, 0.4}, {1, 0, 0.1}}), 1, b.table({{0, 0, 0.01}}), 1);
+  const Qrg qrg(service, b.view);
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_EQ(result.plan->steps[1].out_level, 1u);  // c1 fixed to out1
+  EXPECT_DOUBLE_EQ(result.plan->bottleneck_psi, 0.3);
+  // This equals the exhaustive optimum here.
+  const PlanResult exact = ExhaustivePlanner().plan(qrg, rng);
+  ASSERT_TRUE(exact.plan.has_value());
+  EXPECT_DOUBLE_EQ(exact.plan->bottleneck_psi, 0.3);
+}
+
+TEST(DagPlanner, PassOneValueCanUnderestimatePlanBottleneck) {
+  // Limitation (2): the sink's pass-I value combines per-branch optima
+  // that are not jointly realizable; the extracted plan's bottleneck is
+  // larger.
+  DagBuilder b;
+  const ServiceDefinition service = b.service(
+      b.table({{0, 0, 0.01}}), b.table({{0, 0, 0.05}, {0, 1, 0.05}}), 2,
+      b.table({{0, 0, 0.1}, {1, 0, 0.3}}), 1,
+      b.table({{0, 0, 0.4}, {1, 0, 0.1}}), 1, b.table({{0, 0, 0.01}}), 1);
+  const Qrg qrg(service, b.view);
+  const auto labels = relax_qrg(qrg);
+  const std::uint32_t sink = qrg.ranked_sink_nodes()[0];
+  EXPECT_DOUBLE_EQ(labels[sink].value, 0.1);  // optimistic
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_GT(result.plan->bottleneck_psi, labels[sink].value);
+}
+
+TEST(DagPlanner, LocalResolutionIsOptimalForSingleFanOut) {
+  // For a single fan-out whose successors have no other predecessors, the
+  // local resolution is in fact optimal: a strictly better alternative
+  // output level of the fan-out would have to carry a pass-I value larger
+  // than every downstream edge of the chosen one, which contradicts the
+  // pass-I preferences that produced the non-convergence in the first
+  // place. (Gaps require interacting fan-outs / fan-ins; the randomized
+  // test below and the DAG ablation bench cover those.) Here c1's edge to
+  // out1 is expensive (0.5), which makes pass I steer both branches to
+  // out0 — no conflict, and the heuristic matches the optimum.
+  DagBuilder b;
+  const ServiceDefinition service = b.service(
+      b.table({{0, 0, 0.01}}), b.table({{0, 0, 0.05}, {0, 1, 0.5}}), 2,
+      b.table({{0, 0, 0.1}, {1, 0, 0.3}}), 1,
+      b.table({{0, 0, 0.4}, {1, 0, 0.1}}), 1, b.table({{0, 0, 0.01}}), 1);
+  const Qrg qrg(service, b.view);
+  Rng rng(1);
+  const PlanResult heuristic = BasicPlanner().plan(qrg, rng);
+  const PlanResult exact = ExhaustivePlanner().plan(qrg, rng);
+  ASSERT_TRUE(heuristic.plan && exact.plan);
+  EXPECT_DOUBLE_EQ(heuristic.plan->bottleneck_psi,
+                   exact.plan->bottleneck_psi);
+  EXPECT_DOUBLE_EQ(exact.plan->bottleneck_psi, 0.4);
+}
+
+TEST(DagPlanner, ExtractionFailureWhenBranchesAreJointlyUnrealizable) {
+  // Limitation (1): each branch is individually reachable but they demand
+  // different c1 outputs and neither branch can use the other's choice.
+  DagBuilder b;
+  const ServiceDefinition service = b.service(
+      b.table({{0, 0, 0.01}}), b.table({{0, 0, 0.05}, {0, 1, 0.05}}), 2,
+      b.table({{0, 0, 0.1}}), 1,              // c2 only from c1-out0
+      b.table({{1, 0, 0.1}}), 1,              // c3 only from c1-out1
+      b.table({{0, 0, 0.01}}), 1);
+  const Qrg qrg(service, b.view);
+  const auto labels = relax_qrg(qrg);
+  const std::uint32_t sink = qrg.ranked_sink_nodes()[0];
+  EXPECT_TRUE(labels[sink].reachable);  // pass I is optimistic
+  EXPECT_FALSE(extract_plan(qrg, labels, sink).has_value());
+  // The planner reports no plan (no lower-ranked sink exists either).
+  Rng rng(1);
+  EXPECT_FALSE(BasicPlanner().plan(qrg, rng).plan.has_value());
+  // Exhaustive agrees that no embedded graph exists.
+  EXPECT_FALSE(ExhaustivePlanner().plan(qrg, rng).plan.has_value());
+}
+
+TEST(DagPlanner, FallsBackToLowerSinkOnExtractionFailure) {
+  // Sink level 0 is jointly unrealizable; sink level 1 works.
+  DagBuilder b;
+  TranslationTable c4 = b.table({{0, 1, 0.02}});  // combo(0,0) -> out1
+  {
+    // combo index for (c2 out0, c3 out0) with both having 2 out levels:
+    // row-major (0,0) -> 0; (1,1) -> 3. Sink 0 needs combo 3, which is
+    // unreachable jointly below.
+    const ResourceId id{b.next_resource++};
+    b.view.set(id, 1.0);
+    c4.set(3, 0, rv({{id, 0.02}}));
+  }
+  const ServiceDefinition service = b.service(
+      b.table({{0, 0, 0.01}}), b.table({{0, 0, 0.05}, {0, 1, 0.05}}), 2,
+      b.table({{0, 1, 0.1}, {0, 0, 0.2}}), 2,  // c2-out1 only from c1-out0
+      b.table({{1, 1, 0.1}, {0, 0, 0.2}}), 2,  // c3-out1 only from c1-out1
+      c4, 2);
+  const Qrg qrg(service, b.view);
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_EQ(result.plan->end_to_end_rank, 1u);
+}
+
+TEST(DagPlanner, DijkstraMatchesRelaxationOnDags) {
+  // The heap formulation must agree with the topological relaxation on
+  // fan-in/fan-out structures too (randomized).
+  Rng rng(777);
+  for (int t = 0; t < 40; ++t) {
+    DagBuilder b;
+    auto random_table = [&](int ins, int outs) {
+      std::vector<std::tuple<LevelIndex, LevelIndex, double>> edges;
+      for (int i = 0; i < ins; ++i)
+        for (int o = 0; o < outs; ++o)
+          if (rng.bernoulli(0.7))
+            edges.push_back({static_cast<LevelIndex>(i),
+                             static_cast<LevelIndex>(o),
+                             rng.uniform(0.01, 0.9)});
+      if (edges.empty()) edges.push_back({0, 0, 0.5});
+      return b.table(edges);
+    };
+    TranslationTable c0 = random_table(1, 1);
+    TranslationTable c1 = random_table(1, 2);
+    TranslationTable c2 = random_table(2, 2);
+    TranslationTable c3 = random_table(2, 2);
+    TranslationTable c4 = random_table(4, 2);
+    const ServiceDefinition service =
+        b.service(c0, c1, 2, c2, 2, c3, 2, c4, 2);
+    const Qrg qrg(service, b.view);
+    const auto topo = relax_qrg(qrg);
+    const auto heap = dijkstra_qrg(qrg);
+    for (std::size_t v = 0; v < topo.size(); ++v) {
+      ASSERT_EQ(topo[v].reachable, heap[v].reachable) << "node " << v;
+      if (topo[v].reachable) {
+        ASSERT_NEAR(topo[v].value, heap[v].value, 1e-12) << "node " << v;
+      }
+    }
+  }
+}
+
+TEST(DagPlanner, HeuristicNeverBeatsExhaustiveAndOftenMatches) {
+  // Randomized comparison on the fig-8 topology: rank(heuristic) >=
+  // rank(exhaustive) is NOT guaranteed in general, but bottleneck of the
+  // heuristic is always >= the exhaustive optimum for the same sink.
+  Rng rng(2024);
+  int matches = 0, trials = 0;
+  for (int t = 0; t < 60; ++t) {
+    DagBuilder b;
+    auto random_table = [&](int ins, int outs) {
+      std::vector<std::tuple<LevelIndex, LevelIndex, double>> edges;
+      for (int i = 0; i < ins; ++i)
+        for (int o = 0; o < outs; ++o)
+          if (rng.bernoulli(0.8))
+            edges.push_back({static_cast<LevelIndex>(i),
+                             static_cast<LevelIndex>(o),
+                             rng.uniform(0.01, 0.9)});
+      if (edges.empty()) edges.push_back({0, 0, 0.5});
+      return b.table(edges);
+    };
+    TranslationTable c0 = random_table(1, 1);
+    TranslationTable c1 = random_table(1, 2);
+    TranslationTable c2 = random_table(2, 2);
+    TranslationTable c3 = random_table(2, 2);
+    TranslationTable c4 = random_table(4, 2);
+    const ServiceDefinition service =
+        b.service(c0, c1, 2, c2, 2, c3, 2, c4, 2);
+    const Qrg qrg(service, b.view);
+    Rng planner_rng(1);
+    const PlanResult heuristic = BasicPlanner().plan(qrg, planner_rng);
+    const PlanResult exact = ExhaustivePlanner().plan(qrg, planner_rng);
+    if (!exact.plan) {
+      // If no embedded graph exists at all, the heuristic must not
+      // invent one.
+      EXPECT_FALSE(heuristic.plan.has_value());
+      continue;
+    }
+    if (!heuristic.plan) continue;  // limitation (1) is allowed
+    ++trials;
+    if (heuristic.plan->end_to_end_rank == exact.plan->end_to_end_rank) {
+      EXPECT_GE(heuristic.plan->bottleneck_psi,
+                exact.plan->bottleneck_psi - 1e-12);
+      if (heuristic.plan->bottleneck_psi <=
+          exact.plan->bottleneck_psi + 1e-12)
+        ++matches;
+    }
+  }
+  // The heuristic should match the optimum most of the time.
+  ASSERT_GT(trials, 20);
+  EXPECT_GT(matches, trials / 2);
+}
+
+}  // namespace
+}  // namespace qres

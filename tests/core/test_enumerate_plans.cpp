@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/planner.hpp"
+#include "core/random_planner.hpp"
+
+namespace qres {
+namespace {
+
+using test::avail;
+using test::make_chain;
+using test::rv;
+
+// Three parallel middle options with distinct psi -> three plans.
+ServiceDefinition three_options(AvailabilityView& view) {
+  const ResourceId r{0};
+  view.set(r, 100.0);
+  TranslationTable t0, t1;
+  t0.set(0, 0, rv({{r, 10.0}}));  // psi 0.1
+  t0.set(0, 1, rv({{r, 30.0}}));  // psi 0.3
+  t0.set(0, 2, rv({{r, 60.0}}));  // psi 0.6
+  t1.set(0, 0, rv({{r, 5.0}}));
+  t1.set(1, 0, rv({{r, 5.0}}));
+  t1.set(2, 0, rv({{r, 5.0}}));
+  return make_chain({{3, t0}, {1, t1}});
+}
+
+TEST(EnumeratePlans, FindsAllPlansSortedByBottleneck) {
+  AvailabilityView view;
+  const ServiceDefinition service = three_options(view);
+  const Qrg qrg(service, view);
+  const auto plans = enumerate_plans(qrg, qrg.ranked_sink_nodes()[0]);
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_DOUBLE_EQ(plans[0].bottleneck_psi, 0.1);
+  EXPECT_DOUBLE_EQ(plans[1].bottleneck_psi, 0.3);
+  EXPECT_DOUBLE_EQ(plans[2].bottleneck_psi, 0.6);
+  for (const ReservationPlan& plan : plans) {
+    EXPECT_EQ(plan.steps.size(), 2u);
+    EXPECT_EQ(plan.end_to_end_rank, 0u);
+  }
+}
+
+TEST(EnumeratePlans, FirstPlanMatchesBasicPlanner) {
+  AvailabilityView view;
+  const ServiceDefinition service = three_options(view);
+  const Qrg qrg(service, view);
+  Rng rng(1);
+  const PlanResult basic = BasicPlanner().plan(qrg, rng);
+  const auto plans = enumerate_plans(qrg, qrg.ranked_sink_nodes()[0]);
+  ASSERT_TRUE(basic.plan && !plans.empty());
+  EXPECT_DOUBLE_EQ(plans[0].bottleneck_psi, basic.plan->bottleneck_psi);
+  EXPECT_EQ(plans[0].steps[0].out_level, basic.plan->steps[0].out_level);
+}
+
+TEST(EnumeratePlans, MaxPlansCapsTheList) {
+  AvailabilityView view;
+  const ServiceDefinition service = three_options(view);
+  const Qrg qrg(service, view);
+  EXPECT_EQ(enumerate_plans(qrg, qrg.ranked_sink_nodes()[0], 2).size(), 2u);
+}
+
+TEST(EnumeratePlans, EmptyWhenSinkUnreachable) {
+  const ResourceId r{0};
+  TranslationTable t;
+  t.set(0, 0, rv({{r, 1000.0}}));
+  const ServiceDefinition service = make_chain({{1, t}});
+  const Qrg qrg(service, avail({{r, 10.0}}));
+  EXPECT_TRUE(enumerate_plans(qrg, qrg.ranked_sink_nodes()[0]).empty());
+}
+
+TEST(EnumeratePlans, AgreesWithRandomPlannerPathCounts) {
+  // Cross-check: the random planner samples uniformly over the same plan
+  // set enumerate_plans returns.
+  Rng gen(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ResourceId r{0};
+    AvailabilityView view;
+    view.set(r, 200.0);
+    std::vector<std::pair<int, TranslationTable>> components;
+    int prev = 1;
+    for (int c = 0; c < 3; ++c) {
+      const int levels = gen.uniform_int(1, 3);
+      TranslationTable table;
+      for (int in = 0; in < prev; ++in)
+        for (int out = 0; out < levels; ++out)
+          if (gen.bernoulli(0.8))
+            table.set(static_cast<LevelIndex>(in),
+                      static_cast<LevelIndex>(out),
+                      rv({{r, gen.uniform(1.0, 20.0)}}));
+      if (table.size() == 0) table.set(0, 0, rv({{r, 1.0}}));
+      components.push_back({levels, std::move(table)});
+      prev = levels;
+    }
+    const ServiceDefinition service = make_chain(components);
+    const Qrg qrg(service, view);
+    Rng rng(1);
+    const PlanResult result = RandomPlanner().plan(qrg, rng);
+    if (!result.plan) continue;
+    const std::uint32_t sink =
+        qrg.ranked_sink_nodes()[result.plan->end_to_end_rank];
+    const auto plans = enumerate_plans(qrg, sink, 1000);
+    ASSERT_FALSE(plans.empty());
+    // Every enumerated plan's psi is >= the basic optimum (the first).
+    for (const ReservationPlan& plan : plans)
+      EXPECT_GE(plan.bottleneck_psi, plans[0].bottleneck_psi);
+  }
+}
+
+TEST(EnumeratePlans, Contracts) {
+  AvailabilityView view;
+  const ServiceDefinition service = three_options(view);
+  const Qrg qrg(service, view);
+  EXPECT_THROW(enumerate_plans(qrg, 9999), ContractViolation);
+  EXPECT_THROW(enumerate_plans(qrg, qrg.source_node()), ContractViolation);
+  // Path explosion guard.
+  EXPECT_THROW(enumerate_plans(qrg, qrg.ranked_sink_nodes()[0], 16, 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

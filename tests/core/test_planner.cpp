@@ -1,0 +1,400 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/exhaustive.hpp"
+
+namespace qres {
+namespace {
+
+using test::avail;
+using test::make_chain;
+using test::rv;
+
+// Builds chains whose translation-edge weights are exactly the numbers we
+// choose: each edge gets its own dedicated resource with availability 1.0
+// and requirement = the desired psi.
+class PsiChainBuilder {
+ public:
+  /// One component: edges[(in, out)] = psi.
+  PsiChainBuilder& component(
+      int out_levels,
+      std::vector<std::tuple<LevelIndex, LevelIndex, double>> edges) {
+    TranslationTable table;
+    for (const auto& [in, out, psi] : edges) {
+      const ResourceId id{next_resource_++};
+      view_.set(id, 1.0);
+      table.set(in, out, rv({{id, psi}}));
+    }
+    components_.push_back({out_levels, std::move(table)});
+    return *this;
+  }
+
+  ServiceDefinition service() const { return make_chain(components_); }
+  const AvailabilityView& view() const { return view_; }
+
+ private:
+  std::uint32_t next_resource_ = 0;
+  std::vector<std::pair<int, TranslationTable>> components_;
+  AvailabilityView view_;
+};
+
+TEST(RelaxQrg, SourceIsReachableAtZero) {
+  PsiChainBuilder b;
+  b.component(1, {{0, 0, 0.5}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  const auto labels = relax_qrg(qrg);
+  EXPECT_TRUE(labels[qrg.source_node()].reachable);
+  EXPECT_EQ(labels[qrg.source_node()].value, 0.0);
+}
+
+TEST(RelaxQrg, PathValueIsMaxOfEdgeWeights) {
+  PsiChainBuilder b;
+  b.component(1, {{0, 0, 0.3}}).component(1, {{0, 0, 0.1}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  const auto labels = relax_qrg(qrg);
+  const std::uint32_t sink = qrg.ranked_sink_nodes()[0];
+  EXPECT_TRUE(labels[sink].reachable);
+  EXPECT_DOUBLE_EQ(labels[sink].value, 0.3);  // max, not sum
+}
+
+TEST(RelaxQrg, ChoosesMinimaxPredecessor) {
+  // Two ways to the sink: via out0 (0.5 then 0.1) or out1 (0.2 then 0.3).
+  // Minimax picks max(0.2, 0.3) = 0.3 over max(0.5, 0.1) = 0.5.
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.5}, {0, 1, 0.2}})
+      .component(1, {{0, 0, 0.1}, {1, 0, 0.3}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  const auto labels = relax_qrg(qrg);
+  const std::uint32_t sink = qrg.ranked_sink_nodes()[0];
+  EXPECT_DOUBLE_EQ(labels[sink].value, 0.3);
+}
+
+TEST(RelaxQrg, PaperTieBreakPrefersSmallerIncomingEdge) {
+  // Figure-5 situation: two predecessors give the same path value
+  // max(a,b) = max(a,c) = a; the one with min(b,c) must be chosen.
+  // Here a = 0.4 on both branches, edge weights into the sink 0.1 vs 0.3.
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.4}, {0, 1, 0.4}})
+      .component(1, {{0, 0, 0.3}, {1, 0, 0.1}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+
+  const auto labels = relax_qrg(qrg, {.use_tie_break = true});
+  const std::uint32_t sink = qrg.ranked_sink_nodes()[0];
+  const QrgEdge& chosen = qrg.edge(labels[sink].pred_edge);
+  EXPECT_DOUBLE_EQ(chosen.psi, 0.1);
+
+  // Without the rule, the first candidate in edge order wins (psi 0.3).
+  const auto plain = relax_qrg(qrg, {.use_tie_break = false});
+  const QrgEdge& first = qrg.edge(plain[sink].pred_edge);
+  EXPECT_DOUBLE_EQ(first.psi, 0.3);
+  // Either way the path value is the same.
+  EXPECT_DOUBLE_EQ(labels[sink].value, plain[sink].value);
+}
+
+TEST(BasicPlanner, PicksHighestReachableSink) {
+  // Sink level 0 (best) is infeasible; level 1 feasible.
+  PsiChainBuilder b;
+  b.component(1, {{0, 0, 0.2}}).component(2, {{0, 1, 0.1}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_EQ(result.plan->end_to_end_level, 1u);
+  EXPECT_EQ(result.plan->end_to_end_rank, 1u);
+  EXPECT_FALSE(result.sinks[0].reachable);
+  EXPECT_TRUE(result.sinks[1].reachable);
+}
+
+TEST(BasicPlanner, NoPlanWhenNothingReachable) {
+  TranslationTable t;
+  t.set(0, 0, rv({{ResourceId{0}, 50.0}}));
+  const ServiceDefinition service = make_chain({{1, t}});
+  const Qrg qrg(service, avail({{ResourceId{0}, 10.0}}));
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  EXPECT_FALSE(result.plan.has_value());
+  EXPECT_FALSE(result.sinks[0].reachable);
+}
+
+TEST(BasicPlanner, PlanStepsAreConsistent) {
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.5}, {0, 1, 0.2}})
+      .component(2, {{0, 0, 0.1}, {1, 0, 0.3}, {1, 1, 0.05}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  const ReservationPlan& plan = *result.plan;
+  ASSERT_EQ(plan.steps.size(), 2u);
+  // Steps are in topological order and chain together: step[i].out feeds
+  // step[i+1].in.
+  EXPECT_EQ(plan.steps[0].component, 0u);
+  EXPECT_EQ(plan.steps[1].component, 1u);
+  EXPECT_EQ(plan.steps[1].in_level, plan.steps[0].out_level);
+  // Bottleneck is the max step psi.
+  double max_psi = 0.0;
+  for (const auto& s : plan.steps) max_psi = std::max(max_psi, s.psi);
+  EXPECT_DOUBLE_EQ(plan.bottleneck_psi, max_psi);
+  // Best sink (level 0) reachable via minimax path 0.2/0.3 vs 0.5/0.1:
+  EXPECT_EQ(plan.end_to_end_level, 0u);
+  EXPECT_DOUBLE_EQ(plan.bottleneck_psi, 0.3);
+}
+
+TEST(BasicPlanner, BottleneckResourceIsIdentified) {
+  const ResourceId cpu{0}, bw{1};
+  TranslationTable t;
+  t.set(0, 0, rv({{cpu, 10.0}, {bw, 10.0}}));
+  const ServiceDefinition service = make_chain({{1, t}});
+  // bw is scarcer: it must be identified as bottleneck.
+  const Qrg qrg(service, avail({{cpu, 1000}, {bw, 20}}));
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_EQ(result.plan->bottleneck_resource, bw);
+  EXPECT_DOUBLE_EQ(result.plan->bottleneck_psi, 0.5);
+  // Flip the scarcity: cpu becomes the bottleneck (dynamic identification).
+  const Qrg qrg2(service, avail({{cpu, 20}, {bw, 1000}}));
+  const PlanResult result2 = BasicPlanner().plan(qrg2, rng);
+  EXPECT_EQ(result2.plan->bottleneck_resource, cpu);
+}
+
+TEST(BasicPlanner, TotalRequirementAggregatesSharedResources) {
+  const ResourceId shared{0};
+  TranslationTable t0, t1;
+  t0.set(0, 0, rv({{shared, 3.0}}));
+  t1.set(0, 0, rv({{shared, 4.0}}));
+  const ServiceDefinition service = make_chain({{1, t0}, {1, t1}});
+  const Qrg qrg(service, avail({{shared, 100}}));
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_DOUBLE_EQ(result.plan->total_requirement().get(shared), 7.0);
+}
+
+TEST(BasicPlanner, PathStringMatchesPaperFormat) {
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.1}, {0, 1, 0.2}})
+      .component(2, {{0, 0, 0.1}, {1, 1, 0.2}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  // Nodes: Qa(source) Qb,Qc(c0 outs) Qd,Qe(c1 ins) Qf,Qg(c1 outs).
+  EXPECT_EQ(result.plan->path_string(qrg), "Qa-Qb-Qd-Qf");
+  EXPECT_EQ(plan_path_string(service, *result.plan),
+            result.plan->path_string(qrg));
+}
+
+// ---------------------------------------------------------------------
+// Tradeoff policy (§4.3.1)
+
+TEST(TradeoffPlanner, EqualsBasicWhenAlphaAtLeastOne) {
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.5}, {0, 1, 0.1}}).component(2, {{0, 0, 0.1},
+                                                           {1, 1, 0.05}});
+  const ServiceDefinition service = b.service();
+  // All alphas default to 1.0 in the builder's view.
+  const Qrg qrg(service, b.view());
+  Rng rng(1);
+  const PlanResult basic = BasicPlanner().plan(qrg, rng);
+  const PlanResult tradeoff = TradeoffPlanner().plan(qrg, rng);
+  ASSERT_TRUE(basic.plan && tradeoff.plan);
+  EXPECT_EQ(basic.plan->end_to_end_level, tradeoff.plan->end_to_end_level);
+  EXPECT_DOUBLE_EQ(basic.plan->bottleneck_psi,
+                   tradeoff.plan->bottleneck_psi);
+}
+
+// A chain where the best sink's bottleneck trends down: the tradeoff must
+// settle for the lower sink whose psi fits the alpha-scaled budget.
+ServiceDefinition tradeoff_service(AvailabilityView& view, double alpha) {
+  const ResourceId expensive{0}, cheap{1};
+  TranslationTable t;
+  // level 0 needs 50% of the trending-down resource, level 1 needs 10%
+  // of a stable one.
+  t.set(0, 0, rv({{expensive, 50.0}}));
+  t.set(0, 1, rv({{cheap, 10.0}}));
+  view.set(expensive, 100.0, alpha);
+  view.set(cheap, 100.0, 1.0);
+  return make_chain({{2, t}});
+}
+
+TEST(TradeoffPlanner, DropsQoSWhenBottleneckTrendsDown) {
+  AvailabilityView view;
+  const ServiceDefinition service = tradeoff_service(view, 0.5);
+  const Qrg qrg(service, view);
+  Rng rng(1);
+  const PlanResult basic = BasicPlanner().plan(qrg, rng);
+  const PlanResult tradeoff = TradeoffPlanner().plan(qrg, rng);
+  ASSERT_TRUE(basic.plan && tradeoff.plan);
+  EXPECT_EQ(basic.plan->end_to_end_rank, 0u);
+  // Budget = alpha * psi0 = 0.5 * 0.5 = 0.25; sink 1 has psi 0.1 <= 0.25.
+  EXPECT_EQ(tradeoff.plan->end_to_end_rank, 1u);
+  EXPECT_DOUBLE_EQ(tradeoff.plan->bottleneck_psi, 0.1);
+}
+
+TEST(TradeoffPlanner, KeepsBestSinkWhenBudgetTooTight) {
+  AvailabilityView view;
+  const ResourceId expensive{0}, cheap{1};
+  TranslationTable t;
+  t.set(0, 0, rv({{expensive, 50.0}}));
+  t.set(0, 1, rv({{cheap, 40.0}}));  // psi 0.4 > 0.5*0.5 budget
+  view.set(expensive, 100.0, 0.5);
+  view.set(cheap, 100.0, 1.0);
+  const ServiceDefinition service = make_chain({{2, t}});
+  const Qrg qrg(service, view);
+  Rng rng(1);
+  const PlanResult tradeoff = TradeoffPlanner().plan(qrg, rng);
+  ASSERT_TRUE(tradeoff.plan.has_value());
+  // No sink satisfies the budget; the policy falls back to the best sink.
+  EXPECT_EQ(tradeoff.plan->end_to_end_rank, 0u);
+}
+
+TEST(TradeoffPlanner, SinkInfoCarriesAlphaOfBottleneck) {
+  AvailabilityView view;
+  const ServiceDefinition service = tradeoff_service(view, 0.7);
+  const Qrg qrg(service, view);
+  Rng rng(1);
+  const PlanResult result = TradeoffPlanner().plan(qrg, rng);
+  ASSERT_FALSE(result.sinks.empty());
+  EXPECT_DOUBLE_EQ(result.sinks[0].alpha, 0.7);
+  EXPECT_DOUBLE_EQ(result.sinks[1].alpha, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Property: on chains the basic planner is exact (matches exhaustive
+// enumeration) — both the achieved rank and the minimax bottleneck.
+
+class BasicVsExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BasicVsExhaustive, MatchesOptimalOnRandomChains) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random chain: 2-4 components, 2-4 levels, random sparse edges over
+    // two shared resources.
+    const int k = rng.uniform_int(2, 4);
+    const ResourceId cpu{0}, bw{1};
+    std::vector<std::pair<int, TranslationTable>> components;
+    int prev_levels = 1;
+    for (int c = 0; c < k; ++c) {
+      const int levels = rng.uniform_int(2, 4);
+      TranslationTable table;
+      for (int in = 0; in < prev_levels; ++in)
+        for (int out = 0; out < levels; ++out)
+          if (rng.bernoulli(0.7))
+            table.set(static_cast<LevelIndex>(in),
+                      static_cast<LevelIndex>(out),
+                      test::rv({{cpu, rng.uniform(1.0, 40.0)},
+                                {bw, rng.uniform(1.0, 40.0)}}));
+      if (table.size() == 0)
+        table.set(0, 0, test::rv({{cpu, 1.0}, {bw, 1.0}}));
+      components.push_back({levels, std::move(table)});
+      prev_levels = levels;
+    }
+    const ServiceDefinition service = make_chain(components);
+    const AvailabilityView view = avail(
+        {{cpu, rng.uniform(20.0, 60.0)}, {bw, rng.uniform(20.0, 60.0)}});
+    const Qrg qrg(service, view);
+    Rng planner_rng(1);
+    const PlanResult fast = BasicPlanner().plan(qrg, planner_rng);
+    const PlanResult exact = ExhaustivePlanner().plan(qrg, planner_rng);
+    ASSERT_EQ(fast.plan.has_value(), exact.plan.has_value());
+    if (!fast.plan) continue;
+    EXPECT_EQ(fast.plan->end_to_end_rank, exact.plan->end_to_end_rank);
+    EXPECT_NEAR(fast.plan->bottleneck_psi, exact.plan->bottleneck_psi,
+                1e-12);
+    // The plan itself must be feasible w.r.t. the snapshot.
+    for (const auto& step : fast.plan->steps)
+      for (const auto& [rid, amount] : step.requirement)
+        EXPECT_LE(amount, view.get(rid).available);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BasicVsExhaustive,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ---------------------------------------------------------------------
+// Property: the heap-based Dijkstra formulation (the paper's literal
+// presentation) computes the same node values and reachability as the
+// topological relaxation, on random chains.
+
+class DijkstraEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DijkstraEquivalence, MatchesRelaxationOnRandomChains) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const int k = rng.uniform_int(2, 5);
+    const ResourceId cpu{0}, bw{1};
+    std::vector<std::pair<int, TranslationTable>> components;
+    int prev_levels = 1;
+    for (int c = 0; c < k; ++c) {
+      const int levels = rng.uniform_int(2, 4);
+      TranslationTable table;
+      for (int in = 0; in < prev_levels; ++in)
+        for (int out = 0; out < levels; ++out)
+          if (rng.bernoulli(0.6))
+            table.set(static_cast<LevelIndex>(in),
+                      static_cast<LevelIndex>(out),
+                      test::rv({{cpu, rng.uniform(1.0, 50.0)},
+                                {bw, rng.uniform(1.0, 50.0)}}));
+      if (table.size() == 0)
+        table.set(0, 0, test::rv({{cpu, 1.0}, {bw, 1.0}}));
+      components.push_back({levels, std::move(table)});
+      prev_levels = levels;
+    }
+    const ServiceDefinition service = make_chain(components);
+    const Qrg qrg(service,
+                  avail({{cpu, rng.uniform(20.0, 80.0)},
+                         {bw, rng.uniform(20.0, 80.0)}}));
+    const auto topo = relax_qrg(qrg);
+    const auto heap = dijkstra_qrg(qrg);
+    ASSERT_EQ(topo.size(), heap.size());
+    for (std::size_t v = 0; v < topo.size(); ++v) {
+      EXPECT_EQ(topo[v].reachable, heap[v].reachable) << "node " << v;
+      if (topo[v].reachable) {
+        EXPECT_NEAR(topo[v].value, heap[v].value, 1e-12) << "node " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraEquivalence,
+                         ::testing::Values(5, 15, 25, 35, 45));
+
+TEST(DijkstraQrg, PlanExtractionWorksFromHeapLabels) {
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.5}, {0, 1, 0.2}})
+      .component(1, {{0, 0, 0.1}, {1, 0, 0.3}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  const auto labels = dijkstra_qrg(qrg);
+  const auto plan = extract_plan(qrg, labels, qrg.ranked_sink_nodes()[0]);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->bottleneck_psi, 0.3);
+}
+
+TEST(ExtractPlan, ValidatesInputs) {
+  PsiChainBuilder b;
+  b.component(1, {{0, 0, 0.1}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  auto labels = relax_qrg(qrg);
+  EXPECT_THROW(extract_plan(qrg, labels, 9999), ContractViolation);
+  EXPECT_THROW(extract_plan(qrg, labels, qrg.source_node()),
+               ContractViolation);
+  labels.pop_back();
+  EXPECT_THROW(extract_plan(qrg, labels, qrg.ranked_sink_nodes()[0]),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,72 @@
+#include "core/psi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qres {
+namespace {
+
+TEST(Psi, RatioMatchesPaperEq2) {
+  EXPECT_DOUBLE_EQ(contention_index(PsiKind::kRatio, 25.0, 100.0), 0.25);
+  EXPECT_DOUBLE_EQ(contention_index(PsiKind::kRatio, 0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(contention_index(PsiKind::kRatio, 100.0, 100.0), 1.0);
+}
+
+TEST(Psi, Contracts) {
+  EXPECT_THROW(contention_index(PsiKind::kRatio, 1.0, 0.0),
+               ContractViolation);
+  EXPECT_THROW(contention_index(PsiKind::kRatio, -1.0, 10.0),
+               ContractViolation);
+  EXPECT_THROW(contention_index(PsiKind::kRatio, 11.0, 10.0),
+               ContractViolation);
+}
+
+class PsiMonotonicity : public ::testing::TestWithParam<PsiKind> {};
+
+// Footnote 2: any psi definition must grow with the requested fraction of
+// the availability — the property the algorithm's correctness rests on.
+TEST_P(PsiMonotonicity, IncreasesWithRequirement) {
+  const PsiKind kind = GetParam();
+  double prev = -1.0;
+  for (double req = 0.0; req <= 100.0; req += 5.0) {
+    const double psi = contention_index(kind, req, 100.0);
+    EXPECT_GT(psi, prev);
+    prev = psi;
+  }
+}
+
+TEST_P(PsiMonotonicity, DecreasesWithAvailability) {
+  const PsiKind kind = GetParam();
+  double prev = contention_index(kind, 10.0, 10.0) + 1.0;
+  for (double avail = 10.0; avail <= 1000.0; avail *= 2.0) {
+    const double psi = contention_index(kind, 10.0, avail);
+    EXPECT_LT(psi, prev);
+    prev = psi;
+  }
+}
+
+TEST_P(PsiMonotonicity, ZeroRequirementIsZeroContention) {
+  EXPECT_DOUBLE_EQ(contention_index(GetParam(), 0.0, 50.0), 0.0);
+}
+
+TEST_P(PsiMonotonicity, FullReservationIsFinite) {
+  const double psi = contention_index(GetParam(), 50.0, 50.0);
+  EXPECT_TRUE(std::isfinite(psi));
+  EXPECT_GT(psi, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PsiMonotonicity,
+                         ::testing::Values(PsiKind::kRatio,
+                                           PsiKind::kHeadroom,
+                                           PsiKind::kLogRatio),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Psi, KindNames) {
+  EXPECT_STREQ(to_string(PsiKind::kRatio), "ratio");
+  EXPECT_STREQ(to_string(PsiKind::kHeadroom), "headroom");
+  EXPECT_STREQ(to_string(PsiKind::kLogRatio), "log_ratio");
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,97 @@
+#include "core/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace qres {
+namespace {
+
+QoSSchema video_schema() { return QoSSchema({"frame_rate", "image_size"}); }
+
+TEST(QoSSchema, SizeAndNames) {
+  const QoSSchema s = video_schema();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.name(0), "frame_rate");
+  EXPECT_EQ(s.name(1), "image_size");
+  EXPECT_THROW(s.name(2), ContractViolation);
+}
+
+TEST(QoSSchema, RejectsEmptyAndDuplicateNames) {
+  EXPECT_THROW(QoSSchema({""}), ContractViolation);
+  EXPECT_THROW(QoSSchema({"a", "a"}), ContractViolation);
+}
+
+TEST(QoSSchema, EqualityByContent) {
+  EXPECT_EQ(video_schema(), video_schema());
+  EXPECT_FALSE(video_schema() == QoSSchema({"frame_rate"}));
+  EXPECT_EQ(QoSSchema{}, QoSSchema{});
+}
+
+TEST(QoSSchema, ConcatenateDisambiguatesDuplicates) {
+  const QoSSchema joined =
+      QoSSchema::concatenate(video_schema(), video_schema());
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_EQ(joined.name(0), "frame_rate");
+  EXPECT_EQ(joined.name(2), "frame_rate#2");
+  EXPECT_EQ(joined.name(3), "image_size#2");
+}
+
+TEST(QoSVector, RequiresMatchingArity) {
+  EXPECT_THROW(QoSVector(video_schema(), {30.0}), ContractViolation);
+  const QoSVector q(video_schema(), {30.0, 480.0});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0], 30.0);
+  EXPECT_EQ(q[1], 480.0);
+  EXPECT_THROW(q[2], ContractViolation);
+}
+
+TEST(QoSVector, PartialOrderAllLeq) {
+  const QoSVector lo(video_schema(), {15.0, 240.0});
+  const QoSVector hi(video_schema(), {30.0, 480.0});
+  EXPECT_TRUE(lo.all_leq(hi));
+  EXPECT_FALSE(hi.all_leq(lo));
+  EXPECT_TRUE(lo.all_leq(lo));  // reflexive
+}
+
+TEST(QoSVector, IncomparableVectors) {
+  // Higher frame rate but smaller image: incomparable under the partial
+  // order (the paper's motivating case for user-arbitrated ranking).
+  const QoSVector a(video_schema(), {30.0, 240.0});
+  const QoSVector b(video_schema(), {15.0, 480.0});
+  EXPECT_TRUE(a.incomparable_with(b));
+  EXPECT_TRUE(b.incomparable_with(a));
+  EXPECT_FALSE(a.incomparable_with(a));
+}
+
+TEST(QoSVector, CompareRequiresSameSchema) {
+  const QoSVector a(video_schema(), {30.0, 480.0});
+  const QoSVector b(QoSSchema({"bitrate"}), {128.0});
+  EXPECT_THROW((void)a.all_leq(b), ContractViolation);
+}
+
+TEST(QoSVector, ConcatenatePreservesValues) {
+  const QoSVector a(video_schema(), {30.0, 480.0});
+  const QoSVector b(QoSSchema({"channels"}), {6.0});
+  const QoSVector joined = QoSVector::concatenate(a, b);
+  EXPECT_EQ(joined.size(), 3u);
+  EXPECT_EQ(joined[0], 30.0);
+  EXPECT_EQ(joined[2], 6.0);
+  EXPECT_EQ(joined.schema().name(2), "channels");
+}
+
+TEST(QoSVector, EqualityNeedsSchemaAndValues) {
+  const QoSVector a(video_schema(), {30.0, 480.0});
+  const QoSVector b(video_schema(), {30.0, 480.0});
+  const QoSVector c(video_schema(), {30.0, 360.0});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(QoSVector, ToStringIsReadable) {
+  const QoSVector a(video_schema(), {30.0, 480.0});
+  EXPECT_EQ(a.to_string(), "[frame_rate=30, image_size=480]");
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,95 @@
+#include "core/qrg_dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/planner.hpp"
+
+namespace qres {
+namespace {
+
+using test::avail;
+using test::make_chain;
+using test::rv;
+
+struct Fixture {
+  ResourceId r{0};
+  ServiceDefinition service = make_service();
+  AvailabilityView view = avail({{ResourceId{0}, 100.0}});
+  Qrg qrg{service, view};
+
+  ServiceDefinition make_service() {
+    TranslationTable t0, t1;
+    t0.set(0, 0, rv({{r, 10.0}}));
+    t0.set(0, 1, rv({{r, 5.0}}));
+    t1.set(0, 0, rv({{r, 20.0}}));
+    t1.set(1, 1, rv({{r, 4.0}}));
+    return make_chain({{2, t0}, {2, t1}});
+  }
+};
+
+TEST(QrgDot, ContainsAllNodesAndClusters) {
+  Fixture f;
+  const std::string dot = to_dot(f.qrg);
+  EXPECT_NE(dot.find("digraph qrg"), std::string::npos);
+  // One cluster per component.
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  // Every node appears with its paper-style label.
+  for (std::uint32_t n = 0; n < f.qrg.node_count(); ++n)
+    EXPECT_NE(dot.find("\"" + f.qrg.node_name(n) + "\""),
+              std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(QrgDot, TranslationEdgesCarryWeights) {
+  Fixture f;
+  const std::string dot = to_dot(f.qrg);
+  EXPECT_NE(dot.find("label=\"0.1\""), std::string::npos);   // 10/100
+  EXPECT_NE(dot.find("label=\"0.05\""), std::string::npos);  // 5/100
+  // Equivalence edges are dotted and unweighted.
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(QrgDot, WeightsCanBeSuppressed) {
+  Fixture f;
+  DotOptions options;
+  options.show_weights = false;
+  const std::string dot = to_dot(f.qrg, options);
+  EXPECT_EQ(dot.find("label=\"0.1\""), std::string::npos);
+}
+
+TEST(QrgDot, PlanIsHighlighted) {
+  Fixture f;
+  Rng rng(1);
+  const PlanResult result = BasicPlanner().plan(f.qrg, rng);
+  ASSERT_TRUE(result.plan.has_value());
+  DotOptions options;
+  options.plan = &*result.plan;
+  const std::string dot = to_dot(f.qrg, options);
+  // At least the plan's steps are drawn bold.
+  EXPECT_GE(static_cast<int>(std::string::npos != dot.find("penwidth=2.5")),
+            1);
+  std::size_t bold = 0, pos = 0;
+  while ((pos = dot.find("penwidth=2.5", pos)) != std::string::npos) {
+    ++bold;
+    pos += 1;
+  }
+  // 4 highlighted nodes (2 per step) + 2 highlighted edges.
+  EXPECT_EQ(bold, 6u);
+}
+
+TEST(QrgDot, CustomTitle) {
+  Fixture f;
+  DotOptions options;
+  options.title = "my graph";
+  const std::string dot = to_dot(f.qrg, options);
+  EXPECT_NE(dot.find("label=\"my graph\""), std::string::npos);
+  // Default: service name.
+  EXPECT_NE(to_dot(f.qrg).find("label=\"chain\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qres

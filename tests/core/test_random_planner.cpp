@@ -1,0 +1,170 @@
+#include "core/random_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_helpers.hpp"
+
+namespace qres {
+namespace {
+
+using test::avail;
+using test::make_chain;
+using test::rv;
+
+// A chain with exactly three feasible paths to the single sink level.
+ServiceDefinition three_path_service(AvailabilityView& view) {
+  const ResourceId r{0};
+  view.set(r, 100.0);
+  TranslationTable t0, t1;
+  t0.set(0, 0, rv({{r, 10.0}}));
+  t0.set(0, 1, rv({{r, 20.0}}));
+  t0.set(0, 2, rv({{r, 30.0}}));
+  t1.set(0, 0, rv({{r, 5.0}}));
+  t1.set(1, 0, rv({{r, 5.0}}));
+  t1.set(2, 0, rv({{r, 5.0}}));
+  return make_chain({{3, t0}, {1, t1}});
+}
+
+TEST(RandomPlanner, AlwaysReachesTheBestReachableSink) {
+  AvailabilityView view;
+  const ServiceDefinition service = three_path_service(view);
+  const Qrg qrg(service, view);
+  Rng rng(5);
+  RandomPlanner planner;
+  for (int i = 0; i < 50; ++i) {
+    const PlanResult result = planner.plan(qrg, rng);
+    ASSERT_TRUE(result.plan.has_value());
+    EXPECT_EQ(result.plan->end_to_end_rank, 0u);
+  }
+}
+
+TEST(RandomPlanner, SamplesPathsUniformly) {
+  AvailabilityView view;
+  const ServiceDefinition service = three_path_service(view);
+  const Qrg qrg(service, view);
+  Rng rng(7);
+  RandomPlanner planner;
+  std::map<std::string, int> histogram;
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) {
+    const PlanResult result = planner.plan(qrg, rng);
+    ASSERT_TRUE(result.plan.has_value());
+    ++histogram[result.plan->path_string(qrg)];
+  }
+  ASSERT_EQ(histogram.size(), 3u);  // all three paths occur
+  for (const auto& [path, count] : histogram)
+    EXPECT_NEAR(count, n / 3, n / 3 * 0.12) << path;
+}
+
+TEST(RandomPlanner, IgnoresContention) {
+  // One path has a terrible bottleneck, but random still picks it
+  // sometimes (that is the point of the baseline).
+  const ResourceId cheap{0}, scarce{1};
+  AvailabilityView view;
+  view.set(cheap, 1000.0);
+  view.set(scarce, 10.0);
+  TranslationTable t0, t1;
+  t0.set(0, 0, rv({{cheap, 1.0}}));
+  t0.set(0, 1, rv({{scarce, 9.0}}));  // psi 0.9
+  t1.set(0, 0, rv({{cheap, 1.0}}));
+  t1.set(1, 0, rv({{cheap, 1.0}}));
+  const ServiceDefinition service = make_chain({{2, t0}, {1, t1}});
+  const Qrg qrg(service, view);
+  Rng rng(11);
+  RandomPlanner planner;
+  int bad_path = 0;
+  for (int i = 0; i < 200; ++i) {
+    const PlanResult result = planner.plan(qrg, rng);
+    ASSERT_TRUE(result.plan.has_value());
+    if (result.plan->bottleneck_psi > 0.5) ++bad_path;
+  }
+  EXPECT_GT(bad_path, 50);
+  EXPECT_LT(bad_path, 150);
+}
+
+TEST(RandomPlanner, FailsWhenNoSinkReachable) {
+  const ResourceId r{0};
+  TranslationTable t;
+  t.set(0, 0, rv({{r, 100.0}}));
+  const ServiceDefinition service = make_chain({{1, t}});
+  const Qrg qrg(service, avail({{r, 1.0}}));
+  Rng rng(1);
+  const PlanResult result = RandomPlanner().plan(qrg, rng);
+  EXPECT_FALSE(result.plan.has_value());
+}
+
+TEST(RandomPlanner, DagServicesSampleEmbeddedGraphs) {
+  // Diamond 0 -> {1, 2} -> 3 where component 1 has two feasible output
+  // levels (two embedded graphs reach the single sink level): the
+  // planner must sample both, roughly evenly, and never invent an
+  // infeasible combination.
+  const ResourceId r{0};
+  TranslationTable src, up, down, join;
+  src.set(0, 0, rv({{r, 1.0}}));
+  up.set(0, 0, rv({{r, 2.0}}));
+  up.set(0, 1, rv({{r, 1.0}}));
+  down.set(0, 0, rv({{r, 1.0}}));
+  for (LevelIndex flat = 0; flat < 2; ++flat)
+    join.set(flat, 0, rv({{r, 1.0}}));
+  std::vector<ServiceComponent> comps;
+  comps.emplace_back("src", test::levels(1), src.as_function());
+  comps.emplace_back("up", test::levels(2), up.as_function());
+  comps.emplace_back("down", test::levels(1), down.as_function());
+  comps.emplace_back("join", test::levels(1), join.as_function());
+  ServiceDefinition dag("dag", std::move(comps),
+                        {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, test::q(1));
+  const Qrg qrg(dag, avail({{r, 100.0}}));
+  Rng rng(17);
+  RandomPlanner planner;
+  int up_level_one = 0;
+  const int n = 600;
+  for (int i = 0; i < n; ++i) {
+    const PlanResult result = planner.plan(qrg, rng);
+    ASSERT_TRUE(result.plan.has_value());
+    EXPECT_EQ(result.plan->end_to_end_rank, 0u);
+    EXPECT_EQ(result.plan->steps.size(), 4u);
+    if (result.plan->steps[1].out_level == 1u) ++up_level_one;
+  }
+  EXPECT_NEAR(up_level_one, n / 2, n / 2 * 0.2);
+}
+
+TEST(RandomPlanner, DagWithNoEmbeddedGraphFails) {
+  // Branches demand different fan-out levels: no embedded graph exists.
+  const ResourceId r{0};
+  TranslationTable src, up, down, join;
+  src.set(0, 0, rv({{r, 1.0}}));
+  up.set(0, 0, rv({{r, 1.0}}));   // branch "up" only from fanout level 0
+  down.set(1, 0, rv({{r, 1.0}}));  // branch "down" only from level 1
+  join.set(0, 0, rv({{r, 1.0}}));
+  std::vector<ServiceComponent> comps;
+  comps.emplace_back("src", test::levels(2), src.as_function());
+  comps.emplace_back("up", test::levels(1), up.as_function());
+  comps.emplace_back("down", test::levels(1), down.as_function());
+  comps.emplace_back("join", test::levels(1), join.as_function());
+  ServiceDefinition dag("dag", std::move(comps),
+                        {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, test::q(1));
+  const Qrg qrg(dag, avail({{r, 100.0}}));
+  Rng rng(1);
+  const PlanResult result = RandomPlanner().plan(qrg, rng);
+  EXPECT_FALSE(result.plan.has_value());
+  EXPECT_FALSE(result.sinks[0].reachable);
+}
+
+TEST(RandomPlanner, DeterministicGivenSameRngState) {
+  AvailabilityView view;
+  const ServiceDefinition service = three_path_service(view);
+  const Qrg qrg(service, view);
+  RandomPlanner planner;
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    const PlanResult ra = planner.plan(qrg, a);
+    const PlanResult rb = planner.plan(qrg, b);
+    ASSERT_TRUE(ra.plan && rb.plan);
+    EXPECT_EQ(ra.plan->path_string(qrg), rb.plan->path_string(qrg));
+  }
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,122 @@
+#include "core/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace qres {
+namespace {
+
+const ResourceId r0{0}, r1{1}, r2{2};
+
+TEST(ResourceVector, SetGetAndDefaults) {
+  ResourceVector v;
+  EXPECT_TRUE(v.empty());
+  v.set(r0, 5.0);
+  EXPECT_EQ(v.get(r0), 5.0);
+  EXPECT_EQ(v.get(r1), 0.0);  // absent reads as zero
+  EXPECT_TRUE(v.contains(r0));
+  EXPECT_FALSE(v.contains(r1));
+}
+
+TEST(ResourceVector, SetRejectsInvalidInputs) {
+  ResourceVector v;
+  EXPECT_THROW(v.set(ResourceId{}, 1.0), ContractViolation);
+  EXPECT_THROW(v.set(r0, -1.0), ContractViolation);
+}
+
+TEST(ResourceVector, AddAccumulates) {
+  ResourceVector v;
+  v.add(r0, 2.0);
+  v.add(r0, 3.0);
+  EXPECT_EQ(v.get(r0), 5.0);
+}
+
+TEST(ResourceVector, PlusMergesSparseEntries) {
+  ResourceVector a, b;
+  a.set(r0, 1.0);
+  a.set(r1, 2.0);
+  b.set(r1, 3.0);
+  b.set(r2, 4.0);
+  const ResourceVector sum = a + b;
+  EXPECT_EQ(sum.get(r0), 1.0);
+  EXPECT_EQ(sum.get(r1), 5.0);
+  EXPECT_EQ(sum.get(r2), 4.0);
+}
+
+TEST(ResourceVector, ScaledMultipliesEverything) {
+  ResourceVector v;
+  v.set(r0, 2.0);
+  v.set(r1, 3.0);
+  const ResourceVector scaled = v.scaled(10.0);
+  EXPECT_EQ(scaled.get(r0), 20.0);
+  EXPECT_EQ(scaled.get(r1), 30.0);
+  EXPECT_THROW(v.scaled(-1.0), ContractViolation);
+}
+
+TEST(ResourceVector, AllLeqPartialOrder) {
+  ResourceVector req, avail;
+  req.set(r0, 5.0);
+  req.set(r1, 2.0);
+  avail.set(r0, 5.0);
+  avail.set(r1, 3.0);
+  EXPECT_TRUE(req.all_leq(avail));
+  avail.set(r1, 1.0);
+  EXPECT_FALSE(req.all_leq(avail));
+}
+
+TEST(ResourceVector, AllLeqTreatsMissingAsZero) {
+  ResourceVector req, avail;
+  req.set(r0, 1.0);
+  EXPECT_FALSE(req.all_leq(avail));  // avail has nothing
+  ResourceVector empty;
+  EXPECT_TRUE(empty.all_leq(avail));  // nothing required
+}
+
+TEST(ResourceCatalog, AddAndLookup) {
+  ResourceCatalog catalog;
+  const ResourceId cpu =
+      catalog.add("cpu@H1", ResourceKind::kCpu, HostId{0});
+  const ResourceId net =
+      catalog.add("L1", ResourceKind::kNetworkBandwidth);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.name(cpu), "cpu@H1");
+  EXPECT_EQ(catalog.kind(net), ResourceKind::kNetworkBandwidth);
+  EXPECT_EQ(catalog.host(cpu), (HostId{0}));
+  EXPECT_FALSE(catalog.host(net).valid());
+}
+
+TEST(ResourceCatalog, FindByName) {
+  ResourceCatalog catalog;
+  const ResourceId id = catalog.add("disk", ResourceKind::kDiskBandwidth);
+  EXPECT_EQ(catalog.find("disk"), id);
+  EXPECT_FALSE(catalog.find("missing").has_value());
+}
+
+TEST(ResourceCatalog, RejectsBadAccess) {
+  ResourceCatalog catalog;
+  EXPECT_THROW(catalog.add("", ResourceKind::kCpu), ContractViolation);
+  EXPECT_THROW(catalog.name(ResourceId{5}), ContractViolation);
+  EXPECT_THROW(catalog.name(ResourceId{}), ContractViolation);
+}
+
+TEST(ResourceKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(ResourceKind::kCpu), "cpu");
+  EXPECT_STREQ(to_string(ResourceKind::kMemory), "memory");
+  EXPECT_STREQ(to_string(ResourceKind::kDiskBandwidth), "disk_bw");
+  EXPECT_STREQ(to_string(ResourceKind::kNetworkBandwidth), "net_bw");
+  EXPECT_STREQ(to_string(ResourceKind::kOther), "other");
+}
+
+TEST(TaggedIds, DistinctTypesAndHash) {
+  const ResourceId a{3};
+  const ResourceId b{3};
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(ResourceId{}.valid());
+  EXPECT_EQ(std::hash<ResourceId>{}(a), std::hash<ResourceId>{}(b));
+  EXPECT_LT(ResourceId{1}, ResourceId{2});
+}
+
+}  // namespace
+}  // namespace qres

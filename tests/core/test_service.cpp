@@ -1,0 +1,175 @@
+#include "core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace qres {
+namespace {
+
+using test::levels;
+using test::q;
+
+TranslationFn any_translation() {
+  return [](LevelIndex, LevelIndex) -> std::optional<ResourceVector> {
+    return ResourceVector{};
+  };
+}
+
+ServiceComponent comp(const std::string& name, int out_levels) {
+  return ServiceComponent(name, levels(out_levels), any_translation());
+}
+
+TEST(ServiceComponent, Contracts) {
+  EXPECT_THROW(ServiceComponent("", levels(1), any_translation()),
+               ContractViolation);
+  EXPECT_THROW(ServiceComponent("c", {}, any_translation()),
+               ContractViolation);
+  EXPECT_THROW(ServiceComponent("c", levels(1), nullptr), ContractViolation);
+  // Mixed schemas across output levels are rejected.
+  std::vector<QoSVector> mixed{q(1), QoSVector(QoSSchema({"other"}), {1})};
+  EXPECT_THROW(ServiceComponent("c", mixed, any_translation()),
+               ContractViolation);
+}
+
+TEST(ServiceDefinition, ChainBasics) {
+  ServiceDefinition service(
+      "svc", {comp("a", 2), comp("b", 3), comp("c", 2)},
+      {{0, 1}, {1, 2}}, q(5));
+  EXPECT_TRUE(service.is_chain());
+  EXPECT_EQ(service.source(), 0u);
+  EXPECT_EQ(service.sink(), 2u);
+  EXPECT_EQ(service.topological_order(),
+            (std::vector<ComponentIndex>{0, 1, 2}));
+  EXPECT_EQ(service.component_count(), 3u);
+  EXPECT_EQ(service.predecessors(1), (std::vector<ComponentIndex>{0}));
+  EXPECT_EQ(service.successors(0), (std::vector<ComponentIndex>{1}));
+}
+
+TEST(ServiceDefinition, SingleComponentService) {
+  ServiceDefinition service("one", {comp("only", 2)}, {}, q(1));
+  EXPECT_TRUE(service.is_chain());
+  EXPECT_EQ(service.source(), service.sink());
+  EXPECT_EQ(service.in_level_count(0), 1u);
+}
+
+TEST(ServiceDefinition, RejectsCycle) {
+  EXPECT_THROW(ServiceDefinition("bad", {comp("a", 1), comp("b", 1)},
+                                 {{0, 1}, {1, 0}}, q(1)),
+               ContractViolation);
+}
+
+TEST(ServiceDefinition, RejectsTwoSources) {
+  EXPECT_THROW(
+      ServiceDefinition("bad", {comp("a", 1), comp("b", 1), comp("c", 1)},
+                        {{0, 2}, {1, 2}}, q(1)),
+      ContractViolation);
+}
+
+TEST(ServiceDefinition, RejectsTwoSinks) {
+  EXPECT_THROW(
+      ServiceDefinition("bad", {comp("a", 1), comp("b", 1), comp("c", 1)},
+                        {{0, 1}, {0, 2}}, q(1)),
+      ContractViolation);
+}
+
+TEST(ServiceDefinition, RejectsSelfLoopAndDuplicateEdges) {
+  EXPECT_THROW(
+      ServiceDefinition("bad", {comp("a", 1), comp("b", 1)},
+                        {{0, 0}, {0, 1}}, q(1)),
+      ContractViolation);
+  EXPECT_THROW(
+      ServiceDefinition("bad", {comp("a", 1), comp("b", 1)},
+                        {{0, 1}, {0, 1}}, q(1)),
+      ContractViolation);
+}
+
+TEST(ServiceDefinition, RejectsOutOfRangeEdge) {
+  EXPECT_THROW(ServiceDefinition("bad", {comp("a", 1)}, {{0, 3}}, q(1)),
+               ContractViolation);
+}
+
+TEST(ServiceDefinition, RejectsDisconnectedComponent) {
+  // Two isolated components: two sources.
+  EXPECT_THROW(
+      ServiceDefinition("bad", {comp("a", 1), comp("b", 1)}, {}, q(1)),
+      ContractViolation);
+}
+
+ServiceDefinition diamond() {
+  // 0 -> {1, 2} -> 3 (the paper's figure-6 shape).
+  return ServiceDefinition(
+      "diamond", {comp("src", 2), comp("up", 3), comp("down", 2),
+                  comp("join", 2)},
+      {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, q(1));
+}
+
+TEST(ServiceDefinition, DagDetection) {
+  const ServiceDefinition d = diamond();
+  EXPECT_FALSE(d.is_chain());
+  EXPECT_EQ(d.source(), 0u);
+  EXPECT_EQ(d.sink(), 3u);
+  EXPECT_EQ(d.predecessors(3), (std::vector<ComponentIndex>{1, 2}));
+}
+
+TEST(ServiceDefinition, FanInLevelCountIsProduct) {
+  const ServiceDefinition d = diamond();
+  EXPECT_EQ(d.in_level_count(0), 1u);  // the source quality
+  EXPECT_EQ(d.in_level_count(1), 2u);  // |out(0)|
+  EXPECT_EQ(d.in_level_count(3), 6u);  // |out(1)| * |out(2)| = 3*2
+}
+
+TEST(ServiceDefinition, ComboRoundTrips) {
+  const ServiceDefinition d = diamond();
+  for (LevelIndex flat = 0; flat < 6; ++flat) {
+    const auto combo = d.in_level_combo(3, flat);
+    ASSERT_EQ(combo.size(), 2u);
+    EXPECT_LT(combo[0], 3u);
+    EXPECT_LT(combo[1], 2u);
+    EXPECT_EQ(d.flatten_in_level(3, combo), flat);
+  }
+  // Row-major: the last predecessor varies fastest.
+  EXPECT_EQ(d.in_level_combo(3, 0), (std::vector<LevelIndex>{0, 0}));
+  EXPECT_EQ(d.in_level_combo(3, 1), (std::vector<LevelIndex>{0, 1}));
+  EXPECT_EQ(d.in_level_combo(3, 2), (std::vector<LevelIndex>{1, 0}));
+}
+
+TEST(ServiceDefinition, ComboContracts) {
+  const ServiceDefinition d = diamond();
+  EXPECT_THROW(d.in_level_combo(3, 6), ContractViolation);
+  EXPECT_THROW(d.flatten_in_level(3, {0}), ContractViolation);
+  EXPECT_THROW(d.flatten_in_level(3, {3, 0}), ContractViolation);
+}
+
+TEST(ServiceDefinition, DefaultRankingIsDeclarationOrder) {
+  ServiceDefinition s("svc", {comp("a", 3)}, {}, q(1));
+  EXPECT_EQ(s.end_to_end_ranking(), (std::vector<LevelIndex>{0, 1, 2}));
+  EXPECT_EQ(s.rank_of(0), 0u);
+  EXPECT_EQ(s.rank_of(2), 2u);
+}
+
+TEST(ServiceDefinition, CustomRankingValidation) {
+  ServiceDefinition s("svc", {comp("a", 3)}, {}, q(1));
+  s.set_end_to_end_ranking({2, 0, 1});
+  EXPECT_EQ(s.rank_of(2), 0u);
+  EXPECT_THROW(s.set_end_to_end_ranking({0, 1}), ContractViolation);
+  EXPECT_THROW(s.set_end_to_end_ranking({0, 1, 1}), ContractViolation);
+  EXPECT_THROW(s.set_end_to_end_ranking({0, 1, 3}), ContractViolation);
+  EXPECT_THROW(s.rank_of(7), ContractViolation);
+}
+
+TEST(ServiceDefinition, TopologicalOrderRespectsEdges) {
+  // A DAG with a non-trivial order: 0 -> 2, 0 -> 1, 1 -> 2, 2 -> 3.
+  ServiceDefinition s(
+      "svc", {comp("a", 1), comp("b", 1), comp("c", 1), comp("d", 1)},
+      {{0, 2}, {0, 1}, {1, 2}, {2, 3}}, q(1));
+  const auto& topo = s.topological_order();
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,70 @@
+#include "core/translation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace qres {
+namespace {
+
+const ResourceId cpu{0}, bw{1};
+
+ResourceVector rv(double c, double b) {
+  ResourceVector v;
+  v.set(cpu, c);
+  v.set(bw, b);
+  return v;
+}
+
+TEST(TranslationTable, SetAndGet) {
+  TranslationTable t;
+  t.set(0, 1, rv(5.0, 2.0));
+  ASSERT_TRUE(t.get(0, 1).has_value());
+  EXPECT_EQ(t.get(0, 1)->get(cpu), 5.0);
+  EXPECT_FALSE(t.get(1, 0).has_value());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TranslationTable, SetOverwrites) {
+  TranslationTable t;
+  t.set(0, 0, rv(1.0, 1.0));
+  t.set(0, 0, rv(2.0, 2.0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.get(0, 0)->get(cpu), 2.0);
+}
+
+TEST(TranslationTable, AsFunctionIsIndependentCopy) {
+  TranslationTable t;
+  t.set(0, 0, rv(1.0, 1.0));
+  const TranslationFn fn = t.as_function();
+  t.set(0, 0, rv(9.0, 9.0));  // mutate after capture
+  ASSERT_TRUE(fn(0, 0).has_value());
+  EXPECT_EQ(fn(0, 0)->get(cpu), 1.0);  // the closure kept the old copy
+  EXPECT_FALSE(fn(3, 3).has_value());
+}
+
+TEST(TranslationTable, ScaledMultipliesAllEntries) {
+  TranslationTable t;
+  t.set(0, 0, rv(2.0, 4.0));
+  t.set(1, 0, rv(3.0, 5.0));
+  const TranslationTable s = t.scaled(0.5);
+  EXPECT_EQ(s.get(0, 0)->get(cpu), 1.0);
+  EXPECT_EQ(s.get(1, 0)->get(bw), 2.5);
+  EXPECT_THROW(t.scaled(-1.0), ContractViolation);
+}
+
+TEST(TranslationTable, IterationVisitsAllEntries) {
+  TranslationTable t;
+  t.set(0, 0, rv(1, 1));
+  t.set(0, 1, rv(2, 2));
+  t.set(1, 1, rv(3, 3));
+  std::size_t count = 0;
+  for (const auto& entry : t) {
+    (void)entry;
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,120 @@
+#include "enforce/proportional_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+TEST(ProportionalShare, ConstructionContracts) {
+  EXPECT_THROW(ProportionalShareScheduler(0.0), ContractViolation);
+  ProportionalShareScheduler s(100.0);
+  EXPECT_THROW(s.add_task(SessionId{}, 10.0, 10.0), ContractViolation);
+  EXPECT_THROW(s.add_task(SessionId{1}, -1.0, 10.0), ContractViolation);
+  EXPECT_THROW(s.add_task(SessionId{1}, 10.0, -1.0), ContractViolation);
+  EXPECT_THROW(s.add_task(SessionId{1}, 101.0, 10.0), ContractViolation);
+  EXPECT_THROW(s.delivered(7), ContractViolation);
+}
+
+TEST(ProportionalShare, DeliversExactlyDemandWhenUnderloaded) {
+  ProportionalShareScheduler s(100.0);
+  const TaskId a = s.add_task(SessionId{1}, 30.0, 20.0);
+  const TaskId b = s.add_task(SessionId{2}, 20.0, 10.0);
+  s.advance(10.0);
+  EXPECT_NEAR(s.delivered(a), 200.0, 1e-9);
+  EXPECT_NEAR(s.delivered(b), 100.0, 1e-9);
+}
+
+TEST(ProportionalShare, GuaranteesReservationUnderOverload) {
+  ProportionalShareScheduler s(100.0);
+  const TaskId good = s.add_task(SessionId{1}, 40.0, 40.0);
+  // A misbehaving task reserved 20 but demands 500.
+  const TaskId greedy = s.add_task(SessionId{2}, 20.0, 500.0);
+  s.advance(1.0);
+  // The conforming task receives its full reservation.
+  EXPECT_NEAR(s.delivered(good), 40.0, 1e-9);
+  // The greedy task gets its guarantee plus all the slack, no more.
+  EXPECT_NEAR(s.delivered(greedy), 60.0, 1e-9);
+}
+
+TEST(ProportionalShare, WorkConservingUnderFullLoad) {
+  ProportionalShareScheduler s(100.0);
+  s.add_task(SessionId{1}, 50.0, 500.0);
+  s.add_task(SessionId{2}, 25.0, 500.0);
+  const TaskId c = s.add_task(SessionId{3}, 25.0, 500.0);
+  s.advance(2.0);
+  double total = 0.0;
+  for (TaskId id : {TaskId{0}, TaskId{1}, c}) total += s.delivered(id);
+  EXPECT_NEAR(total, 200.0, 1e-6);  // exactly capacity * dt
+}
+
+TEST(ProportionalShare, SlackSharedProportionallyToReservations) {
+  ProportionalShareScheduler s(100.0);
+  // 40 units of slack (no third task); both hungry beyond reservation.
+  const TaskId a = s.add_task(SessionId{1}, 40.0, 1000.0);
+  const TaskId b = s.add_task(SessionId{2}, 20.0, 1000.0);
+  s.advance(1.0);
+  // Guarantee 40 + slack 40 * (40/60), guarantee 20 + 40 * (20/60).
+  EXPECT_NEAR(s.delivered(a), 40.0 + 40.0 * 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(s.delivered(b), 20.0 + 40.0 / 3.0, 1e-6);
+}
+
+TEST(ProportionalShare, ZeroReservationTaskOnlyGetsSlack) {
+  ProportionalShareScheduler s(100.0);
+  const TaskId paid = s.add_task(SessionId{1}, 100.0, 100.0);
+  const TaskId best_effort = s.add_task(SessionId{2}, 0.0, 50.0);
+  s.advance(1.0);
+  EXPECT_NEAR(s.delivered(paid), 100.0, 1e-9);
+  EXPECT_NEAR(s.delivered(best_effort), 0.0, 1e-6);  // no slack left
+  // Lower the paid task's demand: slack flows to best effort.
+  s.set_demand(paid, 30.0);
+  s.advance(1.0);
+  EXPECT_NEAR(s.delivered(best_effort), 50.0, 1e-6);
+}
+
+TEST(ProportionalShare, RemoveTaskFreesReservation) {
+  ProportionalShareScheduler s(100.0);
+  const TaskId a = s.add_task(SessionId{1}, 80.0, 80.0);
+  EXPECT_THROW(s.add_task(SessionId{2}, 40.0, 1.0), ContractViolation);
+  s.remove_task(a);
+  EXPECT_EQ(s.task_count(), 0u);
+  EXPECT_NO_THROW(s.add_task(SessionId{2}, 40.0, 1.0));
+  EXPECT_THROW(s.delivered(a), ContractViolation);  // gone
+}
+
+TEST(ProportionalShare, RandomizedInvariants) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double capacity = rng.uniform(50.0, 200.0);
+    ProportionalShareScheduler s(capacity);
+    std::vector<TaskId> tasks;
+    double reserved_sum = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      const double reserve =
+          rng.uniform(0.0, (capacity - reserved_sum) / 2.0);
+      reserved_sum += reserve;
+      tasks.push_back(s.add_task(SessionId{static_cast<std::uint32_t>(i + 1)},
+                                 reserve, rng.uniform(0.0, capacity)));
+    }
+    double elapsed = 0.0;
+    for (int step = 0; step < 20; ++step) {
+      const double dt = rng.uniform(0.1, 2.0);
+      elapsed += dt;
+      for (TaskId id : tasks)
+        if (rng.bernoulli(0.3))
+          s.set_demand(id, rng.uniform(0.0, capacity));
+      s.advance(dt);
+    }
+    double total_delivered = 0.0;
+    for (TaskId id : tasks) {
+      // Never more than demanded, never oversubscribed in total.
+      EXPECT_LE(s.delivered(id), s.demanded(id) + 1e-6);
+      total_delivered += s.delivered(id);
+    }
+    EXPECT_LE(total_delivered, capacity * elapsed + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,180 @@
+#include "enforce/sfq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+TEST(Sfq, Contracts) {
+  SfqScheduler s;
+  EXPECT_THROW(s.add_flow(0.0), ContractViolation);
+  EXPECT_THROW(s.enqueue(0, 1.0), ContractViolation);  // unknown flow
+  const FlowId f = s.add_flow(1.0);
+  EXPECT_THROW(s.enqueue(f, 0.0), ContractViolation);
+  EXPECT_THROW(s.backlog(99), ContractViolation);
+}
+
+TEST(Sfq, EmptySchedulerDispatchesNothing) {
+  SfqScheduler s;
+  EXPECT_FALSE(s.dequeue().has_value());
+  s.add_flow(1.0);
+  EXPECT_FALSE(s.dequeue().has_value());
+}
+
+TEST(Sfq, SingleFlowFifo) {
+  SfqScheduler s;
+  const FlowId f = s.add_flow(2.0);
+  s.enqueue(f, 10.0);
+  s.enqueue(f, 20.0);
+  const auto p1 = s.dequeue();
+  const auto p2 = s.dequeue();
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(p1->length, 10.0);
+  EXPECT_EQ(p2->length, 20.0);
+  // Finish tags accumulate length/weight.
+  EXPECT_DOUBLE_EQ(p1->finish_tag, 5.0);
+  EXPECT_DOUBLE_EQ(p2->start_tag, 5.0);
+  EXPECT_DOUBLE_EQ(p2->finish_tag, 15.0);
+  EXPECT_EQ(s.served(f), 30.0);
+}
+
+TEST(Sfq, TagsFollowTheSfqRules) {
+  SfqScheduler s;
+  const FlowId a = s.add_flow(1.0);
+  const FlowId b = s.add_flow(1.0);
+  s.enqueue(a, 4.0);  // S=0, F=4
+  const auto first = s.dequeue();
+  ASSERT_TRUE(first);
+  EXPECT_DOUBLE_EQ(s.virtual_time(), 0.0);  // v = S of packet in service
+  // Arriving now, b's packet starts at max(v, 0) = 0.
+  s.enqueue(b, 2.0);
+  const auto second = s.dequeue();
+  ASSERT_TRUE(second);
+  EXPECT_EQ(second->flow, b);
+  EXPECT_DOUBLE_EQ(second->start_tag, 0.0);
+  // a enqueues again: S = max(v, last F of a) = max(0, 4) = 4.
+  s.enqueue(a, 1.0);
+  const auto third = s.dequeue();
+  ASSERT_TRUE(third);
+  EXPECT_DOUBLE_EQ(third->start_tag, 4.0);
+  EXPECT_DOUBLE_EQ(s.virtual_time(), 4.0);
+}
+
+TEST(Sfq, BackloggedServiceProportionalToWeights) {
+  // Two backlogged flows with weights 3:1 must receive service 3:1 within
+  // one packet length over any long busy period.
+  SfqScheduler s;
+  const FlowId heavy = s.add_flow(3.0);
+  const FlowId light = s.add_flow(1.0);
+  for (int i = 0; i < 600; ++i) {
+    s.enqueue(heavy, 1.0);
+    s.enqueue(light, 1.0);
+  }
+  for (int i = 0; i < 400; ++i) (void)s.dequeue();
+  EXPECT_NEAR(s.served(heavy) / s.served(light), 3.0, 0.05);
+}
+
+TEST(Sfq, MixedPacketSizesStayFair) {
+  SfqScheduler s;
+  const FlowId big_packets = s.add_flow(1.0);
+  const FlowId small_packets = s.add_flow(1.0);
+  for (int i = 0; i < 100; ++i) s.enqueue(big_packets, 10.0);
+  for (int i = 0; i < 1000; ++i) s.enqueue(small_packets, 1.0);
+  // Serve a long busy period.
+  double served_total = 0.0;
+  while (served_total < 800.0) {
+    const auto p = s.dequeue();
+    ASSERT_TRUE(p.has_value());
+    served_total += p->length;
+  }
+  // Equal weights: equal service within one max packet size.
+  EXPECT_NEAR(s.served(big_packets), s.served(small_packets), 10.0);
+}
+
+TEST(Sfq, IsolationFromAGreedyFlow) {
+  // A flow flooding the queue cannot depress a conforming flow's share
+  // below weight proportionality.
+  SfqScheduler s;
+  const FlowId greedy = s.add_flow(1.0);
+  const FlowId polite = s.add_flow(1.0);
+  for (int i = 0; i < 5000; ++i) s.enqueue(greedy, 1.0);
+  for (int i = 0; i < 100; ++i) s.enqueue(polite, 1.0);
+  // While polite is backlogged it receives half the service.
+  double polite_served_when_backlogged = 0.0;
+  while (s.backlog(polite) > 0) {
+    const auto p = s.dequeue();
+    ASSERT_TRUE(p.has_value());
+    if (p->flow == polite) polite_served_when_backlogged += p->length;
+  }
+  // polite's 100 units were delivered within ~200 units of total work.
+  EXPECT_EQ(polite_served_when_backlogged, 100.0);
+  EXPECT_NEAR(s.served(greedy), 100.0, 2.0);
+}
+
+TEST(Sfq, VirtualTimeIsMonotone) {
+  Rng rng(9);
+  SfqScheduler s;
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 4; ++i)
+    flows.push_back(s.add_flow(rng.uniform(0.5, 4.0)));
+  double last_vt = 0.0;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.bernoulli(0.6))
+      s.enqueue(flows[static_cast<std::size_t>(rng.uniform_int(0, 3))],
+                rng.uniform(0.5, 8.0));
+    if (rng.bernoulli(0.5)) {
+      if (s.dequeue()) {
+        EXPECT_GE(s.virtual_time(), last_vt - 1e-12);
+        last_vt = s.virtual_time();
+      }
+    }
+  }
+}
+
+TEST(Sfq, RandomizedWeightedFairness) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    SfqScheduler s;
+    const int n = rng.uniform_int(2, 5);
+    std::vector<FlowId> flows;
+    std::vector<double> weights;
+    for (int i = 0; i < n; ++i) {
+      weights.push_back(rng.uniform(0.5, 5.0));
+      flows.push_back(s.add_flow(weights.back()));
+    }
+    // Keep all flows heavily backlogged.
+    for (int i = 0; i < 3000; ++i)
+      for (FlowId f : flows) s.enqueue(f, rng.uniform(0.5, 2.0));
+    for (int i = 0; i < 4000; ++i) (void)s.dequeue();
+    // Normalized service per weight should be equal across flows (within
+    // a couple of max packet lengths).
+    std::vector<double> normalized;
+    for (std::size_t i = 0; i < flows.size(); ++i)
+      normalized.push_back(s.served(flows[i]) / weights[i]);
+    const auto [lo, hi] =
+        std::minmax_element(normalized.begin(), normalized.end());
+    EXPECT_LT(*hi - *lo, 10.0) << "trial " << trial;
+  }
+}
+
+TEST(Sfq, RemoveFlowDropsBacklog) {
+  SfqScheduler s;
+  const FlowId a = s.add_flow(1.0);
+  const FlowId b = s.add_flow(1.0);
+  s.enqueue(a, 1.0);
+  s.enqueue(b, 1.0);
+  s.remove_flow(a);
+  EXPECT_EQ(s.flow_count(), 1u);
+  const auto p = s.dequeue();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->flow, b);
+  EXPECT_FALSE(s.dequeue().has_value());
+  EXPECT_THROW(s.enqueue(a, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,221 @@
+// Integration tests: full simulation runs over the paper scenario,
+// checking the qualitative properties the paper reports and the
+// engineering invariants (determinism, resource conservation).
+#include <gtest/gtest.h>
+
+#include "core/random_planner.hpp"
+#include "scenario/paper_scenario.hpp"
+#include "sim/replicas.hpp"
+
+namespace qres {
+namespace {
+
+SimulationStats run_once(const IPlanner& planner, double rate,
+                         std::uint64_t seed, double run_length = 1500.0,
+                         double staleness = 0.0,
+                         bool low_diversity = false) {
+  PaperScenarioConfig config;
+  config.setup_seed = seed;
+  config.low_diversity = low_diversity;
+  PaperScenario scenario(config);
+  SimulationConfig sim_config;
+  sim_config.arrival_rate = rate;
+  sim_config.run_length = run_length;
+  sim_config.seed = seed * 1000 + 17;
+  sim_config.staleness_max = staleness;
+  Simulation simulation(scenario.make_source(), &planner, sim_config);
+  return simulation.run();
+}
+
+TEST(SimulationIntegration, DeterministicForSameSeed) {
+  BasicPlanner planner;
+  const SimulationStats a = run_once(planner, 2.0, 3, 600.0);
+  const SimulationStats b = run_once(planner, 2.0, 3, 600.0);
+  EXPECT_EQ(a.overall_success().attempts(), b.overall_success().attempts());
+  EXPECT_EQ(a.overall_success().successes(),
+            b.overall_success().successes());
+  EXPECT_EQ(a.overall_qos().count(), b.overall_qos().count());
+  if (!a.overall_qos().empty()) {
+    EXPECT_DOUBLE_EQ(a.overall_qos().mean(), b.overall_qos().mean());
+  }
+  EXPECT_EQ(a.path_histogram(), b.path_histogram());
+}
+
+TEST(SimulationIntegration, DifferentSeedsDiffer) {
+  BasicPlanner planner;
+  const SimulationStats a = run_once(planner, 2.0, 3, 600.0);
+  const SimulationStats b = run_once(planner, 2.0, 4, 600.0);
+  // Some aspect of the runs must differ (a single field may collide).
+  const bool differs =
+      a.overall_success().attempts() != b.overall_success().attempts() ||
+      a.overall_success().successes() != b.overall_success().successes() ||
+      a.overall_qos().mean() != b.overall_qos().mean() ||
+      a.path_histogram() != b.path_histogram();
+  EXPECT_TRUE(differs);
+}
+
+TEST(SimulationIntegration, AllReservationsEventuallyReleased) {
+  PaperScenario scenario;
+  BasicPlanner planner;
+  SimulationConfig config;
+  config.arrival_rate = 2.0;
+  config.run_length = 500.0;
+  config.seed = 5;
+  Simulation simulation(scenario.make_source(), &planner, config);
+  (void)simulation.run();
+  // run() drains departures too; every broker must be back to capacity.
+  for (ResourceId id : scenario.all_physical_resources()) {
+    const IBroker& broker = scenario.registry().broker(id);
+    EXPECT_NEAR(broker.available(), broker.capacity(), 1e-6)
+        << scenario.registry().catalog().name(id);
+  }
+}
+
+TEST(SimulationIntegration, ContentionAwareBeatsRandom) {
+  BasicPlanner basic;
+  RandomPlanner random;
+  double basic_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    basic_total += run_once(basic, 3.0, seed).overall_success().value();
+    random_total += run_once(random, 3.0, seed).overall_success().value();
+  }
+  EXPECT_GT(basic_total, random_total);
+}
+
+TEST(SimulationIntegration, TradeoffImprovesSuccessAtQoSCost) {
+  BasicPlanner basic;
+  TradeoffPlanner tradeoff;
+  double basic_success = 0.0, tradeoff_success = 0.0;
+  double basic_qos = 0.0, tradeoff_qos = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const SimulationStats b = run_once(basic, 3.0, seed);
+    const SimulationStats t = run_once(tradeoff, 3.0, seed);
+    basic_success += b.overall_success().value();
+    tradeoff_success += t.overall_success().value();
+    basic_qos += b.overall_qos().mean();
+    tradeoff_qos += t.overall_qos().mean();
+  }
+  EXPECT_GE(tradeoff_success, basic_success);
+  EXPECT_LT(tradeoff_qos, basic_qos);
+}
+
+TEST(SimulationIntegration, GreedyAlgorithmsDeliverNearTopQoS) {
+  BasicPlanner basic;
+  RandomPlanner random;
+  EXPECT_GT(run_once(basic, 1.0, 7).overall_qos().mean(), 2.9);
+  EXPECT_GT(run_once(random, 1.0, 7).overall_qos().mean(), 2.9);
+}
+
+TEST(SimulationIntegration, SuccessRateDecreasesWithLoad) {
+  BasicPlanner planner;
+  const double lo = run_once(planner, 1.0, 9).overall_success().value();
+  const double hi = run_once(planner, 4.0, 9).overall_success().value();
+  EXPECT_GT(lo, hi);
+  EXPECT_GT(lo, 0.9);
+}
+
+TEST(SimulationIntegration, FatSessionsSufferMoreThanNormal) {
+  BasicPlanner planner;
+  const SimulationStats stats = run_once(planner, 3.0, 11, 2500.0);
+  const double norm =
+      (stats.class_success(SessionClass::kNormalShort).value() +
+       stats.class_success(SessionClass::kNormalLong).value()) /
+      2.0;
+  const double fat = (stats.class_success(SessionClass::kFatShort).value() +
+                      stats.class_success(SessionClass::kFatLong).value()) /
+                     2.0;
+  EXPECT_GT(norm, fat);
+}
+
+TEST(SimulationIntegration, PathHistogramContainsOnlyValidPaths) {
+  BasicPlanner planner;
+  const SimulationStats stats = run_once(planner, 2.0, 13);
+  ASSERT_FALSE(stats.path_histogram().empty());
+  for (const auto& [group, histogram] : stats.path_histogram()) {
+    EXPECT_TRUE(group == "a" || group == "b");
+    for (const auto& [path, count] : histogram) {
+      EXPECT_GT(count, 0u);
+      // 6 node labels joined by '-': "Qa-Qx-Qx-Qx-Qx-Qx".
+      EXPECT_EQ(std::count(path.begin(), path.end(), '-'), 5) << path;
+      EXPECT_EQ(path.substr(0, 3), "Qa-") << path;
+    }
+  }
+}
+
+TEST(SimulationIntegration, ManyResourcesBecomeBottlenecks) {
+  // §5.2.2: every resource becomes the bottleneck at least once. With a
+  // moderate run we require most of the 18 logical resources to appear.
+  BasicPlanner planner;
+  const SimulationStats stats = run_once(planner, 3.0, 15, 3000.0);
+  EXPECT_GE(stats.bottleneck_counts().size(), 12u);
+}
+
+TEST(SimulationIntegration, StaleObservationsDegradeSuccess) {
+  BasicPlanner planner;
+  double fresh = 0.0, stale = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    fresh += run_once(planner, 3.0, seed, 1500.0, 0.0)
+                 .overall_success()
+                 .value();
+    stale += run_once(planner, 3.0, seed, 1500.0, 8.0)
+                 .overall_success()
+                 .value();
+  }
+  EXPECT_GE(fresh, stale);
+}
+
+TEST(SimulationIntegration, StaleObservationsCauseAdmissionFailures) {
+  BasicPlanner planner;
+  const SimulationStats fresh = run_once(planner, 3.0, 21, 1500.0, 0.0);
+  const SimulationStats stale = run_once(planner, 3.0, 21, 1500.0, 8.0);
+  EXPECT_EQ(fresh.admission_failures(), 0u);  // atomic when accurate
+  EXPECT_GT(stale.admission_failures(), 0u);
+}
+
+TEST(SimulationIntegration, LowDiversityLowersSuccess) {
+  BasicPlanner planner;
+  double diverse = 0.0, compressed = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    diverse += run_once(planner, 3.0, seed, 1500.0, 0.0, false)
+                   .overall_success()
+                   .value();
+    compressed += run_once(planner, 3.0, seed, 1500.0, 0.0, true)
+                      .overall_success()
+                      .value();
+  }
+  EXPECT_GT(diverse, compressed);
+}
+
+TEST(ReplicaRunner, MergedResultIndependentOfThreadCount) {
+  auto replica = [](std::uint64_t seed, std::size_t) {
+    BasicPlanner planner;
+    return run_once(planner, 2.0, seed, 400.0);
+  };
+  ThreadPool one(1), many(4);
+  const SimulationStats a = run_replicas(4, 99, replica, &one);
+  const SimulationStats b = run_replicas(4, 99, replica, &many);
+  const SimulationStats c = run_replicas(4, 99, replica, nullptr);
+  EXPECT_EQ(a.overall_success().attempts(), b.overall_success().attempts());
+  EXPECT_EQ(a.overall_success().successes(),
+            b.overall_success().successes());
+  EXPECT_EQ(a.overall_success().attempts(), c.overall_success().attempts());
+  EXPECT_DOUBLE_EQ(a.overall_qos().mean(), b.overall_qos().mean());
+  EXPECT_EQ(a.path_histogram(), c.path_histogram());
+}
+
+TEST(ReplicaRunner, SeedsAreDistinctPerReplica) {
+  EXPECT_NE(replica_seed(1, 0), replica_seed(1, 1));
+  EXPECT_NE(replica_seed(1, 0), replica_seed(2, 0));
+  EXPECT_EQ(replica_seed(7, 3), replica_seed(7, 3));
+}
+
+TEST(ReplicaRunner, Contracts) {
+  EXPECT_THROW(run_replicas(0, 1, [](std::uint64_t, std::size_t) {
+                 return SimulationStats{};
+               }),
+               ContractViolation);
+  EXPECT_THROW(run_replicas(1, 1, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,125 @@
+#include "proxy/advance_coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "scenario/advance_scenario.hpp"
+
+namespace qres {
+namespace {
+
+using test::rv;
+
+struct Fixture {
+  AdvanceRegistry registry;
+  ResourceId cpu = registry.add_resource("cpu", ResourceKind::kCpu, 100.0);
+  ResourceId bw =
+      registry.add_resource("bw", ResourceKind::kNetworkBandwidth, 50.0);
+  ServiceDefinition service = make_service();
+  AdvanceSessionCoordinator coordinator{&service, {cpu, bw}, &registry};
+  BasicPlanner planner;
+  Rng rng{7};
+
+  ServiceDefinition make_service() {
+    TranslationTable t0, t1;
+    t0.set(0, 0, rv({{cpu, 20.0}}));
+    t0.set(0, 1, rv({{cpu, 10.0}}));
+    t1.set(0, 0, rv({{bw, 30.0}}));
+    t1.set(1, 1, rv({{bw, 10.0}}));
+    return test::make_chain({{2, t0}, {2, t1}});
+  }
+};
+
+TEST(AdvanceCoordinator, BooksTheFutureWindow) {
+  Fixture f;
+  const AdvanceEstablishResult r = f.coordinator.establish(
+      SessionId{1}, /*start=*/100.0, /*end=*/200.0, f.planner, f.rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.plan->end_to_end_rank, 0u);
+  EXPECT_EQ(f.registry.broker(f.cpu).min_available(100.0, 200.0), 80.0);
+  EXPECT_EQ(f.registry.broker(f.bw).min_available(100.0, 200.0), 20.0);
+  // Outside the window nothing is claimed.
+  EXPECT_EQ(f.registry.broker(f.cpu).min_available(0.0, 100.0), 100.0);
+  EXPECT_EQ(f.registry.broker(f.cpu).min_available(200.0, 300.0), 100.0);
+}
+
+TEST(AdvanceCoordinator, DisjointWindowsDoNotCompete) {
+  Fixture f;
+  // bw 30 per session; capacity 50: two top-level sessions cannot overlap
+  // but can book disjoint windows.
+  ASSERT_TRUE(f.coordinator
+                  .establish(SessionId{1}, 0.0, 100.0, f.planner, f.rng)
+                  .success);
+  const AdvanceEstablishResult overlapping = f.coordinator.establish(
+      SessionId{2}, 50.0, 150.0, f.planner, f.rng);
+  ASSERT_TRUE(overlapping.success);
+  EXPECT_EQ(overlapping.plan->end_to_end_rank, 1u);  // degraded
+  const AdvanceEstablishResult disjoint = f.coordinator.establish(
+      SessionId{3}, 100.0, 200.0, f.planner, f.rng);
+  ASSERT_TRUE(disjoint.success);
+  EXPECT_EQ(disjoint.plan->end_to_end_rank, 0u);  // full QoS again
+}
+
+TEST(AdvanceCoordinator, CancelReleasesBookings) {
+  Fixture f;
+  const AdvanceEstablishResult r = f.coordinator.establish(
+      SessionId{1}, 10.0, 20.0, f.planner, f.rng);
+  ASSERT_TRUE(r.success);
+  f.coordinator.cancel(r.bookings);
+  EXPECT_EQ(f.registry.broker(f.cpu).min_available(10.0, 20.0), 100.0);
+  EXPECT_EQ(f.registry.broker(f.bw).min_available(10.0, 20.0), 50.0);
+}
+
+TEST(AdvanceCoordinator, FailsCleanlyWhenWindowIsFull) {
+  Fixture f;
+  ASSERT_NE(f.registry.broker(f.bw).book(SessionId{9}, 45.0, 0.0, 1000.0),
+            0u);
+  const AdvanceEstablishResult r =
+      f.coordinator.establish(SessionId{1}, 10.0, 20.0, f.planner, f.rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.plan.has_value());
+  EXPECT_TRUE(r.bookings.empty());
+  EXPECT_EQ(f.registry.broker(f.cpu).min_available(10.0, 20.0), 100.0);
+}
+
+TEST(AdvanceCoordinator, Contracts) {
+  Fixture f;
+  EXPECT_THROW(f.coordinator.establish(SessionId{1}, 20.0, 20.0, f.planner,
+                                       f.rng),
+               ContractViolation);
+  EXPECT_THROW(
+      AdvanceSessionCoordinator(nullptr, {f.cpu}, &f.registry),
+      ContractViolation);
+  EXPECT_THROW(AdvanceSessionCoordinator(&f.service, {}, &f.registry),
+               ContractViolation);
+  EXPECT_THROW(AdvanceSessionCoordinator(&f.service, {f.cpu}, nullptr),
+               ContractViolation);
+}
+
+TEST(AdvanceScenario, BuildsAndEstablishes) {
+  AdvanceScenario scenario;
+  BasicPlanner planner;
+  Rng rng(1);
+  AdvanceSessionCoordinator& coordinator = scenario.coordinator(4, 2);
+  const AdvanceEstablishResult r = coordinator.establish(
+      SessionId{1}, 100.0, 200.0, planner, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.plan->end_to_end_rank, 0u);
+  EXPECT_THROW(scenario.coordinator(1, 2), ContractViolation);  // excluded
+}
+
+TEST(AdvanceScenario, SampleRequestRespectsExclusion) {
+  AdvanceScenario scenario;
+  Rng rng(3);
+  std::set<AdvanceSessionCoordinator*> seen;
+  for (int i = 0; i < 4000; ++i) {
+    const AdvanceScenario::Request request = scenario.sample_request(rng);
+    ASSERT_NE(request.coordinator, nullptr);
+    EXPECT_GT(request.traits.duration, 0.0);
+    seen.insert(request.coordinator);
+  }
+  EXPECT_EQ(seen.size(), 24u);  // all allowed (service, domain) pairs
+}
+
+}  // namespace
+}  // namespace qres

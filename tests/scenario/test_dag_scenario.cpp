@@ -1,0 +1,93 @@
+#include "scenario/dag_scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.hpp"
+
+namespace qres {
+namespace {
+
+TEST(DagScenario, ServicesAreDags) {
+  DagScenario scenario;
+  SessionCoordinator& coordinator = scenario.coordinator(4, 2);
+  EXPECT_FALSE(coordinator.service().is_chain());
+  EXPECT_EQ(coordinator.service().component_count(), 5u);
+  EXPECT_EQ(coordinator.service().end_to_end_ranking().size(),
+            DagScenario::kLevels);
+  EXPECT_THROW(scenario.coordinator(1, 2), ContractViolation);  // excluded
+}
+
+TEST(DagScenario, EstablishesAtTopLevelWhenIdle) {
+  DagScenario scenario;
+  BasicPlanner planner;
+  Rng rng(1);
+  const EstablishResult result = scenario.coordinator(4, 2).establish(
+      SessionId{1}, 1.0, planner, rng);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.plan->end_to_end_rank, 0u);
+  ASSERT_EQ(result.plan->steps.size(), 5u);
+  // Total requirement spans 7 resources (3 hosts + 4 network pairs).
+  EXPECT_EQ(result.plan->total_requirement().size(), 7u);
+}
+
+TEST(DagScenario, HeuristicMatchesExhaustiveInThisEnvironment) {
+  // Fresh scenario per planner so admissions do not interact.
+  for (int seed = 1; seed <= 3; ++seed) {
+    DagScenarioConfig config;
+    config.setup_seed = static_cast<std::uint64_t>(seed);
+    DagScenario a(config), b(config);
+    BasicPlanner heuristic;
+    ExhaustivePlanner exhaustive;
+    Rng rng(7);
+    for (int d = 1; d <= DagScenario::kDomains; ++d) {
+      const int s = d <= 4 ? 4 : 1;  // any allowed service
+      const EstablishResult h =
+          a.coordinator(s, d).establish(SessionId{100u + d}, 1.0,
+                                        heuristic, rng);
+      const EstablishResult e =
+          b.coordinator(s, d).establish(SessionId{100u + d}, 1.0,
+                                        exhaustive, rng);
+      ASSERT_EQ(h.success, e.success);
+      if (h.success) {
+        EXPECT_EQ(h.plan->end_to_end_rank, e.plan->end_to_end_rank);
+        EXPECT_NEAR(h.plan->bottleneck_psi, e.plan->bottleneck_psi, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(DagScenario, SimulationRunsAndDegradesUnderLoad) {
+  DagScenario scenario;
+  BasicPlanner planner;
+  SimulationConfig config;
+  config.arrival_rate = 3.0;
+  config.run_length = 800.0;
+  config.seed = 5;
+  Simulation simulation(scenario.make_source(), &planner, config);
+  const SimulationStats stats = simulation.run();
+  EXPECT_GT(stats.overall_success().attempts(), 1000u);
+  EXPECT_GT(stats.overall_success().value(), 0.2);
+  EXPECT_LT(stats.overall_success().value(), 1.0);
+  // Everything released at the end.
+  for (std::uint32_t i = 0; i < scenario.registry().size(); ++i) {
+    const IBroker& broker = scenario.registry().broker(ResourceId{i});
+    EXPECT_NEAR(broker.available(), broker.capacity(), 1e-6)
+        << broker.name();
+  }
+}
+
+TEST(DagScenario, SourceCoversAllowedPairs) {
+  DagScenario scenario;
+  const SessionSource source = scenario.make_source();
+  Rng rng(11);
+  std::set<SessionCoordinator*> seen;
+  for (int i = 0; i < 4000; ++i) {
+    const SessionSpec spec = source(rng, 0.0);
+    EXPECT_TRUE(spec.path_group.empty());
+    seen.insert(spec.coordinator);
+  }
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,197 @@
+// Validates that the scenario's QoS tables reproduce exactly the QRG
+// structure implied by the paper's tables 1 and 2 (which (Q_in, Q_out)
+// pairs exist per component and the node labels), and the figure-13
+// diversity compression.
+#include "scenario/qos_tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/planner.hpp"
+
+namespace qres {
+namespace {
+
+ServiceResources test_resources() {
+  return ServiceResources{ResourceId{0}, ResourceId{1}, ResourceId{2},
+                          ResourceId{3}};
+}
+
+AvailabilityView plentiful() {
+  AvailabilityView view;
+  for (std::uint32_t i = 0; i < 4; ++i) view.set(ResourceId{i}, 1e6);
+  return view;
+}
+
+ServiceDefinition make(QosTableKind kind,
+                       const PaperServiceOptions& options = {}) {
+  return make_paper_service("svc", kind, test_resources(), HostId{0},
+                            HostId{1}, HostId{2}, options);
+}
+
+TEST(QosTables, TypeAStructureMatchesTable1) {
+  const ServiceDefinition service = make(QosTableKind::kTypeA);
+  EXPECT_TRUE(service.is_chain());
+  EXPECT_EQ(service.component_count(), 3u);
+  EXPECT_EQ(service.component(0).out_level_count(), 3u);  // Qb,Qc,Qd
+  EXPECT_EQ(service.component(1).out_level_count(), 4u);  // Qh..Qk
+  EXPECT_EQ(service.component(2).out_level_count(), 3u);  // Qp,Qq,Qr
+  EXPECT_EQ(service.end_to_end_ranking().size(), kPaperQoSLevels);
+}
+
+TEST(QosTables, TypeBStructureMatchesTable2) {
+  const ServiceDefinition service = make(QosTableKind::kTypeB);
+  EXPECT_EQ(service.component(0).out_level_count(), 2u);  // Qb,Qc
+  EXPECT_EQ(service.component(1).out_level_count(), 3u);  // Qf,Qg,Qh
+  EXPECT_EQ(service.component(2).out_level_count(), 3u);  // Ql,Qm,Qn
+}
+
+// Every path listed in the paper's table 1 must be realizable in the
+// type-(a) QRG under plentiful availability.
+TEST(QosTables, Table1PathsAllExist) {
+  const ServiceDefinition service = make(QosTableKind::kTypeA);
+  const Qrg qrg(service, plentiful());
+  const std::set<std::string> table1 = {
+      "Qa-Qb-Qe-Qh-Ql-Qp", "Qa-Qc-Qf-Qh-Ql-Qp", "Qa-Qb-Qe-Qi-Qm-Qp",
+      "Qa-Qc-Qf-Qi-Qm-Qp", "Qa-Qc-Qf-Qj-Qn-Qp", "Qa-Qd-Qg-Qj-Qn-Qp",
+      "Qa-Qb-Qe-Qi-Qm-Qq", "Qa-Qc-Qf-Qi-Qm-Qq", "Qa-Qd-Qg-Qj-Qn-Qq",
+      "Qa-Qc-Qf-Qk-Qo-Qq", "Qa-Qd-Qg-Qk-Qo-Qq"};
+  // Check each path's edges: the naming is positional, so convert labels
+  // back through the documented layout: c_P input e/f/g = levels 0/1/2,
+  // output h/i/j/k = 0..3, etc.
+  auto edge_exists = [&](ComponentIndex c, LevelIndex in, LevelIndex out) {
+    return qrg.find_edge(qrg.node_of(c, QrgNodeKind::kIn, in),
+                         qrg.node_of(c, QrgNodeKind::kOut, out)) !=
+           QrgEdge::kNone;
+  };
+  for (const std::string& path : table1) {
+    // "Qa-Qx-Qy-Qz-Qu-Qv": positions 1,3,5 are the out labels.
+    const LevelIndex s_out = static_cast<LevelIndex>(path[4] - 'b');
+    const LevelIndex p_in = static_cast<LevelIndex>(path[7] - 'e');
+    const LevelIndex p_out = static_cast<LevelIndex>(path[10] - 'h');
+    const LevelIndex c_in = static_cast<LevelIndex>(path[13] - 'l');
+    const LevelIndex c_out = static_cast<LevelIndex>(path[16] - 'p');
+    EXPECT_EQ(p_in, s_out) << path;   // equivalence of adjacent levels
+    EXPECT_EQ(c_in, p_out) << path;
+    EXPECT_TRUE(edge_exists(0, 0, s_out)) << path;
+    EXPECT_TRUE(edge_exists(1, p_in, p_out)) << path;
+    EXPECT_TRUE(edge_exists(2, c_in, c_out)) << path;
+  }
+}
+
+TEST(QosTables, Table2PathsAllExist) {
+  const ServiceDefinition service = make(QosTableKind::kTypeB);
+  const Qrg qrg(service, plentiful());
+  const std::set<std::string> table2 = {
+      "Qa-Qb-Qd-Qf-Qi-Ql", "Qa-Qc-Qe-Qf-Qi-Ql", "Qa-Qb-Qd-Qg-Qj-Ql",
+      "Qa-Qc-Qe-Qg-Qj-Ql", "Qa-Qb-Qd-Qh-Qk-Ql", "Qa-Qc-Qe-Qh-Qk-Ql",
+      "Qa-Qb-Qd-Qf-Qi-Qm", "Qa-Qc-Qe-Qf-Qi-Qm", "Qa-Qb-Qd-Qg-Qj-Qm",
+      "Qa-Qc-Qe-Qg-Qj-Qm", "Qa-Qb-Qd-Qh-Qk-Qm", "Qa-Qc-Qe-Qh-Qk-Qm"};
+  auto edge_exists = [&](ComponentIndex c, LevelIndex in, LevelIndex out) {
+    return qrg.find_edge(qrg.node_of(c, QrgNodeKind::kIn, in),
+                         qrg.node_of(c, QrgNodeKind::kOut, out)) !=
+           QrgEdge::kNone;
+  };
+  for (const std::string& path : table2) {
+    const LevelIndex s_out = static_cast<LevelIndex>(path[4] - 'b');
+    const LevelIndex p_in = static_cast<LevelIndex>(path[7] - 'd');
+    const LevelIndex p_out = static_cast<LevelIndex>(path[10] - 'f');
+    const LevelIndex c_in = static_cast<LevelIndex>(path[13] - 'i');
+    const LevelIndex c_out = static_cast<LevelIndex>(path[16] - 'l');
+    EXPECT_TRUE(edge_exists(0, 0, s_out)) << path;
+    EXPECT_TRUE(edge_exists(1, p_in, p_out)) << path;
+    EXPECT_TRUE(edge_exists(2, c_in, c_out)) << path;
+  }
+}
+
+TEST(QosTables, NodeLabelsMatchPaperLayout) {
+  const ServiceDefinition service = make(QosTableKind::kTypeA);
+  const Qrg qrg(service, plentiful());
+  EXPECT_EQ(qrg.node_name(qrg.source_node()), "Qa");
+  EXPECT_EQ(qrg.node_name(qrg.node_of(0, QrgNodeKind::kOut, 0)), "Qb");
+  EXPECT_EQ(qrg.node_name(qrg.node_of(1, QrgNodeKind::kIn, 0)), "Qe");
+  EXPECT_EQ(qrg.node_name(qrg.node_of(1, QrgNodeKind::kOut, 0)), "Qh");
+  EXPECT_EQ(qrg.node_name(qrg.node_of(2, QrgNodeKind::kIn, 0)), "Ql");
+  EXPECT_EQ(qrg.node_name(qrg.node_of(2, QrgNodeKind::kOut, 0)), "Qp");
+  EXPECT_EQ(qrg.node_name(qrg.node_of(2, QrgNodeKind::kOut, 2)), "Qr");
+}
+
+TEST(QosTables, HighestLevelReachableUnderPlentifulResources) {
+  for (QosTableKind kind :
+       {QosTableKind::kTypeA, QosTableKind::kTypeB}) {
+    const ServiceDefinition service = make(kind);
+    const Qrg qrg(service, plentiful());
+    Rng rng(1);
+    const PlanResult result = BasicPlanner().plan(qrg, rng);
+    ASSERT_TRUE(result.plan.has_value());
+    EXPECT_EQ(result.plan->end_to_end_rank, 0u);
+  }
+}
+
+TEST(QosTables, CompressDiversityPreservesMeansAndCapsRatio) {
+  const ServiceResources res = test_resources();
+  for (const TranslationTable& original :
+       {proxy_table(QosTableKind::kTypeA, res.proxy_local,
+                    res.net_server_proxy),
+        client_table(QosTableKind::kTypeB, res.net_proxy_client)}) {
+    const TranslationTable compressed = compress_diversity(original, 3.0);
+    // Per resource: same mean, max/min <= 3 (+ fp tolerance).
+    std::map<std::uint32_t, std::vector<double>> before, after;
+    for (const auto& [key, req] : original)
+      for (const auto& [rid, amount] : req)
+        before[rid.value()].push_back(amount);
+    for (const auto& [key, req] : compressed)
+      for (const auto& [rid, amount] : req)
+        after[rid.value()].push_back(amount);
+    ASSERT_EQ(before.size(), after.size());
+    for (const auto& [rid, values] : after) {
+      double mean_before = 0.0, mean_after = 0.0;
+      for (double v : before[rid]) mean_before += v;
+      for (double v : values) mean_after += v;
+      EXPECT_NEAR(mean_after, mean_before, 1e-9);
+      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      EXPECT_LE(*hi / *lo, 3.0 + 1e-9);
+    }
+  }
+}
+
+TEST(QosTables, CompressDiversityPreservesOrdering) {
+  const ServiceResources res = test_resources();
+  const TranslationTable original =
+      client_table(QosTableKind::kTypeA, res.net_proxy_client);
+  const TranslationTable compressed = compress_diversity(original);
+  // If original value of entry x < entry y, compressed keeps x <= y.
+  for (const auto& [kx, rx] : original)
+    for (const auto& [ky, ry] : original) {
+      const double ox = rx.get(res.net_proxy_client);
+      const double oy = ry.get(res.net_proxy_client);
+      if (ox < oy) {
+        const double cx =
+            compressed.get(kx.first, kx.second)->get(res.net_proxy_client);
+        const double cy =
+            compressed.get(ky.first, ky.second)->get(res.net_proxy_client);
+        EXPECT_LE(cx, cy);
+      }
+    }
+}
+
+TEST(QosTables, RequirementScaleMultipliesTables) {
+  PaperServiceOptions options;
+  options.requirement_scale = 2.0;
+  const ServiceDefinition scaled = make(QosTableKind::kTypeA, options);
+  const ServiceDefinition base = make(QosTableKind::kTypeA);
+  const auto r_scaled = scaled.component(0).requirement(0, 0);
+  const auto r_base = base.component(0).requirement(0, 0);
+  ASSERT_TRUE(r_scaled && r_base);
+  EXPECT_DOUBLE_EQ(r_scaled->get(ResourceId{0}),
+                   2.0 * r_base->get(ResourceId{0}));
+}
+
+TEST(QosTables, FootprintListsAllFourResources) {
+  const auto footprint = paper_service_footprint(test_resources());
+  EXPECT_EQ(footprint.size(), 4u);
+}
+
+}  // namespace
+}  // namespace qres

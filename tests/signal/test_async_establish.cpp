@@ -1,0 +1,159 @@
+#include "signal/async_establish.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace qres {
+namespace {
+
+using test::rv;
+
+// Environment: two hosts connected through a relay (2-hop route), one
+// local cpu resource on the sender host, one logical network resource
+// bound to the A->C route. The network resource id is pure-logical (not
+// broker-backed): its availability comes from the signaling plane.
+struct Fixture {
+  Topology topology;
+  HostId a = topology.add_host("A");
+  HostId b = topology.add_host("B");
+  HostId c = topology.add_host("C");
+  LinkId ab = topology.add_link("ab", a, b);
+  LinkId bc = topology.add_link("bc", b, c);
+  EventQueue queue;
+  RsvpNetwork network{&topology, {100.0, 60.0}, &queue, config()};
+  BrokerRegistry registry;
+  ResourceId cpu =
+      registry.add_resource("cpu@A", ResourceKind::kCpu, a, 100.0);
+  // A pure-logical id for the network segment (not broker-backed).
+  ResourceId net{1000};
+  ServiceDefinition service = make_service();
+  AsyncEstablisher establisher{
+      &service, {cpu}, {{net, a, c}}, &registry, &network, &queue};
+
+  static RsvpConfig config() {
+    RsvpConfig c;
+    c.hop_latency = 0.1;
+    return c;
+  }
+
+  ServiceDefinition make_service() {
+    TranslationTable t0, t1;
+    t0.set(0, 0, rv({{cpu, 20.0}}));
+    t0.set(0, 1, rv({{cpu, 8.0}}));
+    t1.set(0, 0, rv({{net, 40.0}}));
+    t1.set(1, 1, rv({{net, 15.0}}));
+    return test::make_chain({{2, t0}, {2, t1}});
+  }
+};
+
+TEST(AsyncEstablish, SucceedsAfterSignalingLatency) {
+  Fixture f;
+  AsyncEstablisher::Result result;
+  bool called = false;
+  f.establisher.establish(SessionId{1}, 1.0,
+                          [&](const AsyncEstablisher::Result& r) {
+                            result = r;
+                            called = true;
+                          });
+  // Local reservation is immediate; network completes later.
+  EXPECT_EQ(f.registry.broker(f.cpu).available(), 80.0);
+  EXPECT_FALSE(called);
+  f.queue.run_until(2.0);
+  ASSERT_TRUE(called);
+  EXPECT_TRUE(result.success);
+  EXPECT_GT(result.completed_at, 0.0);
+  EXPECT_EQ(f.network.link_reserved(f.ab), 40.0);
+  EXPECT_EQ(f.network.link_reserved(f.bc), 40.0);
+  f.establisher.teardown(result, SessionId{1});
+  EXPECT_EQ(f.registry.broker(f.cpu).available(), 100.0);
+  EXPECT_EQ(f.network.link_reserved(f.bc), 0.0);
+}
+
+TEST(AsyncEstablish, PlansAgainstSignaledAvailability) {
+  Fixture f;
+  // Pre-load the narrow link so only the degraded plan (15 units) fits.
+  f.network.open_path(99, f.b, f.c);
+  bool pre = false;
+  f.network.request_reservation(
+      99, 30.0, [&](const RsvpResult& r) { pre = r.success; });
+  f.queue.run_until(1.0);
+  ASSERT_TRUE(pre);
+
+  AsyncEstablisher::Result result;
+  f.establisher.establish(
+      SessionId{1}, 1.0,
+      [&](const AsyncEstablisher::Result& r) { result = r; });
+  f.queue.run_until(3.0);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.plan->end_to_end_rank, 1u);  // degraded by the planner
+}
+
+TEST(AsyncEstablish, ConcurrentSessionsRaceForBandwidth) {
+  Fixture f;
+  // Two sessions start within one signaling window; both plan against
+  // 60 free on bc, both pick the 40-unit plan, but only one can win.
+  AsyncEstablisher::Result r1, r2;
+  bool done1 = false, done2 = false;
+  f.establisher.establish(
+      SessionId{1}, 1.0,
+      [&](const AsyncEstablisher::Result& r) { r1 = r, done1 = true; });
+  f.establisher.establish(
+      SessionId{2}, 1.0,
+      [&](const AsyncEstablisher::Result& r) { r2 = r, done2 = true; });
+  f.queue.run_until(5.0);
+  ASSERT_TRUE(done1 && done2);
+  EXPECT_NE(r1.success, r2.success);  // exactly one wins the race
+  // The loser left nothing behind anywhere.
+  const double cpu_left = f.registry.broker(f.cpu).available();
+  EXPECT_EQ(cpu_left, 80.0);  // one 20-unit holding
+  EXPECT_EQ(f.network.link_reserved(f.bc), 40.0);
+}
+
+TEST(AsyncEstablish, SequentialSessionsDegradeInsteadOfFailing) {
+  Fixture f;
+  AsyncEstablisher::Result r1, r2;
+  f.establisher.establish(
+      SessionId{1}, 1.0,
+      [&](const AsyncEstablisher::Result& r) { r1 = r; });
+  f.queue.run_until(2.0);  // let session 1 finish signaling
+  f.establisher.establish(
+      SessionId{2}, 1.0,
+      [&](const AsyncEstablisher::Result& r) { r2 = r; });
+  f.queue.run_until(4.0);
+  ASSERT_TRUE(r1.success && r2.success);
+  EXPECT_EQ(r1.plan->end_to_end_rank, 0u);
+  EXPECT_EQ(r2.plan->end_to_end_rank, 1u);  // planner saw 20 left on bc
+}
+
+TEST(AsyncEstablish, NoFeasiblePlanFailsImmediately) {
+  Fixture f;
+  ASSERT_TRUE(f.registry.broker(f.cpu).reserve(0.0, SessionId{9}, 95.0));
+  bool called = false;
+  AsyncEstablisher::Result result;
+  f.establisher.establish(SessionId{1}, 1.0,
+                          [&](const AsyncEstablisher::Result& r) {
+                            result = r;
+                            called = true;
+                          });
+  EXPECT_TRUE(called);  // synchronous failure, no signaling started
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.plan.has_value());
+  EXPECT_EQ(f.network.link_reserved(f.ab), 0.0);
+}
+
+TEST(AsyncEstablish, Contracts) {
+  Fixture f;
+  EXPECT_THROW(AsyncEstablisher(nullptr, {f.cpu}, {}, &f.registry,
+                                &f.network, &f.queue),
+               ContractViolation);
+  EXPECT_THROW(
+      AsyncEstablisher(&f.service, {}, {}, &f.registry, &f.network,
+                       &f.queue),
+      ContractViolation);
+  EXPECT_THROW(f.establisher.establish(SessionId{1}, 1.0, nullptr),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

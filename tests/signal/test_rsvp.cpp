@@ -1,0 +1,242 @@
+#include "signal/rsvp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/network_broker.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+// A 4-node chain A - B - C - D with three links.
+struct Net {
+  Topology topology;
+  HostId a = topology.add_host("A");
+  HostId b = topology.add_host("B");
+  HostId c = topology.add_host("C");
+  HostId d = topology.add_host("D");
+  LinkId ab = topology.add_link("ab", a, b);
+  LinkId bc = topology.add_link("bc", b, c);
+  LinkId cd = topology.add_link("cd", c, d);
+  EventQueue queue;
+  RsvpNetwork net{&topology, {100.0, 60.0, 100.0}, &queue};
+};
+
+TEST(Rsvp, ConstructionContracts) {
+  Topology t;
+  const HostId x = t.add_host("X");
+  const HostId y = t.add_host("Y");
+  t.add_link("xy", x, y);
+  EventQueue q;
+  EXPECT_THROW(RsvpNetwork(nullptr, {1.0}, &q), ContractViolation);
+  EXPECT_THROW(RsvpNetwork(&t, {1.0}, nullptr), ContractViolation);
+  EXPECT_THROW(RsvpNetwork(&t, {1.0, 2.0}, &q), ContractViolation);
+  EXPECT_THROW(RsvpNetwork(&t, {0.0}, &q), ContractViolation);
+  RsvpConfig bad;
+  bad.state_lifetime = bad.refresh_period;  // lifetime must exceed period
+  EXPECT_THROW(RsvpNetwork(&t, {1.0}, &q, bad), ContractViolation);
+}
+
+TEST(Rsvp, EndToEndReservationAcrossHops) {
+  Net n;
+  n.net.open_path(1, n.a, n.d);
+  RsvpResult outcome;
+  bool called = false;
+  n.net.request_reservation(1, 40.0, [&](const RsvpResult& r) {
+    outcome = r;
+    called = true;
+  });
+  n.queue.run_until(2.0);
+  ASSERT_TRUE(called);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_GT(outcome.completed_at, 0.0);  // signaling took time
+  // Every hop holds the bandwidth.
+  EXPECT_EQ(n.net.link_reserved(n.ab), 40.0);
+  EXPECT_EQ(n.net.link_reserved(n.bc), 40.0);
+  EXPECT_EQ(n.net.link_reserved(n.cd), 40.0);
+  EXPECT_EQ(n.net.link_flow_count(n.bc), 1u);
+}
+
+TEST(Rsvp, SetupLatencyScalesWithHopCount) {
+  Net n;
+  RsvpConfig config;
+  config.hop_latency = 0.1;
+  RsvpNetwork net(&n.topology, {100.0, 100.0, 100.0}, &n.queue, config);
+  double short_done = 0.0, long_done = 0.0;
+  net.open_path(1, n.a, n.b);  // 1 hop
+  net.open_path(2, n.a, n.d);  // 3 hops
+  net.request_reservation(
+      1, 1.0, [&](const RsvpResult& r) { short_done = r.completed_at; });
+  net.request_reservation(
+      2, 1.0, [&](const RsvpResult& r) { long_done = r.completed_at; });
+  n.queue.run_until(5.0);
+  ASSERT_GT(short_done, 0.0);
+  ASSERT_GT(long_done, 0.0);
+  EXPECT_GT(long_done, short_done);
+  // 1 hop: path 0.1 + walk 0.1(one hop is instant at arrival) + confirm
+  // 0.1; 3 hops: 0.3 + 0.2 + 0.3.
+  EXPECT_NEAR(short_done, 0.2, 1e-9);
+  EXPECT_NEAR(long_done, 0.8, 1e-9);
+}
+
+TEST(Rsvp, AdmissionFailureMidPathRollsBackAndReportsLink) {
+  Net n;
+  // Fill the middle link so a 50-unit flow fails at bc but fits on cd.
+  n.net.open_path(1, n.c, n.d);
+  n.net.request_reservation(1, 50.0, [](const RsvpResult&) {});
+  n.queue.run_until(2.0);
+  // bc has 60 capacity; take 20 more via another flow to leave 40 < 50.
+  n.net.open_path(2, n.b, n.c);
+  n.net.request_reservation(2, 25.0, [](const RsvpResult&) {});
+  n.queue.run_until(4.0);
+  ASSERT_EQ(n.net.link_reserved(n.bc), 25.0);
+
+  // The a->d flow (receiver d initiates; walk-back order cd, bc, ab)
+  // reserves cd, then fails at bc; cd must be rolled back.
+  n.net.open_path(3, n.a, n.d);
+  RsvpResult outcome;
+  bool called = false;
+  n.net.request_reservation(3, 50.0, [&](const RsvpResult& r) {
+    outcome = r;
+    called = true;
+  });
+  n.queue.run_until(6.0);
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failed_link, n.bc);
+  EXPECT_EQ(n.net.link_reserved(n.cd), 50.0);  // only flow 1 remains
+  EXPECT_EQ(n.net.link_reserved(n.ab), 0.0);
+  EXPECT_EQ(n.net.link_flow_count(n.cd), 1u);
+}
+
+TEST(Rsvp, TeardownReleasesAllHops) {
+  Net n;
+  n.net.open_path(1, n.a, n.d);
+  n.net.request_reservation(1, 30.0, [](const RsvpResult&) {});
+  n.queue.run_until(2.0);
+  ASSERT_EQ(n.net.link_reserved(n.bc), 30.0);
+  n.net.teardown(1);
+  EXPECT_EQ(n.net.link_reserved(n.ab), 0.0);
+  EXPECT_EQ(n.net.link_reserved(n.bc), 0.0);
+  EXPECT_EQ(n.net.link_reserved(n.cd), 0.0);
+  n.net.teardown(1);  // idempotent
+}
+
+TEST(Rsvp, RefreshKeepsSoftStateAlive) {
+  Net n;
+  n.net.open_path(1, n.a, n.d);
+  n.net.request_reservation(1, 10.0, [](const RsvpResult&) {});
+  // Default lifetime 10, refresh 3: after 50 TU of refreshes the state
+  // must still be installed.
+  n.queue.run_until(50.0);
+  EXPECT_EQ(n.net.link_reserved(n.bc), 10.0);
+}
+
+TEST(Rsvp, SoftStateExpiresWithoutRefresh) {
+  Net n;
+  n.net.open_path(1, n.a, n.d);
+  n.net.request_reservation(1, 10.0, [](const RsvpResult&) {});
+  n.queue.run_until(2.0);
+  ASSERT_EQ(n.net.link_reserved(n.bc), 10.0);
+  // Simulate endpoint failure: refreshes stop; state must expire and the
+  // bandwidth must come back within one lifetime.
+  n.net.stop_refreshing(1);
+  n.queue.run_until(2.0 + 10.0 + 0.5);
+  EXPECT_EQ(n.net.link_reserved(n.ab), 0.0);
+  EXPECT_EQ(n.net.link_reserved(n.bc), 0.0);
+  EXPECT_EQ(n.net.link_reserved(n.cd), 0.0);
+  EXPECT_EQ(n.net.link_flow_count(n.bc), 0u);
+}
+
+TEST(Rsvp, ExpiredBandwidthIsReusable) {
+  Net n;
+  n.net.open_path(1, n.a, n.d);
+  n.net.request_reservation(1, 60.0, [](const RsvpResult&) {});
+  n.queue.run_until(2.0);
+  n.net.stop_refreshing(1);
+  n.queue.run_until(15.0);  // expired
+  n.net.open_path(2, n.a, n.d);
+  RsvpResult outcome;
+  n.net.request_reservation(2, 60.0,
+                            [&](const RsvpResult& r) { outcome = r; });
+  n.queue.run_until(20.0);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(n.net.link_reserved(n.bc), 60.0);
+}
+
+TEST(Rsvp, ApiContracts) {
+  Net n;
+  EXPECT_THROW(n.net.open_path(1, n.a, n.a), ContractViolation);
+  n.net.open_path(1, n.a, n.d);
+  EXPECT_THROW(n.net.open_path(1, n.a, n.d), ContractViolation);
+  EXPECT_THROW(n.net.request_reservation(9, 1.0, [](const RsvpResult&) {}),
+               ContractViolation);
+  EXPECT_THROW(n.net.request_reservation(1, 0.0, [](const RsvpResult&) {}),
+               ContractViolation);
+  EXPECT_THROW(n.net.request_reservation(1, 1.0, nullptr),
+               ContractViolation);
+  EXPECT_THROW(n.net.stop_refreshing(9), ContractViolation);
+  EXPECT_THROW(n.net.link_reserved(LinkId{9}), ContractViolation);
+}
+
+TEST(Rsvp, ZeroLatencyMatchesPathBrokerAdmission) {
+  // With zero hop latency, RSVP signaling admits exactly the flows the
+  // two-level NetworkPathBroker admits for the same capacities and
+  // request sequence — the §3 compatibility claim made checkable.
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    Topology topo;
+    const HostId a = topo.add_host("A");
+    const HostId b = topo.add_host("B");
+    const HostId c = topo.add_host("C");
+    topo.add_link("ab", a, b);
+    topo.add_link("bc", b, c);
+    const double cap1 = rng.uniform(50.0, 150.0);
+    const double cap2 = rng.uniform(50.0, 150.0);
+
+    EventQueue queue;
+    RsvpConfig config;
+    config.hop_latency = 0.0;
+    RsvpNetwork rsvp(&topo, {cap1, cap2}, &queue, config);
+
+    ResourceBroker l1(ResourceId{0}, "ab", cap1);
+    ResourceBroker l2(ResourceId{1}, "bc", cap2);
+    NetworkPathBroker path(ResourceId{2}, "A-C", {&l1, &l2});
+
+    double now = 0.0;
+    for (FlowKey f = 1; f <= 20; ++f) {
+      now += 1.0;
+      const double bw = rng.uniform(5.0, 60.0);
+      bool rsvp_ok = false;
+      rsvp.open_path(f, a, c);
+      rsvp.request_reservation(
+          f, bw, [&](const RsvpResult& r) { rsvp_ok = r.success; });
+      queue.run_until(now);
+      const bool broker_ok =
+          path.reserve(now, SessionId{static_cast<std::uint32_t>(f)}, bw);
+      EXPECT_EQ(rsvp_ok, broker_ok) << "flow " << f;
+      if (!rsvp_ok) rsvp.teardown(f);
+    }
+  }
+}
+
+TEST(Rsvp, ManyFlowsShareLinksCorrectly) {
+  Net n;
+  int successes = 0;
+  for (FlowKey f = 1; f <= 10; ++f) {
+    n.net.open_path(f, n.a, n.d);
+    n.net.request_reservation(f, 10.0, [&](const RsvpResult& r) {
+      if (r.success) ++successes;
+    });
+  }
+  n.queue.run_until(5.0);
+  // Middle link capacity 60 admits exactly 6 of the 10-unit flows.
+  EXPECT_EQ(successes, 6);
+  EXPECT_EQ(n.net.link_reserved(n.bc), 60.0);
+  // Failed flows left nothing behind on the other links.
+  EXPECT_EQ(n.net.link_reserved(n.cd), 60.0);
+  EXPECT_EQ(n.net.link_reserved(n.ab), 60.0);
+}
+
+}  // namespace
+}  // namespace qres

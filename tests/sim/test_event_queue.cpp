@@ -1,0 +1,89 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qres {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesRunInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.schedule(5.0, [&] { ++fired; });
+  q.run_until(2.0);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.run_until(10.0);
+  EXPECT_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(4.0, [] {}), ContractViolation);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), ContractViolation);
+  EXPECT_THROW(q.run_until(4.0), ContractViolation);
+  EXPECT_THROW(q.schedule(6.0, nullptr), ContractViolation);
+}
+
+TEST(EventQueue, NowIsEventTimeDuringExecution) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(7.5, [&] { seen = q.now(); });
+  q.run_all();
+  EXPECT_EQ(seen, 7.5);
+}
+
+}  // namespace
+}  // namespace qres

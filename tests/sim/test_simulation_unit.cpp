@@ -1,0 +1,163 @@
+// Unit tests for the Simulation driver itself (the integration suite
+// covers end-to-end behavior over the paper scenario).
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace qres {
+namespace {
+
+using test::rv;
+
+// A minimal world: one resource, one single-component service.
+struct World {
+  BrokerRegistry registry;
+  ResourceId r =
+      registry.add_resource("r", ResourceKind::kCpu, HostId{}, 1000.0);
+  ServiceDefinition service = make_service();
+  SessionCoordinator coordinator{&service, {r}, &registry};
+  BasicPlanner planner;
+
+  ServiceDefinition make_service() {
+    TranslationTable t;
+    t.set(0, 0, rv({{r, 5.0}}));
+    t.set(0, 1, rv({{r, 1.0}}));
+    return test::make_chain({{2, t}});
+  }
+
+  SessionSource source() {
+    return [this](Rng& rng, double) {
+      SessionSpec spec;
+      spec.coordinator = &coordinator;
+      spec.traits.duration = rng.uniform(5.0, 10.0);
+      spec.traits.scale = 1.0;
+      spec.path_group = "g";
+      return spec;
+    };
+  }
+};
+
+TEST(SimulationUnit, ConstructionContracts) {
+  World w;
+  SimulationConfig config;
+  EXPECT_THROW(Simulation(nullptr, &w.planner, config), ContractViolation);
+  EXPECT_THROW(Simulation(w.source(), nullptr, config), ContractViolation);
+  config.arrival_rate = 0.0;
+  EXPECT_THROW(Simulation(w.source(), &w.planner, config),
+               ContractViolation);
+  config.arrival_rate = 1.0;
+  config.run_length = 0.0;
+  EXPECT_THROW(Simulation(w.source(), &w.planner, config),
+               ContractViolation);
+  config.run_length = 10.0;
+  config.staleness_max = -1.0;
+  EXPECT_THROW(Simulation(w.source(), &w.planner, config),
+               ContractViolation);
+}
+
+TEST(SimulationUnit, ArrivalCountTracksPoissonRate) {
+  World w;
+  SimulationConfig config;
+  config.arrival_rate = 2.0;
+  config.run_length = 4000.0;
+  config.seed = 9;
+  Simulation sim(w.source(), &w.planner, config);
+  const SimulationStats stats = sim.run();
+  const double expected = config.arrival_rate * config.run_length;
+  EXPECT_NEAR(static_cast<double>(stats.overall_success().attempts()),
+              expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(SimulationUnit, QoSLevelsUseThePaperScale) {
+  // Two ranked levels: value is 2 for rank 0, 1 for rank 1.
+  World w;
+  SimulationConfig config;
+  config.arrival_rate = 1.0;
+  config.run_length = 100.0;
+  config.seed = 2;
+  Simulation sim(w.source(), &w.planner, config);
+  const SimulationStats stats = sim.run();
+  ASSERT_GT(stats.overall_qos().count(), 0u);
+  EXPECT_LE(stats.overall_qos().max(), 2.0);
+  EXPECT_GE(stats.overall_qos().min(), 1.0);
+  // Light load: everyone gets the top level.
+  EXPECT_DOUBLE_EQ(stats.overall_qos().mean(), 2.0);
+}
+
+TEST(SimulationUnit, RecordPathsFlagControlsHistogram) {
+  SimulationConfig config;
+  config.arrival_rate = 1.0;
+  config.run_length = 50.0;
+  config.seed = 3;
+  config.record_paths = false;
+  {
+    World w;  // fresh world per run: broker clocks are monotonic
+    const SimulationStats without =
+        Simulation(w.source(), &w.planner, config).run();
+    EXPECT_TRUE(without.path_histogram().empty());
+  }
+  config.record_paths = true;
+  {
+    World w;
+    const SimulationStats with =
+        Simulation(w.source(), &w.planner, config).run();
+    EXPECT_FALSE(with.path_histogram().empty());
+    EXPECT_TRUE(with.path_histogram().count("g"));
+  }
+}
+
+TEST(SimulationUnit, EmptyPathGroupSkipsRecording) {
+  World w;
+  SimulationConfig config;
+  config.arrival_rate = 1.0;
+  config.run_length = 50.0;
+  config.seed = 4;
+  SessionSource source = [&w](Rng& rng, double) {
+    SessionSpec spec;
+    spec.coordinator = &w.coordinator;
+    spec.traits.duration = rng.uniform(1.0, 2.0);
+    spec.path_group.clear();
+    return spec;
+  };
+  const SimulationStats stats =
+      Simulation(source, &w.planner, config).run();
+  EXPECT_TRUE(stats.path_histogram().empty());
+  EXPECT_GT(stats.overall_success().attempts(), 0u);
+}
+
+TEST(SimulationUnit, SessionsDegradeThenFailAsCapacityShrinks) {
+  // Tiny capacity: only a few concurrent sessions fit; successes at the
+  // cheap level appear and failures occur.
+  BrokerRegistry registry;
+  const ResourceId r =
+      registry.add_resource("r", ResourceKind::kCpu, HostId{}, 10.0);
+  TranslationTable t;
+  // 7/2 so the availability passes through [2, 7) where only the degraded
+  // level fits (5/1 would oscillate between {10, 5, 0} and never degrade).
+  t.set(0, 0, rv({{r, 7.0}}));
+  t.set(0, 1, rv({{r, 2.0}}));
+  ServiceDefinition service = test::make_chain({{2, t}});
+  SessionCoordinator coordinator(&service, {r}, &registry);
+  BasicPlanner planner;
+  SessionSource source = [&coordinator](Rng& rng, double) {
+    SessionSpec spec;
+    spec.coordinator = &coordinator;
+    spec.traits.duration = rng.uniform(50.0, 100.0);  // long holds
+    return spec;
+  };
+  SimulationConfig config;
+  config.arrival_rate = 1.0;
+  config.run_length = 500.0;
+  config.seed = 5;
+  const SimulationStats stats =
+      Simulation(source, &planner, config).run();
+  EXPECT_GT(stats.planning_failures(), 0u);
+  EXPECT_LT(stats.overall_success().value(), 1.0);
+  EXPECT_GT(stats.overall_success().value(), 0.0);
+  EXPECT_LT(stats.overall_qos().mean(), 2.0);  // some degraded sessions
+}
+
+}  // namespace
+}  // namespace qres

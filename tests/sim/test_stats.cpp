@@ -1,0 +1,79 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qres {
+namespace {
+
+TEST(SimulationStats, RecordsOverallAndPerClass) {
+  SimulationStats stats;
+  stats.record_session(SessionClass::kNormalShort, true, 3.0, false);
+  stats.record_session(SessionClass::kNormalShort, false, 0.0, true);
+  stats.record_session(SessionClass::kFatLong, true, 2.0, false);
+  EXPECT_EQ(stats.overall_success().attempts(), 3u);
+  EXPECT_EQ(stats.overall_success().successes(), 2u);
+  EXPECT_DOUBLE_EQ(stats.class_success(SessionClass::kNormalShort).value(),
+                   0.5);
+  EXPECT_DOUBLE_EQ(stats.class_success(SessionClass::kFatLong).value(), 1.0);
+  EXPECT_EQ(stats.class_success(SessionClass::kNormalLong).attempts(), 0u);
+}
+
+TEST(SimulationStats, QoSOnlyAveragedOverSuccesses) {
+  SimulationStats stats;
+  stats.record_session(SessionClass::kNormalShort, true, 3.0, false);
+  stats.record_session(SessionClass::kNormalShort, true, 2.0, false);
+  stats.record_session(SessionClass::kNormalShort, false, 1.0, true);
+  EXPECT_EQ(stats.overall_qos().count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.overall_qos().mean(), 2.5);
+}
+
+TEST(SimulationStats, DistinguishesFailureKinds) {
+  SimulationStats stats;
+  stats.record_session(SessionClass::kNormalShort, false, 0.0, true);
+  stats.record_session(SessionClass::kNormalShort, false, 0.0, false);
+  EXPECT_EQ(stats.planning_failures(), 1u);
+  EXPECT_EQ(stats.admission_failures(), 1u);
+}
+
+TEST(SimulationStats, PathHistogramGroupsAndCounts) {
+  SimulationStats stats;
+  stats.record_path("a", "Qa-Qb");
+  stats.record_path("a", "Qa-Qb");
+  stats.record_path("b", "Qa-Qc");
+  const auto& hist = stats.path_histogram();
+  EXPECT_EQ(hist.at("a").at("Qa-Qb"), 2u);
+  EXPECT_EQ(hist.at("b").at("Qa-Qc"), 1u);
+}
+
+TEST(SimulationStats, BottleneckCounts) {
+  SimulationStats stats;
+  stats.record_bottleneck(ResourceId{3});
+  stats.record_bottleneck(ResourceId{3});
+  stats.record_bottleneck(ResourceId{5});
+  EXPECT_EQ(stats.bottleneck_counts().at(3), 2u);
+  EXPECT_EQ(stats.bottleneck_counts().at(5), 1u);
+  EXPECT_THROW(stats.record_bottleneck(ResourceId{}), ContractViolation);
+}
+
+TEST(SimulationStats, MergeAccumulatesEverything) {
+  SimulationStats a, b;
+  a.record_session(SessionClass::kNormalShort, true, 3.0, false);
+  a.record_path("a", "p1");
+  a.record_bottleneck(ResourceId{1});
+  b.record_session(SessionClass::kNormalShort, false, 0.0, false);
+  b.record_session(SessionClass::kFatShort, true, 1.0, false);
+  b.record_path("a", "p1");
+  b.record_path("a", "p2");
+  b.record_bottleneck(ResourceId{1});
+  a.merge(b);
+  EXPECT_EQ(a.overall_success().attempts(), 3u);
+  EXPECT_EQ(a.overall_success().successes(), 2u);
+  EXPECT_EQ(a.overall_qos().count(), 2u);
+  EXPECT_EQ(a.path_histogram().at("a").at("p1"), 2u);
+  EXPECT_EQ(a.path_histogram().at("a").at("p2"), 1u);
+  EXPECT_EQ(a.bottleneck_counts().at(1), 2u);
+  EXPECT_EQ(a.admission_failures(), 1u);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,81 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace qres {
+namespace {
+
+TEST(Topology, AddHostsAndLinks) {
+  Topology t;
+  const HostId a = t.add_host("A");
+  const HostId b = t.add_host("B");
+  const LinkId l = t.add_link("A-B", a, b);
+  EXPECT_EQ(t.host_count(), 2u);
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.host_name(a), "A");
+  EXPECT_EQ(t.link_name(l), "A-B");
+  EXPECT_EQ(t.link_endpoints(l), (std::pair{a, b}));
+  EXPECT_EQ(t.links_of(a).size(), 1u);
+  EXPECT_EQ(t.links_of(b).size(), 1u);
+}
+
+TEST(Topology, Contracts) {
+  Topology t;
+  const HostId a = t.add_host("A");
+  EXPECT_THROW(t.add_host(""), ContractViolation);
+  EXPECT_THROW(t.add_link("x", a, a), ContractViolation);
+  EXPECT_THROW(t.add_link("x", a, HostId{5}), ContractViolation);
+  EXPECT_THROW(t.host_name(HostId{9}), ContractViolation);
+  EXPECT_THROW(t.link_name(LinkId{0}), ContractViolation);
+}
+
+TEST(Topology, RouteOnChain) {
+  Topology t;
+  const HostId a = t.add_host("A");
+  const HostId b = t.add_host("B");
+  const HostId c = t.add_host("C");
+  const LinkId ab = t.add_link("ab", a, b);
+  const LinkId bc = t.add_link("bc", b, c);
+  EXPECT_EQ(t.route(a, c), (std::vector<LinkId>{ab, bc}));
+  EXPECT_EQ(t.route(c, a), (std::vector<LinkId>{bc, ab}));
+  EXPECT_TRUE(t.route(a, a).empty());
+}
+
+TEST(Topology, RoutePrefersFewestHops) {
+  // Triangle plus a long way around: direct link wins.
+  Topology t;
+  const HostId a = t.add_host("A");
+  const HostId b = t.add_host("B");
+  const HostId c = t.add_host("C");
+  t.add_link("ab", a, b);
+  t.add_link("bc", b, c);
+  const LinkId ac = t.add_link("ac", a, c);
+  EXPECT_EQ(t.route(a, c), (std::vector<LinkId>{ac}));
+}
+
+TEST(Topology, RouteTieBrokenByLowerLinkId) {
+  // Two parallel 2-hop routes a-b-d and a-c-d; the one through the lower
+  // link ids must be selected deterministically.
+  Topology t;
+  const HostId a = t.add_host("A");
+  const HostId b = t.add_host("B");
+  const HostId c = t.add_host("C");
+  const HostId d = t.add_host("D");
+  const LinkId ab = t.add_link("ab", a, b);
+  t.add_link("ac", a, c);
+  const LinkId bd = t.add_link("bd", b, d);
+  t.add_link("cd", c, d);
+  EXPECT_EQ(t.route(a, d), (std::vector<LinkId>{ab, bd}));
+}
+
+TEST(Topology, DisconnectedHostsThrow) {
+  Topology t;
+  const HostId a = t.add_host("A");
+  const HostId b = t.add_host("B");
+  EXPECT_THROW(t.route(a, b), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,112 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qres {
+namespace {
+
+TEST(Workload, DurationsStayInDeclaredRanges) {
+  WorkloadConfig config;
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const SessionTraits t = sample_traits(config, rng);
+    if (t.is_long) {
+      EXPECT_GE(t.duration, config.long_min);
+      EXPECT_LE(t.duration, config.long_max);
+    } else {
+      EXPECT_GE(t.duration, config.short_min);
+      EXPECT_LE(t.duration, config.short_max);
+    }
+  }
+}
+
+TEST(Workload, PaperRatiosHold) {
+  // normal:fat = 1:2 and short:long = 2:1 (§5.1).
+  WorkloadConfig config;
+  Rng rng(2);
+  int fat = 0, long_count = 0, fat10 = 0, fat_total = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const SessionTraits t = sample_traits(config, rng);
+    if (t.fat) {
+      ++fat;
+      ++fat_total;
+      if (t.scale == config.fat_scale_large) ++fat10;
+    } else {
+      EXPECT_EQ(t.scale, 1.0);
+    }
+    if (t.is_long) ++long_count;
+  }
+  EXPECT_NEAR(fat / static_cast<double>(n), 2.0 / 3.0, 0.02);
+  EXPECT_NEAR(long_count / static_cast<double>(n), 1.0 / 3.0, 0.02);
+  EXPECT_NEAR(fat10 / static_cast<double>(fat_total), 0.5, 0.02);
+}
+
+TEST(Workload, ScaleIsTwoOrTenForFat) {
+  WorkloadConfig config;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const SessionTraits t = sample_traits(config, rng);
+    if (t.fat)
+      EXPECT_TRUE(t.scale == 2.0 || t.scale == 10.0) << t.scale;
+  }
+}
+
+TEST(Workload, SessionClassMapping) {
+  SessionTraits t;
+  t.fat = false;
+  t.is_long = false;
+  EXPECT_EQ(t.session_class(), SessionClass::kNormalShort);
+  t.is_long = true;
+  EXPECT_EQ(t.session_class(), SessionClass::kNormalLong);
+  t.fat = true;
+  EXPECT_EQ(t.session_class(), SessionClass::kFatLong);
+  t.is_long = false;
+  EXPECT_EQ(t.session_class(), SessionClass::kFatShort);
+}
+
+TEST(Workload, ClassNames) {
+  EXPECT_STREQ(to_string(SessionClass::kNormalShort), "norm.-short");
+  EXPECT_STREQ(to_string(SessionClass::kFatLong), "fat-long");
+}
+
+TEST(Workload, MeanHelpersMatchEmpirical) {
+  WorkloadConfig config;
+  Rng rng(4);
+  double duration_sum = 0.0, scale_sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const SessionTraits t = sample_traits(config, rng);
+    duration_sum += t.duration;
+    scale_sum += t.scale;
+  }
+  EXPECT_NEAR(duration_sum / n, mean_duration(config),
+              mean_duration(config) * 0.02);
+  EXPECT_NEAR(scale_sum / n, mean_scale(config), mean_scale(config) * 0.02);
+}
+
+TEST(Workload, RejectsBadDurationRanges) {
+  WorkloadConfig config;
+  config.short_min = 0.0;
+  Rng rng(5);
+  EXPECT_THROW(sample_traits(config, rng), ContractViolation);
+  config = WorkloadConfig{};
+  config.long_min = 100.0;
+  config.long_max = 50.0;
+  EXPECT_THROW(sample_traits(config, rng), ContractViolation);
+}
+
+TEST(Workload, DegenerateFractions) {
+  WorkloadConfig config;
+  config.fat_fraction = 0.0;
+  config.long_fraction = 1.0;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const SessionTraits t = sample_traits(config, rng);
+    EXPECT_FALSE(t.fat);
+    EXPECT_TRUE(t.is_long);
+  }
+}
+
+}  // namespace
+}  // namespace qres

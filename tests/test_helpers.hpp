@@ -1,0 +1,59 @@
+// Shared builders for tests: small services, availability views and
+// translation tables assembled by hand.
+#pragma once
+
+#include <vector>
+
+#include "core/availability.hpp"
+#include "core/service.hpp"
+
+namespace qres::test {
+
+/// A trivial QoS schema with a single "level" parameter; level vectors are
+/// (value) singletons. Handy where the tests only care about structure.
+inline QoSVector q(double value) {
+  static const QoSSchema schema({"level"});
+  return QoSVector(schema, {value});
+}
+
+/// `count` levels with descending values count, count-1, ..., 1 (index 0 =
+/// best), matching the library's default ranking convention.
+inline std::vector<QoSVector> levels(int count) {
+  std::vector<QoSVector> result;
+  for (int i = 0; i < count; ++i)
+    result.push_back(q(static_cast<double>(count - i)));
+  return result;
+}
+
+inline ResourceVector rv(std::initializer_list<std::pair<ResourceId, double>>
+                             entries) {
+  ResourceVector v;
+  for (const auto& [id, amount] : entries) v.set(id, amount);
+  return v;
+}
+
+/// Builds a chain service c0 -> c1 -> ... -> c{n-1} from per-component
+/// (out level count, translation table) pairs.
+inline ServiceDefinition make_chain(
+    std::vector<std::pair<int, TranslationTable>> components) {
+  std::vector<ServiceComponent> list;
+  std::vector<std::pair<ComponentIndex, ComponentIndex>> edges;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    list.emplace_back("c" + std::to_string(i),
+                      levels(components[i].first),
+                      components[i].second.as_function());
+    if (i > 0)
+      edges.push_back({static_cast<ComponentIndex>(i - 1),
+                       static_cast<ComponentIndex>(i)});
+  }
+  return ServiceDefinition("chain", std::move(list), std::move(edges), q(10));
+}
+
+inline AvailabilityView avail(
+    std::initializer_list<std::pair<ResourceId, double>> entries) {
+  AvailabilityView view;
+  for (const auto& [id, amount] : entries) view.set(id, amount);
+  return view;
+}
+
+}  // namespace qres::test

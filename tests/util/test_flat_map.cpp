@@ -1,0 +1,110 @@
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace qres {
+namespace {
+
+TEST(FlatMap, StartsEmpty) {
+  FlatMap<int, std::string> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_EQ(map.find(1), map.end());
+}
+
+TEST(FlatMap, InsertAndFind) {
+  FlatMap<int, std::string> map;
+  map.insert_or_assign(2, "two");
+  map.insert_or_assign(1, "one");
+  map.insert_or_assign(3, "three");
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.at(1), "one");
+  EXPECT_EQ(map.at(2), "two");
+  EXPECT_EQ(map.at(3), "three");
+}
+
+TEST(FlatMap, IterationIsKeySorted) {
+  FlatMap<int, int> map;
+  for (int k : {5, 1, 4, 2, 3}) map.insert_or_assign(k, k * 10);
+  int expected = 1;
+  for (const auto& [k, v] : map) {
+    EXPECT_EQ(k, expected);
+    EXPECT_EQ(v, expected * 10);
+    ++expected;
+  }
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites) {
+  FlatMap<int, std::string> map;
+  map.insert_or_assign(1, "first");
+  map.insert_or_assign(1, "second");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(1), "second");
+}
+
+TEST(FlatMap, SubscriptDefaultConstructs) {
+  FlatMap<int, double> map;
+  EXPECT_EQ(map[7], 0.0);
+  map[7] += 2.5;
+  EXPECT_EQ(map.at(7), 2.5);
+}
+
+TEST(FlatMap, AtThrowsOnMissingKey) {
+  FlatMap<int, int> map;
+  map.insert_or_assign(1, 1);
+  EXPECT_THROW(map.at(2), ContractViolation);
+}
+
+TEST(FlatMap, EraseRemovesOnlyTarget) {
+  FlatMap<int, int> map;
+  for (int k : {1, 2, 3}) map.insert_or_assign(k, k);
+  EXPECT_TRUE(map.erase(2));
+  EXPECT_FALSE(map.erase(2));
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.contains(1));
+  EXPECT_TRUE(map.contains(3));
+}
+
+TEST(FlatMap, InitializerListDeduplicates) {
+  FlatMap<int, int> map{{1, 10}, {2, 20}, {1, 11}};
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at(1), 11);  // later entries win
+}
+
+TEST(FlatMap, EqualityComparesContents) {
+  FlatMap<int, int> a{{1, 1}, {2, 2}};
+  FlatMap<int, int> b{{2, 2}, {1, 1}};
+  FlatMap<int, int> c{{1, 1}};
+  EXPECT_EQ(a, b);  // insertion order must not matter
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FlatMap, PairKeysWork) {
+  FlatMap<std::pair<int, int>, int> map;
+  map.insert_or_assign({1, 2}, 12);
+  map.insert_or_assign({1, 1}, 11);
+  map.insert_or_assign({0, 9}, 9);
+  EXPECT_EQ(map.at({1, 2}), 12);
+  auto it = map.begin();
+  EXPECT_EQ(it->first, (std::pair<int, int>{0, 9}));
+}
+
+TEST(FlatMap, ClearEmptiesTheMap) {
+  FlatMap<int, int> map{{1, 1}};
+  map.clear();
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, MutableFindAllowsInPlaceUpdate) {
+  FlatMap<int, int> map{{1, 5}};
+  auto it = map.find(1);
+  ASSERT_NE(it, map.end());
+  it->second = 9;
+  EXPECT_EQ(map.at(1), 9);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,112 @@
+#include "util/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+TEST(Summary, EmptyState) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, NegativeValuesTrackMinMax) {
+  Summary s;
+  s.add(-5.0);
+  s.add(3.0);
+  s.add(-1.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Rng rng(99);
+  Summary whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  Summary a, b;
+  a.add(1.0);
+  a.merge(b);  // empty right
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty left
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Summary, Ci95ShrinksWithSamples) {
+  Rng rng(5);
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Ratio, ZeroWithoutRecords) {
+  Ratio r;
+  EXPECT_EQ(r.value(), 0.0);
+  EXPECT_EQ(r.attempts(), 0u);
+}
+
+TEST(Ratio, CountsSuccessesAndFailures) {
+  Ratio r;
+  r.record(true);
+  r.record(false);
+  r.record(true);
+  r.record(true);
+  EXPECT_EQ(r.attempts(), 4u);
+  EXPECT_EQ(r.successes(), 3u);
+  EXPECT_DOUBLE_EQ(r.value(), 0.75);
+}
+
+TEST(Ratio, MergeAccumulates) {
+  Ratio a, b;
+  a.record(true);
+  b.record(false);
+  b.record(true);
+  a.merge(b);
+  EXPECT_EQ(a.attempts(), 3u);
+  EXPECT_EQ(a.successes(), 2u);
+}
+
+}  // namespace
+}  // namespace qres

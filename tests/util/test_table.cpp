@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qres {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), ContractViolation);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractViolation);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, underline, two rows.
+  EXPECT_NE(out.find("name    v"), std::string::npos);
+  EXPECT_NE(out.find("x       1"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvHasNoPadding) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, FmtFormatsDecimals) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinter, PctFormatsPercentages) {
+  EXPECT_EQ(TablePrinter::pct(0.973, 1), "97.3%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+  EXPECT_EQ(TablePrinter::pct(0.0055, 2), "0.55%");
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,183 @@
+// qresctl — interactive/scriptable front end for the reservation planner.
+//
+//   $ qresctl <environment-file> <model.qrm> [< commands]
+//
+// The environment file declares the brokers, one per line:
+//
+//   resource <name> <cpu|memory|disk_bw|net_bw|other> <capacity>
+//
+// (names may not contain whitespace; '#' starts a comment). The model file
+// is the .qrm format of src/core/model_io.hpp, resolved against those
+// resources.
+//
+// Commands (stdin, one per line):
+//   plan [scale]          compute a reservation plan (no reservation)
+//   reserve [scale]       plan + reserve; prints the session id
+//   release <session-id>  release everything a session holds
+//   avail                 print per-resource availability
+//   sinks                 print per-end-to-end-level reachability / psi
+//   quit
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "broker/registry.hpp"
+#include "core/model_io.hpp"
+#include "proxy/qos_proxy.hpp"
+
+using namespace qres;
+
+namespace {
+
+ResourceKind parse_kind(const std::string& token) {
+  if (token == "cpu") return ResourceKind::kCpu;
+  if (token == "memory") return ResourceKind::kMemory;
+  if (token == "disk_bw") return ResourceKind::kDiskBandwidth;
+  if (token == "net_bw") return ResourceKind::kNetworkBandwidth;
+  if (token == "other") return ResourceKind::kOther;
+  throw std::runtime_error("unknown resource kind '" + token + "'");
+}
+
+void load_environment(const std::string& path, BrokerRegistry& registry) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    std::istringstream stream(line);
+    std::string keyword;
+    if (!(stream >> keyword) || keyword[0] == '#') continue;
+    if (keyword != "resource")
+      throw std::runtime_error(path + ":" + std::to_string(line_number) +
+                               ": expected 'resource'");
+    std::string name, kind;
+    double capacity = 0.0;
+    if (!(stream >> name >> kind >> capacity) || capacity <= 0.0)
+      throw std::runtime_error(path + ":" + std::to_string(line_number) +
+                               ": expected: resource <name> <kind> "
+                               "<capacity>");
+    registry.add_resource(name, parse_kind(kind), HostId{}, capacity);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: " << argv[0] << " <environment-file> <model.qrm>\n";
+    return 2;
+  }
+  BrokerRegistry registry;
+  ModelDescription model;
+  try {
+    load_environment(argv[1], registry);
+    std::ifstream model_file(argv[2]);
+    if (!model_file) throw std::runtime_error(std::string("cannot open ") +
+                                              argv[2]);
+    model = parse_model(model_file, registry.catalog());
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  const ServiceDefinition service = model.instantiate();
+  SessionCoordinator coordinator(&service, model.footprint(), &registry);
+  BasicPlanner planner;
+  Rng rng(1);
+
+  std::cout << "loaded '" << model.service_name << "' ("
+            << service.component_count() << " components) over "
+            << registry.size() << " resources\n";
+
+  double now = 0.0;
+  std::uint32_t next_session = 1;
+  std::map<std::uint32_t, std::vector<std::pair<ResourceId, double>>>
+      sessions;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream stream(line);
+    std::string command;
+    if (!(stream >> command) || command[0] == '#') continue;
+    now += 1.0;
+    try {
+      if (command == "quit" || command == "exit") break;
+      if (command == "avail") {
+        for (std::uint32_t i = 0; i < registry.size(); ++i) {
+          const IBroker& broker = registry.broker(ResourceId{i});
+          std::cout << "  " << broker.name() << ": " << broker.available()
+                    << "/" << broker.capacity() << "\n";
+        }
+      } else if (command == "sinks") {
+        double scale = 1.0;
+        stream >> scale;
+        const AvailabilityView view =
+            registry.collect(model.footprint(), now);
+        const Qrg qrg(service, view, PsiKind::kRatio, scale);
+        const auto labels = relax_qrg(qrg);
+        for (const SinkInfo& info : sink_infos(qrg, labels)) {
+          std::cout << "  level "
+                    << service.component(service.sink())
+                           .out_level(info.level)
+                           .to_string()
+                    << " rank " << info.rank << ": "
+                    << (info.reachable
+                            ? "reachable, psi " +
+                                  std::to_string(info.psi)
+                            : "unreachable")
+                    << "\n";
+        }
+      } else if (command == "plan" || command == "reserve") {
+        double scale = 1.0;
+        stream >> scale;
+        const SessionId session{next_session};
+        EstablishResult result =
+            coordinator.establish(session, now, planner, rng, scale);
+        if (!result.plan) {
+          std::cout << "no feasible end-to-end plan\n";
+          continue;
+        }
+        std::cout << "plan: level "
+                  << service.component(service.sink())
+                         .out_level(result.plan->end_to_end_level)
+                         .to_string()
+                  << ", bottleneck "
+                  << registry.catalog().name(
+                         result.plan->bottleneck_resource)
+                  << " (psi " << result.plan->bottleneck_psi << ")\n";
+        for (const PlanStep& step : result.plan->steps) {
+          std::cout << "  " << service.component(step.component).name()
+                    << ": in " << step.in_level << " -> out "
+                    << step.out_level << "\n";
+        }
+        if (command == "plan") {
+          // establish() reserved; undo, since plan is a dry run.
+          if (result.success)
+            coordinator.teardown(result.holdings, session, now);
+        } else if (result.success) {
+          sessions[next_session] = std::move(result.holdings);
+          std::cout << "reserved as session " << next_session << "\n";
+          ++next_session;
+        } else {
+          std::cout << "reservation failed\n";
+        }
+      } else if (command == "release") {
+        std::uint32_t id = 0;
+        if (!(stream >> id) || !sessions.count(id)) {
+          std::cout << "unknown session\n";
+          continue;
+        }
+        coordinator.teardown(sessions[id], SessionId{id}, now);
+        sessions.erase(id);
+        std::cout << "released session " << id << "\n";
+      } else {
+        std::cout << "commands: plan [scale] | reserve [scale] | release "
+                     "<id> | avail | sinks | quit\n";
+      }
+    } catch (const std::exception& error) {
+      std::cout << "error: " << error.what() << "\n";
+    }
+  }
+  return 0;
+}
