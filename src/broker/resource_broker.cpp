@@ -37,7 +37,12 @@ double ResourceBroker::available_at(double t) const {
 }
 
 double ResourceBroker::windowed_average(double t) const {
-  const double start = t - alpha_window_;
+  // Clamp the window to recorded history: integrating over [t - T, 0)
+  // before the first sample would weight a fictitious pre-simulation
+  // period at full capacity, biasing early-simulation alpha.
+  double start = t - alpha_window_;
+  const double first_time = history_.front().first;
+  if (start < first_time) start = std::min(first_time, t);
   // Integrate the piecewise-constant availability over [start, t].
   double integral = 0.0;
   double covered = 0.0;

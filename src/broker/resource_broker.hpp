@@ -106,6 +106,13 @@ class ResourceBroker final : public IBroker {
   std::size_t active_sessions() const noexcept { return holdings_.size(); }
   double reserved() const noexcept { return reserved_; }
 
+  /// Read-only view of the recorded (time, availability-after-change)
+  /// history, pruned to the kept window plus one baseline entry. Exposed
+  /// for invariant checking (tests and the qres_fuzz harness).
+  const std::vector<std::pair<double, double>>& history() const noexcept {
+    return history_;
+  }
+
  private:
   void record(double now);
   /// Time-weighted mean availability over [t - alpha_window, t]; this is

@@ -102,6 +102,10 @@ std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
   std::vector<bool> settled(qrg.node_count(), false);
   // Tentative best incoming edge psi per node, for the tie-break rule.
   std::vector<double> tentative_edge_psi(qrg.node_count(), kInf);
+  // Equivalence edge whose constituent currently defines an input node's
+  // value; ties between equal-valued constituents resolve to the earlier
+  // edge, matching relax_qrg's in-edge iteration order.
+  std::vector<std::uint32_t> and_edge(qrg.node_count(), QrgEdge::kNone);
   // Input nodes become eligible once every constituent has settled.
   std::vector<std::size_t> waiting(qrg.node_count(), 0);
   for (std::uint32_t v = 0; v < qrg.node_count(); ++v)
@@ -130,10 +134,12 @@ std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
         // value accumulates the max over constituents and the node enters
         // the heap once the last constituent has settled.
         const bool first = waiting[v] == qrg.in_edges(v).size();
-        if (first || labels[u].value > lv.value) {
+        if (first || labels[u].value > lv.value ||
+            (labels[u].value == lv.value && e < and_edge[v])) {
           lv.value = labels[u].value;
           lv.bottleneck = labels[u].bottleneck;
           lv.alpha = labels[u].alpha;
+          and_edge[v] = e;
         }
         if (--waiting[v] == 0) {
           lv.reachable = true;
@@ -144,9 +150,17 @@ std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
         // the max-plus semiring, with the paper's tie-break.
         const double candidate = std::max(labels[u].value, edge.psi);
         bool better = !lv.reachable || candidate < lv.value;
-        if (!better && options.use_tie_break && lv.reachable &&
-            candidate == lv.value)
-          better = edge.psi < tentative_edge_psi[v];
+        if (!better && candidate == lv.value) {
+          // Secondary ordering, identical to relax_qrg's: the paper's
+          // smaller-edge-psi rule (when enabled), then the earlier edge.
+          // Without the earlier-edge comparison equal-psi predecessors
+          // were kept in settle order, which diverged from relax_qrg
+          // whenever a later in-edge's tail settled first.
+          if (options.use_tie_break && edge.psi != tentative_edge_psi[v])
+            better = edge.psi < tentative_edge_psi[v];
+          else
+            better = e < lv.pred_edge;
+        }
         if (!better) continue;
         const bool value_changed = !lv.reachable || candidate != lv.value;
         lv.value = candidate;

@@ -63,12 +63,13 @@ std::vector<NodeLabel> relax_qrg(const Qrg& qrg,
 /// algorithm on the QRG", §4.1.2). Fan-in input nodes enter the heap once
 /// all of their constituents are settled, valued at their maximum.
 ///
-/// Produces the same node values and reachability as relax_qrg on every
-/// QRG (property-tested); when several predecessors tie exactly, the two
-/// formulations may record different (equally good) predecessor edges,
-/// because Dijkstra settles a node before later equal-valued candidates
-/// are discovered. Provided as a cross-check and for callers who extend
-/// the QRG with non-topological node numbering.
+/// Produces exactly the same labels as relax_qrg — values, reachability,
+/// predecessor edges, bottleneck resources and alphas — on every QRG
+/// (differentially fuzz-tested; see tools/qres_fuzz). Ties between
+/// equal-valued candidates resolve by the same secondary ordering as
+/// relax_qrg: smaller incoming edge psi (when the tie-break option is on),
+/// then the earlier edge index. Provided as a cross-check and for callers
+/// who extend the QRG with non-topological node numbering.
 std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
                                     const PlannerOptions& options = {});
 

@@ -109,9 +109,14 @@ void RsvpNetwork::request_reservation(
 
   // Recursive hop processor: index counts from the last hop (receiver
   // side) toward the sender, per footnote 1.
+  // The processor must not capture its own shared_ptr strongly — that is
+  // a reference cycle and the closure (with the done callback and route)
+  // would never be freed. Pending queue events hold the strong refs; the
+  // self-reference is weak and locked only to schedule the next hop.
   auto hop_step = std::make_shared<std::function<void(std::size_t)>>();
+  const std::weak_ptr<std::function<void(std::size_t)>> weak_step = hop_step;
   *hop_step = [this, flow, bandwidth, route, done,
-               hop_step](std::size_t reversed_index) {
+               weak_step](std::size_t reversed_index) {
     auto flow_it = flows_.find(flow);
     if (flow_it == flows_.end() || flow_it->second.torn_down) return;
     const std::size_t hop = route.size() - 1 - reversed_index;
@@ -152,8 +157,8 @@ void RsvpNetwork::request_reservation(
       return;
     }
     queue_->schedule_in(config_.hop_latency,
-                        [hop_step, reversed_index] {
-                          (*hop_step)(reversed_index + 1);
+                        [step = weak_step.lock(), reversed_index] {
+                          if (step) (*step)(reversed_index + 1);
                         });
   };
   queue_->schedule_in(path_delay, [hop_step] { (*hop_step)(0); });

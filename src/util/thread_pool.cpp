@@ -7,6 +7,17 @@
 
 namespace qres {
 
+namespace {
+// Pool the current thread belongs to, if it is a worker. Lets blocking
+// entry points detect re-entry from their own workers (which would
+// deadlock: the worker would wait for tasks only it can run).
+thread_local const ThreadPool* current_worker_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return current_worker_pool == this;
+}
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -38,6 +49,10 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait() {
+  QRES_REQUIRE(!on_worker_thread(),
+               "ThreadPool::wait called from one of this pool's own worker "
+               "threads (would deadlock; use parallel_for, which runs "
+               "inline when nested)");
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
@@ -45,6 +60,13 @@ void ThreadPool::wait() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   QRES_REQUIRE(fn != nullptr, "ThreadPool::parallel_for: null function");
+  if (on_worker_thread()) {
+    // Nested invocation from a task: submitting and waiting would
+    // deadlock (this worker would block in wait() while occupying the
+    // slot its sub-tasks need). Run the iterations inline instead.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -65,6 +87,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

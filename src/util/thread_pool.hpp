@@ -34,12 +34,19 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task (including transitively submitted
-  /// ones) has finished.
+  /// ones) has finished. Must not be called from one of this pool's own
+  /// worker threads (throws ContractViolation instead of deadlocking).
   void wait();
 
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
-  /// Exceptions from tasks propagate: the first one is rethrown.
+  /// Exceptions from tasks propagate: the first one is rethrown. When
+  /// called from one of this pool's own worker threads (a nested
+  /// parallel_for inside a task) the iterations run inline on the calling
+  /// thread, preserving completion semantics without deadlocking.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const noexcept;
 
  private:
   void worker_loop();

@@ -113,6 +113,45 @@ TEST(ResourceBroker, ObserveAlphaReflectsTrend) {
   EXPECT_GT(after_rise.alpha, 1.0);
 }
 
+TEST(ResourceBroker, EarlyObservationClampsWindowToHistory) {
+  // Regression: observing at t < alpha_window used to integrate over
+  // [t - T, 0), weighting a fictitious pre-simulation period at full
+  // capacity and biasing early alpha downward.
+  ResourceBroker broker = make(100.0, /*window=*/3.0);
+  EXPECT_TRUE(broker.reserve(1.0, s1, 50.0));
+  // Clamped window [0, 2): average = (1*100 + 1*50)/2 = 75, so
+  // alpha = 50/75. The unclamped integral over [-1, 2) would give
+  // 250/3 and alpha = 0.6 instead.
+  EXPECT_NEAR(broker.observe(2.0).alpha, 50.0 / 75.0, 1e-12);
+  // Degenerate zero-length window at the first history timestamp.
+  ResourceBroker fresh = make(100.0, 3.0);
+  EXPECT_DOUBLE_EQ(fresh.observe(0.0).alpha, 1.0);
+}
+
+TEST(ResourceBroker, PruneKeepsExactlyOneBaselineEntry) {
+  ResourceBroker broker(rid, "cpu", 100.0, 3.0, /*history_keep=*/16.0);
+  EXPECT_TRUE(broker.reserve(1.0, s1, 10.0));
+  EXPECT_TRUE(broker.reserve(5.0, s2, 5.0));
+  for (int t = 100; t < 120; ++t)
+    EXPECT_TRUE(broker.reserve(static_cast<double>(t), SessionId{200u + t},
+                               1.0));
+  const auto& history = broker.history();
+  ASSERT_FALSE(history.empty());
+  const double horizon = history.back().first - 16.0;
+  std::size_t older = 0;
+  for (const auto& [time, value] : history)
+    if (time < horizon) ++older;
+  // Exactly one entry older than the keep horizon survives as the
+  // baseline for available_at() queries before the kept window.
+  EXPECT_EQ(older, 1u);
+  EXPECT_EQ(broker.available_at(50.0), history.front().second);
+  // History timestamps stay strictly increasing and the tail mirrors the
+  // live availability.
+  for (std::size_t i = 1; i < history.size(); ++i)
+    EXPECT_LT(history[i - 1].first, history[i].first);
+  EXPECT_EQ(history.back().second, broker.available());
+}
+
 TEST(ResourceBroker, ObserveAlphaIsOneWhenSteady) {
   ResourceBroker broker = make();
   const ResourceObservation obs = broker.observe(50.0);

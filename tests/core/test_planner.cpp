@@ -370,6 +370,35 @@ TEST_P(DijkstraEquivalence, MatchesRelaxationOnRandomChains) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraEquivalence,
                          ::testing::Values(5, 15, 25, 35, 45));
 
+// Regression: dijkstra_qrg must agree with relax_qrg on the predecessor
+// edge, not only on values. Two equal-value, equal-psi paths reach the
+// sink; relax_qrg keeps the earlier in-edge, while the heap formulation
+// used to keep whichever tail settled first — here the *later* edge,
+// because its path value (0.1) is smaller and pops before 0.2.
+TEST(DijkstraQrg, TieBreakMatchesRelaxationOnEqualCandidates) {
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.2}, {0, 1, 0.1}})
+      .component(1, {{0, 0, 0.5}, {1, 0, 0.5}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  for (const bool tie_break : {false, true}) {
+    const auto topo = relax_qrg(qrg, {.use_tie_break = tie_break});
+    const auto heap = dijkstra_qrg(qrg, {.use_tie_break = tie_break});
+    ASSERT_EQ(topo.size(), heap.size());
+    for (std::size_t v = 0; v < topo.size(); ++v) {
+      EXPECT_EQ(topo[v].reachable, heap[v].reachable) << "node " << v;
+      EXPECT_EQ(topo[v].pred_edge, heap[v].pred_edge)
+          << "node " << v << " tie_break " << tie_break;
+      if (topo[v].reachable) {
+        EXPECT_EQ(topo[v].value, heap[v].value) << "node " << v;
+      }
+    }
+    // Both must resolve the tie to the first in-edge in iteration order.
+    const std::uint32_t sink = qrg.ranked_sink_nodes()[0];
+    EXPECT_EQ(heap[sink].pred_edge, qrg.in_edges(sink)[0]);
+  }
+}
+
 TEST(DijkstraQrg, PlanExtractionWorksFromHeapLabels) {
   PsiChainBuilder b;
   b.component(2, {{0, 0, 0.5}, {0, 1, 0.2}})

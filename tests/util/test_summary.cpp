@@ -73,6 +73,31 @@ TEST(Summary, MergeWithEmptySides) {
   EXPECT_EQ(b.mean(), 1.0);
 }
 
+TEST(Summary, MergeOfManyShardsMatchesSinglePass) {
+  // The pattern parallel replica runs produce: per-worker partial
+  // summaries merged into one. Chan's merge must agree with single-pass
+  // Welford accumulation to near machine precision, for any shard count
+  // including empty shards.
+  for (const int shards : {2, 3, 7, 16}) {
+    Rng rng(1234u + static_cast<std::uint64_t>(shards));
+    Summary whole;
+    std::vector<Summary> parts(static_cast<std::size_t>(shards));
+    for (int i = 0; i < 2000; ++i) {
+      const double x = rng.uniform(-1e3, 1e3);
+      whole.add(x);
+      parts[static_cast<std::size_t>(i % shards)].add(x);
+    }
+    Summary merged;  // starts empty; also covers empty-left merge
+    for (const Summary& p : parts) merged.merge(p);
+    ASSERT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * 1e3);
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-12 * whole.variance() + 1e-9);
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+  }
+}
+
 TEST(Summary, Ci95ShrinksWithSamples) {
   Rng rng(5);
   Summary small, large;
@@ -96,6 +121,22 @@ TEST(Ratio, CountsSuccessesAndFailures) {
   EXPECT_EQ(r.attempts(), 4u);
   EXPECT_EQ(r.successes(), 3u);
   EXPECT_DOUBLE_EQ(r.value(), 0.75);
+}
+
+TEST(Ratio, MergeOfShardsMatchesSinglePass) {
+  Rng rng(77);
+  Ratio whole;
+  std::vector<Ratio> parts(5);
+  for (int i = 0; i < 500; ++i) {
+    const bool ok = rng.bernoulli(0.3);
+    whole.record(ok);
+    parts[static_cast<std::size_t>(i % 5)].record(ok);
+  }
+  Ratio merged;
+  for (const Ratio& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.attempts(), whole.attempts());
+  EXPECT_EQ(merged.successes(), whole.successes());
+  EXPECT_DOUBLE_EQ(merged.value(), whole.value());
 }
 
 TEST(Ratio, MergeAccumulates) {

@@ -74,6 +74,69 @@ TEST(ThreadPool, SubmitNullTaskThrows) {
   EXPECT_THROW(pool.submit(nullptr), ContractViolation);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // Regression: parallel_for from inside a worker task used to submit and
+  // wait on the same pool, deadlocking once all workers were blocked in
+  // the outer wait. Nested calls must run their iterations inline.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++inner; });
+  });
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForStillCompletes) {
+  ThreadPool pool(1);  // single worker: any re-entrant wait would hang
+  std::atomic<int> leaves{0};
+  pool.parallel_for(2, [&](std::size_t) {
+    pool.parallel_for(2, [&](std::size_t) {
+      pool.parallel_for(2, [&](std::size_t) { ++leaves; });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(2,
+                        [&](std::size_t) {
+                          pool.parallel_for(2, [](std::size_t) {
+                            throw std::runtime_error("inner boom");
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, WaitFromWorkerThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.submit([&] {
+    try {
+      pool.wait();
+    } catch (const ContractViolation&) {
+      threw = true;
+    }
+  });
+  pool.wait();  // from the owner thread: fine
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ThreadPool, WaitFromAnotherPoolsWorkerIsAllowed) {
+  // The guard is per-pool: a task on pool A may legitimately block on
+  // pool B finishing.
+  ThreadPool a(1), b(1);
+  std::atomic<int> done{0};
+  a.submit([&] {
+    b.submit([&] { ++done; });
+    b.wait();
+    ++done;
+  });
+  a.wait();
+  EXPECT_EQ(done.load(), 2);
+}
+
 TEST(ThreadPool, ResultIndependentOfWorkerCount) {
   // The determinism contract: per-index outputs do not depend on the
   // number of workers.

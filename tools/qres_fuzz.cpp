@@ -1,0 +1,122 @@
+// qres_fuzz — differential fuzzing and invariant-checking driver.
+//
+// Repeatedly generates random chain/DAG services, QoS translation tables,
+// availability snapshots and broker workloads, and checks the invariants
+// implemented in tests/fuzz/fuzz_lib.*:
+//   * relax_qrg and dijkstra_qrg produce identical labels,
+//   * BasicPlanner agrees exactly with the exhaustive reference on chains
+//     and never beats it on DAGs,
+//   * extracted plans are structurally well-formed,
+//   * ResourceBroker accounting/history/alpha match an independent model.
+//
+// Usage:
+//   qres_fuzz [--iterations N] [--seed S] [--repro-seed X] [--verbose]
+//
+// Each iteration derives its own 64-bit seed from the master seed; on
+// failure the iteration seed is printed. Reproduce a single failing
+// iteration with `qres_fuzz --repro-seed <seed>`. Exit status is the
+// number of failing iterations (capped at 125), so a clean run exits 0.
+//
+// Designed to run under ASan/UBSan/TSan (see CMakePresets.json and the CI
+// workflow); a bounded run is also registered as the ctest `qres_fuzz_smoke`.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "../tests/fuzz/fuzz_lib.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iterations N] [--seed S] [--repro-seed X] "
+               "[--verbose]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 500;
+  std::uint64_t master_seed = 1;
+  bool verbose = false;
+  bool have_repro = false;
+  std::uint64_t repro_seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u64 = [&](std::uint64_t* out) {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      const char* text = argv[++i];
+      char* end = nullptr;
+      *out = std::strtoull(text, &end, 0);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "not a number: %s\n", text);
+        usage(argv[0]);
+        std::exit(2);
+      }
+    };
+    if (arg == "--iterations" || arg == "-n") {
+      next_u64(&iterations);
+    } else if (arg == "--seed" || arg == "-s") {
+      next_u64(&master_seed);
+    } else if (arg == "--repro-seed") {
+      next_u64(&repro_seed);
+      have_repro = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  qres::fuzz::FuzzStats stats;
+  std::uint64_t failures = 0;
+  qres::Rng master(master_seed);
+
+  const std::uint64_t total = have_repro ? 1 : iterations;
+  for (std::uint64_t iter = 0; iter < total; ++iter) {
+    const std::uint64_t seed = have_repro ? repro_seed : master();
+    std::string failure;
+    try {
+      failure = qres::fuzz::run_iteration(seed, &stats);
+    } catch (const std::exception& e) {
+      failure = "seed " + std::to_string(seed) +
+                ": unexpected exception: " + e.what();
+    }
+    if (!failure.empty()) {
+      ++failures;
+      if (failures <= 20)
+        std::fprintf(stderr, "FAIL iter %" PRIu64 ": %s\n", iter,
+                     failure.c_str());
+      if (failures == 20)
+        std::fprintf(stderr, "(further failures suppressed)\n");
+    } else if (verbose) {
+      std::fprintf(stderr, "ok   iter %" PRIu64 " seed %" PRIu64 "\n", iter,
+                   seed);
+    }
+  }
+
+  std::printf(
+      "qres_fuzz: %" PRIu64 " iteration(s), %" PRIu64
+      " failure(s); checked %" PRIu64 " QRGs (%" PRIu64 " nodes), %" PRIu64
+      " planner comparisons, %" PRIu64 " broker steps\n",
+      total, failures, stats.qrgs, stats.nodes, stats.plans,
+      stats.broker_steps);
+  if (failures > 0)
+    std::printf("reproduce a failure with: %s --repro-seed <seed>\n",
+                argv[0]);
+  return failures > 125 ? 125 : static_cast<int>(failures);
+}
