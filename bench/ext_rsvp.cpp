@@ -60,8 +60,8 @@ int main() {
     net.open_path(flow, from, to);
     net.request_reservation(flow, bw, [&, flow, hops,
                                        issued](const RsvpResult& r) {
-      admission.record(r.success);
-      if (r.success) {
+      admission.record(r.ok());
+      if (r.ok()) {
         latency_by_hops[hops].add(r.completed_at - issued);
         admitted.push_back(flow);
         // Flows depart after a finite holding time (phase 2 below acts

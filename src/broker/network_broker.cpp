@@ -72,6 +72,49 @@ void NetworkPathBroker::release_amount(double now, SessionId session,
   for (IBroker* link : links_) link->release_amount(now, session, amount);
 }
 
+double NetworkPathBroker::held_by(SessionId session) const {
+  double minimum = std::numeric_limits<double>::infinity();
+  for (const IBroker* link : links_)
+    minimum = std::min(minimum, link->held_by(session));
+  return minimum;
+}
+
+bool NetworkPathBroker::reserve_leased(double now, SessionId session,
+                                       double amount, double lease) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (!links_[i]->reserve_leased(now, session, amount, lease)) {
+      for (std::size_t j = 0; j < i; ++j)
+        links_[j]->release_amount(now, session, amount);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool NetworkPathBroker::renew_lease(double now, SessionId session,
+                                    double lease) {
+  bool all = true;
+  for (IBroker* link : links_)
+    all = link->renew_lease(now, session, lease) && all;
+  return all;
+}
+
+double NetworkPathBroker::expire_due(double now,
+                                     std::vector<SessionId>* expired) {
+  // Links shared with other paths get swept more than once per registry
+  // sweep; expire_due is idempotent so the extra sweeps are no-ops.
+  double freed = 0.0;
+  for (IBroker* link : links_) freed += link->expire_due(now, expired);
+  return freed;
+}
+
+double NetworkPathBroker::lease_deadline(SessionId session) const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const IBroker* link : links_)
+    earliest = std::min(earliest, link->lease_deadline(session));
+  return earliest;
+}
+
 const IBroker& NetworkPathBroker::link(std::size_t index) const {
   QRES_REQUIRE(index < links_.size(),
                "NetworkPathBroker::link: index out of range");

@@ -45,6 +45,20 @@ class NetworkPathBroker final : public IBroker {
   void release(double now, SessionId session) override;
   void release_amount(double now, SessionId session, double amount) override;
 
+  /// Minimum held amount over the links (links shared with other paths may
+  /// hold more for the same session than this path reserved).
+  double held_by(SessionId session) const override;
+
+  /// Leased reserve on every link, with the same rollback discipline as
+  /// reserve().
+  bool reserve_leased(double now, SessionId session, double amount,
+                      double lease) override;
+  /// Renews on every link; true when every link still held the lease.
+  bool renew_lease(double now, SessionId session, double lease) override;
+  double expire_due(double now, std::vector<SessionId>* expired) override;
+  /// Earliest lease deadline over the links.
+  double lease_deadline(SessionId session) const override;
+
   std::size_t link_count() const noexcept { return links_.size(); }
   const IBroker& link(std::size_t index) const;
 

@@ -1,6 +1,7 @@
 #include "broker/resource_broker.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -93,6 +94,10 @@ ResourceObservation ResourceBroker::observe(double t) const {
 bool ResourceBroker::reserve(double now, SessionId session, double amount) {
   QRES_REQUIRE(session.valid(), "ResourceBroker::reserve: invalid session");
   QRES_REQUIRE(amount >= 0.0, "ResourceBroker::reserve: negative amount");
+  // Lazy lease sweep: capacity abandoned by a crashed holder whose lease
+  // ran out is reclaimable by the very admission decision that needs it.
+  // A no-op (and no history record) when no leases are outstanding.
+  expire_due(now, nullptr);
   if (amount > available() + 1e-9) return false;
   holdings_[session] += amount;
   reserved_ += amount;
@@ -107,6 +112,7 @@ void ResourceBroker::release(double now, SessionId session) {
   reserved_ -= it->second;
   if (reserved_ < 0.0) reserved_ = 0.0;  // clamp fp drift
   holdings_.erase(session);
+  lease_deadlines_.erase(session);
   record(now);
 }
 
@@ -120,8 +126,67 @@ void ResourceBroker::release_amount(double now, SessionId session,
   it->second -= freed;
   reserved_ -= freed;
   if (reserved_ < 0.0) reserved_ = 0.0;  // clamp fp drift
-  if (it->second <= 1e-12) holdings_.erase(session);
+  if (it->second <= 1e-12) {
+    holdings_.erase(session);
+    lease_deadlines_.erase(session);
+  }
   record(now);
+}
+
+double ResourceBroker::held_by(SessionId session) const {
+  auto it = holdings_.find(session);
+  return it == holdings_.end() ? 0.0 : it->second;
+}
+
+bool ResourceBroker::reserve_leased(double now, SessionId session,
+                                    double amount, double lease) {
+  QRES_REQUIRE(lease > 0.0,
+               "ResourceBroker::reserve_leased: lease must be positive");
+  if (!reserve(now, session, amount)) return false;
+  // The whole holding of the session shares one deadline; reserving again
+  // is itself a sign of life, so the deadline moves forward.
+  lease_deadlines_.insert_or_assign(session, now + lease);
+  return true;
+}
+
+bool ResourceBroker::renew_lease(double now, SessionId session,
+                                 double lease) {
+  QRES_REQUIRE(lease > 0.0,
+               "ResourceBroker::renew_lease: lease must be positive");
+  expire_due(now, nullptr);  // a renewal that arrives too late must fail
+  auto it = lease_deadlines_.find(session);
+  if (it == lease_deadlines_.end()) return false;
+  it->second = std::max(it->second, now + lease);
+  return true;
+}
+
+double ResourceBroker::expire_due(double now,
+                                  std::vector<SessionId>* expired) {
+  if (lease_deadlines_.empty()) return 0.0;
+  std::vector<SessionId> due;
+  for (const auto& [session, deadline] : lease_deadlines_)
+    if (deadline <= now) due.push_back(session);
+  double freed = 0.0;
+  for (SessionId session : due) {
+    freed += held_by(session);
+    release(now, session);  // also erases the lease entry
+    if (expired) expired->push_back(session);
+    if (expiry_log_enabled_) expiry_log_.push_back(session);
+  }
+  return freed;
+}
+
+void ResourceBroker::take_expired(std::vector<SessionId>* into) {
+  QRES_REQUIRE(into != nullptr, "ResourceBroker::take_expired: null list");
+  into->insert(into->end(), expiry_log_.begin(), expiry_log_.end());
+  expiry_log_.clear();
+}
+
+double ResourceBroker::lease_deadline(SessionId session) const {
+  auto it = lease_deadlines_.find(session);
+  if (it == lease_deadlines_.end())
+    return std::numeric_limits<double>::infinity();
+  return it->second;
 }
 
 void ResourceBroker::record(double now) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <deque>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,62 @@ class IBroker {
   /// the same link) and only one of them is being torn down.
   virtual void release_amount(double now, SessionId session,
                               double amount) = 0;
+
+  /// Amount currently held by `session` (0 when it holds nothing).
+  virtual double held_by(SessionId session) const = 0;
+
+  // --- Soft-state leases (RSVP's expiry idea applied to host resources).
+  //
+  // A leased reservation must be renewed before its deadline or it is
+  // reclaimed by the broker: a proxy that crashes after reserving stops
+  // renewing, and its holdings expire instead of leaking capacity forever.
+  // The defaults degrade to permanent reservations so broker
+  // implementations without lease bookkeeping keep working unchanged.
+
+  /// Like reserve(), but the session's holding on this broker expires at
+  /// `now + lease` unless renewed. Re-reserving refreshes the deadline.
+  virtual bool reserve_leased(double now, SessionId session, double amount,
+                              double lease) {
+    (void)lease;
+    return reserve(now, session, amount);
+  }
+
+  /// Pushes the session's lease deadline to `now + lease`. Returns false
+  /// when the session holds nothing here (already expired or never
+  /// reserved) or its holding is not leased.
+  virtual bool renew_lease(double now, SessionId session, double lease) {
+    (void)now;
+    (void)session;
+    (void)lease;
+    return false;
+  }
+
+  /// Reclaims every leased holding whose deadline is <= `now`. Returns
+  /// the total amount freed; expired session ids are appended to
+  /// `expired` when given.
+  virtual double expire_due(double now, std::vector<SessionId>* expired) {
+    (void)now;
+    (void)expired;
+    return 0.0;
+  }
+
+  /// The session's lease deadline, or +infinity for permanent holdings
+  /// (including sessions that hold nothing).
+  virtual double lease_deadline(SessionId session) const {
+    (void)session;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Starts logging lease expiries (see take_expired). Off by default so
+  /// brokers in ordinary simulations keep no extra state.
+  virtual void enable_expiry_log() {}
+
+  /// Appends every session reclaimed by lease expiry since the previous
+  /// call — including lazy sweeps inside reserve()/renew_lease() that no
+  /// caller observed directly — and clears the log. No-op unless
+  /// enable_expiry_log() was called. Lets an external accountant (the
+  /// ReservationAuditor harness) learn about reclaims it did not trigger.
+  virtual void take_expired(std::vector<SessionId>* into) { (void)into; }
 };
 
 /// How r_avg (the denominator of the change index, eq. 5) is computed.
@@ -101,6 +158,15 @@ class ResourceBroker final : public IBroker {
   bool reserve(double now, SessionId session, double amount) override;
   void release(double now, SessionId session) override;
   void release_amount(double now, SessionId session, double amount) override;
+  double held_by(SessionId session) const override;
+
+  bool reserve_leased(double now, SessionId session, double amount,
+                      double lease) override;
+  bool renew_lease(double now, SessionId session, double lease) override;
+  double expire_due(double now, std::vector<SessionId>* expired) override;
+  double lease_deadline(SessionId session) const override;
+  void enable_expiry_log() override { expiry_log_enabled_ = true; }
+  void take_expired(std::vector<SessionId>* into) override;
 
   /// Number of sessions currently holding reservations.
   std::size_t active_sessions() const noexcept { return holdings_.size(); }
@@ -130,6 +196,11 @@ class ResourceBroker final : public IBroker {
   AlphaMode alpha_mode_;
   double reserved_ = 0.0;
   FlatMap<SessionId, double> holdings_;
+  /// Lease deadlines for sessions whose holdings are soft-state; sessions
+  /// absent from this map hold permanently.
+  FlatMap<SessionId, double> lease_deadlines_;
+  bool expiry_log_enabled_ = false;
+  std::vector<SessionId> expiry_log_;
   /// (time, availability-after-change), append-only within the kept window.
   std::vector<std::pair<double, double>> history_;
   /// kReportBased: the (time, value) log of past reports within T.

@@ -118,13 +118,20 @@ const PlanStep& ComponentAgent::chosen_step() const {
   return *chosen_;
 }
 
-bool ComponentAgent::reserve(SessionId session, double now) {
+bool ComponentAgent::reserve(SessionId session, double now, double lease,
+                             ResourceId* failed) {
   const PlanStep& step = chosen_step();
   std::vector<std::pair<ResourceId, double>> taken;
   for (const auto& [rid, amount] : step.requirement) {
-    if (!registry_->broker(rid).reserve(now, session, amount)) {
+    const bool ok =
+        lease > 0.0
+            ? registry_->broker(rid).reserve_leased(now, session, amount,
+                                                    lease)
+            : registry_->broker(rid).reserve(now, session, amount);
+    if (!ok) {
       for (const auto& [id, held] : taken)
         registry_->broker(id).release_amount(now, session, held);
+      if (failed) *failed = rid;
       return false;
     }
     taken.push_back({rid, amount});
@@ -161,6 +168,35 @@ DistributedSession::DistributedSession(
   }
 }
 
+void DistributedSession::attach_faults(IControlTransport* transport) {
+  QRES_REQUIRE(transport != nullptr, "attach_faults: null transport");
+  transport_ = transport;
+}
+
+void DistributedSession::enable_leases(double lease_duration) {
+  QRES_REQUIRE(lease_duration > 0.0,
+               "enable_leases: lease duration must be positive");
+  lease_ = lease_duration;
+}
+
+HostId DistributedSession::agent_host(std::size_t i) const {
+  return agents_[i].component_->host();
+}
+
+bool DistributedSession::protocol_exchange(HostId from, HostId to,
+                                           double now,
+                                           CoordinationStats& stats) const {
+  if (!transport_ || !from.valid() || !to.valid() || from == to)
+    return true;
+  const int used = transport_->exchange(from, to, now);
+  if (used == 0) {
+    ++stats.unreachable_proxies;
+    return false;
+  }
+  if (used > 1) stats.retransmissions += static_cast<std::size_t>(used - 1);
+  return true;
+}
+
 EstablishResult DistributedSession::establish(SessionId session, double now,
                                               double scale,
                                               bool use_tradeoff) {
@@ -168,14 +204,22 @@ EstablishResult DistributedSession::establish(SessionId session, double now,
   result.stats.participating_proxies = agents_.size();
 
   // Forward pass: the source frontier is the single source-quality label.
+  // Under faults each hop-to-hop message is one RPC; an unreachable
+  // neighbor kills the pass (there is no one to carry the frontier on).
   ForwardMessage frontier;
   frontier.out_labels.push_back(FrontierLabel{true, 0.0, 1.0, ResourceId{}});
-  for (ComponentAgent& agent : agents_) {
-    frontier = agent.forward(frontier, now, scale, psi_kind_, options_);
-    ++result.stats.availability_messages;  // one hop-to-hop message
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (i > 0) {
+      if (!protocol_exchange(agent_host(i - 1), agent_host(i), now,
+                             result.stats)) {
+        result.outcome = EstablishOutcome::kUnreachable;
+        result.failed_resource = agents_[i].footprint_.front();
+        return result;
+      }
+      ++result.stats.availability_messages;
+    }
+    frontier = agents_[i].forward(frontier, now, scale, psi_kind_, options_);
   }
-  // (The last "message" stays at the sink proxy; keep the count at K-1.)
-  --result.stats.availability_messages;
 
   // Sink decision: sink infos in rank order.
   const auto& ranking = service_->end_to_end_ranking();
@@ -208,13 +252,20 @@ EstablishResult DistributedSession::establish(SessionId session, double now,
     }
   }
 
-  // Backward pass: demand flows sink -> source.
+  // Backward pass: demand flows sink -> source, one RPC per hop.
   BackwardMessage demand{ranking[target]};
-  for (auto it = agents_.rbegin(); it != agents_.rend(); ++it) {
-    demand = it->backward(demand);
-    ++result.stats.dispatch_messages;
+  for (std::size_t i = agents_.size(); i-- > 0;) {
+    if (i + 1 < agents_.size()) {
+      if (!protocol_exchange(agent_host(i + 1), agent_host(i), now,
+                             result.stats)) {
+        result.outcome = EstablishOutcome::kUnreachable;
+        result.failed_resource = agents_[i].footprint_.front();
+        return result;
+      }
+      ++result.stats.dispatch_messages;
+    }
+    demand = agents_[i].backward(demand);
   }
-  --result.stats.dispatch_messages;  // the source's upstream has no proxy
 
   // Assemble the plan from the fixed operating points.
   ReservationPlan plan;
@@ -232,25 +283,47 @@ EstablishResult DistributedSession::establish(SessionId session, double now,
   plan.end_to_end_rank = target;
   result.plan = std::move(plan);
 
-  // Reserve pass: each proxy commits its own segment; abort on failure.
+  // Reserve pass: the sink proxy (which fixed the operating point)
+  // dispatches one commit RPC per proxy; each commits its own segment.
+  // Abort on failure, admission or unreachable alike.
+  const HostId sink_host = agent_host(agents_.size() - 1);
   std::size_t committed = 0;
   bool ok = true;
-  for (ComponentAgent& agent : agents_) {
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (!protocol_exchange(sink_host, agent_host(i), now, result.stats)) {
+      result.outcome = EstablishOutcome::kUnreachable;
+      result.failed_resource = agents_[i].footprint_.front();
+      ok = false;
+      break;
+    }
     ++result.stats.reservations_attempted;
-    if (!agent.reserve(session, now)) {
+    ResourceId rejected;
+    if (!agents_[i].reserve(session, now, lease_, &rejected)) {
+      result.outcome = EstablishOutcome::kAdmission;
+      result.failed_resource = rejected;
       ok = false;
       break;
     }
     ++committed;
   }
   if (!ok) {
+    // Roll back the committed segments. A rollback release is an RPC
+    // too; a proxy that has since become unreachable keeps its segment
+    // until the lease expires — reported via result.leaked.
     for (std::size_t i = 0; i < committed; ++i) {
+      if (!protocol_exchange(sink_host, agent_host(i), now, result.stats)) {
+        for (const auto& [rid, amount] :
+             agents_[i].chosen_step().requirement)
+          result.leaked.push_back({rid, amount});
+        continue;
+      }
       agents_[i].release(session, now);
       ++result.stats.reservations_rolled_back;
     }
     return result;
   }
   result.success = true;
+  result.outcome = EstablishOutcome::kOk;
   for (const PlanStep& step : result.plan->steps)
     for (const auto& [rid, amount] : step.requirement)
       result.holdings.push_back({rid, amount});

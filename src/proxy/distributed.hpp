@@ -81,7 +81,10 @@ class ComponentAgent {
 
   /// Reserves the chosen step's requirement with the local brokers;
   /// returns false on admission failure (nothing partially held locally).
-  bool reserve(SessionId session, double now);
+  /// `lease` > 0 takes leased reservations of that duration; `failed`
+  /// (optional) receives the resource that was rejected.
+  bool reserve(SessionId session, double now, double lease = 0.0,
+               ResourceId* failed = nullptr);
 
   /// Releases exactly what reserve() took for the session.
   void release(SessionId session, double now);
@@ -116,6 +119,16 @@ class DistributedSession {
                      PsiKind psi_kind = PsiKind::kRatio,
                      PlannerOptions options = {});
 
+  /// Routes every protocol message (forward/backward hops between
+  /// neighboring proxies, reserve-pass dispatches from the sink) through
+  /// `transport`. Components with invalid hosts exchange no RPCs (they
+  /// are co-located). Without a transport the control plane is perfect.
+  void attach_faults(IControlTransport* transport);
+
+  /// Reserve-pass reservations become leases of `lease_duration` (see
+  /// SessionCoordinator::enable_leases).
+  void enable_leases(double lease_duration);
+
   /// Runs the three passes. `use_tradeoff` applies the §4.3.1 sink rule
   /// at the sink proxy. Returns the same result shape as the centralized
   /// coordinator; stats count protocol messages.
@@ -126,10 +139,20 @@ class DistributedSession {
                 SessionId session, double now);
 
  private:
+  /// Host of agent i's component (invalid when the component is unhosted).
+  HostId agent_host(std::size_t i) const;
+  /// One protocol RPC from `from` to `to` at `now`; true when delivered
+  /// (trivially so when either host is invalid or they coincide). Updates
+  /// `stats` retransmission/unreachable counters.
+  bool protocol_exchange(HostId from, HostId to, double now,
+                         CoordinationStats& stats) const;
+
   const ServiceDefinition* service_;
   BrokerRegistry* registry_;
   PsiKind psi_kind_;
   PlannerOptions options_;
+  IControlTransport* transport_ = nullptr;
+  double lease_ = 0.0;  ///< 0 = permanent reservations
   std::vector<ComponentAgent> agents_;  // in topological (chain) order
 };
 

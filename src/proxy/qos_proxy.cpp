@@ -39,6 +39,16 @@ void QoSProxy::release(ResourceId id, double now, SessionId session,
   registry_->broker(id).release_amount(now, session, amount);
 }
 
+const char* to_string(EstablishOutcome outcome) noexcept {
+  switch (outcome) {
+    case EstablishOutcome::kOk: return "ok";
+    case EstablishOutcome::kNoPlan: return "no-plan";
+    case EstablishOutcome::kAdmission: return "admission";
+    case EstablishOutcome::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
 SessionCoordinator::SessionCoordinator(const ServiceDefinition* service,
                                        std::vector<ResourceId> footprint,
                                        BrokerRegistry* registry,
@@ -53,9 +63,37 @@ SessionCoordinator::SessionCoordinator(const ServiceDefinition* service,
                "SessionCoordinator: empty resource footprint");
 }
 
+void SessionCoordinator::attach_faults(IControlTransport* transport,
+                                       HostId main_host) {
+  QRES_REQUIRE(transport != nullptr, "attach_faults: null transport");
+  QRES_REQUIRE(main_host.valid(), "attach_faults: invalid main host");
+  transport_ = transport;
+  main_host_ = main_host;
+}
+
+void SessionCoordinator::enable_leases(double lease_duration) {
+  QRES_REQUIRE(lease_duration > 0.0,
+               "enable_leases: lease duration must be positive");
+  lease_ = lease_duration;
+}
+
+bool SessionCoordinator::reserve_segment(ResourceId id, double now,
+                                         SessionId session, double amount) {
+  if (lease_ > 0.0)
+    return registry_->broker(id).reserve_leased(now, session, amount, lease_);
+  return registry_->broker(id).reserve(now, session, amount);
+}
+
 EstablishResult SessionCoordinator::establish(
     SessionId session, double now, const IPlanner& planner, Rng& rng,
     double scale, const std::function<double(ResourceId)>& staleness) {
+  return establish_impl(session, now, planner, rng, scale, staleness, {});
+}
+
+EstablishResult SessionCoordinator::establish_impl(
+    SessionId session, double now, const IPlanner& planner, Rng& rng,
+    double scale, const std::function<double(ResourceId)>& staleness,
+    const std::vector<ResourceId>& dead) {
   EstablishResult result;
 
   // Overhead accounting (§4.2): one availability round trip per
@@ -70,7 +108,31 @@ EstablishResult SessionCoordinator::establish(
   result.stats.availability_messages = result.stats.participating_proxies;
 
   // Phase 1: collect availability for the service's resource footprint.
-  const AvailabilityView view = registry_->collect(footprint_, now, staleness);
+  // Under faults each remote proxy's report is one RPC round trip; a
+  // proxy that cannot be reached contributes zero availability for its
+  // resources (the main proxy has no report to plan from), so the
+  // planner routes around it instead of reserving blind.
+  std::vector<ResourceId> unavailable = dead;
+  if (transport_) {
+    std::set<std::uint32_t> polled;
+    for (ResourceId id : footprint_) {
+      const HostId owner = registry_->catalog().host(id);
+      if (!owner.valid() || owner == main_host_) continue;
+      if (!polled.insert(owner.value()).second) continue;
+      const int used = transport_->exchange(main_host_, owner, now);
+      if (used == 0) {
+        ++result.stats.unreachable_proxies;
+        for (ResourceId other : footprint_)
+          if (registry_->catalog().host(other) == owner)
+            unavailable.push_back(other);
+      } else if (used > 1) {
+        result.stats.retransmissions +=
+            static_cast<std::size_t>(used - 1);
+      }
+    }
+  }
+  AvailabilityView view = registry_->collect(footprint_, now, staleness);
+  for (ResourceId id : unavailable) view.set(id, 0.0, 1.0);
 
   // Phase 2: build the QRG and run the algorithm at the main proxy.
   const Qrg qrg(*service_, view, psi_kind_, scale);
@@ -79,32 +141,103 @@ EstablishResult SessionCoordinator::establish(
   if (!planned.plan) return result;  // no feasible end-to-end plan
   result.plan = std::move(planned.plan);
 
-  // Phase 3: dispatch plan segments; all-or-nothing reservation.
+  // Phase 3: dispatch plan segments; all-or-nothing reservation. Under
+  // faults every remote segment is one dispatch RPC; an unreachable
+  // owner aborts the establishment like an admission failure, except the
+  // outcome is retryable (establish_with_recovery re-plans around it).
   result.stats.dispatch_messages = result.plan->steps.size();
   const ResourceVector total = result.plan->total_requirement();
   std::vector<std::pair<ResourceId, double>> reserved;
   reserved.reserve(total.size());
   bool ok = true;
   for (const auto& [id, amount] : total) {
+    if (transport_) {
+      const HostId owner = registry_->catalog().host(id);
+      if (owner.valid() && owner != main_host_) {
+        const int used = transport_->exchange(main_host_, owner, now);
+        if (used == 0) {
+          ++result.stats.unreachable_proxies;
+          result.outcome = EstablishOutcome::kUnreachable;
+          result.failed_resource = id;
+          ok = false;
+          break;
+        }
+        if (used > 1)
+          result.stats.retransmissions +=
+              static_cast<std::size_t>(used - 1);
+      }
+    }
     ++result.stats.reservations_attempted;
-    if (registry_->broker(id).reserve(now, session, amount)) {
+    if (reserve_segment(id, now, session, amount)) {
       reserved.push_back({id, amount});
     } else {
+      result.outcome = EstablishOutcome::kAdmission;
+      result.failed_resource = id;
       ok = false;
       break;
     }
   }
   if (!ok) {
-    // Roll back everything reserved for this session so far.
+    // Roll back everything reserved for this session so far. A rollback
+    // release is itself an RPC; if the owning proxy has become
+    // unreachable the release cannot be delivered and the reservation
+    // leaks until its lease expires — reported via result.leaked so the
+    // caller (and the auditor) can account for it.
     for (const auto& [id, amount] : reserved) {
+      if (transport_) {
+        const HostId owner = registry_->catalog().host(id);
+        if (owner.valid() && owner != main_host_ &&
+            transport_->exchange(main_host_, owner, now) == 0) {
+          ++result.stats.unreachable_proxies;
+          result.leaked.push_back({id, amount});
+          continue;
+        }
+      }
       registry_->broker(id).release_amount(now, session, amount);
       ++result.stats.reservations_rolled_back;
     }
     return result;
   }
   result.success = true;
+  result.outcome = EstablishOutcome::kOk;
   result.holdings = std::move(reserved);
   return result;
+}
+
+EstablishResult SessionCoordinator::establish_with_recovery(
+    SessionId session, double now, const IPlanner& planner, Rng& rng,
+    double scale, int max_replans,
+    const std::function<double(ResourceId)>& staleness) {
+  QRES_REQUIRE(max_replans >= 0,
+               "establish_with_recovery: negative replan budget");
+  // Resources on hosts observed dead in earlier rounds: forced to zero
+  // availability so each re-plan routes around them (degraded QoS is the
+  // planner's business, not ours).
+  std::vector<ResourceId> dead;
+  CoordinationStats acc;
+  std::vector<std::pair<ResourceId, double>> leaked;
+  for (int round = 0;; ++round) {
+    EstablishResult r =
+        establish_impl(session, now, planner, rng, scale, staleness, dead);
+    acc.participating_proxies = r.stats.participating_proxies;
+    acc.availability_messages += r.stats.availability_messages;
+    acc.dispatch_messages += r.stats.dispatch_messages;
+    acc.reservations_attempted += r.stats.reservations_attempted;
+    acc.reservations_rolled_back += r.stats.reservations_rolled_back;
+    acc.retransmissions += r.stats.retransmissions;
+    acc.unreachable_proxies += r.stats.unreachable_proxies;
+    leaked.insert(leaked.end(), r.leaked.begin(), r.leaked.end());
+    if (r.outcome != EstablishOutcome::kUnreachable ||
+        round == max_replans) {
+      acc.replans = static_cast<std::size_t>(round);
+      r.stats = acc;
+      r.leaked = std::move(leaked);
+      return r;
+    }
+    const HostId down = registry_->catalog().host(r.failed_resource);
+    for (ResourceId id : footprint_)
+      if (registry_->catalog().host(id) == down) dead.push_back(id);
+  }
 }
 
 EstablishResult SessionCoordinator::establish_resilient(
@@ -139,15 +272,18 @@ EstablishResult SessionCoordinator::establish_resilient(
       bool ok = true;
       for (const auto& [id, amount] : total) {
         ++result.stats.reservations_attempted;
-        if (registry_->broker(id).reserve(now, session, amount)) {
+        if (reserve_segment(id, now, session, amount)) {
           reserved.push_back({id, amount});
         } else {
+          result.outcome = EstablishOutcome::kAdmission;
+          result.failed_resource = id;
           ok = false;
           break;
         }
       }
       if (ok) {
         result.success = true;
+        result.outcome = EstablishOutcome::kOk;
         result.plan = std::move(plan);  // what was actually reserved
         result.holdings = std::move(reserved);
         return result;

@@ -22,6 +22,7 @@
 
 #include "broker/registry.hpp"
 #include "core/planner.hpp"
+#include "proxy/transport.hpp"
 
 namespace qres {
 
@@ -66,11 +67,30 @@ struct CoordinationStats {
   std::size_t dispatch_messages = 0;      ///< phase-3 plan segments sent
   std::size_t reservations_attempted = 0;
   std::size_t reservations_rolled_back = 0;
+  /// Fault-plane accounting (all zero without an attached transport).
+  std::size_t retransmissions = 0;       ///< extra RPC attempts that got through
+  std::size_t unreachable_proxies = 0;   ///< RPC rounds that never got through
+  std::size_t replans = 0;               ///< recovery rounds after kUnreachable
 };
+
+/// Why a session establishment ended the way it did. Separates hard
+/// rejections (no plan / admission) from control-plane faults
+/// (kUnreachable), which establish_with_recovery re-plans around.
+enum class EstablishOutcome : std::uint8_t {
+  kOk,           ///< established; holdings are live
+  kNoPlan,       ///< no feasible end-to-end plan for the snapshot
+  kAdmission,    ///< a broker rejected a plan segment (stale observation)
+  kUnreachable,  ///< a participating proxy could not be reached
+};
+
+const char* to_string(EstablishOutcome outcome) noexcept;
 
 /// Outcome of a session establishment attempt.
 struct EstablishResult {
   bool success = false;
+  EstablishOutcome outcome = EstablishOutcome::kNoPlan;
+  /// Resource whose reservation or dispatch failed (invalid otherwise).
+  ResourceId failed_resource;
   /// The computed plan (present whenever planning succeeded, even if the
   /// subsequent reservation failed due to stale observations).
   std::optional<ReservationPlan> plan;
@@ -79,6 +99,11 @@ struct EstablishResult {
   /// What was actually reserved (resource, amount) — empty on failure;
   /// needed to tear the session down later.
   std::vector<std::pair<ResourceId, double>> holdings;
+  /// Reservations whose rollback release could not be dispatched (the
+  /// owning proxy was unreachable). They stay held by the session until
+  /// the broker lease expires (lease mode) or an explicit release; the
+  /// caller must account for them (the auditor does).
+  std::vector<std::pair<ResourceId, double>> leaked;
   CoordinationStats stats;
 };
 
@@ -93,6 +118,19 @@ class SessionCoordinator {
                      std::vector<ResourceId> footprint,
                      BrokerRegistry* registry,
                      PsiKind psi_kind = PsiKind::kRatio);
+
+  /// Routes every coordination RPC (phase-1 availability round trips,
+  /// phase-3 dispatches and rollback releases) through `transport`.
+  /// `main_host` is where this coordinator (the main QoSProxy) runs;
+  /// resources whose catalog host is invalid count as main-local and need
+  /// no RPC. Without a transport the control plane is perfect, as before.
+  void attach_faults(IControlTransport* transport, HostId main_host);
+
+  /// Phase-3 reservations become leases of `lease_duration` time units:
+  /// if the owning proxy (or this coordinator) crashes before renewing,
+  /// the broker reclaims the capacity instead of leaking it. The caller
+  /// renews through a LeaseKeeper (src/sim) or directly via the brokers.
+  void enable_leases(double lease_duration);
 
   /// Runs the three-phase establishment for `session` at time `now` using
   /// `planner`. `scale` multiplies the service's base requirements (the
@@ -117,6 +155,19 @@ class SessionCoordinator {
       double scale = 1.0,
       const std::function<double(ResourceId)>& staleness = nullptr);
 
+  /// Self-healing establishment: like establish(), but when the attempt
+  /// fails because a participating proxy was unreachable (kUnreachable —
+  /// a fault, not a rejection), the coordinator marks every footprint
+  /// resource on the dead host as unavailable, re-snapshots and re-plans
+  /// around it (at degraded QoS if the planner must), up to `max_replans`
+  /// additional rounds. Hard failures (kNoPlan / kAdmission) are returned
+  /// as-is. Stats accumulate across rounds; stats.replans counts the
+  /// recovery rounds taken.
+  EstablishResult establish_with_recovery(
+      SessionId session, double now, const IPlanner& planner, Rng& rng,
+      double scale = 1.0, int max_replans = 2,
+      const std::function<double(ResourceId)>& staleness = nullptr);
+
   /// Releases every holding of a previously established session.
   void teardown(const std::vector<std::pair<ResourceId, double>>& holdings,
                 SessionId session, double now);
@@ -124,10 +175,25 @@ class SessionCoordinator {
   const ServiceDefinition& service() const noexcept { return *service_; }
 
  private:
+  /// establish() with an explicit set of resources to treat as dead
+  /// (observed at zero availability regardless of their brokers).
+  EstablishResult establish_impl(
+      SessionId session, double now, const IPlanner& planner, Rng& rng,
+      double scale, const std::function<double(ResourceId)>& staleness,
+      const std::vector<ResourceId>& dead);
+
+  /// One phase-3 reservation through the local broker, leased when lease
+  /// mode is on.
+  bool reserve_segment(ResourceId id, double now, SessionId session,
+                       double amount);
+
   const ServiceDefinition* service_;
   std::vector<ResourceId> footprint_;
   BrokerRegistry* registry_;
   PsiKind psi_kind_;
+  IControlTransport* transport_ = nullptr;
+  HostId main_host_;
+  double lease_ = 0.0;  ///< 0 = permanent reservations
 };
 
 }  // namespace qres

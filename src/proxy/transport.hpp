@@ -1,0 +1,31 @@
+// Control-plane transport abstraction.
+//
+// The coordination protocols (SessionCoordinator's report/dispatch rounds,
+// DistributedSession's forward/backward/reserve passes) exchange RPC-style
+// messages between proxy hosts. In the perfect-control-plane model those
+// exchanges are implicit; under fault injection they cross a FaultPlane.
+// This interface is what the proxy layer sees: qres_proxy cannot depend on
+// qres_sim (the dependency runs the other way), so the FaultPlane
+// implements IControlTransport and is attached from above.
+#pragma once
+
+#include "core/ids.hpp"
+
+namespace qres {
+
+class IControlTransport {
+ public:
+  virtual ~IControlTransport() = default;
+
+  /// One reliable request/response exchange between two proxy hosts at
+  /// simulation time `now` (retries included). Returns the number of
+  /// transmissions used when the exchange got through, 0 when the peer
+  /// was unreachable (retry budget exhausted or host crashed).
+  virtual int exchange(HostId from, HostId to, double now) = 0;
+
+  /// Whether `host` is up at time `t` (outside any scripted crash
+  /// window).
+  virtual bool reachable(HostId host, double t) const = 0;
+};
+
+}  // namespace qres

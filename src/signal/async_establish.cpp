@@ -79,16 +79,18 @@ void AsyncEstablisher::establish(SessionId session, double scale,
   }
   if (segments.empty()) {
     result->success = true;
+    result->status = SignalStatus::kOk;
     result->completed_at = now;
     done(*result);
     return;
   }
   pending->outstanding = segments.size();
 
-  auto finish = [this, result, pending, session, done](bool ok) {
+  auto finish = [this, result, pending, session, done](SignalStatus status) {
     if (pending->failed) return;  // already aborted
-    if (!ok) {
+    if (status != SignalStatus::kOk) {
       pending->failed = true;
+      result->status = status;
       // Abort: release local holdings and every flow (successful ones
       // included; failed flows were already torn down by the caller).
       for (const auto& [id, amount] : result->local_holdings)
@@ -104,6 +106,7 @@ void AsyncEstablisher::establish(SessionId session, double scale,
     }
     if (--pending->outstanding == 0) {
       result->success = true;
+      result->status = SignalStatus::kOk;
       result->completed_at = queue_->now();
       done(*result);
     }
@@ -116,7 +119,7 @@ void AsyncEstablisher::establish(SessionId session, double scale,
     result->flows.push_back(flow);
     network_->request_reservation(
         flow, amount, [this, flow, result, finish](const RsvpResult& r) {
-          if (!r.success) {
+          if (!r.ok()) {
             // The failed flow holds nothing; drop it from the teardown
             // list and tear down its path state.
             network_->teardown(flow);
@@ -127,9 +130,36 @@ void AsyncEstablisher::establish(SessionId session, double scale,
                 break;
               }
           }
-          finish(r.success);
+          finish(r.status);
         });
   }
+}
+
+void AsyncEstablisher::establish_with_retry(
+    SessionId session, double scale, int max_attempts,
+    std::function<void(const Result&)> done) {
+  QRES_REQUIRE(max_attempts >= 1,
+               "AsyncEstablisher: at least one attempt required");
+  QRES_REQUIRE(done != nullptr, "AsyncEstablisher: null callback");
+  // Self-referencing retry closure: the weak self-pointer avoids the
+  // shared_ptr cycle; each establishment's completion callback holds one
+  // strong reference for the duration of its signaling.
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  const std::weak_ptr<std::function<void(int)>> weak = attempt;
+  *attempt = [this, session, scale, done, weak](int remaining) {
+    establish(session, scale,
+              [done, remaining, self = weak.lock()](const Result& r) {
+                const bool retryable =
+                    !r.success && (r.status == SignalStatus::kTimeout ||
+                                   r.status == SignalStatus::kLinkDown);
+                if (!retryable || remaining <= 1 || !self) {
+                  done(r);
+                  return;
+                }
+                (*self)(remaining - 1);
+              });
+  };
+  (*attempt)(max_attempts);
 }
 
 void AsyncEstablisher::teardown(const Result& result, SessionId session) {

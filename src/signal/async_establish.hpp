@@ -43,6 +43,11 @@ class AsyncEstablisher {
 
   struct Result {
     bool success = false;
+    /// Why the establishment ended the way it did: kOk on success;
+    /// kAdmission for planner/broker rejections (hard); kTimeout /
+    /// kLinkDown for signaling faults (retryable); kTornDown when the
+    /// session was torn down mid-establishment.
+    SignalStatus status = SignalStatus::kAdmission;
     std::optional<ReservationPlan> plan;
     /// Simulation time the outcome was known (>= the request time by the
     /// signaling latency).
@@ -65,6 +70,15 @@ class AsyncEstablisher {
   /// Starts an establishment; `done` fires once (success or failure).
   void establish(SessionId session, double scale,
                  std::function<void(const Result&)> done);
+
+  /// Like establish(), but a failure whose status is retryable (kTimeout
+  /// or kLinkDown — a fault, not a rejection) re-snapshots and re-plans,
+  /// up to `max_attempts` establishments in total. The fresh snapshot
+  /// routes the plan around whatever capacity the fault took away, at
+  /// degraded QoS if need be; hard rejections are never retried.
+  void establish_with_retry(SessionId session, double scale,
+                            int max_attempts,
+                            std::function<void(const Result&)> done);
 
   /// Releases everything a successful Result holds.
   void teardown(const Result& result, SessionId session);

@@ -7,6 +7,22 @@
 
 namespace qres {
 
+const char* to_string(SignalStatus status) noexcept {
+  switch (status) {
+    case SignalStatus::kOk:
+      return "ok";
+    case SignalStatus::kAdmission:
+      return "admission";
+    case SignalStatus::kTimeout:
+      return "timeout";
+    case SignalStatus::kLinkDown:
+      return "link-down";
+    case SignalStatus::kTornDown:
+      return "torn-down";
+  }
+  return "?";
+}
+
 RsvpNetwork::RsvpNetwork(const Topology* topology,
                          std::vector<double> link_capacities,
                          EventQueue* queue, RsvpConfig config)
@@ -29,6 +45,37 @@ RsvpNetwork::RsvpNetwork(const Topology* topology,
   }
 }
 
+void RsvpNetwork::attach_faults(FaultPlane* faults) {
+  QRES_REQUIRE(faults != nullptr, "RsvpNetwork: null fault plane");
+  QRES_REQUIRE(faults->queue() == queue_,
+               "RsvpNetwork: fault plane must share the event queue");
+  QRES_REQUIRE(flows_.empty(),
+               "RsvpNetwork: attach the fault plane before opening flows");
+  QRES_REQUIRE(config_.resv_timeout > 0.0,
+               "RsvpNetwork: resv_timeout must be positive");
+  faults_ = faults;
+}
+
+void RsvpNetwork::set_hop_listeners(
+    std::function<void(FlowKey, LinkId, double)> reserved,
+    std::function<void(FlowKey, LinkId)> released) {
+  hop_reserved_ = std::move(reserved);
+  hop_released_ = std::move(released);
+}
+
+std::vector<HostId> RsvpNetwork::route_hosts(const Flow& flow) const {
+  std::vector<HostId> nodes;
+  nodes.reserve(flow.route.size() + 1);
+  nodes.push_back(flow.sender);
+  HostId current = flow.sender;
+  for (LinkId link : flow.route) {
+    const auto [a, b] = topology_->link_endpoints(link);
+    current = (a == current) ? b : a;
+    nodes.push_back(current);
+  }
+  return nodes;
+}
+
 void RsvpNetwork::open_path(FlowKey flow, HostId sender, HostId receiver) {
   QRES_REQUIRE(!flows_.count(flow), "RsvpNetwork: flow already open");
   Flow state;
@@ -49,13 +96,54 @@ void RsvpNetwork::schedule_refresh(FlowKey flow) {
     if (it == flows_.end() || it->second.torn_down ||
         !it->second.refreshing)
       return;
-    // Path + Resv refresh: push every hop's expiry out.
+    // Path + Resv refresh: push every hop's expiry out. The deadline is
+    // stamped at refresh *origin* time in both paths, so a refresh that
+    // crosses the fault plane extends exactly as far as the fault-free
+    // inline extension would.
     if (it->second.reserved) {
-      const double deadline = queue_->now() + config_.state_lifetime;
-      for (LinkId link : it->second.route) {
-        auto& expiry = links_[link.value()].expiry;
-        auto hop = expiry.find(flow);
-        if (hop != expiry.end()) hop->second = deadline;
+      const double origin = queue_->now();
+      const double deadline = origin + config_.state_lifetime;
+      if (faults_ == nullptr) {
+        for (LinkId link : it->second.route) {
+          auto& expiry = links_[link.value()].expiry;
+          auto hop = expiry.find(flow);
+          if (hop != expiry.end()) hop->second = deadline;
+        }
+      } else {
+        // A reserved flow that lost all its soft state (e.g. its
+        // refreshes were suppressed until every hop expired) is dead:
+        // drop it so its refresh loop stops.
+        bool any_live = false;
+        for (LinkId link : it->second.route)
+          if (links_[link.value()].expiry.count(flow) > 0) {
+            any_live = true;
+            break;
+          }
+        if (!any_live) {
+          flows_.erase(it);
+          return;
+        }
+        // Each hop's refresh is an independent transmission: one lost
+        // refresh leaves that hop to its previous deadline (it can catch
+        // up next period — or expire, if the losses persist).
+        const std::vector<HostId> nodes = route_hosts(it->second);
+        const std::vector<LinkId>& route = it->second.route;
+        for (std::size_t k = 0; k < route.size(); ++k) {
+          const auto plan = faults_->plan_message(
+              route[k], nodes[k], nodes[k + 1], origin,
+              config_.hop_latency * static_cast<double>(k + 1),
+              config_.retry);
+          if (!plan.delivered) continue;
+          queue_->schedule(plan.at, [this, link = route[k], flow,
+                                     deadline] {
+            auto& expiry = links_[link.value()].expiry;
+            auto hop = expiry.find(flow);
+            if (hop != expiry.end() && deadline > hop->second)
+              hop->second = deadline;
+          });
+          // A duplicated refresh is absorbed: extending twice to the
+          // same deadline is a no-op, so the copy is not even scheduled.
+        }
       }
     }
     schedule_refresh(flow);
@@ -82,9 +170,11 @@ void RsvpNetwork::schedule_expiry_check(LinkId link, FlowKey flow) {
 
 void RsvpNetwork::release_hop(LinkId link, FlowKey flow) {
   auto& state = links_[link.value()];
-  if (state.expiry.erase(flow) > 0)
+  if (state.expiry.erase(flow) > 0) {
     state.broker->release(queue_->now(),
                           SessionId{static_cast<std::uint32_t>(flow)});
+    if (hop_released_) hop_released_(flow, link);
+  }
 }
 
 void RsvpNetwork::request_reservation(
@@ -99,82 +189,283 @@ void RsvpNetwork::request_reservation(
                "RsvpNetwork: flow already has a reservation");
   it->second.bandwidth = bandwidth;
 
-  // The Path train must first reach the receiver (route hops), then the
-  // Resv walks back reserving hop by hop. We simulate the walk-back as a
-  // chain of per-hop events in reverse route order.
-  const double path_delay =
-      config_.hop_latency * static_cast<double>(it->second.route.size());
-  // Copy what the closure chain needs.
+  // Copy what the closure chains need.
   const std::vector<LinkId> route = it->second.route;
 
-  // Recursive hop processor: index counts from the last hop (receiver
-  // side) toward the sender, per footnote 1.
-  // The processor must not capture its own shared_ptr strongly — that is
-  // a reference cycle and the closure (with the done callback and route)
-  // would never be freed. Pending queue events hold the strong refs; the
-  // self-reference is weak and locked only to schedule the next hop.
+  if (faults_ == nullptr) {
+    // Fault-free plane: the Path train reaches the receiver after one
+    // latency per hop, then the Resv walks back reserving hop by hop.
+    const double path_delay =
+        config_.hop_latency * static_cast<double>(route.size());
+
+    // Same completion guarantee as the faulted plane: a teardown that
+    // races the in-flight walk must still complete the callback (with
+    // kTornDown, at the same watchdog deadline), never drop it.
+    auto fired = std::make_shared<bool>(false);
+    queue_->schedule_in(config_.resv_timeout, [this, flow, fired, done] {
+      if (*fired) return;
+      *fired = true;
+      auto flow_it = flows_.find(flow);
+      RsvpResult result;
+      result.status = SignalStatus::kTornDown;
+      if (flow_it != flows_.end() && !flow_it->second.torn_down) {
+        result.status = SignalStatus::kTimeout;
+        for (LinkId link : flow_it->second.route) release_hop(link, flow);
+        flows_.erase(flow_it);
+      }
+      result.completed_at = queue_->now();
+      done(result);
+    });
+
+    // Recursive hop processor: index counts from the last hop (receiver
+    // side) toward the sender, per footnote 1.
+    // The processor must not capture its own shared_ptr strongly — that
+    // is a reference cycle and the closure (with the done callback and
+    // route) would never be freed. Pending queue events hold the strong
+    // refs; the self-reference is weak and locked only to schedule the
+    // next hop.
+    auto hop_step = std::make_shared<std::function<void(std::size_t)>>();
+    const std::weak_ptr<std::function<void(std::size_t)>> weak_step =
+        hop_step;
+    *hop_step = [this, flow, bandwidth, route, done, fired,
+                 weak_step](std::size_t reversed_index) {
+      auto flow_it = flows_.find(flow);
+      if (flow_it == flows_.end() || flow_it->second.torn_down) return;
+      const std::size_t hop = route.size() - 1 - reversed_index;
+      LinkState& link = links_[route[hop].value()];
+      const bool admitted = link.broker->reserve(
+          queue_->now(), SessionId{static_cast<std::uint32_t>(flow)},
+          bandwidth);
+      if (!admitted) {
+        // ResvErr: release the hops already reserved downstream (closer
+        // to the receiver) and report failure after the error travels
+        // back.
+        for (std::size_t r = 0; r < reversed_index; ++r)
+          release_hop(route[route.size() - 1 - r], flow);
+        const double error_delay =
+            config_.hop_latency * static_cast<double>(reversed_index + 1);
+        *fired = true;
+        queue_->schedule_in(error_delay, [this, done,
+                                          link_id = route[hop]] {
+          RsvpResult result;
+          result.status = SignalStatus::kAdmission;
+          result.failed_link = link_id;
+          result.completed_at = queue_->now();
+          done(result);
+        });
+        return;
+      }
+      link.expiry[flow] = queue_->now() + config_.state_lifetime;
+      schedule_expiry_check(route[hop], flow);
+      if (hop_reserved_) hop_reserved_(flow, route[hop], bandwidth);
+      if (reversed_index + 1 == route.size()) {
+        // Reached the sender side: reservation complete. Confirmation
+        // travels back to the receiver.
+        flow_it->second.reserved = true;
+        *fired = true;
+        queue_->schedule_in(
+            config_.hop_latency * static_cast<double>(route.size()),
+            [this, done] {
+              RsvpResult result;
+              result.status = SignalStatus::kOk;
+              result.completed_at = queue_->now();
+              done(result);
+            });
+        return;
+      }
+      queue_->schedule_in(config_.hop_latency,
+                          [step = weak_step.lock(), reversed_index] {
+                            if (step) (*step)(reversed_index + 1);
+                          });
+    };
+    queue_->schedule_in(path_delay, [hop_step] { (*hop_step)(0); });
+    return;
+  }
+
+  // --- Faulted plane: every hop message crosses the FaultPlane. ---
+  const std::vector<HostId> nodes = route_hosts(it->second);
+
+  // The outcome must reach `done` exactly once; `fired` flips the moment
+  // the outcome is *known* (when its delivery is scheduled), so the
+  // watchdog cannot race a slow ResvErr or confirmation.
+  auto fired = std::make_shared<bool>(false);
+  auto finish = [this, done, fired](SignalStatus status, LinkId link,
+                                    double when) {
+    if (*fired) return;
+    *fired = true;
+    queue_->schedule(when, [this, done, status, link] {
+      RsvpResult result;
+      result.status = status;
+      result.failed_link = link;
+      result.completed_at = queue_->now();
+      done(result);
+    });
+  };
+
+  // Watchdog: signaling that dies silently (lost beyond the retry
+  // budget, crashed router) is bounded here. Abandoning the flow also
+  // releases whatever hops the walk managed to reserve — a reservation
+  // that was never confirmed must not linger until soft-state expiry.
+  queue_->schedule_in(config_.resv_timeout, [this, flow, fired, done] {
+    if (*fired) return;
+    *fired = true;
+    auto flow_it = flows_.find(flow);
+    RsvpResult result;
+    result.status = SignalStatus::kTornDown;
+    if (flow_it != flows_.end() && !flow_it->second.torn_down) {
+      result.status = SignalStatus::kTimeout;
+      for (LinkId link : flow_it->second.route) release_hop(link, flow);
+      flows_.erase(flow_it);
+    }
+    result.completed_at = queue_->now();
+    done(result);
+  });
+
+  // Path train, sender -> receiver, one reliable message per hop. Nominal
+  // arrival times are expressed as origin + k * latency from the train's
+  // anchor (not by accumulating one addition per hop), so that a train no
+  // fault touches lands on times bit-identical to the fault-free plane's
+  // `hop_latency * route.size()`; a hop that deviates (extra delay or a
+  // retransmission) re-anchors the remainder of the train at its actual
+  // delivery time.
+  double anchor = queue_->now();
+  std::size_t anchor_hop = 0;
+  double path_arrival = anchor;
+  for (std::size_t k = 0; k < route.size(); ++k) {
+    const double nominal =
+        config_.hop_latency * static_cast<double>(k + 1 - anchor_hop);
+    const auto plan = faults_->plan_message(route[k], nodes[k], nodes[k + 1],
+                                            anchor, nominal, config_.retry);
+    if (!plan.delivered) {
+      // A scripted outage produces a PathErr back to the requester;
+      // silent losses are left to the watchdog.
+      if (plan.failure == DeliveryFailure::kLinkDown)
+        finish(SignalStatus::kLinkDown, route[k],
+               plan.at + config_.hop_latency * static_cast<double>(k + 1));
+      return;
+    }
+    path_arrival = plan.at;
+    if (plan.at != anchor + nominal) {
+      anchor = plan.at;
+      anchor_hop = k + 1;
+    }
+    // Duplicate Path messages are absorbed: path state is idempotent.
+  }
+
   auto hop_step = std::make_shared<std::function<void(std::size_t)>>();
-  const std::weak_ptr<std::function<void(std::size_t)>> weak_step = hop_step;
-  *hop_step = [this, flow, bandwidth, route, done,
+  const std::weak_ptr<std::function<void(std::size_t)>> weak_step =
+      hop_step;
+  *hop_step = [this, flow, bandwidth, route, nodes, finish,
                weak_step](std::size_t reversed_index) {
     auto flow_it = flows_.find(flow);
     if (flow_it == flows_.end() || flow_it->second.torn_down) return;
     const std::size_t hop = route.size() - 1 - reversed_index;
     LinkState& link = links_[route[hop].value()];
+    // Duplicate Resv delivery: the hop is already reserved; reserving
+    // again would leak bandwidth, so the copy is ignored.
+    if (link.expiry.count(flow) > 0) return;
     const bool admitted = link.broker->reserve(
         queue_->now(), SessionId{static_cast<std::uint32_t>(flow)},
         bandwidth);
     if (!admitted) {
-      // ResvErr: release the hops already reserved downstream (closer to
-      // the receiver) and report failure after the error travels back.
       for (std::size_t r = 0; r < reversed_index; ++r)
         release_hop(route[route.size() - 1 - r], flow);
       const double error_delay =
           config_.hop_latency * static_cast<double>(reversed_index + 1);
-      queue_->schedule_in(error_delay, [this, done, link_id = route[hop]] {
-        RsvpResult result;
-        result.success = false;
-        result.failed_link = link_id;
-        result.completed_at = queue_->now();
-        done(result);
-      });
+      finish(SignalStatus::kAdmission, route[hop],
+             queue_->now() + error_delay);
       return;
     }
     link.expiry[flow] = queue_->now() + config_.state_lifetime;
     schedule_expiry_check(route[hop], flow);
+    if (hop_reserved_) hop_reserved_(flow, route[hop], bandwidth);
     if (reversed_index + 1 == route.size()) {
-      // Reached the sender side: reservation complete. Confirmation
-      // travels back to the receiver.
       flow_it->second.reserved = true;
-      queue_->schedule_in(
-          config_.hop_latency * static_cast<double>(route.size()),
-          [this, done] {
-            RsvpResult result;
-            result.success = true;
-            result.completed_at = queue_->now();
-            done(result);
-          });
+      // Confirmation train back to the receiver. If any hop of it is
+      // lost the receiver never learns of success: the watchdog aborts
+      // and releases, which is the safe interpretation. Anchored like the
+      // Path train so a fault-free confirmation lands bit-identically to
+      // the plain plane's `hop_latency * route.size()` delay.
+      double c_anchor = queue_->now();
+      std::size_t c_anchor_hop = 0;
+      double arrival = c_anchor;
+      for (std::size_t k = 0; k < route.size(); ++k) {
+        const double nominal =
+            config_.hop_latency * static_cast<double>(k + 1 - c_anchor_hop);
+        const auto plan =
+            faults_->plan_message(route[k], nodes[k], nodes[k + 1], c_anchor,
+                                  nominal, config_.retry);
+        if (!plan.delivered) return;
+        arrival = plan.at;
+        if (plan.at != c_anchor + nominal) {
+          c_anchor = plan.at;
+          c_anchor_hop = k + 1;
+        }
+      }
+      finish(SignalStatus::kOk, LinkId{}, arrival);
       return;
     }
-    queue_->schedule_in(config_.hop_latency,
-                        [step = weak_step.lock(), reversed_index] {
-                          if (step) (*step)(reversed_index + 1);
-                        });
+    // Resv message to the next upstream router, crossing the link it is
+    // about to reserve.
+    const auto plan = faults_->plan_message(
+        route[hop - 1], nodes[hop], nodes[hop - 1], queue_->now(),
+        config_.hop_latency, config_.retry);
+    if (!plan.delivered) {
+      if (plan.failure == DeliveryFailure::kLinkDown) {
+        // ResvErr: the walk cannot continue across a dead link. Release
+        // everything reserved so far and report the culprit.
+        for (std::size_t r = 0; r <= reversed_index; ++r)
+          release_hop(route[route.size() - 1 - r], flow);
+        finish(SignalStatus::kLinkDown, route[hop - 1],
+               plan.at + config_.hop_latency *
+                             static_cast<double>(reversed_index + 1));
+      }
+      return;  // silent loss: the watchdog will abandon the flow
+    }
+    queue_->schedule(plan.at, [step = weak_step.lock(), reversed_index] {
+      if (step) (*step)(reversed_index + 1);
+    });
+    if (plan.duplicate)
+      queue_->schedule(plan.duplicate_at,
+                       [step = weak_step.lock(), reversed_index] {
+                         if (step) (*step)(reversed_index + 1);
+                       });
   };
-  queue_->schedule_in(path_delay, [hop_step] { (*hop_step)(0); });
+  queue_->schedule(path_arrival, [hop_step] { (*hop_step)(0); });
 }
 
 void RsvpNetwork::teardown(FlowKey flow) {
   auto it = flows_.find(flow);
   if (it == flows_.end()) return;
   it->second.torn_down = true;
-  for (LinkId link : it->second.route) release_hop(link, flow);
+  if (faults_ == nullptr) {
+    for (LinkId link : it->second.route) release_hop(link, flow);
+  } else {
+    // Per-hop tear messages, modeled as instantaneous but lossy. A lost
+    // tear leaves its hop to soft-state expiry: the flow is erased below,
+    // so refreshes stop and the hop releases within state_lifetime —
+    // teardown is leak-free even when every tear is dropped.
+    const std::vector<HostId> nodes = route_hosts(it->second);
+    const std::vector<LinkId>& route = it->second.route;
+    const double now = queue_->now();
+    for (std::size_t k = 0; k < route.size(); ++k) {
+      const auto plan = faults_->plan_message(
+          route[k], nodes[k], nodes[k + 1], now, 0.0, config_.retry);
+      if (!plan.delivered) continue;
+      if (plan.at <= now)
+        release_hop(route[k], flow);
+      else
+        queue_->schedule(plan.at, [this, link = route[k], flow] {
+          release_hop(link, flow);
+        });
+    }
+  }
   flows_.erase(it);
 }
 
 void RsvpNetwork::stop_refreshing(FlowKey flow) {
   auto it = flows_.find(flow);
-  QRES_REQUIRE(it != flows_.end(), "RsvpNetwork: unknown flow");
+  if (it == flows_.end()) return;  // idempotent: nothing to stop
   it->second.refreshing = false;
 }
 

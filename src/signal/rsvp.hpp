@@ -18,6 +18,16 @@
 //
 // Message propagation is simulated on an EventQueue with a per-hop
 // latency, so setup latency scales with hop count and races are real.
+//
+// Optionally every message crosses an attached FaultPlane: transmissions
+// can be dropped, duplicated or delayed, links and hosts can be scripted
+// down, and reliable hops retransmit with capped exponential backoff
+// (RsvpConfig::retry). A reservation whose signaling dies silently is
+// bounded by the resv_timeout watchdog, which abandons the flow, releases
+// any hops it managed to reserve, and reports kTimeout. Lost tear
+// messages are covered by the soft state itself: the flow stops
+// refreshing, so surviving hops expire within state_lifetime. Without an
+// attached plane the protocol behaves exactly as before.
 #pragma once
 
 #include <functional>
@@ -28,6 +38,7 @@
 
 #include "broker/resource_broker.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/topology.hpp"
 
 namespace qres {
@@ -39,16 +50,38 @@ struct RsvpConfig {
   double hop_latency = 0.05;     ///< message propagation per hop (TU)
   double refresh_period = 3.0;   ///< Path/Resv refresh interval
   double state_lifetime = 10.0;  ///< soft-state expiry without refresh
+  /// Reliable-send policy per hop when a FaultPlane is attached.
+  RetryPolicy retry;
+  /// Watchdog: how long the receiver waits for the reservation outcome
+  /// before abandoning the flow (only armed when a FaultPlane is
+  /// attached; must exceed the fault-free round trip).
+  double resv_timeout = 8.0;
 };
 
+/// Why a signaling operation concluded the way it did. Distinguishes hard
+/// rejections (admission) from retryable faults, so callers can decide to
+/// re-plan around a dead link instead of giving up.
+enum class SignalStatus : std::uint8_t {
+  kOk,         ///< reservation in place, confirmation delivered
+  kAdmission,  ///< a link broker rejected the bandwidth (hard failure)
+  kTimeout,    ///< signaling lost beyond the retry budget (retryable)
+  kLinkDown,   ///< a scripted link outage blocked signaling (retryable)
+  kTornDown,   ///< the flow was torn down while establishing
+};
+
+const char* to_string(SignalStatus status) noexcept;
+
 /// Outcome of a reservation request, delivered asynchronously once the
-/// Resv (or ResvErr) completes.
+/// Resv (or ResvErr) completes — or once the watchdog gives up.
 struct RsvpResult {
-  bool success = false;
-  /// Link on which admission failed (invalid on success).
+  SignalStatus status = SignalStatus::kTimeout;
+  /// Link on which admission failed or the outage hit (invalid
+  /// otherwise).
   LinkId failed_link;
   /// Time the outcome was known at the receiver.
   double completed_at = 0.0;
+
+  bool ok() const noexcept { return status == SignalStatus::kOk; }
 };
 
 class RsvpNetwork {
@@ -58,6 +91,17 @@ class RsvpNetwork {
   RsvpNetwork(const Topology* topology,
               std::vector<double> link_capacities, EventQueue* queue,
               RsvpConfig config = {});
+
+  /// Routes every subsequent message through `faults` (must share the
+  /// event queue and outlive this network). Attach before opening flows.
+  void attach_faults(FaultPlane* faults);
+
+  /// Observers for hop-level accounting (the ReservationAuditor glue):
+  /// `reserved` fires when a hop's bandwidth is reserved, `released`
+  /// whenever a hop lets go of it (tear, expiry, or error rollback).
+  void set_hop_listeners(
+      std::function<void(FlowKey, LinkId, double)> reserved,
+      std::function<void(FlowKey, LinkId)> released);
 
   /// Starts Path signaling for a flow from `sender` to `receiver`; path
   /// state installs hop by hop and is refreshed automatically until
@@ -71,11 +115,16 @@ class RsvpNetwork {
   void request_reservation(FlowKey flow, double bandwidth,
                            std::function<void(const RsvpResult&)> done);
 
-  /// Explicit teardown (PathTear + ResvTear): releases every hop now.
+  /// Explicit teardown (PathTear + ResvTear). Without faults every hop
+  /// releases now; under faults each hop's tear message can be lost, in
+  /// which case that hop's soft state expires on its own (the flow stops
+  /// refreshing the moment it is torn down). Idempotent: unknown or
+  /// already-torn-down flows are a no-op.
   void teardown(FlowKey flow);
 
   /// Stops refreshing a flow's state (simulates endpoint failure); the
   /// soft state then expires and releases within state_lifetime.
+  /// Idempotent: unknown flows are a no-op.
   void stop_refreshing(FlowKey flow);
 
   /// Reserved bandwidth currently held on a link (enforcement view).
@@ -101,6 +150,9 @@ class RsvpNetwork {
     bool torn_down = false;
   };
 
+  /// Host sequence along a flow's route (sender first, receiver last).
+  std::vector<HostId> route_hosts(const Flow& flow) const;
+
   /// Per-link soft reservation state.
   struct LinkState {
     std::unique_ptr<ResourceBroker> broker;
@@ -115,6 +167,9 @@ class RsvpNetwork {
   const Topology* topology_;
   EventQueue* queue_;
   RsvpConfig config_;
+  FaultPlane* faults_ = nullptr;
+  std::function<void(FlowKey, LinkId, double)> hop_reserved_;
+  std::function<void(FlowKey, LinkId)> hop_released_;
   std::vector<LinkState> links_;
   std::map<FlowKey, Flow> flows_;
 };

@@ -1,0 +1,165 @@
+// Deterministic fault-injection plane for the simulated control plane.
+//
+// Every protocol message of the runtime — RSVP Path/Resv/Tear trains
+// (src/signal/rsvp.*), the SessionCoordinator report/dispatch rounds and
+// the DistributedSession forward/backward/reserve passes (src/proxy/*) —
+// can be routed through a FaultPlane, which decides each transmission's
+// fate from a seeded RNG plus scripted outage windows:
+//
+//   * random per-edge faults: drop / duplicate / extra delay, with an
+//     optional per-link override of the default distribution;
+//   * scripted host-crash and link-down windows [from, until): a message
+//     whose endpoint host is crashed or whose link is down at the moment
+//     of a transmission attempt is lost deterministically;
+//   * reliable sends retransmit with capped exponential backoff and give
+//     up after a bounded number of attempts (RetryPolicy); the plan of a
+//     whole retransmission train is computed eagerly (attempt times are
+//     known in advance and window schedules are scripted), so one logical
+//     message costs one scheduled event regardless of how many
+//     retransmissions it needed.
+//
+// Determinism: the plane draws from its own xoshiro stream in a fixed
+// per-attempt order (drop, delay gate, delay value, duplicate gate,
+// duplicate offset), and skips every draw whose probability is zero. A
+// plane with all probabilities zero and no scripted windows therefore
+// draws nothing and delivers every message after exactly its nominal
+// latency — protocols behave identically to running without a plane
+// (differential-tested in tests/fuzz/fault_fuzz.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "proxy/transport.hpp"
+#include "sim/event_queue.hpp"
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+
+/// Per-edge message fault distribution.
+struct FaultConfig {
+  double drop_prob = 0.0;       ///< P[one transmission attempt is lost]
+  double duplicate_prob = 0.0;  ///< P[a delivered message arrives twice]
+  double delay_prob = 0.0;      ///< P[a delivered message is delayed]
+  double delay_max = 0.0;       ///< extra delay ~ U(0, delay_max)
+
+  bool inert() const noexcept {
+    return drop_prob == 0.0 && duplicate_prob == 0.0 && delay_prob == 0.0;
+  }
+};
+
+/// Retransmission policy for reliable sends: the k-th retransmission
+/// waits min(timeout * backoff^k, max_timeout) after the previous attempt.
+struct RetryPolicy {
+  double timeout = 0.5;      ///< timeout before the first retransmission
+  double backoff = 2.0;      ///< multiplier per further retransmission
+  double max_timeout = 4.0;  ///< cap on the per-attempt timeout
+  int max_attempts = 4;      ///< total transmissions before giving up
+};
+
+/// Why a (reliable) message ultimately failed to get through.
+enum class DeliveryFailure : std::uint8_t {
+  kDropped,   ///< every attempt lost to random drops (silent loss)
+  kLinkDown,  ///< the link was inside a scripted down window
+  kHostDown,  ///< an endpoint host was inside a scripted crash window
+};
+
+class FaultPlane : public IControlTransport {
+ public:
+  /// The plane schedules deliveries on `queue` and draws every random
+  /// decision from a stream seeded with `seed`.
+  FaultPlane(EventQueue* queue, std::uint64_t seed,
+             FaultConfig defaults = {});
+
+  void set_default_config(const FaultConfig& config);
+  /// Overrides the fault distribution for one specific link.
+  void set_link_config(LinkId link, const FaultConfig& config);
+
+  /// Scripts a crash window [from, until) for a host: messages to or from
+  /// it are lost, and protocols that poll host_up() see it down.
+  void crash_host(HostId host, double from, double until);
+  /// Scripts a down window [from, until) for a link.
+  void link_down(LinkId link, double from, double until);
+
+  bool host_up(HostId host, double t) const;
+  bool link_up(LinkId link, double t) const;
+
+  /// The computed fate of one logical message (with retransmissions).
+  struct MessagePlan {
+    bool delivered = false;
+    /// Failure cause of the last attempt (meaningful when !delivered).
+    DeliveryFailure failure = DeliveryFailure::kDropped;
+    /// Delivery time when delivered; the sender's give-up time (last
+    /// attempt + its timeout) when not.
+    double at = 0.0;
+    int attempts = 1;  ///< transmissions used (>= 1)
+    bool duplicate = false;
+    double duplicate_at = 0.0;  ///< second copy's delivery time
+  };
+
+  /// Plans one reliable message sent at `now` across `link` (or a direct
+  /// host-to-host control edge when `link` is empty) from `from` to `to`,
+  /// taking `latency` per attempt to propagate. Attempt k is evaluated at
+  /// its own (precomputed) transmission time, so a scripted window that
+  /// opens or closes mid-train is honored. The caller schedules the
+  /// delivery; nothing is scheduled here.
+  MessagePlan plan_message(std::optional<LinkId> link, HostId from,
+                           HostId to, double now, double latency,
+                           const RetryPolicy& policy);
+
+  /// Synchronous fate of one logical message between two hosts for the
+  /// RPC-style protocols that complete within one simulation instant
+  /// (SessionCoordinator / DistributedSession rounds): every attempt is
+  /// evaluated at `now`. Returns the number of transmissions used when it
+  /// got through, 0 when the retry budget was exhausted.
+  int try_message(HostId from, HostId to, double now,
+                  const RetryPolicy& policy);
+
+  /// Retry policy used by the IControlTransport implementation (the
+  /// coordination-protocol RPC rounds).
+  void set_rpc_policy(const RetryPolicy& policy);
+
+  // IControlTransport — lets the proxy-layer protocols cross the plane
+  // without qres_proxy depending on qres_sim.
+  int exchange(HostId from, HostId to, double now) override;
+  bool reachable(HostId host, double t) const override;
+
+  /// Running totals, for benches and fuzz statistics.
+  struct Totals {
+    std::uint64_t messages = 0;         ///< logical messages planned
+    std::uint64_t transmissions = 0;    ///< individual attempts
+    std::uint64_t drops = 0;            ///< attempts lost (any cause)
+    std::uint64_t duplicates = 0;       ///< extra copies delivered
+    std::uint64_t failed_messages = 0;  ///< logical messages never through
+  };
+  const Totals& totals() const noexcept { return totals_; }
+
+  EventQueue* queue() const noexcept { return queue_; }
+
+ private:
+  struct Window {
+    std::uint32_t id;  ///< host or link id value
+    double from;
+    double until;
+  };
+
+  /// One transmission attempt at time `t`; returns delivered, and the
+  /// failure cause through `why` when lost.
+  bool attempt(const FaultConfig& config, std::optional<LinkId> link,
+               HostId from, HostId to, double t, DeliveryFailure* why);
+  const FaultConfig& config_for(std::optional<LinkId> link) const;
+
+  EventQueue* queue_;
+  Rng rng_;
+  RetryPolicy rpc_policy_;
+  FaultConfig default_config_;
+  FlatMap<LinkId, FaultConfig> link_configs_;
+  std::vector<Window> host_windows_;
+  std::vector<Window> link_windows_;
+  Totals totals_;
+};
+
+}  // namespace qres

@@ -1,0 +1,91 @@
+#include "sim/lease_keeper.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+LeaseKeeper::LeaseKeeper(EventQueue* queue, BrokerRegistry* registry,
+                         LeaseConfig config)
+    : queue_(queue), registry_(registry), config_(config) {
+  QRES_REQUIRE(queue != nullptr, "LeaseKeeper: null event queue");
+  QRES_REQUIRE(registry != nullptr, "LeaseKeeper: null registry");
+  QRES_REQUIRE(config_.renew_period > 0.0 &&
+                   config_.lease > config_.renew_period,
+               "LeaseKeeper: lease must exceed the renew period");
+}
+
+void LeaseKeeper::manage(SessionId session, HostId owner,
+                         std::vector<ResourceId> resources) {
+  QRES_REQUIRE(session.valid(), "LeaseKeeper::manage: invalid session");
+  QRES_REQUIRE(!resources.empty(),
+               "LeaseKeeper::manage: nothing to manage");
+  Entry entry;
+  entry.owner = owner;
+  entry.resources = std::move(resources);
+  entry.epoch = next_epoch_++;
+  const std::uint64_t epoch = entry.epoch;
+  sessions_.insert_or_assign(session, std::move(entry));
+  schedule_renewals(session, epoch);
+}
+
+void LeaseKeeper::forget(SessionId session) { sessions_.erase(session); }
+
+void LeaseKeeper::schedule_renewals(SessionId session, std::uint64_t epoch) {
+  queue_->schedule_in(config_.renew_period, [this, session, epoch] {
+    renewal_tick(session, epoch);
+  });
+}
+
+void LeaseKeeper::renewal_tick(SessionId session, std::uint64_t epoch) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second.epoch != epoch) return;
+  const double now = queue_->now();
+  // Copy: the expiry sweep below may erase entries and invalidate `it`.
+  const Entry entry = it->second;
+
+  bool lost = false;
+  if (faults_ != nullptr && entry.owner.valid() &&
+      !faults_->host_up(entry.owner, now)) {
+    // The owning proxy is crashed: no renewals go out this period. The
+    // loop keeps ticking — the host may come back before the lease runs
+    // out, and if it does not, the renewals below start failing.
+  } else {
+    for (ResourceId resource : entry.resources) {
+      if (!registry_->broker(resource).renew_lease(now, session,
+                                                   config_.lease))
+        lost = true;
+    }
+  }
+
+  // Sweep the session's brokers so expiry happens on schedule even when
+  // no admission decision would trigger the lazy path. Any session the
+  // sweep reclaims (this one or another sharing the brokers) is reported.
+  std::vector<SessionId> expired;
+  for (ResourceId resource : entry.resources)
+    registry_->broker(resource).expire_due(now, &expired);
+  std::sort(expired.begin(), expired.end(),
+            [](SessionId a, SessionId b) { return a.value() < b.value(); });
+  expired.erase(std::unique(expired.begin(), expired.end()),
+                expired.end());
+  for (SessionId gone : expired) {
+    if (gone == session) lost = true;
+    if (sessions_.erase(gone) && expiry_listener_ && gone != session)
+      expiry_listener_(gone);
+  }
+
+  if (lost) {
+    // Some broker no longer honors this session's lease: the holdings
+    // (wherever they survived) are released to keep accounting whole,
+    // and the session leaves management.
+    for (ResourceId resource : entry.resources)
+      registry_->broker(resource).release(now, session);
+    sessions_.erase(session);
+    if (expiry_listener_) expiry_listener_(session);
+    return;
+  }
+  schedule_renewals(session, epoch);
+}
+
+}  // namespace qres

@@ -1,0 +1,85 @@
+// Soft-state renewal agent for leased host reservations.
+//
+// RSVP keeps link state alive with periodic refreshes; the LeaseKeeper
+// plays the same role for host reservations made in lease mode
+// (IBroker::reserve_leased). Each managed session has an owning proxy
+// host; every renew_period the keeper sends one renewal per leased
+// resource — unless the owner host is inside a scripted crash window of
+// the attached FaultPlane, in which case the renewals are simply not
+// sent. A crashed proxy therefore stops renewing and its holdings expire
+// at the brokers within one lease, instead of leaking capacity forever.
+//
+// The keeper also performs the expiry sweeps: brokers reclaim lazily (on
+// their next admission decision), but a simulation with no further
+// arrivals still needs expired capacity returned and accounted, so each
+// renewal tick sweeps the session's brokers and reports reclaimed
+// sessions to the expiry listener (typically the ReservationAuditor glue).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "broker/registry.hpp"
+#include "core/ids.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
+#include "util/flat_map.hpp"
+
+namespace qres {
+
+struct LeaseConfig {
+  double lease = 10.0;         ///< holding lifetime without renewal
+  double renew_period = 3.0;   ///< renewal interval (must be < lease)
+};
+
+class LeaseKeeper {
+ public:
+  LeaseKeeper(EventQueue* queue, BrokerRegistry* registry,
+              LeaseConfig config = {});
+
+  /// Renewals from a crashed owner host are suppressed while `faults`
+  /// says the host is down. Without a plane every renewal goes through.
+  void attach_faults(FaultPlane* faults) { faults_ = faults; }
+
+  const LeaseConfig& config() const noexcept { return config_; }
+
+  /// Starts renewing `session`'s leases on `resources`; the session's
+  /// liveness is tied to `owner` (the proxy host that reserved them).
+  void manage(SessionId session, HostId owner,
+              std::vector<ResourceId> resources);
+
+  /// Stops renewing (clean teardown path releases the holdings itself).
+  void forget(SessionId session);
+
+  bool managing(SessionId session) const noexcept {
+    return sessions_.contains(session);
+  }
+  std::size_t managed_count() const noexcept { return sessions_.size(); }
+
+  /// Fires once per session whose leases expired at the brokers (the
+  /// session is no longer managed afterwards).
+  void set_expiry_listener(std::function<void(SessionId)> listener) {
+    expiry_listener_ = std::move(listener);
+  }
+
+ private:
+  struct Entry {
+    HostId owner;
+    std::vector<ResourceId> resources;
+    std::uint64_t epoch = 0;  ///< invalidates stale renewal events
+  };
+
+  void schedule_renewals(SessionId session, std::uint64_t epoch);
+  void renewal_tick(SessionId session, std::uint64_t epoch);
+
+  EventQueue* queue_;
+  BrokerRegistry* registry_;
+  LeaseConfig config_;
+  FaultPlane* faults_ = nullptr;
+  FlatMap<SessionId, Entry> sessions_;
+  std::function<void(SessionId)> expiry_listener_;
+  std::uint64_t next_epoch_ = 1;
+};
+
+}  // namespace qres

@@ -1,0 +1,280 @@
+// Coordination protocols under control-plane faults: unreachable proxies,
+// replanning around dead hosts, leaked rollbacks reclaimed by leases. A
+// scripted IControlTransport makes each failure deterministic instead of
+// seed-hunted.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "../test_helpers.hpp"
+#include "proxy/distributed.hpp"
+#include "proxy/qos_proxy.hpp"
+
+namespace qres {
+namespace {
+
+using test::rv;
+
+/// Deterministic control plane: named hosts are down, and `deny` can veto
+/// individual exchanges (e.g. "the third RPC of this establishment").
+struct ScriptedTransport final : public IControlTransport {
+  std::set<std::uint32_t> down;
+  std::function<bool(HostId, HostId)> deny;
+  int calls = 0;
+
+  int exchange(HostId from, HostId to, double /*now*/) override {
+    ++calls;
+    if (down.count(to.value()) > 0) return 0;
+    if (deny && deny(from, to)) return 0;
+    return 1;
+  }
+  bool reachable(HostId host, double /*t*/) const override {
+    return down.count(host.value()) == 0;
+  }
+};
+
+// One component, two output levels: the preferred level runs on host 1's
+// cpu, the degraded fallback on host 2's. The main proxy is host 0.
+struct Fixture {
+  BrokerRegistry registry;
+  ResourceId cpu1 =
+      registry.add_resource("cpu1", ResourceKind::kCpu, HostId{1}, 100.0);
+  ResourceId cpu2 =
+      registry.add_resource("cpu2", ResourceKind::kCpu, HostId{2}, 100.0);
+  ServiceDefinition service = make_service();
+  SessionCoordinator coordinator{&service, {cpu1, cpu2}, &registry};
+  ScriptedTransport transport;
+  BasicPlanner planner;
+  Rng rng{7};
+  HostId main_host{0};
+
+  ServiceDefinition make_service() {
+    TranslationTable t;
+    t.set(0, 0, rv({{cpu1, 20.0}}));
+    t.set(0, 1, rv({{cpu2, 20.0}}));
+    return test::make_chain({{2, t}});
+  }
+};
+
+TEST(FaultedCoordinator, AttachContracts) {
+  Fixture f;
+  EXPECT_THROW(f.coordinator.attach_faults(nullptr, f.main_host),
+               ContractViolation);
+  EXPECT_THROW(f.coordinator.attach_faults(&f.transport, HostId{}),
+               ContractViolation);
+  EXPECT_THROW(f.coordinator.enable_leases(0.0), ContractViolation);
+}
+
+TEST(FaultedCoordinator, PerfectTransportIsInvisible) {
+  Fixture plain;
+  const EstablishResult expected =
+      plain.coordinator.establish(SessionId{1}, 1.0, plain.planner, plain.rng);
+
+  Fixture f;
+  f.coordinator.attach_faults(&f.transport, f.main_host);
+  const EstablishResult result =
+      f.coordinator.establish(SessionId{1}, 1.0, f.planner, f.rng);
+
+  ASSERT_TRUE(expected.success);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.plan->end_to_end_rank, expected.plan->end_to_end_rank);
+  EXPECT_EQ(result.holdings, expected.holdings);
+  EXPECT_EQ(result.stats.unreachable_proxies, 0u);
+  EXPECT_EQ(result.stats.retransmissions, 0u);
+  EXPECT_EQ(f.registry.broker(f.cpu1).available(),
+            plain.registry.broker(f.cpu1).available());
+  // Phase 1 polled both remote owner hosts, phase 3 dispatched one segment.
+  EXPECT_EQ(f.transport.calls, 3);
+}
+
+TEST(FaultedCoordinator, Phase1UnreachableHostIsPlannedAround) {
+  Fixture f;
+  f.coordinator.attach_faults(&f.transport, f.main_host);
+  f.transport.down.insert(1);  // host 1 (cpu1) never reports
+  const EstablishResult result =
+      f.coordinator.establish(SessionId{1}, 1.0, f.planner, f.rng);
+  // No report means zero observed availability: the planner routes to the
+  // degraded level on host 2 instead of reserving blind.
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.plan->end_to_end_rank, 1u);
+  EXPECT_EQ(result.stats.unreachable_proxies, 1u);
+  EXPECT_EQ(f.registry.broker(f.cpu1).available(), 100.0);
+  EXPECT_EQ(f.registry.broker(f.cpu2).available(), 80.0);
+}
+
+TEST(FaultedCoordinator, DispatchFailureTriggersReplanAroundDeadHost) {
+  Fixture f;
+  f.coordinator.attach_faults(&f.transport, f.main_host);
+  // Host 1 answers the phase-1 poll (calls 1, 2) but dies before the
+  // phase-3 dispatch (call 3): the preferred plan fails with kUnreachable
+  // and the recovery round must re-plan onto host 2.
+  f.transport.deny = [&f](HostId, HostId to) {
+    return f.transport.calls >= 3 && to == HostId{1};
+  };
+  const EstablishResult result = f.coordinator.establish_with_recovery(
+      SessionId{1}, 1.0, f.planner, f.rng);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.outcome, EstablishOutcome::kOk);
+  EXPECT_EQ(result.stats.replans, 1u);
+  EXPECT_EQ(result.plan->end_to_end_rank, 1u);  // degraded QoS, but live
+  // One dispatch failure plus the round-2 poll of the now-dead host.
+  EXPECT_EQ(result.stats.unreachable_proxies, 2u);
+  EXPECT_TRUE(result.leaked.empty());
+  EXPECT_EQ(f.registry.broker(f.cpu1).available(), 100.0);
+  EXPECT_EQ(f.registry.broker(f.cpu2).available(), 80.0);
+}
+
+TEST(FaultedCoordinator, ReplanBudgetExhaustsIntoNoPlan) {
+  Fixture f;
+  f.coordinator.attach_faults(&f.transport, f.main_host);
+  // Every phase-3 dispatch is denied (calls 3 and 6); once both hosts are
+  // marked dead the third round has nothing left to plan with.
+  f.transport.deny = [&f](HostId, HostId) {
+    return f.transport.calls == 3 || f.transport.calls == 6;
+  };
+  const EstablishResult result = f.coordinator.establish_with_recovery(
+      SessionId{1}, 1.0, f.planner, f.rng);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.outcome, EstablishOutcome::kNoPlan);
+  EXPECT_EQ(result.stats.replans, 2u);
+  EXPECT_EQ(f.registry.broker(f.cpu1).available(), 100.0);
+  EXPECT_EQ(f.registry.broker(f.cpu2).available(), 100.0);
+}
+
+TEST(FaultedCoordinator, UnreachableRollbackLeaksUntilTheLeaseExpires) {
+  // Two-segment plan on two hosts. cpu1 reserves, cpu2 is rejected (its
+  // observation was stale), and by rollback time host 1 is unreachable:
+  // the cpu1 holding leaks — but it was leased, so the broker reclaims it.
+  BrokerRegistry registry;
+  const ResourceId cpu1 =
+      registry.add_resource("cpu1", ResourceKind::kCpu, HostId{1}, 100.0);
+  const ResourceId cpu2 =
+      registry.add_resource("cpu2", ResourceKind::kCpu, HostId{2}, 100.0);
+  TranslationTable t0, t1;
+  t0.set(0, 0, rv({{cpu1, 20.0}}));
+  t1.set(0, 0, rv({{cpu2, 30.0}}));
+  ServiceDefinition service = test::make_chain({{1, t0}, {1, t1}});
+  SessionCoordinator coordinator(&service, {cpu1, cpu2}, &registry);
+  ScriptedTransport transport;
+  coordinator.attach_faults(&transport, HostId{0});
+  coordinator.enable_leases(5.0);
+  registry.broker(cpu1).enable_expiry_log();
+
+  // cpu2 filled at t=1; the main proxy's observation of it is 1.5 TU old,
+  // so planning at t=2 still sees it empty and the reservation bounces.
+  ASSERT_TRUE(registry.broker(cpu2).reserve(1.0, SessionId{99}, 90.0));
+  const auto staleness = [cpu2](ResourceId id) {
+    return id == cpu2 ? 1.5 : 0.0;
+  };
+  // Calls 1-4 (polls + both dispatches) succeed; call 5 is the rollback
+  // release to host 1, which is denied.
+  transport.deny = [&transport](HostId, HostId to) {
+    return transport.calls >= 5 && to == HostId{1};
+  };
+
+  BasicPlanner planner;
+  Rng rng(7);
+  const SessionId session{1};
+  const EstablishResult result = coordinator.establish(
+      session, 2.0, planner, rng, 1.0, staleness);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.outcome, EstablishOutcome::kAdmission);
+  EXPECT_EQ(result.failed_resource, cpu2);
+  ASSERT_EQ(result.leaked.size(), 1u);
+  EXPECT_EQ(result.leaked.front().first, cpu1);
+  EXPECT_EQ(result.leaked.front().second, 20.0);
+  EXPECT_EQ(result.stats.reservations_rolled_back, 0u);
+  EXPECT_EQ(registry.broker(cpu1).held_by(session), 20.0);
+
+  // The leak is bounded by the lease: once it runs out the broker
+  // reclaims, and the expiry log reports the session to the accountant.
+  EXPECT_EQ(registry.broker(cpu1).expire_due(2.0 + 5.0 + 0.1, nullptr),
+            20.0);
+  EXPECT_EQ(registry.broker(cpu1).available(), 100.0);
+  std::vector<SessionId> reclaimed;
+  registry.broker(cpu1).take_expired(&reclaimed);
+  ASSERT_EQ(reclaimed.size(), 1u);
+  EXPECT_EQ(reclaimed.front(), session);
+}
+
+TEST(FaultedDistributedSession, UnreachableNeighborKillsTheForwardPass) {
+  BrokerRegistry registry;
+  const ResourceId cpu1 =
+      registry.add_resource("cpu1", ResourceKind::kCpu, HostId{1}, 100.0);
+  const ResourceId cpu2 =
+      registry.add_resource("cpu2", ResourceKind::kCpu, HostId{2}, 100.0);
+  TranslationTable t0, t1;
+  t0.set(0, 0, rv({{cpu1, 20.0}}));
+  t1.set(0, 0, rv({{cpu2, 30.0}}));
+  ServiceDefinition service = test::make_chain({{1, t0}, {1, t1}});
+  service.component(0).set_host(HostId{1});
+  service.component(1).set_host(HostId{2});
+  DistributedSession session(&service, {{cpu1}, {cpu2}}, &registry);
+  ScriptedTransport transport;
+  session.attach_faults(&transport);
+
+  // Perfect transport first: the protocol runs and reserves both segments.
+  EstablishResult ok = session.establish(SessionId{1}, 1.0);
+  ASSERT_TRUE(ok.success);
+  EXPECT_EQ(ok.stats.unreachable_proxies, 0u);
+  session.teardown(ok.holdings, SessionId{1}, 2.0);
+
+  // Now the downstream proxy is dead: the forward hop cannot be carried.
+  transport.down.insert(2);
+  const EstablishResult result = session.establish(SessionId{2}, 3.0);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.outcome, EstablishOutcome::kUnreachable);
+  EXPECT_EQ(result.failed_resource, cpu2);
+  EXPECT_TRUE(result.holdings.empty());
+  EXPECT_EQ(registry.broker(cpu1).available(), 100.0);
+  EXPECT_EQ(registry.broker(cpu2).available(), 100.0);
+}
+
+TEST(FaultedDistributedSession, UnreachableRollbackLeaksLeasedSegment) {
+  // Three proxies on three hosts. The reserve pass (driven by the sink on
+  // host 3) commits host 1's segment, then host 2 becomes unreachable —
+  // and so does host 1 by rollback time. Host 1's committed segment
+  // leaks, leased, until the broker reclaims it.
+  BrokerRegistry registry;
+  const ResourceId cpu1 =
+      registry.add_resource("cpu1", ResourceKind::kCpu, HostId{1}, 100.0);
+  const ResourceId cpu2 =
+      registry.add_resource("cpu2", ResourceKind::kCpu, HostId{2}, 100.0);
+  const ResourceId cpu3 =
+      registry.add_resource("cpu3", ResourceKind::kCpu, HostId{3}, 100.0);
+  TranslationTable t0, t1, t2;
+  t0.set(0, 0, rv({{cpu1, 20.0}}));
+  t1.set(0, 0, rv({{cpu2, 30.0}}));
+  t2.set(0, 0, rv({{cpu3, 10.0}}));
+  ServiceDefinition service = test::make_chain({{1, t0}, {1, t1}, {1, t2}});
+  service.component(0).set_host(HostId{1});
+  service.component(1).set_host(HostId{2});
+  service.component(2).set_host(HostId{3});
+  DistributedSession session(&service, {{cpu1}, {cpu2}, {cpu3}}, &registry);
+  ScriptedTransport transport;
+  session.attach_faults(&transport);
+  session.enable_leases(4.0);
+
+  // Forward hops (calls 1, 2) and backward hops (calls 3, 4) go through.
+  // Reserve pass: commit to host 1 is call 5 (allowed, reserves cpu1);
+  // commit to host 2 is call 6 (denied -> kUnreachable); the rollback
+  // release to host 1 is call 7 (denied -> the segment leaks).
+  transport.deny = [&transport](HostId, HostId) {
+    return transport.calls >= 6;
+  };
+
+  const SessionId s{1};
+  const EstablishResult result = session.establish(s, 1.0);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.outcome, EstablishOutcome::kUnreachable);
+  ASSERT_EQ(result.leaked.size(), 1u);
+  EXPECT_EQ(result.leaked.front().first, cpu1);
+  EXPECT_EQ(registry.broker(cpu1).held_by(s), 20.0);
+  EXPECT_EQ(registry.broker(cpu1).expire_due(1.0 + 4.0 + 0.1, nullptr),
+            20.0);
+  EXPECT_EQ(registry.broker(cpu1).available(), 100.0);
+}
+
+}  // namespace
+}  // namespace qres

@@ -76,7 +76,7 @@ TEST(AsyncEstablish, PlansAgainstSignaledAvailability) {
   f.network.open_path(99, f.b, f.c);
   bool pre = false;
   f.network.request_reservation(
-      99, 30.0, [&](const RsvpResult& r) { pre = r.success; });
+      99, 30.0, [&](const RsvpResult& r) { pre = r.ok(); });
   f.queue.run_until(1.0);
   ASSERT_TRUE(pre);
 

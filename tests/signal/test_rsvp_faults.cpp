@@ -1,0 +1,284 @@
+// RSVP signaling under the FaultPlane: loss, outages, crashes, teardown
+// races, and the soft-state conservation the ReservationAuditor checks.
+#include <gtest/gtest.h>
+
+#include "sim/auditor.hpp"
+#include "signal/rsvp.hpp"
+
+namespace qres {
+namespace {
+
+// The 4-node chain A - B - C - D from test_rsvp.cpp, plus a fault plane.
+struct FaultedNet {
+  Topology topology;
+  HostId a = topology.add_host("A");
+  HostId b = topology.add_host("B");
+  HostId c = topology.add_host("C");
+  HostId d = topology.add_host("D");
+  LinkId ab = topology.add_link("ab", a, b);
+  LinkId bc = topology.add_link("bc", b, c);
+  LinkId cd = topology.add_link("cd", c, d);
+  EventQueue queue;
+  FaultPlane plane;
+  RsvpNetwork net;
+
+  explicit FaultedNet(FaultConfig faults = {}, std::uint64_t seed = 1,
+                      RsvpConfig config = {})
+      : plane(&queue, seed, faults),
+        net(&topology, {100.0, 60.0, 100.0}, &queue, config) {
+    net.attach_faults(&plane);
+  }
+
+  // `outcome` must outlive the queue run that completes the signaling.
+  void establish(FlowKey flow, double bandwidth, RsvpResult* outcome) {
+    net.open_path(flow, a, d);
+    net.request_reservation(
+        flow, bandwidth, [outcome](const RsvpResult& r) { *outcome = r; });
+  }
+
+  double total_reserved() const {
+    return net.link_reserved(ab) + net.link_reserved(bc) +
+           net.link_reserved(cd);
+  }
+};
+
+TEST(RsvpFaults, AttachContracts) {
+  Topology t;
+  const HostId x = t.add_host("X");
+  t.add_link("xy", x, t.add_host("Y"));
+  EventQueue q;
+  RsvpNetwork net(&t, {1.0}, &q);
+  EXPECT_THROW(net.attach_faults(nullptr), ContractViolation);
+  EventQueue other;
+  FaultPlane foreign(&other, 1);
+  EXPECT_THROW(net.attach_faults(&foreign), ContractViolation);
+  net.open_path(1, x, HostId{1});
+  FaultPlane plane(&q, 1);
+  EXPECT_THROW(net.attach_faults(&plane), ContractViolation);  // too late
+}
+
+TEST(RsvpFaults, ZeroFaultPlaneIsInvisible) {
+  // An attached plane with all-zero probabilities must not perturb the
+  // protocol at all: outcomes and completion times are bit-identical to
+  // the plain network's.
+  Topology topo;
+  const HostId a = topo.add_host("A");
+  const HostId b = topo.add_host("B");
+  const HostId c = topo.add_host("C");
+  const HostId d = topo.add_host("D");
+  const LinkId bc = topo.add_link("bc", b, c);
+  topo.add_link("ab", a, b);
+  topo.add_link("cd", c, d);
+
+  auto run_one = [&](RsvpNetwork& net, EventQueue& queue) {
+    RsvpResult outcome;
+    net.open_path(1, a, d);
+    net.request_reservation(1, 40.0,
+                            [&outcome](const RsvpResult& r) { outcome = r; });
+    queue.run_until(2.0);
+    return outcome;
+  };
+
+  EventQueue plain_q;
+  RsvpNetwork plain(&topo, {60.0, 100.0, 100.0}, &plain_q);
+  const RsvpResult plain_r = run_one(plain, plain_q);
+
+  EventQueue faulted_q;
+  FaultPlane inert(&faulted_q, 99);
+  RsvpNetwork faulted(&topo, {60.0, 100.0, 100.0}, &faulted_q);
+  faulted.attach_faults(&inert);
+  const RsvpResult faulted_r = run_one(faulted, faulted_q);
+
+  ASSERT_TRUE(plain_r.ok());
+  ASSERT_TRUE(faulted_r.ok());
+  EXPECT_EQ(faulted_r.completed_at, plain_r.completed_at);  // exact
+  EXPECT_EQ(faulted.link_reserved(bc), plain.link_reserved(bc));
+  EXPECT_EQ(inert.totals().drops, 0u);
+  EXPECT_EQ(inert.totals().duplicates, 0u);
+}
+
+TEST(RsvpFaults, DropEverythingHitsTheWatchdog) {
+  FaultConfig all_lost;
+  all_lost.drop_prob = 1.0;
+  FaultedNet n(all_lost);
+  RsvpResult outcome;
+  n.establish(1, 10.0, &outcome);
+  n.queue.run_until(9.0);
+  EXPECT_EQ(outcome.status, SignalStatus::kTimeout);
+  EXPECT_EQ(outcome.completed_at, 8.0);  // exactly resv_timeout
+  EXPECT_EQ(n.total_reserved(), 0.0);
+  n.net.teardown(1);  // the watchdog already erased it: no-op
+}
+
+TEST(RsvpFaults, CrashedRouterTimesOutSilently) {
+  FaultedNet n;
+  n.plane.crash_host(n.b, 0.0, 100.0);
+  RsvpResult outcome;
+  n.establish(1, 10.0, &outcome);
+  n.queue.run_until(9.0);
+  EXPECT_EQ(outcome.status, SignalStatus::kTimeout);
+  EXPECT_EQ(n.total_reserved(), 0.0);
+}
+
+TEST(RsvpFaults, LinkDownOnThePathReportsTheCulprit) {
+  FaultedNet n;
+  n.plane.link_down(n.bc, 0.0, 100.0);
+  RsvpResult outcome;
+  n.establish(1, 10.0, &outcome);
+  n.queue.run_until(9.0);
+  EXPECT_EQ(outcome.status, SignalStatus::kLinkDown);
+  EXPECT_EQ(outcome.failed_link, n.bc);
+  EXPECT_EQ(n.total_reserved(), 0.0);
+  n.net.teardown(1);
+}
+
+TEST(RsvpFaults, LinkDownMidWalkRollsBackReservedHops) {
+  // The Path train squeaks through before the outage starts; the Resv
+  // walk then reserves cd and bc but cannot cross ab. Both reserved hops
+  // must roll back.
+  RsvpConfig config;
+  config.resv_timeout = 20.0;
+  FaultedNet n(FaultConfig{}, 1, config);
+  n.plane.link_down(n.ab, 0.2, 100.0);
+  RsvpResult outcome;
+  n.establish(1, 10.0, &outcome);
+  n.queue.run_until(21.0);
+  EXPECT_EQ(outcome.status, SignalStatus::kLinkDown);
+  EXPECT_EQ(outcome.failed_link, n.ab);
+  EXPECT_EQ(n.total_reserved(), 0.0);
+  EXPECT_EQ(n.net.link_flow_count(n.cd), 0u);
+  n.net.teardown(1);
+}
+
+TEST(RsvpFaults, RetriesRecoverFromTransientLoss) {
+  FaultConfig lossy;
+  lossy.drop_prob = 0.25;
+  FaultedNet n(lossy, 5);
+  int successes = 0;
+  for (FlowKey f = 1; f <= 10; ++f) {
+    n.net.open_path(f, n.a, n.d);
+    n.net.request_reservation(f, 1.0, [&successes](const RsvpResult& r) {
+      if (r.ok()) ++successes;
+    });
+  }
+  n.queue.run_until(12.0);
+  // Per-hop retransmission makes end-to-end success the norm even at 25%
+  // loss; whatever failed was cleaned up by the watchdog, so the links
+  // hold exactly one unit per confirmed flow.
+  EXPECT_GE(successes, 7);
+  EXPECT_EQ(n.net.link_reserved(n.bc), static_cast<double>(successes));
+  EXPECT_GT(n.plane.totals().drops, 0u);
+  EXPECT_GT(n.plane.totals().transmissions, n.plane.totals().messages);
+}
+
+TEST(RsvpFaults, DoubleTeardownUnderFaultsIsIdempotentAndLeakFree) {
+  FaultConfig lossy;
+  lossy.drop_prob = 0.3;
+  FaultedNet n(lossy, 3);
+  RsvpResult outcome;
+  n.establish(1, 25.0, &outcome);
+  n.queue.run_until(6.0);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GT(n.total_reserved(), 0.0);
+  n.net.teardown(1);
+  n.net.teardown(1);        // regression: double teardown is a no-op
+  n.net.stop_refreshing(1);  // and so is stopping a torn-down flow
+  // Lost tear messages leave hops to soft-state expiry; within one
+  // state_lifetime everything must be released either way.
+  n.queue.run_until(6.0 + 10.0 + 0.5);
+  EXPECT_EQ(n.total_reserved(), 0.0);
+  EXPECT_EQ(n.net.link_flow_count(n.ab), 0u);
+  EXPECT_EQ(n.net.link_flow_count(n.bc), 0u);
+  EXPECT_EQ(n.net.link_flow_count(n.cd), 0u);
+}
+
+TEST(RsvpFaults, RefreshLossRaceExpiresCleanlyAndBalancesTheAuditor) {
+  // The soft-state race: a flow establishes, then every refresh is lost.
+  // Each hop must expire on its own deadline, release its bandwidth, and
+  // the auditor's hop model must drain to empty — no leaked capacity,
+  // no double release.
+  FaultedNet n;
+  BrokerRegistry registry;  // no host resources in this scenario
+  ReservationAuditor auditor(&registry);
+  n.net.set_hop_listeners(
+      [&auditor](FlowKey flow, LinkId link, double bw) {
+        auditor.on_hop_reserved(flow, link, bw);
+      },
+      [&auditor](FlowKey flow, LinkId link) {
+        auditor.on_hop_released(flow, link);
+      });
+
+  RsvpResult outcome;
+  n.establish(1, 30.0, &outcome);
+  n.queue.run_until(1.0);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(auditor.expected_link_reserved(n.bc), 30.0);
+
+  // From here on the network partitions: every refresh transmission is
+  // dropped, so no hop's deadline ever extends again.
+  FaultConfig partition;
+  partition.drop_prob = 1.0;
+  n.plane.set_default_config(partition);
+
+  n.queue.run_until(20.0);
+  EXPECT_EQ(n.total_reserved(), 0.0);
+  EXPECT_EQ(n.net.link_flow_count(n.bc), 0u);
+  EXPECT_TRUE(auditor.model_empty());
+  const auto violations = auditor.audit_links(
+      [&n](LinkId link) { return n.net.link_reserved(link); },
+      [&n](LinkId link) { return n.net.link_flow_count(link); }, 3);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(RsvpFaults, TeardownDuringEstablishmentReportsTornDown) {
+  FaultedNet n;
+  RsvpResult outcome;
+  n.establish(1, 10.0, &outcome);
+  n.net.teardown(1);  // before the Resv walk even starts
+  n.queue.run_until(9.0);
+  EXPECT_EQ(outcome.status, SignalStatus::kTornDown);
+  EXPECT_EQ(n.total_reserved(), 0.0);
+}
+
+TEST(RsvpFaults, PlainPathTeardownRaceStillCompletesTheCallback) {
+  // Fuzz-found regression (seed 8858939286256393568): with no fault
+  // plane attached, a teardown racing the in-flight Resv walk made the
+  // walk bail out without ever invoking the completion callback. Both
+  // paths now share the watchdog contract: exactly one completion,
+  // kTornDown at resv_timeout.
+  Topology topo;
+  const HostId a = topo.add_host("A");
+  const HostId b = topo.add_host("B");
+  const HostId c = topo.add_host("C");
+  topo.add_link("ab", a, b);
+  topo.add_link("bc", b, c);
+  EventQueue queue;
+  RsvpNetwork net(&topo, {100.0, 100.0}, &queue);  // plain: no plane
+  int completions = 0;
+  RsvpResult outcome;
+  net.open_path(1, a, c);
+  net.request_reservation(1, 10.0, [&](const RsvpResult& r) {
+    ++completions;
+    outcome = r;
+  });
+  // The Path train is still travelling (2 hops x 0.05 TU) when the flow
+  // is torn down.
+  queue.schedule(0.07, [&net] { net.teardown(1); });
+  queue.run_all();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(outcome.status, SignalStatus::kTornDown);
+  EXPECT_EQ(outcome.completed_at, 8.0);  // the shared watchdog deadline
+  EXPECT_EQ(net.link_reserved(LinkId{0}) + net.link_reserved(LinkId{1}),
+            0.0);
+}
+
+TEST(RsvpFaults, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(SignalStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(SignalStatus::kAdmission), "admission");
+  EXPECT_STREQ(to_string(SignalStatus::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(SignalStatus::kLinkDown), "link-down");
+  EXPECT_STREQ(to_string(SignalStatus::kTornDown), "torn-down");
+}
+
+}  // namespace
+}  // namespace qres

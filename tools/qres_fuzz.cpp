@@ -9,16 +9,25 @@
 //   * extracted plans are structurally well-formed,
 //   * ResourceBroker accounting/history/alpha match an independent model.
 //
+// With --mode faults (see tests/fuzz/fault_fuzz.*) each iteration instead
+// derives a random fault schedule and proves:
+//   * zero-fault runs are bit-identical to running without a FaultPlane,
+//   * the ReservationAuditor model matches broker/link state under faults,
+//   * after teardown + lease expiry not one unit of capacity leaked.
+//
 // Usage:
-//   qres_fuzz [--iterations N] [--seed S] [--repro-seed X] [--verbose]
+//   qres_fuzz [--mode planner|faults|all] [--iterations N] [--seed S]
+//             [--repro-seed X] [--verbose]
 //
 // Each iteration derives its own 64-bit seed from the master seed; on
 // failure the iteration seed is printed. Reproduce a single failing
-// iteration with `qres_fuzz --repro-seed <seed>`. Exit status is the
-// number of failing iterations (capped at 125), so a clean run exits 0.
+// iteration with `qres_fuzz [--mode faults] --repro-seed <seed>`. Exit
+// status is the number of failing iterations (capped at 125), so a clean
+// run exits 0.
 //
 // Designed to run under ASan/UBSan/TSan (see CMakePresets.json and the CI
-// workflow); a bounded run is also registered as the ctest `qres_fuzz_smoke`.
+// workflow); bounded runs are also registered as the ctest smokes
+// `qres_fuzz_smoke` and `qres_fault_fuzz_smoke`.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +35,7 @@
 #include <exception>
 #include <string>
 
+#include "../tests/fuzz/fault_fuzz.hpp"
 #include "../tests/fuzz/fuzz_lib.hpp"
 #include "util/rng.hpp"
 
@@ -33,8 +43,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--iterations N] [--seed S] [--repro-seed X] "
-               "[--verbose]\n",
+               "usage: %s [--mode planner|faults|all] [--iterations N] "
+               "[--seed S] [--repro-seed X] [--verbose]\n",
                argv0);
 }
 
@@ -46,6 +56,8 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool have_repro = false;
   std::uint64_t repro_seed = 0;
+  bool run_planner = true;
+  bool run_faults = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,7 +75,27 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
     };
-    if (arg == "--iterations" || arg == "-n") {
+    if (arg == "--mode") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      const std::string mode = argv[++i];
+      if (mode == "planner") {
+        run_planner = true;
+        run_faults = false;
+      } else if (mode == "faults") {
+        run_planner = false;
+        run_faults = true;
+      } else if (mode == "all") {
+        run_planner = true;
+        run_faults = true;
+      } else {
+        std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+        usage(argv[0]);
+        std::exit(2);
+      }
+    } else if (arg == "--iterations" || arg == "-n") {
       next_u64(&iterations);
     } else if (arg == "--seed" || arg == "-s") {
       next_u64(&master_seed);
@@ -83,6 +115,7 @@ int main(int argc, char** argv) {
   }
 
   qres::fuzz::FuzzStats stats;
+  qres::fuzz::FaultFuzzStats fault_stats;
   std::uint64_t failures = 0;
   qres::Rng master(master_seed);
 
@@ -91,7 +124,9 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = have_repro ? repro_seed : master();
     std::string failure;
     try {
-      failure = qres::fuzz::run_iteration(seed, &stats);
+      if (run_planner) failure = qres::fuzz::run_iteration(seed, &stats);
+      if (failure.empty() && run_faults)
+        failure = qres::fuzz::run_fault_iteration(seed, &fault_stats);
     } catch (const std::exception& e) {
       failure = "seed " + std::to_string(seed) +
                 ": unexpected exception: " + e.what();
@@ -109,12 +144,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf(
-      "qres_fuzz: %" PRIu64 " iteration(s), %" PRIu64
-      " failure(s); checked %" PRIu64 " QRGs (%" PRIu64 " nodes), %" PRIu64
-      " planner comparisons, %" PRIu64 " broker steps\n",
-      total, failures, stats.qrgs, stats.nodes, stats.plans,
-      stats.broker_steps);
+  if (run_planner)
+    std::printf(
+        "qres_fuzz: %" PRIu64 " iteration(s), %" PRIu64
+        " failure(s); checked %" PRIu64 " QRGs (%" PRIu64 " nodes), %" PRIu64
+        " planner comparisons, %" PRIu64 " broker steps\n",
+        total, failures, stats.qrgs, stats.nodes, stats.plans,
+        stats.broker_steps);
+  if (run_faults)
+    std::printf(
+        "qres_fuzz faults: %" PRIu64 " iteration(s), %" PRIu64
+        " failure(s); %" PRIu64 "/%" PRIu64 " flows, %" PRIu64 "/%" PRIu64
+        " sessions established, %" PRIu64 " replans, %" PRIu64
+        " leases expired, %" PRIu64 " leaked rollbacks, %" PRIu64
+        " msgs (%" PRIu64 " tx, %" PRIu64 " drops, %" PRIu64
+        " dups), %" PRIu64 " audits\n",
+        total, failures, fault_stats.flows_established, fault_stats.flows,
+        fault_stats.sessions_established, fault_stats.sessions,
+        fault_stats.replans, fault_stats.leases_expired,
+        fault_stats.leaked_rollbacks, fault_stats.messages,
+        fault_stats.transmissions, fault_stats.drops, fault_stats.duplicates,
+        fault_stats.audits);
   if (failures > 0)
     std::printf("reproduce a failure with: %s --repro-seed <seed>\n",
                 argv[0]);
