@@ -2,11 +2,20 @@
 //
 // In the base framework a session keeps the QoS level its admission-time
 // plan achieved, even if it was degraded and the contention later clears.
-// This extension re-plans every *degraded* active session every R time
-// units: the session's holdings are released, the end-to-end plan is
-// recomputed against current availability, and the session re-reserves —
-// never ending up worse, because its old plan is feasible again the
-// moment its own holdings are released (single-writer environment).
+// This extension periodically re-plans every *degraded* active session and
+// compares two upgrade mechanisms:
+//
+//   * break-before-make (legacy) — release the holdings, re-plan against
+//     current availability, re-reserve. In this single-writer simulation
+//     the old plan is feasible again the instant its own holdings are
+//     freed, so the session never regresses — but only because nothing
+//     can race the window in which it holds *zero* resources. Under a
+//     faulted control plane that window strands sessions (see
+//     RenegotiateFaults.UnreachableDeltaAbortNeverStrandsTheSession).
+//   * make-before-break (engine) — the AdaptationEngine's watchdog drives
+//     SessionCoordinator::renegotiate: deltas are reserved on top of the
+//     old plan and the floor moves only at the commit point, so at no
+//     instant does the session hold less than its committed plan.
 //
 // Metrics: time-weighted average end-to-end QoS level over each session's
 // lifetime (equals the static level when renegotiation is off), overall
@@ -14,7 +23,9 @@
 // get slightly harder), and the upgrade count.
 #include <iostream>
 #include <map>
+#include <memory>
 
+#include "adapt/adaptation_engine.hpp"
 #include "core/planner.hpp"
 #include "scenario/paper_scenario.hpp"
 #include "sim/event_queue.hpp"
@@ -25,14 +36,26 @@ using namespace qres;
 
 namespace {
 
+enum class Mode { kOff, kBreakBeforeMake, kEngine };
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kBreakBeforeMake: return "break-make";
+    case Mode::kEngine: return "engine (MBB)";
+  }
+  return "?";
+}
+
 struct Active {
-  SessionCoordinator* coordinator;
+  SessionCoordinator* coordinator = nullptr;
+  adapt::AdaptationEngine* engine = nullptr;  // engine mode only
   std::vector<std::pair<ResourceId, double>> holdings;
-  double scale;
-  std::size_t rank;       // current end-to-end rank (0 = best)
-  double admitted_at;
-  double last_change;
-  double weighted_level;  // integral of level over time so far
+  double scale = 1.0;
+  std::size_t rank = 0;       // current end-to-end rank (0 = best)
+  double admitted_at = 0.0;
+  double last_change = 0.0;
+  double weighted_level = 0.0;  // integral of level over time so far
 };
 
 struct Outcome {
@@ -42,14 +65,16 @@ struct Outcome {
   std::uint64_t renegotiation_attempts = 0;
 };
 
-Outcome run(double rate_per_60, double renegotiation_period,
+Outcome run(Mode mode, double rate_per_60, double renegotiation_period,
             double run_length, std::uint64_t seed) {
   PaperScenarioConfig config;
   config.setup_seed = seed;
   PaperScenario scenario(config);
   BasicPlanner planner;
+  TradeoffPlanner degrade_planner;
   EventQueue queue;
   Rng rng(seed ^ 0x5e55105ULL);
+  Rng watchdog_rng(seed ^ 0x9b2e11dULL);
   const SessionSource source = scenario.make_source();
   Outcome outcome;
   std::map<std::uint32_t, Active> active;
@@ -60,22 +85,70 @@ Outcome run(double rate_per_60, double renegotiation_period,
     return static_cast<double>(levels - rank);
   };
 
+  // Engine mode: one engine per coordinator, sharing a watchdog monitor
+  // over every broker, run upgrade-only: contention-driven degradation is
+  // ext_adaptation's subject, so here the watchdog pass is exactly this
+  // experiment's upgrade probing — but each probe is a make-before-break
+  // renegotiation instead of a release/re-reserve gap.
+  std::vector<ResourceId> watched;
+  for (std::size_t i = 0; i < scenario.registry().size(); ++i)
+    watched.push_back(ResourceId{static_cast<std::uint32_t>(i)});
+  adapt::ContentionMonitor monitor(&scenario.registry(), std::move(watched));
+  std::map<SessionCoordinator*, std::unique_ptr<adapt::AdaptationEngine>>
+      engines;
+  if (mode == Mode::kEngine) {
+    adapt::EngineConfig engine_config;
+    // Probe on every watchdog pass, like the legacy arm re-plans on every
+    // period; shedding is out of scope here (see ext_adaptation).
+    engine_config.upgrade_cooldown = renegotiation_period;
+    engine_config.allow_preemption = false;
+    engine_config.upgrade_only = true;
+    for (int service = 1; service <= PaperScenario::kServers; ++service)
+      for (int domain = 1; domain <= PaperScenario::kDomains; ++domain) {
+        if (service == PaperScenario::excluded_service(domain)) continue;
+        SessionCoordinator& coordinator =
+            scenario.coordinator(service, domain);
+        if (engines.count(&coordinator)) continue;
+        auto engine = std::make_unique<adapt::AdaptationEngine>(
+            &coordinator, &monitor, &planner, &degrade_planner,
+            engine_config);
+        engine->on_rank_changed = [&](SessionId session, std::size_t old_rank,
+                                      std::size_t new_rank) {
+          auto it = active.find(session.value());
+          if (it == active.end()) return;
+          Active& a = it->second;
+          const double now = queue.now();
+          a.weighted_level += level_of(a.rank) * (now - a.last_change);
+          a.last_change = now;
+          a.rank = new_rank;
+          if (new_rank < old_rank) ++outcome.upgrades;
+        };
+        engines.emplace(&coordinator, std::move(engine));
+      }
+  }
+
   std::function<void()> arrival = [&] {
     const double now = queue.now();
     const SessionSpec spec = source(rng, now);
     const SessionId session{next_session++};
-    EstablishResult result = spec.coordinator->establish(
-        session, now, planner, rng, spec.traits.scale);
+    adapt::AdaptationEngine* engine =
+        mode == Mode::kEngine ? engines.at(spec.coordinator).get() : nullptr;
+    EstablishResult result =
+        engine ? engine->admit(session, now,
+                               adapt::SessionPriority::kStandard,
+                               spec.traits.scale, rng)
+               : spec.coordinator->establish(session, now, planner, rng,
+                                             spec.traits.scale);
     outcome.admission.record(result.success);
     if (result.success) {
       Active entry;
       entry.coordinator = spec.coordinator;
-      entry.holdings = std::move(result.holdings);
+      entry.engine = engine;
+      if (!engine) entry.holdings = std::move(result.holdings);
       entry.scale = spec.traits.scale;
       entry.rank = result.plan->end_to_end_rank;
       entry.admitted_at = now;
       entry.last_change = now;
-      entry.weighted_level = 0.0;
       active.emplace(session.value(), std::move(entry));
       queue.schedule_in(spec.traits.duration, [&, session] {
         auto it = active.find(session.value());
@@ -87,7 +160,10 @@ Outcome run(double rate_per_60, double renegotiation_period,
         outcome.lifetime_qos.add(
             lifetime > 0.0 ? a.weighted_level / lifetime
                            : level_of(a.rank));
-        a.coordinator->teardown(a.holdings, session, t);
+        if (a.engine)
+          a.engine->depart(session, t);
+        else
+          a.coordinator->teardown(a.holdings, session, t);
         active.erase(it);
       });
     }
@@ -96,6 +172,8 @@ Outcome run(double rate_per_60, double renegotiation_period,
   };
   queue.schedule(rng.exponential(rate_per_60 / 60.0), arrival);
 
+  // Legacy arm: periodic break-before-make re-planning of every degraded
+  // session (kept as the baseline the engine arm is measured against).
   std::function<void()> renegotiate = [&] {
     const double now = queue.now();
     for (auto& [id, a] : active) {
@@ -103,7 +181,9 @@ Outcome run(double rate_per_60, double renegotiation_period,
       ++outcome.renegotiation_attempts;
       const SessionId session{id};
       // Release, re-plan, re-reserve. The old plan is feasible again the
-      // instant the holdings are freed, so this never fails or regresses.
+      // instant the holdings are freed, so in this single-writer world the
+      // session never fails or regresses — the zero-holdings window is
+      // exactly the hazard the engine arm eliminates.
       a.coordinator->teardown(a.holdings, session, now);
       EstablishResult result =
           a.coordinator->establish(session, now, planner, rng, a.scale);
@@ -120,8 +200,24 @@ Outcome run(double rate_per_60, double renegotiation_period,
     if (now + renegotiation_period <= run_length)
       queue.schedule_in(renegotiation_period, renegotiate);
   };
-  if (renegotiation_period > 0.0)
-    queue.schedule(renegotiation_period, renegotiate);
+
+  // Engine arm: the watchdog pass probes one rank up per degraded session
+  // (additive increase), make-before-break.
+  std::function<void()> watchdog = [&] {
+    for (auto& [coordinator, engine] : engines) {
+      outcome.renegotiation_attempts += active.size();  // comparable metric
+      engine->tick(queue.now(), watchdog_rng);
+    }
+    if (queue.now() + renegotiation_period <= run_length)
+      queue.schedule_in(renegotiation_period, watchdog);
+  };
+
+  if (renegotiation_period > 0.0) {
+    if (mode == Mode::kBreakBeforeMake)
+      queue.schedule(renegotiation_period, renegotiate);
+    else if (mode == Mode::kEngine)
+      queue.schedule(renegotiation_period, watchdog);
+  }
 
   queue.run_all();
   return outcome;
@@ -145,20 +241,21 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "Extension: mid-session QoS renegotiation (basic planner)\n";
-  TablePrinter table({"rate", "reneg. period", "admission", "lifetime QoS",
-                      "upgrades/1k ssn"});
+  TablePrinter table({"rate", "mode", "reneg. period", "admission",
+                      "lifetime QoS", "upgrades/1k ssn"});
   for (double rate : {120.0, 180.0, 240.0}) {
-    for (double period : {0.0, 120.0, 30.0}) {
+    for (Mode mode : {Mode::kOff, Mode::kBreakBeforeMake, Mode::kEngine}) {
+      const double period = mode == Mode::kOff ? 0.0 : 30.0;
       Outcome merged;
       for (std::size_t r = 0; r < replicas; ++r) {
-        const Outcome o = run(rate, period, run_length, 2000 + r);
+        const Outcome o = run(mode, rate, period, run_length, 2000 + r);
         merged.admission.merge(o.admission);
         merged.lifetime_qos.merge(o.lifetime_qos);
         merged.upgrades += o.upgrades;
         merged.renegotiation_attempts += o.renegotiation_attempts;
       }
       table.add_row(
-          {TablePrinter::fmt(rate, 0),
+          {TablePrinter::fmt(rate, 0), mode_name(mode),
            period == 0.0 ? "off" : TablePrinter::fmt(period, 0),
            TablePrinter::pct(merged.admission.value()),
            TablePrinter::fmt(merged.lifetime_qos.mean()),
@@ -170,6 +267,9 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::cout << "\n(replicas per point: " << replicas
-            << ", run length: " << run_length << " TU)\n";
+            << ", run length: " << run_length
+            << " TU; break-make is the legacy release/re-reserve upgrade "
+               "with its zero-holdings window, engine (MBB) upgrades "
+               "make-before-break via the adaptation engine)\n";
   return 0;
 }

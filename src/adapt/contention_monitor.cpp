@@ -1,0 +1,115 @@
+#include "adapt/contention_monitor.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace qres::adapt {
+
+const char* to_string(ContentionLevel level) noexcept {
+  switch (level) {
+    case ContentionLevel::kCalm: return "calm";
+    case ContentionLevel::kContended: return "contended";
+  }
+  return "?";
+}
+
+ContentionMonitor::ContentionMonitor(const BrokerRegistry* registry,
+                                     std::vector<ResourceId> watched,
+                                     MonitorConfig config)
+    : registry_(registry), watched_(std::move(watched)), config_(config) {
+  QRES_REQUIRE(registry != nullptr, "ContentionMonitor: null registry");
+  QRES_REQUIRE(!watched_.empty(), "ContentionMonitor: nothing to watch");
+  QRES_REQUIRE(config_.ewma_halflife > 0.0,
+               "ContentionMonitor: EWMA half-life must be positive");
+  QRES_REQUIRE(config_.enter_contended > 0.0 &&
+                   config_.enter_contended <= config_.exit_contended,
+               "ContentionMonitor: hysteresis band must satisfy "
+               "0 < enter_contended <= exit_contended");
+  for (ResourceId id : watched_) {
+    registry_->broker(id);  // validates existence
+    states_.insert_or_assign(id, ResourceContention{});
+  }
+}
+
+void ContentionMonitor::sample(double now) {
+  for (ResourceId id : watched_) {
+    ResourceContention& s = states_.at(id);
+    const double alpha = registry_->broker(id).observe(now).alpha;
+    if (!s.sampled) {
+      s.ewma_alpha = alpha;
+      s.sampled = true;
+    } else {
+      // Irregular-interval EWMA: the old smoothed value decays with the
+      // configured half-life, so the smoothing is invariant to the tick
+      // period. dt == 0 keeps the previous value (idempotent re-sample).
+      const double dt = now - s.last_sample;
+      const double keep =
+          dt <= 0.0 ? 1.0 : std::pow(0.5, dt / config_.ewma_halflife);
+      s.ewma_alpha = alpha + (s.ewma_alpha - alpha) * keep;
+    }
+    s.last_alpha = alpha;
+    s.last_sample = now;
+
+    if (s.level == ContentionLevel::kCalm) {
+      if (s.ewma_alpha < config_.enter_contended) {
+        s.level = ContentionLevel::kContended;
+        ++s.flips;
+      } else if (alpha < config_.enter_contended) {
+        // The raw sample says "contended" but the smoothed value holds
+        // the line — a flap the watchdog suppressed.
+        ++s.suppressed_flaps;
+      }
+    } else {
+      if (s.ewma_alpha > config_.exit_contended) {
+        s.level = ContentionLevel::kCalm;
+        ++s.flips;
+      } else if (alpha > config_.exit_contended) {
+        ++s.suppressed_flaps;
+      }
+    }
+  }
+}
+
+const ResourceContention& ContentionMonitor::state(ResourceId id) const {
+  return states_.at(id);
+}
+
+bool ContentionMonitor::contended(ResourceId id) const {
+  const auto it = states_.find(id);
+  return it != states_.end() &&
+         it->second.level == ContentionLevel::kContended;
+}
+
+double ContentionMonitor::bottleneck_ewma() const noexcept {
+  double worst = 1.0;
+  for (const auto& [id, s] : states_)
+    if (s.sampled && s.ewma_alpha < worst) worst = s.ewma_alpha;
+  return worst;
+}
+
+ResourceId ContentionMonitor::bottleneck_resource() const noexcept {
+  ResourceId bottleneck;
+  double worst = 1.0;
+  for (const auto& [id, s] : states_) {
+    if (s.sampled && s.ewma_alpha < worst) {
+      worst = s.ewma_alpha;
+      bottleneck = id;
+    }
+  }
+  return bottleneck;
+}
+
+std::uint64_t ContentionMonitor::total_suppressed_flaps() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [id, s] : states_) total += s.suppressed_flaps;
+  return total;
+}
+
+std::uint64_t ContentionMonitor::total_flips() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [id, s] : states_) total += s.flips;
+  return total;
+}
+
+}  // namespace qres::adapt

@@ -1,0 +1,95 @@
+// Contention watchdog (adaptation layer; DESIGN.md §8).
+//
+// The paper plans once at admission and then only enforces; its §6 names
+// dynamic resource fluctuation as the open problem. The ContentionMonitor
+// is the watchdog half of our answer: it periodically samples each
+// broker's availability change index alpha (eq. 5, alpha < 1 means
+// availability is trending down) and maintains
+//
+//   * an EWMA of alpha per resource, so one noisy report neither triggers
+//     a downgrade storm nor lets a genuinely contended resource hide
+//     behind a lucky sample, and
+//   * a hysteresis band: a resource becomes *contended* only when its
+//     EWMA drops below `enter_contended` and becomes *calm* again only
+//     when it rises above `exit_contended` (> enter). Raw-alpha crossings
+//     that the band vetoes are counted as suppressed flaps — the
+//     anti-thrash metric surfaced in bench tables and `qresctl
+//     contention`.
+//
+// The AdaptationEngine consumes the per-resource level to decide when to
+// degrade or upgrade sessions; the ContentionGovernor consumes the
+// bottleneck EWMA to fast-reject doomed admissions under overload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/registry.hpp"
+#include "util/flat_map.hpp"
+
+namespace qres::adapt {
+
+struct MonitorConfig {
+  /// Half-life (in simulation time units) of the per-resource alpha EWMA:
+  /// a sample `halflife` old contributes half the weight of a fresh one.
+  double ewma_halflife = 2.0;
+  /// A calm resource becomes contended when its EWMA alpha drops below
+  /// this.
+  double enter_contended = 0.85;
+  /// A contended resource becomes calm again only above this (must be
+  /// >= enter_contended; the gap is the hysteresis band).
+  double exit_contended = 0.95;
+};
+
+enum class ContentionLevel : std::uint8_t { kCalm, kContended };
+
+const char* to_string(ContentionLevel level) noexcept;
+
+/// Per-resource watchdog state (exposed read-only for tests, benches and
+/// the `qresctl contention` dump).
+struct ResourceContention {
+  double last_alpha = 1.0;   ///< most recent raw alpha sample
+  double ewma_alpha = 1.0;   ///< smoothed alpha (what the bands act on)
+  double last_sample = 0.0;  ///< time of the most recent sample
+  bool sampled = false;      ///< false until the first sample() covers it
+  ContentionLevel level = ContentionLevel::kCalm;
+  std::uint64_t flips = 0;             ///< committed level transitions
+  std::uint64_t suppressed_flaps = 0;  ///< raw crossings the band vetoed
+};
+
+class ContentionMonitor {
+ public:
+  /// Watches `watched` resources of `registry` (which must outlive the
+  /// monitor). Sampling order and all state iteration are deterministic.
+  ContentionMonitor(const BrokerRegistry* registry,
+                    std::vector<ResourceId> watched,
+                    MonitorConfig config = {});
+
+  /// Takes one observation of every watched broker at `now` and updates
+  /// EWMA + hysteresis state. Re-sampling the same timestamp is
+  /// idempotent for the EWMA (zero elapsed time keeps the old smoothed
+  /// value's weight at one).
+  void sample(double now);
+
+  const ResourceContention& state(ResourceId id) const;
+  bool contended(ResourceId id) const;
+
+  /// Smallest EWMA alpha over the watched set (1.0 before any sample):
+  /// the contention index of the environment's bottleneck.
+  double bottleneck_ewma() const noexcept;
+  ResourceId bottleneck_resource() const noexcept;
+
+  std::uint64_t total_suppressed_flaps() const noexcept;
+  std::uint64_t total_flips() const noexcept;
+
+  const std::vector<ResourceId>& watched() const noexcept { return watched_; }
+  const MonitorConfig& config() const noexcept { return config_; }
+
+ private:
+  const BrokerRegistry* registry_;
+  std::vector<ResourceId> watched_;
+  MonitorConfig config_;
+  FlatMap<ResourceId, ResourceContention> states_;
+};
+
+}  // namespace qres::adapt

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/assert.hpp"
+#include "util/flat_map.hpp"
 
 namespace qres {
 
@@ -45,6 +46,7 @@ const char* to_string(EstablishOutcome outcome) noexcept {
     case EstablishOutcome::kNoPlan: return "no-plan";
     case EstablishOutcome::kAdmission: return "admission";
     case EstablishOutcome::kUnreachable: return "unreachable";
+    case EstablishOutcome::kOverload: return "overload";
   }
   return "?";
 }
@@ -90,12 +92,9 @@ EstablishResult SessionCoordinator::establish(
   return establish_impl(session, now, planner, rng, scale, staleness, {});
 }
 
-EstablishResult SessionCoordinator::establish_impl(
-    SessionId session, double now, const IPlanner& planner, Rng& rng,
-    double scale, const std::function<double(ResourceId)>& staleness,
-    const std::vector<ResourceId>& dead) {
-  EstablishResult result;
-
+void SessionCoordinator::poll_participants(
+    double now, CoordinationStats* stats,
+    std::vector<ResourceId>* unavailable) {
   // Overhead accounting (§4.2): one availability round trip per
   // participating proxy (distinct component host), one dispatch per plan
   // segment later.
@@ -104,33 +103,58 @@ EstablishResult SessionCoordinator::establish_impl(
     const HostId host = service_->component(c).host();
     if (host.valid()) hosts.insert(host.value());
   }
-  result.stats.participating_proxies = hosts.empty() ? 1 : hosts.size();
-  result.stats.availability_messages = result.stats.participating_proxies;
+  stats->participating_proxies = hosts.empty() ? 1 : hosts.size();
+  stats->availability_messages = stats->participating_proxies;
 
-  // Phase 1: collect availability for the service's resource footprint.
   // Under faults each remote proxy's report is one RPC round trip; a
   // proxy that cannot be reached contributes zero availability for its
   // resources (the main proxy has no report to plan from), so the
   // planner routes around it instead of reserving blind.
-  std::vector<ResourceId> unavailable = dead;
-  if (transport_) {
-    std::set<std::uint32_t> polled;
-    for (ResourceId id : footprint_) {
-      const HostId owner = registry_->catalog().host(id);
-      if (!owner.valid() || owner == main_host_) continue;
-      if (!polled.insert(owner.value()).second) continue;
-      const int used = transport_->exchange(main_host_, owner, now);
-      if (used == 0) {
-        ++result.stats.unreachable_proxies;
-        for (ResourceId other : footprint_)
-          if (registry_->catalog().host(other) == owner)
-            unavailable.push_back(other);
-      } else if (used > 1) {
-        result.stats.retransmissions +=
-            static_cast<std::size_t>(used - 1);
-      }
+  if (!transport_) return;
+  std::set<std::uint32_t> polled;
+  for (ResourceId id : footprint_) {
+    const HostId owner = registry_->catalog().host(id);
+    if (!owner.valid() || owner == main_host_) continue;
+    if (!polled.insert(owner.value()).second) continue;
+    const int used = transport_->exchange(main_host_, owner, now);
+    if (used == 0) {
+      ++stats->unreachable_proxies;
+      for (ResourceId other : footprint_)
+        if (registry_->catalog().host(other) == owner)
+          unavailable->push_back(other);
+    } else if (used > 1) {
+      stats->retransmissions += static_cast<std::size_t>(used - 1);
     }
   }
+}
+
+bool SessionCoordinator::rpc_to_owner(ResourceId id, double now,
+                                      CoordinationStats* stats) {
+  if (!transport_) return true;
+  const HostId owner = registry_->catalog().host(id);
+  if (!owner.valid() || owner == main_host_) return true;
+  const int used = transport_->exchange(main_host_, owner, now);
+  if (used == 0) {
+    ++stats->unreachable_proxies;
+    return false;
+  }
+  if (used > 1) stats->retransmissions += static_cast<std::size_t>(used - 1);
+  return true;
+}
+
+EstablishResult SessionCoordinator::establish_impl(
+    SessionId session, double now, const IPlanner& planner, Rng& rng,
+    double scale, const std::function<double(ResourceId)>& staleness,
+    const std::vector<ResourceId>& dead) {
+  EstablishResult result;
+  if (governor_ && governor_->should_reject(now, priority_hint_)) {
+    result.outcome = EstablishOutcome::kOverload;
+    return result;
+  }
+
+  // Phase 1: collect availability for the service's resource footprint.
+  std::vector<ResourceId> unavailable = dead;
+  poll_participants(now, &result.stats, &unavailable);
   AvailabilityView view = registry_->collect(footprint_, now, staleness);
   for (ResourceId id : unavailable) view.set(id, 0.0, 1.0);
 
@@ -151,21 +175,11 @@ EstablishResult SessionCoordinator::establish_impl(
   reserved.reserve(total.size());
   bool ok = true;
   for (const auto& [id, amount] : total) {
-    if (transport_) {
-      const HostId owner = registry_->catalog().host(id);
-      if (owner.valid() && owner != main_host_) {
-        const int used = transport_->exchange(main_host_, owner, now);
-        if (used == 0) {
-          ++result.stats.unreachable_proxies;
-          result.outcome = EstablishOutcome::kUnreachable;
-          result.failed_resource = id;
-          ok = false;
-          break;
-        }
-        if (used > 1)
-          result.stats.retransmissions +=
-              static_cast<std::size_t>(used - 1);
-      }
+    if (!rpc_to_owner(id, now, &result.stats)) {
+      result.outcome = EstablishOutcome::kUnreachable;
+      result.failed_resource = id;
+      ok = false;
+      break;
     }
     ++result.stats.reservations_attempted;
     if (reserve_segment(id, now, session, amount)) {
@@ -184,14 +198,9 @@ EstablishResult SessionCoordinator::establish_impl(
     // leaks until its lease expires — reported via result.leaked so the
     // caller (and the auditor) can account for it.
     for (const auto& [id, amount] : reserved) {
-      if (transport_) {
-        const HostId owner = registry_->catalog().host(id);
-        if (owner.valid() && owner != main_host_ &&
-            transport_->exchange(main_host_, owner, now) == 0) {
-          ++result.stats.unreachable_proxies;
-          result.leaked.push_back({id, amount});
-          continue;
-        }
+      if (!rpc_to_owner(id, now, &result.stats)) {
+        result.leaked.push_back({id, amount});
+        continue;
       }
       registry_->broker(id).release_amount(now, session, amount);
       ++result.stats.reservations_rolled_back;
@@ -201,6 +210,127 @@ EstablishResult SessionCoordinator::establish_impl(
   result.success = true;
   result.outcome = EstablishOutcome::kOk;
   result.holdings = std::move(reserved);
+  return result;
+}
+
+EstablishResult SessionCoordinator::renegotiate(
+    SessionId session, double now, const IPlanner& planner, Rng& rng,
+    double scale,
+    const std::vector<std::pair<ResourceId, double>>& current,
+    std::size_t min_rank,
+    const std::function<double(ResourceId)>& staleness,
+    const std::function<
+        void(const std::vector<std::pair<ResourceId, double>>&)>&
+        on_commit) {
+  QRES_REQUIRE(session.valid(), "renegotiate: invalid session");
+  constexpr double kEps = 1e-9;
+  EstablishResult result;
+
+  // Phase 1: fresh snapshot, same RPC accounting as an establishment.
+  std::vector<ResourceId> unavailable;
+  poll_participants(now, &result.stats, &unavailable);
+  AvailabilityView view = registry_->collect(footprint_, now, staleness);
+  for (ResourceId id : unavailable) view.set(id, 0.0, 1.0);
+
+  // Credit the session's own holdings back into the snapshot: the new
+  // plan may reuse anything it already holds, so feasibility is judged
+  // against available + held — exactly what delta reservation can admit
+  // without ever releasing first.
+  for (const auto& [id, amount] : current) {
+    if (!view.contains(id)) continue;
+    const ResourceObservation& obs = view.get(id);
+    view.set(id, obs.available + amount, obs.alpha);
+  }
+
+  // Phase 2: re-plan. min_rank clamps how good the new plan may be (the
+  // AIMD additive upgrade step / forced shedding floor): when the
+  // planner's choice is better than allowed, fall back to the best
+  // reachable sink at or below the clamp.
+  const Qrg qrg(*service_, view, psi_kind_, scale);
+  PlanResult planned = planner.plan(qrg, rng);
+  result.sinks = std::move(planned.sinks);
+  if (planned.plan && planned.plan->end_to_end_rank < min_rank) {
+    planned.plan.reset();
+    const auto labels = relax_qrg(qrg);
+    for (std::size_t rank = min_rank; rank < result.sinks.size(); ++rank) {
+      if (!result.sinks[rank].reachable) continue;
+      planned.plan = extract_plan(qrg, labels, qrg.ranked_sink_nodes()[rank]);
+      if (planned.plan) break;
+    }
+  }
+  if (!planned.plan) return result;  // nothing reserved; old plan stands
+  result.plan = std::move(planned.plan);
+
+  // Phase 3a (make): reserve only the positive per-resource deltas. The
+  // old holdings are untouched until the whole transition is committed.
+  FlatMap<ResourceId, double> old_held;
+  for (const auto& [id, amount] : current) old_held[id] += amount;
+  const ResourceVector new_total = result.plan->total_requirement();
+  result.stats.dispatch_messages = result.plan->steps.size();
+  std::vector<std::pair<ResourceId, double>> deltas;
+  bool ok = true;
+  for (const auto& [id, amount] : new_total) {
+    const auto it = old_held.find(id);
+    const double have = it == old_held.end() ? 0.0 : it->second;
+    const double delta = amount - have;
+    if (delta <= kEps) continue;
+    if (!rpc_to_owner(id, now, &result.stats)) {
+      result.outcome = EstablishOutcome::kUnreachable;
+      result.failed_resource = id;
+      ok = false;
+      break;
+    }
+    ++result.stats.reservations_attempted;
+    if (reserve_segment(id, now, session, delta)) {
+      deltas.push_back({id, delta});
+    } else {
+      result.outcome = EstablishOutcome::kAdmission;
+      result.failed_resource = id;
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    // Abort: roll the deltas back; the session still holds exactly its
+    // old plan. A rollback release whose RPC fails stays held beyond the
+    // old plan and is reported via leaked (the caller folds it into its
+    // record so the books keep matching the broker).
+    for (const auto& [id, amount] : deltas) {
+      if (!rpc_to_owner(id, now, &result.stats)) {
+        result.leaked.push_back({id, amount});
+        continue;
+      }
+      registry_->broker(id).release_amount(now, session, amount);
+      ++result.stats.reservations_rolled_back;
+    }
+    return result;
+  }
+
+  // Phase 3b (break): committed — release the excess of the old
+  // holdings. The session now holds at least the new plan everywhere; an
+  // excess release whose RPC fails stays held (and leased, if leases are
+  // on) and is reported both in holdings and in leaked.
+  FlatMap<ResourceId, double> final_held;
+  for (const auto& [id, amount] : new_total) final_held[id] = amount;
+  if (on_commit) {
+    std::vector<std::pair<ResourceId, double>> committed(final_held.begin(),
+                                                         final_held.end());
+    on_commit(committed);
+  }
+  for (const auto& [id, have] : old_held) {
+    const double keep = new_total.get(id);
+    const double excess = have - keep;
+    if (excess <= kEps) continue;
+    if (!rpc_to_owner(id, now, &result.stats)) {
+      result.leaked.push_back({id, excess});
+      final_held[id] += excess;
+      continue;
+    }
+    registry_->broker(id).release_amount(now, session, excess);
+  }
+  result.holdings.assign(final_held.begin(), final_held.end());
+  result.success = true;
+  result.outcome = EstablishOutcome::kOk;
   return result;
 }
 
@@ -248,6 +378,10 @@ EstablishResult SessionCoordinator::establish_resilient(
   QRES_REQUIRE(service_->is_chain(),
                "establish_resilient: chain services only");
   EstablishResult result;
+  if (governor_ && governor_->should_reject(now, priority_hint_)) {
+    result.outcome = EstablishOutcome::kOverload;
+    return result;
+  }
   result.stats.participating_proxies = 1;
   result.stats.availability_messages = 1;
 

@@ -75,12 +75,31 @@ struct CoordinationStats {
 
 /// Why a session establishment ended the way it did. Separates hard
 /// rejections (no plan / admission) from control-plane faults
-/// (kUnreachable), which establish_with_recovery re-plans around.
+/// (kUnreachable), which establish_with_recovery re-plans around, and
+/// from overload fast-rejects (kOverload), which an admission governor
+/// issues before any planning or RPC work is spent.
 enum class EstablishOutcome : std::uint8_t {
   kOk,           ///< established; holdings are live
   kNoPlan,       ///< no feasible end-to-end plan for the snapshot
   kAdmission,    ///< a broker rejected a plan segment (stale observation)
   kUnreachable,  ///< a participating proxy could not be reached
+  kOverload,     ///< rejected fast by the admission governor
+};
+
+/// Overload-aware admission governor consulted by SessionCoordinator (and
+/// AsyncEstablisher) before any establishment work is spent. When the
+/// bottleneck contention index says the environment is overloaded, doomed
+/// establishments are rejected immediately (kOverload) instead of churning
+/// the brokers with plan/reserve/rollback rounds. Implementations live in
+/// src/adapt (the ContentionMonitor-backed governor); the runtime layers
+/// only see this interface so qres_proxy does not depend on qres_adapt.
+class IAdmissionGovernor {
+ public:
+  virtual ~IAdmissionGovernor() = default;
+
+  /// True when an establishment of priority `priority` (higher = more
+  /// important; see adapt::SessionPriority) should be rejected at `now`.
+  virtual bool should_reject(double now, int priority) const = 0;
 };
 
 const char* to_string(EstablishOutcome outcome) noexcept;
@@ -132,6 +151,19 @@ class SessionCoordinator {
   /// renews through a LeaseKeeper (src/sim) or directly via the brokers.
   void enable_leases(double lease_duration);
 
+  /// Consults `governor` at the start of every establish call; when it
+  /// rejects, the attempt fails immediately with kOverload — no planning,
+  /// no RPC rounds, no broker churn. Null (the default) disables the
+  /// check; renegotiation is never governed (adaptation must keep running
+  /// under overload — that is its job).
+  void set_admission_governor(const IAdmissionGovernor* governor) {
+    governor_ = governor;
+  }
+
+  /// Priority the governor sees for subsequent establish calls (the
+  /// AdaptationEngine sets this per admission; plain callers stay at 0).
+  void set_priority_hint(int priority) { priority_hint_ = priority; }
+
   /// Runs the three-phase establishment for `session` at time `now` using
   /// `planner`. `scale` multiplies the service's base requirements (the
   /// paper's fat sessions). `staleness` (optional) maps each resource to
@@ -168,6 +200,46 @@ class SessionCoordinator {
       double scale = 1.0, int max_replans = 2,
       const std::function<double(ResourceId)>& staleness = nullptr);
 
+  /// Make-before-break renegotiation of a live session (the adaptation
+  /// layer's primitive, see src/adapt). Re-plans against a fresh snapshot
+  /// in which the session's `current` holdings are credited back as
+  /// available (the new plan may reuse anything already held), then
+  /// reserves only the positive per-resource deltas of the new plan;
+  /// once every delta is in place the transition commits and the excess
+  /// of the old holdings is released. The session therefore never holds
+  /// less than its committed plan mid-transition: an abort (admission
+  /// rejection or unreachable proxy) rolls the deltas back and leaves
+  /// exactly the old holdings — never the zero-holdings window of the
+  /// old break-before-make loop.
+  ///
+  /// `min_rank` clamps how good the new plan may be: the chosen sink's
+  /// end-to-end rank is >= min_rank (AIMD additive upgrades pass
+  /// current_rank - 1; forced priority shedding passes the worst rank).
+  ///
+  /// On success result.holdings is the complete replacement holdings set
+  /// (old holdings are consumed); an excess release whose RPC failed
+  /// stays both in result.holdings and in result.leaked, so the caller's
+  /// record keeps matching the broker until a later renegotiation or the
+  /// final teardown releases it. On failure result.holdings is empty and
+  /// the caller keeps `current` — plus result.leaked, the delta
+  /// reservations whose rollback release could not be dispatched.
+  ///
+  /// `on_commit` (optional) fires at the commit point — every delta
+  /// reserved, nothing released yet — with the new plan's per-resource
+  /// totals. From before the call until that instant the session's
+  /// broker holdings cover `current`; from that instant on they cover the
+  /// reported totals. The AdaptationEngine uses it to maintain the
+  /// holdings floor the make-before-break invariant is audited against.
+  EstablishResult renegotiate(
+      SessionId session, double now, const IPlanner& planner, Rng& rng,
+      double scale,
+      const std::vector<std::pair<ResourceId, double>>& current,
+      std::size_t min_rank = 0,
+      const std::function<double(ResourceId)>& staleness = nullptr,
+      const std::function<
+          void(const std::vector<std::pair<ResourceId, double>>&)>&
+          on_commit = nullptr);
+
   /// Releases every holding of a previously established session.
   void teardown(const std::vector<std::pair<ResourceId, double>>& holdings,
                 SessionId session, double now);
@@ -187,6 +259,17 @@ class SessionCoordinator {
   bool reserve_segment(ResourceId id, double now, SessionId session,
                        double amount);
 
+  /// Phase-1 RPC round: polls every remote participating proxy once.
+  /// Resources of unreachable owners are appended to `unavailable`;
+  /// `stats` accumulates retransmissions / unreachable counts.
+  void poll_participants(double now, CoordinationStats* stats,
+                         std::vector<ResourceId>* unavailable);
+
+  /// One control RPC to the proxy owning `id` (a no-op returning true
+  /// without a transport or for main-local resources). False = the owner
+  /// was unreachable; `stats` accumulates the RPC accounting.
+  bool rpc_to_owner(ResourceId id, double now, CoordinationStats* stats);
+
   const ServiceDefinition* service_;
   std::vector<ResourceId> footprint_;
   BrokerRegistry* registry_;
@@ -194,6 +277,8 @@ class SessionCoordinator {
   IControlTransport* transport_ = nullptr;
   HostId main_host_;
   double lease_ = 0.0;  ///< 0 = permanent reservations
+  const IAdmissionGovernor* governor_ = nullptr;
+  int priority_hint_ = 0;
 };
 
 }  // namespace qres

@@ -32,6 +32,16 @@ void AsyncEstablisher::establish(SessionId session, double scale,
   QRES_REQUIRE(done != nullptr, "AsyncEstablisher: null callback");
   const double now = queue_->now();
 
+  // 0. Overload governance: reject doomed requests before they touch a
+  // broker or open a signaling flow.
+  if (governor_ && governor_->should_reject(now, priority_hint_)) {
+    Result rejected;
+    rejected.status = SignalStatus::kOverload;
+    rejected.completed_at = now;
+    done(rejected);
+    return;
+  }
+
   // 1. Snapshot: local brokers plus signaled network availability.
   AvailabilityView view = registry_->collect(local_footprint_, now);
   for (const NetBinding& binding : bindings_)

@@ -27,6 +27,7 @@
 
 #include "broker/registry.hpp"
 #include "core/planner.hpp"
+#include "proxy/qos_proxy.hpp"
 #include "signal/rsvp.hpp"
 
 namespace qres {
@@ -67,6 +68,17 @@ class AsyncEstablisher {
                    BrokerRegistry* registry, RsvpNetwork* network,
                    EventQueue* queue, PsiKind psi_kind = PsiKind::kRatio);
 
+  /// Same overload governance as SessionCoordinator: when `governor`
+  /// rejects at request time, establish() completes immediately with
+  /// kOverload — no snapshot, no local reservations, no signaling flows.
+  /// kOverload is a hard rejection; establish_with_retry never retries
+  /// it. Null (the default) disables the check.
+  void set_admission_governor(const IAdmissionGovernor* governor,
+                              int priority_hint = 0) {
+    governor_ = governor;
+    priority_hint_ = priority_hint;
+  }
+
   /// Starts an establishment; `done` fires once (success or failure).
   void establish(SessionId session, double scale,
                  std::function<void(const Result&)> done);
@@ -91,6 +103,8 @@ class AsyncEstablisher {
   RsvpNetwork* network_;
   EventQueue* queue_;
   PsiKind psi_kind_;
+  const IAdmissionGovernor* governor_ = nullptr;
+  int priority_hint_ = 0;
   std::uint64_t next_flow_ = 1;
 };
 

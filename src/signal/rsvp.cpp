@@ -19,6 +19,8 @@ const char* to_string(SignalStatus status) noexcept {
       return "link-down";
     case SignalStatus::kTornDown:
       return "torn-down";
+    case SignalStatus::kOverload:
+      return "overload";
   }
   return "?";
 }

@@ -67,6 +67,7 @@ enum class SignalStatus : std::uint8_t {
   kTimeout,    ///< signaling lost beyond the retry budget (retryable)
   kLinkDown,   ///< a scripted link outage blocked signaling (retryable)
   kTornDown,   ///< the flow was torn down while establishing
+  kOverload,   ///< fast-rejected by the admission governor (no signaling)
 };
 
 const char* to_string(SignalStatus status) noexcept;

@@ -1,0 +1,132 @@
+#include "adapt/contention_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace qres::adapt {
+namespace {
+
+struct Fixture {
+  BrokerRegistry registry;
+  ResourceId cpu =
+      registry.add_resource("cpu", ResourceKind::kCpu, HostId{0}, 100.0);
+  ResourceId bw = registry.add_resource(
+      "bw", ResourceKind::kNetworkBandwidth, HostId{}, 100.0);
+};
+
+TEST(ContentionMonitor, ConstructorContracts) {
+  Fixture f;
+  EXPECT_THROW(ContentionMonitor(nullptr, {f.cpu}), ContractViolation);
+  EXPECT_THROW(ContentionMonitor(&f.registry, {}), ContractViolation);
+  MonitorConfig bad;
+  bad.ewma_halflife = 0.0;
+  EXPECT_THROW(ContentionMonitor(&f.registry, {f.cpu}, bad),
+               ContractViolation);
+  bad = MonitorConfig{};
+  bad.enter_contended = 0.9;
+  bad.exit_contended = 0.8;  // inverted band
+  EXPECT_THROW(ContentionMonitor(&f.registry, {f.cpu}, bad),
+               ContractViolation);
+}
+
+TEST(ContentionMonitor, FirstSampleSeedsTheEwmaWithTheRawAlpha) {
+  Fixture f;
+  // Availability halves at t=1: alpha(1) = 50 / windowed-average = 0.5
+  // (the window still averages the full-capacity past).
+  ASSERT_TRUE(f.registry.broker(f.cpu).reserve(1.0, SessionId{9}, 50.0));
+  ContentionMonitor monitor(&f.registry, {f.cpu});
+  monitor.sample(1.0);
+  const ResourceContention& s = monitor.state(f.cpu);
+  EXPECT_TRUE(s.sampled);
+  EXPECT_DOUBLE_EQ(s.ewma_alpha, s.last_alpha);
+  EXPECT_DOUBLE_EQ(s.last_alpha, 0.5);
+}
+
+TEST(ContentionMonitor, EwmaFollowsTheConfiguredHalfLife) {
+  Fixture f;
+  MonitorConfig config;
+  config.ewma_halflife = 2.0;
+  ContentionMonitor monitor(&f.registry, {f.cpu}, config);
+  monitor.sample(0.0);  // raw alpha 1.0 seeds the EWMA
+  ASSERT_DOUBLE_EQ(monitor.state(f.cpu).ewma_alpha, 1.0);
+
+  ASSERT_TRUE(f.registry.broker(f.cpu).reserve(2.0, SessionId{9}, 60.0));
+  monitor.sample(2.0);  // exactly one half-life later
+  const ResourceContention& s = monitor.state(f.cpu);
+  // ewma = raw + (old - raw) * 0.5^(dt / halflife), dt = halflife.
+  const double expected = s.last_alpha + (1.0 - s.last_alpha) * 0.5;
+  EXPECT_NEAR(s.ewma_alpha, expected, 1e-12);
+  EXPECT_LT(s.last_alpha, s.ewma_alpha);  // smoothing lags the raw drop
+}
+
+TEST(ContentionMonitor, ResamplingTheSameInstantIsIdempotent) {
+  Fixture f;
+  ASSERT_TRUE(f.registry.broker(f.cpu).reserve(1.0, SessionId{9}, 70.0));
+  ContentionMonitor monitor(&f.registry, {f.cpu});
+  monitor.sample(1.0);
+  const double ewma = monitor.state(f.cpu).ewma_alpha;
+  monitor.sample(1.0);
+  EXPECT_DOUBLE_EQ(monitor.state(f.cpu).ewma_alpha, ewma);
+}
+
+TEST(ContentionMonitor, HysteresisBandCommitsAndReleasesContention) {
+  Fixture f;
+  MonitorConfig config;
+  config.ewma_halflife = 1e-6;  // EWMA tracks the raw alpha closely
+  ContentionMonitor monitor(&f.registry, {f.cpu}, config);
+  monitor.sample(0.0);
+  EXPECT_FALSE(monitor.contended(f.cpu));
+
+  // Availability halves: alpha ~0.5 < enter_contended -> contended.
+  ASSERT_TRUE(f.registry.broker(f.cpu).reserve(1.0, SessionId{9}, 50.0));
+  monitor.sample(1.0);
+  EXPECT_TRUE(monitor.contended(f.cpu));
+  EXPECT_EQ(monitor.state(f.cpu).flips, 1u);
+
+  // Far later the window has normalized around the reduced level:
+  // alpha recovers to ~1 > exit_contended -> calm again.
+  monitor.sample(50.0);
+  EXPECT_FALSE(monitor.contended(f.cpu));
+  EXPECT_EQ(monitor.state(f.cpu).flips, 2u);
+}
+
+TEST(ContentionMonitor, SlowEwmaSuppressesARawFlap) {
+  Fixture f;
+  MonitorConfig config;
+  config.ewma_halflife = 1000.0;  // EWMA barely moves per sample
+  ContentionMonitor monitor(&f.registry, {f.cpu}, config);
+  monitor.sample(0.0);
+
+  // One bad raw sample (alpha ~0.5) would flip a naive single-threshold
+  // watchdog; the smoothed value holds the line and counts the flap.
+  ASSERT_TRUE(f.registry.broker(f.cpu).reserve(3.0, SessionId{9}, 50.0));
+  monitor.sample(3.0);
+  const ResourceContention& s = monitor.state(f.cpu);
+  EXPECT_LT(s.last_alpha, config.enter_contended);
+  EXPECT_FALSE(monitor.contended(f.cpu));
+  EXPECT_EQ(s.flips, 0u);
+  EXPECT_EQ(s.suppressed_flaps, 1u);
+  EXPECT_EQ(monitor.total_suppressed_flaps(), 1u);
+}
+
+TEST(ContentionMonitor, BottleneckIsTheWorstWatchedResource) {
+  Fixture f;
+  ContentionMonitor monitor(&f.registry, {f.cpu, f.bw});
+  monitor.sample(0.0);
+  EXPECT_DOUBLE_EQ(monitor.bottleneck_ewma(), 1.0);
+  EXPECT_FALSE(monitor.bottleneck_resource().valid());  // nothing below 1
+
+  ASSERT_TRUE(f.registry.broker(f.bw).reserve(1.0, SessionId{9}, 80.0));
+  monitor.sample(1.0);
+  EXPECT_EQ(monitor.bottleneck_resource(), f.bw);
+  // bw's raw alpha is 0.2 but the default half-life smooths the drop:
+  // ewma = 0.2 + (1.0 - 0.2) * 0.5^(1/2) ~= 0.766 — still the bottleneck.
+  EXPECT_LT(monitor.bottleneck_ewma(), 0.8);
+  EXPECT_DOUBLE_EQ(monitor.state(f.cpu).ewma_alpha, 1.0);
+}
+
+}  // namespace
+}  // namespace qres::adapt

@@ -1,0 +1,161 @@
+// Edge races around lease deadlines and alpha window boundaries
+// (the timestamps where two broker rules apply at the same instant).
+#include <gtest/gtest.h>
+
+#include "broker/resource_broker.hpp"
+#include "util/assert.hpp"
+
+namespace qres {
+namespace {
+
+const ResourceId rid{0};
+const SessionId s1{1}, s2{2};
+
+ResourceBroker make(double capacity = 100.0, double window = 3.0,
+                    AlphaMode mode = AlphaMode::kTimeWeighted) {
+  return ResourceBroker(rid, "cpu", capacity, window, 64.0, mode);
+}
+
+// --- renew_lease racing expire_due at the same timestamp ------------------
+
+TEST(BrokerRaces, RenewalAtExactlyTheDeadlineLosesTheRace) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 30.0, 5.0));
+  ASSERT_EQ(broker.lease_deadline(s1), 5.0);
+  // Deadlines are inclusive (deadline <= now expires), and a renewal
+  // sweeps due leases before looking its own up: arriving at the exact
+  // deadline instant is arriving too late, deterministically.
+  EXPECT_FALSE(broker.renew_lease(5.0, s1, 5.0));
+  EXPECT_EQ(broker.held_by(s1), 0.0);
+  EXPECT_EQ(broker.available(), 100.0);
+}
+
+TEST(BrokerRaces, RenewalJustBeforeTheDeadlineWins) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 30.0, 5.0));
+  EXPECT_TRUE(broker.renew_lease(4.9, s1, 5.0));
+  EXPECT_EQ(broker.lease_deadline(s1), 9.9);
+  // The old deadline instant passes harmlessly now.
+  EXPECT_EQ(broker.expire_due(5.0, nullptr), 0.0);
+  EXPECT_EQ(broker.held_by(s1), 30.0);
+}
+
+TEST(BrokerRaces, RenewalNeverShortensTheDeadline) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 30.0, 10.0));
+  // A renewal with a shorter lease is a sign of life, not a demotion.
+  EXPECT_TRUE(broker.renew_lease(1.0, s1, 2.0));
+  EXPECT_EQ(broker.lease_deadline(s1), 10.0);
+}
+
+TEST(BrokerRaces, ReserveAtTheDeadlineReclaimsTheExpiredHolderFirst) {
+  ResourceBroker broker = make();
+  broker.enable_expiry_log();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 100.0, 5.0));
+  ASSERT_EQ(broker.available(), 0.0);
+  // s2's admission arrives at the very instant s1's lease runs out: the
+  // lazy sweep inside reserve() reclaims first, so the admission that
+  // needs the capacity is the one that frees it.
+  EXPECT_TRUE(broker.reserve(5.0, s2, 60.0));
+  EXPECT_EQ(broker.held_by(s1), 0.0);
+  EXPECT_EQ(broker.held_by(s2), 60.0);
+  // The sweep nobody called explicitly still lands in the expiry log.
+  std::vector<SessionId> expired;
+  broker.take_expired(&expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front(), s1);
+}
+
+TEST(BrokerRaces, SameInstantExpiryAndReserveShareOneHistoryEntry) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 100.0, 5.0));
+  ASSERT_TRUE(broker.reserve(5.0, s2, 60.0));
+  // The expiry recorded (5, 100) and the reserve overwrote it with
+  // (5, 40): same-timestamp changes collapse to the final state, so a
+  // stale observer at t=5 can never see the transient empty broker.
+  std::size_t at_five = 0;
+  for (const auto& [time, value] : broker.history())
+    if (time == 5.0) ++at_five;
+  EXPECT_EQ(at_five, 1u);
+  EXPECT_EQ(broker.available_at(5.0), 40.0);
+}
+
+TEST(BrokerRaces, ExpireDueReportsExactlyTheDueSessions) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 30.0, 5.0));
+  ASSERT_TRUE(broker.reserve_leased(0.0, s2, 20.0, 7.0));
+  std::vector<SessionId> expired;
+  EXPECT_EQ(broker.expire_due(6.0, &expired), 30.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front(), s1);
+  EXPECT_EQ(broker.held_by(s2), 20.0);
+  EXPECT_EQ(broker.lease_deadline(s2), 7.0);
+}
+
+// --- windowed_average / alpha at the window boundaries --------------------
+
+TEST(BrokerRaces, ZeroWidthWindowFallsBackToTheInstantaneousValue) {
+  ResourceBroker broker = make();
+  // Observing at t=0 leaves nothing to integrate: alpha must be the
+  // neutral 1.0, not a 0/0.
+  const ResourceObservation obs = broker.observe(0.0);
+  EXPECT_EQ(obs.available, 100.0);
+  EXPECT_DOUBLE_EQ(obs.alpha, 1.0);
+}
+
+TEST(BrokerRaces, WindowClampsToRecordedHistory) {
+  ResourceBroker broker = make(100.0, /*window=*/3.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 50.0));
+  // t=1 with window 3 would reach back to t=-2; the average must clamp
+  // to [0, 1] (all at full capacity) instead of weighting fictitious
+  // pre-simulation time: alpha = 50 / 100.
+  const ResourceObservation obs = broker.observe(1.0);
+  EXPECT_EQ(obs.available, 50.0);
+  EXPECT_DOUBLE_EQ(obs.alpha, 0.5);
+}
+
+TEST(BrokerRaces, ChangeExactlyAtTheWindowEdgeCountsAsTheBaseline) {
+  ResourceBroker broker = make(100.0, /*window=*/3.0);
+  ASSERT_TRUE(broker.reserve(2.0, s1, 20.0));  // -> 80 available
+  ASSERT_TRUE(broker.reserve(4.0, s2, 20.0));  // -> 60 available
+  // Window [2, 5]: the change AT t-T=2 is the left-edge baseline (its
+  // value 80 covers [2, 4]), then 60 covers [4, 5].
+  const ResourceObservation obs = broker.observe(5.0);
+  const double avg = (80.0 * 2.0 + 60.0 * 1.0) / 3.0;
+  EXPECT_EQ(obs.available, 60.0);
+  EXPECT_NEAR(obs.alpha, 60.0 / avg, 1e-12);
+}
+
+TEST(BrokerRaces, ReportBasedKeepsTheReportExactlyAtTheWindowEdge) {
+  ResourceBroker broker = make(100.0, 3.0, AlphaMode::kReportBased);
+  (void)broker.observe(0.0);                   // report (0, 100)
+  ASSERT_TRUE(broker.reserve(1.0, s1, 50.0));
+  (void)broker.observe(1.0);                   // report (1, 50)
+  // At t=4 the window is [1, 4]: the t=0 report falls out (strictly
+  // older than t-T) but the report exactly at t-T=1 still counts, so
+  // r_avg = 50 and alpha recovers to 1.0.
+  const ResourceObservation obs = broker.observe(4.0);
+  EXPECT_EQ(obs.available, 50.0);
+  EXPECT_DOUBLE_EQ(obs.alpha, 1.0);
+}
+
+TEST(BrokerRaces, ReportBasedRejectsStaleObservations) {
+  ResourceBroker broker = make(100.0, 3.0, AlphaMode::kReportBased);
+  (void)broker.observe(2.0);
+  EXPECT_THROW(broker.observe(1.0), ContractViolation);
+  // The same instant is fine (reports are a non-decreasing protocol log).
+  EXPECT_NO_THROW(broker.observe(2.0));
+}
+
+TEST(BrokerRaces, ReportBasedZeroAverageIsNeutral) {
+  ResourceBroker broker = make(100.0, 3.0, AlphaMode::kReportBased);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 100.0));
+  (void)broker.observe(1.0);  // report (1, 0) — broker fully reserved
+  // r_avg = 0 must not divide: alpha falls back to the neutral 1.0.
+  const ResourceObservation obs = broker.observe(2.0);
+  EXPECT_EQ(obs.available, 0.0);
+  EXPECT_DOUBLE_EQ(obs.alpha, 1.0);
+}
+
+}  // namespace
+}  // namespace qres

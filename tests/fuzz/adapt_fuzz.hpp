@@ -1,0 +1,71 @@
+// Adaptation-engine fuzzing (see DESIGN.md §8).
+//
+// Complements fault_fuzz.* (faulted protocols) with the two properties the
+// contention watchdog / graceful-degradation engine must uphold:
+//
+//   * engine-off differential: a disabled AdaptationEngine is a
+//     transparent pass-through — admissions, holdings, broker histories
+//     and availabilities are *bit-identical* to driving the
+//     SessionCoordinator directly, and ticks neither sample a broker nor
+//     renegotiate anything;
+//   * adaptive runs under faults: random admit/depart/hog/tick schedules
+//     with random priorities over a lossy, crash-prone control plane,
+//     where a transport interposer audits the make-before-break floor —
+//     at every single RPC, i.e. in the middle of renegotiation windows,
+//     every live session's brokers must hold at least its committed
+//     plan — and the ReservationAuditor proves conservation of every
+//     unit the engine touched (stranded rollbacks booked as zombies
+//     included).
+//
+// Test-framework-free like its siblings: links into the qres_fuzz driver
+// (tools/qres_fuzz --mode adapt) for long sanitizer runs and into the
+// bounded gtest smoke (test_adapt_fuzz_smoke.cpp). Reproduce a failure
+// with `qres_fuzz --mode adapt --repro-seed <seed>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qres::fuzz {
+
+/// Tallies of what the adaptation iterations actually exercised.
+struct AdaptFuzzStats {
+  std::uint64_t admissions = 0;       ///< engine.admit calls (faulted run)
+  std::uint64_t established = 0;      ///< ... that succeeded
+  std::uint64_t departures = 0;
+  std::uint64_t ticks = 0;            ///< watchdog passes
+  std::uint64_t floor_checks = 0;     ///< per-RPC MBB floor audits
+  std::uint64_t upgrades = 0;
+  std::uint64_t downgrades = 0;
+  std::uint64_t mbb_aborts = 0;       ///< renegotiations aborted by faults
+  std::uint64_t preemptions = 0;      ///< evictions by priority shedding
+  std::uint64_t preempt_downgrades = 0;
+  std::uint64_t overload_rejects = 0;
+  std::uint64_t zombies_released = 0; ///< stranded rollbacks reclaimed
+  std::uint64_t audits = 0;           ///< auditor audit points
+
+  void merge(const AdaptFuzzStats& o) {
+    admissions += o.admissions;
+    established += o.established;
+    departures += o.departures;
+    ticks += o.ticks;
+    floor_checks += o.floor_checks;
+    upgrades += o.upgrades;
+    downgrades += o.downgrades;
+    mbb_aborts += o.mbb_aborts;
+    preemptions += o.preemptions;
+    preempt_downgrades += o.preempt_downgrades;
+    overload_rejects += o.overload_rejects;
+    zombies_released += o.zombies_released;
+    audits += o.audits;
+  }
+};
+
+/// One full adaptation iteration from a single seed: the engine-off
+/// differential, then a faulted adaptive run with the per-RPC floor
+/// audit. Returns the first violation (prefixed with the seed) or an
+/// empty string.
+std::string run_adapt_iteration(std::uint64_t seed,
+                                AdaptFuzzStats* stats = nullptr);
+
+}  // namespace qres::fuzz

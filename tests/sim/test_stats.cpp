@@ -75,5 +75,29 @@ TEST(SimulationStats, MergeAccumulatesEverything) {
   EXPECT_EQ(a.admission_failures(), 1u);
 }
 
+TEST(AdaptationStats, MergeSumsEveryCounter) {
+  AdaptationStats a, b;
+  a.upgrades = 1;
+  a.downgrades = 2;
+  a.upgrade_attempts = 3;
+  a.downgrade_attempts = 4;
+  a.mbb_aborts = 5;
+  a.preemptions = 6;
+  a.preempt_downgrades = 7;
+  a.overload_rejects = 8;
+  a.suppressed_flaps = 9;
+  b = a;
+  a.merge(b);
+  EXPECT_EQ(a.upgrades, 2u);
+  EXPECT_EQ(a.downgrades, 4u);
+  EXPECT_EQ(a.upgrade_attempts, 6u);
+  EXPECT_EQ(a.downgrade_attempts, 8u);
+  EXPECT_EQ(a.mbb_aborts, 10u);
+  EXPECT_EQ(a.preemptions, 12u);
+  EXPECT_EQ(a.preempt_downgrades, 14u);
+  EXPECT_EQ(a.overload_rejects, 16u);
+  EXPECT_EQ(a.suppressed_flaps, 18u);
+}
+
 }  // namespace
 }  // namespace qres

@@ -15,8 +15,16 @@
 //   * the ReservationAuditor model matches broker/link state under faults,
 //   * after teardown + lease expiry not one unit of capacity leaked.
 //
+// With --mode adapt (see tests/fuzz/adapt_fuzz.*) each iteration drives
+// the contention watchdog / adaptation engine and proves:
+//   * a disabled engine is a bit-identical pass-through (admissions,
+//     holdings, broker histories; ticks touch nothing),
+//   * under faults, no live session ever holds less than its committed
+//     plan — audited from inside the transport, mid-renegotiation,
+//   * the auditor's conservation proof closes (zombies included).
+//
 // Usage:
-//   qres_fuzz [--mode planner|faults|all] [--iterations N] [--seed S]
+//   qres_fuzz [--mode planner|faults|adapt|all] [--iterations N] [--seed S]
 //             [--repro-seed X] [--verbose]
 //
 // Each iteration derives its own 64-bit seed from the master seed; on
@@ -35,6 +43,7 @@
 #include <exception>
 #include <string>
 
+#include "../tests/fuzz/adapt_fuzz.hpp"
 #include "../tests/fuzz/fault_fuzz.hpp"
 #include "../tests/fuzz/fuzz_lib.hpp"
 #include "util/rng.hpp"
@@ -43,7 +52,7 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--mode planner|faults|all] [--iterations N] "
+               "usage: %s [--mode planner|faults|adapt|all] [--iterations N] "
                "[--seed S] [--repro-seed X] [--verbose]\n",
                argv0);
 }
@@ -58,6 +67,7 @@ int main(int argc, char** argv) {
   std::uint64_t repro_seed = 0;
   bool run_planner = true;
   bool run_faults = false;
+  bool run_adapt = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,12 +94,19 @@ int main(int argc, char** argv) {
       if (mode == "planner") {
         run_planner = true;
         run_faults = false;
+        run_adapt = false;
       } else if (mode == "faults") {
         run_planner = false;
         run_faults = true;
+        run_adapt = false;
+      } else if (mode == "adapt") {
+        run_planner = false;
+        run_faults = false;
+        run_adapt = true;
       } else if (mode == "all") {
         run_planner = true;
         run_faults = true;
+        run_adapt = true;
       } else {
         std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
         usage(argv[0]);
@@ -116,6 +133,7 @@ int main(int argc, char** argv) {
 
   qres::fuzz::FuzzStats stats;
   qres::fuzz::FaultFuzzStats fault_stats;
+  qres::fuzz::AdaptFuzzStats adapt_stats;
   std::uint64_t failures = 0;
   qres::Rng master(master_seed);
 
@@ -127,6 +145,8 @@ int main(int argc, char** argv) {
       if (run_planner) failure = qres::fuzz::run_iteration(seed, &stats);
       if (failure.empty() && run_faults)
         failure = qres::fuzz::run_fault_iteration(seed, &fault_stats);
+      if (failure.empty() && run_adapt)
+        failure = qres::fuzz::run_adapt_iteration(seed, &adapt_stats);
     } catch (const std::exception& e) {
       failure = "seed " + std::to_string(seed) +
                 ": unexpected exception: " + e.what();
@@ -165,6 +185,20 @@ int main(int argc, char** argv) {
         fault_stats.leaked_rollbacks, fault_stats.messages,
         fault_stats.transmissions, fault_stats.drops, fault_stats.duplicates,
         fault_stats.audits);
+  if (run_adapt)
+    std::printf(
+        "qres_fuzz adapt: %" PRIu64 " iteration(s), %" PRIu64
+        " failure(s); %" PRIu64 "/%" PRIu64 " sessions established, %" PRIu64
+        " ticks, %" PRIu64 " floor checks, %" PRIu64 " upgrades, %" PRIu64
+        " downgrades, %" PRIu64 " mbb aborts, %" PRIu64 " evictions, %" PRIu64
+        " preempt-downgrades, %" PRIu64 " overload rejects, %" PRIu64
+        " zombies released, %" PRIu64 " audits\n",
+        total, failures, adapt_stats.established, adapt_stats.admissions,
+        adapt_stats.ticks, adapt_stats.floor_checks, adapt_stats.upgrades,
+        adapt_stats.downgrades, adapt_stats.mbb_aborts,
+        adapt_stats.preemptions, adapt_stats.preempt_downgrades,
+        adapt_stats.overload_rejects, adapt_stats.zombies_released,
+        adapt_stats.audits);
   if (failures > 0)
     std::printf("reproduce a failure with: %s --repro-seed <seed>\n",
                 argv[0]);

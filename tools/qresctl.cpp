@@ -16,12 +16,19 @@
 //   release <session-id>  release everything a session holds
 //   avail                 print per-resource availability
 //   sinks                 print per-end-to-end-level reachability / psi
+//   contention            sample the watchdog and dump per-resource
+//                         alpha/EWMA/hysteresis state + the adaptation
+//                         event log
 //   quit
+//
+// Reservations go through an AdaptationEngine (default config, no
+// governor), so `contention` shows the same watchdog state and event log
+// the adaptation layer acts on.
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
 
+#include "adapt/adaptation_engine.hpp"
 #include "broker/registry.hpp"
 #include "core/model_io.hpp"
 #include "proxy/qos_proxy.hpp"
@@ -84,7 +91,15 @@ int main(int argc, char** argv) {
   const ServiceDefinition service = model.instantiate();
   SessionCoordinator coordinator(&service, model.footprint(), &registry);
   BasicPlanner planner;
+  TradeoffPlanner degrade_planner;
   Rng rng(1);
+
+  std::vector<ResourceId> watched;
+  for (std::uint32_t i = 0; i < registry.size(); ++i)
+    watched.push_back(ResourceId{i});
+  adapt::ContentionMonitor monitor(&registry, std::move(watched));
+  adapt::AdaptationEngine engine(&coordinator, &monitor, &planner,
+                                 &degrade_planner);
 
   std::cout << "loaded '" << model.service_name << "' ("
             << service.component_count() << " components) over "
@@ -92,8 +107,6 @@ int main(int argc, char** argv) {
 
   double now = 0.0;
   std::uint32_t next_session = 1;
-  std::map<std::uint32_t, std::vector<std::pair<ResourceId, double>>>
-      sessions;
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -133,7 +146,10 @@ int main(int argc, char** argv) {
         stream >> scale;
         const SessionId session{next_session};
         EstablishResult result =
-            coordinator.establish(session, now, planner, rng, scale);
+            command == "reserve"
+                ? engine.admit(session, now,
+                               adapt::SessionPriority::kStandard, scale, rng)
+                : coordinator.establish(session, now, planner, rng, scale);
         if (!result.plan) {
           std::cout << "no feasible end-to-end plan\n";
           continue;
@@ -156,7 +172,6 @@ int main(int argc, char** argv) {
           if (result.success)
             coordinator.teardown(result.holdings, session, now);
         } else if (result.success) {
-          sessions[next_session] = std::move(result.holdings);
           std::cout << "reserved as session " << next_session << "\n";
           ++next_session;
         } else {
@@ -164,16 +179,41 @@ int main(int argc, char** argv) {
         }
       } else if (command == "release") {
         std::uint32_t id = 0;
-        if (!(stream >> id) || !sessions.count(id)) {
+        if (!(stream >> id) || !engine.live(SessionId{id})) {
           std::cout << "unknown session\n";
           continue;
         }
-        coordinator.teardown(sessions[id], SessionId{id}, now);
-        sessions.erase(id);
+        engine.depart(SessionId{id}, now);
         std::cout << "released session " << id << "\n";
+      } else if (command == "contention") {
+        monitor.sample(now);
+        const adapt::MonitorConfig& bands = monitor.config();
+        std::cout << "bands: contended < " << bands.enter_contended
+                  << ", calm > " << bands.exit_contended
+                  << ", ewma halflife " << bands.ewma_halflife << "\n";
+        for (ResourceId id : monitor.watched()) {
+          const adapt::ResourceContention& s = monitor.state(id);
+          std::cout << "  " << registry.catalog().name(id) << ": alpha "
+                    << s.last_alpha << ", ewma " << s.ewma_alpha << ", "
+                    << adapt::to_string(s.level) << ", flips " << s.flips
+                    << ", suppressed flaps " << s.suppressed_flaps << "\n";
+        }
+        const ResourceId bottleneck = monitor.bottleneck_resource();
+        if (bottleneck.valid())
+          std::cout << "bottleneck: " << registry.catalog().name(bottleneck)
+                    << " (ewma " << monitor.bottleneck_ewma() << ")\n";
+        else
+          std::cout << "bottleneck: none (every ewma >= 1)\n";
+        if (engine.events().empty())
+          std::cout << "no adaptation events\n";
+        for (const adapt::AdaptationEvent& event : engine.events())
+          std::cout << "  t=" << event.time << " "
+                    << adapt::to_string(event.kind) << " session "
+                    << event.session.value() << " rank " << event.old_rank
+                    << " -> " << event.new_rank << "\n";
       } else {
         std::cout << "commands: plan [scale] | reserve [scale] | release "
-                     "<id> | avail | sinks | quit\n";
+                     "<id> | avail | sinks | contention | quit\n";
       }
     } catch (const std::exception& error) {
       std::cout << "error: " << error.what() << "\n";
