@@ -1,0 +1,168 @@
+// Write-ahead journal for Resource Brokers (durability layer).
+//
+// PR 2 made the runtime survive crashed *proxies* (leases expire orphaned
+// holdings); this subsystem makes it survive crashed *brokers*. Every
+// state mutation of a journaled ResourceBroker — reserve, leased reserve,
+// release, partial release, lease renewal, lease expiry — is appended to
+// an IJournalSink before the call returns, so a broker process that dies
+// can be rebuilt exactly from its journal:
+//
+//   * `ResourceBroker::recover(records)` replays a journal into a fresh
+//     broker whose reserved total, per-session holdings, lease deadlines
+//     and availability history window are bit-identical to the pre-crash
+//     broker (property-fuzzed by `qres_fuzz --mode crash`);
+//   * periodic snapshot compaction bounds replay cost: every
+//     `snapshot_every` mutations the broker appends a self-contained
+//     kSnapshot record, and a compacting sink may drop everything before
+//     it — recovery only ever needs the last snapshot plus the tail;
+//   * the journal is the durable truth after a crash. Transient
+//     notification state (the expiry log consumed by take_expired, the
+//     report-based alpha cache) is deliberately *not* journaled: it
+//     describes deliveries to observers, not reservations, and recovery
+//     resets it empty.
+//
+// Two sinks are provided: MemoryJournal (a record vector, used by the
+// simulation and the fuzz harnesses, with an optional "lost unsynced
+// tail" crash model) and FileJournal (an append-only text file, one
+// record per line, used by `qresctl --journal` / `qresctl journal`).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace qres {
+
+enum class AlphaMode : std::uint8_t;
+
+/// The journaled mutation kinds. kSnapshot is self-contained: it carries
+/// the broker's full configuration and mutable state, so recovery never
+/// needs records older than the last snapshot.
+enum class JournalOp : std::uint8_t {
+  kSnapshot,       ///< full broker state (also the journal's first record)
+  kReserve,        ///< permanent reservation granted
+  kReserveLeased,  ///< leased reservation granted (amount + lease)
+  kRelease,        ///< full release of one session's holding
+  kReleaseAmount,  ///< partial release (amount = what was actually freed)
+  kRenewLease,     ///< lease deadline pushed to max(deadline, time + lease)
+  kExpire,         ///< one session reclaimed by lease expiry
+  kRestart,        ///< crash-restart marker; lease = the grace granted
+};
+
+const char* to_string(JournalOp op) noexcept;
+
+/// One journal entry. Plain mutation records use the scalar fields; the
+/// snapshot payload (config + state vectors) is only populated for
+/// kSnapshot. `resource` is set on every record so several brokers can
+/// share one sink (the qresctl file journal does).
+struct JournalRecord {
+  JournalOp op = JournalOp::kSnapshot;
+  double time = 0.0;
+  ResourceId resource;
+  SessionId session;
+  double amount = 0.0;
+  double lease = 0.0;
+
+  // --- kSnapshot payload: broker identity + configuration...
+  std::string name;
+  double capacity = 0.0;
+  double alpha_window = 0.0;
+  double history_keep = 0.0;
+  AlphaMode alpha_mode{};
+  bool expiry_log_enabled = false;
+  std::uint64_t expiry_log_capacity = 0;
+  // --- ...and complete mutable state.
+  double reserved = 0.0;
+  std::vector<std::pair<std::uint32_t, double>> holdings;
+  std::vector<std::pair<std::uint32_t, double>> lease_deadlines;
+  std::vector<std::pair<double, double>> history;
+};
+
+/// Where a broker's journal records go. The sink is durable storage: it
+/// must survive the broker's crash (in the simulation this simply means
+/// it is owned outside the broker object).
+class IJournalSink {
+ public:
+  virtual ~IJournalSink() = default;
+
+  /// Appends one record; called by the broker before its mutator returns.
+  virtual void append(const JournalRecord& record) = 0;
+
+  /// Returns every retained record, oldest first. Recovery requires the
+  /// result to contain at least one kSnapshot record.
+  virtual std::vector<JournalRecord> load() const = 0;
+};
+
+/// In-memory journal. With compaction enabled (the default), appending a
+/// snapshot drops every earlier record — replay cost stays bounded by the
+/// mutation count between snapshots.
+class MemoryJournal final : public IJournalSink {
+ public:
+  explicit MemoryJournal(bool compact_on_snapshot = true)
+      : compact_(compact_on_snapshot) {}
+
+  void append(const JournalRecord& record) override;
+  std::vector<JournalRecord> load() const override { return records_; }
+
+  const std::vector<JournalRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Crash model for the un-fsynced tail: drops up to `count` trailing
+  /// records, stopping (inclusive-keep) at the newest snapshot — the
+  /// snapshot is the fsync barrier, so it can never be lost. Returns how
+  /// many records were actually dropped.
+  std::size_t drop_tail(std::size_t count);
+
+  std::uint64_t appended() const noexcept { return appended_; }
+  std::uint64_t snapshots() const noexcept { return snapshots_; }
+  std::uint64_t compacted_away() const noexcept { return compacted_away_; }
+
+ private:
+  bool compact_;
+  std::vector<JournalRecord> records_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t snapshots_ = 0;
+  std::uint64_t compacted_away_ = 0;
+};
+
+/// Append-only file journal: one record per line, human-readable and
+/// exactly round-trippable (doubles are printed with 17 significant
+/// digits). The file is never compacted — `qresctl journal` uses the full
+/// history for its replay-and-compare verification.
+class FileJournal final : public IJournalSink {
+ public:
+  /// Opens `path` for appending (`truncate` starts a fresh journal).
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit FileJournal(std::string path, bool truncate = true);
+
+  void append(const JournalRecord& record) override;
+  std::vector<JournalRecord> load() const override;
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Parses a journal file; throws std::runtime_error (with a line
+  /// number) on malformed input.
+  static std::vector<JournalRecord> read_file(const std::string& path);
+
+ private:
+  std::string path_;
+};
+
+/// Serializes one record as a single line (no trailing newline).
+std::string to_line(const JournalRecord& record);
+
+/// Parses one line produced by to_line(); throws std::runtime_error on
+/// malformed input.
+JournalRecord parse_line(const std::string& line);
+
+/// The subsequence of `records` belonging to `resource` — several brokers
+/// may share one sink (see JournalRecord::resource).
+std::vector<JournalRecord> filter_journal(
+    const std::vector<JournalRecord>& records, ResourceId resource);
+
+}  // namespace qres

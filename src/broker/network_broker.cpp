@@ -16,6 +16,12 @@ NetworkPathBroker::NetworkPathBroker(ResourceId id, std::string name,
     QRES_REQUIRE(link != nullptr, "NetworkPathBroker: null link broker");
 }
 
+bool NetworkPathBroker::up() const noexcept {
+  for (const IBroker* link : links_)
+    if (!link->up()) return false;
+  return true;
+}
+
 double NetworkPathBroker::capacity() const noexcept {
   double minimum = std::numeric_limits<double>::infinity();
   for (const IBroker* link : links_)

@@ -59,6 +59,10 @@ class NetworkPathBroker final : public IBroker {
   /// Earliest lease deadline over the links.
   double lease_deadline(SessionId session) const override;
 
+  /// Up iff every link broker is up: one down link broker makes the whole
+  /// path unavailable (its reservations can neither be made nor verified).
+  bool up() const noexcept override;
+
   std::size_t link_count() const noexcept { return links_.size(); }
   const IBroker& link(std::size_t index) const;
 

@@ -41,6 +41,14 @@ const IBroker& BrokerRegistry::broker(ResourceId id) const {
   return *brokers_[id.value()];
 }
 
+ResourceBroker* BrokerRegistry::leaf(ResourceId id) {
+  return dynamic_cast<ResourceBroker*>(&broker(id));
+}
+
+const ResourceBroker* BrokerRegistry::leaf(ResourceId id) const {
+  return dynamic_cast<const ResourceBroker*>(&broker(id));
+}
+
 AvailabilityView BrokerRegistry::collect(
     const std::vector<ResourceId>& ids, double now,
     const std::function<double(ResourceId)>& staleness) const {

@@ -39,6 +39,12 @@ class BrokerRegistry {
   IBroker& broker(ResourceId id);
   const IBroker& broker(ResourceId id) const;
 
+  /// The underlying ResourceBroker when `id` names a leaf resource (host
+  /// resource or physical link); nullptr for composite path brokers.
+  /// Durability operations (attach_journal/crash/restart) live on leaves.
+  ResourceBroker* leaf(ResourceId id);
+  const ResourceBroker* leaf(ResourceId id) const;
+
   /// Collects an availability snapshot for the given resources. Each
   /// resource is observed at `now - staleness(id)`; pass a null staleness
   /// function for accurate observations.

@@ -64,6 +64,9 @@ double ResourceBroker::windowed_average(double t) const {
 }
 
 ResourceObservation ResourceBroker::observe(double t) const {
+  QRES_REQUIRE(up_,
+               "ResourceBroker::observe: broker is down — callers must "
+               "check up() and treat the broker as unavailable, not empty");
   const double avail = available_at(t);
   ResourceObservation obs;
   obs.available = avail;
@@ -92,28 +95,43 @@ ResourceObservation ResourceBroker::observe(double t) const {
 }
 
 bool ResourceBroker::reserve(double now, SessionId session, double amount) {
+  return reserve_impl(now, session, amount, JournalOp::kReserve, 0.0);
+}
+
+bool ResourceBroker::reserve_impl(double now, SessionId session,
+                                  double amount, JournalOp op, double lease) {
   QRES_REQUIRE(session.valid(), "ResourceBroker::reserve: invalid session");
   QRES_REQUIRE(amount >= 0.0, "ResourceBroker::reserve: negative amount");
+  if (!up_) return false;
   // Lazy lease sweep: capacity abandoned by a crashed holder whose lease
   // ran out is reclaimable by the very admission decision that needs it.
-  // A no-op (and no history record) when no leases are outstanding.
+  // A no-op (and no history record) when no leases are outstanding. The
+  // sweep journals its kExpire records *before* this grant's record, so
+  // replaying the grant finds nothing due — replay stays deterministic.
   expire_due(now, nullptr);
   if (amount > available() + 1e-9) return false;
   holdings_[session] += amount;
   reserved_ += amount;
   if (reserved_ > capacity_) reserved_ = capacity_;  // clamp fp drift
+  if (op == JournalOp::kReserveLeased)
+    // The whole holding of the session shares one deadline; reserving
+    // again is itself a sign of life, so the deadline moves forward.
+    lease_deadlines_.insert_or_assign(session, now + lease);
   record(now);
+  journal_append(op, now, session, amount, lease);
   return true;
 }
 
 void ResourceBroker::release(double now, SessionId session) {
   auto it = holdings_.find(session);
   if (it == holdings_.end()) return;
-  reserved_ -= it->second;
+  const double freed = it->second;
+  reserved_ -= freed;
   if (reserved_ < 0.0) reserved_ = 0.0;  // clamp fp drift
   holdings_.erase(session);
   lease_deadlines_.erase(session);
   record(now);
+  journal_append(JournalOp::kRelease, now, session, freed, 0.0);
 }
 
 void ResourceBroker::release_amount(double now, SessionId session,
@@ -131,6 +149,9 @@ void ResourceBroker::release_amount(double now, SessionId session,
     lease_deadlines_.erase(session);
   }
   record(now);
+  // Journaled amount is what was actually freed, so replay never over-
+  // releases a holding the journal shows smaller.
+  journal_append(JournalOp::kReleaseAmount, now, session, freed, 0.0);
 }
 
 double ResourceBroker::held_by(SessionId session) const {
@@ -142,11 +163,7 @@ bool ResourceBroker::reserve_leased(double now, SessionId session,
                                     double amount, double lease) {
   QRES_REQUIRE(lease > 0.0,
                "ResourceBroker::reserve_leased: lease must be positive");
-  if (!reserve(now, session, amount)) return false;
-  // The whole holding of the session shares one deadline; reserving again
-  // is itself a sign of life, so the deadline moves forward.
-  lease_deadlines_.insert_or_assign(session, now + lease);
-  return true;
+  return reserve_impl(now, session, amount, JournalOp::kReserveLeased, lease);
 }
 
 bool ResourceBroker::renew_lease(double now, SessionId session,
@@ -157,6 +174,7 @@ bool ResourceBroker::renew_lease(double now, SessionId session,
   auto it = lease_deadlines_.find(session);
   if (it == lease_deadlines_.end()) return false;
   it->second = std::max(it->second, now + lease);
+  journal_append(JournalOp::kRenewLease, now, session, 0.0, lease);
   return true;
 }
 
@@ -168,12 +186,34 @@ double ResourceBroker::expire_due(double now,
     if (deadline <= now) due.push_back(session);
   double freed = 0.0;
   for (SessionId session : due) {
-    freed += held_by(session);
-    release(now, session);  // also erases the lease entry
+    const double held = held_by(session);
+    freed += held;
+    {
+      // The reclaim is journaled as kExpire, not as the kRelease the
+      // nested release() would emit — one logical mutation, one record.
+      const bool was_muted = journal_mute_;
+      journal_mute_ = true;
+      release(now, session);  // also erases the lease entry
+      journal_mute_ = was_muted;
+    }
+    journal_append(JournalOp::kExpire, now, session, held, 0.0);
     if (expired) expired->push_back(session);
-    if (expiry_log_enabled_) expiry_log_.push_back(session);
+    if (expiry_log_enabled_) {
+      expiry_log_.push_back(session);
+      if (expiry_log_.size() > expiry_log_capacity_) {
+        expiry_log_.erase(expiry_log_.begin());
+        ++expiry_log_dropped_;
+      }
+    }
   }
   return freed;
+}
+
+void ResourceBroker::enable_expiry_log(std::size_t capacity) {
+  QRES_REQUIRE(capacity > 0,
+               "ResourceBroker::enable_expiry_log: capacity must be positive");
+  expiry_log_enabled_ = true;
+  expiry_log_capacity_ = capacity;
 }
 
 void ResourceBroker::take_expired(std::vector<SessionId>* into) {
@@ -198,6 +238,218 @@ void ResourceBroker::record(double now) {
     history_.push_back({now, available()});
   }
   prune(now);
+}
+
+// ---------------------------------------------------------------------------
+// Durability: write-ahead journal + crash–restart. See journal.hpp for the
+// record format and DESIGN.md §9 for the recovery invariants.
+
+void ResourceBroker::attach_journal(IJournalSink* sink,
+                                    std::size_t snapshot_every, double now) {
+  QRES_REQUIRE(sink != nullptr, "ResourceBroker::attach_journal: null sink");
+  QRES_REQUIRE(snapshot_every > 0,
+               "ResourceBroker::attach_journal: snapshot_every must be > 0");
+  QRES_REQUIRE(journal_ == nullptr,
+               "ResourceBroker::attach_journal: journal already attached");
+  journal_ = sink;
+  snapshot_every_ = snapshot_every;
+  mutations_since_snapshot_ = 0;
+  // The journal always starts (and after compaction, ends) with a
+  // self-contained snapshot: recovery needs no out-of-band configuration.
+  journal_->append(snapshot(now));
+}
+
+void ResourceBroker::journal_append(JournalOp op, double now,
+                                    SessionId session, double amount,
+                                    double lease) {
+  if (journal_ == nullptr || journal_mute_) return;
+  JournalRecord rec;
+  rec.op = op;
+  rec.time = now;
+  rec.resource = id_;
+  rec.session = session;
+  rec.amount = amount;
+  rec.lease = lease;
+  journal_->append(rec);
+  if (++mutations_since_snapshot_ >= snapshot_every_) {
+    journal_->append(snapshot(now));
+    mutations_since_snapshot_ = 0;
+  }
+}
+
+JournalRecord ResourceBroker::snapshot(double now) const {
+  JournalRecord snap;
+  snap.op = JournalOp::kSnapshot;
+  snap.time = now;
+  snap.resource = id_;
+  snap.name = name_;
+  snap.capacity = capacity_;
+  snap.alpha_window = alpha_window_;
+  snap.history_keep = history_keep_;
+  snap.alpha_mode = alpha_mode_;
+  snap.expiry_log_enabled = expiry_log_enabled_;
+  snap.expiry_log_capacity = expiry_log_capacity_;
+  snap.reserved = reserved_;
+  for (const auto& [session, amount] : holdings_)
+    snap.holdings.push_back({session.value(), amount});
+  for (const auto& [session, deadline] : lease_deadlines_)
+    snap.lease_deadlines.push_back({session.value(), deadline});
+  snap.history = history_;
+  return snap;
+}
+
+void ResourceBroker::restore_from(const JournalRecord& snap) {
+  QRES_REQUIRE(snap.op == JournalOp::kSnapshot,
+               "ResourceBroker::restore_from: not a snapshot record");
+  QRES_REQUIRE(snap.resource == id_ && snap.name == name_ &&
+                   snap.capacity == capacity_,
+               "ResourceBroker::restore_from: snapshot is for a "
+               "different broker");
+  reserved_ = snap.reserved;
+  holdings_.clear();
+  for (const auto& [session, amount] : snap.holdings)
+    holdings_.insert_or_assign(SessionId{session}, amount);
+  lease_deadlines_.clear();
+  for (const auto& [session, deadline] : snap.lease_deadlines)
+    lease_deadlines_.insert_or_assign(SessionId{session}, deadline);
+  expiry_log_enabled_ = snap.expiry_log_enabled;
+  expiry_log_capacity_ = static_cast<std::size_t>(snap.expiry_log_capacity);
+  history_ = snap.history;
+  QRES_REQUIRE(!history_.empty(),
+               "ResourceBroker::restore_from: snapshot has no history");
+  // Transient notification state describes deliveries to observers, not
+  // reservations: recovery resets it empty (see journal.hpp).
+  expiry_log_.clear();
+  expiry_log_dropped_ = 0;
+  reports_.clear();
+}
+
+void ResourceBroker::apply(const JournalRecord& rec) {
+  switch (rec.op) {
+    case JournalOp::kSnapshot:
+      restore_from(rec);
+      return;
+    case JournalOp::kReserve:
+      QRES_REQUIRE(reserve(rec.time, rec.session, rec.amount),
+                   "journal replay: reserve refused — journal corrupt "
+                   "or out of order");
+      return;
+    case JournalOp::kReserveLeased:
+      QRES_REQUIRE(
+          reserve_leased(rec.time, rec.session, rec.amount, rec.lease),
+          "journal replay: leased reserve refused — journal corrupt "
+          "or out of order");
+      return;
+    case JournalOp::kRelease:
+      release(rec.time, rec.session);
+      return;
+    case JournalOp::kReleaseAmount:
+      release_amount(rec.time, rec.session, rec.amount);
+      return;
+    case JournalOp::kRenewLease:
+      QRES_REQUIRE(renew_lease(rec.time, rec.session, rec.lease),
+                   "journal replay: renewal refused — journal corrupt "
+                   "or out of order");
+      return;
+    case JournalOp::kExpire:
+      // Exactly the session the original sweep reclaimed, applied as a
+      // direct release: replay never re-derives "what was due" — the
+      // original broker already decided that and journaled it.
+      release(rec.time, rec.session);
+      return;
+    case JournalOp::kRestart:
+      // Lease grace from a previous restart: every deadline moves to at
+      // least time + grace, applied directly (a renewal sweep here would
+      // reclaim overdue leases before the grace could save them).
+      if (rec.lease > 0.0)
+        for (auto& [session, deadline] : lease_deadlines_)
+          deadline = std::max(deadline, rec.time + rec.lease);
+      return;
+  }
+  QRES_REQUIRE(false, "journal replay: unknown record op");
+}
+
+ResourceBroker ResourceBroker::recover(
+    const std::vector<JournalRecord>& records) {
+  // Recovery = latest snapshot + replay of the tail. The snapshot is
+  // self-contained, so nothing before it is ever needed. For sinks shared
+  // by several brokers, filter_journal() first.
+  std::size_t snap_index = records.size();
+  for (std::size_t i = records.size(); i-- > 0;) {
+    if (records[i].op == JournalOp::kSnapshot) {
+      snap_index = i;
+      break;
+    }
+  }
+  QRES_REQUIRE(snap_index < records.size(),
+               "ResourceBroker::recover: journal has no snapshot");
+  const JournalRecord& snap = records[snap_index];
+  ResourceBroker broker(snap.resource, snap.name, snap.capacity,
+                        snap.alpha_window, snap.history_keep,
+                        snap.alpha_mode);
+  broker.journal_mute_ = true;
+  broker.restore_from(snap);
+  for (std::size_t i = snap_index + 1; i < records.size(); ++i)
+    if (records[i].resource == broker.id_) broker.apply(records[i]);
+  broker.journal_mute_ = false;
+  return broker;
+}
+
+void ResourceBroker::crash(double now) {
+  QRES_REQUIRE(up_, "ResourceBroker::crash: broker is already down");
+  (void)now;  // the journal, not the broker, remembers when
+  up_ = false;
+  // Process memory is gone: reservations, leases, history, notification
+  // state. Only an attached journal (owned outside the broker) survives.
+  reserved_ = 0.0;
+  holdings_.clear();
+  lease_deadlines_.clear();
+  expiry_log_.clear();
+  expiry_log_dropped_ = 0;
+  reports_.clear();
+  history_.clear();
+  history_.push_back({0.0, capacity_});
+  mutations_since_snapshot_ = 0;
+}
+
+void ResourceBroker::restart(double now, double lease_grace) {
+  QRES_REQUIRE(!up_, "ResourceBroker::restart: broker is already up");
+  QRES_REQUIRE(lease_grace >= 0.0,
+               "ResourceBroker::restart: negative lease grace");
+  up_ = true;
+  if (journal_ == nullptr) return;  // lose-everything restart: stays blank
+  const std::vector<JournalRecord> records =
+      filter_journal(journal_->load(), id_);
+  std::size_t snap_index = records.size();
+  for (std::size_t i = records.size(); i-- > 0;) {
+    if (records[i].op == JournalOp::kSnapshot) {
+      snap_index = i;
+      break;
+    }
+  }
+  QRES_REQUIRE(snap_index < records.size(),
+               "ResourceBroker::restart: journal has no snapshot");
+  journal_mute_ = true;
+  restore_from(records[snap_index]);
+  for (std::size_t i = snap_index + 1; i < records.size(); ++i)
+    apply(records[i]);
+  journal_mute_ = false;
+  // Grace period: restored lease holders get until now + grace to
+  // re-assert themselves (reconciliation), even if their deadline passed
+  // during the outage. Journaled so a crash *during* reconciliation
+  // replays identically, then a fresh snapshot lets compacting sinks drop
+  // the pre-crash tail.
+  if (lease_grace > 0.0)
+    for (auto& [session, deadline] : lease_deadlines_)
+      deadline = std::max(deadline, now + lease_grace);
+  JournalRecord marker;
+  marker.op = JournalOp::kRestart;
+  marker.time = now;
+  marker.resource = id_;
+  marker.lease = lease_grace;
+  journal_->append(marker);
+  journal_->append(snapshot(now));
+  mutations_since_snapshot_ = 0;
 }
 
 void ResourceBroker::prune(double now) {

@@ -18,11 +18,13 @@
 // observation experiments.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <string>
 #include <vector>
 
+#include "broker/journal.hpp"
 #include "core/availability.hpp"
 #include "core/ids.hpp"
 #include "util/flat_map.hpp"
@@ -90,7 +92,11 @@ class IBroker {
 
   /// Pushes the session's lease deadline to `now + lease`. Returns false
   /// when the session holds nothing here (already expired or never
-  /// reserved) or its holding is not leased.
+  /// reserved) or its holding is not leased. Boundary convention: due
+  /// leases are swept *before* the renewal is applied, so a renewal
+  /// racing expiry at exactly the deadline tick loses — the holding is
+  /// already reclaimed and the renewal fails. A renewal never shortens
+  /// an existing deadline (the new deadline is max(old, now + lease)).
   virtual bool renew_lease(double now, SessionId session, double lease) {
     (void)now;
     (void)session;
@@ -100,7 +106,10 @@ class IBroker {
 
   /// Reclaims every leased holding whose deadline is <= `now`. Returns
   /// the total amount freed; expired session ids are appended to
-  /// `expired` when given.
+  /// `expired` when given. Boundary convention: expiry wins the
+  /// exact-deadline tie — a lease with deadline == now is reclaimed, and
+  /// a renewal arriving at that same tick fails (renew_lease sweeps due
+  /// leases first).
   virtual double expire_due(double now, std::vector<SessionId>* expired) {
     (void)now;
     (void)expired;
@@ -114,9 +123,12 @@ class IBroker {
     return std::numeric_limits<double>::infinity();
   }
 
-  /// Starts logging lease expiries (see take_expired). Off by default so
-  /// brokers in ordinary simulations keep no extra state.
-  virtual void enable_expiry_log() {}
+  /// Starts logging lease expiries (see take_expired), keeping at most
+  /// `capacity` undelivered entries (oldest dropped first). Off by default
+  /// so brokers in ordinary simulations keep no extra state.
+  virtual void enable_expiry_log(std::size_t capacity = 1024) {
+    (void)capacity;
+  }
 
   /// Appends every session reclaimed by lease expiry since the previous
   /// call — including lazy sweeps inside reserve()/renew_lease() that no
@@ -124,6 +136,11 @@ class IBroker {
   /// enable_expiry_log() was called. Lets an external accountant (the
   /// ReservationAuditor harness) learn about reclaims it did not trigger.
   virtual void take_expired(std::vector<SessionId>* into) { (void)into; }
+
+  /// Whether the broker process is running. Callers must check before
+  /// observe()/reserve(): a down broker is *unavailable*, which is
+  /// different from (and must never be conflated with) an empty one.
+  virtual bool up() const noexcept { return true; }
 };
 
 /// How r_avg (the denominator of the change index, eq. 5) is computed.
@@ -165,12 +182,57 @@ class ResourceBroker final : public IBroker {
   bool renew_lease(double now, SessionId session, double lease) override;
   double expire_due(double now, std::vector<SessionId>* expired) override;
   double lease_deadline(SessionId session) const override;
-  void enable_expiry_log() override { expiry_log_enabled_ = true; }
+  void enable_expiry_log(std::size_t capacity = 1024) override;
   void take_expired(std::vector<SessionId>* into) override;
 
   /// Number of sessions currently holding reservations.
   std::size_t active_sessions() const noexcept { return holdings_.size(); }
   double reserved() const noexcept { return reserved_; }
+
+  /// Lease expiries dropped from the log because nobody called
+  /// take_expired() before the cap was hit.
+  std::uint64_t expiry_log_dropped() const noexcept {
+    return expiry_log_dropped_;
+  }
+
+  // --- Durability (write-ahead journal) and crash–restart. See journal.hpp.
+
+  /// Starts journaling every mutation to `sink` (not owned; must outlive
+  /// the broker and its crashes). A self-contained snapshot is appended
+  /// immediately and again every `snapshot_every` mutations, so sinks that
+  /// compact keep replay cost bounded.
+  void attach_journal(IJournalSink* sink, std::size_t snapshot_every = 64,
+                      double now = 0.0);
+  IJournalSink* journal() const noexcept { return journal_; }
+
+  /// The broker's complete state as a self-contained kSnapshot record.
+  /// Used for compaction, for restart, and by tests/fuzzers as the
+  /// bit-identity comparison key (it covers reserved, holdings, lease
+  /// deadlines and the alpha history window).
+  JournalRecord snapshot(double now) const;
+
+  /// Rebuilds a broker from a journal: restores the latest snapshot and
+  /// replays every record after it. The result is bit-identical to the
+  /// journaled broker — same reserved total, holdings, lease deadlines and
+  /// history window. Records for other resources are ignored, so several
+  /// brokers may share one sink. Aborts when `records` has no snapshot.
+  static ResourceBroker recover(const std::vector<JournalRecord>& records);
+
+  bool up() const noexcept override { return up_; }
+
+  /// Broker process dies: all in-memory state (reservations, leases,
+  /// history, expiry log, report cache) is lost. Only an attached journal
+  /// survives. Until restart(), observe() aborts and reserve() refuses.
+  void crash(double now);
+
+  /// Broker process comes back at `now`. With a journal attached it
+  /// recovers from it (latest snapshot + replay) and grants every restored
+  /// lease `lease_grace` extra time — measured from `now`, so holders get
+  /// a full reconciliation window even if their deadline passed during the
+  /// outage. Without a journal the broker restarts blank (the
+  /// lose-everything baseline). Either way transient notification state
+  /// stays empty.
+  void restart(double now, double lease_grace = 0.0);
 
   /// Read-only view of the recorded (time, availability-after-change)
   /// history, pruned to the kept window plus one baseline entry. Exposed
@@ -188,6 +250,19 @@ class ResourceBroker final : public IBroker {
   double windowed_average(double t) const;
   void prune(double now);
 
+  /// reserve()/reserve_leased() share this so a leased grant journals one
+  /// kReserveLeased record instead of a kReserve plus a lease side-note.
+  bool reserve_impl(double now, SessionId session, double amount,
+                    JournalOp op, double lease);
+  /// Appends one mutation record (no-op unless journaling and unmuted),
+  /// then a compacting snapshot every snapshot_every_ mutations.
+  void journal_append(JournalOp op, double now, SessionId session,
+                      double amount, double lease);
+  /// Overwrites all mutable state from a kSnapshot payload.
+  void restore_from(const JournalRecord& snap);
+  /// Replays one non-snapshot record during recovery (journal muted).
+  void apply(const JournalRecord& rec);
+
   ResourceId id_;
   std::string name_;
   double capacity_;
@@ -200,7 +275,17 @@ class ResourceBroker final : public IBroker {
   /// absent from this map hold permanently.
   FlatMap<SessionId, double> lease_deadlines_;
   bool expiry_log_enabled_ = false;
+  std::size_t expiry_log_capacity_ = 1024;
+  std::uint64_t expiry_log_dropped_ = 0;
   std::vector<SessionId> expiry_log_;
+  bool up_ = true;
+  IJournalSink* journal_ = nullptr;
+  std::size_t snapshot_every_ = 64;
+  std::size_t mutations_since_snapshot_ = 0;
+  /// Suppresses journaling while a public mutator runs nested mutators
+  /// (expiry sweeps release(); recovery replays through the same code):
+  /// each logical mutation must journal exactly one record.
+  bool journal_mute_ = false;
   /// (time, availability-after-change), append-only within the kept window.
   std::vector<std::pair<double, double>> history_;
   /// kReportBased: the (time, value) log of past reports within T.

@@ -47,6 +47,20 @@ const char* to_string(EstablishOutcome outcome) noexcept {
     case EstablishOutcome::kAdmission: return "admission";
     case EstablishOutcome::kUnreachable: return "unreachable";
     case EstablishOutcome::kOverload: return "overload";
+    case EstablishOutcome::kBrokerUnavailable: return "broker-unavailable";
+  }
+  return "?";
+}
+
+const char* to_string(
+    SessionCoordinator::ReconcileResolution resolution) noexcept {
+  using R = SessionCoordinator::ReconcileResolution;
+  switch (resolution) {
+    case R::kConfirmed: return "confirmed";
+    case R::kLostClaim: return "lost-claim";
+    case R::kOrphanReleased: return "orphan-released";
+    case R::kExcessReleased: return "excess-released";
+    case R::kRpcFailed: return "rpc-failed";
   }
   return "?";
 }
@@ -84,6 +98,27 @@ bool SessionCoordinator::reserve_segment(ResourceId id, double now,
   if (lease_ > 0.0)
     return registry_->broker(id).reserve_leased(now, session, amount, lease_);
   return registry_->broker(id).reserve(now, session, amount);
+}
+
+AvailabilityView SessionCoordinator::collect_footprint(
+    double now, const std::function<double(ResourceId)>& staleness,
+    std::vector<ResourceId>* down) const {
+  // A down broker cannot be observed (its observe() aborts by contract:
+  // unavailable, never "empty"). The coordinator observes the up subset
+  // and pins down resources at zero availability so planning routes
+  // around them; the typed kBrokerUnavailable outcome is attributed when
+  // that routing finds no plan.
+  std::vector<ResourceId> up;
+  up.reserve(footprint_.size());
+  for (ResourceId id : footprint_) {
+    if (registry_->broker(id).up())
+      up.push_back(id);
+    else
+      down->push_back(id);
+  }
+  AvailabilityView view = registry_->collect(up, now, staleness);
+  for (ResourceId id : *down) view.set(id, 0.0, 1.0);
+  return view;
 }
 
 EstablishResult SessionCoordinator::establish(
@@ -155,14 +190,24 @@ EstablishResult SessionCoordinator::establish_impl(
   // Phase 1: collect availability for the service's resource footprint.
   std::vector<ResourceId> unavailable = dead;
   poll_participants(now, &result.stats, &unavailable);
-  AvailabilityView view = registry_->collect(footprint_, now, staleness);
+  std::vector<ResourceId> down;
+  AvailabilityView view = collect_footprint(now, staleness, &down);
   for (ResourceId id : unavailable) view.set(id, 0.0, 1.0);
 
   // Phase 2: build the QRG and run the algorithm at the main proxy.
   const Qrg qrg(*service_, view, psi_kind_, scale);
   PlanResult planned = planner.plan(qrg, rng);
   result.sinks = std::move(planned.sinks);
-  if (!planned.plan) return result;  // no feasible end-to-end plan
+  if (!planned.plan) {
+    // No feasible end-to-end plan. With a broker outage in the footprint
+    // the rejection is typed as the fault it may well be, not as a plain
+    // capacity rejection.
+    if (!down.empty()) {
+      result.outcome = EstablishOutcome::kBrokerUnavailable;
+      result.failed_resource = down.front();
+    }
+    return result;
+  }
   result.plan = std::move(planned.plan);
 
   // Phase 3: dispatch plan segments; all-or-nothing reservation. Under
@@ -175,6 +220,15 @@ EstablishResult SessionCoordinator::establish_impl(
   reserved.reserve(total.size());
   bool ok = true;
   for (const auto& [id, amount] : total) {
+    if (!registry_->broker(id).up()) {
+      // Defensive: a plan cannot normally require a down broker (its
+      // availability was pinned at zero), but a zero-amount segment can
+      // slip through — typed as the outage it is.
+      result.outcome = EstablishOutcome::kBrokerUnavailable;
+      result.failed_resource = id;
+      ok = false;
+      break;
+    }
     if (!rpc_to_owner(id, now, &result.stats)) {
       result.outcome = EstablishOutcome::kUnreachable;
       result.failed_resource = id;
@@ -194,11 +248,14 @@ EstablishResult SessionCoordinator::establish_impl(
   if (!ok) {
     // Roll back everything reserved for this session so far. A rollback
     // release is itself an RPC; if the owning proxy has become
-    // unreachable the release cannot be delivered and the reservation
-    // leaks until its lease expires — reported via result.leaked so the
+    // unreachable (or its broker went down, in which case the journal
+    // will resurrect the holding at restart) the release cannot be
+    // delivered and the reservation leaks until its lease expires or
+    // reconciliation reclaims it — reported via result.leaked so the
     // caller (and the auditor) can account for it.
     for (const auto& [id, amount] : reserved) {
-      if (!rpc_to_owner(id, now, &result.stats)) {
+      if (!registry_->broker(id).up() ||
+          !rpc_to_owner(id, now, &result.stats)) {
         result.leaked.push_back({id, amount});
         continue;
       }
@@ -229,7 +286,8 @@ EstablishResult SessionCoordinator::renegotiate(
   // Phase 1: fresh snapshot, same RPC accounting as an establishment.
   std::vector<ResourceId> unavailable;
   poll_participants(now, &result.stats, &unavailable);
-  AvailabilityView view = registry_->collect(footprint_, now, staleness);
+  std::vector<ResourceId> down;
+  AvailabilityView view = collect_footprint(now, staleness, &down);
   for (ResourceId id : unavailable) view.set(id, 0.0, 1.0);
 
   // Credit the session's own holdings back into the snapshot: the new
@@ -258,7 +316,15 @@ EstablishResult SessionCoordinator::renegotiate(
       if (planned.plan) break;
     }
   }
-  if (!planned.plan) return result;  // nothing reserved; old plan stands
+  if (!planned.plan) {
+    // Nothing reserved; the old plan stands. Typed as an outage when one
+    // may explain the miss (see establish_impl).
+    if (!down.empty()) {
+      result.outcome = EstablishOutcome::kBrokerUnavailable;
+      result.failed_resource = down.front();
+    }
+    return result;
+  }
   result.plan = std::move(planned.plan);
 
   // Phase 3a (make): reserve only the positive per-resource deltas. The
@@ -274,6 +340,12 @@ EstablishResult SessionCoordinator::renegotiate(
     const double have = it == old_held.end() ? 0.0 : it->second;
     const double delta = amount - have;
     if (delta <= kEps) continue;
+    if (!registry_->broker(id).up()) {
+      result.outcome = EstablishOutcome::kBrokerUnavailable;
+      result.failed_resource = id;
+      ok = false;
+      break;
+    }
     if (!rpc_to_owner(id, now, &result.stats)) {
       result.outcome = EstablishOutcome::kUnreachable;
       result.failed_resource = id;
@@ -296,7 +368,8 @@ EstablishResult SessionCoordinator::renegotiate(
     // old plan and is reported via leaked (the caller folds it into its
     // record so the books keep matching the broker).
     for (const auto& [id, amount] : deltas) {
-      if (!rpc_to_owner(id, now, &result.stats)) {
+      if (!registry_->broker(id).up() ||
+          !rpc_to_owner(id, now, &result.stats)) {
         result.leaked.push_back({id, amount});
         continue;
       }
@@ -321,7 +394,8 @@ EstablishResult SessionCoordinator::renegotiate(
     const double keep = new_total.get(id);
     const double excess = have - keep;
     if (excess <= kEps) continue;
-    if (!rpc_to_owner(id, now, &result.stats)) {
+    if (!registry_->broker(id).up() ||
+        !rpc_to_owner(id, now, &result.stats)) {
       result.leaked.push_back({id, excess});
       final_held[id] += excess;
       continue;
@@ -385,7 +459,8 @@ EstablishResult SessionCoordinator::establish_resilient(
   result.stats.participating_proxies = 1;
   result.stats.availability_messages = 1;
 
-  const AvailabilityView view = registry_->collect(footprint_, now, staleness);
+  std::vector<ResourceId> down;
+  const AvailabilityView view = collect_footprint(now, staleness, &down);
   const Qrg qrg(*service_, view, psi_kind_, scale);
   const auto labels = relax_qrg(qrg);
   result.sinks = sink_infos(qrg, labels);
@@ -428,14 +503,120 @@ EstablishResult SessionCoordinator::establish_resilient(
       }
     }
   }
+  if (!result.success && !result.plan && !down.empty()) {
+    result.outcome = EstablishOutcome::kBrokerUnavailable;
+    result.failed_resource = down.front();
+  }
   return result;
 }
 
 void SessionCoordinator::teardown(
     const std::vector<std::pair<ResourceId, double>>& holdings,
     SessionId session, double now) {
-  for (const auto& [id, amount] : holdings)
+  // A release toward a down broker is undeliverable; the journal restores
+  // the holding at restart and reconciliation (or lease expiry) reclaims
+  // it there as an orphan.
+  for (const auto& [id, amount] : holdings) {
+    if (!registry_->broker(id).up()) continue;
     registry_->broker(id).release_amount(now, session, amount);
+  }
+}
+
+SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
+    ResourceId resource, double now,
+    const std::vector<ReconcileClaim>& claims) {
+  constexpr double kEps = 1e-9;
+  ResourceBroker* broker = registry_->leaf(resource);
+  QRES_REQUIRE(broker != nullptr,
+               "reconcile_broker: reconciliation applies to leaf brokers");
+  QRES_REQUIRE(broker->up(), "reconcile_broker: broker is down");
+  const HostId broker_host = registry_->catalog().host(resource);
+
+  ReconcileReport report;
+  report.resource = resource;
+
+  // One re-sync RPC per claimant: its owner host re-asserts the holding
+  // to the broker's host, across the fault plane like any other control
+  // message. Without a transport the control plane is perfect.
+  auto resync_rpc = [&](HostId from) {
+    if (!transport_ || !from.valid() || !broker_host.valid() ||
+        from == broker_host)
+      return true;
+    return transport_->exchange(from, broker_host, now) > 0;
+  };
+
+  // Aggregate claims per session (a session re-asserts once, with the
+  // total it believes it holds here; the first claim's owner speaks).
+  FlatMap<SessionId, ReconcileClaim> merged;
+  for (const ReconcileClaim& claim : claims) {
+    QRES_REQUIRE(claim.session.valid() && claim.amount >= 0.0,
+                 "reconcile_broker: malformed claim");
+    auto it = merged.find(claim.session);
+    if (it == merged.end())
+      merged.insert_or_assign(claim.session, claim);
+    else
+      it->second.amount += claim.amount;
+  }
+
+  for (const auto& [session, claim] : merged) {
+    ReconcileEvent event;
+    event.session = claim.session;
+    event.claimed = claim.amount;
+    event.held = broker->held_by(claim.session);
+    if (!resync_rpc(claim.owner)) {
+      // Lost re-sync: the recovered holding stays as-is, protected by the
+      // restart lease grace until a later pass or expiry settles it.
+      event.resolution = ReconcileResolution::kRpcFailed;
+      ++report.rpc_failures;
+      report.events.push_back(event);
+      continue;
+    }
+    if (event.held + kEps < event.claimed) {
+      // The crash lost the journal tail holding part (or all) of this
+      // claim. The journal is the truth: the difference is forfeit; the
+      // caller drops it from the session's books and may re-reserve.
+      event.resolution = ReconcileResolution::kLostClaim;
+      ++report.lost_claims;
+    } else if (event.held > event.claimed + kEps) {
+      // The journal restored more than the session claims (a pre-crash
+      // rollback that leaked, then re-asserted smaller). The unclaimed
+      // excess is orphan capacity: released here and now.
+      broker->release_amount(now, claim.session, event.held - event.claimed);
+      event.resolution = ReconcileResolution::kExcessReleased;
+      ++report.excess_released;
+    } else {
+      event.resolution = ReconcileResolution::kConfirmed;
+      ++report.confirmed;
+    }
+    // Re-assertion is a sign of life: in lease mode the surviving holding
+    // is renewed so the grace window hands over to normal keeping.
+    if (lease_ > 0.0 && broker->held_by(claim.session) > 0.0)
+      broker->renew_lease(now, claim.session, lease_);
+    report.events.push_back(event);
+  }
+
+  // Orphan sweep: every recovered holding with no live claimant belongs
+  // to a session that died or tore down during the outage. Released, via
+  // one coordinator-to-broker-host RPC.
+  const JournalRecord state = broker->snapshot(now);
+  for (const auto& [session_value, held] : state.holdings) {
+    const SessionId session{session_value};
+    if (merged.contains(session)) continue;
+    ReconcileEvent event;
+    event.session = session;
+    event.held = held;
+    if (!resync_rpc(main_host_)) {
+      event.resolution = ReconcileResolution::kRpcFailed;
+      ++report.rpc_failures;
+      report.events.push_back(event);
+      continue;
+    }
+    broker->release(now, session);
+    event.resolution = ReconcileResolution::kOrphanReleased;
+    ++report.orphans_released;
+    report.events.push_back(event);
+  }
+  return report;
 }
 
 }  // namespace qres

@@ -84,6 +84,12 @@ enum class EstablishOutcome : std::uint8_t {
   kAdmission,    ///< a broker rejected a plan segment (stale observation)
   kUnreachable,  ///< a participating proxy could not be reached
   kOverload,     ///< rejected fast by the admission governor
+  /// No feasible plan while one or more footprint brokers were down (or,
+  /// defensively, a dispatch hit a down broker). A broker outage is a
+  /// fault, not a rejection: the coordinator routes around down brokers
+  /// when any alternative exists, so this outcome means the outage itself
+  /// is (potentially) what blocked the session — retry after restart.
+  kBrokerUnavailable,
 };
 
 /// Overload-aware admission governor consulted by SessionCoordinator (and
@@ -240,13 +246,82 @@ class SessionCoordinator {
           void(const std::vector<std::pair<ResourceId, double>>&)>&
           on_commit = nullptr);
 
-  /// Releases every holding of a previously established session.
+  /// Releases every holding of a previously established session. Releases
+  /// toward a down broker cannot be delivered: the journal will restore
+  /// the holding at restart, where reconciliation reclaims it as an
+  /// orphan (or lease expiry does).
   void teardown(const std::vector<std::pair<ResourceId, double>>& holdings,
                 SessionId session, double now);
 
   const ServiceDefinition& service() const noexcept { return *service_; }
 
+  // --- Post-restart session reconciliation (DESIGN.md §9).
+
+  /// One live session's belief about `resource`: it holds `amount` there
+  /// and is owned by proxy host `owner`.
+  struct ReconcileClaim {
+    SessionId session;
+    HostId owner;
+    double amount = 0.0;
+  };
+
+  /// How one (session, holding) divergence was resolved — always toward
+  /// the journal, whose recovered broker state is the durable truth.
+  enum class ReconcileResolution : std::uint8_t {
+    kConfirmed,       ///< claim matches the recovered holding (lease renewed)
+    kLostClaim,       ///< journal lost the claim's tail; the claim is forfeit
+    kOrphanReleased,  ///< recovered holding has no live claimant; released
+    kExcessReleased,  ///< recovered holding exceeds the claim; excess released
+    kRpcFailed,       ///< re-sync RPC lost; left to lease grace / next pass
+  };
+
+  struct ReconcileEvent {
+    ReconcileResolution resolution = ReconcileResolution::kConfirmed;
+    SessionId session;
+    double claimed = 0.0;  ///< what the session believes it holds
+    double held = 0.0;     ///< what the recovered broker holds
+  };
+
+  struct ReconcileReport {
+    ResourceId resource;
+    std::vector<ReconcileEvent> events;
+    std::size_t confirmed = 0;
+    std::size_t lost_claims = 0;
+    std::size_t orphans_released = 0;
+    std::size_t excess_released = 0;
+    std::size_t rpc_failures = 0;
+  };
+
+  /// Re-sync protocol after `resource`'s broker restarted: every live
+  /// claimant re-asserts its holding (one RPC from its owner host to the
+  /// broker's host, subject to the attached fault plane), and divergences
+  /// between the claims and the journal-recovered broker state are
+  /// resolved toward the journal:
+  ///   * claim == recovered holding: confirmed; in lease mode the
+  ///     re-assertion renews the lease;
+  ///   * claim > recovered holding (crash lost the journal tail): the
+  ///     difference is forfeit (kLostClaim) — the caller drops it from
+  ///     the session's books and may re-reserve via establish;
+  ///   * recovered holding with no (or a smaller) live claim — the
+  ///     session died or tore down during the outage: the orphan amount
+  ///     is released at the broker (one coordinator-to-broker-host RPC);
+  ///   * any re-sync RPC that never gets through leaves that holding
+  ///     untouched, protected by the restart lease grace until a later
+  ///     pass or expiry reclaims it.
+  /// The caller folds each event into the ReservationAuditor (typed
+  /// Discrepancy records) so conservation stays exact. The broker must be
+  /// a leaf and up.
+  ReconcileReport reconcile_broker(ResourceId resource, double now,
+                                   const std::vector<ReconcileClaim>& claims);
+
  private:
+  /// Phase-1 snapshot tolerant of broker outages: down footprint
+  /// resources are reported at zero availability (the planner routes
+  /// around them) and appended to `down`. Never observes a down broker.
+  AvailabilityView collect_footprint(
+      double now, const std::function<double(ResourceId)>& staleness,
+      std::vector<ResourceId>* down) const;
+
   /// establish() with an explicit set of resources to treat as dead
   /// (observed at zero availability regardless of their brokers).
   EstablishResult establish_impl(
@@ -280,5 +355,8 @@ class SessionCoordinator {
   const IAdmissionGovernor* governor_ = nullptr;
   int priority_hint_ = 0;
 };
+
+const char* to_string(SessionCoordinator::ReconcileResolution
+                          resolution) noexcept;
 
 }  // namespace qres

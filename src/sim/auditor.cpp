@@ -66,6 +66,23 @@ void ReservationAuditor::on_session_released(SessionId session) {
   host_expect_.erase(session);
 }
 
+const char* to_string(DiscrepancyKind kind) noexcept {
+  switch (kind) {
+    case DiscrepancyKind::kOrphanReleased: return "orphan-released";
+    case DiscrepancyKind::kLostReservation: return "lost-reservation";
+  }
+  return "?";
+}
+
+void ReservationAuditor::on_reconciled(const Discrepancy& discrepancy) {
+  QRES_REQUIRE(discrepancy.amount >= 0.0,
+               "ReservationAuditor::on_reconciled: negative amount");
+  if (discrepancy.session.valid())
+    on_released(discrepancy.session, discrepancy.resource,
+                discrepancy.amount);
+  discrepancies_.push_back(discrepancy);
+}
+
 void ReservationAuditor::on_hop_reserved(std::uint64_t flow, LinkId link,
                                          double bandwidth) {
   QRES_REQUIRE(link.valid() && bandwidth >= 0.0,
@@ -115,9 +132,11 @@ bool ReservationAuditor::model_empty() const noexcept {
 std::vector<std::string> ReservationAuditor::audit_hosts() const {
   std::vector<std::string> violations;
 
-  // Per (session, leaf resource): the broker agrees with the model.
+  // Per (session, leaf resource): the broker agrees with the model. Down
+  // brokers are out of the audit until they restart and reconcile.
   for (const auto& [session, holdings] : host_expect_) {
     for (const auto& [resource, expected] : holdings) {
+      if (!registry_->broker(resource).up()) continue;
       const double actual =
           registry_->broker(resource).held_by(session);
       if (std::abs(actual - expected) > kTolerance)
@@ -135,6 +154,7 @@ std::vector<std::string> ReservationAuditor::audit_hosts() const {
     const IBroker& broker = registry_->broker(id);
     if (dynamic_cast<const NetworkPathBroker*>(&broker) != nullptr)
       continue;  // paths have no holdings of their own; links are audited
+    if (!broker.up()) continue;
     double expected_total = 0.0;
     for (const auto& [session, holdings] : host_expect_) {
       const auto it = holdings.find(id);

@@ -34,6 +34,31 @@
 
 namespace qres {
 
+/// What a broker-restart reconciliation pass found and resolved. The
+/// journal is the durable truth; both kinds describe the model being
+/// brought back into line with it (see SessionCoordinator::
+/// reconcile_broker and DESIGN.md §9).
+enum class DiscrepancyKind : std::uint8_t {
+  /// The journal restored a holding whose session no longer exists (it
+  /// died or was torn down during the outage); reconciliation released it
+  /// at the broker.
+  kOrphanReleased,
+  /// A live session's holding is absent from the recovered broker (the
+  /// crash lost the un-fsynced journal tail); the session's claim is
+  /// forfeit and its expectation dropped.
+  kLostReservation,
+};
+
+const char* to_string(DiscrepancyKind kind) noexcept;
+
+struct Discrepancy {
+  DiscrepancyKind kind = DiscrepancyKind::kOrphanReleased;
+  SessionId session;
+  ResourceId resource;
+  double amount = 0.0;
+  double time = 0.0;
+};
+
 class ReservationAuditor {
  public:
   /// The registry whose brokers are audited; must outlive the auditor.
@@ -50,6 +75,16 @@ class ReservationAuditor {
   /// Every holding of `session` is gone (full teardown, or its leases
   /// expired).
   void on_session_released(SessionId session);
+
+  /// Folds one reconciliation finding into the model: the broker-side
+  /// resolution already happened (toward the journal), so the model drops
+  /// the corresponding expectation — a no-op when it never had one — and
+  /// the finding is kept as a typed record. Conservation stays exact:
+  /// after reconciliation, audit_hosts() is clean again.
+  void on_reconciled(const Discrepancy& discrepancy);
+  const std::vector<Discrepancy>& discrepancies() const noexcept {
+    return discrepancies_;
+  }
 
   /// Flow `flow` reserved `bandwidth` on signaling link `link` (one hop).
   void on_hop_reserved(std::uint64_t flow, LinkId link, double bandwidth);
@@ -69,7 +104,9 @@ class ReservationAuditor {
 
   // --- Audits. Each returns human-readable violations (empty == pass).
 
-  /// Audits every leaf broker in the registry against the model.
+  /// Audits every leaf broker in the registry against the model. Down
+  /// brokers are skipped — their in-memory state is gone by definition;
+  /// they re-enter the audit after restart + reconciliation.
   std::vector<std::string> audit_hosts() const;
 
   /// Audits the signaling plane: `reserved(l)` / `flow_count(l)` must
@@ -88,6 +125,7 @@ class ReservationAuditor {
   FlatMap<SessionId, FlatMap<ResourceId, double>> host_expect_;
   /// flow -> signaling link -> expected reserved bandwidth.
   FlatMap<std::uint64_t, FlatMap<LinkId, double>> link_expect_;
+  std::vector<Discrepancy> discrepancies_;
 };
 
 }  // namespace qres

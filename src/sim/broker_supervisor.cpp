@@ -1,0 +1,81 @@
+#include "sim/broker_supervisor.hpp"
+
+#include "sim/fault_plane.hpp"
+#include "util/assert.hpp"
+
+namespace qres {
+
+BrokerSupervisor::BrokerSupervisor(EventQueue* queue,
+                                   BrokerRegistry* registry,
+                                   std::uint64_t seed,
+                                   SupervisorConfig config)
+    : queue_(queue), registry_(registry), rng_(seed), config_(config) {
+  QRES_REQUIRE(queue_ != nullptr, "BrokerSupervisor: null event queue");
+  QRES_REQUIRE(registry_ != nullptr, "BrokerSupervisor: null registry");
+  QRES_REQUIRE(config_.snapshot_every > 0,
+               "BrokerSupervisor: snapshot_every must be positive");
+  QRES_REQUIRE(config_.lease_grace >= 0.0,
+               "BrokerSupervisor: negative lease grace");
+}
+
+void BrokerSupervisor::attach_all(double now) {
+  if (!config_.journaled) return;  // lose-everything baseline arm
+  for (std::uint32_t value = 0; value < registry_->size(); ++value) {
+    const ResourceId id{value};
+    ResourceBroker* broker = registry_->leaf(id);
+    if (broker == nullptr || broker->journal() != nullptr) continue;
+    auto journal = std::make_unique<MemoryJournal>();
+    broker->attach_journal(journal.get(), config_.snapshot_every, now);
+    journals_.insert_or_assign(id, std::move(journal));
+  }
+}
+
+void BrokerSupervisor::schedule_outage(ResourceId resource, double from,
+                                       double until) {
+  QRES_REQUIRE(resource.valid(),
+               "BrokerSupervisor: invalid resource for outage");
+  QRES_REQUIRE(until > from, "BrokerSupervisor: empty outage window");
+  QRES_REQUIRE(registry_->leaf(resource) != nullptr,
+               "BrokerSupervisor: outages apply to leaf brokers");
+  queue_->schedule(from, [this, resource] { crash(resource, queue_->now()); });
+  queue_->schedule(until,
+                   [this, resource] { restart(resource, queue_->now()); });
+}
+
+void BrokerSupervisor::adopt_schedule(const FaultPlane& faults) {
+  for (const FaultPlane::BrokerOutage& outage : faults.broker_outages())
+    schedule_outage(ResourceId{outage.resource}, outage.from, outage.until);
+}
+
+MemoryJournal* BrokerSupervisor::journal_of(ResourceId resource) {
+  auto it = journals_.find(resource);
+  return it == journals_.end() ? nullptr : it->second.get();
+}
+
+void BrokerSupervisor::crash(ResourceId resource, double now) {
+  ResourceBroker* broker = registry_->leaf(resource);
+  QRES_REQUIRE(broker != nullptr && broker->up(),
+               "BrokerSupervisor: crash of a broker that is already down "
+               "(overlapping outage windows?)");
+  broker->crash(now);
+  ++totals_.crashes;
+  if (config_.max_lost_tail > 0) {
+    if (MemoryJournal* journal = journal_of(resource)) {
+      const auto want = static_cast<std::uint64_t>(config_.max_lost_tail);
+      const std::uint64_t lose = rng_.uniform_u64(0, want);
+      totals_.lost_records +=
+          journal->drop_tail(static_cast<std::size_t>(lose));
+    }
+  }
+}
+
+void BrokerSupervisor::restart(ResourceId resource, double now) {
+  ResourceBroker* broker = registry_->leaf(resource);
+  QRES_REQUIRE(broker != nullptr && !broker->up(),
+               "BrokerSupervisor: restart of a broker that is already up");
+  broker->restart(now, config_.lease_grace);
+  ++totals_.restarts;
+  if (restart_listener_) restart_listener_(resource, now);
+}
+
+}  // namespace qres

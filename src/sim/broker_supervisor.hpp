@@ -1,0 +1,101 @@
+// Broker supervisor: journals the registry's leaf brokers and drives
+// scripted crash–restart outages through them.
+//
+// The FaultPlane scripts *when* a broker process is down
+// (FaultPlane::crash_broker windows); this supervisor makes it actually
+// happen in a simulated world: it owns one MemoryJournal per leaf broker,
+// attaches them (attach_all), and schedules, for every outage window
+// [from, until), a crash() event at `from` and a restart() event at
+// `until`. Restart recovers from the journal — or comes back blank when
+// the supervisor runs in the un-journaled baseline mode, which is the
+// lose-everything comparison arm of bench/ext_recovery.
+//
+// The crash model optionally loses an un-fsynced journal tail: at each
+// crash up to `max_lost_tail` trailing records (never past the newest
+// snapshot, the fsync barrier) are dropped, drawn from the supervisor's
+// own seeded RNG. The reconciliation protocol
+// (SessionCoordinator::reconcile_broker) is what heals the resulting
+// divergence between sessions and the journal's truth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "broker/journal.hpp"
+#include "broker/registry.hpp"
+#include "sim/event_queue.hpp"
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+
+class FaultPlane;
+
+struct SupervisorConfig {
+  /// Journal every leaf broker on attach_all(); false = lose-everything
+  /// baseline (brokers restart blank).
+  bool journaled = true;
+  /// Mutations between self-contained snapshots (journal compaction).
+  std::size_t snapshot_every = 64;
+  /// Extra lease time granted at restart, measured from the restart
+  /// instant: the reconciliation window during which restored holders can
+  /// re-assert themselves before their leases expire.
+  double lease_grace = 4.0;
+  /// Crash drops up to this many un-fsynced trailing journal records
+  /// (uniform draw per crash; 0 = every record survives).
+  std::size_t max_lost_tail = 0;
+};
+
+class BrokerSupervisor {
+ public:
+  BrokerSupervisor(EventQueue* queue, BrokerRegistry* registry,
+                   std::uint64_t seed, SupervisorConfig config = {});
+
+  /// Attaches a fresh journal to every leaf broker (no-op in baseline
+  /// mode). Call once, after the world's brokers exist and before any
+  /// reservations.
+  void attach_all(double now = 0.0);
+
+  /// Schedules one outage: crash at `from`, restart (with recovery and
+  /// lease grace) at `until`. Windows for one resource must not overlap.
+  void schedule_outage(ResourceId resource, double from, double until);
+
+  /// Mirrors every broker window already scripted in `faults` into
+  /// scheduled outages, so fault scripts stay in one place.
+  void adopt_schedule(const FaultPlane& faults);
+
+  /// Called after each restart completes (broker is up and recovered) —
+  /// the hook where session reconciliation starts.
+  using RestartListener = std::function<void(ResourceId, double)>;
+  void on_restart(RestartListener listener) {
+    restart_listener_ = std::move(listener);
+  }
+
+  /// This resource's journal, or nullptr (baseline mode / not a leaf).
+  MemoryJournal* journal_of(ResourceId resource);
+
+  const SupervisorConfig& config() const noexcept { return config_; }
+
+  struct Totals {
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t lost_records = 0;  ///< journal tail records lost to crashes
+  };
+  const Totals& totals() const noexcept { return totals_; }
+
+ private:
+  void crash(ResourceId resource, double now);
+  void restart(ResourceId resource, double now);
+
+  EventQueue* queue_;
+  BrokerRegistry* registry_;
+  Rng rng_;
+  SupervisorConfig config_;
+  FlatMap<ResourceId, std::unique_ptr<MemoryJournal>> journals_;
+  RestartListener restart_listener_;
+  Totals totals_;
+};
+
+}  // namespace qres

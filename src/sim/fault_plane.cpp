@@ -50,6 +50,33 @@ void FaultPlane::link_down(LinkId link, double from, double until) {
   link_windows_.push_back({link.value(), from, until});
 }
 
+void FaultPlane::crash_broker(ResourceId resource, double from,
+                              double until) {
+  QRES_REQUIRE(resource.valid(), "FaultPlane: invalid resource");
+  QRES_REQUIRE(until > from, "FaultPlane: empty broker crash window");
+  for (const Window& w : broker_windows_)
+    QRES_REQUIRE(w.id != resource.value() || until <= w.from ||
+                     from >= w.until,
+                 "FaultPlane: overlapping broker crash windows");
+  broker_windows_.push_back({resource.value(), from, until});
+}
+
+bool FaultPlane::broker_up(ResourceId resource, double t) const {
+  for (const Window& w : broker_windows_)
+    if (resource.valid() && w.id == resource.value() && t >= w.from &&
+        t < w.until)
+      return false;
+  return true;
+}
+
+std::vector<FaultPlane::BrokerOutage> FaultPlane::broker_outages() const {
+  std::vector<BrokerOutage> outages;
+  outages.reserve(broker_windows_.size());
+  for (const Window& w : broker_windows_)
+    outages.push_back({w.id, w.from, w.until});
+  return outages;
+}
+
 bool FaultPlane::host_up(HostId host, double t) const {
   for (const Window& w : host_windows_)
     if (host.valid() && w.id == host.value() && t >= w.from && t < w.until)

@@ -84,8 +84,27 @@ class FaultPlane : public IControlTransport {
   /// Scripts a down window [from, until) for a link.
   void link_down(LinkId link, double from, double until);
 
+  /// Scripts a crash window [from, until) for a *broker process* —
+  /// distinct from crash_host: the host keeps exchanging messages, but the
+  /// broker for this resource is down (typed BrokerUnavailable at the
+  /// establishment layer, recovery-from-journal on restart). Windows for
+  /// the same resource must not overlap. The plane only keeps the
+  /// schedule; a BrokerSupervisor turns it into actual crash()/restart()
+  /// calls on the broker objects.
+  void crash_broker(ResourceId resource, double from, double until);
+
   bool host_up(HostId host, double t) const;
   bool link_up(LinkId link, double t) const;
+  bool broker_up(ResourceId resource, double t) const;
+
+  /// Scripted broker outages as (resource id value, from, until), in
+  /// scripting order. Consumed by BrokerSupervisor::adopt_schedule().
+  struct BrokerOutage {
+    std::uint32_t resource;
+    double from;
+    double until;
+  };
+  std::vector<BrokerOutage> broker_outages() const;
 
   /// The computed fate of one logical message (with retransmissions).
   struct MessagePlan {
@@ -159,6 +178,7 @@ class FaultPlane : public IControlTransport {
   FlatMap<LinkId, FaultConfig> link_configs_;
   std::vector<Window> host_windows_;
   std::vector<Window> link_windows_;
+  std::vector<Window> broker_windows_;
   Totals totals_;
 };
 

@@ -53,9 +53,12 @@ void LeaseKeeper::renewal_tick(SessionId session, std::uint64_t epoch) {
     // out, and if it does not, the renewals below start failing.
   } else {
     for (ResourceId resource : entry.resources) {
-      if (!registry_->broker(resource).renew_lease(now, session,
-                                                   config_.lease))
-        lost = true;
+      IBroker& broker = registry_->broker(resource);
+      // A down broker is unavailable, not a refusal: the journal restores
+      // its leases at restart with a grace window, and reconciliation —
+      // not the keeper — decides the session's fate there.
+      if (!broker.up()) continue;
+      if (!broker.renew_lease(now, session, config_.lease)) lost = true;
     }
   }
 
@@ -63,8 +66,10 @@ void LeaseKeeper::renewal_tick(SessionId session, std::uint64_t epoch) {
   // no admission decision would trigger the lazy path. Any session the
   // sweep reclaims (this one or another sharing the brokers) is reported.
   std::vector<SessionId> expired;
-  for (ResourceId resource : entry.resources)
-    registry_->broker(resource).expire_due(now, &expired);
+  for (ResourceId resource : entry.resources) {
+    IBroker& broker = registry_->broker(resource);
+    if (broker.up()) broker.expire_due(now, &expired);
+  }
   std::sort(expired.begin(), expired.end(),
             [](SessionId a, SessionId b) { return a.value() < b.value(); });
   expired.erase(std::unique(expired.begin(), expired.end()),

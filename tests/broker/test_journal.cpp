@@ -1,0 +1,332 @@
+// Write-ahead journal and crash–restart durability of ResourceBroker
+// (DESIGN.md §9): serialization round trips, snapshot compaction,
+// lost-tail crash model, bit-identical recovery, restart lease grace,
+// the bounded expiry log, and the lease boundary convention
+// (deadline <= now expires — expiry wins the exact-deadline tie, and
+// renew_lease sweeps due leases first, so a renewal racing expiry at the
+// same tick fails).
+#include "broker/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "broker/resource_broker.hpp"
+
+namespace qres {
+namespace {
+
+const ResourceId rid{0};
+const SessionId s1{1}, s2{2}, s3{3}, s4{4};
+
+ResourceBroker make(double capacity = 100.0) {
+  return ResourceBroker(rid, "cpu", capacity);
+}
+
+// --- Record serialization -------------------------------------------------
+
+TEST(Journal, ToLineParseLineRoundTripsMutations) {
+  JournalRecord rec;
+  rec.op = JournalOp::kReserveLeased;
+  rec.time = 1.0 / 3.0;  // 17-digit round trip must be exact
+  rec.resource = ResourceId{7};
+  rec.session = SessionId{42};
+  rec.amount = 12.345678901234567;
+  rec.lease = 6.25;
+  const JournalRecord parsed = parse_line(to_line(rec));
+  EXPECT_EQ(to_line(parsed), to_line(rec));
+  EXPECT_EQ(parsed.op, JournalOp::kReserveLeased);
+  EXPECT_EQ(parsed.time, rec.time);
+  EXPECT_EQ(parsed.session, rec.session);
+  EXPECT_EQ(parsed.amount, rec.amount);
+  EXPECT_EQ(parsed.lease, rec.lease);
+}
+
+TEST(Journal, ToLineParseLineRoundTripsSnapshots) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve(0.5, s1, 10.0 / 3.0));
+  ASSERT_TRUE(broker.reserve_leased(1.0, s2, 20.0, 5.0));
+  const JournalRecord snap = broker.snapshot(2.0);
+  const JournalRecord parsed = parse_line(to_line(snap));
+  EXPECT_EQ(to_line(parsed), to_line(snap));
+  EXPECT_EQ(parsed.holdings, snap.holdings);
+  EXPECT_EQ(parsed.lease_deadlines, snap.lease_deadlines);
+  EXPECT_EQ(parsed.history, snap.history);
+  EXPECT_EQ(parsed.capacity, snap.capacity);
+}
+
+TEST(Journal, ParseLineRejectsMalformedInput) {
+  EXPECT_THROW(parse_line("not a journal record"), std::runtime_error);
+  EXPECT_THROW(parse_line(""), std::runtime_error);
+}
+
+// --- Sinks ----------------------------------------------------------------
+
+TEST(Journal, AttachAppendsInitialSnapshot) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve(0.5, s1, 25.0));
+  broker.attach_journal(&journal, 64, 1.0);
+  ASSERT_EQ(journal.records().size(), 1u);
+  EXPECT_EQ(journal.records()[0].op, JournalOp::kSnapshot);
+  // The initial snapshot alone must already be enough to recover.
+  const ResourceBroker recovered = ResourceBroker::recover(journal.records());
+  EXPECT_EQ(to_line(recovered.snapshot(1.0)), to_line(broker.snapshot(1.0)));
+}
+
+TEST(Journal, SnapshotCompactionEverySnapshotEveryMutations) {
+  MemoryJournal journal;  // compacting (the default)
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 4, 0.0);
+  for (int i = 1; i <= 8; ++i)
+    ASSERT_TRUE(broker.reserve(static_cast<double>(i),
+                               SessionId{static_cast<std::uint32_t>(i)}, 2.0));
+  // attach snapshot + 8 mutations + a compacting snapshot after every 4th.
+  EXPECT_EQ(journal.appended(), 11u);
+  EXPECT_EQ(journal.snapshots(), 3u);
+  // Each compaction drops everything before the new snapshot; the 8th
+  // mutation triggered one, so exactly the last snapshot is retained.
+  EXPECT_EQ(journal.compacted_away(), 10u);
+  ASSERT_EQ(journal.records().size(), 1u);
+  EXPECT_EQ(journal.records()[0].op, JournalOp::kSnapshot);
+  const ResourceBroker recovered = ResourceBroker::recover(journal.records());
+  EXPECT_EQ(to_line(recovered.snapshot(8.0)), to_line(broker.snapshot(8.0)));
+}
+
+TEST(Journal, DropTailStopsAtNewestSnapshot) {
+  MemoryJournal journal(/*compact_on_snapshot=*/false);
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+  ASSERT_TRUE(broker.reserve(2.0, s2, 20.0));
+  ASSERT_TRUE(broker.reserve(3.0, s3, 30.0));
+  ASSERT_EQ(journal.records().size(), 4u);  // snapshot + 3 mutations
+  // Asking for more than the un-fsynced tail drops only the mutations:
+  // the snapshot is the fsync barrier and can never be lost.
+  EXPECT_EQ(journal.drop_tail(100), 3u);
+  ASSERT_EQ(journal.records().size(), 1u);
+  EXPECT_EQ(journal.records()[0].op, JournalOp::kSnapshot);
+  EXPECT_EQ(journal.drop_tail(1), 0u);
+}
+
+TEST(Journal, DropTailDropsExactlyTheRequestedCount) {
+  MemoryJournal journal(/*compact_on_snapshot=*/false);
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+  ASSERT_TRUE(broker.reserve(2.0, s2, 20.0));
+  EXPECT_EQ(journal.drop_tail(1), 1u);
+  // The surviving prefix replays to the state before the lost record.
+  const ResourceBroker recovered = ResourceBroker::recover(journal.records());
+  EXPECT_EQ(recovered.held_by(s1), 10.0);
+  EXPECT_EQ(recovered.held_by(s2), 0.0);
+}
+
+TEST(Journal, FileJournalRoundTripsThroughDisk) {
+  const std::string path = "test_journal_file_roundtrip.wal";
+  ResourceBroker broker = make();
+  {
+    FileJournal journal(path);  // truncate
+    broker.attach_journal(&journal, 64, 0.0);
+    ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+    ASSERT_TRUE(broker.reserve_leased(2.0, s2, 20.0, 5.0));
+    broker.release_amount(3.0, s1, 4.0);
+  }
+  const std::vector<JournalRecord> records = FileJournal::read_file(path);
+  ASSERT_GE(records.size(), 4u);
+  const ResourceBroker recovered = ResourceBroker::recover(records);
+  EXPECT_EQ(to_line(recovered.snapshot(3.0)), to_line(broker.snapshot(3.0)));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ReadFileRejectsMalformedLines) {
+  const std::string path = "test_journal_malformed.wal";
+  {
+    std::ofstream file(path);
+    file << "this is not a journal record\n";
+  }
+  EXPECT_THROW(FileJournal::read_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// --- Recovery and crash–restart -------------------------------------------
+
+TEST(Journal, RecoveryIsBitIdenticalAfterMixedOperations) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 5, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+  ASSERT_TRUE(broker.reserve_leased(2.0, s2, 20.0, 4.0));
+  ASSERT_TRUE(broker.reserve_leased(2.5, s3, 5.0, 1.0));
+  ASSERT_TRUE(broker.renew_lease(3.0, s2, 4.0));
+  broker.release_amount(3.5, s1, 2.5);
+  EXPECT_GT(broker.expire_due(4.0, nullptr), 0.0);  // s3 reclaimed
+  broker.release(5.0, s1);
+  const ResourceBroker recovered = ResourceBroker::recover(journal.records());
+  EXPECT_EQ(to_line(recovered.snapshot(6.0)), to_line(broker.snapshot(6.0)));
+  EXPECT_EQ(recovered.reserved(), broker.reserved());
+  EXPECT_EQ(recovered.held_by(s2), 20.0);
+  EXPECT_EQ(recovered.lease_deadline(s2), broker.lease_deadline(s2));
+  EXPECT_EQ(recovered.history().size(), broker.history().size());
+}
+
+TEST(Journal, CrashLosesStateAndRefusesService) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 30.0));
+  broker.crash(2.0);
+  EXPECT_FALSE(broker.up());
+  // A down broker refuses reservations — unavailable, not empty.
+  EXPECT_FALSE(broker.reserve(2.5, s2, 1.0));
+  EXPECT_EQ(broker.held_by(s1), 0.0);  // in-memory state is gone
+}
+
+TEST(Journal, RestartRecoversFromJournal) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 30.0));
+  ASSERT_TRUE(broker.reserve_leased(1.5, s2, 10.0, 5.0));
+  const std::string before = to_line(broker.snapshot(2.0));
+  broker.crash(2.0);
+  broker.restart(3.0, /*lease_grace=*/0.0);
+  EXPECT_TRUE(broker.up());
+  EXPECT_EQ(broker.held_by(s1), 30.0);
+  EXPECT_EQ(broker.held_by(s2), 10.0);
+  EXPECT_EQ(to_line(broker.snapshot(2.0)), before);
+}
+
+TEST(Journal, RestartGrantsLeaseGraceFromTheRestartInstant) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 10.0, 2.0));  // deadline 2.0
+  broker.crash(1.0);
+  // The outage outlives the lease; grace is measured from the restart, so
+  // the holder still gets a full reconciliation window.
+  broker.restart(10.0, /*lease_grace=*/4.0);
+  EXPECT_EQ(broker.lease_deadline(s1), 14.0);
+  EXPECT_EQ(broker.expire_due(10.0, nullptr), 0.0);
+  EXPECT_EQ(broker.held_by(s1), 10.0);
+  // A lease already past the grace horizon keeps its own (later) deadline.
+  ASSERT_TRUE(broker.renew_lease(10.0, s1, 20.0));  // deadline 30.0
+  broker.crash(11.0);
+  broker.restart(12.0, 4.0);
+  EXPECT_EQ(broker.lease_deadline(s1), 30.0);
+}
+
+TEST(Journal, RestartWithoutJournalIsBlank) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve(1.0, s1, 30.0));
+  broker.crash(2.0);
+  broker.restart(3.0, 4.0);  // lose-everything baseline
+  EXPECT_TRUE(broker.up());
+  EXPECT_EQ(broker.held_by(s1), 0.0);
+  EXPECT_EQ(broker.available(), 100.0);
+}
+
+TEST(Journal, RestartAfterLostTailRecoversTheSurvivingPrefix) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+  ASSERT_TRUE(broker.reserve(2.0, s2, 20.0));
+  ASSERT_EQ(journal.drop_tail(1), 1u);  // the un-fsynced s2 grant is lost
+  broker.crash(3.0);
+  broker.restart(4.0);
+  EXPECT_EQ(broker.held_by(s1), 10.0);
+  EXPECT_EQ(broker.held_by(s2), 0.0);  // divergence reconciliation heals
+  EXPECT_EQ(broker.reserved(), 10.0);
+}
+
+TEST(Journal, RecoverIgnoresOtherResourcesRecords) {
+  // Several brokers share one sink; recovery filters by resource id.
+  MemoryJournal journal(/*compact_on_snapshot=*/false);
+  ResourceBroker a(ResourceId{0}, "cpu", 100.0);
+  ResourceBroker b(ResourceId{1}, "bw", 50.0);
+  a.attach_journal(&journal, 64, 0.0);
+  b.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(a.reserve(1.0, s1, 10.0));
+  ASSERT_TRUE(b.reserve(1.5, s1, 20.0));
+  const ResourceBroker ra =
+      ResourceBroker::recover(filter_journal(journal.records(), ResourceId{0}));
+  const ResourceBroker rb =
+      ResourceBroker::recover(filter_journal(journal.records(), ResourceId{1}));
+  EXPECT_EQ(to_line(ra.snapshot(2.0)), to_line(a.snapshot(2.0)));
+  EXPECT_EQ(to_line(rb.snapshot(2.0)), to_line(b.snapshot(2.0)));
+  EXPECT_EQ(ra.held_by(s1), 10.0);
+  EXPECT_EQ(rb.held_by(s1), 20.0);
+}
+
+// --- Bounded expiry log (the take_expired notification channel) -----------
+
+TEST(JournalExpiryLog, CapDropsOldestAndCountsDrops) {
+  ResourceBroker broker = make();
+  broker.enable_expiry_log(/*capacity=*/2);
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 5.0, 1.0));
+  ASSERT_TRUE(broker.reserve_leased(0.0, s2, 5.0, 1.0));
+  ASSERT_TRUE(broker.reserve_leased(0.0, s3, 5.0, 1.0));
+  ASSERT_TRUE(broker.reserve_leased(0.0, s4, 5.0, 1.0));
+  std::vector<SessionId> expired_now;
+  EXPECT_EQ(broker.expire_due(2.0, &expired_now), 20.0);
+  EXPECT_EQ(expired_now.size(), 4u);
+  // Nobody drained the log between expiries: the cap keeps only the two
+  // newest entries and counts what it had to drop.
+  std::vector<SessionId> delivered;
+  broker.take_expired(&delivered);
+  EXPECT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(broker.expiry_log_dropped(), 2u);
+  // Draining resets the window; the next expiry is delivered again.
+  ASSERT_TRUE(broker.reserve_leased(3.0, s1, 5.0, 1.0));
+  EXPECT_GT(broker.expire_due(10.0, nullptr), 0.0);
+  delivered.clear();
+  broker.take_expired(&delivered);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], s1);
+  EXPECT_EQ(broker.expiry_log_dropped(), 2u);  // no new drops
+}
+
+// --- Lease boundary semantics (the exact-deadline convention) -------------
+
+TEST(LeaseBoundary, ExpiryWinsTheExactDeadlineTie) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 10.0, 5.0));  // deadline 5.0
+  EXPECT_EQ(broker.expire_due(4.0, nullptr), 0.0);  // strictly before: keeps
+  EXPECT_EQ(broker.held_by(s1), 10.0);
+  // deadline <= now reclaims: at exactly t = 5.0 the lease is gone.
+  std::vector<SessionId> expired;
+  EXPECT_EQ(broker.expire_due(5.0, &expired), 10.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], s1);
+  EXPECT_EQ(broker.held_by(s1), 0.0);
+}
+
+TEST(LeaseBoundary, RenewRacingExpiryAtTheSameTickFails) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 10.0, 5.0));  // deadline 5.0
+  // renew_lease sweeps due leases first, so a renewal arriving exactly at
+  // the deadline finds the holding already reclaimed.
+  EXPECT_FALSE(broker.renew_lease(5.0, s1, 5.0));
+  EXPECT_EQ(broker.held_by(s1), 0.0);
+  // One tick earlier the renewal wins and pushes the deadline out.
+  ASSERT_TRUE(broker.reserve_leased(6.0, s2, 10.0, 5.0));  // deadline 11.0
+  EXPECT_TRUE(broker.renew_lease(10.0, s2, 5.0));
+  EXPECT_EQ(broker.lease_deadline(s2), 15.0);
+  EXPECT_EQ(broker.expire_due(11.0, nullptr), 0.0);
+  EXPECT_EQ(broker.held_by(s2), 10.0);
+}
+
+TEST(LeaseBoundary, RenewNeverShortensTheDeadline) {
+  ResourceBroker broker = make();
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 10.0, 20.0));  // deadline 20.0
+  EXPECT_TRUE(broker.renew_lease(1.0, s1, 2.0));  // 3.0 < 20.0: keeps 20.0
+  EXPECT_EQ(broker.lease_deadline(s1), 20.0);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,90 @@
+// Crash–restart fuzzing for the durable-broker plane (see DESIGN.md §9
+// "Durability and recovery").
+//
+// Complements fault_fuzz.* (lossy control plane) with the broker-outage
+// fault model: journaled brokers that crash, lose their process memory
+// (and optionally an un-fsynced journal tail), restart by replaying the
+// write-ahead journal, and reconcile with the sessions that survived the
+// outage. Each iteration derives everything from a single seed:
+//
+//   * zero-crash differential: a world whose brokers are journaled by a
+//     BrokerSupervisor — but never crashed — must behave *bit-identically*
+//     to the same world without any journaling (outcomes, plans, holdings,
+//     availability, and the brokers' full snapshot records, compared via
+//     their serialized journal lines);
+//   * recovery bit-identity: ResourceBroker::recover() on each journal
+//     must rebuild a broker whose snapshot record serializes identically
+//     to the live broker it journals — capacity, holdings, lease
+//     deadlines, and the alpha history double-for-double;
+//   * crashed coordinator runs: leased establishments under RPC drops and
+//     scripted broker outage windows (FaultPlane::crash_broker, executed
+//     by a BrokerSupervisor, with a random lost-tail budget). Every
+//     restart triggers SessionCoordinator::reconcile_broker; resolutions
+//     are folded into the ReservationAuditor as typed discrepancies. The
+//     auditor proves conservation at mid-run audit points and at the end
+//     (model empty, zero capacity leaked), and the final broker states
+//     must again be bit-identical to what recover() rebuilds from their
+//     journals.
+//
+// Test-framework-free, like its siblings: links into tools/qres_fuzz
+// (--mode crash) for long sanitizer runs and into the bounded gtest smoke
+// (test_crash_fuzz_smoke.cpp). Failure messages carry the iteration seed;
+// reproduce with `qres_fuzz --mode crash --repro-seed <seed>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qres::fuzz {
+
+/// Tallies of what the crash iterations actually exercised.
+struct CrashFuzzStats {
+  std::uint64_t sessions = 0;             ///< establishments attempted
+  std::uint64_t sessions_established = 0; ///< ... that succeeded
+  std::uint64_t unavailable = 0;     ///< kBrokerUnavailable outcomes
+  std::uint64_t broker_crashes = 0;  ///< scripted crash events executed
+  std::uint64_t broker_restarts = 0; ///< restarts (journal recoveries)
+  std::uint64_t lost_records = 0;    ///< un-fsynced tail records lost
+  std::uint64_t records_journaled = 0; ///< records appended across sinks
+  std::uint64_t snapshots = 0;         ///< compaction snapshots written
+  std::uint64_t reconciles = 0;      ///< reconcile_broker passes run
+  std::uint64_t confirmed = 0;       ///< claims confirmed intact
+  std::uint64_t lost_claims = 0;     ///< claims forfeited to tail loss
+  std::uint64_t orphans_released = 0;
+  std::uint64_t excess_released = 0;
+  std::uint64_t rpc_failures = 0;    ///< re-sync RPCs lost to faults
+  std::uint64_t leases_expired = 0;  ///< sessions reclaimed by expiry
+  std::uint64_t leaked_rollbacks = 0;
+  std::uint64_t recoveries_checked = 0; ///< recover() bit-identity proofs
+  std::uint64_t audits = 0;             ///< audit points evaluated
+
+  void merge(const CrashFuzzStats& o) {
+    sessions += o.sessions;
+    sessions_established += o.sessions_established;
+    unavailable += o.unavailable;
+    broker_crashes += o.broker_crashes;
+    broker_restarts += o.broker_restarts;
+    lost_records += o.lost_records;
+    records_journaled += o.records_journaled;
+    snapshots += o.snapshots;
+    reconciles += o.reconciles;
+    confirmed += o.confirmed;
+    lost_claims += o.lost_claims;
+    orphans_released += o.orphans_released;
+    excess_released += o.excess_released;
+    rpc_failures += o.rpc_failures;
+    leases_expired += o.leases_expired;
+    leaked_rollbacks += o.leaked_rollbacks;
+    recoveries_checked += o.recoveries_checked;
+    audits += o.audits;
+  }
+};
+
+/// One full crash iteration from a single seed: the zero-crash
+/// differential (journaling must be invisible), then a crashed, audited
+/// coordinator run with reconciliation on every restart. Returns the
+/// first violation (prefixed with the seed) or an empty string.
+std::string run_crash_iteration(std::uint64_t seed,
+                                CrashFuzzStats* stats = nullptr);
+
+}  // namespace qres::fuzz

@@ -23,9 +23,17 @@
 //     plan — audited from inside the transport, mid-renegotiation,
 //   * the auditor's conservation proof closes (zombies included).
 //
+// With --mode crash (see tests/fuzz/crash_fuzz.*) each iteration derives
+// scripted broker crash–restart schedules and proves:
+//   * a journaled world with no crashes is bit-identical to an
+//     un-journaled one (decisions, holdings, serialized broker state),
+//   * ResourceBroker::recover() rebuilds every journaled broker exactly,
+//   * under outages + RPC loss, post-restart reconciliation keeps the
+//     auditor's conservation proof exact and leaks zero capacity.
+//
 // Usage:
-//   qres_fuzz [--mode planner|faults|adapt|all] [--iterations N] [--seed S]
-//             [--repro-seed X] [--verbose]
+//   qres_fuzz [--mode planner|faults|adapt|crash|all] [--iterations N]
+//             [--seed S] [--repro-seed X] [--verbose]
 //
 // Each iteration derives its own 64-bit seed from the master seed; on
 // failure the iteration seed is printed. Reproduce a single failing
@@ -44,6 +52,7 @@
 #include <string>
 
 #include "../tests/fuzz/adapt_fuzz.hpp"
+#include "../tests/fuzz/crash_fuzz.hpp"
 #include "../tests/fuzz/fault_fuzz.hpp"
 #include "../tests/fuzz/fuzz_lib.hpp"
 #include "util/rng.hpp"
@@ -52,8 +61,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--mode planner|faults|adapt|all] [--iterations N] "
-               "[--seed S] [--repro-seed X] [--verbose]\n",
+               "usage: %s [--mode planner|faults|adapt|crash|all] "
+               "[--iterations N] [--seed S] [--repro-seed X] [--verbose]\n",
                argv0);
 }
 
@@ -68,6 +77,7 @@ int main(int argc, char** argv) {
   bool run_planner = true;
   bool run_faults = false;
   bool run_adapt = false;
+  bool run_crash = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,18 +105,27 @@ int main(int argc, char** argv) {
         run_planner = true;
         run_faults = false;
         run_adapt = false;
+        run_crash = false;
       } else if (mode == "faults") {
         run_planner = false;
         run_faults = true;
         run_adapt = false;
+        run_crash = false;
       } else if (mode == "adapt") {
         run_planner = false;
         run_faults = false;
         run_adapt = true;
+        run_crash = false;
+      } else if (mode == "crash") {
+        run_planner = false;
+        run_faults = false;
+        run_adapt = false;
+        run_crash = true;
       } else if (mode == "all") {
         run_planner = true;
         run_faults = true;
         run_adapt = true;
+        run_crash = true;
       } else {
         std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
         usage(argv[0]);
@@ -134,6 +153,7 @@ int main(int argc, char** argv) {
   qres::fuzz::FuzzStats stats;
   qres::fuzz::FaultFuzzStats fault_stats;
   qres::fuzz::AdaptFuzzStats adapt_stats;
+  qres::fuzz::CrashFuzzStats crash_stats;
   std::uint64_t failures = 0;
   qres::Rng master(master_seed);
 
@@ -147,6 +167,8 @@ int main(int argc, char** argv) {
         failure = qres::fuzz::run_fault_iteration(seed, &fault_stats);
       if (failure.empty() && run_adapt)
         failure = qres::fuzz::run_adapt_iteration(seed, &adapt_stats);
+      if (failure.empty() && run_crash)
+        failure = qres::fuzz::run_crash_iteration(seed, &crash_stats);
     } catch (const std::exception& e) {
       failure = "seed " + std::to_string(seed) +
                 ": unexpected exception: " + e.what();
@@ -199,6 +221,27 @@ int main(int argc, char** argv) {
         adapt_stats.preemptions, adapt_stats.preempt_downgrades,
         adapt_stats.overload_rejects, adapt_stats.zombies_released,
         adapt_stats.audits);
+  if (run_crash)
+    std::printf(
+        "qres_fuzz crash: %" PRIu64 " iteration(s), %" PRIu64
+        " failure(s); %" PRIu64 "/%" PRIu64 " sessions established "
+        "(%" PRIu64 " broker-unavailable), %" PRIu64 " crashes, %" PRIu64
+        " restarts, %" PRIu64 " tail records lost, %" PRIu64
+        " journaled (%" PRIu64 " snapshots), %" PRIu64
+        " reconciles (%" PRIu64 " confirmed, %" PRIu64 " lost claims, "
+        "%" PRIu64 " orphans, %" PRIu64 " excess, %" PRIu64
+        " rpc fails), %" PRIu64 " leases expired, %" PRIu64
+        " leaked rollbacks, %" PRIu64 " recoveries checked, %" PRIu64
+        " audits\n",
+        total, failures, crash_stats.sessions_established,
+        crash_stats.sessions, crash_stats.unavailable,
+        crash_stats.broker_crashes, crash_stats.broker_restarts,
+        crash_stats.lost_records, crash_stats.records_journaled,
+        crash_stats.snapshots, crash_stats.reconciles, crash_stats.confirmed,
+        crash_stats.lost_claims, crash_stats.orphans_released,
+        crash_stats.excess_released, crash_stats.rpc_failures,
+        crash_stats.leases_expired, crash_stats.leaked_rollbacks,
+        crash_stats.recoveries_checked, crash_stats.audits);
   if (failures > 0)
     std::printf("reproduce a failure with: %s --repro-seed <seed>\n",
                 argv[0]);

@@ -1,6 +1,10 @@
 // qresctl — interactive/scriptable front end for the reservation planner.
 //
-//   $ qresctl <environment-file> <model.qrm> [< commands]
+//   $ qresctl [--journal <path>] <environment-file> <model.qrm> [< commands]
+//
+// With --journal, every broker appends its mutations (reserve / release /
+// lease traffic, periodic snapshots) to the given write-ahead journal
+// file; the `journal` command then dumps and verifies it.
 //
 // The environment file declares the brokers, one per line:
 //
@@ -19,6 +23,11 @@
 //   contention            sample the watchdog and dump per-resource
 //                         alpha/EWMA/hysteresis state + the adaptation
 //                         event log
+//   journal               dump the write-ahead journal (per-broker record
+//                         and snapshot counts) and verify it: replay each
+//                         broker's records through
+//                         ResourceBroker::recover() and compare against
+//                         the live broker, bit for bit
 //   quit
 //
 // Reservations go through an AdaptationEngine (default config, no
@@ -26,9 +35,11 @@
 // the adaptation layer acts on.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "adapt/adaptation_engine.hpp"
+#include "broker/journal.hpp"
 #include "broker/registry.hpp"
 #include "core/model_io.hpp"
 #include "proxy/qos_proxy.hpp"
@@ -72,18 +83,38 @@ void load_environment(const std::string& path, BrokerRegistry& registry) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::cerr << "usage: " << argv[0] << " <environment-file> <model.qrm>\n";
+  std::string journal_path;
+  int arg = 1;
+  if (arg < argc && std::string(argv[arg]) == "--journal") {
+    if (arg + 1 >= argc) {
+      std::cerr << "--journal needs a file path\n";
+      return 2;
+    }
+    journal_path = argv[arg + 1];
+    arg += 2;
+  }
+  if (argc - arg != 2) {
+    std::cerr << "usage: " << argv[0]
+              << " [--journal <path>] <environment-file> <model.qrm>\n";
     return 2;
   }
   BrokerRegistry registry;
   ModelDescription model;
+  std::unique_ptr<FileJournal> journal;
   try {
-    load_environment(argv[1], registry);
-    std::ifstream model_file(argv[2]);
+    load_environment(argv[arg], registry);
+    std::ifstream model_file(argv[arg + 1]);
     if (!model_file) throw std::runtime_error(std::string("cannot open ") +
-                                              argv[2]);
+                                              argv[arg + 1]);
     model = parse_model(model_file, registry.catalog());
+    if (!journal_path.empty()) {
+      // One shared append-only file; records carry the resource id, so
+      // recovery filters per broker (filter_journal).
+      journal = std::make_unique<FileJournal>(journal_path);
+      for (std::uint32_t i = 0; i < registry.size(); ++i)
+        if (ResourceBroker* broker = registry.leaf(ResourceId{i}))
+          broker->attach_journal(journal.get());
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
@@ -211,9 +242,38 @@ int main(int argc, char** argv) {
                     << adapt::to_string(event.kind) << " session "
                     << event.session.value() << " rank " << event.old_rank
                     << " -> " << event.new_rank << "\n";
+      } else if (command == "journal") {
+        if (!journal) {
+          std::cout << "no journal attached (run with --journal <path>)\n";
+          continue;
+        }
+        const std::vector<JournalRecord> records =
+            FileJournal::read_file(journal->path());
+        std::cout << "journal " << journal->path() << ": " << records.size()
+                  << " record(s)\n";
+        bool all_match = true;
+        for (std::uint32_t i = 0; i < registry.size(); ++i) {
+          const ResourceId id{i};
+          ResourceBroker* live = registry.leaf(id);
+          if (live == nullptr) continue;
+          const std::vector<JournalRecord> own = filter_journal(records, id);
+          std::size_t snapshots = 0;
+          for (const JournalRecord& record : own)
+            if (record.op == JournalOp::kSnapshot) ++snapshots;
+          const ResourceBroker recovered = ResourceBroker::recover(own);
+          const bool match = to_line(recovered.snapshot(now)) ==
+                             to_line(live->snapshot(now));
+          all_match = all_match && match;
+          std::cout << "  " << live->name() << ": " << own.size()
+                    << " record(s), " << snapshots << " snapshot(s), "
+                    << (match ? "replay matches" : "REPLAY DIVERGED") << "\n";
+        }
+        std::cout << (all_match
+                          ? "journal verified: replay matches every broker\n"
+                          : "journal verification FAILED\n");
       } else {
         std::cout << "commands: plan [scale] | reserve [scale] | release "
-                     "<id> | avail | sinks | contention | quit\n";
+                     "<id> | avail | sinks | contention | journal | quit\n";
       }
     } catch (const std::exception& error) {
       std::cout << "error: " << error.what() << "\n";
