@@ -41,8 +41,8 @@
 #include "adapt/adaptation_engine.hpp"
 #include "core/planner.hpp"
 #include "scenario/paper_scenario.hpp"
-#include "sim/auditor.hpp"
-#include "sim/event_queue.hpp"
+#include "broker/auditor.hpp"
+#include "core/event_queue.hpp"
 #include "util/summary.hpp"
 #include "util/table.hpp"
 

@@ -17,7 +17,7 @@
 
 #include "core/planner.hpp"
 #include "scenario/advance_scenario.hpp"
-#include "sim/event_queue.hpp"
+#include "core/event_queue.hpp"
 #include "util/rng.hpp"
 #include "util/summary.hpp"
 #include "util/table.hpp"

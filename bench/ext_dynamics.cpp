@@ -13,7 +13,7 @@
 
 #include "core/planner.hpp"
 #include "scenario/paper_scenario.hpp"
-#include "sim/event_queue.hpp"
+#include "core/event_queue.hpp"
 #include "util/table.hpp"
 
 using namespace qres;

@@ -12,7 +12,7 @@
 
 #include "experiment_common.hpp"
 #include "scenario/paper_scenario.hpp"
-#include "sim/event_queue.hpp"
+#include "core/event_queue.hpp"
 #include "util/table.hpp"
 
 using namespace qres;

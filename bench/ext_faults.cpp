@@ -1,7 +1,7 @@
 // Extension experiment: session availability under control-plane faults.
 //
 // The paper's protocols assume a perfect control plane; this harness
-// injects RPC loss and scripted host crashes (sim/fault_plane) into the
+// injects RPC loss and scripted host crashes (signal/fault_plane) into the
 // centralized establishment path and measures what the robustness layer
 // buys. Two configurations run over identical fault schedules:
 //
@@ -28,9 +28,9 @@
 #include "broker/registry.hpp"
 #include "core/planner.hpp"
 #include "proxy/qos_proxy.hpp"
-#include "sim/auditor.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/fault_plane.hpp"
+#include "broker/auditor.hpp"
+#include "core/event_queue.hpp"
+#include "signal/fault_plane.hpp"
 #include "sim/lease_keeper.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"

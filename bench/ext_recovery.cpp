@@ -36,9 +36,9 @@
 #include "broker/registry.hpp"
 #include "core/planner.hpp"
 #include "proxy/qos_proxy.hpp"
-#include "sim/auditor.hpp"
+#include "broker/auditor.hpp"
 #include "sim/broker_supervisor.hpp"
-#include "sim/event_queue.hpp"
+#include "core/event_queue.hpp"
 #include "sim/lease_keeper.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"

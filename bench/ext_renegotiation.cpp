@@ -28,7 +28,7 @@
 #include "adapt/adaptation_engine.hpp"
 #include "core/planner.hpp"
 #include "scenario/paper_scenario.hpp"
-#include "sim/event_queue.hpp"
+#include "core/event_queue.hpp"
 #include "util/summary.hpp"
 #include "util/table.hpp"
 

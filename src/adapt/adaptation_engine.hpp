@@ -39,10 +39,10 @@
 #include <vector>
 
 #include "adapt/contention_monitor.hpp"
+#include "adapt/stats.hpp"
+#include "broker/auditor.hpp"
 #include "core/planner.hpp"
 #include "proxy/qos_proxy.hpp"
-#include "sim/auditor.hpp"
-#include "sim/stats.hpp"
 #include "util/flat_map.hpp"
 
 namespace qres::adapt {

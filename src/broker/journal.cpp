@@ -181,6 +181,7 @@ FileJournal::FileJournal(std::string path, bool truncate)
 }
 
 void FileJournal::append(const JournalRecord& record) {
+  MutexLock lock(mutex_);
   std::ofstream file(path_, std::ios::app);
   QRES_REQUIRE(static_cast<bool>(file),
                "FileJournal: journal file disappeared");
@@ -190,6 +191,7 @@ void FileJournal::append(const JournalRecord& record) {
 }
 
 std::vector<JournalRecord> FileJournal::load() const {
+  MutexLock lock(mutex_);
   return read_file(path_);
 }
 

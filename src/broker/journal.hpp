@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "util/annotations.hpp"
 
 namespace qres {
 
@@ -134,14 +135,19 @@ class MemoryJournal final : public IJournalSink {
 /// exactly round-trippable (doubles are printed with 17 significant
 /// digits). The file is never compacted — `qresctl journal` uses the full
 /// history for its replay-and-compare verification.
+///
+/// Thread-safe: append() and load() serialize on an internal mutex, so
+/// several brokers running on a ThreadPool may share one sink. The
+/// locking discipline is checked by clang's thread-safety analysis in
+/// the static CI lane (DESIGN.md §10.2).
 class FileJournal final : public IJournalSink {
  public:
   /// Opens `path` for appending (`truncate` starts a fresh journal).
   /// Throws std::runtime_error when the file cannot be opened.
   explicit FileJournal(std::string path, bool truncate = true);
 
-  void append(const JournalRecord& record) override;
-  std::vector<JournalRecord> load() const override;
+  void append(const JournalRecord& record) override QRES_EXCLUDES(mutex_);
+  std::vector<JournalRecord> load() const override QRES_EXCLUDES(mutex_);
 
   const std::string& path() const noexcept { return path_; }
 
@@ -150,7 +156,11 @@ class FileJournal final : public IJournalSink {
   static std::vector<JournalRecord> read_file(const std::string& path);
 
  private:
-  std::string path_;
+  std::string path_;  // immutable after construction; no guard needed
+  // Guards the file itself: interleaved appends from two threads would
+  // corrupt records, and a load() racing an append() could read a torn
+  // line. `mutable` so the logically-const load() can take it.
+  mutable Mutex mutex_;
 };
 
 /// Serializes one record as a single line (no trailing newline).

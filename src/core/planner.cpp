@@ -359,7 +359,8 @@ std::vector<ReservationPlan> enumerate_plans(const Qrg& qrg,
 
   std::function<void(std::uint32_t)> walk = [&](std::uint32_t node) {
     if (node == qrg.source_node()) {
-      QRES_REQUIRE(++paths_explored <= max_paths,
+      ++paths_explored;
+      QRES_REQUIRE(paths_explored <= max_paths,
                    "enumerate_plans: path explosion (raise max_paths)");
       ReservationPlan plan;
       plan.steps.reserve(stack.size());

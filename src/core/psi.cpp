@@ -1,3 +1,5 @@
+// qres-lint: allow(contracts-missing-guard): pure total function (enum to
+// string); there is no precondition a guard could check.
 #include "core/psi.hpp"
 
 namespace qres {

@@ -26,6 +26,9 @@ void write_dot(std::ostream& os, const Qrg& qrg, const DotOptions& options) {
   std::set<std::pair<std::uint32_t, std::uint32_t>> plan_edges;
   if (options.plan != nullptr) {
     for (const PlanStep& step : options.plan->steps) {
+      QRES_REQUIRE(step.component < service.component_count(),
+                   "write_dot: highlighted plan references a component "
+                   "outside this QRG's service");
       const std::uint32_t in_node =
           qrg.node_of(step.component, QrgNodeKind::kIn, step.in_level);
       const std::uint32_t out_node =

@@ -21,8 +21,9 @@
 #include <vector>
 
 #include "broker/registry.hpp"
+#include "core/admission.hpp"
 #include "core/planner.hpp"
-#include "proxy/transport.hpp"
+#include "core/transport.hpp"
 
 namespace qres {
 
@@ -90,22 +91,6 @@ enum class EstablishOutcome : std::uint8_t {
   /// when any alternative exists, so this outcome means the outage itself
   /// is (potentially) what blocked the session — retry after restart.
   kBrokerUnavailable,
-};
-
-/// Overload-aware admission governor consulted by SessionCoordinator (and
-/// AsyncEstablisher) before any establishment work is spent. When the
-/// bottleneck contention index says the environment is overloaded, doomed
-/// establishments are rejected immediately (kOverload) instead of churning
-/// the brokers with plan/reserve/rollback rounds. Implementations live in
-/// src/adapt (the ContentionMonitor-backed governor); the runtime layers
-/// only see this interface so qres_proxy does not depend on qres_adapt.
-class IAdmissionGovernor {
- public:
-  virtual ~IAdmissionGovernor() = default;
-
-  /// True when an establishment of priority `priority` (higher = more
-  /// important; see adapt::SessionPriority) should be rejected at `now`.
-  virtual bool should_reject(double now, int priority) const = 0;
 };
 
 const char* to_string(EstablishOutcome outcome) noexcept;

@@ -21,7 +21,7 @@
 #include "proxy/qos_proxy.hpp"
 #include "scenario/qos_tables.hpp"
 #include "sim/simulation.hpp"
-#include "sim/topology.hpp"
+#include "core/topology.hpp"
 
 namespace qres {
 

@@ -26,8 +26,8 @@
 #include <vector>
 
 #include "broker/registry.hpp"
+#include "core/admission.hpp"
 #include "core/planner.hpp"
-#include "proxy/qos_proxy.hpp"
 #include "signal/rsvp.hpp"
 
 namespace qres {

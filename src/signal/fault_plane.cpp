@@ -1,4 +1,4 @@
-#include "sim/fault_plane.hpp"
+#include "signal/fault_plane.hpp"
 
 #include <algorithm>
 

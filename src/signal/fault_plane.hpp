@@ -32,8 +32,8 @@
 #include <vector>
 
 #include "core/ids.hpp"
-#include "proxy/transport.hpp"
-#include "sim/event_queue.hpp"
+#include "core/transport.hpp"
+#include "core/event_queue.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 

@@ -37,9 +37,9 @@
 #include <vector>
 
 #include "broker/resource_broker.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/fault_plane.hpp"
-#include "sim/topology.hpp"
+#include "core/event_queue.hpp"
+#include "signal/fault_plane.hpp"
+#include "core/topology.hpp"
 
 namespace qres {
 

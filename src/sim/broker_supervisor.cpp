@@ -1,6 +1,6 @@
 #include "sim/broker_supervisor.hpp"
 
-#include "sim/fault_plane.hpp"
+#include "signal/fault_plane.hpp"
 #include "util/assert.hpp"
 
 namespace qres {

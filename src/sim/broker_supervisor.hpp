@@ -25,7 +25,7 @@
 
 #include "broker/journal.hpp"
 #include "broker/registry.hpp"
-#include "sim/event_queue.hpp"
+#include "core/event_queue.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 

@@ -22,8 +22,8 @@
 
 #include "broker/registry.hpp"
 #include "core/ids.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/fault_plane.hpp"
+#include "core/event_queue.hpp"
+#include "signal/fault_plane.hpp"
 #include "util/flat_map.hpp"
 
 namespace qres {

@@ -2,7 +2,7 @@
 
 #include <memory>
 
-#include "sim/event_queue.hpp"
+#include "core/event_queue.hpp"
 #include "util/assert.hpp"
 
 namespace qres {

@@ -4,18 +4,6 @@
 
 namespace qres {
 
-void AdaptationStats::merge(const AdaptationStats& other) {
-  upgrades += other.upgrades;
-  downgrades += other.downgrades;
-  upgrade_attempts += other.upgrade_attempts;
-  downgrade_attempts += other.downgrade_attempts;
-  mbb_aborts += other.mbb_aborts;
-  preemptions += other.preemptions;
-  preempt_downgrades += other.preempt_downgrades;
-  overload_rejects += other.overload_rejects;
-  suppressed_flaps += other.suppressed_flaps;
-}
-
 void SimulationStats::record_session(SessionClass session_class, bool success,
                                      double qos_level, bool planning_failed) {
   overall_.record(success);

@@ -17,26 +17,6 @@
 
 namespace qres {
 
-/// Counters for the adaptation layer (src/adapt): what the engine did to
-/// live sessions, what the governor refused, and how often the watchdog's
-/// hysteresis saved the system from thrashing. Surfaced in the bench
-/// tables (ext_adaptation, ext_renegotiation) and `qresctl contention`.
-struct AdaptationStats {
-  std::uint64_t upgrades = 0;            ///< committed rank improvements
-  std::uint64_t downgrades = 0;          ///< committed rank degradations
-  std::uint64_t upgrade_attempts = 0;    ///< AIMD additive probes started
-  std::uint64_t downgrade_attempts = 0;  ///< watchdog-triggered renegotiations
-  std::uint64_t mbb_aborts = 0;     ///< renegotiations aborted; old plan kept
-  std::uint64_t preemptions = 0;    ///< sessions evicted for a higher priority
-  std::uint64_t preempt_downgrades = 0;  ///< sessions shed by downgrade instead
-  std::uint64_t overload_rejects = 0;    ///< governor kOverload fast-rejects
-  std::uint64_t suppressed_flaps = 0;    ///< hysteresis vetoes of raw flips
-
-  /// Merges another run's counters (replica aggregation, like
-  /// SimulationStats::merge).
-  void merge(const AdaptationStats& other);
-};
-
 class SimulationStats {
  public:
   /// Records one session attempt. `qos_level` is the paper-style level

@@ -1,0 +1,110 @@
+// Clang thread-safety annotations (no-ops on other compilers).
+//
+// The `static` CI lane compiles with clang and -Werror=thread-safety, so
+// every annotated class gets its locking discipline machine-checked at
+// compile time: reads/writes of a QRES_GUARDED_BY(mu) member outside a
+// critical section of `mu`, a QRES_REQUIRES(mu) function called without
+// the lock, or an unbalanced acquire/release are hard errors there. On
+// gcc (the default toolchain) the macros expand to nothing and the
+// annotated code compiles unchanged.
+//
+// Use qres::Mutex / qres::MutexLock (below) instead of std::mutex /
+// std::scoped_lock in annotated classes: libstdc++'s std::mutex carries
+// no capability attributes, so clang cannot track it. qres::Mutex is a
+// zero-cost annotated wrapper; MutexLock is the RAII guard the analysis
+// understands, and it satisfies BasicLockable so it plugs into
+// std::condition_variable_any for wait loops.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QRES_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QRES_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (a lock). The string names the
+/// capability kind in diagnostics ("mutex").
+#define QRES_CAPABILITY(x) QRES_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define QRES_SCOPED_CAPABILITY QRES_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define QRES_GUARDED_BY(x) QRES_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define QRES_PT_GUARDED_BY(x) QRES_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held.
+#define QRES_REQUIRES(...) \
+  QRES_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the capability NOT held.
+#define QRES_EXCLUDES(...) QRES_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability (and does not release it).
+#define QRES_ACQUIRE(...) \
+  QRES_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define QRES_RELEASE(...) \
+  QRES_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `ret`.
+#define QRES_TRY_ACQUIRE(ret, ...) \
+  QRES_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Escape hatch: the function's locking is correct but beyond the
+/// analysis (document why at each use).
+#define QRES_NO_THREAD_SAFETY_ANALYSIS \
+  QRES_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace qres {
+
+/// std::mutex with capability annotations: clang's analysis tracks
+/// lock()/unlock() pairs and enforces QRES_GUARDED_BY members.
+class QRES_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QRES_ACQUIRE() { impl_.lock(); }
+  void unlock() QRES_RELEASE() { impl_.unlock(); }
+  bool try_lock() QRES_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// RAII critical section over a qres::Mutex. Also BasicLockable, so a
+/// std::condition_variable_any can unlock/relock it inside wait():
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(lock);   // ready_ is GUARDED_BY(mutex_)
+///
+/// The explicit while-loop form keeps the predicate read inside the
+/// analyzed critical section (a wait(lock, pred) lambda would not be).
+class QRES_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) QRES_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() QRES_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable, for std::condition_variable_any::wait.
+  void lock() QRES_ACQUIRE() { mutex_.lock(); }
+  void unlock() QRES_RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace qres

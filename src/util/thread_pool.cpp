@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <mutex>
 
 #include "util/assert.hpp"
 
@@ -30,7 +31,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -40,7 +41,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   QRES_REQUIRE(task != nullptr, "ThreadPool::submit: null task");
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     QRES_REQUIRE(!stopping_, "ThreadPool::submit after shutdown");
     queue_.push(std::move(task));
     ++in_flight_;
@@ -53,8 +54,10 @@ void ThreadPool::wait() {
                "ThreadPool::wait called from one of this pool's own worker "
                "threads (would deadlock; use parallel_for, which runs "
                "inline when nested)");
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit wait loop: the predicate read of in_flight_ stays inside
+  // the analyzed critical section (a wait(lock, pred) lambda would not).
+  while (in_flight_ != 0) all_done_.wait(lock);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -91,15 +94,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) task_ready_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -9,10 +9,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace qres {
 
@@ -52,12 +53,14 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ QRES_GUARDED_BY(mutex_);
+  // condition_variable_any, not condition_variable: the waits go through
+  // qres::MutexLock so clang's thread-safety analysis can see them.
+  std::condition_variable_any task_ready_;
+  std::condition_variable_any all_done_;
+  std::size_t in_flight_ QRES_GUARDED_BY(mutex_) = 0;
+  bool stopping_ QRES_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qres

@@ -153,7 +153,7 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"bad_attribute",
                 "service X\nsource_param a\nsource 1\ncomponent C "
                 "color=red\n"}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) { return std::string(param_info.param.name); });
 
 // Property: write(parse(x)) round-trips for randomly generated models.
 class ModelIoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};

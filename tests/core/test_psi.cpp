@@ -58,8 +58,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, PsiMonotonicity,
                          ::testing::Values(PsiKind::kRatio,
                                            PsiKind::kHeadroom,
                                            PsiKind::kLogRatio),
-                         [](const auto& info) {
-                           return to_string(info.param);
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
                          });
 
 TEST(Psi, KindNames) {

@@ -4,6 +4,7 @@
 
 #include "../test_helpers.hpp"
 #include "core/planner.hpp"
+#include "util/assert.hpp"
 
 namespace qres {
 namespace {
@@ -79,6 +80,20 @@ TEST(QrgDot, PlanIsHighlighted) {
   }
   // 4 highlighted nodes (2 per step) + 2 highlighted edges.
   EXPECT_EQ(bold, 6u);
+}
+
+// Regression: a highlighted plan whose steps reference a component that
+// does not exist in this QRG's service must be rejected up front, not
+// rendered as a silently wrong graph.
+TEST(QrgDot, PlanReferencingForeignComponentIsRejected) {
+  Fixture f;
+  ReservationPlan plan;
+  PlanStep step;
+  step.component = 7;  // service has only 2 components
+  plan.steps.push_back(step);
+  DotOptions options;
+  options.plan = &plan;
+  EXPECT_THROW(to_dot(f.qrg, options), ContractViolation);
 }
 
 TEST(QrgDot, CustomTitle) {

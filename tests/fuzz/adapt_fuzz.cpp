@@ -12,9 +12,9 @@
 #include "broker/registry.hpp"
 #include "core/planner.hpp"
 #include "proxy/qos_proxy.hpp"
-#include "sim/auditor.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/fault_plane.hpp"
+#include "broker/auditor.hpp"
+#include "core/event_queue.hpp"
+#include "signal/fault_plane.hpp"
 #include "util/rng.hpp"
 
 namespace qres::fuzz {

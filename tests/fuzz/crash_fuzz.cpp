@@ -12,10 +12,10 @@
 #include "broker/resource_broker.hpp"
 #include "core/planner.hpp"
 #include "proxy/qos_proxy.hpp"
-#include "sim/auditor.hpp"
+#include "broker/auditor.hpp"
 #include "sim/broker_supervisor.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/fault_plane.hpp"
+#include "core/event_queue.hpp"
+#include "signal/fault_plane.hpp"
 #include "sim/lease_keeper.hpp"
 #include "util/rng.hpp"
 

@@ -12,11 +12,11 @@
 #include "core/planner.hpp"
 #include "proxy/qos_proxy.hpp"
 #include "signal/rsvp.hpp"
-#include "sim/auditor.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/fault_plane.hpp"
+#include "broker/auditor.hpp"
+#include "core/event_queue.hpp"
+#include "signal/fault_plane.hpp"
 #include "sim/lease_keeper.hpp"
-#include "sim/topology.hpp"
+#include "core/topology.hpp"
 #include "util/rng.hpp"
 
 namespace qres::fuzz {

@@ -1,0 +1,2 @@
+// Fixture: layering-upward-include (seeded violation on line 2).
+#include "sim/stats.hpp"

@@ -1,0 +1,4 @@
+// Fixture: contracts-missing-guard (reported at line 1).
+namespace qres {
+double available() { return 1.0; }
+}  // namespace qres

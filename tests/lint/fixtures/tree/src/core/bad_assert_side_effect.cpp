@@ -1,0 +1,8 @@
+// Fixture: contracts-assert-side-effect (seeded violation on line 6).
+#define QRES_ASSERT(x) (void)(x)
+
+static int calls = 0;
+int bump(int limit) {
+  QRES_ASSERT(++calls <= limit);
+  return calls;
+}

@@ -1,0 +1,4 @@
+// Fixture: determinism-libc-rand (seeded violation on line 4).
+#include <cstdlib>
+
+int noise() { return rand(); }

@@ -1,0 +1,5 @@
+// Fixture: hygiene-missing-pragma-once (reported at line 1).
+#ifndef QRES_TESTS_LINT_BAD_MISSING_PRAGMA_HPP
+#define QRES_TESTS_LINT_BAD_MISSING_PRAGMA_HPP
+inline int guarded_the_old_way() { return 1; }
+#endif

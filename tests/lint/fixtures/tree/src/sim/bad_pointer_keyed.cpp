@@ -1,0 +1,4 @@
+// Fixture: determinism-pointer-keyed-container (seeded violation on line 4).
+#include <map>
+
+static std::map<const char*, int> by_address;

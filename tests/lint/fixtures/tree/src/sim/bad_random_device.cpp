@@ -1,0 +1,4 @@
+// Fixture: determinism-random-device (seeded violation on line 4).
+#include <random>
+
+static std::random_device entropy;

@@ -1,0 +1,4 @@
+// Fixture: lint-bad-suppression — the allow() below names a real rule but
+// omits the mandatory justification, so it flags AND fails to suppress.
+#include <unordered_map>
+static std::unordered_map<int, int> t;  // qres-lint: allow(determinism-unordered-container)

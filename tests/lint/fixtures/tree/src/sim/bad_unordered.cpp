@@ -1,0 +1,4 @@
+// Fixture: determinism-unordered-container (seeded violation on line 4).
+#include <unordered_map>
+
+static std::unordered_map<int, double> table;

@@ -1,0 +1,4 @@
+// Fixture: hygiene-using-namespace-header (seeded violation on line 4).
+#pragma once
+
+using namespace std;

@@ -1,0 +1,6 @@
+// Fixture: determinism-wall-clock (seeded violation on line 5).
+#include <chrono>
+
+auto wall_now() {
+  return std::chrono::steady_clock::now();
+}

@@ -1,0 +1,5 @@
+// Fixture: a justified suppression — this file must produce no output.
+#include <unordered_map>
+
+// qres-lint: allow(determinism-unordered-container): fixture; order unused
+static std::unordered_map<int, int> cache;

@@ -1,0 +1,7 @@
+// Determinism rules are scoped to src/: a hash map and a clock read in
+// tests/ must produce no violations.
+#include <chrono>
+#include <unordered_map>
+
+static std::unordered_map<int, int> timings;
+auto t0() { return std::chrono::steady_clock::now(); }

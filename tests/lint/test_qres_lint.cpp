@@ -1,0 +1,132 @@
+// Self-tests for tools/qres_lint.cpp against the seeded-violation
+// fixture tree (tests/lint/fixtures/tree): every rule must fire at
+// exactly its seeded file:line with its exact rule id, justified
+// suppressions must silence their rule, and tests/ must stay exempt
+// from the determinism rules. This is what makes the analyzer itself
+// regression-tested: a rule that silently stops matching turns into a
+// test failure, not a hole in CI.
+//
+// QRES_LINT_BIN and QRES_LINT_FIXTURES are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout only
+};
+
+RunResult run_lint(const std::string& args) {
+  std::string cmd = std::string(QRES_LINT_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to launch: " << cmd;
+  RunResult result;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    result.output.append(buf.data(), n);
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+const char* const kRuleIds[] = {
+    "determinism-random-device",
+    "determinism-libc-rand",
+    "determinism-wall-clock",
+    "determinism-unordered-container",
+    "determinism-pointer-keyed-container",
+    "layering-upward-include",
+    "contracts-missing-guard",
+    "contracts-assert-side-effect",
+    "hygiene-using-namespace-header",
+    "hygiene-missing-pragma-once",
+    "lint-bad-suppression",
+};
+
+TEST(QresLint, ListRulesNamesEveryRule) {
+  RunResult r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* id : kRuleIds)
+    EXPECT_NE(r.output.find(id), std::string::npos) << "missing rule " << id;
+}
+
+// The heart of the self-test: the fixture tree has one seeded violation
+// per rule at a known line, one deliberately broken suppression, and one
+// justified suppression that must stay silent. The output is compared
+// exactly — file, line, rule id and message are all pinned.
+TEST(QresLint, FixtureTreeFiresEveryRuleAtItsSeededLine) {
+  RunResult r = run_lint(std::string("--root ") + QRES_LINT_FIXTURES);
+  EXPECT_EQ(r.exit_code, 1);
+  const std::string expected =
+      "src/adapt/bad_upward_include.cpp:2 layering-upward-include layer "
+      "'adapt' must not include 'sim/stats.hpp' (sim is not below it in the "
+      "DAG)\n"
+      "src/broker/bad_no_guard.cpp:1 contracts-missing-guard no "
+      "QRES_REQUIRE/QRES_ENSURE/QRES_ASSERT in this translation unit; public "
+      "entry points must guard their preconditions\n"
+      "src/core/bad_assert_side_effect.cpp:6 contracts-assert-side-effect "
+      "assertion argument mutates state (++/--/assignment); assertions must "
+      "be side-effect free\n"
+      "src/sim/bad_libc_rand.cpp:4 determinism-libc-rand libc random "
+      "generator breaks bit-determinism; use qres::Rng\n"
+      "src/sim/bad_missing_pragma.hpp:1 hygiene-missing-pragma-once header "
+      "does not use #pragma once (the repo's include-guard convention)\n"
+      "src/sim/bad_pointer_keyed.cpp:4 determinism-pointer-keyed-container "
+      "pointer-keyed ordered container iterates in address order; key by a "
+      "stable id instead\n"
+      "src/sim/bad_random_device.cpp:4 determinism-random-device "
+      "std::random_device breaks bit-determinism; seed qres::Rng "
+      "explicitly\n"
+      "src/sim/bad_suppression.cpp:4 determinism-unordered-container "
+      "hash-ordered container in src/; iteration order is unspecified (use "
+      "std::map/std::set/FlatMap)\n"
+      "src/sim/bad_suppression.cpp:4 lint-bad-suppression suppression of "
+      "'determinism-unordered-container' is missing its justification\n"
+      "src/sim/bad_unordered.cpp:4 determinism-unordered-container "
+      "hash-ordered container in src/; iteration order is unspecified (use "
+      "std::map/std::set/FlatMap)\n"
+      "src/sim/bad_using_namespace.hpp:4 hygiene-using-namespace-header "
+      "'using namespace' in a header leaks into every includer\n"
+      "src/sim/bad_wall_clock.cpp:5 determinism-wall-clock wall-clock read "
+      "in src/; all time must come from the simulation clock\n";
+  EXPECT_EQ(r.output, expected);
+}
+
+TEST(QresLint, JustifiedSuppressionStaysSilent) {
+  RunResult r = run_lint(std::string("--root ") + QRES_LINT_FIXTURES);
+  // suppressed_ok.cpp holds an unordered_map behind a justified
+  // allow-comment and must never appear in the output.
+  EXPECT_EQ(r.output.find("suppressed_ok"), std::string::npos);
+}
+
+TEST(QresLint, InvalidSuppressionDoesNotSuppress) {
+  RunResult r = run_lint(std::string("--root ") + QRES_LINT_FIXTURES);
+  // bad_suppression.cpp's allow() lacks its justification: the original
+  // violation must still fire alongside the lint-bad-suppression error.
+  EXPECT_NE(
+      r.output.find("bad_suppression.cpp:4 determinism-unordered-container"),
+      std::string::npos);
+  EXPECT_NE(r.output.find("bad_suppression.cpp:4 lint-bad-suppression"),
+            std::string::npos);
+}
+
+TEST(QresLint, TestsSubtreeIsExemptFromDeterminismRules) {
+  // tree/tests/clean_test.cpp uses a hash map and a wall clock; scanning
+  // only the tests/ target must report nothing.
+  RunResult r =
+      run_lint(std::string("--root ") + QRES_LINT_FIXTURES + " tests");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "");
+}
+
+TEST(QresLint, UnknownFlagFailsWithUsage) {
+  RunResult r = run_lint("--frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+}  // namespace

@@ -2,7 +2,7 @@
 // races, and the soft-state conservation the ReservationAuditor checks.
 #include <gtest/gtest.h>
 
-#include "sim/auditor.hpp"
+#include "broker/auditor.hpp"
 #include "signal/rsvp.hpp"
 
 namespace qres {

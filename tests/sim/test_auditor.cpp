@@ -1,4 +1,4 @@
-#include "sim/auditor.hpp"
+#include "broker/auditor.hpp"
 
 #include <gtest/gtest.h>
 

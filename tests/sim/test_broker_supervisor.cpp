@@ -14,8 +14,8 @@
 
 #include "broker/journal.hpp"
 #include "broker/registry.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/fault_plane.hpp"
+#include "core/event_queue.hpp"
+#include "signal/fault_plane.hpp"
 
 namespace qres {
 namespace {

@@ -1,5 +1,7 @@
 #include "sim/stats.hpp"
 
+#include "adapt/stats.hpp"
+
 #include <gtest/gtest.h>
 
 namespace qres {

@@ -1,4 +1,4 @@
-#include "sim/topology.hpp"
+#include "core/topology.hpp"
 
 #include <gtest/gtest.h>
 

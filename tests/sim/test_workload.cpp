@@ -47,8 +47,9 @@ TEST(Workload, ScaleIsTwoOrTenForFat) {
   Rng rng(3);
   for (int i = 0; i < 1000; ++i) {
     const SessionTraits t = sample_traits(config, rng);
-    if (t.fat)
+    if (t.fat) {
       EXPECT_TRUE(t.scale == 2.0 || t.scale == 10.0) << t.scale;
+    }
   }
 }
 

@@ -1,0 +1,604 @@
+// qres_lint — in-repo static analyzer for the project's domain invariants.
+//
+// The planners and the discrete-event simulator are only trustworthy
+// because they are bit-deterministic: the zero-fault / zero-crash
+// bit-identity differentials (tests/fuzz/*) compare entire world states
+// across runs and across implementations. Nothing in the type system
+// stops a PR from quietly introducing a wall-clock read, a hash-ordered
+// iteration, or an upward #include that turns the layer DAG into a cycle
+// — so this tool makes those invariants machine-checked (DESIGN.md §10):
+//
+//   determinism  std::random_device, libc rand(), wall clocks and
+//                hash/address-ordered containers are banned inside src/
+//                (bench/ and tools/ are exempt: they may time things);
+//   layering     #includes must follow the DAG
+//                util <- core <- broker <- signal <- proxy/enforce
+//                     <- adapt <- sim <- scenario
+//                (an arrow means "may be included by"); any upward or
+//                cross include is an error;
+//   contracts    every .cpp in src/core and src/broker must guard its
+//                public entry points with the util/assert.hpp macros,
+//                and assertion arguments must be side-effect free;
+//   hygiene      no `using namespace` in headers; every header opens
+//                with #pragma once.
+//
+// Violations print `file:line rule-id message` and the tool exits 1.
+// A violation can be suppressed in place with a justified comment:
+//
+//   legacy_call();  // qres-lint: allow(rule-id): why this is safe
+//
+// either trailing on the offending line or alone on the line above. The
+// justification text is mandatory; an empty one (or an unknown rule id)
+// is itself a violation (lint-bad-suppression).
+//
+// The scanner is textual by design: it strips comments and string
+// literals, then pattern-matches the remaining code. No libclang, no
+// compile step — it runs in milliseconds on a cold checkout, which is
+// what lets ctest run it over the whole tree on every build
+// (qres_lint_tree). Fixture self-tests with seeded violations live in
+// tests/lint/fixtures/; see tests/lint/test_qres_lint.cpp.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Rule {
+  std::string id;
+  std::string description;
+};
+
+// Registry of every rule the tool knows, in --list-rules order.
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"determinism-random-device",
+       "std::random_device is banned in src/ (seed qres::Rng streams "
+       "explicitly)"},
+      {"determinism-libc-rand",
+       "libc random generators (rand/srand/drand48/random) are banned in "
+       "src/ (use qres::Rng)"},
+      {"determinism-wall-clock",
+       "wall-clock time sources (system_clock/steady_clock/std::time/...) "
+       "are banned in src/ (simulation time only)"},
+      {"determinism-unordered-container",
+       "std::unordered_* containers iterate in hash order; use "
+       "std::map/std::set/FlatMap in src/"},
+      {"determinism-pointer-keyed-container",
+       "pointer-keyed std::map/std::set iterates in address order; key by "
+       "a stable id instead"},
+      {"layering-upward-include",
+       "#include must follow the layer DAG util <- core <- broker <- "
+       "signal <- proxy/enforce <- adapt <- sim <- scenario"},
+      {"contracts-missing-guard",
+       "src/core and src/broker translation units must guard public entry "
+       "points with QRES_REQUIRE/QRES_ENSURE/QRES_ASSERT (util/assert.hpp)"},
+      {"contracts-assert-side-effect",
+       "assertion arguments must be side-effect free (no ++/--/assignment "
+       "inside QRES_REQUIRE/QRES_ENSURE/QRES_ASSERT)"},
+      {"hygiene-using-namespace-header",
+       "'using namespace' in a header leaks the namespace into every "
+       "includer"},
+      {"hygiene-missing-pragma-once",
+       "headers must use #pragma once (the repo's include-guard "
+       "convention)"},
+      {"lint-bad-suppression",
+       "qres-lint: allow(...) suppressions must name a known rule and "
+       "carry a non-empty justification"},
+  };
+  return kRules;
+}
+
+bool known_rule(const std::string& id) {
+  for (const Rule& r : rules())
+    if (r.id == id) return true;
+  return false;
+}
+
+struct Violation {
+  std::string file;  // path as reported (relative to root)
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Violation& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    return rule < other.rule;
+  }
+};
+
+// One parsed suppression comment.
+struct Suppression {
+  int line = 0;          // line the comment sits on
+  bool whole_line = false;  // comment is alone on its line -> covers line+1
+  std::string rule;
+};
+
+// ---------------------------------------------------------------------------
+// Lexing: strip comments and string/char literals, preserving line
+// structure, so rules never fire on prose. Suppression comments are
+// collected from the comment text as it is stripped.
+
+struct FileView {
+  std::vector<std::string> raw;   // original lines
+  std::vector<std::string> code;  // lines with comments/literals blanked
+  std::vector<Suppression> suppressions;
+  std::vector<Violation> bad_suppressions;  // filled during parsing
+};
+
+// Parses `// qres-lint: allow(rule): justification` out of a comment.
+// Returns false when the comment is not a suppression at all.
+bool parse_allow(const std::string& comment, int line, const std::string& file,
+                 bool whole_line, FileView* view) {
+  static const std::regex kAllow(
+      R"(qres-lint:\s*allow\(([A-Za-z0-9-]+)\)(.*))");
+  std::smatch m;
+  if (!std::regex_search(comment, m, kAllow)) {
+    // A comment that name-drops qres-lint without matching the allow()
+    // shape is almost certainly a typo'd suppression; flag it so it
+    // cannot silently fail to suppress.
+    if (comment.find("qres-lint:") != std::string::npos) {
+      view->bad_suppressions.push_back(
+          {file, line, "lint-bad-suppression",
+           "malformed suppression (expected `qres-lint: "
+           "allow(rule-id): justification`)"});
+      return true;
+    }
+    return false;
+  }
+  std::string rule = m[1].str();
+  std::string rest = m[2].str();
+  // rest must be ": <justification>" with a non-empty justification.
+  std::string justification;
+  std::size_t colon = rest.find(':');
+  if (colon != std::string::npos) justification = rest.substr(colon + 1);
+  justification.erase(0, justification.find_first_not_of(" \t"));
+  while (!justification.empty() &&
+         (justification.back() == ' ' || justification.back() == '\t'))
+    justification.pop_back();
+  if (!known_rule(rule)) {
+    view->bad_suppressions.push_back(
+        {file, line, "lint-bad-suppression",
+         "suppression names unknown rule '" + rule + "'"});
+    return true;
+  }
+  if (colon == std::string::npos || justification.empty()) {
+    view->bad_suppressions.push_back(
+        {file, line, "lint-bad-suppression",
+         "suppression of '" + rule + "' is missing its justification"});
+    return true;
+  }
+  view->suppressions.push_back({line, whole_line, rule});
+  return true;
+}
+
+// Strips comments/literals from the file, collecting suppressions.
+FileView lex_file(const std::vector<std::string>& lines,
+                  const std::string& file) {
+  FileView view;
+  view.raw = lines;
+  view.code.reserve(lines.size());
+
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    std::string code;
+    code.reserve(line.size());
+    std::string comment_text;  // comment content seen on this line
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      if (in_block_comment) {
+        std::size_t end = line.find("*/", pos);
+        if (end == std::string::npos) {
+          comment_text += line.substr(pos);
+          pos = line.size();
+        } else {
+          comment_text += line.substr(pos, end - pos);
+          pos = end + 2;
+          in_block_comment = false;
+        }
+        continue;
+      }
+      char c = line[pos];
+      if (c == '/' && pos + 1 < line.size() && line[pos + 1] == '/') {
+        comment_text += line.substr(pos + 2);
+        pos = line.size();
+        continue;
+      }
+      if (c == '/' && pos + 1 < line.size() && line[pos + 1] == '*') {
+        in_block_comment = true;
+        pos += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // Skip the literal (handles \" escapes; raw strings are handled
+        // well enough for a linter: R"( starts a literal that ends at )").
+        char quote = c;
+        bool raw = quote == '"' && pos > 0 && line[pos - 1] == 'R';
+        code += quote;  // keep the quote so `#include "x"` survives below
+        ++pos;
+        if (raw) {
+          std::size_t end = line.find(")\"", pos);
+          pos = end == std::string::npos ? line.size() : end + 2;
+          continue;
+        }
+        std::string literal;
+        while (pos < line.size()) {
+          if (line[pos] == '\\') {
+            pos += 2;
+            continue;
+          }
+          if (line[pos] == quote) {
+            ++pos;
+            break;
+          }
+          literal += line[pos];
+          ++pos;
+        }
+        // #include "path" must keep its path; every other literal is
+        // blanked so rules cannot fire inside strings.
+        std::string head = code;
+        if (head.find("#") != std::string::npos &&
+            head.find("include") != std::string::npos) {
+          code += literal;
+        }
+        code += quote;
+        continue;
+      }
+      code += c;
+      ++pos;
+    }
+    bool whole_line = true;
+    for (char c : code)
+      if (!std::isspace(static_cast<unsigned char>(c))) whole_line = false;
+    if (!comment_text.empty())
+      parse_allow(comment_text, static_cast<int>(i) + 1, file, whole_line,
+                  &view);
+    view.code.push_back(std::move(code));
+  }
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Layer DAG. rank(a) < rank(b) means a is below b; a file may only
+// include same-directory or strictly-lower-rank project headers.
+
+const std::map<std::string, int>& layer_ranks() {
+  static const std::map<std::string, int> kRanks = {
+      {"util", 0},  {"core", 1},    {"broker", 2}, {"signal", 3},
+      {"proxy", 4}, {"enforce", 4}, {"adapt", 5},  {"sim", 6},
+      {"scenario", 7},
+  };
+  return kRanks;
+}
+
+bool is_header(const fs::path& p) {
+  return p.extension() == ".hpp" || p.extension() == ".h";
+}
+
+bool is_source_file(const fs::path& p) {
+  auto ext = p.extension();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+std::string first_component(const std::string& path) {
+  std::size_t slash = path.find('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// ---------------------------------------------------------------------------
+// Rule checks. `rel` is the path relative to the scan root using '/'
+// separators (e.g. "src/core/planner.cpp").
+
+struct Checker {
+  std::string rel;
+  const FileView* view;
+  std::vector<Violation>* out;
+
+  bool in_src() const { return rel.rfind("src/", 0) == 0; }
+  bool in_contract_scope() const {
+    return rel.rfind("src/core/", 0) == 0 || rel.rfind("src/broker/", 0) == 0;
+  }
+
+  void report(int line, const std::string& rule, const std::string& message) {
+    out->push_back({rel, line, rule, message});
+  }
+
+  void check_determinism() {
+    if (!in_src()) return;
+    static const std::regex kRandomDevice(R"(\brandom_device\b)");
+    static const std::regex kLibcRand(
+        R"(\b(rand|srand|drand48|lrand48|mrand48|random)\s*\()");
+    static const std::regex kWallClock(
+        R"(\b(system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime)\b|\bstd::time\s*\(|\bstd::clock\s*\()");
+    static const std::regex kUnordered(
+        R"(\bstd::unordered_(map|set|multimap|multiset)\b)");
+    for (std::size_t i = 0; i < view->code.size(); ++i) {
+      const std::string& line = view->code[i];
+      int ln = static_cast<int>(i) + 1;
+      if (std::regex_search(line, kRandomDevice))
+        report(ln, "determinism-random-device",
+               "std::random_device breaks bit-determinism; seed qres::Rng "
+               "explicitly");
+      if (std::regex_search(line, kLibcRand))
+        report(ln, "determinism-libc-rand",
+               "libc random generator breaks bit-determinism; use qres::Rng");
+      if (std::regex_search(line, kWallClock))
+        report(ln, "determinism-wall-clock",
+               "wall-clock read in src/; all time must come from the "
+               "simulation clock");
+      if (std::regex_search(line, kUnordered))
+        report(ln, "determinism-unordered-container",
+               "hash-ordered container in src/; iteration order is "
+               "unspecified (use std::map/std::set/FlatMap)");
+      check_pointer_keyed(line, ln);
+    }
+  }
+
+  // std::map<T*, ...> / std::set<const T*> — iteration follows pointer
+  // values, i.e. allocation addresses: run-to-run nondeterminism.
+  void check_pointer_keyed(const std::string& line, int ln) {
+    static const std::regex kOrdered(R"(\bstd::(map|set|multimap|multiset)\s*<)");
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kOrdered);
+         it != std::sregex_iterator(); ++it) {
+      std::size_t start = static_cast<std::size_t>(it->position()) +
+                          static_cast<std::size_t>(it->length());
+      // Extract the first template argument (up to a top-level ',' or '>').
+      int depth = 0;
+      std::string arg;
+      for (std::size_t i = start; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == '<') ++depth;
+        if (c == '>') {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (c == ',' && depth == 0) break;
+        arg += c;
+      }
+      if (arg.find('*') != std::string::npos) {
+        report(ln, "determinism-pointer-keyed-container",
+               "pointer-keyed ordered container iterates in address order; "
+               "key by a stable id instead");
+        return;
+      }
+    }
+  }
+
+  void check_layering() {
+    if (!in_src()) return;
+    std::string dir = first_component(rel.substr(4));  // after "src/"
+    auto self = layer_ranks().find(dir);
+    if (self == layer_ranks().end()) return;
+    static const std::regex kInclude(R"(#\s*include\s*\"([^\"]+)\")");
+    for (std::size_t i = 0; i < view->code.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(view->code[i], m, kInclude)) continue;
+      std::string target_dir = first_component(m[1].str());
+      auto target = layer_ranks().find(target_dir);
+      if (target == layer_ranks().end()) continue;  // not a project layer
+      bool same_dir = target->first == self->first;
+      if (!same_dir && target->second >= self->second)
+        report(static_cast<int>(i) + 1, "layering-upward-include",
+               "layer '" + self->first + "' must not include '" +
+                   m[1].str() + "' (" + target->first +
+                   " is not below it in the DAG)");
+    }
+  }
+
+  void check_contracts() {
+    if (!in_contract_scope()) return;
+    fs::path p(rel);
+    bool is_cpp = p.extension() == ".cpp" || p.extension() == ".cc" ||
+                  p.extension() == ".cxx";
+    static const std::regex kMacro(R"(\bQRES_(REQUIRE|ENSURE|ASSERT)\s*\()");
+    bool any_macro = false;
+    for (std::size_t i = 0; i < view->code.size(); ++i) {
+      const std::string& line = view->code[i];
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), kMacro);
+           it != std::sregex_iterator(); ++it) {
+        any_macro = true;
+        check_assert_args(static_cast<int>(i),
+                          static_cast<std::size_t>(it->position()) +
+                              static_cast<std::size_t>(it->length()));
+      }
+    }
+    if (is_cpp && !any_macro)
+      report(1, "contracts-missing-guard",
+             "no QRES_REQUIRE/QRES_ENSURE/QRES_ASSERT in this translation "
+             "unit; public entry points must guard their preconditions");
+  }
+
+  // `start` points just past the macro's '(' on 0-based line `line_idx`.
+  // Collects the balanced argument text (possibly spanning lines) and
+  // rejects mutation operators inside it.
+  void check_assert_args(int line_idx, std::size_t start) {
+    std::string args;
+    int depth = 1;
+    std::size_t i = static_cast<std::size_t>(line_idx);
+    std::size_t pos = start;
+    while (i < view->code.size()) {
+      const std::string& line = view->code[i];
+      for (; pos < line.size(); ++pos) {
+        char c = line[pos];
+        if (c == '(') ++depth;
+        if (c == ')') {
+          --depth;
+          if (depth == 0) break;
+        }
+        args += c;
+      }
+      if (depth == 0) break;
+      args += ' ';
+      ++i;
+      pos = 0;
+    }
+    // Neutralize comparison operators, then any surviving mutation
+    // operator is a side effect inside an assertion.
+    for (const char* cmp : {"<=>", "==", "!=", "<=", ">="}) {
+      std::size_t at;
+      while ((at = args.find(cmp)) != std::string::npos)
+        args.replace(at, std::strlen(cmp), std::string(std::strlen(cmp), '#'));
+    }
+    bool mutation = args.find("++") != std::string::npos ||
+                    args.find("--") != std::string::npos ||
+                    args.find('=') != std::string::npos;
+    if (mutation)
+      report(line_idx + 1, "contracts-assert-side-effect",
+             "assertion argument mutates state (++/--/assignment); "
+             "assertions must be side-effect free");
+  }
+
+  void check_hygiene(bool header) {
+    if (!header) return;
+    static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+    bool pragma_once = false;
+    for (std::size_t i = 0; i < view->code.size(); ++i) {
+      const std::string& line = view->code[i];
+      if (line.find("#pragma once") != std::string::npos) pragma_once = true;
+      if (std::regex_search(line, kUsingNamespace))
+        report(static_cast<int>(i) + 1, "hygiene-using-namespace-header",
+               "'using namespace' in a header leaks into every includer");
+    }
+    if (!pragma_once)
+      report(1, "hygiene-missing-pragma-once",
+             "header does not use #pragma once (the repo's include-guard "
+             "convention)");
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+bool suppressed(const Violation& v, const FileView& view) {
+  for (const Suppression& s : view.suppressions) {
+    if (s.rule != v.rule) continue;
+    if (s.line == v.line) return true;
+    if (s.whole_line && s.line + 1 == v.line) return true;
+  }
+  return false;
+}
+
+std::vector<Violation> scan_file(const fs::path& path,
+                                 const std::string& rel) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  FileView view = lex_file(lines, rel);
+  std::vector<Violation> raw;
+  Checker checker{rel, &view, &raw};
+  checker.check_determinism();
+  checker.check_layering();
+  checker.check_contracts();
+  checker.check_hygiene(is_header(path));
+
+  std::vector<Violation> result;
+  for (const Violation& v : raw)
+    if (!suppressed(v, view)) result.push_back(v);
+  // Bad suppressions are never themselves suppressible.
+  for (const Violation& v : view.bad_suppressions) result.push_back(v);
+  return result;
+}
+
+void usage() {
+  std::cout
+      << "usage: qres_lint [--root DIR] [--list-rules] [paths...]\n"
+         "\n"
+         "Scans C++ sources for the repo's determinism, layering, contract\n"
+         "and hygiene invariants (DESIGN.md §10). Paths are relative to\n"
+         "--root (default: the current directory) and default to `src\n"
+         "tests`. Prints `file:line rule-id message` per violation and\n"
+         "exits 1 when any are found.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const Rule& r : rules())
+        std::cout << r.id << "\n    " << r.description << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "qres_lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "qres_lint: unknown flag '" << arg << "'\n";
+      usage();
+      return 2;
+    }
+    targets.push_back(arg);
+  }
+  if (targets.empty()) targets = {"src", "tests"};
+
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "qres_lint: root '" << root.string()
+              << "' is not a directory\n";
+    return 2;
+  }
+
+  // Collect files in sorted relative-path order so output is stable.
+  std::vector<std::pair<fs::path, std::string>> files;  // abs, rel
+  for (const std::string& target : targets) {
+    fs::path dir = root / target;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file() || !is_source_file(it->path())) continue;
+      std::string rel =
+          fs::relative(it->path(), root).generic_string();
+      // The lint self-test fixtures carry violations on purpose.
+      if (rel.rfind("tests/lint/fixtures", 0) == 0) continue;
+      files.emplace_back(it->path(), rel);
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::vector<Violation> all;
+  for (const auto& [path, rel] : files) {
+    std::vector<Violation> vs = scan_file(path, rel);
+    all.insert(all.end(), vs.begin(), vs.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  for (const Violation& v : all)
+    std::cout << v.file << ":" << v.line << " " << v.rule << " " << v.message
+              << "\n";
+  if (!all.empty()) {
+    std::cerr << "qres_lint: " << all.size() << " violation"
+              << (all.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files\n";
+    return 1;
+  }
+  return 0;
+}
