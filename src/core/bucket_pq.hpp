@@ -1,0 +1,88 @@
+// Calendar-bucket priority queue for pass-I planner labels.
+//
+// ψ contention indices are bounded and coarse: under the default
+// PsiKind::kRatio a feasible translation edge's ψ is demand/availability
+// in (0, 1], and a QRG carries few distinct edge weights (one per
+// (requirement, resource) pair, §4.2 keeps QRGs small). A bucket array
+// over fixed-width value intervals therefore beats the binary heap in
+// dijkstra_qrg: push is O(1) with no percolation, and pop-min scans one
+// short bucket instead of walking log n heap levels.
+//
+// Pop order is EXACTLY the binary heap's: the globally smallest
+// (value, node) pair in lexicographic order — value first, then the
+// smaller node index among value ties. Duplicate entries (lazy deletion)
+// and non-monotone pushes (a node re-pushed with a smaller value after
+// the cursor moved past its bucket) are both supported, so dijkstra_qrg
+// produces bit-identical labels with either queue; qres_fuzz --mode
+// parallel enforces this differentially.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+class BucketPQ {
+ public:
+  using Entry = std::pair<double, std::uint32_t>;  ///< (value, node)
+
+  /// `delta` is the bucket width in ψ units. Any positive width is
+  /// correct (ordering never depends on it); widths near the spacing of
+  /// distinct ψ values keep buckets short. Values at or beyond
+  /// delta * kMaxBuckets share the last bucket — still correct, since
+  /// pop scans its bucket for the true minimum.
+  explicit BucketPQ(double delta = 1.0 / 64.0) : delta_(delta) {
+    QRES_REQUIRE(delta > 0.0, "BucketPQ: bucket width must be positive");
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push(double value, std::uint32_t node) {
+    QRES_REQUIRE(std::isfinite(value) && value >= 0.0,
+                 "BucketPQ::push: value must be finite and non-negative");
+    const std::size_t b = bucket_of(value);
+    if (b >= buckets_.size()) buckets_.resize(b + 1);
+    buckets_[b].push_back({value, node});
+    if (b < cursor_) cursor_ = b;  // non-monotone push: rewind the cursor
+    ++size_;
+  }
+
+  /// Removes and returns the smallest (value, node) pair; value ties
+  /// break on the smaller node index (the binary heap's exact order).
+  Entry pop_min() {
+    QRES_REQUIRE(size_ > 0, "BucketPQ::pop_min: empty queue");
+    while (buckets_[cursor_].empty()) ++cursor_;
+    auto& bucket = buckets_[cursor_];
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < bucket.size(); ++i)
+      if (bucket[i] < bucket[best]) best = i;
+    Entry result = bucket[best];
+    bucket[best] = bucket.back();
+    bucket.pop_back();
+    --size_;
+    return result;
+  }
+
+ private:
+  // Buckets are value intervals [b*delta, (b+1)*delta): the index is
+  // monotone in the value, which is all cross-bucket ordering needs.
+  std::size_t bucket_of(double value) const noexcept {
+    const std::size_t b = static_cast<std::size_t>(value / delta_);
+    return b < kMaxBuckets ? b : kMaxBuckets - 1;
+  }
+
+  static constexpr std::size_t kMaxBuckets = 1u << 16;
+
+  double delta_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t cursor_ = 0;  ///< no non-empty bucket below this index
+  std::size_t size_ = 0;
+};
+
+}  // namespace qres

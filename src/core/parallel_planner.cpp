@@ -1,0 +1,86 @@
+#include "core/parallel_planner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+std::vector<NodeLabel> parallel_relax_qrg(const Qrg& qrg, ThreadPool* pool,
+                                          const ParallelRelaxOptions& options) {
+  const std::uint32_t n = qrg.node_count();
+  std::vector<NodeLabel> labels(n);
+  if (n == 0) return labels;
+
+  const std::size_t workers = pool ? pool->worker_count() : 1;
+  const std::size_t stripes =
+      options.stripes ? options.stripes
+                      : std::max<std::size_t>(1, 4 * workers);
+
+  // Remaining undrained in-edges per node; a node joins the wavefront
+  // when the last one drains. Atomic because tasks on different stripes
+  // drain edges into the same head node concurrently — the only shared
+  // mutable state in the sweep.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> pending(
+      new std::atomic<std::uint32_t>[n]);
+  for (std::uint32_t v = 0; v < n; ++v)
+    pending[v].store(static_cast<std::uint32_t>(qrg.in_edges(v).size()),
+                     std::memory_order_relaxed);
+
+  // Multi-queue ready sets: stripe s owns ready nodes with v % stripes
+  // == s. staged[s][t] collects the nodes stripe s's task discovers for
+  // stripe t's next wavefront — written by that one task only, read by
+  // the caller after the barrier.
+  std::vector<std::vector<std::uint32_t>> ready(stripes);
+  std::vector<std::vector<std::vector<std::uint32_t>>> staged(
+      stripes, std::vector<std::vector<std::uint32_t>>(stripes));
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (pending[v].load(std::memory_order_relaxed) == 0)
+      ready[v % stripes].push_back(v);
+
+  const PlannerOptions& planner = options.planner;
+  auto relax_stripe = [&](std::size_t s) {
+    for (std::uint32_t v : ready[s]) {
+      labels[v] = relax_node(qrg, planner, labels, v);
+      for (std::uint32_t e : qrg.out_edges(v)) {
+        const std::uint32_t to = qrg.edge(e).to;
+        if (pending[to].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          staged[s][to % stripes].push_back(to);
+      }
+    }
+  };
+
+  std::size_t processed = 0;
+  for (;;) {
+    std::size_t front = 0;
+    for (const auto& queue : ready) front += queue.size();
+    if (front == 0) break;
+    processed += front;
+    if (pool && front >= options.min_parallel_nodes)
+      pool->parallel_for(stripes, relax_stripe, 1);
+    else
+      for (std::size_t s = 0; s < stripes; ++s) relax_stripe(s);
+    // Barrier passed: merge staged discoveries into the next wavefront's
+    // ready queues. Source-stripe merge order keeps the queues
+    // deterministic, though the labels do not depend on it.
+    for (std::size_t t = 0; t < stripes; ++t) {
+      ready[t].clear();
+      for (std::size_t s = 0; s < stripes; ++s) {
+        auto& from = staged[s][t];
+        ready[t].insert(ready[t].end(), from.begin(), from.end());
+        from.clear();
+      }
+    }
+  }
+  QRES_ENSURE(processed == n,
+              "parallel_relax_qrg: wavefront sweep did not cover the QRG");
+  return labels;
+}
+
+PlanResult ParallelPlanner::plan(const Qrg& qrg, Rng& /*rng*/) const {
+  return basic_plan_from_labels(qrg, parallel_relax_qrg(qrg, pool_, options_));
+}
+
+}  // namespace qres

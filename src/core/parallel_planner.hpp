@@ -1,0 +1,68 @@
+// Multi-queue parallel wavefront relaxation of the QRG (DESIGN.md §11).
+//
+// The QRG is a layered DAG, so pass I can run as a sequence of
+// wavefronts: every node whose in-edges have all drained relaxes in the
+// current wavefront, and each wavefront's nodes are independent of one
+// another (their predecessors finished in earlier wavefronts). The ready
+// set is striped across per-stripe queues (stripe = node index mod
+// stripe count); each ThreadPool task owns one stripe, writes labels
+// only for its own nodes, and stages newly-drained successors into
+// per-(source stripe, target stripe) buffers that the caller merges
+// after the barrier. Shared mutable state is exactly one atomic
+// in-degree counter per node; everything else is either owned by one
+// stripe or published across the parallel_for barrier.
+//
+// Determinism argument: relax_node(v) is a pure function of the final
+// labels of v's predecessors, and an edge u -> v forces u into a
+// strictly earlier wavefront than v, so every label a relaxation reads
+// was fixed before its wavefront began. Thread count, stripe count and
+// scheduling order change only *when* within a wavefront a node relaxes
+// — never what it reads — so the labels are bit-identical to relax_qrg
+// for every QRG, every pool size, and pool == nullptr. The tie-break
+// policy is relax_qrg's own (the shared relax_node applies it), and
+// qres_fuzz --mode parallel enforces the equivalence differentially.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qres {
+
+struct ParallelRelaxOptions {
+  PlannerOptions planner;
+  /// Ready-queue stripes. 0 = automatic (four per pool worker). Labels
+  /// never depend on it.
+  std::size_t stripes = 0;
+  /// Wavefronts narrower than this relax inline on the calling thread:
+  /// below it the fan-out/barrier overhead costs more than the
+  /// parallelism buys. Labels never depend on it.
+  std::size_t min_parallel_nodes = 64;
+};
+
+/// Pass I with multi-queue wavefront parallelism. Bit-identical labels
+/// to relax_qrg(qrg, options.planner); `pool` may be null (fully inline).
+std::vector<NodeLabel> parallel_relax_qrg(
+    const Qrg& qrg, ThreadPool* pool,
+    const ParallelRelaxOptions& options = {});
+
+/// IPlanner running the basic algorithm's policy on parallel_relax_qrg
+/// labels: identical plans to BasicPlanner (both feed
+/// basic_plan_from_labels), with pass I spread across `pool`.
+class ParallelPlanner final : public IPlanner {
+ public:
+  explicit ParallelPlanner(ThreadPool* pool,
+                           ParallelRelaxOptions options = {})
+      : pool_(pool), options_(options) {}
+
+  PlanResult plan(const Qrg& qrg, Rng& rng) const override;
+  std::string name() const override { return "parallel"; }
+
+ private:
+  ThreadPool* pool_;
+  ParallelRelaxOptions options_;
+};
+
+}  // namespace qres

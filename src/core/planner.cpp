@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "core/bucket_pq.hpp"
 #include "util/assert.hpp"
 
 namespace qres {
@@ -13,91 +14,112 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
+NodeLabel relax_node(const Qrg& qrg, const PlannerOptions& options,
+                     const std::vector<NodeLabel>& labels, std::uint32_t v) {
+  NodeLabel label;
+  if (v == qrg.source_node()) {
+    label.value = 0.0;
+    label.reachable = true;
+    return label;
+  }
+  const QrgNode& node = qrg.node(v);
+  if (node.kind == QrgNodeKind::kIn) {
+    // AND semantics: one incoming equivalence edge per predecessor
+    // component; the node is realized when all constituents are, and
+    // its value is the max of theirs (§4.3.2 pass I).
+    const auto& incoming = qrg.in_edges(v);
+    if (incoming.empty()) return label;  // isolated (should not happen)
+    double value = 0.0;
+    ResourceId bottleneck;
+    double alpha = 1.0;
+    bool first = true;
+    for (std::uint32_t e : incoming) {
+      const NodeLabel& up = labels[qrg.edge(e).from];
+      if (!up.reachable) return label;
+      if (first || up.value > value) {
+        value = up.value;
+        bottleneck = up.bottleneck;
+        alpha = up.alpha;
+        first = false;
+      }
+    }
+    label.value = value;
+    label.reachable = true;
+    label.bottleneck = bottleneck;
+    label.alpha = alpha;
+  } else {
+    // OR semantics over incoming translation edges: pick the
+    // predecessor minimizing max(pred value, edge weight); among equal
+    // candidates prefer the smaller edge weight (the paper's
+    // tie-breaking rule), then the earlier edge (deterministic).
+    double best = kInf;
+    double best_edge_psi = kInf;
+    std::uint32_t best_edge = NodeLabel::kNoEdge;
+    for (std::uint32_t e : qrg.in_edges(v)) {
+      const QrgEdge& edge = qrg.edge(e);
+      const NodeLabel& up = labels[edge.from];
+      if (!up.reachable) continue;
+      const double candidate = std::max(up.value, edge.psi);
+      bool better = candidate < best;
+      if (!better && options.use_tie_break && candidate == best)
+        better = edge.psi < best_edge_psi;
+      if (better) {
+        best = candidate;
+        best_edge_psi = edge.psi;
+        best_edge = e;
+      }
+    }
+    if (best_edge == NodeLabel::kNoEdge) return label;
+    const QrgEdge& edge = qrg.edge(best_edge);
+    const NodeLabel& up = labels[edge.from];
+    label.value = best;
+    label.reachable = true;
+    label.pred_edge = best_edge;
+    if (edge.psi >= up.value) {
+      label.bottleneck = edge.bottleneck;
+      label.alpha = edge.alpha;
+    } else {
+      label.bottleneck = up.bottleneck;
+      label.alpha = up.alpha;
+    }
+  }
+  return label;
+}
+
 std::vector<NodeLabel> relax_qrg(const Qrg& qrg, const PlannerOptions& options) {
   std::vector<NodeLabel> labels(qrg.node_count());
 
   // Node indices were assigned components-in-topological-order with input
   // nodes before output nodes, so ascending index order is a topological
-  // order of the QRG.
-  for (std::uint32_t v = 0; v < qrg.node_count(); ++v) {
-    NodeLabel& label = labels[v];
-    if (v == qrg.source_node()) {
-      label.value = 0.0;
-      label.reachable = true;
-      continue;
-    }
-    const QrgNode& node = qrg.node(v);
-    if (node.kind == QrgNodeKind::kIn) {
-      // AND semantics: one incoming equivalence edge per predecessor
-      // component; the node is realized when all constituents are, and
-      // its value is the max of theirs (§4.3.2 pass I).
-      const auto& incoming = qrg.in_edges(v);
-      if (incoming.empty()) continue;  // isolated (should not happen)
-      bool all_reachable = true;
-      double value = 0.0;
-      ResourceId bottleneck;
-      double alpha = 1.0;
-      bool first = true;
-      for (std::uint32_t e : incoming) {
-        const NodeLabel& up = labels[qrg.edge(e).from];
-        if (!up.reachable) {
-          all_reachable = false;
-          break;
-        }
-        if (first || up.value > value) {
-          value = up.value;
-          bottleneck = up.bottleneck;
-          alpha = up.alpha;
-          first = false;
-        }
-      }
-      if (!all_reachable) continue;
-      label.value = value;
-      label.reachable = true;
-      label.bottleneck = bottleneck;
-      label.alpha = alpha;
-    } else {
-      // OR semantics over incoming translation edges: pick the
-      // predecessor minimizing max(pred value, edge weight); among equal
-      // candidates prefer the smaller edge weight (the paper's
-      // tie-breaking rule), then the earlier edge (deterministic).
-      double best = kInf;
-      double best_edge_psi = kInf;
-      std::uint32_t best_edge = NodeLabel::kNoEdge;
-      for (std::uint32_t e : qrg.in_edges(v)) {
-        const QrgEdge& edge = qrg.edge(e);
-        const NodeLabel& up = labels[edge.from];
-        if (!up.reachable) continue;
-        const double candidate = std::max(up.value, edge.psi);
-        bool better = candidate < best;
-        if (!better && options.use_tie_break && candidate == best)
-          better = edge.psi < best_edge_psi;
-        if (better) {
-          best = candidate;
-          best_edge_psi = edge.psi;
-          best_edge = e;
-        }
-      }
-      if (best_edge == NodeLabel::kNoEdge) continue;
-      const QrgEdge& edge = qrg.edge(best_edge);
-      const NodeLabel& up = labels[edge.from];
-      label.value = best;
-      label.reachable = true;
-      label.pred_edge = best_edge;
-      if (edge.psi >= up.value) {
-        label.bottleneck = edge.bottleneck;
-        label.alpha = edge.alpha;
-      } else {
-        label.bottleneck = up.bottleneck;
-        label.alpha = up.alpha;
-      }
-    }
-  }
+  // order of the QRG and every predecessor label is final when its
+  // successors relax.
+  for (std::uint32_t v = 0; v < qrg.node_count(); ++v)
+    labels[v] = relax_node(qrg, options, labels, v);
   return labels;
 }
 
-std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
-                                    const PlannerOptions& options) {
+namespace {
+
+/// std::priority_queue behind the BucketPQ-shaped interface
+/// dijkstra_impl templates over: push(value, node) / empty() /
+/// pop_min() returning the lexicographically smallest (value, node).
+struct HeapQueue {
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  bool empty() const { return heap.empty(); }
+  void push(double value, std::uint32_t node) { heap.push({value, node}); }
+  Entry pop_min() {
+    Entry top = heap.top();
+    heap.pop();
+    return top;
+  }
+};
+
+template <typename Queue>
+std::vector<NodeLabel> dijkstra_impl(const Qrg& qrg,
+                                     const PlannerOptions& options,
+                                     Queue queue) {
   std::vector<NodeLabel> labels(qrg.node_count());
   std::vector<bool> settled(qrg.node_count(), false);
   // Tentative best incoming edge psi per node, for the tie-break rule.
@@ -112,16 +134,15 @@ std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
     if (qrg.node(v).kind == QrgNodeKind::kIn && v != qrg.source_node())
       waiting[v] = qrg.in_edges(v).size();
 
-  // Min-heap of (value, node) with lazy deletion.
-  using Entry = std::pair<double, std::uint32_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  // Min-queue of (value, node) with lazy deletion. Both queue types pop
+  // the globally smallest (value, node) pair, so settle order — and with
+  // it every label — is identical whichever one drives the loop.
   labels[qrg.source_node()].value = 0.0;
   labels[qrg.source_node()].reachable = true;
-  heap.push({0.0, qrg.source_node()});
+  queue.push(0.0, qrg.source_node());
 
-  while (!heap.empty()) {
-    const auto [value, u] = heap.top();
-    heap.pop();
+  while (!queue.empty()) {
+    const auto [value, u] = queue.pop_min();
     if (settled[u]) continue;
     settled[u] = true;
     for (std::uint32_t e : qrg.out_edges(u)) {
@@ -143,7 +164,7 @@ std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
         }
         if (--waiting[v] == 0) {
           lv.reachable = true;
-          heap.push({lv.value, v});
+          queue.push(lv.value, v);
         }
       } else {
         // Translation edge into an output node: standard relaxation under
@@ -174,7 +195,7 @@ std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
           lv.bottleneck = labels[u].bottleneck;
           lv.alpha = labels[u].alpha;
         }
-        if (value_changed) heap.push({candidate, v});
+        if (value_changed) queue.push(candidate, v);
       }
     }
   }
@@ -184,6 +205,15 @@ std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
   for (std::uint32_t v = 0; v < qrg.node_count(); ++v)
     if (waiting[v] > 0) labels[v] = NodeLabel{};
   return labels;
+}
+
+}  // namespace
+
+std::vector<NodeLabel> dijkstra_qrg(const Qrg& qrg,
+                                    const PlannerOptions& options) {
+  if (options.queue == PassQueue::kBucket)
+    return dijkstra_impl(qrg, options, BucketPQ(options.bucket_delta));
+  return dijkstra_impl(qrg, options, HeapQueue{});
 }
 
 std::vector<SinkInfo> sink_infos(const Qrg& qrg,
@@ -422,8 +452,8 @@ PlanResult finish_plan(const Qrg& qrg, const std::vector<NodeLabel>& labels,
 
 }  // namespace
 
-PlanResult BasicPlanner::plan(const Qrg& qrg, Rng& /*rng*/) const {
-  const auto labels = relax_qrg(qrg, options_);
+PlanResult basic_plan_from_labels(const Qrg& qrg,
+                                  const std::vector<NodeLabel>& labels) {
   auto sinks = sink_infos(qrg, labels);
   std::size_t best = sinks.size();
   for (std::size_t r = 0; r < sinks.size(); ++r)
@@ -433,6 +463,10 @@ PlanResult BasicPlanner::plan(const Qrg& qrg, Rng& /*rng*/) const {
     }
   if (best == sinks.size()) return PlanResult{std::nullopt, std::move(sinks)};
   return finish_plan(qrg, labels, std::move(sinks), best);
+}
+
+PlanResult BasicPlanner::plan(const Qrg& qrg, Rng& /*rng*/) const {
+  return basic_plan_from_labels(qrg, relax_qrg(qrg, options_));
 }
 
 PlanResult TradeoffPlanner::plan(const Qrg& qrg, Rng& /*rng*/) const {

@@ -32,10 +32,20 @@
 
 namespace qres {
 
+/// Priority queue driving dijkstra_qrg's pass I. Labels are bit-identical
+/// either way (BucketPQ reproduces the heap's exact pop order); the
+/// bucket queue is faster when ψ values are bounded and coarse — the
+/// common case (see src/core/bucket_pq.hpp).
+enum class PassQueue : std::uint8_t { kBinaryHeap, kBucket };
+
 struct PlannerOptions {
   /// Applies the paper's predecessor tie-breaking rule (min incoming edge
   /// weight among equal-value candidates). Disable only for the ablation.
   bool use_tie_break = true;
+  /// Queue used by dijkstra_qrg (relax_qrg needs none).
+  PassQueue queue = PassQueue::kBinaryHeap;
+  /// Bucket width when queue == PassQueue::kBucket.
+  double bucket_delta = 1.0 / 64.0;
 };
 
 /// Pass-I label of one QRG node.
@@ -53,6 +63,16 @@ struct NodeLabel {
   /// For output nodes: the chosen incoming translation edge.
   std::uint32_t pred_edge = kNoEdge;
 };
+
+/// Computes the pass-I label of `v` from the (final) labels of its
+/// in-edge predecessors: AND semantics at input nodes, OR semantics with
+/// the tie-break rule at output nodes, the zero label at the source.
+/// This is the single relaxation step shared by relax_qrg (topological
+/// sweep) and parallel_relax_qrg (wavefront sweep) — one definition, so
+/// the sequential and parallel planners cannot drift. labels[v] itself
+/// is never read; every predecessor's label must already be final.
+NodeLabel relax_node(const Qrg& qrg, const PlannerOptions& options,
+                     const std::vector<NodeLabel>& labels, std::uint32_t v);
 
 /// Runs pass I over the whole QRG; labels are indexed by QRG node index.
 std::vector<NodeLabel> relax_qrg(const Qrg& qrg,
@@ -115,6 +135,15 @@ struct PlanResult {
   std::optional<ReservationPlan> plan;
   std::vector<SinkInfo> sinks;  ///< in end-to-end rank order, best first
 };
+
+/// The basic algorithm's sink policy applied to precomputed pass-I
+/// labels: pick the best reachable end-to-end rank, extract per §4.3.2
+/// with fallback to lower-ranked reachable sinks when the DAG heuristic
+/// fails. Shared by BasicPlanner (sequential labels) and ParallelPlanner
+/// (wavefront labels), so both produce identical plans from identical
+/// labels by construction.
+PlanResult basic_plan_from_labels(const Qrg& qrg,
+                                  const std::vector<NodeLabel>& labels);
 
 /// Abstract planner interface used by the runtime/simulation layers. The
 /// RNG parameter is only consumed by randomized planners.

@@ -177,34 +177,53 @@ bool SessionCoordinator::rpc_to_owner(ResourceId id, double now,
   return true;
 }
 
-EstablishResult SessionCoordinator::establish_impl(
-    SessionId session, double now, const IPlanner& planner, Rng& rng,
-    double scale, const std::function<double(ResourceId)>& staleness,
+SessionCoordinator::PlanningSnapshot SessionCoordinator::snapshot_for_planning(
+    double now, const std::function<double(ResourceId)>& staleness,
     const std::vector<ResourceId>& dead) {
-  EstablishResult result;
+  PlanningSnapshot snapshot;
   if (governor_ && governor_->should_reject(now, priority_hint_)) {
-    result.outcome = EstablishOutcome::kOverload;
-    return result;
+    snapshot.overloaded = true;
+    return snapshot;
   }
 
   // Phase 1: collect availability for the service's resource footprint.
   std::vector<ResourceId> unavailable = dead;
-  poll_participants(now, &result.stats, &unavailable);
-  std::vector<ResourceId> down;
-  AvailabilityView view = collect_footprint(now, staleness, &down);
-  for (ResourceId id : unavailable) view.set(id, 0.0, 1.0);
+  poll_participants(now, &snapshot.stats, &unavailable);
+  snapshot.view = collect_footprint(now, staleness, &snapshot.down);
+  for (ResourceId id : unavailable) snapshot.view.set(id, 0.0, 1.0);
+  return snapshot;
+}
 
-  // Phase 2: build the QRG and run the algorithm at the main proxy.
-  const Qrg qrg(*service_, view, psi_kind_, scale);
-  PlanResult planned = planner.plan(qrg, rng);
+PlanResult SessionCoordinator::plan_on_snapshot(
+    const PlanningSnapshot& snapshot, const IPlanner& planner, Rng& rng,
+    double scale) const {
+  QRES_REQUIRE(!snapshot.overloaded,
+               "plan_on_snapshot: snapshot was governor-rejected");
+  // Phase 2: build the QRG and run the algorithm at the main proxy. Pure
+  // function of (snapshot, planner, rng, scale): no coordinator or
+  // broker state is touched, which is what lets batch admission run this
+  // phase on ThreadPool workers.
+  const Qrg qrg(*service_, snapshot.view, psi_kind_, scale);
+  return planner.plan(qrg, rng);
+}
+
+EstablishResult SessionCoordinator::commit_planned(
+    SessionId session, double now, const PlanningSnapshot& snapshot,
+    PlanResult planned) {
+  EstablishResult result;
+  if (snapshot.overloaded) {
+    result.outcome = EstablishOutcome::kOverload;
+    return result;
+  }
+  result.stats = snapshot.stats;
   result.sinks = std::move(planned.sinks);
   if (!planned.plan) {
     // No feasible end-to-end plan. With a broker outage in the footprint
     // the rejection is typed as the fault it may well be, not as a plain
     // capacity rejection.
-    if (!down.empty()) {
+    if (!snapshot.down.empty()) {
       result.outcome = EstablishOutcome::kBrokerUnavailable;
-      result.failed_resource = down.front();
+      result.failed_resource = snapshot.down.front();
     }
     return result;
   }
@@ -268,6 +287,17 @@ EstablishResult SessionCoordinator::establish_impl(
   result.outcome = EstablishOutcome::kOk;
   result.holdings = std::move(reserved);
   return result;
+}
+
+EstablishResult SessionCoordinator::establish_impl(
+    SessionId session, double now, const IPlanner& planner, Rng& rng,
+    double scale, const std::function<double(ResourceId)>& staleness,
+    const std::vector<ResourceId>& dead) {
+  PlanningSnapshot snapshot = snapshot_for_planning(now, staleness, dead);
+  if (snapshot.overloaded)
+    return commit_planned(session, now, snapshot, PlanResult{});
+  PlanResult planned = plan_on_snapshot(snapshot, planner, rng, scale);
+  return commit_planned(session, now, snapshot, std::move(planned));
 }
 
 EstablishResult SessionCoordinator::renegotiate(

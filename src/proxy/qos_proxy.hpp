@@ -166,6 +166,49 @@ class SessionCoordinator {
                             const std::function<double(ResourceId)>&
                                 staleness = nullptr);
 
+  // --- Phase-split establishment (DESIGN.md §11). establish() is exactly
+  // snapshot_for_planning + plan_on_snapshot + commit_planned; batch
+  // admission (src/sim/batch_admission.*) composes the same three phases
+  // with the middle one fanned across a ThreadPool.
+
+  /// Everything phase 2 needs, captured sequentially. Snapshotting
+  /// observes brokers (alpha history advances) and spends RPC rounds, so
+  /// it mutates world state and must stay in arrival order; the captured
+  /// snapshot is immutable afterwards.
+  struct PlanningSnapshot {
+    bool overloaded = false;  ///< governor fast-reject; skip planning
+    AvailabilityView view;
+    std::vector<ResourceId> down;  ///< footprint brokers that were down
+    CoordinationStats stats;       ///< phase-1 accounting so far
+  };
+
+  /// Phase 0+1 of establish(): governor check, participant polling, and
+  /// the footprint availability snapshot. `dead` resources are pinned at
+  /// zero availability regardless of their brokers (recovery replans).
+  PlanningSnapshot snapshot_for_planning(
+      double now,
+      const std::function<double(ResourceId)>& staleness = nullptr,
+      const std::vector<ResourceId>& dead = {});
+
+  /// Phase 2 of establish(): QRG build + planner run against a snapshot.
+  /// A pure const function of its arguments — safe to call concurrently
+  /// from ThreadPool workers on distinct (snapshot, rng) pairs while
+  /// nobody mutates the coordinator or its registry. Requires a
+  /// non-overloaded snapshot.
+  PlanResult plan_on_snapshot(const PlanningSnapshot& snapshot,
+                              const IPlanner& planner, Rng& rng,
+                              double scale = 1.0) const;
+
+  /// Phase 3 of establish(): dispatch plus all-or-nothing reservation of
+  /// a planned result against broker state *now* — which may have moved
+  /// since the snapshot (an earlier member of the same batch may have
+  /// taken the capacity); that surfaces as kAdmission exactly like a
+  /// stale observation would. Handles overloaded snapshots (kOverload)
+  /// and planless results (kNoPlan / kBrokerUnavailable) uniformly.
+  EstablishResult commit_planned(SessionId session, double now,
+                                 const PlanningSnapshot& snapshot,
+                                 PlanResult planned);
+
   /// Like establish() with the basic algorithm, but resilient to stale
   /// observations: if the Psi-minimal plan's reservation is rejected
   /// (possible only when `staleness` is non-null — with accurate

@@ -78,6 +78,7 @@ class QRES_CAPABILITY("mutex") Mutex {
   bool try_lock() QRES_TRY_ACQUIRE(true) { return impl_.try_lock(); }
 
  private:
+  // qres-lint: allow(concurrency-raw-mutex): this IS the sanctioned wrapper
   std::mutex impl_;
 };
 

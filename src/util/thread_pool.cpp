@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 
 #include "util/assert.hpp"
 
@@ -60,26 +59,22 @@ void ThreadPool::wait() {
   while (in_flight_ != 0) all_done_.wait(lock);
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  QRES_REQUIRE(fn != nullptr, "ThreadPool::parallel_for: null function");
-  if (on_worker_thread()) {
-    // Nested invocation from a task: submitting and waiting would
-    // deadlock (this worker would block in wait() while occupying the
-    // slot its sub-tasks need). Run the iterations inline instead.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
+void ThreadPool::run_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk) {
+  QRES_REQUIRE(chunk != nullptr, "ThreadPool::parallel_for: null function");
+  QRES_REQUIRE(grain > 0, "ThreadPool::parallel_for: zero grain");
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  for (std::size_t i = 0; i < n; ++i) {
-    submit([&, i] {
+  Mutex error_mutex;
+  std::exception_ptr first_error;  // written/read under error_mutex only
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(begin + grain, n);
+    submit([&, begin, end] {
       if (failed.load(std::memory_order_relaxed)) return;
       try {
-        fn(i);
+        chunk(begin, end);
       } catch (...) {
-        std::lock_guard guard(error_mutex);
+        MutexLock guard(error_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
       }

@@ -1,0 +1,146 @@
+// BucketPQ must pop in exactly the binary heap's lexicographic
+// (value, node) order — dijkstra_qrg's bit-identity across queue
+// implementations rests on it (qres_fuzz --mode parallel enforces the
+// end-to-end version differentially; these tests pin the queue alone).
+#include "core/bucket_pq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+using Entry = BucketPQ::Entry;
+
+TEST(BucketPQ, StartsEmpty) {
+  BucketPQ pq;
+  EXPECT_TRUE(pq.empty());
+  EXPECT_EQ(pq.size(), 0u);
+}
+
+TEST(BucketPQ, PopsInValueOrder) {
+  BucketPQ pq;
+  pq.push(0.75, 1);
+  pq.push(0.25, 2);
+  pq.push(0.5, 3);
+  EXPECT_EQ(pq.pop_min(), Entry(0.25, 2));
+  EXPECT_EQ(pq.pop_min(), Entry(0.5, 3));
+  EXPECT_EQ(pq.pop_min(), Entry(0.75, 1));
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(BucketPQ, ValueTiesBreakOnSmallerNodeIndex) {
+  // Equal ψ labels are common (AND nodes propagate the same bottleneck);
+  // the planner's deterministic settle order requires the smaller node
+  // index to pop first, exactly like the binary heap's std::greater on
+  // (value, node) pairs.
+  BucketPQ pq;
+  pq.push(0.5, 9);
+  pq.push(0.5, 2);
+  pq.push(0.5, 4);
+  EXPECT_EQ(pq.pop_min(), Entry(0.5, 2));
+  EXPECT_EQ(pq.pop_min(), Entry(0.5, 4));
+  EXPECT_EQ(pq.pop_min(), Entry(0.5, 9));
+}
+
+TEST(BucketPQ, TiesWithinOneBucketStillPopLexicographically) {
+  // Distinct values that land in the same bucket must still pop by
+  // value first: the pop scans the bucket for the true minimum rather
+  // than trusting insertion order.
+  BucketPQ pq(1.0);  // one coarse bucket for everything in [0, 1)
+  pq.push(0.9, 1);
+  pq.push(0.1, 7);
+  pq.push(0.5, 3);
+  EXPECT_EQ(pq.pop_min(), Entry(0.1, 7));
+  EXPECT_EQ(pq.pop_min(), Entry(0.5, 3));
+  EXPECT_EQ(pq.pop_min(), Entry(0.9, 1));
+}
+
+TEST(BucketPQ, NonMonotonePushRewindsCursor) {
+  // Lazy-deletion Dijkstra re-pushes a node whenever its tentative label
+  // improves; the improvement can land below the bucket the cursor has
+  // already reached. The cursor must rewind or the smaller entry would
+  // be skipped.
+  BucketPQ pq(1.0 / 64.0);
+  pq.push(0.8, 1);
+  EXPECT_EQ(pq.pop_min(), Entry(0.8, 1));  // cursor now at 0.8's bucket
+  pq.push(0.1, 2);                         // far below the cursor
+  pq.push(0.9, 3);
+  EXPECT_EQ(pq.pop_min(), Entry(0.1, 2));
+  EXPECT_EQ(pq.pop_min(), Entry(0.9, 3));
+}
+
+TEST(BucketPQ, DuplicateEntriesForOneNodeAllPop) {
+  // Lazy deletion leaves stale duplicates in the queue; dijkstra_qrg
+  // filters them by the closed set, so the queue must simply return
+  // every pushed entry in order.
+  BucketPQ pq;
+  pq.push(0.5, 1);
+  pq.push(0.3, 1);
+  pq.push(0.4, 1);
+  EXPECT_EQ(pq.size(), 3u);
+  EXPECT_EQ(pq.pop_min(), Entry(0.3, 1));
+  EXPECT_EQ(pq.pop_min(), Entry(0.4, 1));
+  EXPECT_EQ(pq.pop_min(), Entry(0.5, 1));
+}
+
+TEST(BucketPQ, ValuesBeyondTheLastBucketShareItCorrectly) {
+  // Values at or past delta * kMaxBuckets clamp into the final bucket.
+  // Ordering must survive because pop scans the bucket for the minimum.
+  BucketPQ pq(1.0 / 64.0);  // last bucket starts at 1024.0
+  pq.push(5000.0, 1);
+  pq.push(2000.0, 2);
+  pq.push(0.5, 3);
+  pq.push(3000.0, 4);
+  EXPECT_EQ(pq.pop_min(), Entry(0.5, 3));
+  EXPECT_EQ(pq.pop_min(), Entry(2000.0, 2));
+  EXPECT_EQ(pq.pop_min(), Entry(3000.0, 4));
+  EXPECT_EQ(pq.pop_min(), Entry(5000.0, 1));
+}
+
+TEST(BucketPQ, MatchesBinaryHeapOnRandomWorkloads) {
+  // Differential check against std::priority_queue across several bucket
+  // widths, including widths much coarser and much finer than the value
+  // spread, with interleaved pushes and pops.
+  for (const double delta : {1.0 / 1024.0, 1.0 / 64.0, 0.37, 10.0}) {
+    BucketPQ pq(delta);
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Rng rng(0xb0c4e7u ^ static_cast<std::uint64_t>(delta * 1e6));
+    for (int round = 0; round < 500; ++round) {
+      if (heap.empty() || rng.bernoulli(0.6)) {
+        // Quantized values manufacture cross-entry ties.
+        const double value = rng.uniform_int(0, 40) * 0.125;
+        const auto node = static_cast<std::uint32_t>(rng.uniform_int(0, 15));
+        pq.push(value, node);
+        heap.push({value, node});
+      } else {
+        ASSERT_EQ(pq.size(), heap.size());
+        const Entry expected = heap.top();
+        heap.pop();
+        EXPECT_EQ(pq.pop_min(), expected) << "delta " << delta;
+      }
+    }
+    while (!heap.empty()) {
+      const Entry expected = heap.top();
+      heap.pop();
+      EXPECT_EQ(pq.pop_min(), expected) << "drain, delta " << delta;
+    }
+    EXPECT_TRUE(pq.empty());
+  }
+}
+
+TEST(BucketPQ, RejectsInvalidInputs) {
+  EXPECT_THROW(BucketPQ(0.0), ContractViolation);
+  EXPECT_THROW(BucketPQ(-1.0), ContractViolation);
+  BucketPQ pq;
+  EXPECT_THROW(pq.push(-0.5, 1), ContractViolation);
+  EXPECT_THROW(pq.pop_min(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,203 @@
+// parallel_relax_qrg must produce bit-identical labels to relax_qrg for
+// every QRG, pool size and stripe count (DESIGN.md §11) — these tests
+// pin that on hand-built and random chains; qres_fuzz --mode parallel
+// extends the same differential to DAG services and batch admission.
+#include "core/parallel_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace qres {
+namespace {
+
+using test::avail;
+using test::make_chain;
+using test::rv;
+
+// Mirrors test_planner.cpp's builder: every edge gets its own dedicated
+// resource with availability 1.0 and requirement = the desired psi.
+class PsiChainBuilder {
+ public:
+  PsiChainBuilder& component(
+      int out_levels,
+      std::vector<std::tuple<LevelIndex, LevelIndex, double>> edges) {
+    TranslationTable table;
+    for (const auto& [in, out, psi] : edges) {
+      const ResourceId id{next_resource_++};
+      view_.set(id, 1.0);
+      table.set(in, out, rv({{id, psi}}));
+    }
+    components_.push_back({out_levels, std::move(table)});
+    return *this;
+  }
+
+  ServiceDefinition service() const { return make_chain(components_); }
+  const AvailabilityView& view() const { return view_; }
+
+ private:
+  std::uint32_t next_resource_ = 0;
+  std::vector<std::pair<int, TranslationTable>> components_;
+  AvailabilityView view_;
+};
+
+void expect_labels_identical(const std::vector<NodeLabel>& expected,
+                             const std::vector<NodeLabel>& actual,
+                             const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    EXPECT_EQ(expected[v].reachable, actual[v].reachable)
+        << what << " node " << v;
+    // Bit-identical, not approximately equal: the parallel engine reads
+    // exactly the labels relax_qrg would and performs the same doubles
+    // arithmetic in the same order per node.
+    EXPECT_EQ(expected[v].value, actual[v].value) << what << " node " << v;
+    EXPECT_EQ(expected[v].pred_edge, actual[v].pred_edge)
+        << what << " node " << v;
+  }
+}
+
+ServiceDefinition random_chain(Rng& rng, AvailabilityView& view) {
+  const int k = rng.uniform_int(2, 5);
+  const ResourceId cpu{0}, bw{1};
+  std::vector<std::pair<int, TranslationTable>> components;
+  int prev_levels = 1;
+  for (int c = 0; c < k; ++c) {
+    const int levels = rng.uniform_int(2, 4);
+    TranslationTable table;
+    for (int in = 0; in < prev_levels; ++in)
+      for (int out = 0; out < levels; ++out)
+        if (rng.bernoulli(0.6))
+          table.set(static_cast<LevelIndex>(in),
+                    static_cast<LevelIndex>(out),
+                    rv({{cpu, rng.uniform(1.0, 50.0)},
+                        {bw, rng.uniform(1.0, 50.0)}}));
+    if (table.size() == 0) table.set(0, 0, rv({{cpu, 1.0}, {bw, 1.0}}));
+    components.push_back({levels, std::move(table)});
+    prev_levels = levels;
+  }
+  view = avail({{cpu, rng.uniform(20.0, 80.0)},
+                {bw, rng.uniform(20.0, 80.0)}});
+  return make_chain(components);
+}
+
+TEST(ParallelRelaxQrg, MatchesRelaxationWithoutAPool) {
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.5}, {0, 1, 0.2}})
+      .component(2, {{0, 0, 0.1}, {1, 0, 0.3}, {1, 1, 0.05}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  expect_labels_identical(relax_qrg(qrg),
+                          parallel_relax_qrg(qrg, nullptr), "no pool");
+}
+
+TEST(ParallelRelaxQrg, MatchesRelaxationAcrossPoolAndStripeCounts) {
+  ThreadPool one(1), four(4);
+  ParallelRelaxOptions opts;
+  opts.min_parallel_nodes = 0;  // force the parallel path on tiny graphs
+  Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    AvailabilityView view;
+    const ServiceDefinition service = random_chain(rng, view);
+    const Qrg qrg(service, view);
+    const auto expected = relax_qrg(qrg);
+    for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &one, &four}) {
+      for (const std::size_t stripes : {std::size_t{0}, std::size_t{1},
+                                        std::size_t{3}, std::size_t{16}}) {
+        opts.stripes = stripes;
+        expect_labels_identical(
+            expected, parallel_relax_qrg(qrg, pool, opts),
+            "trial " + std::to_string(trial) + " stripes " +
+                std::to_string(stripes));
+      }
+    }
+  }
+}
+
+TEST(ParallelRelaxQrg, HonorsTieBreakPolicy) {
+  // The figure-5 tie situation from test_planner.cpp: the tie-break rule
+  // must flow through relax_node in the parallel engine too.
+  PsiChainBuilder b;
+  b.component(2, {{0, 0, 0.4}, {0, 1, 0.4}})
+      .component(1, {{0, 0, 0.3}, {1, 0, 0.1}});
+  const ServiceDefinition service = b.service();
+  const Qrg qrg(service, b.view());
+  ThreadPool pool(2);
+  ParallelRelaxOptions opts;
+  opts.min_parallel_nodes = 0;
+  for (const bool tie_break : {false, true}) {
+    opts.planner.use_tie_break = tie_break;
+    expect_labels_identical(
+        relax_qrg(qrg, opts.planner), parallel_relax_qrg(qrg, &pool, opts),
+        std::string("tie_break ") + (tie_break ? "on" : "off"));
+  }
+}
+
+TEST(ParallelPlanner, ReturnsExactlyBasicPlannersResult) {
+  ThreadPool pool(4);
+  ParallelRelaxOptions opts;
+  opts.min_parallel_nodes = 0;
+  const ParallelPlanner parallel(&pool, opts);
+  const BasicPlanner basic;
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    AvailabilityView view;
+    const ServiceDefinition service = random_chain(rng, view);
+    const Qrg qrg(service, view);
+    Rng a(1), c(1);
+    const PlanResult lhs = basic.plan(qrg, a);
+    const PlanResult rhs = parallel.plan(qrg, c);
+    ASSERT_EQ(lhs.plan.has_value(), rhs.plan.has_value()) << trial;
+    ASSERT_EQ(lhs.sinks.size(), rhs.sinks.size()) << trial;
+    for (std::size_t s = 0; s < lhs.sinks.size(); ++s) {
+      EXPECT_EQ(lhs.sinks[s].reachable, rhs.sinks[s].reachable);
+      EXPECT_EQ(lhs.sinks[s].bottleneck, rhs.sinks[s].bottleneck);
+    }
+    if (!lhs.plan) continue;
+    EXPECT_EQ(lhs.plan->end_to_end_rank, rhs.plan->end_to_end_rank);
+    EXPECT_EQ(lhs.plan->bottleneck_psi, rhs.plan->bottleneck_psi);
+    EXPECT_EQ(lhs.plan->bottleneck_resource, rhs.plan->bottleneck_resource);
+    ASSERT_EQ(lhs.plan->steps.size(), rhs.plan->steps.size());
+    for (std::size_t i = 0; i < lhs.plan->steps.size(); ++i) {
+      EXPECT_EQ(lhs.plan->steps[i].in_level, rhs.plan->steps[i].in_level);
+      EXPECT_EQ(lhs.plan->steps[i].out_level, rhs.plan->steps[i].out_level);
+      EXPECT_EQ(lhs.plan->steps[i].psi, rhs.plan->steps[i].psi);
+    }
+  }
+}
+
+TEST(ParallelPlanner, ReportsItsName) {
+  ThreadPool pool(1);
+  EXPECT_EQ(ParallelPlanner(&pool).name(), "parallel");
+}
+
+TEST(DijkstraQrg, BucketQueueMatchesHeapQueue) {
+  // PassQueue::kBucket swaps the binary heap for the BucketPQ; the labels
+  // must stay bit-identical for any bucket width.
+  Rng rng(99);
+  for (int trial = 0; trial < 15; ++trial) {
+    AvailabilityView view;
+    const ServiceDefinition service = random_chain(rng, view);
+    const Qrg qrg(service, view);
+    for (const bool tie_break : {false, true}) {
+      PlannerOptions heap_opts{.use_tie_break = tie_break};
+      const auto expected = dijkstra_qrg(qrg, heap_opts);
+      for (const double delta : {1.0 / 1024.0, 1.0 / 64.0, 0.37}) {
+        PlannerOptions bucket_opts{.use_tie_break = tie_break,
+                                   .queue = PassQueue::kBucket,
+                                   .bucket_delta = delta};
+        expect_labels_identical(
+            expected, dijkstra_qrg(qrg, bucket_opts),
+            "trial " + std::to_string(trial) + " delta " +
+                std::to_string(delta));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qres

@@ -1,0 +1,4 @@
+// Fixture: concurrency-raw-mutex (seeded violation on line 4).
+#include <mutex>
+
+static std::mutex lock;

@@ -1,0 +1,9 @@
+// Fixture: concurrency-unannotated-mutex (seeded violation on line 7).
+#pragma once
+
+class Counter {
+ public:
+ private:
+  Mutex mutex_;
+  int value_ = 0;
+};

@@ -40,6 +40,8 @@ const char* const kRuleIds[] = {
     "determinism-wall-clock",
     "determinism-unordered-container",
     "determinism-pointer-keyed-container",
+    "concurrency-raw-mutex",
+    "concurrency-unannotated-mutex",
     "layering-upward-include",
     "contracts-missing-guard",
     "contracts-assert-side-effect",
@@ -82,11 +84,18 @@ TEST(QresLint, FixtureTreeFiresEveryRuleAtItsSeededLine) {
       "src/sim/bad_random_device.cpp:4 determinism-random-device "
       "std::random_device breaks bit-determinism; seed qres::Rng "
       "explicitly\n"
+      "src/sim/bad_raw_mutex.cpp:4 concurrency-raw-mutex raw "
+      "standard-library mutex/lock in src/; use qres::Mutex + "
+      "qres::MutexLock so clang thread-safety analysis tracks it\n"
       "src/sim/bad_suppression.cpp:4 determinism-unordered-container "
       "hash-ordered container in src/; iteration order is unspecified (use "
       "std::map/std::set/FlatMap)\n"
       "src/sim/bad_suppression.cpp:4 lint-bad-suppression suppression of "
       "'determinism-unordered-container' is missing its justification\n"
+      "src/sim/bad_unannotated_mutex.hpp:7 concurrency-unannotated-mutex "
+      "qres::Mutex member with no thread-safety annotation in this header; "
+      "annotate the guarded state (QRES_GUARDED_BY) or the locking contract "
+      "(QRES_REQUIRES/QRES_EXCLUDES)\n"
       "src/sim/bad_unordered.cpp:4 determinism-unordered-container "
       "hash-ordered container in src/; iteration order is unspecified (use "
       "std::map/std::set/FlatMap)\n"

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace qres {
 namespace {
@@ -83,6 +86,106 @@ TEST(EventQueue, NowIsEventTimeDuringExecution) {
   q.schedule(7.5, [&] { seen = q.now(); });
   q.run_all();
   EXPECT_EQ(seen, 7.5);
+}
+
+TEST(EventQueue, SameTimeLanesPopInLaneOrder) {
+  // Ties at one timestamp order by (lane, per-lane sequence): lanes give
+  // multi-producer code (batch admission completions) a pop order fixed
+  // by data, not by which thread scheduled first.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_lane(2, 1.0, [&] { order.push_back(20); });
+  q.schedule_lane(0, 1.0, [&] { order.push_back(0); });
+  q.schedule_lane(2, 1.0, [&] { order.push_back(21); });
+  q.schedule_lane(1, 1.0, [&] { order.push_back(10); });
+  q.schedule(1.0, [&] { order.push_back(1); });  // lane 0, after the first
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 20, 21}));
+}
+
+TEST(EventQueue, TimeOutranksLane) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_lane(9, 1.0, [&] { order.push_back(1); });
+  q.schedule_lane(0, 2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, LaneSequencesAreIndependent) {
+  // Interleaved scheduling across lanes must not perturb each lane's
+  // internal FIFO order.
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    q.schedule_lane(1, 1.0, [&order, i] { order.push_back(10 + i); });
+    q.schedule_lane(2, 1.0, [&order, i] { order.push_back(20 + i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 12, 20, 21, 22}));
+}
+
+TEST(EventQueue, MultiThreadedProducersYieldDeterministicOrder) {
+  // The S3 regression this PR fixes: with producers racing on schedule,
+  // same-timestamp pop order used to depend on which thread won the
+  // lock. With each producer on its own lane the order is a pure
+  // function of the (lane, per-lane sequence) data, so two runs with
+  // different thread interleavings must execute identically. Also the
+  // TSan lane's coverage for concurrent schedule_lane calls.
+  auto run = [](std::uint64_t seed) {
+    EventQueue q;
+    std::vector<int> order;
+    constexpr int kProducers = 4, kEvents = 25;
+    {
+      std::vector<std::thread> producers;
+      for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&q, &order, p, seed] {
+          Rng rng(seed + static_cast<std::uint64_t>(p));
+          for (int e = 0; e < kEvents; ++e) {
+            const double time = static_cast<double>(rng.uniform_int(1, 5));
+            const int tag = p * 100 + e;
+            q.schedule_lane(static_cast<std::uint32_t>(p), time,
+                            [&order, tag] { order.push_back(tag); });
+          }
+        });
+      for (auto& t : producers) t.join();
+    }
+    q.run_all();
+    return order;
+  };
+  const auto first = run(2024);
+  EXPECT_EQ(first.size(), 100u);
+  EXPECT_EQ(first, run(2024));
+  // Within each (time, lane) group the producer's own scheduling order
+  // is preserved; across lanes at one time, lower lanes run first. Spot
+  // check the global invariant: tags from one producer appear in
+  // increasing event order whenever they share a timestamp — implied by
+  // per-lane FIFO — by replaying against a single-threaded oracle.
+  EventQueue oracle_q;
+  std::vector<int> oracle;
+  for (int p = 0; p < 4; ++p) {
+    Rng rng(2024 + static_cast<std::uint64_t>(p));
+    for (int e = 0; e < 25; ++e) {
+      const double time = static_cast<double>(rng.uniform_int(1, 5));
+      const int tag = p * 100 + e;
+      oracle_q.schedule_lane(static_cast<std::uint32_t>(p), time,
+                             [&oracle, tag] { oracle.push_back(tag); });
+    }
+  }
+  oracle_q.run_all();
+  EXPECT_EQ(first, oracle);
+}
+
+TEST(EventQueue, HandlersCanScheduleAcrossLanes) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] {
+    order.push_back(1);
+    q.schedule_lane(3, 1.0, [&] { order.push_back(3); });
+    q.schedule_lane(2, 1.0, [&] { order.push_back(2); });
+  });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 }  // namespace

@@ -137,6 +137,61 @@ TEST(ThreadPool, WaitFromAnotherPoolsWorkerIsAllowed) {
   EXPECT_EQ(done.load(), 2);
 }
 
+TEST(ThreadPool, ParallelForCoversAllIndicesForEveryGrain) {
+  // Regression: parallel_for used to wrap every index in its own
+  // std::function; it now dispatches contiguous chunks. Any grain —
+  // automatic, degenerate, uneven, or larger than n — must cover each
+  // index exactly once.
+  ThreadPool pool(3);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}, std::size_t{1000}}) {
+    std::vector<int> hits(100, 0);
+    pool.parallel_for(
+        hits.size(), [&](std::size_t i) { hits[i] += 1; }, grain);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i], 1) << "index " << i << " grain " << grain;
+  }
+}
+
+TEST(ThreadPool, ParallelForAcceptsPlainCallables) {
+  // The chunked overload is a template: a mutable lambda captured by
+  // reference must not be copied per index or per chunk.
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  auto body = [&sum](std::size_t i) { sum.fetch_add(static_cast<int>(i)); };
+  pool.parallel_for(10, body);
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExactlyOneException) {
+  // Regression: worker exceptions were once swallowed entirely. The
+  // contract now is that the first exception (in completion order)
+  // propagates to the caller and the rest are dropped; the call must
+  // still join every chunk before rethrowing, so no task outlives it.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(
+        64,
+        [&](std::size_t i) {
+          ran.fetch_add(1);
+          throw std::runtime_error("boom " + std::to_string(i));
+        },
+        /*grain=*/1);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()).rfind("boom ", 0), 0u);
+  }
+  // The call joined every chunk before rethrowing: at least the throwing
+  // chunk ran, and the fail-fast check may have skipped later ones.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 64);
+  // The pool stays usable after a failed parallel_for.
+  std::atomic<int> ok{0};
+  pool.parallel_for(8, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
 TEST(ThreadPool, ResultIndependentOfWorkerCount) {
   // The determinism contract: per-index outputs do not depend on the
   // number of workers.

@@ -23,6 +23,15 @@
 //     plan — audited from inside the transport, mid-renegotiation,
 //   * the auditor's conservation proof closes (zombies included).
 //
+// With --mode parallel (see tests/fuzz/parallel_fuzz.*) each iteration
+// proves the parallel planning engine thread-count independent:
+//   * pass-I labels are bit-identical across relax_qrg, heap- and
+//     bucket-queue dijkstra_qrg, and parallel_relax_qrg with no pool
+//     and with 1/2/4-worker pools,
+//   * ParallelPlanner returns exactly BasicPlanner's result,
+//   * establish_batch produces bit-identical results and broker
+//     accounting whether planning runs inline or on a pool.
+//
 // With --mode crash (see tests/fuzz/crash_fuzz.*) each iteration derives
 // scripted broker crash–restart schedules and proves:
 //   * a journaled world with no crashes is bit-identical to an
@@ -32,7 +41,8 @@
 //     auditor's conservation proof exact and leaks zero capacity.
 //
 // Usage:
-//   qres_fuzz [--mode planner|faults|adapt|crash|all] [--iterations N]
+//   qres_fuzz [--mode planner|faults|adapt|crash|parallel|all]
+//             [--iterations N]
 //             [--seed S] [--repro-seed X] [--verbose]
 //
 // Each iteration derives its own 64-bit seed from the master seed; on
@@ -55,13 +65,14 @@
 #include "../tests/fuzz/crash_fuzz.hpp"
 #include "../tests/fuzz/fault_fuzz.hpp"
 #include "../tests/fuzz/fuzz_lib.hpp"
+#include "../tests/fuzz/parallel_fuzz.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--mode planner|faults|adapt|crash|all] "
+               "usage: %s [--mode planner|faults|adapt|crash|parallel|all] "
                "[--iterations N] [--seed S] [--repro-seed X] [--verbose]\n",
                argv0);
 }
@@ -78,6 +89,7 @@ int main(int argc, char** argv) {
   bool run_faults = false;
   bool run_adapt = false;
   bool run_crash = false;
+  bool run_parallel = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,31 +113,21 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       const std::string mode = argv[++i];
+      run_planner = run_faults = run_adapt = run_crash = run_parallel =
+          false;
       if (mode == "planner") {
         run_planner = true;
-        run_faults = false;
-        run_adapt = false;
-        run_crash = false;
       } else if (mode == "faults") {
-        run_planner = false;
         run_faults = true;
-        run_adapt = false;
-        run_crash = false;
       } else if (mode == "adapt") {
-        run_planner = false;
-        run_faults = false;
         run_adapt = true;
-        run_crash = false;
       } else if (mode == "crash") {
-        run_planner = false;
-        run_faults = false;
-        run_adapt = false;
         run_crash = true;
+      } else if (mode == "parallel") {
+        run_parallel = true;
       } else if (mode == "all") {
-        run_planner = true;
-        run_faults = true;
-        run_adapt = true;
-        run_crash = true;
+        run_planner = run_faults = run_adapt = run_crash = run_parallel =
+            true;
       } else {
         std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
         usage(argv[0]);
@@ -154,6 +156,7 @@ int main(int argc, char** argv) {
   qres::fuzz::FaultFuzzStats fault_stats;
   qres::fuzz::AdaptFuzzStats adapt_stats;
   qres::fuzz::CrashFuzzStats crash_stats;
+  qres::fuzz::ParallelFuzzStats parallel_stats;
   std::uint64_t failures = 0;
   qres::Rng master(master_seed);
 
@@ -169,6 +172,8 @@ int main(int argc, char** argv) {
         failure = qres::fuzz::run_adapt_iteration(seed, &adapt_stats);
       if (failure.empty() && run_crash)
         failure = qres::fuzz::run_crash_iteration(seed, &crash_stats);
+      if (failure.empty() && run_parallel)
+        failure = qres::fuzz::run_parallel_iteration(seed, &parallel_stats);
     } catch (const std::exception& e) {
       failure = "seed " + std::to_string(seed) +
                 ": unexpected exception: " + e.what();
@@ -242,6 +247,17 @@ int main(int argc, char** argv) {
         crash_stats.excess_released, crash_stats.rpc_failures,
         crash_stats.leases_expired, crash_stats.leaked_rollbacks,
         crash_stats.recoveries_checked, crash_stats.audits);
+  if (run_parallel)
+    std::printf(
+        "qres_fuzz parallel: %" PRIu64 " iteration(s), %" PRIu64
+        " failure(s); %" PRIu64 " QRGs, %" PRIu64
+        " label comparisons, %" PRIu64 " planner comparisons, %" PRIu64
+        " batches (%" PRIu64 " sessions, %" PRIu64 " admitted, %" PRIu64
+        " conflict replans)\n",
+        total, failures, parallel_stats.qrgs,
+        parallel_stats.label_comparisons, parallel_stats.plans,
+        parallel_stats.batches, parallel_stats.batch_sessions,
+        parallel_stats.admitted, parallel_stats.conflicts_replanned);
   if (failures > 0)
     std::printf("reproduce a failure with: %s --repro-seed <seed>\n",
                 argv[0]);

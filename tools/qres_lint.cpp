@@ -79,6 +79,14 @@ const std::vector<Rule>& rules() {
       {"determinism-pointer-keyed-container",
        "pointer-keyed std::map/std::set iterates in address order; key by "
        "a stable id instead"},
+      {"concurrency-raw-mutex",
+       "std::mutex/lock_guard/scoped_lock/unique_lock are banned in src/; "
+       "use qres::Mutex + qres::MutexLock (util/annotations.hpp) so "
+       "clang's thread-safety analysis tracks the capability"},
+      {"concurrency-unannotated-mutex",
+       "a qres::Mutex member in a src/ header must appear in at least one "
+       "thread-safety annotation (QRES_GUARDED_BY/QRES_REQUIRES/"
+       "QRES_EXCLUDES/...) or the analysis has nothing to check"},
       {"layering-upward-include",
        "#include must follow the layer DAG util <- core <- broker <- "
        "signal <- proxy/enforce <- adapt <- sim <- scenario"},
@@ -379,6 +387,38 @@ struct Checker {
     }
   }
 
+  // The parallel planning engine (DESIGN.md §11) relies on clang's
+  // -Werror=thread-safety lane actually seeing every lock: a raw
+  // std::mutex carries no capability attributes, so anything it guards
+  // is invisible to the analysis. Similarly a qres::Mutex member that no
+  // annotation references guards nothing the analysis can check.
+  void check_concurrency(bool header) {
+    if (!in_src()) return;
+    static const std::regex kRawMutex(
+        R"(\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|scoped_lock|unique_lock|shared_lock)\b)");
+    static const std::regex kMutexMember(
+        R"(\b(qres::)?Mutex\s+[A-Za-z_]\w*\s*;)");
+    static const std::regex kAnnotation(
+        R"(\bQRES_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|RELEASE|TRY_ACQUIRE)\b)");
+    bool any_annotation = false;
+    for (const std::string& line : view->code)
+      if (std::regex_search(line, kAnnotation)) any_annotation = true;
+    for (std::size_t i = 0; i < view->code.size(); ++i) {
+      const std::string& line = view->code[i];
+      int ln = static_cast<int>(i) + 1;
+      if (std::regex_search(line, kRawMutex))
+        report(ln, "concurrency-raw-mutex",
+               "raw standard-library mutex/lock in src/; use qres::Mutex + "
+               "qres::MutexLock so clang thread-safety analysis tracks it");
+      if (header && !any_annotation &&
+          std::regex_search(line, kMutexMember))
+        report(ln, "concurrency-unannotated-mutex",
+               "qres::Mutex member with no thread-safety annotation in this "
+               "header; annotate the guarded state (QRES_GUARDED_BY) or the "
+               "locking contract (QRES_REQUIRES/QRES_EXCLUDES)");
+    }
+  }
+
   void check_layering() {
     if (!in_src()) return;
     std::string dir = first_component(rel.substr(4));  // after "src/"
@@ -503,6 +543,7 @@ std::vector<Violation> scan_file(const fs::path& path,
   std::vector<Violation> raw;
   Checker checker{rel, &view, &raw};
   checker.check_determinism();
+  checker.check_concurrency(is_header(path));
   checker.check_layering();
   checker.check_contracts();
   checker.check_hygiene(is_header(path));
