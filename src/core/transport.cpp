@@ -1,0 +1,25 @@
+#include "core/transport.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+ExchangeResult IControlTransport::exchange_budgeted(HostId from, HostId to,
+                                                    double now,
+                                                    const RetryPolicy& policy) {
+  QRES_REQUIRE(policy.max_attempts >= 1,
+               "exchange_budgeted: at least one attempt required");
+  return exchange(from, to, now);
+}
+
+const char* to_string(ExchangeStatus status) noexcept {
+  switch (status) {
+    case ExchangeStatus::kOk: return "ok";
+    case ExchangeStatus::kTimeout: return "timeout";
+    case ExchangeStatus::kPeerDown: return "peer-down";
+    case ExchangeStatus::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
+}  // namespace qres

@@ -7,21 +7,73 @@
 // This interface is what the proxy layer sees: qres_proxy cannot depend on
 // qres_sim (the dependency runs the other way), so the FaultPlane
 // implements IControlTransport and is attached from above.
+//
+// Client code does NOT call exchange() directly: every call goes through
+// the RPC shim (rpc::RpcChannel), which layers request ids, deadline
+// propagation, circuit breakers and per-peer stats on top of this raw
+// reliable-exchange primitive (qres_lint rule rpc-direct-exchange pins
+// this).
 #pragma once
+
+#include <cstdint>
 
 #include "core/ids.hpp"
 
 namespace qres {
+
+/// Retransmission policy for reliable sends: the k-th retransmission
+/// waits min(timeout * backoff^k, max_timeout) after the previous attempt.
+/// When `jitter` > 0, each wait is additionally stretched by a uniform
+/// factor in [1, 1 + jitter] drawn from the transport's seeded stream
+/// (zero jitter draws nothing, preserving the zero-fault bit-identity
+/// contract).
+struct RetryPolicy {
+  double timeout = 0.5;      ///< timeout before the first retransmission
+  double backoff = 2.0;      ///< multiplier per further retransmission
+  double max_timeout = 4.0;  ///< cap on the per-attempt timeout
+  int max_attempts = 4;      ///< total transmissions before giving up
+  double jitter = 0.0;       ///< relative backoff jitter in [0, jitter]
+};
+
+/// How one reliable exchange ended. Distinguishes "the retry budget
+/// drowned in silent loss" (kTimeout) from "an endpoint or link was down"
+/// (kPeerDown) from "the caller's deadline budget ran out before the
+/// retry budget did" (kDeadlineExceeded) — three failures the legacy
+/// bare-int return collapsed into one 0.
+enum class ExchangeStatus : std::uint8_t {
+  kOk,                ///< delivered; transmissions says at what cost
+  kTimeout,           ///< every attempt lost to drops (silent loss)
+  kPeerDown,          ///< an endpoint host or the link was down
+  kDeadlineExceeded,  ///< deadline budget exhausted before the retry budget
+};
+
+const char* to_string(ExchangeStatus status) noexcept;
+
+/// Typed result of one reliable exchange: status plus the number of
+/// transmissions actually spent (>= 1 on success; the attempts burned
+/// before giving up on failure).
+struct ExchangeResult {
+  ExchangeStatus status = ExchangeStatus::kOk;
+  int transmissions = 0;
+
+  bool ok() const noexcept { return status == ExchangeStatus::kOk; }
+};
 
 class IControlTransport {
  public:
   virtual ~IControlTransport() = default;
 
   /// One reliable request/response exchange between two proxy hosts at
-  /// simulation time `now` (retries included). Returns the number of
-  /// transmissions used when the exchange got through, 0 when the peer
-  /// was unreachable (retry budget exhausted or host crashed).
-  virtual int exchange(HostId from, HostId to, double now) = 0;
+  /// simulation time `now` (retries included), under the transport's own
+  /// default retry policy.
+  virtual ExchangeResult exchange(HostId from, HostId to, double now) = 0;
+
+  /// Like exchange(), but under a caller-supplied retry policy — the RPC
+  /// shim truncates the attempt budget to fit the propagated deadline and
+  /// passes the result here. The default ignores the policy (a perfect
+  /// transport needs no budget).
+  virtual ExchangeResult exchange_budgeted(HostId from, HostId to, double now,
+                                           const RetryPolicy& policy);
 
   /// Whether `host` is up at time `t` (outside any scripted crash
   /// window).

@@ -170,7 +170,10 @@ DistributedSession::DistributedSession(
 
 void DistributedSession::attach_faults(IControlTransport* transport) {
   QRES_REQUIRE(transport != nullptr, "attach_faults: null transport");
-  transport_ = transport;
+  // Every protocol hop goes through the RPC shim; with the default config
+  // (breaker disabled, no deadline) the shim is bit-identical to a direct
+  // exchange.
+  channel_ = std::make_unique<rpc::RpcChannel>(transport, nullptr, nullptr);
 }
 
 void DistributedSession::enable_leases(double lease_duration) {
@@ -185,15 +188,17 @@ HostId DistributedSession::agent_host(std::size_t i) const {
 
 bool DistributedSession::protocol_exchange(HostId from, HostId to,
                                            double now,
-                                           CoordinationStats& stats) const {
-  if (!transport_ || !from.valid() || !to.valid() || from == to)
-    return true;
-  const int used = transport_->exchange(from, to, now);
-  if (used == 0) {
+                                           CoordinationStats& stats) {
+  if (!channel_ || !from.valid() || !to.valid() || from == to) return true;
+  const ExchangeResult result = channel_->ping(from, to, now);
+  if (!result.ok()) {
     ++stats.unreachable_proxies;
     return false;
   }
-  if (used > 1) stats.retransmissions += static_cast<std::size_t>(used - 1);
+  // Retransmission accounting counts only attempts that got through
+  // (failed trains surface as unreachable_proxies, as before).
+  if (result.transmissions > 1)
+    stats.retransmissions += static_cast<std::size_t>(result.transmissions - 1);
   return true;
 }
 

@@ -27,12 +27,14 @@
 // protocol is inspectable and testable.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "broker/registry.hpp"
 #include "core/planner.hpp"
 #include "proxy/qos_proxy.hpp"  // EstablishResult / CoordinationStats
+#include "rpc/channel.hpp"
 
 namespace qres {
 
@@ -121,9 +123,16 @@ class DistributedSession {
 
   /// Routes every protocol message (forward/backward hops between
   /// neighboring proxies, reserve-pass dispatches from the sink) through
-  /// `transport`. Components with invalid hosts exchange no RPCs (they
-  /// are co-located). Without a transport the control plane is perfect.
+  /// `transport`, wrapped in an rpc::RpcChannel shim (request ids,
+  /// per-peer stats, optional breaker/deadline via rpc_channel()).
+  /// Components with invalid hosts exchange no RPCs (they are
+  /// co-located). Without a transport the control plane is perfect.
   void attach_faults(IControlTransport* transport);
+
+  /// The shim every protocol message goes through (null until
+  /// attach_faults). Exposed so callers can tune the breaker config or
+  /// read per-peer stats.
+  rpc::RpcChannel* rpc_channel() const noexcept { return channel_.get(); }
 
   /// Reserve-pass reservations become leases of `lease_duration` (see
   /// SessionCoordinator::enable_leases).
@@ -145,13 +154,13 @@ class DistributedSession {
   /// (trivially so when either host is invalid or they coincide). Updates
   /// `stats` retransmission/unreachable counters.
   bool protocol_exchange(HostId from, HostId to, double now,
-                         CoordinationStats& stats) const;
+                         CoordinationStats& stats);
 
   const ServiceDefinition* service_;
   BrokerRegistry* registry_;
   PsiKind psi_kind_;
   PlannerOptions options_;
-  IControlTransport* transport_ = nullptr;
+  std::unique_ptr<rpc::RpcChannel> channel_;
   double lease_ = 0.0;  ///< 0 = permanent reservations
   std::vector<ComponentAgent> agents_;  // in topological (chain) order
 };

@@ -83,8 +83,34 @@ void SessionCoordinator::attach_faults(IControlTransport* transport,
                                        HostId main_host) {
   QRES_REQUIRE(transport != nullptr, "attach_faults: null transport");
   QRES_REQUIRE(main_host.valid(), "attach_faults: invalid main host");
-  transport_ = transport;
+  // Implicit control plane through the RPC shim: with the default config
+  // (breaker disabled, no deadline) the shim is bit-identical to a
+  // direct exchange.
+  channel_ = std::make_unique<rpc::RpcChannel>(transport, nullptr, nullptr);
+  rpc_service_ = nullptr;
   main_host_ = main_host;
+}
+
+void SessionCoordinator::attach_rpc_service(rpc::BrokerService* service,
+                                            HostId main_host,
+                                            IControlTransport* transport,
+                                            rpc::IFrameFaults* faults,
+                                            rpc::RpcChannel::Config config) {
+  QRES_REQUIRE(service != nullptr, "attach_rpc_service: null service");
+  QRES_REQUIRE(main_host.valid(), "attach_rpc_service: invalid main host");
+  channel_ =
+      std::make_unique<rpc::RpcChannel>(transport, service, faults, config);
+  rpc_service_ = service;
+  main_host_ = main_host;
+}
+
+void SessionCoordinator::set_rpc_deadline(double budget) {
+  QRES_REQUIRE(budget > 0.0, "set_rpc_deadline: budget must be positive");
+  rpc_deadline_budget_ = budget;
+}
+
+double SessionCoordinator::rpc_deadline(double now) const {
+  return now + rpc_deadline_budget_;
 }
 
 void SessionCoordinator::enable_leases(double lease_duration) {
@@ -102,21 +128,32 @@ bool SessionCoordinator::reserve_segment(ResourceId id, double now,
 
 AvailabilityView SessionCoordinator::collect_footprint(
     double now, const std::function<double(ResourceId)>& staleness,
-    std::vector<ResourceId>* down) const {
+    std::vector<ResourceId>* down,
+    const FlatMap<ResourceId, rpc::QuerySample>& sampled) const {
   // A down broker cannot be observed (its observe() aborts by contract:
   // unavailable, never "empty"). The coordinator observes the up subset
   // and pins down resources at zero availability so planning routes
   // around them; the typed kBrokerUnavailable outcome is attributed when
-  // that routing finds no plan.
+  // that routing finds no plan. Resources already sampled remotely (a
+  // typed-mode QueryReply) take the remote observation verbatim — each
+  // broker is observed exactly once per snapshot in either mode.
   std::vector<ResourceId> up;
   up.reserve(footprint_.size());
+  std::vector<std::pair<ResourceId, rpc::QuerySample>> remote;
   for (ResourceId id : footprint_) {
+    if (const auto it = sampled.find(id); it != sampled.end()) {
+      remote.push_back({id, it->second});
+      if (it->second.up == 0) down->push_back(id);
+      continue;
+    }
     if (registry_->broker(id).up())
       up.push_back(id);
     else
       down->push_back(id);
   }
   AvailabilityView view = registry_->collect(up, now, staleness);
+  for (const auto& [id, sample] : remote)
+    if (sample.up != 0) view.set(id, sample.available, sample.alpha);
   for (ResourceId id : *down) view.set(id, 0.0, 1.0);
   return view;
 }
@@ -128,8 +165,9 @@ EstablishResult SessionCoordinator::establish(
 }
 
 void SessionCoordinator::poll_participants(
-    double now, CoordinationStats* stats,
-    std::vector<ResourceId>* unavailable) {
+    double now, const std::function<double(ResourceId)>& staleness,
+    CoordinationStats* stats, std::vector<ResourceId>* unavailable,
+    FlatMap<ResourceId, rpc::QuerySample>* sampled) {
   // Overhead accounting (§4.2): one availability round trip per
   // participating proxy (distinct component host), one dispatch per plan
   // segment later.
@@ -144,37 +182,139 @@ void SessionCoordinator::poll_participants(
   // Under faults each remote proxy's report is one RPC round trip; a
   // proxy that cannot be reached contributes zero availability for its
   // resources (the main proxy has no report to plan from), so the
-  // planner routes around it instead of reserving blind.
-  if (!transport_) return;
+  // planner routes around it instead of reserving blind. Typed mode
+  // folds the round trip and the report into one QueryRequest whose
+  // samples land in `sampled`.
+  if (!channel_) return;
   std::set<std::uint32_t> polled;
   for (ResourceId id : footprint_) {
     const HostId owner = registry_->catalog().host(id);
     if (!owner.valid() || owner == main_host_) continue;
     if (!polled.insert(owner.value()).second) continue;
-    const int used = transport_->exchange(main_host_, owner, now);
-    if (used == 0) {
+    bool reached = false;
+    int transmissions = 0;
+    if (rpc_service_) {
+      rpc::QueryRequest request;
+      request.header.deadline = rpc_deadline(now);
+      for (ResourceId other : footprint_)
+        if (registry_->catalog().host(other) == owner)
+          request.entries.push_back(
+              {other.value(), now - (staleness ? staleness(other) : 0.0)});
+      const rpc::CallResult result =
+          channel_->call(main_host_, owner, std::move(request), now);
+      transmissions = result.transmissions;
+      if (result.ok()) {
+        const auto& reply = std::get<rpc::QueryReply>(result.reply);
+        if (reply.code == rpc::RpcCode::kOk) {
+          reached = true;
+          for (const rpc::QuerySample& sample : reply.samples)
+            sampled->insert_or_assign(ResourceId{sample.resource}, sample);
+        }
+      }
+    } else {
+      const ExchangeResult result =
+          channel_->ping(main_host_, owner, now, rpc_deadline(now));
+      reached = result.ok();
+      transmissions = result.transmissions;
+    }
+    if (!reached) {
       ++stats->unreachable_proxies;
       for (ResourceId other : footprint_)
         if (registry_->catalog().host(other) == owner)
           unavailable->push_back(other);
-    } else if (used > 1) {
-      stats->retransmissions += static_cast<std::size_t>(used - 1);
+    } else if (transmissions > 1) {
+      stats->retransmissions += static_cast<std::size_t>(transmissions - 1);
     }
   }
 }
 
 bool SessionCoordinator::rpc_to_owner(ResourceId id, double now,
                                       CoordinationStats* stats) {
-  if (!transport_) return true;
+  if (!channel_) return true;
   const HostId owner = registry_->catalog().host(id);
   if (!owner.valid() || owner == main_host_) return true;
-  const int used = transport_->exchange(main_host_, owner, now);
-  if (used == 0) {
+  const ExchangeResult result =
+      channel_->ping(main_host_, owner, now, rpc_deadline(now));
+  if (!result.ok()) {
     ++stats->unreachable_proxies;
     return false;
   }
-  if (used > 1) stats->retransmissions += static_cast<std::size_t>(used - 1);
+  if (result.transmissions > 1)
+    stats->retransmissions += static_cast<std::size_t>(result.transmissions - 1);
   return true;
+}
+
+SessionCoordinator::Dispatch SessionCoordinator::dispatch_reserve(
+    ResourceId id, double now, SessionId session, double amount,
+    CoordinationStats* stats) {
+  if (!rpc_service_) {
+    // Implicit mode: the old up()/RPC/reserve ladder, verbatim.
+    if (!registry_->broker(id).up()) return Dispatch::kBrokerDown;
+    if (!rpc_to_owner(id, now, stats)) return Dispatch::kUnreachable;
+    ++stats->reservations_attempted;
+    return reserve_segment(id, now, session, amount) ? Dispatch::kOk
+                                                     : Dispatch::kAdmission;
+  }
+  rpc::ReserveRequest request;
+  request.header.session = session.value();
+  request.header.deadline = rpc_deadline(now);
+  request.resource = id.value();
+  request.amount = amount;
+  request.lease = lease_;
+  const HostId owner = registry_->catalog().host(id);
+  const HostId to = owner.valid() ? owner : main_host_;
+  const rpc::CallResult result =
+      channel_->call(main_host_, to, std::move(request), now);
+  if (!result.ok()) {
+    ++stats->unreachable_proxies;
+    return Dispatch::kUnreachable;
+  }
+  if (result.transmissions > 1)
+    stats->retransmissions += static_cast<std::size_t>(result.transmissions - 1);
+  const auto& reply = std::get<rpc::ReserveReply>(result.reply);
+  switch (reply.code) {
+    case rpc::RpcCode::kOk:
+      ++stats->reservations_attempted;
+      return Dispatch::kOk;
+    case rpc::RpcCode::kAdmissionReject:
+      ++stats->reservations_attempted;
+      return Dispatch::kAdmission;
+    case rpc::RpcCode::kBrokerDown:
+      return Dispatch::kBrokerDown;
+    default:
+      // Backpressure / deadline / bad-request: the dispatch never took
+      // effect — retryable, like an unreachable owner.
+      ++stats->unreachable_proxies;
+      return Dispatch::kUnreachable;
+  }
+}
+
+bool SessionCoordinator::dispatch_release(ResourceId id, double now,
+                                          SessionId session, double amount,
+                                          CoordinationStats* stats) {
+  if (!rpc_service_) {
+    if (!registry_->broker(id).up()) return false;
+    if (!rpc_to_owner(id, now, stats)) return false;
+    registry_->broker(id).release_amount(now, session, amount);
+    return true;
+  }
+  rpc::ReleaseRequest request;
+  request.header.session = session.value();
+  request.header.deadline = rpc_deadline(now);
+  request.resource = id.value();
+  request.release_all = 0;
+  request.amount = amount;
+  const HostId owner = registry_->catalog().host(id);
+  const HostId to = owner.valid() ? owner : main_host_;
+  const rpc::CallResult result =
+      channel_->call(main_host_, to, std::move(request), now);
+  if (!result.ok()) {
+    if (stats) ++stats->unreachable_proxies;
+    return false;
+  }
+  if (stats && result.transmissions > 1)
+    stats->retransmissions += static_cast<std::size_t>(result.transmissions - 1);
+  return std::get<rpc::ReleaseReply>(result.reply).code == rpc::RpcCode::kOk;
 }
 
 SessionCoordinator::PlanningSnapshot SessionCoordinator::snapshot_for_planning(
@@ -188,8 +328,9 @@ SessionCoordinator::PlanningSnapshot SessionCoordinator::snapshot_for_planning(
 
   // Phase 1: collect availability for the service's resource footprint.
   std::vector<ResourceId> unavailable = dead;
-  poll_participants(now, &snapshot.stats, &unavailable);
-  snapshot.view = collect_footprint(now, staleness, &snapshot.down);
+  FlatMap<ResourceId, rpc::QuerySample> sampled;
+  poll_participants(now, staleness, &snapshot.stats, &unavailable, &sampled);
+  snapshot.view = collect_footprint(now, staleness, &snapshot.down, sampled);
   for (ResourceId id : unavailable) snapshot.view.set(id, 0.0, 1.0);
   return snapshot;
 }
@@ -239,30 +380,26 @@ EstablishResult SessionCoordinator::commit_planned(
   reserved.reserve(total.size());
   bool ok = true;
   for (const auto& [id, amount] : total) {
-    if (!registry_->broker(id).up()) {
-      // Defensive: a plan cannot normally require a down broker (its
-      // availability was pinned at zero), but a zero-amount segment can
-      // slip through — typed as the outage it is.
-      result.outcome = EstablishOutcome::kBrokerUnavailable;
-      result.failed_resource = id;
-      ok = false;
-      break;
+    // A plan cannot normally require a down broker (its availability was
+    // pinned at zero), but a zero-amount segment can slip through — the
+    // dispatch types it as the outage it is.
+    switch (dispatch_reserve(id, now, session, amount, &result.stats)) {
+      case Dispatch::kOk:
+        reserved.push_back({id, amount});
+        continue;
+      case Dispatch::kBrokerDown:
+        result.outcome = EstablishOutcome::kBrokerUnavailable;
+        break;
+      case Dispatch::kUnreachable:
+        result.outcome = EstablishOutcome::kUnreachable;
+        break;
+      case Dispatch::kAdmission:
+        result.outcome = EstablishOutcome::kAdmission;
+        break;
     }
-    if (!rpc_to_owner(id, now, &result.stats)) {
-      result.outcome = EstablishOutcome::kUnreachable;
-      result.failed_resource = id;
-      ok = false;
-      break;
-    }
-    ++result.stats.reservations_attempted;
-    if (reserve_segment(id, now, session, amount)) {
-      reserved.push_back({id, amount});
-    } else {
-      result.outcome = EstablishOutcome::kAdmission;
-      result.failed_resource = id;
-      ok = false;
-      break;
-    }
+    result.failed_resource = id;
+    ok = false;
+    break;
   }
   if (!ok) {
     // Roll back everything reserved for this session so far. A rollback
@@ -273,12 +410,10 @@ EstablishResult SessionCoordinator::commit_planned(
     // reconciliation reclaims it — reported via result.leaked so the
     // caller (and the auditor) can account for it.
     for (const auto& [id, amount] : reserved) {
-      if (!registry_->broker(id).up() ||
-          !rpc_to_owner(id, now, &result.stats)) {
+      if (!dispatch_release(id, now, session, amount, &result.stats)) {
         result.leaked.push_back({id, amount});
         continue;
       }
-      registry_->broker(id).release_amount(now, session, amount);
       ++result.stats.reservations_rolled_back;
     }
     return result;
@@ -315,9 +450,10 @@ EstablishResult SessionCoordinator::renegotiate(
 
   // Phase 1: fresh snapshot, same RPC accounting as an establishment.
   std::vector<ResourceId> unavailable;
-  poll_participants(now, &result.stats, &unavailable);
+  FlatMap<ResourceId, rpc::QuerySample> sampled;
+  poll_participants(now, staleness, &result.stats, &unavailable, &sampled);
   std::vector<ResourceId> down;
-  AvailabilityView view = collect_footprint(now, staleness, &down);
+  AvailabilityView view = collect_footprint(now, staleness, &down, sampled);
   for (ResourceId id : unavailable) view.set(id, 0.0, 1.0);
 
   // Credit the session's own holdings back into the snapshot: the new
@@ -370,27 +506,23 @@ EstablishResult SessionCoordinator::renegotiate(
     const double have = it == old_held.end() ? 0.0 : it->second;
     const double delta = amount - have;
     if (delta <= kEps) continue;
-    if (!registry_->broker(id).up()) {
-      result.outcome = EstablishOutcome::kBrokerUnavailable;
-      result.failed_resource = id;
-      ok = false;
-      break;
+    switch (dispatch_reserve(id, now, session, delta, &result.stats)) {
+      case Dispatch::kOk:
+        deltas.push_back({id, delta});
+        continue;
+      case Dispatch::kBrokerDown:
+        result.outcome = EstablishOutcome::kBrokerUnavailable;
+        break;
+      case Dispatch::kUnreachable:
+        result.outcome = EstablishOutcome::kUnreachable;
+        break;
+      case Dispatch::kAdmission:
+        result.outcome = EstablishOutcome::kAdmission;
+        break;
     }
-    if (!rpc_to_owner(id, now, &result.stats)) {
-      result.outcome = EstablishOutcome::kUnreachable;
-      result.failed_resource = id;
-      ok = false;
-      break;
-    }
-    ++result.stats.reservations_attempted;
-    if (reserve_segment(id, now, session, delta)) {
-      deltas.push_back({id, delta});
-    } else {
-      result.outcome = EstablishOutcome::kAdmission;
-      result.failed_resource = id;
-      ok = false;
-      break;
-    }
+    result.failed_resource = id;
+    ok = false;
+    break;
   }
   if (!ok) {
     // Abort: roll the deltas back; the session still holds exactly its
@@ -398,12 +530,10 @@ EstablishResult SessionCoordinator::renegotiate(
     // old plan and is reported via leaked (the caller folds it into its
     // record so the books keep matching the broker).
     for (const auto& [id, amount] : deltas) {
-      if (!registry_->broker(id).up() ||
-          !rpc_to_owner(id, now, &result.stats)) {
+      if (!dispatch_release(id, now, session, amount, &result.stats)) {
         result.leaked.push_back({id, amount});
         continue;
       }
-      registry_->broker(id).release_amount(now, session, amount);
       ++result.stats.reservations_rolled_back;
     }
     return result;
@@ -424,13 +554,11 @@ EstablishResult SessionCoordinator::renegotiate(
     const double keep = new_total.get(id);
     const double excess = have - keep;
     if (excess <= kEps) continue;
-    if (!registry_->broker(id).up() ||
-        !rpc_to_owner(id, now, &result.stats)) {
+    if (!dispatch_release(id, now, session, excess, &result.stats)) {
       result.leaked.push_back({id, excess});
       final_held[id] += excess;
       continue;
     }
-    registry_->broker(id).release_amount(now, session, excess);
   }
   result.holdings.assign(final_held.begin(), final_held.end());
   result.success = true;
@@ -545,8 +673,14 @@ void SessionCoordinator::teardown(
     SessionId session, double now) {
   // A release toward a down broker is undeliverable; the journal restores
   // the holding at restart and reconciliation (or lease expiry) reclaims
-  // it there as an orphan.
+  // it there as an orphan. Typed mode routes each release through the
+  // service (deduped, deadline-checked); implicit mode keeps the legacy
+  // local release (teardown never was an RPC there).
   for (const auto& [id, amount] : holdings) {
+    if (rpc_service_) {
+      dispatch_release(id, now, session, amount, nullptr);
+      continue;
+    }
     if (!registry_->broker(id).up()) continue;
     registry_->broker(id).release_amount(now, session, amount);
   }
@@ -568,11 +702,23 @@ SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
   // One re-sync RPC per claimant: its owner host re-asserts the holding
   // to the broker's host, across the fault plane like any other control
   // message. Without a transport the control plane is perfect.
-  auto resync_rpc = [&](HostId from) {
-    if (!transport_ || !from.valid() || !broker_host.valid() ||
+  auto resync_rpc = [&](HostId from, SessionId session, double claimed) {
+    if (!channel_ || !from.valid() || !broker_host.valid() ||
         from == broker_host)
       return true;
-    return transport_->exchange(from, broker_host, now) > 0;
+    if (rpc_service_) {
+      rpc::ReconcileRequest request;
+      request.header.session = session.value();
+      request.header.deadline = rpc_deadline(now);
+      request.resource = resource.value();
+      request.claimed = claimed;
+      const rpc::CallResult result =
+          channel_->call(from, broker_host, std::move(request), now);
+      return result.ok() &&
+             std::get<rpc::ReconcileReply>(result.reply).code ==
+                 rpc::RpcCode::kOk;
+    }
+    return channel_->ping(from, broker_host, now, rpc_deadline(now)).ok();
   };
 
   // Aggregate claims per session (a session re-asserts once, with the
@@ -593,7 +739,7 @@ SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
     event.session = claim.session;
     event.claimed = claim.amount;
     event.held = broker->held_by(claim.session);
-    if (!resync_rpc(claim.owner)) {
+    if (!resync_rpc(claim.owner, claim.session, claim.amount)) {
       // Lost re-sync: the recovered holding stays as-is, protected by the
       // restart lease grace until a later pass or expiry settles it.
       event.resolution = ReconcileResolution::kRpcFailed;
@@ -635,7 +781,7 @@ SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
     ReconcileEvent event;
     event.session = session;
     event.held = held;
-    if (!resync_rpc(main_host_)) {
+    if (!resync_rpc(main_host_, session, 0.0)) {
       event.resolution = ReconcileResolution::kRpcFailed;
       ++report.rpc_failures;
       report.events.push_back(event);

@@ -17,6 +17,7 @@
 // model can be examined by tests and benches.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "core/admission.hpp"
 #include "core/planner.hpp"
 #include "core/transport.hpp"
+#include "rpc/broker_service.hpp"
+#include "rpc/channel.hpp"
 
 namespace qres {
 
@@ -130,11 +133,41 @@ class SessionCoordinator {
                      PsiKind psi_kind = PsiKind::kRatio);
 
   /// Routes every coordination RPC (phase-1 availability round trips,
-  /// phase-3 dispatches and rollback releases) through `transport`.
-  /// `main_host` is where this coordinator (the main QoSProxy) runs;
-  /// resources whose catalog host is invalid count as main-local and need
-  /// no RPC. Without a transport the control plane is perfect, as before.
+  /// phase-3 dispatches and rollback releases) through `transport`,
+  /// wrapped in an rpc::RpcChannel shim (request ids, per-peer stats,
+  /// optional circuit breaker and deadline — see rpc_channel() /
+  /// set_rpc_deadline). `main_host` is where this coordinator (the main
+  /// QoSProxy) runs; resources whose catalog host is invalid count as
+  /// main-local and need no RPC. Without a transport the control plane is
+  /// perfect, as before.
   void attach_faults(IControlTransport* transport, HostId main_host);
+
+  /// Switches the coordinator to the *typed* control plane: phase-1
+  /// polls become versioned QueryRequest frames answered from the
+  /// brokers by `service`, and phase-3 dispatches / rollback releases /
+  /// teardowns become ReserveRequest / ReleaseRequest frames executed
+  /// through the service's bounded per-broker queues. `transport`
+  /// (optional) still decides reachability and retransmission cost per
+  /// call; `faults` (optional) injects frame-level corruption /
+  /// duplication / reordering; `config` tunes the shim's retry policy
+  /// and circuit breaker. With null transport/faults and the default
+  /// config the typed plane is bit-identical to the implicit one
+  /// (differential-tested in tests/fuzz/rpc_fuzz.cpp).
+  void attach_rpc_service(rpc::BrokerService* service, HostId main_host,
+                          IControlTransport* transport = nullptr,
+                          rpc::IFrameFaults* faults = nullptr,
+                          rpc::RpcChannel::Config config = {});
+
+  /// Per-call deadline budget: every subsequent coordination RPC carries
+  /// an absolute deadline of now + `budget` (propagated to the broker
+  /// service in typed mode, truncating retry trains in both modes).
+  /// Infinity (the default) disables deadlines.
+  void set_rpc_deadline(double budget);
+
+  /// The shim every coordination RPC goes through (null until
+  /// attach_faults / attach_rpc_service). Exposed for breaker
+  /// configuration and per-peer stats (`qresctl rpc`).
+  rpc::RpcChannel* rpc_channel() const noexcept { return channel_.get(); }
 
   /// Phase-3 reservations become leases of `lease_duration` time units:
   /// if the owning proxy (or this coordinator) crashes before renewing,
@@ -343,12 +376,25 @@ class SessionCoordinator {
                                    const std::vector<ReconcileClaim>& claims);
 
  private:
+  /// How one phase-3 dispatch ended (typed analogue of the old
+  /// up()/rpc_to_owner()/reserve_segment() ladder).
+  enum class Dispatch : std::uint8_t {
+    kOk,
+    kAdmission,    ///< the broker rejected the amount
+    kUnreachable,  ///< the owner proxy (or its reply) never got through
+    kBrokerDown,   ///< the broker process is down
+  };
+
   /// Phase-1 snapshot tolerant of broker outages: down footprint
   /// resources are reported at zero availability (the planner routes
   /// around them) and appended to `down`. Never observes a down broker.
+  /// Resources present in `sampled` (typed-mode query replies) use the
+  /// remote sample instead of a local observation, so each broker is
+  /// observed exactly once per snapshot in either mode.
   AvailabilityView collect_footprint(
       double now, const std::function<double(ResourceId)>& staleness,
-      std::vector<ResourceId>* down) const;
+      std::vector<ResourceId>* down,
+      const FlatMap<ResourceId, rpc::QuerySample>& sampled = {}) const;
 
   /// establish() with an explicit set of resources to treat as dead
   /// (observed at zero availability regardless of their brokers).
@@ -362,23 +408,45 @@ class SessionCoordinator {
   bool reserve_segment(ResourceId id, double now, SessionId session,
                        double amount);
 
-  /// Phase-1 RPC round: polls every remote participating proxy once.
-  /// Resources of unreachable owners are appended to `unavailable`;
-  /// `stats` accumulates retransmissions / unreachable counts.
-  void poll_participants(double now, CoordinationStats* stats,
-                         std::vector<ResourceId>* unavailable);
+  /// Phase-1 RPC round: polls every remote participating proxy once
+  /// (implicit mode: one ping; typed mode: one QueryRequest whose
+  /// samples land in `sampled`). Resources of unreachable owners are
+  /// appended to `unavailable`; `stats` accumulates retransmissions /
+  /// unreachable counts.
+  void poll_participants(double now,
+                         const std::function<double(ResourceId)>& staleness,
+                         CoordinationStats* stats,
+                         std::vector<ResourceId>* unavailable,
+                         FlatMap<ResourceId, rpc::QuerySample>* sampled);
 
   /// One control RPC to the proxy owning `id` (a no-op returning true
-  /// without a transport or for main-local resources). False = the owner
+  /// without a channel or for main-local resources). False = the owner
   /// was unreachable; `stats` accumulates the RPC accounting.
   bool rpc_to_owner(ResourceId id, double now, CoordinationStats* stats);
+
+  /// One phase-3 reservation dispatch: RPC to the owner plus the broker
+  /// reservation — implicit mode runs them as two steps, typed mode as
+  /// one ReserveRequest through the service queue.
+  Dispatch dispatch_reserve(ResourceId id, double now, SessionId session,
+                            double amount, CoordinationStats* stats);
+
+  /// One release dispatch (rollback, excess release, teardown). False =
+  /// the release could not be delivered (the holding leaks to lease
+  /// expiry / reconciliation).
+  bool dispatch_release(ResourceId id, double now, SessionId session,
+                        double amount, CoordinationStats* stats);
+
+  /// The absolute deadline for an RPC issued at `now`.
+  double rpc_deadline(double now) const;
 
   const ServiceDefinition* service_;
   std::vector<ResourceId> footprint_;
   BrokerRegistry* registry_;
   PsiKind psi_kind_;
-  IControlTransport* transport_ = nullptr;
+  std::unique_ptr<rpc::RpcChannel> channel_;
+  rpc::BrokerService* rpc_service_ = nullptr;  ///< non-null in typed mode
   HostId main_host_;
+  double rpc_deadline_budget_ = rpc::RpcChannel::kNoDeadline;
   double lease_ = 0.0;  ///< 0 = permanent reservations
   const IAdmissionGovernor* governor_ = nullptr;
   int priority_hint_ = 0;

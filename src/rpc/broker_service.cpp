@@ -1,0 +1,344 @@
+#include "rpc/broker_service.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace qres::rpc {
+
+namespace {
+
+/// The request header of any of the five *Request alternatives.
+RequestHeader header_of(const AnyMessage& request) {
+  return std::visit(
+      [](const auto& m) -> RequestHeader {
+        if constexpr (requires { m.header; })
+          return m.header;
+        else
+          return RequestHeader{};
+      },
+      request);
+}
+
+/// A typed error reply matching the request's type.
+AnyMessage error_reply(MessageType type, std::uint64_t request_id,
+                       RpcCode code) {
+  switch (type) {
+    case MessageType::kReserveRequest:
+      return ReserveReply{request_id, code, 0.0};
+    case MessageType::kReleaseRequest:
+      return ReleaseReply{request_id, code, 0.0};
+    case MessageType::kRenewRequest:
+      return RenewReply{request_id, code, 0};
+    case MessageType::kReconcileRequest:
+      return ReconcileReply{request_id, code, 0.0};
+    case MessageType::kQueryRequest:
+      return QueryReply{request_id, code, {}};
+    default:
+      break;
+  }
+  QRES_REQUIRE(false, "BrokerService: error reply for a non-request");
+  return ReserveReply{};
+}
+
+bool finite_nonnegative(double v) noexcept {
+  return std::isfinite(v) && v >= 0.0;
+}
+
+/// A request is expired when `now` has passed its absolute deadline
+/// (the default +inf never expires; a NaN deadline counts as expired).
+bool expired(const RequestHeader& header, double now) noexcept {
+  return !(now <= header.deadline);
+}
+
+}  // namespace
+
+BrokerService::BrokerService(BrokerRegistry* registry)
+    : BrokerService(registry, Config{}) {}
+
+BrokerService::BrokerService(BrokerRegistry* registry, Config config)
+    : registry_(registry), config_(config) {
+  QRES_REQUIRE(registry != nullptr, "BrokerService: null registry");
+  QRES_REQUIRE(config.queue_capacity >= 1 && config.dedup_capacity >= 1,
+               "BrokerService: capacities must be >= 1");
+}
+
+bool BrokerService::known_resource(ResourceId resource) const {
+  return resource.valid() && resource.value() < registry_->size();
+}
+
+ExecutionQueue& BrokerService::queue_for_mut(ResourceId resource) {
+  MutexLock lock(mutex_);
+  const auto it = queues_.find(resource);
+  if (it != queues_.end()) return *it->second;
+  return *queues_.insert_or_assign(
+      resource,
+      std::make_unique<ExecutionQueue>(config_.queue_capacity));
+}
+
+const ExecutionQueue* BrokerService::queue_for(ResourceId resource) const {
+  MutexLock lock(mutex_);
+  const auto it = queues_.find(resource);
+  return it == queues_.end() ? nullptr : it->second.get();
+}
+
+std::size_t BrokerService::max_queue_high_water() const {
+  // Collect the stable queue pointers under the map lock, then read each
+  // queue's own internally-locked stats.
+  std::vector<const ExecutionQueue*> queues;
+  {
+    MutexLock lock(mutex_);
+    queues.reserve(queues_.size());
+    for (const auto& [id, queue] : queues_) queues.push_back(queue.get());
+  }
+  std::size_t high = 0;
+  for (const ExecutionQueue* queue : queues)
+    high = std::max(high, queue->stats().high_water);
+  return high;
+}
+
+bool BrokerService::replay_cached(
+    std::uint64_t request_id,
+    std::vector<std::vector<std::uint8_t>>* replies) {
+  MutexLock lock(mutex_);
+  const auto it = dedup_.find(request_id);
+  if (it == dedup_.end()) return false;
+  ++stats_.duplicates;
+  replies->push_back(it->second);
+  return true;
+}
+
+void BrokerService::cache_reply(std::uint64_t request_id,
+                                const std::vector<std::uint8_t>& reply) {
+  MutexLock lock(mutex_);
+  if (dedup_.contains(request_id)) return;
+  while (dedup_order_.size() >= config_.dedup_capacity) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+  dedup_.insert_or_assign(request_id, reply);
+  dedup_order_.push_back(request_id);
+}
+
+void BrokerService::handle_frame(
+    const std::vector<std::uint8_t>& frame, double now,
+    std::vector<std::vector<std::uint8_t>>* replies) {
+  QRES_REQUIRE(replies != nullptr, "BrokerService: null reply sink");
+  const Decoded decoded = decode_frame(frame);
+  {
+    MutexLock lock(mutex_);
+    ++stats_.frames;
+    if (!decoded.ok()) {
+      // Corrupted/truncated frames get no reply: the client's
+      // at-least-once loop retransmits under the same request id.
+      ++stats_.decode_rejects;
+      return;
+    }
+  }
+  const MessageType type = message_type(decoded.message);
+  if (!is_request(type)) {
+    MutexLock lock(mutex_);
+    ++stats_.non_requests;
+    return;
+  }
+  const RequestHeader header = header_of(decoded.message);
+  if (replay_cached(header.request_id, replies)) return;
+  if (expired(header, now)) {
+    {
+      MutexLock lock(mutex_);
+      ++stats_.deadline_expired;
+    }
+    replies->push_back(encode(
+        error_reply(type, header.request_id, RpcCode::kDeadlineExceeded)));
+    return;
+  }
+
+  // Read-only availability sweeps bypass the execution queues.
+  if (type == MessageType::kQueryRequest) {
+    std::vector<std::uint8_t> reply =
+        serve_query(std::get<QueryRequest>(decoded.message), now);
+    cache_reply(header.request_id, reply);
+    replies->push_back(std::move(reply));
+    return;
+  }
+
+  // Mutating vocabulary: route to the target broker's bounded queue.
+  const ResourceId resource = std::visit(
+      [](const auto& m) -> ResourceId {
+        if constexpr (requires { m.resource; })
+          return ResourceId{m.resource};
+        else
+          return ResourceId{};
+      },
+      decoded.message);
+  if (!known_resource(resource)) {
+    {
+      MutexLock lock(mutex_);
+      ++stats_.bad_requests;
+    }
+    replies->push_back(
+        encode(error_reply(type, header.request_id, RpcCode::kBadRequest)));
+    return;
+  }
+  ExecutionQueue& queue = queue_for_mut(resource);
+  if (!queue.try_post(decoded.message)) {
+    {
+      MutexLock lock(mutex_);
+      ++stats_.backpressure;
+    }
+    // Not cached: a retry of the same id may succeed once drained.
+    replies->push_back(
+        encode(error_reply(type, header.request_id, RpcCode::kBackpressure)));
+    return;
+  }
+  if (config_.auto_drain) {
+    for (const AnyMessage& queued : queue.drain()) {
+      const std::uint64_t id = request_id_of(queued);
+      if (replay_cached(id, replies)) continue;
+      replies->push_back(execute(queued, now));
+    }
+  }
+}
+
+void BrokerService::drain_all(
+    double now, std::vector<std::vector<std::uint8_t>>* replies) {
+  QRES_REQUIRE(replies != nullptr, "BrokerService: null reply sink");
+  std::vector<ExecutionQueue*> queues;
+  {
+    MutexLock lock(mutex_);
+    queues.reserve(queues_.size());
+    for (const auto& [id, queue] : queues_) queues.push_back(queue.get());
+  }
+  for (ExecutionQueue* queue : queues) {
+    for (const AnyMessage& queued : queue->drain()) {
+      const std::uint64_t id = request_id_of(queued);
+      if (replay_cached(id, replies)) continue;
+      replies->push_back(execute(queued, now));
+    }
+  }
+}
+
+std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
+                                                 double now) {
+  const MessageType type = message_type(request);
+  const RequestHeader header = header_of(request);
+  const auto reject = [&](RpcCode code) {
+    {
+      MutexLock lock(mutex_);
+      if (code == RpcCode::kDeadlineExceeded) ++stats_.deadline_expired;
+      if (code == RpcCode::kBadRequest) ++stats_.bad_requests;
+    }
+    return encode(error_reply(type, header.request_id, code));
+  };
+  // Deadline enforced again at drain time: a request that expired while
+  // queued is answered, never executed late.
+  if (expired(header, now)) return reject(RpcCode::kDeadlineExceeded);
+
+  const ResourceId resource = std::visit(
+      [](const auto& m) -> ResourceId {
+        if constexpr (requires { m.resource; })
+          return ResourceId{m.resource};
+        else
+          return ResourceId{};
+      },
+      request);
+  IBroker& broker = registry_->broker(resource);
+  if (!broker.up()) return reject(RpcCode::kBrokerDown);
+
+  AnyMessage reply;
+  if (const auto* reserve = std::get_if<ReserveRequest>(&request)) {
+    if (!finite_nonnegative(reserve->amount) ||
+        !finite_nonnegative(reserve->lease))
+      return reject(RpcCode::kBadRequest);
+    const SessionId session{reserve->header.session};
+    const bool granted =
+        reserve->lease > 0.0
+            ? broker.reserve_leased(now, session, reserve->amount,
+                                    reserve->lease)
+            : broker.reserve(now, session, reserve->amount);
+    reply = ReserveReply{header.request_id,
+                         granted ? RpcCode::kOk : RpcCode::kAdmissionReject,
+                         broker.available()};
+  } else if (const auto* release = std::get_if<ReleaseRequest>(&request)) {
+    if (!finite_nonnegative(release->amount))
+      return reject(RpcCode::kBadRequest);
+    const SessionId session{release->header.session};
+    const double held = broker.held_by(session);
+    double released = 0.0;
+    if (release->release_all != 0) {
+      released = held;
+      broker.release(now, session);
+    } else {
+      released = std::min(held, release->amount);
+      broker.release_amount(now, session, release->amount);
+    }
+    reply = ReleaseReply{header.request_id, RpcCode::kOk, released};
+  } else if (const auto* renew = std::get_if<RenewRequest>(&request)) {
+    if (!finite_nonnegative(renew->lease)) return reject(RpcCode::kBadRequest);
+    const SessionId session{renew->header.session};
+    const bool renewed = broker.renew_lease(now, session, renew->lease);
+    reply = RenewReply{header.request_id, RpcCode::kOk,
+                       static_cast<std::uint8_t>(renewed ? 1 : 0)};
+  } else if (const auto* reconcile =
+                 std::get_if<ReconcileRequest>(&request)) {
+    const SessionId session{reconcile->header.session};
+    reply = ReconcileReply{header.request_id, RpcCode::kOk,
+                           broker.held_by(session)};
+  } else {
+    return reject(RpcCode::kBadRequest);
+  }
+
+  {
+    MutexLock lock(mutex_);
+    ++stats_.executed;
+  }
+  std::vector<std::uint8_t> encoded = encode(reply);
+  // Performed operations (including admission rejects) are cached so a
+  // redelivered duplicate returns this reply instead of executing twice.
+  cache_reply(header.request_id, encoded);
+  return encoded;
+}
+
+std::vector<std::uint8_t> BrokerService::serve_query(
+    const QueryRequest& request, double now) {
+  (void)now;
+  QueryReply reply{request.header.request_id, RpcCode::kOk, {}};
+  reply.samples.reserve(request.entries.size());
+  for (const QueryEntry& entry : request.entries) {
+    const ResourceId resource{entry.resource};
+    if (!known_resource(resource) || !std::isfinite(entry.observe_at)) {
+      MutexLock lock(mutex_);
+      ++stats_.bad_requests;
+      return encode(QueryReply{request.header.request_id,
+                               RpcCode::kBadRequest,
+                               {}});
+    }
+    const IBroker& broker = registry_->broker(resource);
+    QuerySample sample;
+    sample.resource = entry.resource;
+    if (broker.up()) {
+      const ResourceObservation obs = broker.observe(entry.observe_at);
+      sample.available = obs.available;
+      sample.alpha = obs.alpha;
+      sample.up = 1;
+    } else {
+      sample.available = 0.0;
+      sample.alpha = 1.0;
+      sample.up = 0;
+    }
+    reply.samples.push_back(sample);
+  }
+  {
+    MutexLock lock(mutex_);
+    ++stats_.executed;
+  }
+  return encode(reply);
+}
+
+BrokerService::Stats BrokerService::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace qres::rpc

@@ -1,0 +1,41 @@
+#include "rpc/service_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace qres::rpc {
+
+ExecutionQueue::ExecutionQueue(std::size_t capacity) : capacity_(capacity) {
+  QRES_REQUIRE(capacity >= 1, "ExecutionQueue: capacity must be >= 1");
+}
+
+bool ExecutionQueue::try_post(AnyMessage request) {
+  MutexLock lock(mutex_);
+  if (items_.size() >= capacity_) {
+    ++stats_.rejected;
+    return false;
+  }
+  items_.push_back(std::move(request));
+  ++stats_.posted;
+  stats_.depth = items_.size();
+  stats_.high_water = std::max(stats_.high_water, items_.size());
+  return true;
+}
+
+std::vector<AnyMessage> ExecutionQueue::drain() {
+  std::vector<AnyMessage> out;
+  MutexLock lock(mutex_);
+  out.swap(items_);
+  stats_.drained += out.size();
+  stats_.depth = 0;
+  return out;
+}
+
+ExecutionQueue::Stats ExecutionQueue::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace qres::rpc

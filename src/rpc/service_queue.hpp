@@ -1,0 +1,63 @@
+// Bounded single-consumer execution queues for the broker service
+// (DESIGN.md §12).
+//
+// Each broker executes its mutating control-plane requests
+// (reserve/release/renew/reconcile) from its own bounded FIFO queue,
+// drained by a single consumer — replacing the coarse
+// lock-around-everything discipline with an explicit admission point.
+// The invariants:
+//
+//   * bounded: the queue never holds more than `capacity` requests;
+//   * fast-reject: a post against a full queue fails immediately with a
+//     typed kBackpressure reply — producers never block and requests are
+//     never dropped silently;
+//   * single consumer: only one thread drains (and therefore touches the
+//     broker) at a time; any number of producers may post concurrently
+//     (MPSC, TSan-exercised in tests/rpc/test_service_queue.cpp);
+//   * FIFO per broker: requests execute in post order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rpc/wire.hpp"
+#include "util/annotations.hpp"
+
+namespace qres::rpc {
+
+/// One broker's bounded MPSC request queue.
+class ExecutionQueue {
+ public:
+  explicit ExecutionQueue(std::size_t capacity);
+
+  ExecutionQueue(const ExecutionQueue&) = delete;
+  ExecutionQueue& operator=(const ExecutionQueue&) = delete;
+
+  /// Producer side: enqueues one decoded request, or returns false
+  /// immediately when the queue is full (the caller replies
+  /// kBackpressure). Never blocks.
+  bool try_post(AnyMessage request) QRES_EXCLUDES(mutex_);
+
+  /// Consumer side: removes and returns everything currently queued, in
+  /// post order. The caller is the single consumer.
+  std::vector<AnyMessage> drain() QRES_EXCLUDES(mutex_);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  struct Stats {
+    std::uint64_t posted = 0;    ///< requests accepted
+    std::uint64_t rejected = 0;  ///< fast-rejected (queue full)
+    std::uint64_t drained = 0;   ///< requests handed to the consumer
+    std::size_t depth = 0;       ///< currently queued
+    std::size_t high_water = 0;  ///< max depth ever reached
+  };
+  Stats stats() const QRES_EXCLUDES(mutex_);
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::vector<AnyMessage> items_ QRES_GUARDED_BY(mutex_);
+  Stats stats_ QRES_GUARDED_BY(mutex_);
+};
+
+}  // namespace qres::rpc

@@ -1,0 +1,276 @@
+// Versioned wire format for the broker/proxy control plane (DESIGN.md §12).
+//
+// Every control-plane message — the broker service vocabulary
+// (reserve/release/renew/reconcile/query) and the RSVP signaling trains
+// (Path/Resv/Tear) — has an explicit serialized form: a length-prefixed
+// frame with a fixed little-endian header followed by a typed payload.
+//
+//   offset  size  field
+//        0     4  magic "QRPC"
+//        4     1  wire version (kWireVersion)
+//        5     1  MessageType
+//        6     2  flags (reserved, must be zero)
+//        8     4  payload length in bytes
+//       12     8  FNV-1a 64 checksum of header bytes [0, 12) + payload
+//       20   ...  payload
+//
+// The checksum covers the header prefix (magic through length), not just
+// the payload: a single flipped type byte must fail the checksum rather
+// than silently decode as a different message type whose payload happens
+// to share the same layout.
+//
+// Decoding is strict: truncated frames, bad magic, unknown versions or
+// message types, checksum mismatches, malformed payloads (bad counts,
+// short fields) and trailing bytes are all rejected as *typed* DecodeStatus
+// errors — never UB, never a best-effort partial message. Doubles are
+// serialized as their IEEE-754 bit patterns, so every value (including
+// ±inf) round-trips bit-exactly; this is what lets the typed transport be
+// bit-identical to the legacy implicit exchange (tests/fuzz/rpc_fuzz.cpp).
+//
+// Versioning: kWireVersion is bumped on any layout change; decoders
+// reject frames from other versions (kBadVersion). The golden-bytes tests
+// in tests/rpc/test_wire.cpp pin the exact v1 encoding of every message
+// type so accidental wire breaks fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace qres::rpc {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+/// Upper bound on one frame's payload; larger length fields are rejected
+/// before any allocation is sized from attacker-controlled input.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+/// Upper bound on any repeated field's element count.
+inline constexpr std::uint32_t kMaxVectorEntries = 4096;
+
+enum class MessageType : std::uint8_t {
+  kReserveRequest = 1,
+  kReserveReply = 2,
+  kReleaseRequest = 3,
+  kReleaseReply = 4,
+  kRenewRequest = 5,
+  kRenewReply = 6,
+  kReconcileRequest = 7,
+  kReconcileReply = 8,
+  kQueryRequest = 9,
+  kQueryReply = 10,
+  kPathMsg = 11,
+  kResvMsg = 12,
+  kTearMsg = 13,
+};
+
+/// Application-level outcome carried in every reply.
+enum class RpcCode : std::uint8_t {
+  kOk = 0,
+  kAdmissionReject = 1,    ///< the broker rejected the amount (capacity)
+  kBrokerDown = 2,         ///< the target broker process is down
+  kBackpressure = 3,       ///< service execution queue full (fast-reject)
+  kDeadlineExceeded = 4,   ///< the request's deadline passed before execution
+  kBadRequest = 5,         ///< malformed/out-of-range request fields
+};
+
+/// Why a frame failed to decode. Strictly typed — every corruption mode
+/// maps to exactly one of these, and decode never reads past the buffer.
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,         ///< shorter than the header or the declared payload
+  kBadMagic,          ///< first four bytes are not "QRPC"
+  kBadVersion,        ///< version byte != kWireVersion
+  kBadType,           ///< unknown MessageType
+  kBadLength,         ///< declared payload length exceeds kMaxPayloadBytes
+  kChecksumMismatch,  ///< payload bytes do not match the header checksum
+  kMalformedPayload,  ///< payload fields short, overlong or out of range
+  kTrailingBytes,     ///< bytes left over after the declared payload
+};
+
+const char* to_string(MessageType type) noexcept;
+const char* to_string(RpcCode code) noexcept;
+const char* to_string(DecodeStatus status) noexcept;
+
+/// Fields common to every request: the shim-assigned id (dedup key for
+/// at-least-once redelivery), the session on whose behalf the call runs,
+/// and the absolute deadline propagated from the caller's budget (+inf =
+/// none; the service fast-rejects expired requests as kDeadlineExceeded).
+struct RequestHeader {
+  std::uint64_t request_id = 0;
+  std::uint32_t session = SessionId::kInvalid;
+  double deadline = 0.0;
+
+  friend bool operator==(const RequestHeader&, const RequestHeader&) = default;
+};
+
+struct ReserveRequest {
+  RequestHeader header;
+  std::uint32_t resource = ResourceId::kInvalid;
+  double amount = 0.0;
+  double lease = 0.0;  ///< 0 = permanent reservation
+
+  friend bool operator==(const ReserveRequest&, const ReserveRequest&) =
+      default;
+};
+
+struct ReserveReply {
+  std::uint64_t request_id = 0;
+  RpcCode code = RpcCode::kOk;
+  double available_after = 0.0;
+
+  friend bool operator==(const ReserveReply&, const ReserveReply&) = default;
+};
+
+struct ReleaseRequest {
+  RequestHeader header;
+  std::uint32_t resource = ResourceId::kInvalid;
+  std::uint8_t release_all = 0;  ///< 1 = release everything the session holds
+  double amount = 0.0;           ///< ignored when release_all
+
+  friend bool operator==(const ReleaseRequest&, const ReleaseRequest&) =
+      default;
+};
+
+struct ReleaseReply {
+  std::uint64_t request_id = 0;
+  RpcCode code = RpcCode::kOk;
+  double released = 0.0;
+
+  friend bool operator==(const ReleaseReply&, const ReleaseReply&) = default;
+};
+
+struct RenewRequest {
+  RequestHeader header;
+  std::uint32_t resource = ResourceId::kInvalid;
+  double lease = 0.0;
+
+  friend bool operator==(const RenewRequest&, const RenewRequest&) = default;
+};
+
+struct RenewReply {
+  std::uint64_t request_id = 0;
+  RpcCode code = RpcCode::kOk;
+  std::uint8_t renewed = 0;  ///< renew_lease()'s boolean result
+
+  friend bool operator==(const RenewReply&, const RenewReply&) = default;
+};
+
+struct ReconcileRequest {
+  RequestHeader header;
+  std::uint32_t resource = ResourceId::kInvalid;
+  double claimed = 0.0;
+
+  friend bool operator==(const ReconcileRequest&, const ReconcileRequest&) =
+      default;
+};
+
+struct ReconcileReply {
+  std::uint64_t request_id = 0;
+  RpcCode code = RpcCode::kOk;
+  double held = 0.0;  ///< what the broker actually holds for the session
+
+  friend bool operator==(const ReconcileReply&, const ReconcileReply&) =
+      default;
+};
+
+struct QueryEntry {
+  std::uint32_t resource = ResourceId::kInvalid;
+  double observe_at = 0.0;  ///< observation time (now - staleness)
+
+  friend bool operator==(const QueryEntry&, const QueryEntry&) = default;
+};
+
+struct QueryRequest {
+  RequestHeader header;
+  std::vector<QueryEntry> entries;
+
+  friend bool operator==(const QueryRequest&, const QueryRequest&) = default;
+};
+
+struct QuerySample {
+  std::uint32_t resource = ResourceId::kInvalid;
+  double available = 0.0;
+  double alpha = 1.0;
+  std::uint8_t up = 1;
+
+  friend bool operator==(const QuerySample&, const QuerySample&) = default;
+};
+
+struct QueryReply {
+  std::uint64_t request_id = 0;
+  RpcCode code = RpcCode::kOk;
+  std::vector<QuerySample> samples;
+
+  friend bool operator==(const QueryReply&, const QueryReply&) = default;
+};
+
+/// RSVP Path message: sender template travelling source -> sink along the
+/// route's link ids, pinning per-hop path state.
+struct PathMsg {
+  std::uint64_t request_id = 0;
+  std::uint64_t flow = 0;
+  std::uint32_t from_host = HostId::kInvalid;
+  std::uint32_t to_host = HostId::kInvalid;
+  double rate = 0.0;
+  std::vector<std::uint32_t> route;  ///< link id values, source to sink
+
+  friend bool operator==(const PathMsg&, const PathMsg&) = default;
+};
+
+/// RSVP Resv message: reservation request travelling sink -> source.
+struct ResvMsg {
+  std::uint64_t request_id = 0;
+  std::uint64_t flow = 0;
+  double rate = 0.0;
+  std::vector<std::uint32_t> route;
+
+  friend bool operator==(const ResvMsg&, const ResvMsg&) = default;
+};
+
+/// RSVP Tear message: explicit teardown of a flow's path/resv state.
+struct TearMsg {
+  std::uint64_t request_id = 0;
+  std::uint64_t flow = 0;
+  std::vector<std::uint32_t> route;
+
+  friend bool operator==(const TearMsg&, const TearMsg&) = default;
+};
+
+using AnyMessage =
+    std::variant<ReserveRequest, ReserveReply, ReleaseRequest, ReleaseReply,
+                 RenewRequest, RenewReply, ReconcileRequest, ReconcileReply,
+                 QueryRequest, QueryReply, PathMsg, ResvMsg, TearMsg>;
+
+/// The message's wire type tag.
+MessageType message_type(const AnyMessage& message) noexcept;
+
+/// The request id of any message (requests carry it in their header,
+/// replies and signaling messages inline).
+std::uint64_t request_id_of(const AnyMessage& message) noexcept;
+
+/// True for the five *Request types the broker service executes.
+bool is_request(MessageType type) noexcept;
+
+/// Serializes `message` into one framed buffer (header + payload).
+std::vector<std::uint8_t> encode(const AnyMessage& message);
+
+/// Result of a strict decode. `message` is meaningful only when
+/// status == kOk.
+struct Decoded {
+  DecodeStatus status = DecodeStatus::kOk;
+  AnyMessage message;
+
+  bool ok() const noexcept { return status == DecodeStatus::kOk; }
+};
+
+/// Strictly decodes one frame. Never reads out of bounds, never throws on
+/// malformed input: every failure is a typed DecodeStatus.
+Decoded decode_frame(const std::vector<std::uint8_t>& frame);
+
+/// FNV-1a 64-bit over a byte range (the frame checksum).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept;
+
+}  // namespace qres::rpc

@@ -161,8 +161,13 @@ FaultPlane::MessagePlan FaultPlane::plan_message(std::optional<LinkId> link,
       return plan;
     }
     plan.failure = why;
-    plan.at = attempt_time + timeout;  // give-up time if this was the last
-    attempt_time += timeout;
+    // A positive jitter stretches this wait by U(1, 1 + jitter); zero
+    // jitter draws nothing (zero-fault equivalence contract).
+    double wait = timeout;
+    if (policy.jitter > 0.0)
+      wait *= 1.0 + rng_.uniform(0.0, policy.jitter);
+    plan.at = attempt_time + wait;  // give-up time if this was the last
+    attempt_time += wait;
     timeout = std::min(timeout * policy.backoff, policy.max_timeout);
   }
   ++totals_.failed_messages;
@@ -175,26 +180,100 @@ void FaultPlane::set_rpc_policy(const RetryPolicy& policy) {
   rpc_policy_ = policy;
 }
 
-int FaultPlane::exchange(HostId from, HostId to, double now) {
+ExchangeResult FaultPlane::exchange(HostId from, HostId to, double now) {
   return try_message(from, to, now, rpc_policy_);
+}
+
+ExchangeResult FaultPlane::exchange_budgeted(HostId from, HostId to,
+                                             double now,
+                                             const RetryPolicy& policy) {
+  return try_message(from, to, now, policy);
 }
 
 bool FaultPlane::reachable(HostId host, double t) const {
   return host_up(host, t);
 }
 
-int FaultPlane::try_message(HostId from, HostId to, double now,
-                            const RetryPolicy& policy) {
+ExchangeResult FaultPlane::try_message(HostId from, HostId to, double now,
+                                       const RetryPolicy& policy) {
   QRES_REQUIRE(policy.max_attempts >= 1,
                "FaultPlane: malformed retry policy");
   ++totals_.messages;
   const FaultConfig& config = config_for(std::nullopt);
-  for (int k = 0; k < policy.max_attempts; ++k) {
-    DeliveryFailure why = DeliveryFailure::kDropped;
-    if (attempt(config, std::nullopt, from, to, now, &why)) return k + 1;
-  }
+  DeliveryFailure why = DeliveryFailure::kDropped;
+  for (int k = 0; k < policy.max_attempts; ++k)
+    if (attempt(config, std::nullopt, from, to, now, &why))
+      return {ExchangeStatus::kOk, k + 1};
   ++totals_.failed_messages;
-  return 0;
+  // The last attempt's failure cause types the whole exchange: scripted
+  // windows mean the peer (or its link) was down; pure random loss is a
+  // silent timeout.
+  const ExchangeStatus status = why == DeliveryFailure::kDropped
+                                    ? ExchangeStatus::kTimeout
+                                    : ExchangeStatus::kPeerDown;
+  return {status, policy.max_attempts};
+}
+
+void FaultPlane::set_frame_config(const rpc::FrameFaultConfig& config) {
+  QRES_REQUIRE(config.corrupt_prob >= 0.0 && config.corrupt_prob <= 1.0 &&
+                   config.duplicate_prob >= 0.0 &&
+                   config.duplicate_prob <= 1.0 &&
+                   config.reorder_prob >= 0.0 && config.reorder_prob <= 1.0,
+               "FaultPlane: frame probabilities must be in [0, 1]");
+  frame_config_ = config;
+}
+
+void FaultPlane::transmit_frame(
+    const std::vector<std::uint8_t>& frame,
+    std::vector<std::vector<std::uint8_t>>* delivered) {
+  QRES_REQUIRE(delivered != nullptr, "FaultPlane: null delivery sink");
+  ++frame_totals_.frames;
+  // Fixed per-frame draw order: reorder gate, corrupt gate, corrupt
+  // index, corrupt mask, duplicate gate. Zero probabilities draw nothing.
+  const bool hold = frame_config_.reorder_prob > 0.0 &&
+                    rng_.bernoulli(frame_config_.reorder_prob);
+  std::vector<std::uint8_t> working = frame;
+  if (frame_config_.corrupt_prob > 0.0 && !working.empty() &&
+      rng_.bernoulli(frame_config_.corrupt_prob)) {
+    const std::size_t index = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(working.size()) - 1));
+    const auto mask = static_cast<std::uint8_t>(rng_.uniform_int(1, 255));
+    working[index] ^= mask;
+    ++frame_totals_.corrupted;
+  }
+  const bool duplicate = frame_config_.duplicate_prob > 0.0 &&
+                         rng_.bernoulli(frame_config_.duplicate_prob);
+  if (hold) {
+    // The frame is held back one slot; a previously held frame finally
+    // goes out now. A duplicate copy still escapes ahead of the held
+    // original (retransmission racing past it), which is exactly the
+    // interleaving the at-least-once dedup has to survive.
+    ++frame_totals_.held_back;
+    if (held_frame_) delivered->push_back(std::move(*held_frame_));
+    if (duplicate) {
+      delivered->push_back(working);
+      ++frame_totals_.duplicated;
+    }
+    held_frame_ = std::move(working);
+    return;
+  }
+  delivered->push_back(working);
+  if (duplicate) {
+    delivered->push_back(working);
+    ++frame_totals_.duplicated;
+  }
+  if (held_frame_) {  // the held frame arrives late, after this one
+    delivered->push_back(std::move(*held_frame_));
+    held_frame_.reset();
+  }
+}
+
+void FaultPlane::flush_frames(
+    std::vector<std::vector<std::uint8_t>>* delivered) {
+  QRES_REQUIRE(delivered != nullptr, "FaultPlane: null delivery sink");
+  if (!held_frame_) return;
+  delivered->push_back(std::move(*held_frame_));
+  held_frame_.reset();
 }
 
 }  // namespace qres

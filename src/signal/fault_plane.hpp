@@ -16,15 +16,21 @@
 //     whole retransmission train is computed eagerly (attempt times are
 //     known in advance and window schedules are scripted), so one logical
 //     message costs one scheduled event regardless of how many
-//     retransmissions it needed.
+//     retransmissions it needed;
+//   * frame-level faults for the typed RPC control plane (rpc::wire
+//     frames): payload corruption (one flipped byte), frame duplication
+//     and hold-back reordering, via the rpc::IFrameFaults hook the
+//     RpcChannel routes every serialized frame through.
 //
 // Determinism: the plane draws from its own xoshiro stream in a fixed
 // per-attempt order (drop, delay gate, delay value, duplicate gate,
-// duplicate offset), and skips every draw whose probability is zero. A
-// plane with all probabilities zero and no scripted windows therefore
-// draws nothing and delivers every message after exactly its nominal
-// latency — protocols behave identically to running without a plane
-// (differential-tested in tests/fuzz/fault_fuzz.cpp).
+// duplicate offset, backoff jitter) and a fixed per-frame order (reorder
+// gate, corrupt gate, corrupt index, corrupt mask, duplicate gate), and
+// skips every draw whose probability is zero. A plane with all
+// probabilities zero and no scripted windows therefore draws nothing and
+// delivers every message after exactly its nominal latency — protocols
+// behave identically to running without a plane (differential-tested in
+// tests/fuzz/fault_fuzz.cpp and tests/fuzz/rpc_fuzz.cpp).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,7 @@
 #include "core/ids.hpp"
 #include "core/transport.hpp"
 #include "core/event_queue.hpp"
+#include "rpc/frame.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
@@ -51,14 +58,8 @@ struct FaultConfig {
   }
 };
 
-/// Retransmission policy for reliable sends: the k-th retransmission
-/// waits min(timeout * backoff^k, max_timeout) after the previous attempt.
-struct RetryPolicy {
-  double timeout = 0.5;      ///< timeout before the first retransmission
-  double backoff = 2.0;      ///< multiplier per further retransmission
-  double max_timeout = 4.0;  ///< cap on the per-attempt timeout
-  int max_attempts = 4;      ///< total transmissions before giving up
-};
+// RetryPolicy lives in core/transport.hpp (shared with the RPC shim's
+// deadline-budget truncation).
 
 /// Why a (reliable) message ultimately failed to get through.
 enum class DeliveryFailure : std::uint8_t {
@@ -67,7 +68,7 @@ enum class DeliveryFailure : std::uint8_t {
   kHostDown,  ///< an endpoint host was inside a scripted crash window
 };
 
-class FaultPlane : public IControlTransport {
+class FaultPlane : public IControlTransport, public rpc::IFrameFaults {
  public:
   /// The plane schedules deliveries on `queue` and draws every random
   /// decision from a stream seeded with `seed`.
@@ -132,10 +133,11 @@ class FaultPlane : public IControlTransport {
   /// Synchronous fate of one logical message between two hosts for the
   /// RPC-style protocols that complete within one simulation instant
   /// (SessionCoordinator / DistributedSession rounds): every attempt is
-  /// evaluated at `now`. Returns the number of transmissions used when it
-  /// got through, 0 when the retry budget was exhausted.
-  int try_message(HostId from, HostId to, double now,
-                  const RetryPolicy& policy);
+  /// evaluated at `now`. kTimeout when the retry budget drowned in random
+  /// drops, kPeerDown when the last attempt hit a scripted host or link
+  /// window.
+  ExchangeResult try_message(HostId from, HostId to, double now,
+                             const RetryPolicy& policy);
 
   /// Retry policy used by the IControlTransport implementation (the
   /// coordination-protocol RPC rounds).
@@ -143,8 +145,21 @@ class FaultPlane : public IControlTransport {
 
   // IControlTransport — lets the proxy-layer protocols cross the plane
   // without qres_proxy depending on qres_sim.
-  int exchange(HostId from, HostId to, double now) override;
+  ExchangeResult exchange(HostId from, HostId to, double now) override;
+  ExchangeResult exchange_budgeted(HostId from, HostId to, double now,
+                                   const RetryPolicy& policy) override;
   bool reachable(HostId host, double t) const override;
+
+  /// Frame-level fault distribution for the typed RPC control plane.
+  void set_frame_config(const rpc::FrameFaultConfig& config);
+
+  // rpc::IFrameFaults — seeded corruption / duplication / hold-back
+  // reordering of serialized rpc::wire frames.
+  void transmit_frame(const std::vector<std::uint8_t>& frame,
+                      std::vector<std::vector<std::uint8_t>>* delivered)
+      override;
+  void flush_frames(
+      std::vector<std::vector<std::uint8_t>>* delivered) override;
 
   /// Running totals, for benches and fuzz statistics.
   struct Totals {
@@ -155,6 +170,15 @@ class FaultPlane : public IControlTransport {
     std::uint64_t failed_messages = 0;  ///< logical messages never through
   };
   const Totals& totals() const noexcept { return totals_; }
+
+  /// Running frame-level totals (typed RPC control plane).
+  struct FrameTotals {
+    std::uint64_t frames = 0;     ///< frames transmitted
+    std::uint64_t corrupted = 0;  ///< frames with a flipped byte
+    std::uint64_t duplicated = 0; ///< extra frame copies delivered
+    std::uint64_t held_back = 0;  ///< frames held for reordering
+  };
+  const FrameTotals& frame_totals() const noexcept { return frame_totals_; }
 
   EventQueue* queue() const noexcept { return queue_; }
 
@@ -175,11 +199,14 @@ class FaultPlane : public IControlTransport {
   Rng rng_;
   RetryPolicy rpc_policy_;
   FaultConfig default_config_;
+  rpc::FrameFaultConfig frame_config_;
   FlatMap<LinkId, FaultConfig> link_configs_;
   std::vector<Window> host_windows_;
   std::vector<Window> link_windows_;
   std::vector<Window> broker_windows_;
+  std::optional<std::vector<std::uint8_t>> held_frame_;
   Totals totals_;
+  FrameTotals frame_totals_;
 };
 
 }  // namespace qres

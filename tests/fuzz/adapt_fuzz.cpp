@@ -203,7 +203,7 @@ struct FloorCheckTransport final : public IControlTransport {
   std::vector<std::string>* violations = nullptr;
   std::uint64_t checks = 0;
 
-  int exchange(HostId from, HostId to, double now) override {
+  ExchangeResult exchange(HostId from, HostId to, double now) override {
     audit_floors(now);
     return inner->exchange(from, to, now);
   }

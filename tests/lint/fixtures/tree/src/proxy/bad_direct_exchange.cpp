@@ -1,0 +1,6 @@
+// Fixture: rpc-direct-exchange (seeded violation on line 4).
+namespace qres {
+void relay(IControlTransport* transport, HostId from, HostId to, double now) {
+  transport->exchange(from, to, now);
+}
+}  // namespace qres

@@ -43,6 +43,7 @@ const char* const kRuleIds[] = {
     "concurrency-raw-mutex",
     "concurrency-unannotated-mutex",
     "layering-upward-include",
+    "rpc-direct-exchange",
     "contracts-missing-guard",
     "contracts-assert-side-effect",
     "hygiene-using-namespace-header",
@@ -74,6 +75,9 @@ TEST(QresLint, FixtureTreeFiresEveryRuleAtItsSeededLine) {
       "src/core/bad_assert_side_effect.cpp:6 contracts-assert-side-effect "
       "assertion argument mutates state (++/--/assignment); assertions must "
       "be side-effect free\n"
+      "src/proxy/bad_direct_exchange.cpp:4 rpc-direct-exchange direct "
+      "IControlTransport::exchange call outside the RPC shim; route "
+      "control-plane traffic through rpc::RpcChannel\n"
       "src/sim/bad_libc_rand.cpp:4 determinism-libc-rand libc random "
       "generator breaks bit-determinism; use qres::Rng\n"
       "src/sim/bad_missing_pragma.hpp:1 hygiene-missing-pragma-once header "

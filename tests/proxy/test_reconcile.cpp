@@ -29,9 +29,10 @@ const SessionId s1{1}, s2{2}, s9{9};
 struct StubTransport final : IControlTransport {
   int result = 1;  // transmissions used; 0 = exchange failed
   int calls = 0;
-  int exchange(HostId, HostId, double) override {
+  ExchangeResult exchange(HostId, HostId, double) override {
     ++calls;
-    return result;
+    if (result == 0) return {ExchangeStatus::kTimeout, 0};
+    return {ExchangeStatus::kOk, result};
   }
   bool reachable(HostId, double) const override { return true; }
 };

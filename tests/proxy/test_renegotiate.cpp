@@ -181,11 +181,11 @@ struct ScriptedTransport final : public IControlTransport {
   std::function<bool(HostId, HostId)> deny;
   int calls = 0;
 
-  int exchange(HostId from, HostId to, double /*now*/) override {
+  ExchangeResult exchange(HostId from, HostId to, double /*now*/) override {
     ++calls;
-    if (down.count(to.value()) > 0) return 0;
-    if (deny && deny(from, to)) return 0;
-    return 1;
+    if (down.count(to.value()) > 0) return {ExchangeStatus::kPeerDown, 0};
+    if (deny && deny(from, to)) return {ExchangeStatus::kTimeout, 0};
+    return {ExchangeStatus::kOk, 1};
   }
   bool reachable(HostId host, double /*t*/) const override {
     return down.count(host.value()) == 0;

@@ -1,0 +1,278 @@
+// BrokerService tests: at-least-once dedup semantics (executed ops cached,
+// fast-rejects deliberately not), deadline enforcement at ingress AND at
+// drain, typed backpressure from the bounded queues, the query fast path,
+// and bad-request rejection of unknown resources / malformed amounts.
+#include "rpc/broker_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "broker/registry.hpp"
+#include "util/assert.hpp"
+
+namespace qres::rpc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ServiceFixture {
+  BrokerRegistry registry;
+  ResourceId cpu;
+
+  explicit ServiceFixture(double capacity = 100.0) {
+    cpu = registry.add_resource("cpu", ResourceKind::kCpu, HostId{1},
+                                capacity);
+  }
+};
+
+/// Sends one request and returns its single decoded reply.
+AnyMessage roundtrip(BrokerService& service, const AnyMessage& request,
+                     double now) {
+  std::vector<std::vector<std::uint8_t>> replies;
+  service.handle_frame(encode(request), now, &replies);
+  EXPECT_EQ(replies.size(), 1u);
+  const Decoded decoded = decode_frame(replies.at(0));
+  EXPECT_TRUE(decoded.ok());
+  return decoded.message;
+}
+
+TEST(BrokerService, Contracts) {
+  EXPECT_THROW(BrokerService(nullptr), ContractViolation);
+  ServiceFixture fx;
+  BrokerService::Config config;
+  config.queue_capacity = 0;
+  EXPECT_THROW(BrokerService(&fx.registry, config), ContractViolation);
+}
+
+TEST(BrokerService, ExecutesTheBrokerVocabulary) {
+  ServiceFixture fx;
+  BrokerService service(&fx.registry);
+
+  auto reserve = std::get<ReserveReply>(roundtrip(
+      service, ReserveRequest{{1, 7, kInf}, fx.cpu.value(), 30.0, 0.0}, 1.0));
+  EXPECT_EQ(reserve.code, RpcCode::kOk);
+  EXPECT_EQ(reserve.available_after, 70.0);
+
+  // Over capacity: a typed admission reject, not an error.
+  auto rejected = std::get<ReserveReply>(roundtrip(
+      service, ReserveRequest{{2, 7, kInf}, fx.cpu.value(), 80.0, 0.0}, 1.0));
+  EXPECT_EQ(rejected.code, RpcCode::kAdmissionReject);
+
+  auto reconcile = std::get<ReconcileReply>(roundtrip(
+      service, ReconcileRequest{{3, 7, kInf}, fx.cpu.value(), 30.0}, 2.0));
+  EXPECT_EQ(reconcile.code, RpcCode::kOk);
+  EXPECT_EQ(reconcile.held, 30.0);
+
+  // Partial release reports what actually came back (min(held, amount)).
+  auto release = std::get<ReleaseReply>(roundtrip(
+      service, ReleaseRequest{{4, 7, kInf}, fx.cpu.value(), 0, 50.0}, 3.0));
+  EXPECT_EQ(release.code, RpcCode::kOk);
+  EXPECT_EQ(release.released, 30.0);
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 0.0);
+
+  // Renewing a lease the session does not hold reports renewed == 0.
+  auto renew = std::get<RenewReply>(roundtrip(
+      service, RenewRequest{{5, 7, kInf}, fx.cpu.value(), 10.0}, 4.0));
+  EXPECT_EQ(renew.code, RpcCode::kOk);
+  EXPECT_EQ(renew.renewed, 0);
+
+  EXPECT_EQ(service.stats().executed, 5u);
+}
+
+TEST(BrokerService, DedupCachesExecutedOperationsOnly) {
+  ServiceFixture fx;
+  BrokerService service(&fx.registry);
+
+  const ReserveRequest request{{9, 7, kInf}, fx.cpu.value(), 30.0, 0.0};
+  const auto first = std::get<ReserveReply>(roundtrip(service, request, 1.0));
+  EXPECT_EQ(first.code, RpcCode::kOk);
+  // Redelivery of the same request id returns the ORIGINAL reply and does
+  // not execute again — the broker holds 30, not 60.
+  const auto replayed =
+      std::get<ReserveReply>(roundtrip(service, request, 2.0));
+  EXPECT_TRUE(replayed == first);
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 30.0);
+  EXPECT_EQ(service.stats().executed, 1u);
+  EXPECT_EQ(service.stats().duplicates, 1u);
+
+  // Admission rejects ARE executions and are cached too.
+  const ReserveRequest big{{10, 8, kInf}, fx.cpu.value(), 500.0, 0.0};
+  EXPECT_EQ(std::get<ReserveReply>(roundtrip(service, big, 3.0)).code,
+            RpcCode::kAdmissionReject);
+  EXPECT_EQ(std::get<ReserveReply>(roundtrip(service, big, 3.0)).code,
+            RpcCode::kAdmissionReject);
+  EXPECT_EQ(service.stats().duplicates, 2u);
+}
+
+TEST(BrokerService, DedupCacheIsBoundedFifo) {
+  ServiceFixture fx;
+  BrokerService::Config config;
+  config.dedup_capacity = 2;
+  BrokerService service(&fx.registry, config);
+
+  for (std::uint64_t id = 1; id <= 3; ++id)
+    roundtrip(service,
+              ReconcileRequest{{id, 7, kInf}, fx.cpu.value(), 0.0}, 1.0);
+  // Id 1 was evicted (capacity 2), so its redelivery executes again;
+  // id 3 is still cached.
+  roundtrip(service, ReconcileRequest{{1, 7, kInf}, fx.cpu.value(), 0.0},
+            2.0);
+  EXPECT_EQ(service.stats().duplicates, 0u);
+  roundtrip(service, ReconcileRequest{{3, 7, kInf}, fx.cpu.value(), 0.0},
+            2.0);
+  EXPECT_EQ(service.stats().duplicates, 1u);
+}
+
+TEST(BrokerService, DeadlineEnforcedAtIngressAndAtDrain) {
+  ServiceFixture fx;
+  BrokerService::Config config;
+  config.auto_drain = false;
+  BrokerService service(&fx.registry, config);
+
+  // Already expired at ingress: typed fast-reject, never queued.
+  auto expired = std::get<ReserveReply>(roundtrip(
+      service, ReserveRequest{{1, 7, 2.0}, fx.cpu.value(), 10.0, 0.0}, 3.0));
+  EXPECT_EQ(expired.code, RpcCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().deadline_expired, 1u);
+
+  // Accepted while in budget, but the deadline passes before the drain:
+  // answered kDeadlineExceeded instead of executed late.
+  std::vector<std::vector<std::uint8_t>> replies;
+  service.handle_frame(
+      encode(ReserveRequest{{2, 7, 5.0}, fx.cpu.value(), 10.0, 0.0}), 4.0,
+      &replies);
+  EXPECT_TRUE(replies.empty());  // queued, no reply yet
+  service.drain_all(6.0, &replies);
+  ASSERT_EQ(replies.size(), 1u);
+  const Decoded decoded = decode_frame(replies.at(0));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<ReserveReply>(decoded.message).code,
+            RpcCode::kDeadlineExceeded);
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 0.0);
+  EXPECT_EQ(service.stats().deadline_expired, 2u);
+
+  // Deadline fast-rejects are not cached: the ids remain replayable.
+  EXPECT_EQ(service.stats().duplicates, 0u);
+}
+
+TEST(BrokerService, FullQueueFastRejectsWithTypedBackpressure) {
+  ServiceFixture fx;
+  BrokerService::Config config;
+  config.queue_capacity = 2;
+  config.auto_drain = false;
+  BrokerService service(&fx.registry, config);
+
+  std::vector<std::vector<std::uint8_t>> replies;
+  for (std::uint64_t id = 1; id <= 2; ++id)
+    service.handle_frame(
+        encode(ReserveRequest{{id, 7, kInf}, fx.cpu.value(), 10.0, 0.0}),
+        1.0, &replies);
+  EXPECT_TRUE(replies.empty());  // both queued
+
+  // Third post overflows: immediate typed reply, nothing queued.
+  auto pushed_back = std::get<ReserveReply>(roundtrip(
+      service, ReserveRequest{{3, 7, kInf}, fx.cpu.value(), 10.0, 0.0}, 1.0));
+  EXPECT_EQ(pushed_back.code, RpcCode::kBackpressure);
+  EXPECT_EQ(service.stats().backpressure, 1u);
+  EXPECT_EQ(service.max_queue_high_water(), 2u);
+
+  // Backpressure is not cached: after the drain the same id is accepted
+  // and executes for real on the next drain.
+  service.drain_all(2.0, &replies);
+  EXPECT_EQ(replies.size(), 2u);
+  std::vector<std::vector<std::uint8_t>> retried_replies;
+  service.handle_frame(
+      encode(ReserveRequest{{3, 7, kInf}, fx.cpu.value(), 10.0, 0.0}), 3.0,
+      &retried_replies);
+  EXPECT_TRUE(retried_replies.empty());  // queued this time, not rejected
+  service.drain_all(3.0, &retried_replies);
+  ASSERT_EQ(retried_replies.size(), 1u);
+  const Decoded retried = decode_frame(retried_replies.at(0));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(std::get<ReserveReply>(retried.message).code, RpcCode::kOk);
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 30.0);
+  EXPECT_EQ(service.stats().duplicates, 0u);
+}
+
+TEST(BrokerService, QueryBypassesTheExecutionQueues) {
+  ServiceFixture fx;
+  BrokerService::Config config;
+  config.queue_capacity = 1;
+  config.auto_drain = false;
+  BrokerService service(&fx.registry, config);
+
+  // Fill the cpu broker's queue.
+  std::vector<std::vector<std::uint8_t>> replies;
+  service.handle_frame(
+      encode(ReserveRequest{{1, 7, kInf}, fx.cpu.value(), 10.0, 0.0}), 1.0,
+      &replies);
+
+  // A query is served immediately anyway — it never touches the queues.
+  auto reply = std::get<QueryReply>(roundtrip(
+      service, QueryRequest{{2, 7, kInf}, {{fx.cpu.value(), 1.0}}}, 1.0));
+  EXPECT_EQ(reply.code, RpcCode::kOk);
+  ASSERT_EQ(reply.samples.size(), 1u);
+  EXPECT_EQ(reply.samples.at(0).up, 1);
+  EXPECT_EQ(reply.samples.at(0).available, 100.0);  // queue not executed yet
+}
+
+TEST(BrokerService, RejectsBadRequests) {
+  ServiceFixture fx;
+  BrokerService service(&fx.registry);
+
+  // Unknown resource id.
+  auto unknown = std::get<ReserveReply>(roundtrip(
+      service, ReserveRequest{{1, 7, kInf}, 42, 10.0, 0.0}, 1.0));
+  EXPECT_EQ(unknown.code, RpcCode::kBadRequest);
+
+  // Negative and non-finite amounts.
+  auto negative = std::get<ReserveReply>(roundtrip(
+      service, ReserveRequest{{2, 7, kInf}, fx.cpu.value(), -1.0, 0.0}, 1.0));
+  EXPECT_EQ(negative.code, RpcCode::kBadRequest);
+  auto infinite = std::get<ReleaseReply>(roundtrip(
+      service, ReleaseRequest{{3, 7, kInf}, fx.cpu.value(), 0, kInf}, 1.0));
+  EXPECT_EQ(infinite.code, RpcCode::kBadRequest);
+  EXPECT_EQ(service.stats().bad_requests, 3u);
+  EXPECT_EQ(service.stats().executed, 0u);
+}
+
+TEST(BrokerService, IgnoresUndecodableAndNonRequestFrames) {
+  ServiceFixture fx;
+  BrokerService service(&fx.registry);
+
+  // A corrupted frame produces no reply (the client's retry loop covers
+  // it); a well-formed reply frame is counted and dropped.
+  std::vector<std::vector<std::uint8_t>> replies;
+  std::vector<std::uint8_t> corrupt =
+      encode(ReserveRequest{{1, 7, kInf}, fx.cpu.value(), 10.0, 0.0});
+  corrupt[kHeaderSize] ^= 0xff;
+  service.handle_frame(corrupt, 1.0, &replies);
+  service.handle_frame(encode(ReserveReply{1, RpcCode::kOk, 0.0}), 1.0,
+                       &replies);
+  EXPECT_TRUE(replies.empty());
+  EXPECT_EQ(service.stats().decode_rejects, 1u);
+  EXPECT_EQ(service.stats().non_requests, 1u);
+  EXPECT_EQ(service.stats().executed, 0u);
+}
+
+TEST(BrokerService, ReportsDownBrokersTyped) {
+  ServiceFixture fx;
+  BrokerService service(&fx.registry);
+  fx.registry.leaf(fx.cpu)->crash(1.0);
+
+  auto reply = std::get<ReserveReply>(roundtrip(
+      service, ReserveRequest{{1, 7, kInf}, fx.cpu.value(), 10.0, 0.0}, 2.0));
+  EXPECT_EQ(reply.code, RpcCode::kBrokerDown);
+
+  // Queries report the outage per sample instead of failing the sweep.
+  auto query = std::get<QueryReply>(roundtrip(
+      service, QueryRequest{{2, 7, kInf}, {{fx.cpu.value(), 2.0}}}, 2.0));
+  EXPECT_EQ(query.code, RpcCode::kOk);
+  ASSERT_EQ(query.samples.size(), 1u);
+  EXPECT_EQ(query.samples.at(0).up, 0);
+  EXPECT_EQ(query.samples.at(0).available, 0.0);
+}
+
+}  // namespace
+}  // namespace qres::rpc

@@ -1,0 +1,237 @@
+// RpcChannel tests: per-peer circuit breaker state machine (trip,
+// fast-fail, half-open probe, capped cooldown backoff), deadline
+// propagation and budget truncation, request-id stamping, and the typed
+// call path end-to-end against a real BrokerService.
+#include "rpc/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/registry.hpp"
+#include "rpc/broker_service.hpp"
+#include "util/assert.hpp"
+
+namespace qres::rpc {
+namespace {
+
+/// Scripted transport: fails every exchange until `healthy` flips, and
+/// records how it was driven.
+struct FakeTransport : IControlTransport {
+  bool healthy = false;
+  int exchanges = 0;
+  int budgeted = 0;
+  RetryPolicy last_policy;
+
+  ExchangeResult exchange(HostId, HostId, double) override {
+    ++exchanges;
+    return healthy ? ExchangeResult{ExchangeStatus::kOk, 1}
+                   : ExchangeResult{ExchangeStatus::kTimeout, 3};
+  }
+  ExchangeResult exchange_budgeted(HostId, HostId, double,
+                                   const RetryPolicy& policy) override {
+    ++budgeted;
+    last_policy = policy;
+    return healthy
+               ? ExchangeResult{ExchangeStatus::kOk, 1}
+               : ExchangeResult{ExchangeStatus::kTimeout, policy.max_attempts};
+  }
+  bool reachable(HostId, double) const override { return true; }
+};
+
+RpcChannel::Config breaker_config(int threshold) {
+  RpcChannel::Config config;
+  config.breaker.failure_threshold = threshold;
+  config.breaker.cooldown = 2.0;
+  config.breaker.cooldown_backoff = 2.0;
+  config.breaker.max_cooldown = 5.0;
+  return config;
+}
+
+TEST(RpcChannel, Contracts) {
+  RpcChannel::Config bad;
+  bad.policy.max_attempts = 0;
+  EXPECT_THROW(RpcChannel(nullptr, nullptr, nullptr, bad), ContractViolation);
+  bad = RpcChannel::Config{};
+  bad.breaker.cooldown = 0.0;
+  EXPECT_THROW(RpcChannel(nullptr, nullptr, nullptr, bad), ContractViolation);
+  RpcChannel no_server(nullptr, nullptr, nullptr);
+  EXPECT_THROW(
+      no_server.call(HostId{0}, HostId{1},
+                     ReserveRequest{{0, 1, 0.0}, 0, 1.0, 0.0}, 0.0),
+      ContractViolation);
+}
+
+TEST(RpcChannel, BreakerDisabledByDefaultNeverOpens) {
+  FakeTransport transport;
+  RpcChannel channel(&transport, nullptr, nullptr);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(channel.ping(HostId{0}, HostId{1}, 1.0).status,
+              ExchangeStatus::kTimeout);
+  // Every call reached the transport; none was fast-failed.
+  EXPECT_EQ(transport.exchanges, 10);
+  EXPECT_EQ(channel.breaker_state(HostId{1}, 1.0), BreakerState::kClosed);
+  EXPECT_EQ(channel.peer_stats().at(HostId{1}).breaker_fast_fails, 0u);
+}
+
+TEST(RpcChannel, BreakerTripsFastFailsAndRecloses) {
+  FakeTransport transport;
+  RpcChannel channel(&transport, nullptr, nullptr, breaker_config(2));
+  const HostId peer{1};
+
+  // Two consecutive failures trip the breaker.
+  channel.ping(HostId{0}, peer, 0.0);
+  EXPECT_EQ(channel.breaker_state(peer, 0.0), BreakerState::kClosed);
+  channel.ping(HostId{0}, peer, 0.0);
+  EXPECT_EQ(channel.breaker_state(peer, 0.0), BreakerState::kOpen);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_trips, 1u);
+
+  // While open: fast-fail with zero transmissions, no transport touch.
+  const int before = transport.exchanges;
+  const ExchangeResult refused = channel.ping(HostId{0}, peer, 1.0);
+  EXPECT_EQ(refused.status, ExchangeStatus::kTimeout);
+  EXPECT_EQ(refused.transmissions, 0);
+  EXPECT_EQ(transport.exchanges, before);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_fast_fails, 1u);
+
+  // Past the cooldown the breaker is half-open and the next call probes.
+  EXPECT_EQ(channel.breaker_state(peer, 2.5), BreakerState::kHalfOpen);
+  transport.healthy = true;
+  EXPECT_TRUE(channel.ping(HostId{0}, peer, 2.5).ok());
+  EXPECT_EQ(channel.breaker_state(peer, 2.5), BreakerState::kClosed);
+}
+
+TEST(RpcChannel, FailedProbeBacksOffWithCappedCooldown) {
+  FakeTransport transport;
+  RpcChannel channel(&transport, nullptr, nullptr, breaker_config(1));
+  const HostId peer{1};
+
+  channel.ping(HostId{0}, peer, 0.0);  // trips immediately (threshold 1)
+  EXPECT_EQ(channel.breaker_state(peer, 0.0), BreakerState::kOpen);
+
+  // Failed half-open probe at t=2: cooldown doubles to 4 (open until 6).
+  channel.ping(HostId{0}, peer, 2.0);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_trips, 2u);
+  EXPECT_EQ(channel.breaker_state(peer, 5.9), BreakerState::kOpen);
+  EXPECT_EQ(channel.breaker_state(peer, 6.0), BreakerState::kHalfOpen);
+
+  // Another failed probe at t=6: cooldown would be 8, capped at 5.
+  channel.ping(HostId{0}, peer, 6.0);
+  EXPECT_EQ(channel.breaker_state(peer, 10.9), BreakerState::kOpen);
+  EXPECT_EQ(channel.breaker_state(peer, 11.0), BreakerState::kHalfOpen);
+}
+
+TEST(RpcChannel, SpentDeadlineFastFailsWithoutTransport) {
+  FakeTransport transport;
+  transport.healthy = true;
+  RpcChannel channel(&transport, nullptr, nullptr);
+  const ExchangeResult r = channel.ping(HostId{0}, HostId{1}, 5.0, 4.0);
+  EXPECT_EQ(r.status, ExchangeStatus::kDeadlineExceeded);
+  EXPECT_EQ(r.transmissions, 0);
+  EXPECT_EQ(transport.exchanges + transport.budgeted, 0);
+  EXPECT_EQ(channel.peer_stats().at(HostId{1}).deadline_exceeded, 1u);
+}
+
+TEST(RpcChannel, InfiniteDeadlineUsesTheTransportsOwnPolicy) {
+  FakeTransport transport;
+  transport.healthy = true;
+  RpcChannel channel(&transport, nullptr, nullptr);
+  EXPECT_TRUE(channel.ping(HostId{0}, HostId{1}, 0.0).ok());
+  // No deadline: the plain exchange() path, never exchange_budgeted().
+  EXPECT_EQ(transport.exchanges, 1);
+  EXPECT_EQ(transport.budgeted, 0);
+}
+
+TEST(RpcChannel, FiniteDeadlineTruncatesTheRetryBudget) {
+  FakeTransport transport;
+  RpcChannel::Config config;
+  config.policy.timeout = 1.0;
+  config.policy.backoff = 2.0;
+  config.policy.max_timeout = 4.0;
+  config.policy.max_attempts = 4;
+  RpcChannel channel(&transport, nullptr, nullptr, config);
+
+  // Budget 1.5: only the first wait (1.0) fits, so 2 attempts remain.
+  const ExchangeResult r = channel.ping(HostId{0}, HostId{1}, 10.0, 11.5);
+  EXPECT_EQ(transport.budgeted, 1);
+  EXPECT_EQ(transport.last_policy.max_attempts, 2);
+  // The deadline, not the retry budget, was the binding constraint.
+  EXPECT_EQ(r.status, ExchangeStatus::kDeadlineExceeded);
+  EXPECT_EQ(channel.peer_stats().at(HostId{1}).deadline_exceeded, 1u);
+
+  // A budget wide enough for every wait is not truncated: a timeout is
+  // reported as a timeout.
+  EXPECT_EQ(channel.ping(HostId{0}, HostId{1}, 10.0, 100.0).status,
+            ExchangeStatus::kTimeout);
+  EXPECT_EQ(transport.last_policy.max_attempts, 4);
+}
+
+TEST(RpcChannel, LoopbackSpendsNoTransportAttempt) {
+  FakeTransport transport;  // would time out if touched
+  RpcChannel channel(&transport, nullptr, nullptr);
+  const ExchangeResult r = channel.ping(HostId{2}, HostId{2}, 0.0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.transmissions, 0);
+  EXPECT_EQ(transport.exchanges + transport.budgeted, 0);
+}
+
+TEST(RpcChannel, TypedCallStampsIdsAndDeduplicates) {
+  BrokerRegistry registry;
+  const ResourceId cpu =
+      registry.add_resource("cpu", ResourceKind::kCpu, HostId{1}, 100.0);
+  BrokerService service(&registry);
+  RpcChannel channel(nullptr, &service, nullptr);
+
+  // Ids are stamped from a deterministic counter starting at 1; an unset
+  // deadline is stamped to +inf (no deadline).
+  ReserveRequest request{{0, 4, 0.0}, cpu.value(), 25.0, 0.0};
+  const CallResult first = channel.call(HostId{0}, HostId{1}, request, 1.0);
+  ASSERT_TRUE(first.ok());
+  const auto& reply = std::get<ReserveReply>(first.reply);
+  EXPECT_EQ(reply.request_id, 1u);
+  EXPECT_EQ(reply.code, RpcCode::kOk);
+  EXPECT_EQ(registry.broker(cpu).held_by(SessionId{4}), 25.0);
+
+  // A pre-stamped id is preserved, and redelivery of the same id is
+  // answered from the dedup cache instead of reserving twice.
+  ReserveRequest replay{{77, 4, 0.0}, cpu.value(), 25.0, 0.0};
+  ASSERT_TRUE(channel.call(HostId{0}, HostId{1}, replay, 1.0).ok());
+  const CallResult second = channel.call(HostId{0}, HostId{1}, replay, 1.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(std::get<ReserveReply>(second.reply).request_id, 77u);
+  EXPECT_EQ(registry.broker(cpu).held_by(SessionId{4}), 50.0);
+  EXPECT_EQ(service.stats().duplicates, 1u);
+  EXPECT_EQ(service.stats().executed, 2u);
+
+  // Bytes flowed both ways and were accounted per peer.
+  const PeerStats& stats = channel.peer_stats().at(HostId{1});
+  EXPECT_EQ(stats.calls, 3u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_GT(stats.bytes_received, 0u);
+}
+
+TEST(RpcChannel, TypedCallRejectsNonRequests) {
+  BrokerRegistry registry;
+  registry.add_resource("cpu", ResourceKind::kCpu, HostId{1}, 100.0);
+  BrokerService service(&registry);
+  RpcChannel channel(nullptr, &service, nullptr);
+  EXPECT_THROW(channel.call(HostId{0}, HostId{1},
+                            ReserveReply{1, RpcCode::kOk, 0.0}, 0.0),
+               ContractViolation);
+}
+
+TEST(RpcChannel, TypedCallHonorsTheRequestDeadline) {
+  BrokerRegistry registry;
+  const ResourceId cpu =
+      registry.add_resource("cpu", ResourceKind::kCpu, HostId{1}, 100.0);
+  BrokerService service(&registry);
+  RpcChannel channel(nullptr, &service, nullptr);
+
+  // Deadline already behind `now`: fast-fail, nothing reaches the broker.
+  ReserveRequest late{{0, 4, 2.0}, cpu.value(), 25.0, 0.0};
+  const CallResult r = channel.call(HostId{0}, HostId{1}, late, 3.0);
+  EXPECT_EQ(r.status, CallStatus::kDeadlineExceeded);
+  EXPECT_EQ(registry.broker(cpu).held_by(SessionId{4}), 0.0);
+  EXPECT_EQ(service.stats().frames, 0u);
+}
+
+}  // namespace
+}  // namespace qres::rpc

@@ -1,0 +1,224 @@
+// Wire-format tests: encode/decode round-trips for every message type,
+// pinned golden bytes for the v1 layout (an accidental wire break fails
+// loudly here before any cross-version peer sees it), and one test per
+// typed DecodeStatus proving strict rejection of malformed frames.
+#include "rpc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace qres::rpc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+/// Rewrites the checksum field after a test mutates header/payload bytes,
+/// so the mutation under test (and not the stale checksum) is what the
+/// decoder trips on.
+void refresh_checksum(std::vector<std::uint8_t>& frame) {
+  std::vector<std::uint8_t> covered(frame.begin(), frame.begin() + 12);
+  covered.insert(covered.end(), frame.begin() + kHeaderSize, frame.end());
+  const std::uint64_t sum = fnv1a64(covered.data(), covered.size());
+  for (int i = 0; i < 8; ++i)
+    frame[12 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sum >> (8 * i));
+}
+
+void expect_roundtrip(const AnyMessage& message) {
+  const std::vector<std::uint8_t> frame = encode(message);
+  const Decoded decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.status, DecodeStatus::kOk)
+      << to_string(message_type(message));
+  EXPECT_TRUE(decoded.message == message)
+      << to_string(message_type(message));
+  // Re-encoding the decoded value must reproduce the frame bit-for-bit.
+  EXPECT_EQ(encode(decoded.message), frame);
+}
+
+TEST(Wire, EveryMessageTypeRoundTrips) {
+  expect_roundtrip(ReserveRequest{{7, 3, 12.5}, 2, 4.5, 30.0});
+  expect_roundtrip(ReserveReply{7, RpcCode::kAdmissionReject, 95.5});
+  expect_roundtrip(ReleaseRequest{{8, 3, kInf}, 2, 1, 0.0});
+  expect_roundtrip(ReleaseReply{8, RpcCode::kOk, 4.5});
+  expect_roundtrip(RenewRequest{{9, 3, 12.5}, 2, 30.0});
+  expect_roundtrip(RenewReply{9, RpcCode::kOk, 1});
+  expect_roundtrip(ReconcileRequest{{10, 3, 12.5}, 2, 4.5});
+  expect_roundtrip(ReconcileReply{10, RpcCode::kBrokerDown, 0.0});
+  expect_roundtrip(QueryRequest{{11, 3, 12.5}, {{2, 1.0}, {4, 2.0}}});
+  expect_roundtrip(QueryReply{11, RpcCode::kOk, {{2, 80.0, 1.0, 1}}});
+  expect_roundtrip(PathMsg{12, 99, 0, 1, 2.5, {5, 6}});
+  expect_roundtrip(ResvMsg{13, 99, 2.5, {6, 5}});
+  expect_roundtrip(TearMsg{14, 99, {5}});
+}
+
+TEST(Wire, ExtremeValuesRoundTripBitExactly) {
+  // ±inf deadlines and amounts are the normal case (+inf = no deadline).
+  expect_roundtrip(ReserveRequest{{1, 0, kInf}, 0, kInf, 0.0});
+  expect_roundtrip(ReserveReply{1, RpcCode::kOk, -kInf});
+  // -0.0 must survive with its sign bit (IEEE-754 bit-pattern encoding).
+  const auto decoded = decode_frame(encode(ReserveReply{2, RpcCode::kOk, -0.0}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(std::signbit(std::get<ReserveReply>(decoded.message).available_after));
+  // Empty repeated fields.
+  expect_roundtrip(QueryRequest{{3, 0, kInf}, {}});
+  expect_roundtrip(TearMsg{4, 5, {}});
+  // The largest permitted repeated field round-trips; one more is
+  // rejected as malformed (count guard, not allocation failure).
+  TearMsg big{5, 6, std::vector<std::uint32_t>(kMaxVectorEntries, 9u)};
+  expect_roundtrip(big);
+  big.route.push_back(9u);
+  std::vector<std::uint8_t> frame = encode(big);
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, GoldenBytesV1) {
+  // Pinned v1 encodings: any layout change must bump kWireVersion and
+  // regenerate these, never silently reinterpret old frames.
+  EXPECT_EQ(to_hex(encode(ReserveRequest{{7, 3, 12.5}, 2, 4.5, 0.0})),
+            "5152504301010000280000002c6aa2c5ba0ea8730700000000000000030000000"
+            "0000000000029400200000000000000000012400000000000000000");
+  EXPECT_EQ(to_hex(encode(ReserveReply{7, RpcCode::kOk, 95.5})),
+            "5152504301020000110000007d1a517076ac9e7107000000000000000000000000"
+            "00e05740");
+  EXPECT_EQ(to_hex(encode(ReleaseRequest{{8, 3, kInf}, 2, 1, 0.0})),
+            "515250430103000021000000bdb86dfb115c8f010800000000000000"
+            "03000000000000000000f07f02000000010000000000000000");
+  EXPECT_EQ(to_hex(encode(ReleaseReply{8, RpcCode::kOk, 4.5})),
+            "515250430104000011000000533d9b15c32949db08000000000000000000000000"
+            "00001240");
+  EXPECT_EQ(to_hex(encode(RenewRequest{{9, 3, 12.5}, 2, 30.0})),
+            "515250430105000020000000da058927b2b09e3809000000000000000300000000"
+            "00000000002940020000000000000000003e40");
+  EXPECT_EQ(to_hex(encode(RenewReply{9, RpcCode::kOk, 1})),
+            "51525043010600000a00000014028fb821bf35cb09000000000000000001");
+  EXPECT_EQ(to_hex(encode(ReconcileRequest{{10, 3, 12.5}, 2, 4.5})),
+            "5152504301070000200000009f261459129da8f30a000000000000000300000000"
+            "00000000002940020000000000000000001240");
+  EXPECT_EQ(to_hex(encode(ReconcileReply{10, RpcCode::kOk, 4.5})),
+            "5152504301080000110000001d8603643a6fb7ea0a000000000000000000000000"
+            "00001240");
+  EXPECT_EQ(
+      to_hex(encode(QueryRequest{{11, 3, 12.5}, {{2, 1.0}, {4, 2.0}}})),
+      "515250430109000030000000b9ef82cb08ece8430b0000000000000003000000000000"
+      "0000002940"
+      "0200000002000000000000000000f03f040000000000000000000040");
+  EXPECT_EQ(to_hex(encode(QueryReply{11, RpcCode::kOk, {{2, 80.0, 1.0, 1}}})),
+            "51525043010a000022000000b894b557ca3993380b000000000000000001000000"
+            "020000000000000000005440000000000000f03f01");
+  EXPECT_EQ(to_hex(encode(PathMsg{12, 99, 0, 1, 2.5, {5, 6}})),
+            "51525043010b00002c00000074e9533421712a2c0c0000000000000063000000000"
+            "00000000000000100000000000000000004"
+            "40020000000500000006000000");
+  EXPECT_EQ(to_hex(encode(ResvMsg{13, 99, 2.5, {6, 5}})),
+            "51525043010c000024000000e576a24652d5a9200d0000000000000063000000000"
+            "000000000000000000440020000000600000005000000");
+  EXPECT_EQ(to_hex(encode(TearMsg{14, 99, {5}})),
+            "51525043010d000018000000f4ffc8f1f22483940e0000000000000063000000000"
+            "000000100000005000000");
+}
+
+TEST(Wire, RejectsTruncatedFrames) {
+  std::vector<std::uint8_t> frame = encode(ReserveReply{7, RpcCode::kOk, 1.0});
+  // Shorter than the fixed header.
+  EXPECT_EQ(decode_frame({frame.begin(), frame.begin() + 10}).status,
+            DecodeStatus::kTruncated);
+  // Header intact but payload short of the declared length.
+  frame.pop_back();
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kTruncated);
+  EXPECT_EQ(decode_frame({}).status, DecodeStatus::kTruncated);
+}
+
+TEST(Wire, RejectsBadMagicVersionTypeLengthAndTrailing) {
+  const std::vector<std::uint8_t> good =
+      encode(ReserveReply{7, RpcCode::kOk, 1.0});
+
+  std::vector<std::uint8_t> frame = good;
+  frame[0] = 'X';
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kBadMagic);
+
+  frame = good;
+  frame[4] = kWireVersion + 1;
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kBadVersion);
+
+  frame = good;
+  frame[5] = 0;  // below the first MessageType
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kBadType);
+  frame[5] = 14;  // past the last MessageType
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kBadType);
+
+  frame = good;
+  frame[11] = 0x01;  // declared length 0x01000011 > kMaxPayloadBytes
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kBadLength);
+
+  frame = good;
+  frame.push_back(0);
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kTrailingBytes);
+}
+
+TEST(Wire, RejectsChecksumMismatchOnAnyFlip) {
+  const std::vector<std::uint8_t> good =
+      encode(ReconcileRequest{{10, 3, 12.5}, 2, 4.5});
+  // A flipped payload byte fails the checksum...
+  std::vector<std::uint8_t> frame = good;
+  frame[kHeaderSize] ^= 0x40;
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kChecksumMismatch);
+  // ...and so does a flipped checksum byte itself.
+  frame = good;
+  frame[12] ^= 0x01;
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kChecksumMismatch);
+}
+
+TEST(Wire, RejectsMalformedPayloadFields) {
+  // Reserved flags must be zero even when the checksum is consistent.
+  std::vector<std::uint8_t> frame = encode(ReserveReply{7, RpcCode::kOk, 1.0});
+  frame[6] = 1;
+  refresh_checksum(frame);
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
+
+  // An out-of-range RpcCode byte is malformed, not a new code.
+  frame = encode(ReserveReply{7, RpcCode::kOk, 1.0});
+  frame[kHeaderSize + 8] = 99;
+  refresh_checksum(frame);
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
+
+  // A wire boolean must be 0 or 1.
+  frame = encode(ReleaseRequest{{8, 3, kInf}, 2, 0, 1.0});
+  frame[kHeaderSize + 24] = 2;  // release_all byte after header + resource
+  refresh_checksum(frame);
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, MessageMetadataHelpers) {
+  const AnyMessage request = ReserveRequest{{42, 3, kInf}, 2, 1.0, 0.0};
+  const AnyMessage reply = ReserveReply{42, RpcCode::kOk, 0.0};
+  EXPECT_EQ(message_type(request), MessageType::kReserveRequest);
+  EXPECT_EQ(message_type(reply), MessageType::kReserveReply);
+  EXPECT_EQ(request_id_of(request), 42u);
+  EXPECT_EQ(request_id_of(reply), 42u);
+  EXPECT_TRUE(is_request(MessageType::kQueryRequest));
+  EXPECT_FALSE(is_request(MessageType::kQueryReply));
+  EXPECT_FALSE(is_request(MessageType::kPathMsg));
+
+  // FNV-1a 64 reference vectors (empty string = offset basis, "a").
+  EXPECT_EQ(fnv1a64(nullptr, 0), 14695981039346656037ull);
+  const std::uint8_t a = 'a';
+  EXPECT_EQ(fnv1a64(&a, 1), 0xaf63dc4c8601ec8cull);
+}
+
+}  // namespace
+}  // namespace qres::rpc

@@ -32,6 +32,19 @@
 //   * establish_batch produces bit-identical results and broker
 //     accounting whether planning runs inline or on a pool.
 //
+// With --mode rpc (see tests/fuzz/rpc_fuzz.*) each iteration fuzzes the
+// typed RPC control plane:
+//   * every wire message round-trips encode/decode and re-encodes
+//     bit-identically; EVERY single-byte flip, strict prefix and trailing
+//     extension of a valid frame is rejected as a typed DecodeStatus,
+//   * a coordinator on the typed control plane under zero faults is
+//     bit-identical to the legacy implicit exchange,
+//   * under corruption/duplication/reorder storms, at-least-once retries
+//     with stable request ids stay exactly-once (client ledger == broker
+//     holdings; no capacity leaks),
+//   * overflowing a bounded service queue fast-rejects with typed
+//     kBackpressure and drain_all executes exactly the queued prefix.
+//
 // With --mode crash (see tests/fuzz/crash_fuzz.*) each iteration derives
 // scripted broker crash–restart schedules and proves:
 //   * a journaled world with no crashes is bit-identical to an
@@ -41,7 +54,7 @@
 //     auditor's conservation proof exact and leaks zero capacity.
 //
 // Usage:
-//   qres_fuzz [--mode planner|faults|adapt|crash|parallel|all]
+//   qres_fuzz [--mode planner|faults|adapt|rpc|crash|parallel|all]
 //             [--iterations N]
 //             [--seed S] [--repro-seed X] [--verbose]
 //
@@ -66,13 +79,14 @@
 #include "../tests/fuzz/fault_fuzz.hpp"
 #include "../tests/fuzz/fuzz_lib.hpp"
 #include "../tests/fuzz/parallel_fuzz.hpp"
+#include "../tests/fuzz/rpc_fuzz.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--mode planner|faults|adapt|crash|parallel|all] "
+               "usage: %s [--mode planner|faults|adapt|rpc|crash|parallel|all] "
                "[--iterations N] [--seed S] [--repro-seed X] [--verbose]\n",
                argv0);
 }
@@ -88,6 +102,7 @@ int main(int argc, char** argv) {
   bool run_planner = true;
   bool run_faults = false;
   bool run_adapt = false;
+  bool run_rpc = false;
   bool run_crash = false;
   bool run_parallel = false;
 
@@ -113,21 +128,23 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       const std::string mode = argv[++i];
-      run_planner = run_faults = run_adapt = run_crash = run_parallel =
-          false;
+      run_planner = run_faults = run_adapt = run_rpc = run_crash =
+          run_parallel = false;
       if (mode == "planner") {
         run_planner = true;
       } else if (mode == "faults") {
         run_faults = true;
       } else if (mode == "adapt") {
         run_adapt = true;
+      } else if (mode == "rpc") {
+        run_rpc = true;
       } else if (mode == "crash") {
         run_crash = true;
       } else if (mode == "parallel") {
         run_parallel = true;
       } else if (mode == "all") {
-        run_planner = run_faults = run_adapt = run_crash = run_parallel =
-            true;
+        run_planner = run_faults = run_adapt = run_rpc = run_crash =
+            run_parallel = true;
       } else {
         std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
         usage(argv[0]);
@@ -155,6 +172,7 @@ int main(int argc, char** argv) {
   qres::fuzz::FuzzStats stats;
   qres::fuzz::FaultFuzzStats fault_stats;
   qres::fuzz::AdaptFuzzStats adapt_stats;
+  qres::fuzz::RpcFuzzStats rpc_stats;
   qres::fuzz::CrashFuzzStats crash_stats;
   qres::fuzz::ParallelFuzzStats parallel_stats;
   std::uint64_t failures = 0;
@@ -170,6 +188,8 @@ int main(int argc, char** argv) {
         failure = qres::fuzz::run_fault_iteration(seed, &fault_stats);
       if (failure.empty() && run_adapt)
         failure = qres::fuzz::run_adapt_iteration(seed, &adapt_stats);
+      if (failure.empty() && run_rpc)
+        failure = qres::fuzz::run_rpc_iteration(seed, &rpc_stats);
       if (failure.empty() && run_crash)
         failure = qres::fuzz::run_crash_iteration(seed, &crash_stats);
       if (failure.empty() && run_parallel)
@@ -226,6 +246,22 @@ int main(int argc, char** argv) {
         adapt_stats.preemptions, adapt_stats.preempt_downgrades,
         adapt_stats.overload_rejects, adapt_stats.zombies_released,
         adapt_stats.audits);
+  if (run_rpc)
+    std::printf(
+        "qres_fuzz rpc: %" PRIu64 " iteration(s), %" PRIu64
+        " failure(s); %" PRIu64 " round-trips, %" PRIu64
+        " flips + %" PRIu64 " truncations rejected, %" PRIu64
+        " differential sessions, %" PRIu64 " storm calls (%" PRIu64
+        " retries, %" PRIu64 " corrupt, %" PRIu64 " dup, %" PRIu64
+        " reorder, %" PRIu64 " dedup replays), %" PRIu64
+        " backpressure rejects, %" PRIu64 " conservation checks\n",
+        total, failures, rpc_stats.messages_roundtripped,
+        rpc_stats.flips_rejected, rpc_stats.truncations_rejected,
+        rpc_stats.differential_sessions, rpc_stats.storm_calls,
+        rpc_stats.storm_retries, rpc_stats.frames_corrupted,
+        rpc_stats.frames_duplicated, rpc_stats.frames_reordered,
+        rpc_stats.dedup_replays, rpc_stats.backpressure_rejects,
+        rpc_stats.conservation_checks);
   if (run_crash)
     std::printf(
         "qres_fuzz crash: %" PRIu64 " iteration(s), %" PRIu64

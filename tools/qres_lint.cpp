@@ -89,7 +89,11 @@ const std::vector<Rule>& rules() {
        "QRES_EXCLUDES/...) or the analysis has nothing to check"},
       {"layering-upward-include",
        "#include must follow the layer DAG util <- core <- broker <- "
-       "signal <- proxy/enforce <- adapt <- sim <- scenario"},
+       "rpc <- signal <- proxy/enforce <- adapt <- sim <- scenario"},
+      {"rpc-direct-exchange",
+       "IControlTransport::exchange/exchange_budgeted may only be called "
+       "through rpc::RpcChannel; direct calls bypass request ids, "
+       "deadlines, circuit breakers and per-peer stats (DESIGN.md §12)"},
       {"contracts-missing-guard",
        "src/core and src/broker translation units must guard public entry "
        "points with QRES_REQUIRE/QRES_ENSURE/QRES_ASSERT (util/assert.hpp)"},
@@ -286,9 +290,9 @@ FileView lex_file(const std::vector<std::string>& lines,
 
 const std::map<std::string, int>& layer_ranks() {
   static const std::map<std::string, int> kRanks = {
-      {"util", 0},  {"core", 1},    {"broker", 2}, {"signal", 3},
-      {"proxy", 4}, {"enforce", 4}, {"adapt", 5},  {"sim", 6},
-      {"scenario", 7},
+      {"util", 0},    {"core", 1}, {"broker", 2},  {"rpc", 3},
+      {"signal", 4},  {"proxy", 5}, {"enforce", 5}, {"adapt", 6},
+      {"sim", 7},     {"scenario", 8},
   };
   return kRanks;
 }
@@ -503,6 +507,27 @@ struct Checker {
              "assertions must be side-effect free");
   }
 
+  // The typed RPC shim (rpc::RpcChannel) is the only sanctioned caller of
+  // the raw control-transport primitive: it stamps request ids, truncates
+  // retry budgets to the propagated deadline, and feeds the per-peer
+  // circuit breakers and stats. Only the shim itself, the transport's own
+  // translation unit, and the FaultPlane implementation of the interface
+  // may touch exchange/exchange_budgeted directly.
+  void check_rpc_gateway() {
+    if (!in_src()) return;
+    if (rel.rfind("src/rpc/", 0) == 0 ||
+        rel.rfind("src/core/transport.", 0) == 0 ||
+        rel.rfind("src/signal/fault_plane.", 0) == 0)
+      return;
+    static const std::regex kDirectExchange(
+        R"((->|\.)\s*exchange(_budgeted)?\s*\()");
+    for (std::size_t i = 0; i < view->code.size(); ++i)
+      if (std::regex_search(view->code[i], kDirectExchange))
+        report(static_cast<int>(i) + 1, "rpc-direct-exchange",
+               "direct IControlTransport::exchange call outside the RPC "
+               "shim; route control-plane traffic through rpc::RpcChannel");
+  }
+
   void check_hygiene(bool header) {
     if (!header) return;
     static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
@@ -545,6 +570,7 @@ std::vector<Violation> scan_file(const fs::path& path,
   checker.check_determinism();
   checker.check_concurrency(is_header(path));
   checker.check_layering();
+  checker.check_rpc_gateway();
   checker.check_contracts();
   checker.check_hygiene(is_header(path));
 

@@ -23,6 +23,10 @@
 //   contention            sample the watchdog and dump per-resource
 //                         alpha/EWMA/hysteresis state + the adaptation
 //                         event log
+//   rpc                   issue a typed QueryRequest for every resource
+//                         through the RPC shim (rpc::RpcChannel ->
+//                         BrokerService) and dump the per-peer RPC stats,
+//                         breaker states and service counters
 //   journal               dump the write-ahead journal (per-broker record
 //                         and snapshot counts) and verify it: replay each
 //                         broker's records through
@@ -43,6 +47,8 @@
 #include "broker/registry.hpp"
 #include "core/model_io.hpp"
 #include "proxy/qos_proxy.hpp"
+#include "rpc/broker_service.hpp"
+#include "rpc/channel.hpp"
 
 using namespace qres;
 
@@ -131,6 +137,14 @@ int main(int argc, char** argv) {
   adapt::ContentionMonitor monitor(&registry, std::move(watched));
   adapt::AdaptationEngine engine(&coordinator, &monitor, &planner,
                                  &degrade_planner);
+
+  // Typed control plane for the `rpc` command: no transport (perfect
+  // wire), the registry exposed as a frame server, breaker armed so the
+  // dump shows a live (closed) breaker per peer.
+  rpc::BrokerService rpc_service(&registry);
+  rpc::RpcChannel::Config rpc_config;
+  rpc_config.breaker.failure_threshold = 3;
+  rpc::RpcChannel rpc_channel(nullptr, &rpc_service, nullptr, rpc_config);
 
   std::cout << "loaded '" << model.service_name << "' ("
             << service.component_count() << " components) over "
@@ -242,6 +256,45 @@ int main(int argc, char** argv) {
                     << adapt::to_string(event.kind) << " session "
                     << event.session.value() << " rank " << event.old_rank
                     << " -> " << event.new_rank << "\n";
+      } else if (command == "rpc") {
+        // One typed round trip per invocation so the stats dump always
+        // reflects live traffic, not a dead channel.
+        rpc::QueryRequest query;
+        for (std::uint32_t i = 0; i < registry.size(); ++i)
+          query.entries.push_back({i, now});
+        const rpc::CallResult result =
+            rpc_channel.call(HostId{0}, HostId{1}, query, now);
+        std::cout << "rpc query: " << rpc::to_string(result.status) << " ("
+                  << result.transmissions << " transmission(s))\n";
+        if (const auto* reply = std::get_if<rpc::QueryReply>(&result.reply);
+            result.ok() && reply != nullptr) {
+          for (const rpc::QuerySample& sample : reply->samples)
+            std::cout << "  " << registry.catalog().name(
+                                     ResourceId{sample.resource})
+                      << ": available " << sample.available << ", alpha "
+                      << sample.alpha << ", "
+                      << (sample.up != 0 ? "up" : "down") << "\n";
+        }
+        for (const auto& [peer, s] : rpc_channel.peer_stats())
+          std::cout << "peer host " << peer.value() << ": breaker "
+                    << rpc::to_string(rpc_channel.breaker_state(peer, now))
+                    << ", calls " << s.calls << ", failures " << s.failures
+                    << ", retries " << s.retries << ", timeouts "
+                    << s.timeouts << ", peer-down " << s.peer_down
+                    << ", deadline-exceeded " << s.deadline_exceeded
+                    << ", breaker trips " << s.breaker_trips
+                    << ", fast-fails " << s.breaker_fast_fails
+                    << ", corrupt rounds " << s.corrupt_rounds << ", bytes "
+                    << s.bytes_sent << "/" << s.bytes_received << "\n";
+        const rpc::BrokerService::Stats service_stats = rpc_service.stats();
+        std::cout << "service: frames " << service_stats.frames
+                  << ", executed " << service_stats.executed
+                  << ", duplicates " << service_stats.duplicates
+                  << ", backpressure " << service_stats.backpressure
+                  << ", deadline-expired " << service_stats.deadline_expired
+                  << ", bad-requests " << service_stats.bad_requests
+                  << ", queue high water "
+                  << rpc_service.max_queue_high_water() << "\n";
       } else if (command == "journal") {
         if (!journal) {
           std::cout << "no journal attached (run with --journal <path>)\n";
@@ -273,7 +326,8 @@ int main(int argc, char** argv) {
                           : "journal verification FAILED\n");
       } else {
         std::cout << "commands: plan [scale] | reserve [scale] | release "
-                     "<id> | avail | sinks | contention | journal | quit\n";
+                     "<id> | avail | sinks | contention | rpc | journal | "
+                     "quit\n";
       }
     } catch (const std::exception& error) {
       std::cout << "error: " << error.what() << "\n";
