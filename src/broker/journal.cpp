@@ -20,6 +20,7 @@ const char* to_string(JournalOp op) noexcept {
     case JournalOp::kRenewLease: return "renew-lease";
     case JournalOp::kExpire: return "expire";
     case JournalOp::kRestart: return "restart";
+    case JournalOp::kReplyCache: return "reply-cache";
   }
   return "?";
 }
@@ -32,8 +33,27 @@ void MemoryJournal::append(const JournalRecord& record) {
   if (record.op == JournalOp::kSnapshot) {
     ++snapshots_;
     if (compact_) {
-      compacted_away_ += records_.size();
-      records_.clear();
+      // Compaction must not lose the exactly-once replay cache: the
+      // snapshot captures broker state but not the dedup cache, which is
+      // rebuilt from kReplyCache records after a restart
+      // (BrokerService::rebuild_dedup). Dropping them with the prefix
+      // means a retried request re-executes against restored holdings — a
+      // double grant (found by qres_mc on the `crashy` topology). Retain
+      // the newest reply_cache_keep_ of them ahead of the snapshot
+      // barrier.
+      std::vector<JournalRecord> retained;
+      for (const JournalRecord& kept : records_)
+        if (kept.op == JournalOp::kReplyCache) retained.push_back(kept);
+      if (retained.size() > reply_cache_keep_)
+        retained.erase(retained.begin(),
+                       retained.end() -
+                           static_cast<std::ptrdiff_t>(reply_cache_keep_));
+      // Behind the snapshot barrier the replies are fsynced state;
+      // grouping with their (now compacted) mutation records no longer
+      // applies.
+      for (JournalRecord& kept : retained) kept.grouped = false;
+      compacted_away_ += records_.size() - retained.size();
+      records_ = std::move(retained);
     }
   }
   records_.push_back(record);
@@ -43,6 +63,20 @@ std::size_t MemoryJournal::drop_tail(std::size_t count) {
   std::size_t dropped = 0;
   while (dropped < count && !records_.empty() &&
          records_.back().op != JournalOp::kSnapshot) {
+    if (records_.back().grouped) {
+      // A grouped reply is fsynced together with the mutation record(s)
+      // of its execution: drop the whole pair or keep it. Stopping early
+      // (keeping more) is always a legal crash outcome; splitting the
+      // pair is not — a kept mutation with a lost reply is the state
+      // where a retried request re-executes and double-grants.
+      if (count - dropped < 2 || records_.size() < 2 ||
+          records_[records_.size() - 2].op == JournalOp::kSnapshot)
+        break;
+      records_.pop_back();
+      records_.pop_back();
+      dropped += 2;
+      continue;
+    }
     records_.pop_back();
     ++dropped;
   }
@@ -106,6 +140,14 @@ std::string to_line(const JournalRecord& record) {
       out << ' ' << num(time) << ' ' << num(value);
     return out.str();
   }
+  if (record.op == JournalOp::kReplyCache) {
+    static const char* digits = "0123456789abcdef";
+    out << ' ' << record.request_id << ' ' << (record.grouped ? 1 : 0) << ' '
+        << record.reply.size() << ' ';
+    for (const std::uint8_t byte : record.reply)
+      out << digits[byte >> 4] << digits[byte & 0xf];
+    return out.str();
+  }
   out << ' ' << record.session.value() << ' ' << num(record.amount) << ' '
       << num(record.lease);
   return out.str();
@@ -120,7 +162,8 @@ JournalRecord parse_line(const std::string& line) {
   for (const JournalOp op :
        {JournalOp::kSnapshot, JournalOp::kReserve, JournalOp::kReserveLeased,
         JournalOp::kRelease, JournalOp::kReleaseAmount,
-        JournalOp::kRenewLease, JournalOp::kExpire, JournalOp::kRestart}) {
+        JournalOp::kRenewLease, JournalOp::kExpire, JournalOp::kRestart,
+        JournalOp::kReplyCache}) {
     if (op_name == to_string(op)) {
       record.op = op;
       known = true;
@@ -163,6 +206,26 @@ JournalRecord parse_line(const std::string& line) {
     }
     return record;
   }
+  if (record.op == JournalOp::kReplyCache) {
+    record.request_id = parse_u64(in, "request id");
+    record.grouped = parse_u64(in, "grouped flag") != 0;
+    const std::uint64_t bytes = parse_u64(in, "reply byte count");
+    std::string hex;
+    if (bytes > 0 && !(in >> hex))
+      throw std::runtime_error("journal: bad reply bytes");
+    if (hex.size() != bytes * 2)
+      throw std::runtime_error("journal: reply hex length mismatch");
+    record.reply.reserve(bytes);
+    const auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      throw std::runtime_error("journal: bad reply hex digit");
+    };
+    for (std::uint64_t i = 0; i < bytes; ++i)
+      record.reply.push_back(static_cast<std::uint8_t>(
+          (nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1])));
+    return record;
+  }
   record.session =
       SessionId{static_cast<std::uint32_t>(parse_u64(in, "session"))};
   record.amount = parse_double(in, "amount");
@@ -188,6 +251,12 @@ void FileJournal::append(const JournalRecord& record) {
   file << to_line(record) << '\n';
   file.flush();
   QRES_REQUIRE(static_cast<bool>(file), "FileJournal: write failed");
+  ++appended_;
+}
+
+std::uint64_t FileJournal::appended() const {
+  MutexLock lock(mutex_);
+  return appended_;
 }
 
 std::vector<JournalRecord> FileJournal::load() const {

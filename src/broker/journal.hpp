@@ -52,6 +52,7 @@ enum class JournalOp : std::uint8_t {
   kRenewLease,     ///< lease deadline pushed to max(deadline, time + lease)
   kExpire,         ///< one session reclaimed by lease expiry
   kRestart,        ///< crash-restart marker; lease = the grace granted
+  kReplyCache,     ///< executed RPC reply (at-least-once dedup durability)
 };
 
 const char* to_string(JournalOp op) noexcept;
@@ -67,6 +68,19 @@ struct JournalRecord {
   SessionId session;
   double amount = 0.0;
   double lease = 0.0;
+
+  // --- kReplyCache payload: the dedup cache's durable half. The broker
+  // service journals every executed reply next to the mutation records it
+  // produced, so a restarted broker can rebuild its request-id replay
+  // cache from the same journal that rebuilds its holdings — a retried
+  // request that already executed replays the original reply instead of
+  // executing twice (the double-grant the model checker found; DESIGN.md
+  // §13). `grouped` marks a reply whose execution journaled mutation
+  // records immediately before it: the pair is one atomic append with
+  // respect to tail loss (see MemoryJournal::drop_tail).
+  std::uint64_t request_id = 0;
+  bool grouped = false;
+  std::vector<std::uint8_t> reply;
 
   // --- kSnapshot payload: broker identity + configuration...
   std::string name;
@@ -96,6 +110,11 @@ class IJournalSink {
   /// Returns every retained record, oldest first. Recovery requires the
   /// result to contain at least one kSnapshot record.
   virtual std::vector<JournalRecord> load() const = 0;
+
+  /// Total records ever appended through this sink (monotone; survives
+  /// compaction). The broker service compares it across an execution to
+  /// decide whether a reply record is grouped with mutation records.
+  virtual std::uint64_t appended() const = 0;
 };
 
 /// In-memory journal. With compaction enabled (the default), appending a
@@ -103,8 +122,12 @@ class IJournalSink {
 /// mutation count between snapshots.
 class MemoryJournal final : public IJournalSink {
  public:
-  explicit MemoryJournal(bool compact_on_snapshot = true)
-      : compact_(compact_on_snapshot) {}
+  /// `reply_cache_keep` bounds how many kReplyCache records survive each
+  /// compaction (newest first) — sized to BrokerService's dedup capacity,
+  /// since entries beyond it are evicted from the live cache anyway.
+  explicit MemoryJournal(bool compact_on_snapshot = true,
+                         std::size_t reply_cache_keep = 1024)
+      : compact_(compact_on_snapshot), reply_cache_keep_(reply_cache_keep) {}
 
   void append(const JournalRecord& record) override;
   std::vector<JournalRecord> load() const override { return records_; }
@@ -117,14 +140,23 @@ class MemoryJournal final : public IJournalSink {
   /// records, stopping (inclusive-keep) at the newest snapshot — the
   /// snapshot is the fsync barrier, so it can never be lost. Returns how
   /// many records were actually dropped.
+  ///
+  /// Grouped kReplyCache records are atomic with the mutation record(s)
+  /// of the execution that produced them: the tail never loses a reply
+  /// while keeping its mutation (that split is exactly the state where a
+  /// retried request re-executes against surviving holdings — a double
+  /// grant). When the budget or the snapshot barrier would split a group,
+  /// the whole group is kept — keeping more of the tail is always a legal
+  /// crash outcome.
   std::size_t drop_tail(std::size_t count);
 
-  std::uint64_t appended() const noexcept { return appended_; }
+  std::uint64_t appended() const noexcept override { return appended_; }
   std::uint64_t snapshots() const noexcept { return snapshots_; }
   std::uint64_t compacted_away() const noexcept { return compacted_away_; }
 
  private:
   bool compact_;
+  std::size_t reply_cache_keep_;
   std::vector<JournalRecord> records_;
   std::uint64_t appended_ = 0;
   std::uint64_t snapshots_ = 0;
@@ -148,6 +180,7 @@ class FileJournal final : public IJournalSink {
 
   void append(const JournalRecord& record) override QRES_EXCLUDES(mutex_);
   std::vector<JournalRecord> load() const override QRES_EXCLUDES(mutex_);
+  std::uint64_t appended() const override QRES_EXCLUDES(mutex_);
 
   const std::string& path() const noexcept { return path_; }
 
@@ -161,6 +194,7 @@ class FileJournal final : public IJournalSink {
   // corrupt records, and a load() racing an append() could read a torn
   // line. `mutable` so the logically-const load() can take it.
   mutable Mutex mutex_;
+  std::uint64_t appended_ QRES_GUARDED_BY(mutex_) = 0;
 };
 
 /// Serializes one record as a single line (no trailing newline).

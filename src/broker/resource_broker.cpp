@@ -259,10 +259,19 @@ void ResourceBroker::attach_journal(IJournalSink* sink,
   journal_->append(snapshot(now));
 }
 
+void ResourceBroker::rebind_journal(IJournalSink* sink) {
+  // Cloning seam for the model checker (src/mc): a copied broker still
+  // points at the original's sink; the clone's owner swaps in its own
+  // copy (or detaches with nullptr) so explored branches never write
+  // into each other's journals.
+  journal_ = sink;
+}
+
 void ResourceBroker::journal_append(JournalOp op, double now,
                                     SessionId session, double amount,
                                     double lease) {
   if (journal_ == nullptr || journal_mute_) return;
+  ++journaled_mutations_;
   JournalRecord rec;
   rec.op = op;
   rec.time = now;
@@ -364,6 +373,11 @@ void ResourceBroker::apply(const JournalRecord& rec) {
       if (rec.lease > 0.0)
         for (auto& [session, deadline] : lease_deadlines_)
           deadline = std::max(deadline, rec.time + rec.lease);
+      return;
+    case JournalOp::kReplyCache:
+      // Dedup-cache durability records belong to the broker *service*
+      // (BrokerService::rebuild_dedup reads them); they are not broker
+      // mutations and replay skips them.
       return;
   }
   QRES_REQUIRE(false, "journal replay: unknown record op");

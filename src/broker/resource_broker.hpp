@@ -205,6 +205,19 @@ class ResourceBroker final : public IBroker {
                       double now = 0.0);
   IJournalSink* journal() const noexcept { return journal_; }
 
+  /// Re-points an already-attached journal at `sink` (nullptr detaches).
+  /// Cloning seam for the model checker: a copied broker keeps writing to
+  /// the original's sink until its owner rebinds it to the clone's copy.
+  void rebind_journal(IJournalSink* sink);
+
+  /// Mutation records this broker has appended to its journal (snapshots
+  /// and restart markers excluded). The broker service compares the
+  /// counter across an execution to decide whether the reply record it
+  /// journals is grouped with freshly-appended mutation records.
+  std::uint64_t journaled_mutations() const noexcept {
+    return journaled_mutations_;
+  }
+
   /// The broker's complete state as a self-contained kSnapshot record.
   /// Used for compaction, for restart, and by tests/fuzzers as the
   /// bit-identity comparison key (it covers reserved, holdings, lease
@@ -282,6 +295,7 @@ class ResourceBroker final : public IBroker {
   IJournalSink* journal_ = nullptr;
   std::size_t snapshot_every_ = 64;
   std::size_t mutations_since_snapshot_ = 0;
+  std::uint64_t journaled_mutations_ = 0;
   /// Suppresses journaling while a public mutator runs nested mutators
   /// (expiry sweeps release(); recovery replays through the same code):
   /// each logical mutation must journal exactly one record.

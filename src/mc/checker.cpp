@@ -1,0 +1,204 @@
+#include "mc/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace qres::mc {
+
+namespace {
+
+/// Sleep sets are small sorted action vectors (set semantics).
+using SleepSet = std::vector<Action>;
+
+bool sleep_contains(const SleepSet& sleep, const Action& action) {
+  return std::binary_search(sleep.begin(), sleep.end(), action);
+}
+
+void sleep_insert(SleepSet* sleep, const Action& action) {
+  const auto it = std::lower_bound(sleep->begin(), sleep->end(), action);
+  if (it == sleep->end() || !(*it == action)) sleep->insert(it, action);
+}
+
+bool sleep_superset(const SleepSet& outer, const SleepSet& inner) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+SleepSet sleep_intersection(const SleepSet& a, const SleepSet& b) {
+  SleepSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+class Dfs {
+ public:
+  Dfs(const Topology& topology, const McConfig& config,
+      const CheckLimits& limits)
+      : topo_(topology), cfg_(config), limits_(limits) {}
+
+  CheckResult run() {
+    World root(topo_, cfg_);
+    std::vector<Action> path;
+    explore(root, 0, &path, {});
+    return std::move(result_);
+  }
+
+ private:
+  /// Returns true when the search should unwind (violation found or
+  /// budget gone in a way that stops everything).
+  bool explore(World& world, std::size_t depth, std::vector<Action>* path,
+               SleepSet sleep) {
+    result_.deepest = std::max(result_.deepest, depth);
+    const auto key = world.canonical_key();
+    const auto [it, fresh] = visited_.try_emplace(key, sleep);
+    if (fresh) {
+      ++result_.distinct_states;
+    } else {
+      ++result_.revisits;
+      if (sleep_superset(sleep, it->second)) return false;
+      // Arriving with sleeps the stored visit did not have: re-explore
+      // with the intersection so the union of both visits' explored
+      // transitions is covered.
+      it->second = sleep_intersection(it->second, sleep);
+      sleep = it->second;
+    }
+    if (result_.distinct_states > limits_.max_states) {
+      result_.budget_exhausted = true;
+      return true;
+    }
+
+    const std::vector<Action> actions = world.enabled();
+    if (actions.empty()) {
+      world.check_quiescent();
+      if (!world.violation().empty()) {
+        found(world.violation(), *path);
+        return true;
+      }
+      return false;
+    }
+    if (depth >= limits_.max_depth) {
+      result_.budget_exhausted = true;
+      return false;
+    }
+
+    SleepSet explored;
+    for (const Action& action : actions) {
+      if (limits_.por && sleep_contains(sleep, action)) {
+        ++result_.sleep_pruned;
+        continue;
+      }
+      World child = world.clone();
+      child.apply(action);
+      ++result_.transitions;
+      path->push_back(action);
+      if (!child.violation().empty()) {
+        found(child.violation(), *path);
+        return true;
+      }
+      SleepSet child_sleep;
+      if (limits_.por) {
+        for (const Action& other : sleep)
+          if (independent(action, other)) sleep_insert(&child_sleep, other);
+        for (const Action& other : explored)
+          if (independent(action, other)) sleep_insert(&child_sleep, other);
+      }
+      if (explore(child, depth + 1, path, std::move(child_sleep)))
+        return true;
+      path->pop_back();
+      if (limits_.por) sleep_insert(&explored, action);
+    }
+    return false;
+  }
+
+  void found(const std::string& invariant, const std::vector<Action>& path) {
+    result_.violation_found = true;
+    result_.invariant = invariant;
+    result_.trace = path;
+  }
+
+  const Topology& topo_;
+  const McConfig& cfg_;
+  const CheckLimits& limits_;
+  CheckResult result_;
+  // std::map (ordered) keeps iteration deterministic; keys are the
+  // 128-bit canonical hashes.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SleepSet> visited_;
+};
+
+}  // namespace
+
+CheckResult check(const Topology& topology, const McConfig& config,
+                  const CheckLimits& limits) {
+  Dfs dfs(topology, config, limits);
+  CheckResult result = dfs.run();
+  if (result.violation_found)
+    result.trace = minimize(topology, config, std::move(result.trace),
+                            result.invariant);
+  return result;
+}
+
+bool replay(const Topology& topology, const McConfig& config,
+            const std::vector<Action>& trace, std::string* violated) {
+  if (violated != nullptr) violated->clear();
+  World world(topology, config);
+  for (const Action& action : trace) {
+    const std::vector<Action> enabled = world.enabled();
+    // Match on stable identity; trace files omit the owner field, so
+    // resolve against the enabled action carrying the full identity.
+    const Action* match = nullptr;
+    for (const Action& candidate : enabled) {
+      if (candidate.kind == action.kind && candidate.broker == action.broker &&
+          candidate.client == action.client && candidate.arg == action.arg &&
+          candidate.request_id == action.request_id &&
+          candidate.frame_hash == action.frame_hash) {
+        match = &candidate;
+        break;
+      }
+    }
+    if (match == nullptr) return false;
+    world.apply(*match);
+    if (!world.violation().empty()) {
+      if (violated != nullptr) *violated = world.violation();
+      return true;
+    }
+  }
+  if (world.enabled().empty()) {
+    world.check_quiescent();
+    if (violated != nullptr) *violated = world.violation();
+  }
+  return true;
+}
+
+std::vector<Action> minimize(const Topology& topology, const McConfig& config,
+                             std::vector<Action> trace,
+                             const std::string& invariant) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      std::vector<Action> candidate;
+      candidate.reserve(trace.size() - 1);
+      for (std::size_t j = 0; j < trace.size(); ++j)
+        if (j != i) candidate.push_back(trace[j]);
+      std::string violated;
+      if (replay(topology, config, candidate, &violated) &&
+          violated == invariant) {
+        trace = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  // The minimized trace must still reproduce — the caller relies on it.
+  std::string violated;
+  const bool ok = replay(topology, config, trace, &violated);
+  QRES_ENSURE(ok && violated == invariant,
+              "mc: minimized trace no longer reproduces the violation");
+  return trace;
+}
+
+}  // namespace qres::mc

@@ -1,0 +1,285 @@
+#include "mc/topology.hpp"
+
+namespace qres::mc {
+
+namespace {
+
+/// Verification target: one broker, two leased sessions that overcommit
+/// the capacity between them (0.6 + 0.6 > 1.0), with retry, duplication
+/// and renewal budgets. Exercises admission rejects, dedup replay,
+/// expiry-vs-renewal and expiry-vs-delivery races.
+Topology make_single() {
+  Topology t;
+  t.name = "single";
+  t.summary = "1 broker, 2 leased overcommitting clients, retries+dups";
+  t.brokers.push_back({.name = "cpu", .capacity = 1.0});
+  t.clients.push_back({.session = 1,
+                       .broker = 0,
+                       .amount = 0.6,
+                       .lease = 2.0,
+                       .max_retries = 1,
+                       .max_dups = 1,
+                       .max_renews = 1});
+  t.clients.push_back({.session = 2,
+                       .broker = 0,
+                       .amount = 0.6,
+                       .lease = 3.0,
+                       .max_retries = 1,
+                       .max_dups = 0,
+                       .max_renews = 0});
+  return t;
+}
+
+/// Verification target: two brokers, three sessions — a leased client
+/// per broker plus a permanent client, so cross-broker interleavings and
+/// permanent teardown are covered.
+Topology make_pair() {
+  Topology t;
+  t.name = "pair";
+  t.summary = "2 brokers, 3 clients (leased + permanent), cross-broker races";
+  t.brokers.push_back({.name = "cpu", .capacity = 1.0});
+  t.brokers.push_back({.name = "net", .capacity = 0.5});
+  t.clients.push_back({.session = 1,
+                       .broker = 0,
+                       .amount = 0.6,
+                       .lease = 2.0,
+                       .max_retries = 1,
+                       .max_renews = 1});
+  t.clients.push_back({.session = 2,
+                       .broker = 1,
+                       .amount = 0.3,
+                       .lease = 0.0,
+                       .max_retries = 1});
+  t.clients.push_back({.session = 3,
+                       .broker = 0,
+                       .amount = 0.5,
+                       .lease = 4.0,
+                       .max_retries = 0,
+                       .max_dups = 1});
+  return t;
+}
+
+/// Verification target: crash-restart with clean (lossless) journal tail
+/// and a restart grace window; a leased client rides through the outage.
+Topology make_crashy() {
+  Topology t;
+  t.name = "crashy";
+  t.summary = "1 journaled broker, 1 crash + restart grace, leased client";
+  t.brokers.push_back({.name = "cpu",
+                       .capacity = 1.0,
+                       .max_crashes = 1,
+                       .restart_grace = 1.0});
+  t.clients.push_back({.session = 1,
+                       .broker = 0,
+                       .amount = 0.4,
+                       .lease = 2.0,
+                       .max_retries = 1,
+                       .max_renews = 1,
+                       .max_rereserves = 1});
+  t.clients.push_back(
+      {.session = 2, .broker = 0, .amount = 0.5, .lease = 3.0,
+       .max_retries = 1});
+  return t;
+}
+
+/// Verification target: the lossy-tail crash model. Compaction is off so
+/// the journal keeps the whole history, and each crash may lose up to two
+/// un-fsynced records. The group-atomic reply records are what keeps the
+/// dedup cache consistent with the surviving mutations here.
+Topology make_lossy() {
+  Topology t;
+  t.name = "lossy";
+  t.summary = "1 journaled broker (no compaction), crash loses <=2 records";
+  t.brokers.push_back({.name = "cpu",
+                       .capacity = 1.0,
+                       .compact = false,
+                       .max_crashes = 1,
+                       .max_tail_loss = 2,
+                       .restart_grace = 1.0});
+  t.clients.push_back({.session = 1,
+                       .broker = 0,
+                       .amount = 0.4,
+                       .lease = 2.0,
+                       .max_retries = 1});
+  return t;
+}
+
+/// Expected violation: crash wipes the colocated replay cache, restart
+/// restores the granted holding from the journal, and a same-id retry
+/// executes again on top of it — unless the cache is rebuilt from the
+/// journal (rebuild_dedup_on_restart, the fix this demo disables).
+Topology make_demo_dedup() {
+  Topology t;
+  t.name = "demo-dedup";
+  t.summary = "BUG rebuild_dedup_on_restart=0: crash-lost cache, retry "
+              "double-executes";
+  t.brokers.push_back({.name = "cpu", .capacity = 1.0, .max_crashes = 1});
+  t.clients.push_back(
+      {.session = 1, .broker = 0, .amount = 0.4, .max_retries = 1});
+  t.config.rebuild_dedup_on_restart = false;
+  t.expect_violation = true;
+  t.expected_invariant = "no-double-grant";
+  // The same root cause also strands capacity (a retry re-executing after
+  // the session tore down); suppress that shallower manifestation so the
+  // pinned trace is the sharper double-grant one.
+  t.allow_stranded = true;
+  return t;
+}
+
+/// Expected violation: the client derives its lease deadline from its
+/// own receive time (client_trusts_reply_deadline=0, pre-wire-v2). The
+/// grant's lease burns down while the reply is in flight; when expiry
+/// fires before delivery the client ends up Granted over a reclaimed
+/// holding — a phantom grant.
+Topology make_demo_stale() {
+  Topology t;
+  t.name = "demo-stale";
+  t.summary =
+      "BUG client_trusts_reply_deadline=0: expiry races the grant reply";
+  t.brokers.push_back({.name = "cpu", .capacity = 1.0});
+  t.clients.push_back(
+      {.session = 1, .broker = 0, .amount = 0.4, .lease = 2.0,
+       .max_retries = 0});
+  t.config.client_trusts_reply_deadline = false;
+  t.expect_violation = true;
+  t.expected_invariant = "no-phantom-grant";
+  return t;
+}
+
+/// Expected violation: restart grace extends the server-side deadline
+/// past the client's believed one. The client observes (its) expiry and
+/// re-reserves without releasing first (rereserve_releases_first=0); the
+/// still-live holding and the fresh grant stack up.
+Topology make_demo_rereserve() {
+  Topology t;
+  t.name = "demo-rereserve";
+  t.summary = "BUG rereserve_releases_first=0: grace-extended holding "
+              "stacks with re-reserve";
+  t.brokers.push_back({.name = "cpu",
+                       .capacity = 1.0,
+                       .max_crashes = 1,
+                       .restart_grace = 10.0});
+  t.brokers.push_back({.name = "net", .capacity = 1.0});
+  t.clients.push_back({.session = 1,
+                       .broker = 0,
+                       .amount = 0.4,
+                       .lease = 5.0,
+                       .max_retries = 1,
+                       .max_rereserves = 1});
+  t.clients.push_back(
+      {.session = 2, .broker = 1, .amount = 0.3, .lease = 6.0,
+       .max_retries = 0});
+  t.config.rereserve_releases_first = false;
+  t.expect_violation = true;
+  t.expected_invariant = "no-double-grant";
+  return t;
+}
+
+/// Expected violation: the stale-cache ordering. The replay cache lives
+/// in a frontend that survives the broker crash; with the down-check
+/// after dedup (down_check_before_dedup=0) a duplicate of the executed
+/// grant is answered kOk from the cache while the broker is down and its
+/// journal tail — including that execution — is being lost.
+Topology make_demo_stalededup() {
+  Topology t;
+  t.name = "demo-stalededup";
+  t.summary = "BUG down_check_before_dedup=0: cached kOk served for a "
+              "down broker losing its tail";
+  t.brokers.push_back({.name = "cpu",
+                       .capacity = 1.0,
+                       .compact = false,
+                       .max_crashes = 1,
+                       .max_tail_loss = 2});
+  t.clients.push_back({.session = 1,
+                       .broker = 0,
+                       .amount = 0.4,
+                       .lease = 2.0,
+                       .max_retries = 1,
+                       .max_dups = 1});
+  t.config.down_check_before_dedup = false;
+  t.config.dedup_survives_crash = true;
+  t.expect_violation = true;
+  t.expected_invariant = "no-stale-dedup-replay";
+  return t;
+}
+
+/// Expected violation: a permanent reservation whose owner crashes
+/// silently has no lease to reclaim it — the capacity is stranded
+/// forever. This is the baseline the soft-state lease design exists to
+/// prevent; the checker proves the model sees it.
+Topology make_demo_strand() {
+  Topology t;
+  t.name = "demo-strand";
+  t.summary = "BUG permanent + abandoning client: capacity stranded forever";
+  t.brokers.push_back({.name = "cpu", .capacity = 1.0});
+  t.clients.push_back({.session = 1,
+                       .broker = 0,
+                       .amount = 0.4,
+                       .lease = 0.0,
+                       .max_retries = 0,
+                       .may_abandon = true});
+  t.expect_violation = true;
+  t.expected_invariant = "no-stranded";
+  return t;
+}
+
+}  // namespace
+
+const std::vector<Topology>& all_topologies() {
+  static const std::vector<Topology> kTopologies = {
+      make_single(),        make_pair(),       make_crashy(),
+      make_lossy(),         make_demo_dedup(), make_demo_stale(),
+      make_demo_rereserve(), make_demo_stalededup(), make_demo_strand(),
+  };
+  return kTopologies;
+}
+
+const Topology* find_topology(const std::string& name) {
+  for (const Topology& t : all_topologies())
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+bool apply_config_override(McConfig* config, const std::string& pair) {
+  const std::size_t eq = pair.find('=');
+  if (eq == std::string::npos || eq + 1 >= pair.size()) return false;
+  const std::string key = pair.substr(0, eq);
+  const std::string value = pair.substr(eq + 1);
+  if (value != "0" && value != "1") return false;
+  const bool on = value == "1";
+  if (key == "down_check_before_dedup")
+    config->down_check_before_dedup = on;
+  else if (key == "rebuild_dedup_on_restart")
+    config->rebuild_dedup_on_restart = on;
+  else if (key == "dedup_survives_crash")
+    config->dedup_survives_crash = on;
+  else if (key == "client_trusts_reply_deadline")
+    config->client_trusts_reply_deadline = on;
+  else if (key == "rereserve_releases_first")
+    config->rereserve_releases_first = on;
+  else
+    return false;
+  return true;
+}
+
+std::vector<std::string> config_overrides(const McConfig& config) {
+  const McConfig defaults;
+  std::vector<std::string> out;
+  const auto diff = [&](const char* key, bool value, bool fallback) {
+    if (value != fallback)
+      out.push_back(std::string(key) + "=" + (value ? "1" : "0"));
+  };
+  diff("down_check_before_dedup", config.down_check_before_dedup,
+       defaults.down_check_before_dedup);
+  diff("rebuild_dedup_on_restart", config.rebuild_dedup_on_restart,
+       defaults.rebuild_dedup_on_restart);
+  diff("dedup_survives_crash", config.dedup_survives_crash,
+       defaults.dedup_survives_crash);
+  diff("client_trusts_reply_deadline", config.client_trusts_reply_deadline,
+       defaults.client_trusts_reply_deadline);
+  diff("rereserve_releases_first", config.rereserve_releases_first,
+       defaults.rereserve_releases_first);
+  return out;
+}
+
+}  // namespace qres::mc

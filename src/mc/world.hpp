@@ -1,0 +1,183 @@
+// The model checker's world: real production objects driven by a
+// controlled scheduler (DESIGN.md §13).
+//
+// A World owns, per broker process, a real BrokerRegistry + ResourceBroker
+// + MemoryJournal + BrokerService — the exact objects the runtime uses —
+// plus explicit client state machines and a content-keyed multiset of
+// in-flight frames. Nothing inside the world consumes time or randomness:
+// every nondeterministic choice (which frame is delivered, dropped or
+// duplicated; when a lease expires; when a broker crashes, how much
+// journal tail the crash loses, when it restarts; when a client retries,
+// renews, tears down, abandons) is an enumerable Action, applied by the
+// checker in every relevant order.
+//
+// Logical time is part of the world and advances only through kExpire:
+// firing a broker's earliest lease deadline jumps `now` to it. All other
+// actions are instantaneous, which collapses the continuous-time protocol
+// into a finite branching structure without losing the orderings that
+// matter (expiry-vs-delivery races are exactly the kExpire interleavings).
+//
+// canonical_key() hashes the behaviorally relevant state — client FSMs,
+// frames, broker holdings/leases (times stored relative to `now`), the
+// retained journal and the dedup cache — and deliberately excludes the
+// absolute clock and the availability history, merging states that can
+// only differ in when they happened, not in what can happen next.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/journal.hpp"
+#include "broker/registry.hpp"
+#include "mc/topology.hpp"
+#include "rpc/broker_service.hpp"
+
+namespace qres::mc {
+
+enum class ActionKind : std::uint8_t {
+  kStart,           ///< client sends its (re-)reserve request
+  kRetry,           ///< client retransmits the in-flight request (same id)
+  kGiveUp,          ///< client stops waiting (budget exhausted, no frame left)
+  kRenew,           ///< client sends a lease renewal
+  kTeardown,        ///< client sends release-all
+  kAbandon,         ///< client process crashes silently (no teardown)
+  kObserveExpired,  ///< client notices its believed deadline passed
+  kDeliver,         ///< network delivers one copy of a frame
+  kDrop,            ///< network loses one copy of a frame
+  kDup,             ///< network duplicates a frame
+  kExpire,          ///< broker's earliest lease deadline fires (advances now)
+  kCrash,           ///< broker process crashes (arg = journal tail loss)
+  kRestart,         ///< crashed broker process restarts
+};
+
+const char* to_string(ActionKind kind) noexcept;
+
+/// One scheduler choice. Identity is content-based (frame actions carry
+/// the frame's destination + content hash, never a volatile index), so
+/// actions compare equal across worlds — the sleep-set machinery and
+/// trace replay both depend on that.
+struct Action {
+  ActionKind kind{};
+  std::int32_t broker = -1;  ///< target broker process (or frame dest)
+  std::int32_t client = -1;  ///< acting client (or frame dest client)
+  std::int32_t owner = -1;   ///< frame actions: client whose session owns it
+  std::int32_t arg = 0;      ///< kCrash: records of journal tail lost
+  std::uint64_t request_id = 0;  ///< frame actions: id inside the frame
+  std::uint64_t frame_hash = 0;  ///< frame actions: content hash
+
+  friend bool operator==(const Action&, const Action&) = default;
+  friend auto operator<=>(const Action&, const Action&) = default;
+};
+
+/// Renders an action as one stable trace line ("deliver b0 id 101 h ...").
+std::string to_string(const Action& action);
+
+/// True when `a` and `b` commute from any state where both are enabled:
+/// neither advances logical time and their footprints (touched broker
+/// processes and clients) are disjoint. Static and symmetric — the
+/// sleep-set reduction's independence oracle.
+bool independent(const Action& a, const Action& b);
+
+class World {
+ public:
+  World(const Topology& topology, const McConfig& config);
+
+  World(World&&) noexcept = default;
+  World& operator=(World&&) noexcept = default;
+
+  /// Deep copy: brokers are copy-assigned into freshly built registries,
+  /// journals copied, each clone's broker rebound to its own journal
+  /// copy, services rebuilt with the dedup cache restored.
+  World clone() const;
+
+  /// Every enabled action, in a deterministic canonical order.
+  std::vector<Action> enabled() const;
+
+  /// Applies one action (must be enabled) and re-checks the invariants;
+  /// violation() reports the first broken one.
+  void apply(const Action& action);
+
+  /// Runs the quiescent-state invariants (no stranded capacity). Call
+  /// when enabled() is empty.
+  void check_quiescent();
+
+  /// 128-bit canonical state hash (two independent FNV-1a-64 streams).
+  std::pair<std::uint64_t, std::uint64_t> canonical_key() const;
+
+  /// Name of the first violated invariant, empty while the world is sound.
+  const std::string& violation() const noexcept { return violation_; }
+
+  double now() const noexcept { return now_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,       ///< may (re-)start
+    kReserving,  ///< reserve in flight
+    kGranted,    ///< believes it holds the reservation
+    kRenewing,   ///< renewal in flight
+    kReleasing,  ///< final release in flight
+    kRelForRereserve,  ///< release in flight, will re-reserve after
+    kDone,
+    kAborted,  ///< client process crashed
+  };
+
+  struct Client {
+    Phase phase = Phase::kIdle;
+    int retries_left = 0;
+    int dups_left = 0;
+    int renews_left = 0;
+    int rereserves_left = 0;
+    bool started = false;
+    bool awaiting = false;          ///< a request of ours is unanswered
+    std::uint64_t seq = 0;          ///< per-session request counter
+    std::uint64_t inflight_request = 0;
+    std::vector<std::uint8_t> inflight_bytes;  ///< for retransmission
+    bool holds = false;             ///< believes the reservation is live
+    double believed_deadline = 0.0; ///< +inf = permanent / none
+  };
+
+  /// One copy-class of in-flight frames: identical bytes headed to the
+  /// same destination are one entry with a count (delivering any copy is
+  /// the same transition, so separate entries would only split states).
+  struct Frame {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t hash = 0;  ///< content + destination hash
+    int to_broker = -1;
+    int to_client = -1;
+    int owner = -1;  ///< client whose session this exchange belongs to
+    std::uint32_t session = 0;
+    std::uint64_t request_id = 0;
+    int count = 1;
+  };
+
+  struct Proc {
+    std::unique_ptr<BrokerRegistry> registry;
+    std::unique_ptr<MemoryJournal> journal;  ///< null when not journaled
+    std::unique_ptr<rpc::BrokerService> service;
+    int crashes_left = 0;
+  };
+
+  ResourceBroker& leaf(int proc) const;
+  bool proc_up(int proc) const;
+  void add_frame(std::vector<std::uint8_t> bytes, int to_broker,
+                 int to_client, int owner);
+  void send_request(int client, const std::vector<std::uint8_t>& bytes,
+                    std::uint64_t request_id);
+  void deliver_to_broker(const Action& action);
+  void deliver_to_client(const Action& action);
+  void resolve_failure(int client);
+  int frame_index(const Action& action) const;
+  void check_invariants();
+
+  const Topology* topo_;
+  McConfig cfg_;
+  double now_ = 0.0;
+  std::vector<Proc> procs_;
+  std::vector<Client> clients_;
+  std::vector<Frame> frames_;
+  std::string violation_;
+};
+
+}  // namespace qres::mc

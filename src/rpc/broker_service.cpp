@@ -1,6 +1,7 @@
 #include "rpc/broker_service.hpp"
 
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -105,20 +106,74 @@ bool BrokerService::replay_cached(
   const auto it = dedup_.find(request_id);
   if (it == dedup_.end()) return false;
   ++stats_.duplicates;
-  replies->push_back(it->second);
+  replies->push_back(it->second.bytes);
   return true;
 }
 
-void BrokerService::cache_reply(std::uint64_t request_id,
-                                const std::vector<std::uint8_t>& reply) {
-  MutexLock lock(mutex_);
-  if (dedup_.contains(request_id)) return;
+void BrokerService::insert_dedup_locked(std::uint64_t request_id,
+                                        CachedReply entry) {
   while (dedup_order_.size() >= config_.dedup_capacity) {
     dedup_.erase(dedup_order_.front());
     dedup_order_.pop_front();
   }
-  dedup_.insert_or_assign(request_id, reply);
+  dedup_.insert_or_assign(request_id, std::move(entry));
   dedup_order_.push_back(request_id);
+}
+
+bool BrokerService::cache_reply(std::uint64_t request_id,
+                                const std::vector<std::uint8_t>& reply,
+                                ResourceId resource) {
+  MutexLock lock(mutex_);
+  if (dedup_.contains(request_id)) return false;
+  insert_dedup_locked(request_id, CachedReply{reply, resource});
+  return true;
+}
+
+BrokerService::DedupState BrokerService::dedup_state() const {
+  MutexLock lock(mutex_);
+  return DedupState{dedup_, dedup_order_};
+}
+
+void BrokerService::restore_dedup(DedupState state) {
+  MutexLock lock(mutex_);
+  dedup_ = std::move(state.entries);
+  dedup_order_ = std::move(state.order);
+}
+
+void BrokerService::forget_dedup(ResourceId resource) {
+  MutexLock lock(mutex_);
+  std::deque<std::uint64_t> kept;
+  for (const std::uint64_t id : dedup_order_) {
+    const auto it = dedup_.find(id);
+    if (it != dedup_.end() && it->second.resource == resource)
+      dedup_.erase(id);
+    else
+      kept.push_back(id);
+  }
+  dedup_order_ = std::move(kept);
+}
+
+void BrokerService::rebuild_dedup(ResourceId resource) {
+  const ResourceBroker* leaf = registry_->leaf(resource);
+  if (leaf == nullptr || leaf->journal() == nullptr) return;
+  const std::vector<JournalRecord> records = leaf->journal()->load();
+  MutexLock lock(mutex_);
+  // Drop the in-memory entries first: an entry the retained journal does
+  // not confirm describes an execution recovery may not have restored.
+  std::deque<std::uint64_t> kept;
+  for (const std::uint64_t id : dedup_order_) {
+    const auto it = dedup_.find(id);
+    if (it != dedup_.end() && it->second.resource == resource)
+      dedup_.erase(id);
+    else
+      kept.push_back(id);
+  }
+  dedup_order_ = std::move(kept);
+  for (const JournalRecord& rec : records) {
+    if (rec.op != JournalOp::kReplyCache || rec.resource != resource) continue;
+    if (dedup_.contains(rec.request_id)) continue;
+    insert_dedup_locked(rec.request_id, CachedReply{rec.reply, resource});
+  }
 }
 
 void BrokerService::handle_frame(
@@ -143,6 +198,28 @@ void BrokerService::handle_frame(
     return;
   }
   const RequestHeader header = header_of(decoded.message);
+  const ResourceId resource = std::visit(
+      [](const auto& m) -> ResourceId {
+        if constexpr (requires { m.resource; })
+          return ResourceId{m.resource};
+        else
+          return ResourceId{};  // QueryRequest: no single target resource
+      },
+      decoded.message);
+  // Down brokers are reported *before* the replay cache is consulted: a
+  // cached kOk from before the crash must not be served while journal
+  // recovery may still lose the execution it describes (DESIGN.md §13).
+  // Not cached — a retry after restart may succeed.
+  if (config_.down_check_before_dedup && known_resource(resource) &&
+      !registry_->broker(resource).up()) {
+    {
+      MutexLock lock(mutex_);
+      ++stats_.broker_down;
+    }
+    replies->push_back(
+        encode(error_reply(type, header.request_id, RpcCode::kBrokerDown)));
+    return;
+  }
   if (replay_cached(header.request_id, replies)) return;
   if (expired(header, now)) {
     {
@@ -158,20 +235,12 @@ void BrokerService::handle_frame(
   if (type == MessageType::kQueryRequest) {
     std::vector<std::uint8_t> reply =
         serve_query(std::get<QueryRequest>(decoded.message), now);
-    cache_reply(header.request_id, reply);
+    cache_reply(header.request_id, reply, ResourceId{});
     replies->push_back(std::move(reply));
     return;
   }
 
   // Mutating vocabulary: route to the target broker's bounded queue.
-  const ResourceId resource = std::visit(
-      [](const auto& m) -> ResourceId {
-        if constexpr (requires { m.resource; })
-          return ResourceId{m.resource};
-        else
-          return ResourceId{};
-      },
-      decoded.message);
   if (!known_resource(resource)) {
     {
       MutexLock lock(mutex_);
@@ -228,6 +297,7 @@ std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
       MutexLock lock(mutex_);
       if (code == RpcCode::kDeadlineExceeded) ++stats_.deadline_expired;
       if (code == RpcCode::kBadRequest) ++stats_.bad_requests;
+      if (code == RpcCode::kBrokerDown) ++stats_.broker_down;
     }
     return encode(error_reply(type, header.request_id, code));
   };
@@ -246,6 +316,14 @@ std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
   IBroker& broker = registry_->broker(resource);
   if (!broker.up()) return reject(RpcCode::kBrokerDown);
 
+  // Journaled brokers get the executed reply journaled next to the
+  // mutation records its execution appends (dedup crash durability);
+  // the appended-count delta decides grouping.
+  ResourceBroker* leaf = registry_->leaf(resource);
+  if (leaf != nullptr && leaf->journal() == nullptr) leaf = nullptr;
+  const std::uint64_t mutations_before =
+      leaf != nullptr ? leaf->journaled_mutations() : 0;
+
   AnyMessage reply;
   if (const auto* reserve = std::get_if<ReserveRequest>(&request)) {
     if (!finite_nonnegative(reserve->amount) ||
@@ -259,7 +337,9 @@ std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
             : broker.reserve(now, session, reserve->amount);
     reply = ReserveReply{header.request_id,
                          granted ? RpcCode::kOk : RpcCode::kAdmissionReject,
-                         broker.available()};
+                         broker.available(),
+                         granted ? broker.lease_deadline(session)
+                                 : std::numeric_limits<double>::infinity()};
   } else if (const auto* release = std::get_if<ReleaseRequest>(&request)) {
     if (!finite_nonnegative(release->amount))
       return reject(RpcCode::kBadRequest);
@@ -279,7 +359,9 @@ std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
     const SessionId session{renew->header.session};
     const bool renewed = broker.renew_lease(now, session, renew->lease);
     reply = RenewReply{header.request_id, RpcCode::kOk,
-                       static_cast<std::uint8_t>(renewed ? 1 : 0)};
+                       static_cast<std::uint8_t>(renewed ? 1 : 0),
+                       renewed ? broker.lease_deadline(session)
+                               : std::numeric_limits<double>::infinity()};
   } else if (const auto* reconcile =
                  std::get_if<ReconcileRequest>(&request)) {
     const SessionId session{reconcile->header.session};
@@ -296,7 +378,22 @@ std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
   std::vector<std::uint8_t> encoded = encode(reply);
   // Performed operations (including admission rejects) are cached so a
   // redelivered duplicate returns this reply instead of executing twice.
-  cache_reply(header.request_id, encoded);
+  if (cache_reply(header.request_id, encoded, resource) && leaf != nullptr) {
+    // Durable half of the cache entry. `grouped` ties the record to the
+    // mutation records this execution just appended, so a lossy tail
+    // drops them together or not at all (MemoryJournal::drop_tail).
+    // No-mutation executions (failed renew, admission reject) journal an
+    // ungrouped record — gluing one to an unrelated predecessor could
+    // strand that predecessor's own reply.
+    JournalRecord rec;
+    rec.op = JournalOp::kReplyCache;
+    rec.time = now;
+    rec.resource = resource;
+    rec.request_id = header.request_id;
+    rec.grouped = leaf->journaled_mutations() > mutations_before;
+    rec.reply = encoded;
+    leaf->journal()->append(rec);
+  }
   return encoded;
 }
 

@@ -22,6 +22,23 @@
 // drained. Deadlines are enforced both at ingress and again at drain
 // time, so a request that expired while queued is answered
 // kDeadlineExceeded rather than executed late.
+//
+// Crash durability of the cache (DESIGN.md §13): when the target broker
+// journals, every executed reply is journaled as a kReplyCache record
+// grouped with the mutation records its execution appended, and
+// rebuild_dedup() re-derives the cache for a restarted broker from the
+// retained journal. Without that rebuild, the model checker's
+// demo-dedup topology shows the double grant: executed grant survives
+// the crash in the journal, the cache entry does not, and the client's
+// retry of the *same request id* executes again on top of the restored
+// holding. Two companion rules close the remaining window:
+//   * a request for a down broker is answered kBrokerDown at ingress,
+//     *before* the replay cache is consulted — a cached kOk from before
+//     the crash must not be served while journal recovery may still lose
+//     the grant it describes;
+//   * the dedup horizon equals the retained journal: compaction drops
+//     kReplyCache records older than the newest snapshot, so sinks that
+//     compact bound the horizon by snapshot_every (documented trade-off).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +63,11 @@ class BrokerService : public IFrameServer {
     /// Execute queued requests immediately after each post (synchronous
     /// coordinator mode). Off = the caller pipelines and drains.
     bool auto_drain = true;
+    /// Answer kBrokerDown at ingress, before the dedup cache is consulted
+    /// (the fixed ordering — see the header comment). Off preserves the
+    /// pre-fix ordering so the checked-in counterexample trace stays
+    /// replayable (tools/testdata/mc_traces/).
+    bool down_check_before_dedup = true;
   };
 
   explicit BrokerService(BrokerRegistry* registry);
@@ -69,8 +91,37 @@ class BrokerService : public IFrameServer {
     std::uint64_t backpressure = 0;      ///< kBackpressure fast-rejects
     std::uint64_t deadline_expired = 0;  ///< kDeadlineExceeded replies
     std::uint64_t bad_requests = 0;      ///< kBadRequest replies
+    std::uint64_t broker_down = 0;       ///< kBrokerDown replies
   };
   Stats stats() const QRES_EXCLUDES(mutex_);
+
+  /// One replay-cache entry: the encoded reply plus the resource whose
+  /// broker executed it (invalid for queries — they span resources and
+  /// are never rebuilt from a journal).
+  struct CachedReply {
+    std::vector<std::uint8_t> bytes;
+    ResourceId resource;
+  };
+
+  /// The full replay cache, copyable — the model checker's cloning seam.
+  struct DedupState {
+    FlatMap<std::uint64_t, CachedReply> entries;
+    std::deque<std::uint64_t> order;
+  };
+  DedupState dedup_state() const QRES_EXCLUDES(mutex_);
+  void restore_dedup(DedupState state) QRES_EXCLUDES(mutex_);
+
+  /// Drops every cached reply attributed to `resource` (the service-side
+  /// half of a broker crash when cache and broker share a process).
+  void forget_dedup(ResourceId resource) QRES_EXCLUDES(mutex_);
+
+  /// Re-derives `resource`'s replay-cache entries from its (restarted)
+  /// broker's journal: drops whatever the in-memory cache holds for the
+  /// resource, then inserts one entry per retained kReplyCache record.
+  /// Call after ResourceBroker::restart() — the cache then agrees with
+  /// journal truth even when a lossy tail took executed grants with it.
+  /// No-op for resources without a journaled leaf broker.
+  void rebuild_dedup(ResourceId resource) QRES_EXCLUDES(mutex_);
 
   /// The deepest any broker's execution queue has ever been.
   std::size_t max_queue_high_water() const;
@@ -94,9 +145,13 @@ class BrokerService : public IFrameServer {
   bool replay_cached(std::uint64_t request_id,
                      std::vector<std::vector<std::uint8_t>>* replies)
       QRES_EXCLUDES(mutex_);
-  void cache_reply(std::uint64_t request_id,
-                   const std::vector<std::uint8_t>& reply)
+  /// True when the entry was newly inserted (false: id already cached —
+  /// the caller must not journal a second kReplyCache record for it).
+  bool cache_reply(std::uint64_t request_id,
+                   const std::vector<std::uint8_t>& reply, ResourceId resource)
       QRES_EXCLUDES(mutex_);
+  void insert_dedup_locked(std::uint64_t request_id, CachedReply entry)
+      QRES_REQUIRES(mutex_);
 
   BrokerRegistry* registry_;
   Config config_;
@@ -104,8 +159,7 @@ class BrokerService : public IFrameServer {
   /// stable (ExecutionQueue owns a Mutex and cannot move).
   FlatMap<ResourceId, std::unique_ptr<ExecutionQueue>> queues_;
   mutable Mutex mutex_;
-  FlatMap<std::uint64_t, std::vector<std::uint8_t>> dedup_
-      QRES_GUARDED_BY(mutex_);
+  FlatMap<std::uint64_t, CachedReply> dedup_ QRES_GUARDED_BY(mutex_);
   std::deque<std::uint64_t> dedup_order_ QRES_GUARDED_BY(mutex_);
   Stats stats_ QRES_GUARDED_BY(mutex_);
 };

@@ -130,6 +130,7 @@ void put_payload(std::vector<std::uint8_t>& out, const ReserveReply& m) {
   put_u64(out, m.request_id);
   put_u8(out, static_cast<std::uint8_t>(m.code));
   put_f64(out, m.available_after);
+  put_f64(out, m.lease_deadline);
 }
 
 void put_payload(std::vector<std::uint8_t>& out, const ReleaseRequest& m) {
@@ -155,6 +156,7 @@ void put_payload(std::vector<std::uint8_t>& out, const RenewReply& m) {
   put_u64(out, m.request_id);
   put_u8(out, static_cast<std::uint8_t>(m.code));
   put_u8(out, m.renewed);
+  put_f64(out, m.lease_deadline);
 }
 
 void put_payload(std::vector<std::uint8_t>& out, const ReconcileRequest& m) {
@@ -245,6 +247,7 @@ Decoded decode_payload(MessageType type, const std::uint8_t* data,
       m.request_id = r.u64();
       read_code(r, &m.code);
       m.available_after = r.f64();
+      m.lease_deadline = r.f64();
       out.message = m;
       break;
     }
@@ -278,6 +281,7 @@ Decoded decode_payload(MessageType type, const std::uint8_t* data,
       m.request_id = r.u64();
       read_code(r, &m.code);
       m.renewed = read_bool8(r);
+      m.lease_deadline = r.f64();
       out.message = m;
       break;
     }

@@ -29,11 +29,16 @@
 //
 // Versioning: kWireVersion is bumped on any layout change; decoders
 // reject frames from other versions (kBadVersion). The golden-bytes tests
-// in tests/rpc/test_wire.cpp pin the exact v1 encoding of every message
-// type so accidental wire breaks fail loudly.
+// in tests/rpc/test_wire.cpp pin the exact encoding of every message
+// type so accidental wire breaks fail loudly. v2 added the authoritative
+// `lease_deadline` to ReserveReply/RenewReply: the model checker showed
+// that a client deriving the deadline from its own receive time believes
+// a lease lives longer than the broker does and keeps acting on a
+// reclaimed holding (DESIGN.md §13).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <variant>
 #include <vector>
@@ -42,7 +47,7 @@
 
 namespace qres::rpc {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kHeaderSize = 20;
 /// Upper bound on one frame's payload; larger length fields are rejected
 /// before any allocation is sized from attacker-controlled input.
@@ -120,6 +125,13 @@ struct ReserveReply {
   std::uint64_t request_id = 0;
   RpcCode code = RpcCode::kOk;
   double available_after = 0.0;
+  /// The broker's authoritative lease deadline for the session after this
+  /// grant (+inf for permanent reservations and non-grants). Clients must
+  /// schedule renewals from this value, never from their own receive time:
+  /// the grant executed before the reply travelled, so a receipt-derived
+  /// deadline overshoots the broker's and the holding is reclaimed while
+  /// the client still believes it is covered.
+  double lease_deadline = std::numeric_limits<double>::infinity();
 
   friend bool operator==(const ReserveReply&, const ReserveReply&) = default;
 };
@@ -154,6 +166,9 @@ struct RenewReply {
   std::uint64_t request_id = 0;
   RpcCode code = RpcCode::kOk;
   std::uint8_t renewed = 0;  ///< renew_lease()'s boolean result
+  /// The broker's lease deadline after the renewal (+inf when the session
+  /// holds nothing leased here — renewed == 0). See ReserveReply.
+  double lease_deadline = std::numeric_limits<double>::infinity();
 
   friend bool operator==(const RenewReply&, const RenewReply&) = default;
 };

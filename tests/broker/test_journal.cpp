@@ -97,6 +97,84 @@ TEST(Journal, SnapshotCompactionEverySnapshotEveryMutations) {
   EXPECT_EQ(to_line(recovered.snapshot(8.0)), to_line(broker.snapshot(8.0)));
 }
 
+TEST(Journal, CompactionRetainsReplyCacheRecords) {
+  // Regression for the double grant qres_mc found on `crashy`: restart()
+  // appends a snapshot, and compaction used to wipe the kReplyCache
+  // records before BrokerService::rebuild_dedup could read them — a
+  // retried request then re-executed on top of the restored holding.
+  // Compaction must carry the newest reply records across the barrier
+  // (ungrouped: behind a snapshot they are fsynced state).
+  MemoryJournal journal;  // compacting (the default)
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+  JournalRecord reply;
+  reply.op = JournalOp::kReplyCache;
+  reply.resource = rid;
+  reply.request_id = 77;
+  reply.grouped = true;
+  reply.reply = {0xde, 0xad};
+  journal.append(reply);
+  journal.append(broker.snapshot(2.0));  // the compaction barrier
+
+  int reply_records = 0;
+  for (const JournalRecord& record : journal.records())
+    if (record.op == JournalOp::kReplyCache) {
+      ++reply_records;
+      EXPECT_EQ(record.request_id, 77u);
+      EXPECT_EQ(record.reply, (std::vector<std::uint8_t>{0xde, 0xad}));
+      EXPECT_FALSE(record.grouped);  // no longer tied to a compacted mutation
+    }
+  EXPECT_EQ(reply_records, 1);
+  EXPECT_EQ(journal.records().back().op, JournalOp::kSnapshot);
+  // Retained replies sit ahead of the snapshot, and recovery (which only
+  // reads broker state) is undisturbed by them.
+  const ResourceBroker recovered = ResourceBroker::recover(journal.records());
+  EXPECT_EQ(recovered.held_by(s1), 10.0);
+}
+
+TEST(Journal, CompactionBoundsRetainedReplyRecords) {
+  MemoryJournal journal(/*compact_on_snapshot=*/true, /*reply_cache_keep=*/2);
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    JournalRecord reply;
+    reply.op = JournalOp::kReplyCache;
+    reply.resource = rid;
+    reply.request_id = id;
+    journal.append(reply);
+  }
+  journal.append(broker.snapshot(1.0));
+  // Only the newest two reply records survive the compaction.
+  std::vector<std::uint64_t> kept;
+  for (const JournalRecord& record : journal.records())
+    if (record.op == JournalOp::kReplyCache)
+      kept.push_back(record.request_id);
+  EXPECT_EQ(kept, (std::vector<std::uint64_t>{4, 5}));
+}
+
+TEST(Journal, DropTailKeepsGroupedReplyAtomicWithItsMutation) {
+  MemoryJournal journal(/*compact_on_snapshot=*/false);
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+  JournalRecord reply;
+  reply.op = JournalOp::kReplyCache;
+  reply.resource = rid;
+  reply.request_id = 5;
+  reply.grouped = true;
+  journal.append(reply);  // snapshot, kReserve, grouped kReplyCache
+
+  // A tail budget of 1 would split the group: the whole pair is kept
+  // (keeping more of the tail is always a legal crash outcome).
+  EXPECT_EQ(journal.drop_tail(1), 0u);
+  ASSERT_EQ(journal.records().size(), 3u);
+  // A budget of 2 drops the pair atomically.
+  EXPECT_EQ(journal.drop_tail(2), 2u);
+  ASSERT_EQ(journal.records().size(), 1u);
+  EXPECT_EQ(journal.records()[0].op, JournalOp::kSnapshot);
+}
+
 TEST(Journal, DropTailStopsAtNewestSnapshot) {
   MemoryJournal journal(/*compact_on_snapshot=*/false);
   ResourceBroker broker = make();

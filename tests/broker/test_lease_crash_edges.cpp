@@ -1,0 +1,169 @@
+// Lease × crash–restart edge cases surfaced while building the model
+// checker (DESIGN.md §13): the exact-deadline expiry tie under restart
+// grace, renewal against a broker recovered from a journal whose tail —
+// including the grant — was lost, and expiry idempotence (double sweeps,
+// re-journaled kExpire records). These pin boundary conventions the
+// checker's topologies rely on.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "broker/journal.hpp"
+#include "broker/resource_broker.hpp"
+
+namespace qres {
+namespace {
+
+const ResourceId rid{0};
+const SessionId s1{1}, s2{2};
+
+ResourceBroker make(double capacity = 100.0) {
+  return ResourceBroker(rid, "cpu", capacity);
+}
+
+// --- Exact-deadline ties under restart grace ------------------------------
+
+TEST(LeaseCrashEdges, RestartGraceMovesTheExactDeadlineTie) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 25.0, 2.0));  // deadline 2.0
+  broker.crash(1.0);
+  broker.restart(1.5, /*lease_grace=*/1.0);  // max(2.0, 1.5 + 1.0) = 2.5
+  EXPECT_EQ(broker.lease_deadline(s1), 2.5);
+
+  // The original deadline tick is now strictly inside the grace window:
+  // neither the sweep nor a renewal-first sweep reclaims at t=2.0...
+  std::vector<SessionId> expired;
+  EXPECT_EQ(broker.expire_due(2.0, &expired), 0.0);
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(broker.held_by(s1), 25.0);
+  // ...and a renewal at that tick succeeds, measured from its own now.
+  ASSERT_TRUE(broker.renew_lease(2.0, s1, 2.0));
+  EXPECT_EQ(broker.lease_deadline(s1), 4.0);
+}
+
+TEST(LeaseCrashEdges, ExpiryStillWinsTheTieAtTheGraceExtendedDeadline) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 25.0, 2.0));
+  broker.crash(1.0);
+  broker.restart(1.5, 1.0);
+  ASSERT_EQ(broker.lease_deadline(s1), 2.5);
+  // Grace shifts *where* the tie happens, not who wins it: a renewal
+  // arriving exactly at the grace-extended deadline sweeps the due lease
+  // first and fails, same as an un-graced renewal at its deadline.
+  EXPECT_FALSE(broker.renew_lease(2.5, s1, 2.0));
+  EXPECT_EQ(broker.held_by(s1), 0.0);
+  EXPECT_EQ(broker.lease_deadline(s1),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(LeaseCrashEdges, RestartExactlyAtTheDeadlineWithZeroGrace) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 25.0, 2.0));
+  broker.crash(1.0);
+  broker.restart(2.0, 0.0);  // max(2.0, 2.0 + 0) — due immediately
+  EXPECT_EQ(broker.lease_deadline(s1), 2.0);
+  std::vector<SessionId> expired;
+  EXPECT_EQ(broker.expire_due(2.0, &expired), 25.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], s1);
+}
+
+// --- Recovery from a journal whose tail lost the grant --------------------
+
+TEST(LeaseCrashEdges, RenewAgainstASnapshotOlderThanTheGrantFails) {
+  // The un-fsynced tail loses the grant itself: the recovered broker is
+  // the pre-grant snapshot, so it holds nothing for the session. The
+  // renewal must fail cleanly (not resurrect the holding), and a fresh
+  // re-reserve must be the way back in.
+  MemoryJournal journal(/*compact_on_snapshot=*/false);
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);  // snapshot barrier, pre-grant
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 25.0, 2.0));
+  ASSERT_EQ(journal.drop_tail(1), 1u);  // the kReserveLeased record
+  ResourceBroker recovered = ResourceBroker::recover(journal.records());
+  EXPECT_EQ(recovered.held_by(s1), 0.0);
+  EXPECT_FALSE(recovered.renew_lease(1.0, s1, 2.0));
+  EXPECT_EQ(recovered.held_by(s1), 0.0);
+  EXPECT_EQ(recovered.reserved(), 0.0);
+  ASSERT_TRUE(recovered.reserve_leased(1.0, s1, 25.0, 2.0));
+  EXPECT_EQ(recovered.lease_deadline(s1), 3.0);
+}
+
+TEST(LeaseCrashEdges, RenewAgainstASnapshotOlderThanTheRenewalIsMonotone) {
+  // Tail loss eats a renewal but not the grant: the recovered deadline
+  // reverts to the grant's. Renewing again never shortens — the new
+  // deadline is max(old, now + lease) even when the replayed state is
+  // older than what the client last saw.
+  MemoryJournal journal(false);
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 25.0, 4.0));  // deadline 4.0
+  ASSERT_TRUE(broker.renew_lease(1.0, s1, 6.0));           // deadline 7.0
+  ASSERT_EQ(journal.drop_tail(1), 1u);  // lose the kRenewLease record
+  ResourceBroker recovered = ResourceBroker::recover(journal.records());
+  EXPECT_EQ(recovered.lease_deadline(s1), 4.0);
+  ASSERT_TRUE(recovered.renew_lease(3.0, s1, 0.5));
+  // max(4.0, 3.5): the stale-journal deadline still rules.
+  EXPECT_EQ(recovered.lease_deadline(s1), 4.0);
+  ASSERT_TRUE(recovered.renew_lease(3.0, s1, 6.0));
+  EXPECT_EQ(recovered.lease_deadline(s1), 9.0);
+}
+
+// --- Expiry idempotence ---------------------------------------------------
+
+TEST(LeaseCrashEdges, DoubleExpireSweepIsIdempotent) {
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 25.0, 2.0));
+  ASSERT_TRUE(broker.reserve_leased(0.0, s2, 10.0, 5.0));
+
+  std::vector<SessionId> expired;
+  EXPECT_EQ(broker.expire_due(2.0, &expired), 25.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], s1);
+
+  // Sweeping the same instant again reclaims nothing and appends nothing:
+  // exactly one kExpire record exists per reclaimed session.
+  const std::size_t records_after_first = journal.records().size();
+  expired.clear();
+  EXPECT_EQ(broker.expire_due(2.0, &expired), 0.0);
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(journal.records().size(), records_after_first);
+  EXPECT_EQ(broker.held_by(s2), 10.0);  // the live lease is untouched
+
+  int expire_records = 0;
+  for (const JournalRecord& record : journal.records())
+    if (record.op == JournalOp::kExpire) ++expire_records;
+  EXPECT_EQ(expire_records, 1);
+}
+
+TEST(LeaseCrashEdges, ExpireAcrossCrashRestartDoesNotDoubleReclaim) {
+  // Expire, crash, restart: the journal replays the kExpire record, so
+  // the recovered broker must not hold the reclaimed session — and a
+  // second post-restart sweep at the same tick stays a no-op.
+  MemoryJournal journal;
+  ResourceBroker broker = make();
+  broker.attach_journal(&journal, 64, 0.0);
+  ASSERT_TRUE(broker.reserve_leased(0.0, s1, 25.0, 2.0));
+  std::vector<SessionId> expired;
+  ASSERT_EQ(broker.expire_due(2.0, &expired), 25.0);
+  const double reserved_after_expiry = broker.reserved();
+  broker.crash(2.5);
+  broker.restart(3.0, /*lease_grace=*/5.0);  // grace only extends live leases
+  EXPECT_EQ(broker.held_by(s1), 0.0);
+  EXPECT_EQ(broker.reserved(), reserved_after_expiry);
+  expired.clear();
+  EXPECT_EQ(broker.expire_due(3.0, &expired), 0.0);
+  EXPECT_TRUE(expired.empty());
+}
+
+}  // namespace
+}  // namespace qres

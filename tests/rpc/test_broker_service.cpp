@@ -8,7 +8,9 @@
 
 #include <limits>
 
+#include "broker/journal.hpp"
 #include "broker/registry.hpp"
+#include "broker/resource_broker.hpp"
 #include "util/assert.hpp"
 
 namespace qres::rpc {
@@ -272,6 +274,137 @@ TEST(BrokerService, ReportsDownBrokersTyped) {
   ASSERT_EQ(query.samples.size(), 1u);
   EXPECT_EQ(query.samples.at(0).up, 0);
   EXPECT_EQ(query.samples.at(0).available, 0.0);
+}
+
+// --- Replay-cache durability (DESIGN.md §13) ------------------------------
+
+TEST(BrokerService, ExecutedRepliesAreJournaledGroupedWithTheirMutations) {
+  ServiceFixture fx;
+  MemoryJournal journal;
+  fx.registry.leaf(fx.cpu)->attach_journal(&journal, 64, 0.0);
+  BrokerService service(&fx.registry);
+
+  const ReserveRequest request{{21, 7, kInf}, fx.cpu.value(), 30.0, 0.0};
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, request, 1.0)).code,
+            RpcCode::kOk);
+
+  // The execution appended its mutation record AND a grouped kReplyCache
+  // record carrying the encoded reply under the same request id.
+  const std::vector<JournalRecord>& records = journal.records();
+  ASSERT_GE(records.size(), 2u);
+  const JournalRecord& reply = records.back();
+  EXPECT_EQ(reply.op, JournalOp::kReplyCache);
+  EXPECT_EQ(reply.request_id, 21u);
+  EXPECT_TRUE(reply.grouped);
+  EXPECT_FALSE(reply.reply.empty());
+  EXPECT_EQ(records[records.size() - 2].op, JournalOp::kReserve);
+
+  // A dedup-served duplicate executes nothing and journals nothing.
+  const std::size_t count = records.size();
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, request, 1.5)).code,
+            RpcCode::kOk);
+  EXPECT_EQ(service.stats().duplicates, 1u);
+  EXPECT_EQ(service.stats().executed, 1u);
+  EXPECT_EQ(journal.records().size(), count);
+}
+
+TEST(BrokerService, DedupStateRoundTripsThroughRestore) {
+  ServiceFixture fx;
+  BrokerService service(&fx.registry);
+  const ReserveRequest request{{31, 7, kInf}, fx.cpu.value(), 30.0, 0.0};
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, request, 1.0)).code,
+            RpcCode::kOk);
+
+  // A second frontend restored from the first one's cache answers the
+  // duplicate without executing — the model checker's cloning seam.
+  BrokerService twin(&fx.registry);
+  twin.restore_dedup(service.dedup_state());
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(twin, request, 2.0)).code,
+            RpcCode::kOk);
+  EXPECT_EQ(twin.stats().duplicates, 1u);
+  EXPECT_EQ(twin.stats().executed, 0u);
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 30.0);
+}
+
+TEST(BrokerService, ForgetDedupDropsOnlyTheNamedResource) {
+  ServiceFixture fx;
+  const ResourceId net =
+      fx.registry.add_resource("net", ResourceKind::kNetworkBandwidth,
+                               HostId{1}, 50.0);
+  BrokerService service(&fx.registry);
+  const ReserveRequest on_cpu{{41, 7, kInf}, fx.cpu.value(), 30.0, 0.0};
+  const ReserveRequest on_net{{42, 7, kInf}, net.value(), 10.0, 0.0};
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, on_cpu, 1.0)).code,
+            RpcCode::kOk);
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, on_net, 1.0)).code,
+            RpcCode::kOk);
+
+  service.forget_dedup(fx.cpu);
+  // net's entry survives (served from cache)...
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, on_net, 2.0)).code,
+            RpcCode::kOk);
+  EXPECT_EQ(service.stats().duplicates, 1u);
+  // ...cpu's is gone, so the redelivery executes again.
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, on_cpu, 2.0)).code,
+            RpcCode::kOk);
+  EXPECT_EQ(service.stats().executed, 3u);
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 60.0);
+}
+
+TEST(BrokerService, RebuildDedupAfterRestartAnswersRetriesFromTheJournal) {
+  // The crash-retry double grant, closed: the broker process dies taking
+  // the colocated cache with it, the journal restores the holding, and
+  // rebuild_dedup() restores the cache — so the client's same-id retry is
+  // answered with the original reply instead of executing twice.
+  ServiceFixture fx;
+  MemoryJournal journal;
+  ResourceBroker* leaf = fx.registry.leaf(fx.cpu);
+  leaf->attach_journal(&journal, 64, 0.0);
+  BrokerService service(&fx.registry);
+  const ReserveRequest request{{51, 7, kInf}, fx.cpu.value(), 30.0, 0.0};
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, request, 1.0)).code,
+            RpcCode::kOk);
+
+  leaf->crash(2.0);
+  service.forget_dedup(fx.cpu);  // the cache died with the process
+  leaf->restart(3.0);
+  service.rebuild_dedup(fx.cpu);
+
+  const auto replayed =
+      std::get<ReserveReply>(roundtrip(service, request, 4.0));
+  EXPECT_EQ(replayed.code, RpcCode::kOk);
+  EXPECT_EQ(replayed.request_id, 51u);
+  EXPECT_EQ(service.stats().duplicates, 1u);
+  EXPECT_EQ(service.stats().executed, 1u);
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 30.0);
+}
+
+TEST(BrokerService, RebuildAgreesWithALossyJournalTail) {
+  // When the un-fsynced tail loses the execution (mutation + grouped
+  // reply, atomically), the rebuilt cache must NOT claim the request was
+  // executed: the retry re-executes against the recovered state, which is
+  // exactly once from the journal's point of view.
+  ServiceFixture fx;
+  MemoryJournal journal(/*compact_on_snapshot=*/false);
+  ResourceBroker* leaf = fx.registry.leaf(fx.cpu);
+  leaf->attach_journal(&journal, 64, 0.0);
+  BrokerService service(&fx.registry);
+  const ReserveRequest request{{61, 7, kInf}, fx.cpu.value(), 30.0, 0.0};
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, request, 1.0)).code,
+            RpcCode::kOk);
+
+  leaf->crash(2.0);
+  ASSERT_EQ(journal.drop_tail(2), 2u);  // the grant and its grouped reply
+  service.forget_dedup(fx.cpu);
+  leaf->restart(3.0);
+  service.rebuild_dedup(fx.cpu);
+
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 0.0);
+  ASSERT_EQ(std::get<ReserveReply>(roundtrip(service, request, 4.0)).code,
+            RpcCode::kOk);
+  EXPECT_EQ(service.stats().duplicates, 0u);
+  EXPECT_EQ(service.stats().executed, 2u);
+  EXPECT_EQ(fx.registry.broker(fx.cpu).held_by(SessionId{7}), 30.0);
 }
 
 }  // namespace

@@ -218,6 +218,126 @@ TEST(RpcChannel, TypedCallRejectsNonRequests) {
                ContractViolation);
 }
 
+/// Fault hook that loses every frame while `lossy` is set: the typed
+/// call's rounds all end with no usable reply — exactly what a half-open
+/// probe whose frame is lost in the network looks like.
+struct DropAllFaults : IFrameFaults {
+  bool lossy = true;
+  int dropped = 0;
+  void transmit_frame(
+      const std::vector<std::uint8_t>& frame,
+      std::vector<std::vector<std::uint8_t>>* delivered) override {
+    if (lossy) {
+      ++dropped;
+      return;
+    }
+    delivered->push_back(frame);
+  }
+};
+
+TEST(RpcChannel, HalfOpenProbeFrameLostReopensWithCappedCooldown) {
+  // The probe's failure mode here is frame loss, not a transport error:
+  // every round burns with no usable reply, the call ends kTimeout, and
+  // the half-open breaker must re-open with the backed-off (and capped)
+  // cooldown — same as a refused probe.
+  BrokerRegistry registry;
+  const ResourceId cpu =
+      registry.add_resource("cpu", ResourceKind::kCpu, HostId{1}, 100.0);
+  BrokerService service(&registry);
+  DropAllFaults faults;
+  RpcChannel channel(nullptr, &service, &faults, breaker_config(1));
+  const HostId peer{1};
+  const ReserveRequest request{{0, 4, 0.0}, cpu.value(), 25.0, 0.0};
+
+  // Threshold 1: the first lost call trips the breaker (cooldown 2).
+  EXPECT_EQ(channel.call(HostId{0}, peer, request, 0.0).status,
+            CallStatus::kTimeout);
+  EXPECT_GT(channel.peer_stats().at(peer).corrupt_rounds, 0u);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_trips, 1u);
+  EXPECT_EQ(channel.breaker_state(peer, 0.0), BreakerState::kOpen);
+
+  // While open, the typed path fast-fails without touching the server.
+  const int before = faults.dropped;
+  EXPECT_EQ(channel.call(HostId{0}, peer, request, 1.0).status,
+            CallStatus::kBreakerOpen);
+  EXPECT_EQ(faults.dropped, before);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_fast_fails, 1u);
+
+  // Half-open at t=2; the probe's frame is lost -> cooldown doubles to 4.
+  EXPECT_EQ(channel.breaker_state(peer, 2.0), BreakerState::kHalfOpen);
+  EXPECT_EQ(channel.call(HostId{0}, peer, request, 2.0).status,
+            CallStatus::kTimeout);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_trips, 2u);
+  EXPECT_EQ(channel.breaker_state(peer, 5.9), BreakerState::kOpen);
+  EXPECT_EQ(channel.breaker_state(peer, 6.0), BreakerState::kHalfOpen);
+
+  // Another lost probe at t=6: cooldown would be 8, capped at 5.
+  EXPECT_EQ(channel.call(HostId{0}, peer, request, 6.0).status,
+            CallStatus::kTimeout);
+  EXPECT_EQ(channel.breaker_state(peer, 10.9), BreakerState::kOpen);
+  EXPECT_EQ(channel.breaker_state(peer, 11.0), BreakerState::kHalfOpen);
+
+  // The network heals: the half-open probe goes through, executes on the
+  // real broker, and recloses the breaker.
+  faults.lossy = false;
+  const CallResult healed = channel.call(HostId{0}, peer, request, 11.0);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(channel.breaker_state(peer, 11.0), BreakerState::kClosed);
+  EXPECT_EQ(registry.broker(cpu).held_by(SessionId{4}), 25.0);
+}
+
+TEST(RpcChannel, ProbeSuccessThenImmediateFailureFlapAccounting) {
+  // A successful half-open probe recloses the breaker AND resets the
+  // failure streak and the cooldown backoff: the immediately following
+  // failure is failure #1 of a fresh streak, and when the breaker does
+  // re-trip, its window is the base cooldown again, not the backed-off
+  // one from before the flap.
+  BrokerRegistry registry;
+  const ResourceId cpu =
+      registry.add_resource("cpu", ResourceKind::kCpu, HostId{1}, 100.0);
+  BrokerService service(&registry);
+  DropAllFaults faults;
+  RpcChannel channel(nullptr, &service, &faults, breaker_config(2));
+  const HostId peer{1};
+  const ReserveRequest request{{0, 4, 0.0}, cpu.value(), 10.0, 0.0};
+
+  // Two lost calls trip (cooldown 2); a lost probe at t=2 backs off to 4.
+  channel.call(HostId{0}, peer, request, 0.0);
+  channel.call(HostId{0}, peer, request, 0.0);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_trips, 1u);
+  channel.call(HostId{0}, peer, request, 2.0);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_trips, 2u);
+
+  // Successful probe at t=6 recloses.
+  faults.lossy = false;
+  ASSERT_TRUE(channel.call(HostId{0}, peer, request, 6.0).ok());
+  EXPECT_EQ(channel.breaker_state(peer, 6.0), BreakerState::kClosed);
+
+  // One failure right after the flap: a fresh streak, breaker stays
+  // closed (threshold 2) and the next call still reaches the server.
+  faults.lossy = true;
+  EXPECT_EQ(channel.call(HostId{0}, peer, request, 6.0).status,
+            CallStatus::kTimeout);
+  EXPECT_EQ(channel.breaker_state(peer, 6.0), BreakerState::kClosed);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_trips, 2u);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_fast_fails, 0u);
+
+  // The second failure re-trips — with the BASE cooldown (2), so the
+  // breaker is half-open at t=8, not t=10 as the stale backoff would be.
+  EXPECT_EQ(channel.call(HostId{0}, peer, request, 6.0).status,
+            CallStatus::kTimeout);
+  EXPECT_EQ(channel.peer_stats().at(peer).breaker_trips, 3u);
+  EXPECT_EQ(channel.breaker_state(peer, 7.9), BreakerState::kOpen);
+  EXPECT_EQ(channel.breaker_state(peer, 8.0), BreakerState::kHalfOpen);
+
+  // Every failure was accounted: 5 lossy calls failed, 1 succeeded, and
+  // none was ever fast-failed in this flap sequence.
+  const PeerStats& stats = channel.peer_stats().at(peer);
+  EXPECT_EQ(stats.calls, 6u);
+  EXPECT_EQ(stats.failures, 5u);
+  EXPECT_EQ(stats.breaker_fast_fails, 0u);
+}
+
 TEST(RpcChannel, TypedCallHonorsTheRequestDeadline) {
   BrokerRegistry registry;
   const ResourceId cpu =

@@ -86,49 +86,51 @@ TEST(Wire, ExtremeValuesRoundTripBitExactly) {
   EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
 }
 
-TEST(Wire, GoldenBytesV1) {
-  // Pinned v1 encodings: any layout change must bump kWireVersion and
-  // regenerate these, never silently reinterpret old frames.
+TEST(Wire, GoldenBytesV2) {
+  // Pinned v2 encodings: any layout change must bump kWireVersion and
+  // regenerate these, never silently reinterpret old frames. v2 added
+  // the authoritative lease_deadline to ReserveReply/RenewReply.
   EXPECT_EQ(to_hex(encode(ReserveRequest{{7, 3, 12.5}, 2, 4.5, 0.0})),
-            "5152504301010000280000002c6aa2c5ba0ea8730700000000000000030000000"
+            "51525043020100002800000017c8b796418a32df0700000000000000030000000"
             "0000000000029400200000000000000000012400000000000000000");
-  EXPECT_EQ(to_hex(encode(ReserveReply{7, RpcCode::kOk, 95.5})),
-            "5152504301020000110000007d1a517076ac9e7107000000000000000000000000"
-            "00e05740");
+  EXPECT_EQ(to_hex(encode(ReserveReply{7, RpcCode::kOk, 95.5, 42.0})),
+            "51525043020200001900000081964b151bd0905c07000000000000000000000000"
+            "00e057400000000000004540");
   EXPECT_EQ(to_hex(encode(ReleaseRequest{{8, 3, kInf}, 2, 1, 0.0})),
-            "515250430103000021000000bdb86dfb115c8f010800000000000000"
+            "515250430203000021000000c4978965c5a9b1b20800000000000000"
             "03000000000000000000f07f02000000010000000000000000");
   EXPECT_EQ(to_hex(encode(ReleaseReply{8, RpcCode::kOk, 4.5})),
-            "515250430104000011000000533d9b15c32949db08000000000000000000000000"
+            "515250430204000011000000a245010dfc404e5d08000000000000000000000000"
             "00001240");
   EXPECT_EQ(to_hex(encode(RenewRequest{{9, 3, 12.5}, 2, 30.0})),
-            "515250430105000020000000da058927b2b09e3809000000000000000300000000"
+            "51525043020500002000000059a6254ba7cba2b709000000000000000300000000"
             "00000000002940020000000000000000003e40");
-  EXPECT_EQ(to_hex(encode(RenewReply{9, RpcCode::kOk, 1})),
-            "51525043010600000a00000014028fb821bf35cb09000000000000000001");
+  EXPECT_EQ(to_hex(encode(RenewReply{9, RpcCode::kOk, 1, 42.0})),
+            "51525043020600001200000036100da3512f10a5090000000000000000010000000"
+            "000004540");
   EXPECT_EQ(to_hex(encode(ReconcileRequest{{10, 3, 12.5}, 2, 4.5})),
-            "5152504301070000200000009f261459129da8f30a000000000000000300000000"
+            "51525043020700002000000030e23dc612984f010a000000000000000300000000"
             "00000000002940020000000000000000001240");
   EXPECT_EQ(to_hex(encode(ReconcileReply{10, RpcCode::kOk, 4.5})),
-            "5152504301080000110000001d8603643a6fb7ea0a000000000000000000000000"
+            "515250430208000011000000a07bebb84815668f0a000000000000000000000000"
             "00001240");
   EXPECT_EQ(
       to_hex(encode(QueryRequest{{11, 3, 12.5}, {{2, 1.0}, {4, 2.0}}})),
-      "515250430109000030000000b9ef82cb08ece8430b0000000000000003000000000000"
+      "5152504302090000300000008646ef84b8d4ec110b0000000000000003000000000000"
       "0000002940"
       "0200000002000000000000000000f03f040000000000000000000040");
   EXPECT_EQ(to_hex(encode(QueryReply{11, RpcCode::kOk, {{2, 80.0, 1.0, 1}}})),
-            "51525043010a000022000000b894b557ca3993380b000000000000000001000000"
+            "51525043020a000022000000f3f39e679e94a6830b000000000000000001000000"
             "020000000000000000005440000000000000f03f01");
   EXPECT_EQ(to_hex(encode(PathMsg{12, 99, 0, 1, 2.5, {5, 6}})),
-            "51525043010b00002c00000074e9533421712a2c0c0000000000000063000000000"
+            "51525043020b00002c0000003b09f9616c597eb90c0000000000000063000000000"
             "00000000000000100000000000000000004"
             "40020000000500000006000000");
   EXPECT_EQ(to_hex(encode(ResvMsg{13, 99, 2.5, {6, 5}})),
-            "51525043010c000024000000e576a24652d5a9200d0000000000000063000000000"
+            "51525043020c0000240000005e105745425723430d0000000000000063000000000"
             "000000000000000000440020000000600000005000000");
   EXPECT_EQ(to_hex(encode(TearMsg{14, 99, {5}})),
-            "51525043010d000018000000f4ffc8f1f22483940e0000000000000063000000000"
+            "51525043020d00001800000077f05a5d89b5a2eb0e0000000000000063000000000"
             "000000100000005000000");
 }
 

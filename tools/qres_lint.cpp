@@ -89,7 +89,7 @@ const std::vector<Rule>& rules() {
        "QRES_EXCLUDES/...) or the analysis has nothing to check"},
       {"layering-upward-include",
        "#include must follow the layer DAG util <- core <- broker <- "
-       "rpc <- signal <- proxy/enforce <- adapt <- sim <- scenario"},
+       "rpc <- mc/signal <- proxy/enforce <- adapt <- sim <- scenario"},
       {"rpc-direct-exchange",
        "IControlTransport::exchange/exchange_budgeted may only be called "
        "through rpc::RpcChannel; direct calls bypass request ids, "
@@ -290,9 +290,9 @@ FileView lex_file(const std::vector<std::string>& lines,
 
 const std::map<std::string, int>& layer_ranks() {
   static const std::map<std::string, int> kRanks = {
-      {"util", 0},    {"core", 1}, {"broker", 2},  {"rpc", 3},
-      {"signal", 4},  {"proxy", 5}, {"enforce", 5}, {"adapt", 6},
-      {"sim", 7},     {"scenario", 8},
+      {"util", 0},    {"core", 1},  {"broker", 2},  {"rpc", 3},
+      {"mc", 4},      {"signal", 4}, {"proxy", 5},  {"enforce", 5},
+      {"adapt", 6},   {"sim", 7},   {"scenario", 8},
   };
   return kRanks;
 }

@@ -32,11 +32,18 @@
 //                         broker's records through
 //                         ResourceBroker::recover() and compare against
 //                         the live broker, bit for bit
+//   mc <topology> [states]
+//                         run the explicit-state model checker on a named
+//                         micro-topology (see `mc list`) with an optional
+//                         distinct-state budget; prints states/sec,
+//                         distinct states, frontier depth, reduction ratio
+//                         and the verdict (DESIGN.md §13)
 //   quit
 //
 // Reservations go through an AdaptationEngine (default config, no
 // governor), so `contention` shows the same watchdog state and event log
 // the adaptation layer acts on.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -46,6 +53,8 @@
 #include "broker/journal.hpp"
 #include "broker/registry.hpp"
 #include "core/model_io.hpp"
+#include "mc/checker.hpp"
+#include "mc/topology.hpp"
 #include "proxy/qos_proxy.hpp"
 #include "rpc/broker_service.hpp"
 #include "rpc/channel.hpp"
@@ -324,10 +333,56 @@ int main(int argc, char** argv) {
         std::cout << (all_match
                           ? "journal verified: replay matches every broker\n"
                           : "journal verification FAILED\n");
+      } else if (command == "mc") {
+        std::string topology_name;
+        if (!(stream >> topology_name) || topology_name == "list") {
+          for (const mc::Topology& topology : mc::all_topologies())
+            std::cout << "  " << topology.name << ": " << topology.summary
+                      << "\n";
+          continue;
+        }
+        const mc::Topology* topology = mc::find_topology(topology_name);
+        if (topology == nullptr) {
+          std::cout << "unknown topology '" << topology_name
+                    << "' (try: mc list)\n";
+          continue;
+        }
+        mc::CheckLimits limits;
+        stream >> limits.max_states;
+        const auto start = std::chrono::steady_clock::now();
+        const mc::CheckResult result =
+            mc::check(*topology, topology->config, limits);
+        const double seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        const std::uint64_t considered =
+            result.transitions + result.sleep_pruned;
+        std::cout << "mc " << topology->name << ": "
+                  << result.distinct_states << " distinct states, "
+                  << result.transitions << " transitions, depth "
+                  << result.deepest << ", reduction "
+                  << (considered == 0
+                          ? 0.0
+                          : static_cast<double>(result.sleep_pruned) /
+                                static_cast<double>(considered))
+                  << ", "
+                  << static_cast<std::uint64_t>(
+                         seconds > 0.0
+                             ? static_cast<double>(result.distinct_states) /
+                                   seconds
+                             : 0.0)
+                  << " states/sec\n";
+        if (result.violation_found)
+          std::cout << "mc verdict: VIOLATION " << result.invariant << " ("
+                    << result.trace.size() << "-step minimized trace)\n";
+        else if (result.budget_exhausted)
+          std::cout << "mc verdict: INCONCLUSIVE (budget exhausted)\n";
+        else
+          std::cout << "mc verdict: VERIFIED (exhaustive, no violation)\n";
       } else {
         std::cout << "commands: plan [scale] | reserve [scale] | release "
                      "<id> | avail | sinks | contention | rpc | journal | "
-                     "quit\n";
+                     "mc <topology> [states] | quit\n";
       }
     } catch (const std::exception& error) {
       std::cout << "error: " << error.what() << "\n";
