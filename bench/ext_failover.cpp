@@ -1,0 +1,264 @@
+// Extension experiment: what hot-standby replication buys when the
+// primary broker dies mid-epoch — and what each replication mode pays.
+//
+// ext_recovery measures the write-ahead journal against a *restart* of
+// the same broker; this experiment measures the replicated group
+// (DESIGN.md §14) against the loss of the serving machine itself. One
+// logical resource is served by a 5-replica group; a workload of
+// sessions reserves and releases against it while a FailoverCoordinator
+// heartbeats the primary. At scheduled points the serving primary is
+// killed right after it confirmed a grant (the worst case for async
+// shipping: the lag window is as full as it gets), the coordinator
+// detects the death, promotes the most-caught-up standby under a fresh
+// epoch, and the workload re-homes and carries on. Two arms over
+// identical schedules:
+//
+//   * sync  — grants confirm only after a replication quorum holds the
+//             journal record. The table's lost column is structurally
+//             zero: a confirmed grant survives every failover or the run
+//             exits non-zero;
+//   * async — grants confirm immediately and records ship once the lag
+//             bound fills. Confirmed-but-unshipped grants die with the
+//             primary; the loss is real but *bounded* — per failover at
+//             most the configured lag window of records — and reported.
+//
+// A ReservationAuditor mirrors every reserve/release; after each
+// failover the async arm's losses are folded in as typed
+// kLostReservation discrepancies (the client's claim is forfeit, as in
+// ext_recovery's tail-loss case). The audit must come back clean after
+// every event in both arms: replication changes who serves, never the
+// accounting.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "broker/auditor.hpp"
+#include "broker/registry.hpp"
+#include "broker/replication.hpp"
+#include "sim/failover.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace qres;
+
+namespace {
+
+constexpr std::size_t kReplicas = 5;
+constexpr double kCapacity = 100.0;
+
+struct Outcome {
+  std::uint64_t grants = 0;
+  std::uint64_t confirmed = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t lost_grants = 0;     ///< confirmed grants a failover voided
+  double lost_amount = 0.0;
+  std::uint64_t max_loss_per_failover = 0;
+  std::uint64_t audits = 0;
+  std::uint64_t audit_violations = 0;
+};
+
+Outcome run_arm(ReplicationMode mode, int ops, int kills,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Outcome outcome;
+
+  BrokerRegistry registry;
+  std::vector<HostId> hosts;
+  for (std::size_t i = 0; i < kReplicas; ++i)
+    hosts.push_back(HostId{static_cast<std::uint32_t>(i + 1)});
+  ReplicationConfig config;
+  config.mode = mode;
+  config.max_async_lag = 8;
+  const ResourceId resource = registry.add_replicated_resource(
+      "cpu_group", ResourceKind::kCpu, hosts, kCapacity, config);
+  ReplicatedBroker* group = registry.replicated(resource);
+
+  ReplicationDirectory directory;
+  FailoverCoordinator coordinator(&registry, &directory, HostId{99});
+  coordinator.watch(resource);
+
+  ReservationAuditor auditor(&registry);
+  // The client ledger: what each session believes the group confirmed.
+  std::map<std::uint32_t, double> ledger;
+
+  double now = 0.0;
+  std::uint32_t next_session = 1;
+  coordinator.on_failover([&](ResourceId, HostId, std::uint64_t, double t) {
+    ++outcome.failovers;
+    // Settle every session's claim against the new primary — both
+    // directions. A grant the old primary confirmed but never shipped is
+    // *lost* (forfeit the claim; sync must never hit this). A release it
+    // confirmed but never shipped is *resurrected* (the standby still
+    // holds it); the re-homed client replays the release, exactly what
+    // the dedup replay does on the real control plane.
+    std::uint64_t lost_here = 0;
+    for (std::uint32_t value = 1; value < next_session; ++value) {
+      const SessionId session{value};
+      const double held = group->held_by(session);
+      const double claimed = auditor.expected_held(session, resource);
+      if (held > claimed + 1e-9) {
+        group->release_amount(t, session, held - claimed);
+        continue;
+      }
+      if (held + 1e-9 < claimed) {
+        if (mode == ReplicationMode::kSync) {
+          std::cerr << "FATAL: sync arm lost a confirmed grant (session "
+                    << value << ": held " << held << " < confirmed "
+                    << claimed << ")\n";
+          std::exit(1);
+        }
+        ++lost_here;
+        ++outcome.lost_grants;
+        outcome.lost_amount += claimed - held;
+        Discrepancy record;
+        record.kind = DiscrepancyKind::kLostReservation;
+        record.session = session;
+        record.resource = resource;
+        record.amount = claimed - held;
+        record.time = t;
+        auditor.on_reconciled(record);
+        if (held <= 1e-9)
+          ledger.erase(value);
+        else
+          ledger[value] = held;
+      }
+    }
+    outcome.max_loss_per_failover =
+        std::max(outcome.max_loss_per_failover, lost_here);
+    // The lag bound is the whole point of the async arm: a primary kill
+    // can void at most one unshipped window of records.
+    if (lost_here > config.max_async_lag) {
+      std::cerr << "FATAL: failover lost " << lost_here
+                << " grants, more than the lag bound "
+                << config.max_async_lag << "\n";
+      std::exit(1);
+    }
+  });
+
+  const auto audit = [&] {
+    ++outcome.audits;
+    const auto violations = auditor.audit_hosts();
+    outcome.audit_violations += violations.size();
+    for (const std::string& v : violations)
+      std::cerr << "AUDIT: " << v << "\n";
+  };
+
+  // Kill the primary at these points of the schedule — mid-epoch, right
+  // after whatever grants the preceding ops confirmed, so the async ship
+  // lag is as stale as the workload makes it.
+  std::vector<int> kill_at;
+  for (int k = 1; k <= kills; ++k) kill_at.push_back(ops * k / (kills + 1));
+  for (int op = 0; op < ops; ++op) {
+    now += rng.uniform(0.2, 1.0);
+    coordinator.tick(now);
+    const bool want_release = !ledger.empty() && rng.bernoulli(0.35);
+    if (want_release) {
+      auto it = ledger.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<int>(ledger.size()) - 1));
+      const SessionId session{it->first};
+      if (group->up()) {
+        group->release(now, session);
+        auditor.on_session_released(session);
+        ledger.erase(it);
+        ++outcome.releases;
+      }
+    } else {
+      const SessionId session{next_session};
+      const double amount = rng.uniform(1.0, 4.0);
+      ++outcome.grants;
+      if (group->reserve(now, session, amount)) {
+        ++next_session;
+        ++outcome.confirmed;
+        auditor.on_reserved(session, resource, amount);
+        ledger[session.value()] += amount;
+      }
+    }
+    audit();
+    if (!kill_at.empty() && op >= kill_at.front() && group->up()) {
+      kill_at.erase(kill_at.begin());
+      group->crash_replica(group->primary_host(), now);
+      ++outcome.kills;
+      // Heartbeats run until the coordinator declares the death and
+      // promotes; the workload loop keeps ticking through the outage.
+    }
+  }
+
+  // Drain: let any pending failover complete, release everything, and
+  // close the conservation proof.
+  for (int i = 0; i < 8; ++i) {
+    now += 1.0;
+    coordinator.tick(now);
+  }
+  for (const auto& [value, amount] : ledger) {
+    (void)amount;
+    if (group->up()) {
+      group->release(now, SessionId{value});
+      auditor.on_session_released(SessionId{value});
+    }
+  }
+  ledger.clear();
+  audit();
+  if (!auditor.model_empty()) {
+    std::cerr << "FATAL: auditor model not empty at end of run\n";
+    std::exit(1);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int ops = 600;
+  int kills = 3;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_int = [&](int* out) {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: ext_failover [--ops N] [--kills K] [--seed S]\n";
+        std::exit(2);
+      }
+      *out = std::atoi(argv[++i]);
+    };
+    if (arg == "--ops") {
+      next_int(&ops);
+    } else if (arg == "--kills") {
+      next_int(&kills);
+    } else if (arg == "--seed") {
+      int s = 1;
+      next_int(&s);
+      seed = static_cast<std::uint64_t>(s);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  TablePrinter table({"mode", "grants", "confirmed", "releases", "kills",
+                      "failovers", "lost", "lost amt", "max/failover",
+                      "audits", "violations"});
+  std::uint64_t violations = 0;
+  for (const ReplicationMode mode :
+       {ReplicationMode::kSync, ReplicationMode::kAsync}) {
+    const Outcome o = run_arm(mode, ops, kills, seed);
+    violations += o.audit_violations;
+    table.add_row({mode == ReplicationMode::kSync ? "sync" : "async",
+                   std::to_string(o.grants), std::to_string(o.confirmed),
+                   std::to_string(o.releases), std::to_string(o.kills),
+                   std::to_string(o.failovers), std::to_string(o.lost_grants),
+                   TablePrinter::fmt(o.lost_amount),
+                   std::to_string(o.max_loss_per_failover),
+                   std::to_string(o.audits),
+                   std::to_string(o.audit_violations)});
+    if (mode == ReplicationMode::kSync && o.lost_grants != 0) return 1;
+  }
+  table.print(std::cout);
+  std::cout << "\nsync loses nothing a client was told it had; async "
+               "bounds the loss to one ship window per failover.\n";
+  return violations == 0 ? 0 : 1;
+}

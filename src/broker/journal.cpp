@@ -25,10 +25,19 @@ const char* to_string(JournalOp op) noexcept {
   return "?";
 }
 
+const char* to_string(JournalStatus status) noexcept {
+  switch (status) {
+    case JournalStatus::kOk: return "ok";
+    case JournalStatus::kOpenFailed: return "open-failed";
+    case JournalStatus::kWriteFailed: return "write-failed";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // MemoryJournal
 
-void MemoryJournal::append(const JournalRecord& record) {
+JournalStatus MemoryJournal::append(const JournalRecord& record) {
   ++appended_;
   if (record.op == JournalOp::kSnapshot) {
     ++snapshots_;
@@ -57,6 +66,7 @@ void MemoryJournal::append(const JournalRecord& record) {
     }
   }
   records_.push_back(record);
+  return JournalStatus::kOk;
 }
 
 std::size_t MemoryJournal::drop_tail(std::size_t count) {
@@ -243,15 +253,18 @@ FileJournal::FileJournal(std::string path, bool truncate)
     throw std::runtime_error("FileJournal: cannot open " + path_);
 }
 
-void FileJournal::append(const JournalRecord& record) {
+JournalStatus FileJournal::append(const JournalRecord& record) {
   MutexLock lock(mutex_);
   std::ofstream file(path_, std::ios::app);
-  QRES_REQUIRE(static_cast<bool>(file),
-               "FileJournal: journal file disappeared");
+  if (!file) return JournalStatus::kOpenFailed;
   file << to_line(record) << '\n';
   file.flush();
-  QRES_REQUIRE(static_cast<bool>(file), "FileJournal: write failed");
+  // A failed flush means the line may be torn or absent on disk: the
+  // record is not durable and the counter must not claim it is. The
+  // caller (ResourceBroker::journal_append) fails the operation.
+  if (!file) return JournalStatus::kWriteFailed;
   ++appended_;
+  return JournalStatus::kOk;
 }
 
 std::uint64_t FileJournal::appended() const {

@@ -57,6 +57,19 @@ enum class JournalOp : std::uint8_t {
 
 const char* to_string(JournalOp op) noexcept;
 
+/// How an append ended. Sinks report I/O failures as typed statuses so
+/// the broker can fail the affected operation instead of silently
+/// diverging from its journal (a broker whose journal is missing a
+/// mutation it applied would recover into a different state than it
+/// died in — the one corruption recovery cannot detect).
+enum class JournalStatus : std::uint8_t {
+  kOk = 0,
+  kOpenFailed,   ///< the sink's backing store could not be (re)opened
+  kWriteFailed,  ///< the record was not durably written (short write)
+};
+
+const char* to_string(JournalStatus status) noexcept;
+
 /// One journal entry. Plain mutation records use the scalar fields; the
 /// snapshot payload (config + state vectors) is only populated for
 /// kSnapshot. `resource` is set on every record so several brokers can
@@ -104,8 +117,10 @@ class IJournalSink {
  public:
   virtual ~IJournalSink() = default;
 
-  /// Appends one record; called by the broker before its mutator returns.
-  virtual void append(const JournalRecord& record) = 0;
+  /// Appends one record; called by the broker *before* it applies the
+  /// mutation (write-ahead order). A non-kOk status means the record is
+  /// not durable: the broker must not apply the mutation it describes.
+  virtual JournalStatus append(const JournalRecord& record) = 0;
 
   /// Returns every retained record, oldest first. Recovery requires the
   /// result to contain at least one kSnapshot record.
@@ -129,7 +144,7 @@ class MemoryJournal final : public IJournalSink {
                          std::size_t reply_cache_keep = 1024)
       : compact_(compact_on_snapshot), reply_cache_keep_(reply_cache_keep) {}
 
-  void append(const JournalRecord& record) override;
+  JournalStatus append(const JournalRecord& record) override;
   std::vector<JournalRecord> load() const override { return records_; }
 
   const std::vector<JournalRecord>& records() const noexcept {
@@ -178,7 +193,8 @@ class FileJournal final : public IJournalSink {
   /// Throws std::runtime_error when the file cannot be opened.
   explicit FileJournal(std::string path, bool truncate = true);
 
-  void append(const JournalRecord& record) override QRES_EXCLUDES(mutex_);
+  JournalStatus append(const JournalRecord& record) override
+      QRES_EXCLUDES(mutex_);
   std::vector<JournalRecord> load() const override QRES_EXCLUDES(mutex_);
   std::uint64_t appended() const override QRES_EXCLUDES(mutex_);
 

@@ -29,6 +29,19 @@ ResourceId BrokerRegistry::add_network_path(
   return id;
 }
 
+ResourceId BrokerRegistry::add_replicated_resource(
+    std::string name, ResourceKind kind, const std::vector<HostId>& hosts,
+    double capacity, ReplicationConfig config, double alpha_window,
+    double history_keep, AlphaMode alpha_mode) {
+  QRES_REQUIRE(!hosts.empty(),
+               "BrokerRegistry::add_replicated_resource: no hosts");
+  const ResourceId id = catalog_.add(std::move(name), kind, hosts[0]);
+  brokers_.push_back(std::make_unique<ReplicatedBroker>(
+      id, catalog_.name(id), capacity, hosts, config, alpha_window,
+      history_keep, alpha_mode));
+  return id;
+}
+
 IBroker& BrokerRegistry::broker(ResourceId id) {
   QRES_REQUIRE(id.valid() && id.value() < brokers_.size(),
                "BrokerRegistry::broker: unknown resource id");
@@ -47,6 +60,14 @@ ResourceBroker* BrokerRegistry::leaf(ResourceId id) {
 
 const ResourceBroker* BrokerRegistry::leaf(ResourceId id) const {
   return dynamic_cast<const ResourceBroker*>(&broker(id));
+}
+
+ReplicatedBroker* BrokerRegistry::replicated(ResourceId id) {
+  return dynamic_cast<ReplicatedBroker*>(&broker(id));
+}
+
+const ReplicatedBroker* BrokerRegistry::replicated(ResourceId id) const {
+  return dynamic_cast<const ReplicatedBroker*>(&broker(id));
 }
 
 AvailabilityView BrokerRegistry::collect(

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "broker/network_broker.hpp"
+#include "broker/replication.hpp"
 #include "broker/resource_broker.hpp"
 #include "core/resource.hpp"
 
@@ -32,6 +33,16 @@ class BrokerRegistry {
   ResourceId add_network_path(std::string name,
                               const std::vector<ResourceId>& link_ids);
 
+  /// Creates a replicated broker group for one logical resource
+  /// (DESIGN.md §14). `hosts[0]` serves as the initial primary; the
+  /// catalog records it as the resource's owning host (failover re-homes
+  /// clients through the ReplicationDirectory, not the catalog).
+  ResourceId add_replicated_resource(
+      std::string name, ResourceKind kind, const std::vector<HostId>& hosts,
+      double capacity, ReplicationConfig config = {},
+      double alpha_window = 3.0, double history_keep = 64.0,
+      AlphaMode alpha_mode = AlphaMode::kTimeWeighted);
+
   const ResourceCatalog& catalog() const noexcept { return catalog_; }
 
   std::size_t size() const noexcept { return brokers_.size(); }
@@ -44,6 +55,11 @@ class BrokerRegistry {
   /// Durability operations (attach_journal/crash/restart) live on leaves.
   ResourceBroker* leaf(ResourceId id);
   const ResourceBroker* leaf(ResourceId id) const;
+
+  /// The replica group when `id` names a replicated resource; nullptr
+  /// otherwise.
+  ReplicatedBroker* replicated(ResourceId id);
+  const ReplicatedBroker* replicated(ResourceId id) const;
 
   /// Collects an availability snapshot for the given resources. Each
   /// resource is observed at `now - staleness(id)`; pass a null staleness

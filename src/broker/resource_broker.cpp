@@ -110,6 +110,10 @@ bool ResourceBroker::reserve_impl(double now, SessionId session,
   // replaying the grant finds nothing due — replay stays deterministic.
   expire_due(now, nullptr);
   if (amount > available() + 1e-9) return false;
+  // Write-ahead order: the grant record must be durable before the grant
+  // exists. A refused append fails the admission — the caller sees an
+  // ordinary rejection and state still equals journal truth.
+  if (!journal_append(op, now, session, amount, lease)) return false;
   holdings_[session] += amount;
   reserved_ += amount;
   if (reserved_ > capacity_) reserved_ = capacity_;  // clamp fp drift
@@ -118,7 +122,7 @@ bool ResourceBroker::reserve_impl(double now, SessionId session,
     // again is itself a sign of life, so the deadline moves forward.
     lease_deadlines_.insert_or_assign(session, now + lease);
   record(now);
-  journal_append(op, now, session, amount, lease);
+  journal_snapshot_tick(now);
   return true;
 }
 
@@ -126,12 +130,14 @@ void ResourceBroker::release(double now, SessionId session) {
   auto it = holdings_.find(session);
   if (it == holdings_.end()) return;
   const double freed = it->second;
+  if (!journal_append(JournalOp::kRelease, now, session, freed, 0.0))
+    return;  // journal refused: the holding stays (state == journal)
   reserved_ -= freed;
   if (reserved_ < 0.0) reserved_ = 0.0;  // clamp fp drift
   holdings_.erase(session);
   lease_deadlines_.erase(session);
   record(now);
-  journal_append(JournalOp::kRelease, now, session, freed, 0.0);
+  journal_snapshot_tick(now);
 }
 
 void ResourceBroker::release_amount(double now, SessionId session,
@@ -141,6 +147,10 @@ void ResourceBroker::release_amount(double now, SessionId session,
   auto it = holdings_.find(session);
   if (it == holdings_.end()) return;
   const double freed = std::min(amount, it->second);
+  // Journaled amount is what will actually be freed, so replay never
+  // over-releases a holding the journal shows smaller.
+  if (!journal_append(JournalOp::kReleaseAmount, now, session, freed, 0.0))
+    return;
   it->second -= freed;
   reserved_ -= freed;
   if (reserved_ < 0.0) reserved_ = 0.0;  // clamp fp drift
@@ -149,9 +159,7 @@ void ResourceBroker::release_amount(double now, SessionId session,
     lease_deadlines_.erase(session);
   }
   record(now);
-  // Journaled amount is what was actually freed, so replay never over-
-  // releases a holding the journal shows smaller.
-  journal_append(JournalOp::kReleaseAmount, now, session, freed, 0.0);
+  journal_snapshot_tick(now);
 }
 
 double ResourceBroker::held_by(SessionId session) const {
@@ -173,8 +181,10 @@ bool ResourceBroker::renew_lease(double now, SessionId session,
   expire_due(now, nullptr);  // a renewal that arrives too late must fail
   auto it = lease_deadlines_.find(session);
   if (it == lease_deadlines_.end()) return false;
+  if (!journal_append(JournalOp::kRenewLease, now, session, 0.0, lease))
+    return false;  // unrecorded renewal would be lost by recovery
   it->second = std::max(it->second, now + lease);
-  journal_append(JournalOp::kRenewLease, now, session, 0.0, lease);
+  journal_snapshot_tick(now);
   return true;
 }
 
@@ -187,6 +197,11 @@ double ResourceBroker::expire_due(double now,
   double freed = 0.0;
   for (SessionId session : due) {
     const double held = held_by(session);
+    // Write-ahead: an unrecorded reclaim would resurrect the holding on
+    // recovery. A refused append leaves the lease due — it stays
+    // reclaimable by the next sweep once the sink recovers.
+    if (!journal_append(JournalOp::kExpire, now, session, held, 0.0))
+      continue;
     freed += held;
     {
       // The reclaim is journaled as kExpire, not as the kRelease the
@@ -196,7 +211,7 @@ double ResourceBroker::expire_due(double now,
       release(now, session);  // also erases the lease entry
       journal_mute_ = was_muted;
     }
-    journal_append(JournalOp::kExpire, now, session, held, 0.0);
+    journal_snapshot_tick(now);
     if (expired) expired->push_back(session);
     if (expiry_log_enabled_) {
       expiry_log_.push_back(session);
@@ -256,7 +271,11 @@ void ResourceBroker::attach_journal(IJournalSink* sink,
   mutations_since_snapshot_ = 0;
   // The journal always starts (and after compaction, ends) with a
   // self-contained snapshot: recovery needs no out-of-band configuration.
-  journal_->append(snapshot(now));
+  // Attach-time failure is fatal — a broker that cannot write its very
+  // first snapshot has no durability story to degrade to.
+  QRES_REQUIRE(journal_->append(snapshot(now)) == JournalStatus::kOk,
+               "ResourceBroker::attach_journal: initial snapshot append "
+               "failed");
 }
 
 void ResourceBroker::rebind_journal(IJournalSink* sink) {
@@ -267,11 +286,10 @@ void ResourceBroker::rebind_journal(IJournalSink* sink) {
   journal_ = sink;
 }
 
-void ResourceBroker::journal_append(JournalOp op, double now,
+bool ResourceBroker::journal_append(JournalOp op, double now,
                                     SessionId session, double amount,
                                     double lease) {
-  if (journal_ == nullptr || journal_mute_) return;
-  ++journaled_mutations_;
+  if (journal_ == nullptr || journal_mute_) return true;
   JournalRecord rec;
   rec.op = op;
   rec.time = now;
@@ -279,11 +297,25 @@ void ResourceBroker::journal_append(JournalOp op, double now,
   rec.session = session;
   rec.amount = amount;
   rec.lease = lease;
-  journal_->append(rec);
-  if (++mutations_since_snapshot_ >= snapshot_every_) {
-    journal_->append(snapshot(now));
-    mutations_since_snapshot_ = 0;
+  if (journal_->append(rec) != JournalStatus::kOk) {
+    ++journal_failures_;
+    return false;
   }
+  ++journaled_mutations_;
+  ++mutations_since_snapshot_;
+  return true;
+}
+
+void ResourceBroker::journal_snapshot_tick(double now) {
+  if (journal_ == nullptr || journal_mute_) return;
+  if (mutations_since_snapshot_ < snapshot_every_) return;
+  // Compaction snapshots are an optimization, not a correctness barrier:
+  // a refused append just leaves a longer replay tail (and keeps the
+  // counter high, so the next mutation retries the snapshot).
+  if (journal_->append(snapshot(now)) == JournalStatus::kOk)
+    mutations_since_snapshot_ = 0;
+  else
+    ++journal_failures_;
 }
 
 JournalRecord ResourceBroker::snapshot(double now) const {
@@ -383,6 +415,13 @@ void ResourceBroker::apply(const JournalRecord& rec) {
   QRES_REQUIRE(false, "journal replay: unknown record op");
 }
 
+void ResourceBroker::apply_replicated(const JournalRecord& rec) {
+  QRES_REQUIRE(up_, "ResourceBroker::apply_replicated: broker is down");
+  journal_mute_ = true;
+  apply(rec);
+  journal_mute_ = false;
+}
+
 ResourceBroker ResourceBroker::recover(
     const std::vector<JournalRecord>& records) {
   // Recovery = latest snapshot + replay of the tail. The snapshot is
@@ -450,20 +489,27 @@ void ResourceBroker::restart(double now, double lease_grace) {
   journal_mute_ = false;
   // Grace period: restored lease holders get until now + grace to
   // re-assert themselves (reconciliation), even if their deadline passed
-  // during the outage. Journaled so a crash *during* reconciliation
-  // replays identically, then a fresh snapshot lets compacting sinks drop
-  // the pre-crash tail.
-  if (lease_grace > 0.0)
-    for (auto& [session, deadline] : lease_deadlines_)
-      deadline = std::max(deadline, now + lease_grace);
+  // during the outage. Journaled (write-ahead: marker first, grace only
+  // if the marker is durable) so a crash *during* reconciliation replays
+  // identically; then a fresh snapshot lets compacting sinks drop the
+  // pre-crash tail.
   JournalRecord marker;
   marker.op = JournalOp::kRestart;
   marker.time = now;
   marker.resource = id_;
   marker.lease = lease_grace;
-  journal_->append(marker);
-  journal_->append(snapshot(now));
-  mutations_since_snapshot_ = 0;
+  if (journal_->append(marker) == JournalStatus::kOk) {
+    if (lease_grace > 0.0)
+      for (auto& [session, deadline] : lease_deadlines_)
+        deadline = std::max(deadline, now + lease_grace);
+  } else {
+    ++journal_failures_;
+  }
+  // The post-restart snapshot only speeds compaction; losing it is safe.
+  if (journal_->append(snapshot(now)) == JournalStatus::kOk)
+    mutations_since_snapshot_ = 0;
+  else
+    ++journal_failures_;
 }
 
 void ResourceBroker::prune(double now) {

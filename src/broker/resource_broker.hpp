@@ -195,6 +195,12 @@ class ResourceBroker final : public IBroker {
     return expiry_log_dropped_;
   }
 
+  /// Appends that the attached sink refused (JournalStatus != kOk). Each
+  /// failure also failed the mutation that needed the record — grants
+  /// return false, releases/renewals/expiries become no-ops — so state
+  /// and journal never diverge; this counter is how operators notice.
+  std::uint64_t journal_failures() const noexcept { return journal_failures_; }
+
   // --- Durability (write-ahead journal) and crash–restart. See journal.hpp.
 
   /// Starts journaling every mutation to `sink` (not owned; must outlive
@@ -223,6 +229,12 @@ class ResourceBroker final : public IBroker {
   /// bit-identity comparison key (it covers reserved, holdings, lease
   /// deadlines and the alpha history window).
   JournalRecord snapshot(double now) const;
+
+  /// Applies one replicated journal record shipped from a replication
+  /// primary (broker/replication.hpp): the same replay path recovery
+  /// uses, with journaling muted — the caller already appended the
+  /// record to this replica's own store. Aborts when the broker is down.
+  void apply_replicated(const JournalRecord& rec);
 
   /// Rebuilds a broker from a journal: restores the latest snapshot and
   /// replays every record after it. The result is bit-identical to the
@@ -267,10 +279,17 @@ class ResourceBroker final : public IBroker {
   /// kReserveLeased record instead of a kReserve plus a lease side-note.
   bool reserve_impl(double now, SessionId session, double amount,
                     JournalOp op, double lease);
-  /// Appends one mutation record (no-op unless journaling and unmuted),
-  /// then a compacting snapshot every snapshot_every_ mutations.
-  void journal_append(JournalOp op, double now, SessionId session,
+  /// Write-ahead append of one mutation record. Returns true when the
+  /// caller may apply the mutation: no sink attached, journaling muted,
+  /// or the sink accepted the record. A refused append (I/O failure)
+  /// counts into journal_failures_ and returns false — the caller must
+  /// fail its operation without touching state.
+  bool journal_append(JournalOp op, double now, SessionId session,
                       double amount, double lease);
+  /// Periodic compaction snapshot, called after the mutation applied (so
+  /// the snapshot captures it). Snapshot append failures are counted but
+  /// non-fatal: recovery simply replays a longer tail.
+  void journal_snapshot_tick(double now);
   /// Overwrites all mutable state from a kSnapshot payload.
   void restore_from(const JournalRecord& snap);
   /// Replays one non-snapshot record during recovery (journal muted).
@@ -296,6 +315,7 @@ class ResourceBroker final : public IBroker {
   std::size_t snapshot_every_ = 64;
   std::size_t mutations_since_snapshot_ = 0;
   std::uint64_t journaled_mutations_ = 0;
+  std::uint64_t journal_failures_ = 0;
   /// Suppresses journaling while a public mutator runs nested mutators
   /// (expiry sweeps release(); recovery replays through the same code):
   /// each logical mutation must journal exactly one record.

@@ -1,0 +1,185 @@
+// Explicit-state checking of the replication / failover protocol
+// (DESIGN.md §14): a ReplicatedBroker group driven action by action.
+//
+// The signaling checker (world.hpp) explores the client/service frame
+// protocol; this module explores the *group* protocol underneath it —
+// grants at specific replicas, replica crashes and journal-recovery
+// restarts, standby promotion under fresh epochs, and a partitionable
+// ship transport — with every nondeterministic choice an enumerable
+// action. The objects under test are the real ReplicatedBroker and
+// ResourceBroker, not models of them.
+//
+// Invariants, re-checked after every action:
+//   * no-split-brain — at most one live replica serves in primary role.
+//     Epoch fencing enforces it: promotion fences the deposed primary,
+//     and a deposed primary that restarts comes back fenced. With
+//     `fencing = false` the failover-split-brain demo topology reaches
+//     the violation in three actions (crash old, promote new, restart
+//     old) — the pinned trace under tools/testdata/mc_traces/.
+//   * confirmed-conservation — the sum of *confirmed* grants never
+//     exceeds capacity. In sync mode a grant confirms only after quorum,
+//     so a mid-epoch primary kill cannot confirm-and-lose; without
+//     fencing a deposed primary confirms grants against a diverged
+//     shadow and the sum overshoots.
+//
+// Worlds are rebuilt by replay (ReplicatedBroker owns its journals and
+// capture sinks, so cloning is not meaningful); the DFS is stateless
+// reset+replay with canonical-state caching, cheap at these depths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/replication.hpp"
+
+namespace qres::mc {
+
+enum class FailoverActionKind : std::uint8_t {
+  kGrant,      ///< session reserves at a specific replica
+  kCrash,      ///< replica process crashes (journal survives)
+  kRestart,    ///< crashed replica restarts (recovers from its journal)
+  kPromote,    ///< standby adopts next_epoch and serves as primary
+  kPartition,  ///< ship transport drops everything until healed
+  kHeal,       ///< transport back up; primary re-ships on next flush
+};
+
+const char* to_string(FailoverActionKind kind) noexcept;
+
+struct FailoverAction {
+  FailoverActionKind kind{};
+  std::int32_t replica = -1;  ///< target replica index (grant/crash/...)
+  std::int32_t session = -1;  ///< granting session index (kGrant only)
+
+  friend bool operator==(const FailoverAction&, const FailoverAction&) =
+      default;
+};
+
+/// One stable trace line ("grant s1 r0", "promote r1", "partition").
+std::string to_string(const FailoverAction& action);
+bool parse_failover_action(const std::string& line, FailoverAction* out);
+
+/// A closed replica-group scenario: budgets bound the state space.
+struct FailoverTopology {
+  std::string name;
+  std::string summary;
+  std::size_t replicas = 3;
+  double capacity = 1.0;
+  double amount = 0.6;   ///< per-grant amount (two grants overshoot)
+  int sessions = 2;      ///< distinct granting sessions
+  int attempts_per_session = 1;  ///< grant attempts (failed ones count)
+  ReplicationMode mode = ReplicationMode::kSync;
+  std::size_t quorum = 0;  ///< 0 = majority
+  /// Async shipping lag bound. Small enough and every grant ships
+  /// inside a model step; large enough and the confirmed-but-unshipped
+  /// window stays open for the checker to exploit.
+  std::size_t async_lag = 2;
+  bool fencing = true;
+  int max_crashes = 1;
+  int max_restarts = 1;
+  int max_promotions = 1;
+  bool allow_partition = false;
+  int max_partitions = 1;
+  bool expect_violation = false;
+  std::string expected_invariant;
+};
+
+/// The real group plus the scripted-world bookkeeping.
+class FailoverWorld {
+ public:
+  explicit FailoverWorld(const FailoverTopology& topology);
+  ~FailoverWorld();
+
+  /// Empty in a violating state (violations are terminal).
+  std::vector<FailoverAction> enabled() const;
+  /// Applies one action (must be enabled) and re-checks the invariants.
+  void apply(const FailoverAction& action);
+
+  const std::string& violation() const noexcept { return violation_; }
+  std::pair<std::uint64_t, std::uint64_t> canonical_key() const;
+
+  const ReplicatedBroker& group() const noexcept { return *group_; }
+  double confirmed_total() const noexcept { return confirmed_; }
+
+ private:
+  class DropTransport;
+
+  void check_invariants();
+
+  const FailoverTopology* topo_;
+  std::unique_ptr<ReplicatedBroker> group_;
+  std::unique_ptr<DropTransport> transport_;
+  double now_ = 0.0;  ///< model time: one unit per action
+  std::vector<int> attempts_left_;   ///< per session
+  std::vector<bool> granted_;        ///< per session: confirmed grant held
+  double confirmed_ = 0.0;
+  int crashes_left_;
+  int restarts_left_;
+  int promotions_left_;
+  int partitions_left_;
+  bool partitioned_ = false;
+  std::string violation_;
+};
+
+struct FailoverCheckResult {
+  bool violation_found = false;
+  std::string invariant;
+  std::vector<FailoverAction> trace;  ///< minimized when found
+  std::uint64_t distinct_states = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t revisits = 0;
+  std::size_t deepest = 0;
+  bool budget_exhausted = false;
+
+  bool verified() const noexcept {
+    return !violation_found && !budget_exhausted;
+  }
+};
+
+struct FailoverCheckLimits {
+  std::uint64_t max_states = 200000;
+  std::size_t max_depth = 24;
+};
+
+/// Exhaustive DFS with canonical-state caching; the returned trace is
+/// minimized (1-minimal) on violation.
+FailoverCheckResult check_failover(const FailoverTopology& topology,
+                                   const FailoverCheckLimits& limits);
+
+/// Replays `trace` on a fresh world. False when an action is not
+/// enabled; *violated (optional) receives the broken invariant ("" when
+/// none).
+bool replay_failover(const FailoverTopology& topology,
+                     const std::vector<FailoverAction>& trace,
+                     std::string* violated);
+
+std::vector<FailoverAction> minimize_failover(
+    const FailoverTopology& topology, std::vector<FailoverAction> trace,
+    const std::string& invariant);
+
+/// Built-in failover topologies (verification targets first, the
+/// fencing-off split-brain demo last).
+const std::vector<FailoverTopology>& all_failover_topologies();
+const FailoverTopology* find_failover_topology(const std::string& name);
+
+/// Failover trace files ("# qres_mc failover-trace v1"): same shape as
+/// the signaling traces, pinned under tools/testdata/mc_traces/.
+struct FailoverTraceFile {
+  std::string topology;
+  bool expect_violation = false;
+  std::string expected_invariant;
+  std::vector<FailoverAction> actions;
+};
+
+std::string format_failover_trace(const FailoverTraceFile& trace);
+bool parse_failover_trace(const std::string& text, FailoverTraceFile* out,
+                          std::string* error);
+/// True when `text` starts with the failover trace header (dispatch
+/// helper for `qres_mc replay`).
+bool is_failover_trace(const std::string& text);
+/// Replays a parsed trace and verifies its expectation; false with a
+/// diagnostic in *error otherwise.
+bool run_failover_trace(const FailoverTraceFile& trace, std::string* error);
+
+}  // namespace qres::mc

@@ -261,16 +261,29 @@ SessionCoordinator::Dispatch SessionCoordinator::dispatch_reserve(
   request.resource = id.value();
   request.amount = amount;
   request.lease = lease_;
-  const HostId owner = registry_->catalog().host(id);
-  const HostId to = owner.valid() ? owner : main_host_;
-  const rpc::CallResult result =
-      channel_->call(main_host_, to, std::move(request), now);
-  if (!result.ok()) {
+  std::uint64_t epoch = 0;
+  const HostId to = route_for(id, &epoch);
+  request.header.epoch = epoch;
+  const rpc::RoutedResult routed =
+      channel_->call_routed(main_host_, to, std::move(request), now);
+  if (!routed.ok()) {
     ++stats->unreachable_proxies;
     return Dispatch::kUnreachable;
   }
+  const rpc::CallResult& result = routed.result;
   if (result.transmissions > 1)
     stats->retransmissions += static_cast<std::size_t>(result.transmissions - 1);
+  if (const auto* redirect = std::get_if<rpc::RedirectReply>(&result.reply)) {
+    // Redirect chain did not converge (hint-less or looping): learn what
+    // the refuser knew so the next attempt routes to the new primary,
+    // and report a retryable fault.
+    if (directory_ != nullptr)
+      directory_->update(id, redirect->epoch, HostId{redirect->primary_host});
+    ++stats->unreachable_proxies;
+    return Dispatch::kUnreachable;
+  }
+  if (routed.redirects > 0 && directory_ != nullptr)
+    directory_->update(id, routed.epoch_hint, routed.served_by);
   const auto& reply = std::get<rpc::ReserveReply>(result.reply);
   switch (reply.code) {
     case rpc::RpcCode::kOk:
@@ -304,17 +317,40 @@ bool SessionCoordinator::dispatch_release(ResourceId id, double now,
   request.resource = id.value();
   request.release_all = 0;
   request.amount = amount;
-  const HostId owner = registry_->catalog().host(id);
-  const HostId to = owner.valid() ? owner : main_host_;
-  const rpc::CallResult result =
-      channel_->call(main_host_, to, std::move(request), now);
-  if (!result.ok()) {
+  std::uint64_t epoch = 0;
+  const HostId to = route_for(id, &epoch);
+  request.header.epoch = epoch;
+  const rpc::RoutedResult routed =
+      channel_->call_routed(main_host_, to, std::move(request), now);
+  if (!routed.ok()) {
     if (stats) ++stats->unreachable_proxies;
     return false;
   }
+  const rpc::CallResult& result = routed.result;
   if (stats && result.transmissions > 1)
     stats->retransmissions += static_cast<std::size_t>(result.transmissions - 1);
-  return std::get<rpc::ReleaseReply>(result.reply).code == rpc::RpcCode::kOk;
+  if (const auto* redirect = std::get_if<rpc::RedirectReply>(&result.reply)) {
+    if (directory_ != nullptr)
+      directory_->update(id, redirect->epoch, HostId{redirect->primary_host});
+    if (stats) ++stats->unreachable_proxies;
+    return false;
+  }
+  if (routed.redirects > 0 && directory_ != nullptr)
+    directory_->update(id, routed.epoch_hint, routed.served_by);
+  const auto* reply = std::get_if<rpc::ReleaseReply>(&result.reply);
+  return reply != nullptr && reply->code == rpc::RpcCode::kOk;
+}
+
+HostId SessionCoordinator::route_for(ResourceId id,
+                                     std::uint64_t* epoch) const {
+  if (directory_ != nullptr) {
+    if (const ReplicationDirectory::Entry* entry = directory_->find(id)) {
+      if (epoch != nullptr) *epoch = entry->epoch;
+      if (entry->primary.valid()) return entry->primary;
+    }
+  }
+  const HostId owner = registry_->catalog().host(id);
+  return owner.valid() ? owner : main_host_;
 }
 
 SessionCoordinator::PlanningSnapshot SessionCoordinator::snapshot_for_planning(
@@ -690,11 +726,20 @@ SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
     ResourceId resource, double now,
     const std::vector<ReconcileClaim>& claims) {
   constexpr double kEps = 1e-9;
-  ResourceBroker* broker = registry_->leaf(resource);
-  QRES_REQUIRE(broker != nullptr,
+  // Replicated resources reconcile against the group façade: claims are
+  // re-asserted to the *current* primary (the directory-era host, not the
+  // catalog's original owner) and every resolution mutation replicates
+  // like any other record. This is the PR-4 protocol re-used as the
+  // post-failover re-homing step (DESIGN.md §14).
+  ReplicatedBroker* rep = registry_->replicated(resource);
+  ResourceBroker* leafb = rep == nullptr ? registry_->leaf(resource) : nullptr;
+  QRES_REQUIRE(rep != nullptr || leafb != nullptr,
                "reconcile_broker: reconciliation applies to leaf brokers");
-  QRES_REQUIRE(broker->up(), "reconcile_broker: broker is down");
-  const HostId broker_host = registry_->catalog().host(resource);
+  IBroker& broker = registry_->broker(resource);
+  QRES_REQUIRE(broker.up(), "reconcile_broker: broker is down");
+  const HostId broker_host = rep != nullptr && rep->primary_host().valid()
+                                 ? rep->primary_host()
+                                 : registry_->catalog().host(resource);
 
   ReconcileReport report;
   report.resource = resource;
@@ -738,7 +783,7 @@ SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
     ReconcileEvent event;
     event.session = claim.session;
     event.claimed = claim.amount;
-    event.held = broker->held_by(claim.session);
+    event.held = broker.held_by(claim.session);
     if (!resync_rpc(claim.owner, claim.session, claim.amount)) {
       // Lost re-sync: the recovered holding stays as-is, protected by the
       // restart lease grace until a later pass or expiry settles it.
@@ -757,7 +802,7 @@ SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
       // The journal restored more than the session claims (a pre-crash
       // rollback that leaked, then re-asserted smaller). The unclaimed
       // excess is orphan capacity: released here and now.
-      broker->release_amount(now, claim.session, event.held - event.claimed);
+      broker.release_amount(now, claim.session, event.held - event.claimed);
       event.resolution = ReconcileResolution::kExcessReleased;
       ++report.excess_released;
     } else {
@@ -766,15 +811,16 @@ SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
     }
     // Re-assertion is a sign of life: in lease mode the surviving holding
     // is renewed so the grace window hands over to normal keeping.
-    if (lease_ > 0.0 && broker->held_by(claim.session) > 0.0)
-      broker->renew_lease(now, claim.session, lease_);
+    if (lease_ > 0.0 && broker.held_by(claim.session) > 0.0)
+      broker.renew_lease(now, claim.session, lease_);
     report.events.push_back(event);
   }
 
   // Orphan sweep: every recovered holding with no live claimant belongs
   // to a session that died or tore down during the outage. Released, via
   // one coordinator-to-broker-host RPC.
-  const JournalRecord state = broker->snapshot(now);
+  const JournalRecord state =
+      rep != nullptr ? rep->primary_snapshot(now) : leafb->snapshot(now);
   for (const auto& [session_value, held] : state.holdings) {
     const SessionId session{session_value};
     if (merged.contains(session)) continue;
@@ -787,7 +833,7 @@ SessionCoordinator::ReconcileReport SessionCoordinator::reconcile_broker(
       report.events.push_back(event);
       continue;
     }
-    broker->release(now, session);
+    broker.release(now, session);
     event.resolution = ReconcileResolution::kOrphanReleased;
     ++report.orphans_released;
     report.events.push_back(event);

@@ -164,6 +164,16 @@ class SessionCoordinator {
   /// Infinity (the default) disables deadlines.
   void set_rpc_deadline(double budget);
 
+  /// Client-transparent re-homing after failover (DESIGN.md §14): typed
+  /// dispatches for resources the directory knows route to its primary
+  /// and carry its epoch; a kNotPrimary redirect is followed under the
+  /// same request id (RpcChannel::call_routed) and the directory learns
+  /// the new primary/epoch from the redirect, so the next dispatch goes
+  /// straight there. Null (the default) keeps catalog-host routing.
+  void set_replication_directory(ReplicationDirectory* directory) {
+    directory_ = directory;
+  }
+
   /// The shim every coordination RPC goes through (null until
   /// attach_faults / attach_rpc_service). Exposed for breaker
   /// configuration and per-peer stats (`qresctl rpc`).
@@ -439,6 +449,11 @@ class SessionCoordinator {
   /// The absolute deadline for an RPC issued at `now`.
   double rpc_deadline(double now) const;
 
+  /// Typed-mode routing for `id`: the replication directory's primary
+  /// (writing its epoch into *epoch) when one is known, else the catalog
+  /// owner, else the main host.
+  HostId route_for(ResourceId id, std::uint64_t* epoch) const;
+
   const ServiceDefinition* service_;
   std::vector<ResourceId> footprint_;
   BrokerRegistry* registry_;
@@ -450,6 +465,7 @@ class SessionCoordinator {
   double lease_ = 0.0;  ///< 0 = permanent reservations
   const IAdmissionGovernor* governor_ = nullptr;
   int priority_hint_ = 0;
+  ReplicationDirectory* directory_ = nullptr;
 };
 
 const char* to_string(SessionCoordinator::ReconcileResolution

@@ -129,6 +129,17 @@ bool BrokerService::cache_reply(std::uint64_t request_id,
   return true;
 }
 
+void BrokerService::overwrite_cached_reply(
+    std::uint64_t request_id, const std::vector<std::uint8_t>& reply,
+    ResourceId resource) {
+  MutexLock lock(mutex_);
+  if (dedup_.contains(request_id)) {
+    dedup_.insert_or_assign(request_id, CachedReply{reply, resource});
+    return;
+  }
+  insert_dedup_locked(request_id, CachedReply{reply, resource});
+}
+
 BrokerService::DedupState BrokerService::dedup_state() const {
   MutexLock lock(mutex_);
   return DedupState{dedup_, dedup_order_};
@@ -154,9 +165,16 @@ void BrokerService::forget_dedup(ResourceId resource) {
 }
 
 void BrokerService::rebuild_dedup(ResourceId resource) {
-  const ResourceBroker* leaf = registry_->leaf(resource);
-  if (leaf == nullptr || leaf->journal() == nullptr) return;
-  const std::vector<JournalRecord> records = leaf->journal()->load();
+  std::vector<JournalRecord> records;
+  if (const ReplicatedBroker* rep = registry_->replicated(resource)) {
+    // After a failover the promoted primary's journal is the group truth
+    // (headless group: no records — every cached entry is dropped).
+    records = rep->primary_journal_records();
+  } else {
+    const ResourceBroker* leaf = registry_->leaf(resource);
+    if (leaf == nullptr || leaf->journal() == nullptr) return;
+    records = leaf->journal()->load();
+  }
   MutexLock lock(mutex_);
   // Drop the in-memory entries first: an entry the retained journal does
   // not confirm describes an execution recovery may not have restored.
@@ -171,7 +189,13 @@ void BrokerService::rebuild_dedup(ResourceId resource) {
   dedup_order_ = std::move(kept);
   for (const JournalRecord& rec : records) {
     if (rec.op != JournalOp::kReplyCache || rec.resource != resource) continue;
-    if (dedup_.contains(rec.request_id)) continue;
+    // Later records win: the replication quorum-revert path journals a
+    // revised kReplyCache record under the same request id, and replays
+    // must serve the revised refusal, never the optimistic grant.
+    if (dedup_.contains(rec.request_id)) {
+      dedup_.insert_or_assign(rec.request_id, CachedReply{rec.reply, resource});
+      continue;
+    }
     insert_dedup_locked(rec.request_id, CachedReply{rec.reply, resource});
   }
 }
@@ -206,6 +230,26 @@ void BrokerService::handle_frame(
           return ResourceId{};  // QueryRequest: no single target resource
       },
       decoded.message);
+  // Epoch fence for replicated resources (DESIGN.md §14): a request
+  // stamped with an epoch older than the group's was aimed at a deposed
+  // primary. The typed redirect carries the current epoch and primary so
+  // the client re-homes instead of burning its retry train here. Epoch 0
+  // (a client that has not learned the group yet) passes the fence. Not
+  // cached and not deduped — the re-sent request must execute. A
+  // headless group falls through to the ordinary down handling.
+  if (known_resource(resource) && header.epoch != 0) {
+    const ReplicatedBroker* rep = registry_->replicated(resource);
+    if (rep != nullptr && rep->up() && header.epoch < rep->epoch()) {
+      {
+        MutexLock lock(mutex_);
+        ++stats_.not_primary;
+      }
+      replies->push_back(encode(RedirectReply{
+          header.request_id, RpcCode::kNotPrimary, rep->epoch(),
+          rep->primary_host().value()}));
+      return;
+    }
+  }
   // Down brokers are reported *before* the replay cache is consulted: a
   // cached kOk from before the crash must not be served while journal
   // recovery may still lose the execution it describes (DESIGN.md §13).
@@ -316,13 +360,36 @@ std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
   IBroker& broker = registry_->broker(resource);
   if (!broker.up()) return reject(RpcCode::kBrokerDown);
 
+  // The epoch fence again at drain time: a request queued before a
+  // failover must not execute against the new primary under the deposed
+  // epoch (handle_frame fenced only what it saw at ingress).
+  ReplicatedBroker* rep = registry_->replicated(resource);
+  if (rep != nullptr && header.epoch != 0 && header.epoch < rep->epoch()) {
+    {
+      MutexLock lock(mutex_);
+      ++stats_.not_primary;
+    }
+    return encode(RedirectReply{header.request_id, RpcCode::kNotPrimary,
+                                rep->epoch(), rep->primary_host().value()});
+  }
+
   // Journaled brokers get the executed reply journaled next to the
   // mutation records its execution appends (dedup crash durability);
   // the appended-count delta decides grouping.
   ResourceBroker* leaf = registry_->leaf(resource);
   if (leaf != nullptr && leaf->journal() == nullptr) leaf = nullptr;
   const std::uint64_t mutations_before =
-      leaf != nullptr ? leaf->journaled_mutations() : 0;
+      leaf != nullptr ? leaf->journaled_mutations()
+      : rep != nullptr ? rep->journaled_mutations()
+                       : 0;
+
+  // Sync replication runs two-phase: the grant applies locally with
+  // auto-commit off, the reply-cache record is journaled next (so the
+  // mutation and its grouped reply replicate atomically), and the
+  // explicit flush below is the commit gate (DESIGN.md §14).
+  const bool two_phase =
+      rep != nullptr && rep->config().mode == ReplicationMode::kSync;
+  if (two_phase) rep->set_auto_commit(false);
 
   AnyMessage reply;
   if (const auto* reserve = std::get_if<ReserveRequest>(&request)) {
@@ -378,7 +445,8 @@ std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
   std::vector<std::uint8_t> encoded = encode(reply);
   // Performed operations (including admission rejects) are cached so a
   // redelivered duplicate returns this reply instead of executing twice.
-  if (cache_reply(header.request_id, encoded, resource) && leaf != nullptr) {
+  if (cache_reply(header.request_id, encoded, resource) &&
+      (leaf != nullptr || rep != nullptr)) {
     // Durable half of the cache entry. `grouped` ties the record to the
     // mutation records this execution just appended, so a lossy tail
     // drops them together or not at all (MemoryJournal::drop_tail).
@@ -390,9 +458,63 @@ std::vector<std::uint8_t> BrokerService::execute(const AnyMessage& request,
     rec.time = now;
     rec.resource = resource;
     rec.request_id = header.request_id;
-    rec.grouped = leaf->journaled_mutations() > mutations_before;
+    rec.grouped = (leaf != nullptr ? leaf->journaled_mutations()
+                                   : rep->journaled_mutations()) >
+                  mutations_before;
     rec.reply = encoded;
-    leaf->journal()->append(rec);
+    // A refused append here leaves the reply cached only in memory: a
+    // crash before the next successful snapshot may re-execute the
+    // duplicate. That is the pre-journal dedup guarantee, not silent
+    // state divergence — holdings were journaled write-ahead above — so
+    // the execution is not failed retroactively.
+    if (leaf != nullptr)
+      static_cast<void>(leaf->journal()->append(rec));
+    else
+      static_cast<void>(rep->append_aux(rec));
+  }
+
+  if (two_phase) {
+    // Commit phase: everything this execution journaled (mutations and
+    // the grouped reply record) must reach the quorum before the caller
+    // may learn of a grant.
+    const bool confirmed = rep->flush(now);
+    rep->set_auto_commit(true);
+    const auto* reserve = std::get_if<ReserveRequest>(&request);
+    const auto* reserve_reply = std::get_if<ReserveReply>(&reply);
+    const bool granted = reserve != nullptr && reserve_reply != nullptr &&
+                         reserve_reply->code == RpcCode::kOk;
+    if (confirmed) {
+      if (granted) rep->note_confirmed_grant();
+    } else if (granted) {
+      // The quorum never held the grant: compensate it with a journaled
+      // inverse release and revise the cached reply, so a duplicate of
+      // this request id replays the refusal, never the phantom grant.
+      // Releases/renews need no revert — losing one under-reports free
+      // capacity, which reconciliation (PR 4) repairs without ever
+      // over-granting.
+      rep->note_quorum_failure();
+      {
+        MutexLock lock(mutex_);
+        ++stats_.quorum_rejects;
+      }
+      rep->set_auto_commit(false);
+      rep->release_amount(now, SessionId{reserve->header.session},
+                          reserve->amount);
+      rep->set_auto_commit(true);
+      encoded = encode(AnyMessage{ReserveReply{
+          header.request_id, RpcCode::kBrokerDown, rep->available(),
+          std::numeric_limits<double>::infinity()}});
+      overwrite_cached_reply(header.request_id, encoded, resource);
+      JournalRecord rec;
+      rec.op = JournalOp::kReplyCache;
+      rec.time = now;
+      rec.resource = resource;
+      rec.request_id = header.request_id;
+      rec.grouped = true;  // glued to the compensating release record
+      rec.reply = encoded;
+      static_cast<void>(rep->append_aux(rec));
+      static_cast<void>(rep->flush(now));  // best effort
+    }
   }
   return encoded;
 }

@@ -92,6 +92,8 @@ class BrokerService : public IFrameServer {
     std::uint64_t deadline_expired = 0;  ///< kDeadlineExceeded replies
     std::uint64_t bad_requests = 0;      ///< kBadRequest replies
     std::uint64_t broker_down = 0;       ///< kBrokerDown replies
+    std::uint64_t not_primary = 0;       ///< stale-epoch redirects issued
+    std::uint64_t quorum_rejects = 0;    ///< sync grants reverted (no quorum)
   };
   Stats stats() const QRES_EXCLUDES(mutex_);
 
@@ -120,7 +122,11 @@ class BrokerService : public IFrameServer {
   /// resource, then inserts one entry per retained kReplyCache record.
   /// Call after ResourceBroker::restart() — the cache then agrees with
   /// journal truth even when a lossy tail took executed grants with it.
-  /// No-op for resources without a journaled leaf broker.
+  /// For a replicated resource the promoted primary's journal is the
+  /// source (call after failover). Later records win: a quorum-reverted
+  /// grant journals a second kReplyCache record for the same id, and the
+  /// rebuilt cache must serve the revised (kBrokerDown) reply, not the
+  /// optimistic one. No-op for resources with no journaled broker.
   void rebuild_dedup(ResourceId resource) QRES_EXCLUDES(mutex_);
 
   /// The deepest any broker's execution queue has ever been.
@@ -150,6 +156,12 @@ class BrokerService : public IFrameServer {
   bool cache_reply(std::uint64_t request_id,
                    const std::vector<std::uint8_t>& reply, ResourceId resource)
       QRES_EXCLUDES(mutex_);
+  /// Replaces an already-cached reply in place (inserts when absent).
+  /// Only the replication quorum-revert path uses this: the optimistic
+  /// grant reply must never be replayed once the grant was compensated.
+  void overwrite_cached_reply(std::uint64_t request_id,
+                              const std::vector<std::uint8_t>& reply,
+                              ResourceId resource) QRES_EXCLUDES(mutex_);
   void insert_dedup_locked(std::uint64_t request_id, CachedReply entry)
       QRES_REQUIRES(mutex_);
 

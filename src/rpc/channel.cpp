@@ -210,7 +210,8 @@ ExchangeResult RpcChannel::ping(HostId from, HostId to, double now,
 CallResult RpcChannel::call(HostId from, HostId to, AnyMessage request,
                             double now) {
   QRES_REQUIRE(server_ != nullptr, "RpcChannel::call: no frame server");
-  QRES_REQUIRE(is_request(message_type(request)),
+  QRES_REQUIRE(is_request(message_type(request)) ||
+                   is_replication_request(message_type(request)),
                "RpcChannel::call: not a request message");
   stamp_header(request, next_request_id(), kNoDeadline);
   const double deadline = deadline_of(request);
@@ -298,6 +299,44 @@ CallResult RpcChannel::call(HostId from, HostId to, AnyMessage request,
   ++stats.failures;
   breaker_on_failure(to, now);
   return result;
+}
+
+RoutedResult RpcChannel::call_routed(HostId from, HostId to,
+                                     AnyMessage request, double now,
+                                     int max_redirects) {
+  // Stamp here so every hop re-sends the SAME request id (call() only
+  // stamps zeros, so the id and original deadline survive the hops).
+  stamp_header(request, next_request_id(), kNoDeadline);
+  RoutedResult routed;
+  routed.served_by = to;
+  int transmissions = 0;
+  for (;;) {
+    CallResult leg = call(from, to, request, now);
+    transmissions += leg.transmissions;
+    routed.result = std::move(leg);
+    routed.served_by = to;
+    if (!routed.result.ok()) break;
+    const auto* redirect = std::get_if<RedirectReply>(&routed.result.reply);
+    if (redirect == nullptr) break;
+    routed.epoch_hint = redirect->epoch;
+    const HostId hint{redirect->primary_host};
+    // A hint-less redirect or one pointing back at the refuser cannot be
+    // followed — surface the redirect so the caller re-discovers.
+    if (routed.redirects >= max_redirects || !hint.valid() || hint == to)
+      break;
+    // Adopt the redirect's epoch: re-sending the stale one would bounce
+    // off the new primary's fence too.
+    std::visit(
+        [&](auto& m) {
+          if constexpr (requires { m.header.epoch; })
+            m.header.epoch = redirect->epoch;
+        },
+        request);
+    to = hint;
+    ++routed.redirects;
+  }
+  routed.result.transmissions = transmissions;
+  return routed;
 }
 
 }  // namespace qres::rpc

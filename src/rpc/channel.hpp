@@ -75,6 +75,16 @@ struct CallResult {
   bool ok() const noexcept { return status == CallStatus::kOk; }
 };
 
+/// Result of a redirect-following call (see RpcChannel::call_routed).
+struct RoutedResult {
+  CallResult result;
+  HostId served_by;              ///< peer that produced result.reply
+  int redirects = 0;             ///< kNotPrimary hops followed
+  std::uint64_t epoch_hint = 0;  ///< epoch from the last RedirectReply
+
+  bool ok() const noexcept { return result.ok(); }
+};
+
 struct PeerStats {
   std::uint64_t calls = 0;              ///< ping() + call() attempts
   std::uint64_t failures = 0;           ///< calls that did not end kOk
@@ -120,6 +130,19 @@ class RpcChannel {
   /// same id up to policy.max_attempts; the server's dedup cache makes
   /// the redelivery idempotent.
   CallResult call(HostId from, HostId to, AnyMessage request, double now);
+
+  /// call() that follows kNotPrimary redirects (DESIGN.md §14): when the
+  /// reply is a RedirectReply with a usable hint, the request is re-sent
+  /// to the hinted host under the SAME request id, the ORIGINAL deadline
+  /// and the redirect's epoch — never back into a retry train against
+  /// the peer that just declared itself not primary (that train would
+  /// burn the remaining deadline re-probing a deposed replica). Stops
+  /// after `max_redirects` hops, on a hint-less redirect, or on a hint
+  /// that points back at the refusing peer; the caller then re-discovers
+  /// via its directory. `served_by` reports where the final reply (or
+  /// final redirect) came from.
+  RoutedResult call_routed(HostId from, HostId to, AnyMessage request,
+                           double now, int max_redirects = 2);
 
   /// Next request id this channel would stamp (deterministic counter).
   std::uint64_t next_request_id() noexcept { return next_request_id_++; }

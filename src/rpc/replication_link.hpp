@@ -1,0 +1,103 @@
+// The RPC adapter between the broker-layer replication protocol and the
+// typed wire plane (DESIGN.md §14).
+//
+// ReplicatedBroker (rank-2 broker code) speaks IShipTransport and knows
+// nothing about frames; this file provides both halves of the bridge:
+//
+//   * ReplicationService — the standby-side IFrameServer. Decodes
+//     JournalShip / PromoteRequest frames, routes them into the target
+//     ReplicatedBroker (apply_ship / promote) and answers the typed
+//     ShipAck / PromoteReply. Replication requests address a *replica*,
+//     not a session: the RequestHeader's session field carries the
+//     target replica's host id. No dedup cache is needed — apply_ship is
+//     idempotent by watermark (a redelivered batch re-acks), and a
+//     redelivered promote whose epoch is already in force at the target
+//     is answered kOk so a lost ack never wedges the coordinator.
+//   * ReplicationLink — the primary-side IShipTransport. Wraps batches
+//     in JournalShip frames and carries them through an RpcChannel, with
+//     that channel's faults, retries, deadline truncation and per-peer
+//     breakers. A call that ends without a usable ShipAck reports
+//     nullopt ("batch lost"), which the primary counts and re-ships on
+//     the next flush.
+//
+// RpcCode <-> ShipAckCode mapping (both directions, lossless):
+//   kApplied <-> kOk, kGap <-> kBadRequest, kFenced <-> kNotPrimary,
+//   kDown <-> kBrokerDown.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "broker/registry.hpp"
+#include "broker/replication.hpp"
+#include "rpc/channel.hpp"
+#include "rpc/frame.hpp"
+#include "rpc/wire.hpp"
+
+namespace qres::rpc {
+
+/// Lossless code mapping between the wire and the broker layer (see the
+/// file comment). rpc_to_ship_ack returns nullopt for codes that do not
+/// name a ship outcome (a malformed ack counts as a lost batch).
+RpcCode ship_ack_to_rpc(ShipAckCode code) noexcept;
+std::optional<ShipAckCode> rpc_to_ship_ack(RpcCode code) noexcept;
+
+class ReplicationService final : public IFrameServer {
+ public:
+  explicit ReplicationService(BrokerRegistry* registry);
+
+  void handle_frame(const std::vector<std::uint8_t>& frame, double now,
+                    std::vector<std::vector<std::uint8_t>>* replies) override;
+
+  struct Stats {
+    std::uint64_t frames = 0;          ///< frames received
+    std::uint64_t decode_rejects = 0;  ///< undecodable (no reply; retried)
+    std::uint64_t non_replication = 0; ///< well-formed but not ship/promote
+    std::uint64_t bad_requests = 0;    ///< unknown resource/replica host
+    std::uint64_t ships_applied = 0;   ///< batches answered kApplied
+    std::uint64_t ships_refused = 0;   ///< gap/fenced/down answers
+    std::uint64_t promotions = 0;      ///< promote answered kOk
+    std::uint64_t promote_refusals = 0;///< promote answered kNotPrimary
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  BrokerRegistry* registry_;
+  Stats stats_;
+};
+
+/// Primary-side transport: install on a ReplicatedBroker with
+/// set_transport(). The channel's server must be (or route to) the
+/// ReplicationService owning the standby registry.
+class ReplicationLink final : public IShipTransport {
+ public:
+  ReplicationLink(RpcChannel* channel, BrokerRegistry* registry);
+
+  std::optional<ShipAckInfo> ship(HostId to, const ShipBatch& batch,
+                                  double now) override;
+
+  /// Sends a typed PromoteRequest (the failover coordinator's wire path):
+  /// `to` adopts `epoch` for `resource` and serves as primary. nullopt
+  /// when no usable PromoteReply came back.
+  std::optional<PromoteReply> send_promote(HostId from, HostId to,
+                                           ResourceId resource,
+                                           std::uint64_t epoch, double now);
+
+  struct Stats {
+    std::uint64_t ships = 0;       ///< batches handed to the channel
+    std::uint64_t ship_lost = 0;   ///< calls without a usable ShipAck
+    std::uint64_t promotes = 0;    ///< PromoteRequests sent
+    std::uint64_t promote_lost = 0;///< calls without a usable PromoteReply
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  RpcChannel* channel() const noexcept { return channel_; }
+
+ private:
+  RpcChannel* channel_;
+  BrokerRegistry* registry_;
+  Stats stats_;
+};
+
+}  // namespace qres::rpc

@@ -83,6 +83,7 @@ void put_request_header(std::vector<std::uint8_t>& out,
   put_u64(out, header.request_id);
   put_u32(out, header.session);
   put_f64(out, header.deadline);
+  put_u64(out, header.epoch);
 }
 
 RequestHeader read_request_header(Reader& r) {
@@ -90,16 +91,33 @@ RequestHeader read_request_header(Reader& r) {
   header.request_id = r.u64();
   header.session = r.u32();
   header.deadline = r.f64();
+  header.epoch = r.u64();
   return header;
 }
 
 bool read_code(Reader& r, RpcCode* code) {
   const std::uint8_t raw = r.u8();
-  if (raw > static_cast<std::uint8_t>(RpcCode::kBadRequest)) {
+  if (raw > static_cast<std::uint8_t>(RpcCode::kNotPrimary)) {
     r.ok = false;
     return false;
   }
   *code = static_cast<RpcCode>(raw);
+  return true;
+}
+
+/// Length-prefixed byte string. The length is bounded by the payload
+/// itself (Reader::take), so no separate cap is needed beyond
+/// kMaxPayloadBytes enforced at the frame level.
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+bool read_string(Reader& r, std::string* s) {
+  const std::uint32_t len = r.u32();
+  if (!r.take(len)) return false;
+  s->assign(reinterpret_cast<const char*>(r.data + r.pos), len);
+  r.pos += len;
   return true;
 }
 
@@ -218,6 +236,42 @@ void put_payload(std::vector<std::uint8_t>& out, const TearMsg& m) {
   put_u64(out, m.request_id);
   put_u64(out, m.flow);
   put_route(out, m.route);
+}
+
+void put_payload(std::vector<std::uint8_t>& out, const JournalShip& m) {
+  put_request_header(out, m.header);
+  put_u32(out, m.resource);
+  put_u64(out, m.epoch);
+  put_u64(out, m.seq_first);
+  put_u32(out, static_cast<std::uint32_t>(m.records.size()));
+  for (const std::string& rec : m.records) put_string(out, rec);
+}
+
+void put_payload(std::vector<std::uint8_t>& out, const ShipAck& m) {
+  put_u64(out, m.request_id);
+  put_u8(out, static_cast<std::uint8_t>(m.code));
+  put_u64(out, m.epoch);
+  put_u64(out, m.watermark);
+}
+
+void put_payload(std::vector<std::uint8_t>& out, const PromoteRequest& m) {
+  put_request_header(out, m.header);
+  put_u32(out, m.resource);
+  put_u64(out, m.epoch);
+}
+
+void put_payload(std::vector<std::uint8_t>& out, const PromoteReply& m) {
+  put_u64(out, m.request_id);
+  put_u8(out, static_cast<std::uint8_t>(m.code));
+  put_u64(out, m.epoch);
+  put_u64(out, m.watermark);
+}
+
+void put_payload(std::vector<std::uint8_t>& out, const RedirectReply& m) {
+  put_u64(out, m.request_id);
+  put_u8(out, static_cast<std::uint8_t>(m.code));
+  put_u64(out, m.epoch);
+  put_u32(out, m.primary_host);
 }
 
 bool read_route(Reader& r, std::vector<std::uint32_t>* route) {
@@ -364,6 +418,59 @@ Decoded decode_payload(MessageType type, const std::uint8_t* data,
       out.message = m;
       break;
     }
+    case MessageType::kJournalShip: {
+      JournalShip m;
+      m.header = read_request_header(r);
+      m.resource = r.u32();
+      m.epoch = r.u64();
+      m.seq_first = r.u64();
+      std::uint32_t count = 0;
+      if (read_count(r, &count)) {
+        m.records.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          std::string rec;
+          if (!read_string(r, &rec)) break;
+          m.records.push_back(std::move(rec));
+        }
+      }
+      out.message = m;
+      break;
+    }
+    case MessageType::kShipAck: {
+      ShipAck m;
+      m.request_id = r.u64();
+      read_code(r, &m.code);
+      m.epoch = r.u64();
+      m.watermark = r.u64();
+      out.message = m;
+      break;
+    }
+    case MessageType::kPromoteRequest: {
+      PromoteRequest m;
+      m.header = read_request_header(r);
+      m.resource = r.u32();
+      m.epoch = r.u64();
+      out.message = m;
+      break;
+    }
+    case MessageType::kPromoteReply: {
+      PromoteReply m;
+      m.request_id = r.u64();
+      read_code(r, &m.code);
+      m.epoch = r.u64();
+      m.watermark = r.u64();
+      out.message = m;
+      break;
+    }
+    case MessageType::kRedirectReply: {
+      RedirectReply m;
+      m.request_id = r.u64();
+      read_code(r, &m.code);
+      m.epoch = r.u64();
+      m.primary_host = r.u32();
+      out.message = m;
+      break;
+    }
   }
   if (!r.done()) {
     out.status = DecodeStatus::kMalformedPayload;
@@ -406,6 +513,11 @@ const char* to_string(MessageType type) noexcept {
     case MessageType::kPathMsg: return "path";
     case MessageType::kResvMsg: return "resv";
     case MessageType::kTearMsg: return "tear";
+    case MessageType::kJournalShip: return "journal-ship";
+    case MessageType::kShipAck: return "ship-ack";
+    case MessageType::kPromoteRequest: return "promote-request";
+    case MessageType::kPromoteReply: return "promote-reply";
+    case MessageType::kRedirectReply: return "redirect-reply";
   }
   return "?";
 }
@@ -418,6 +530,7 @@ const char* to_string(RpcCode code) noexcept {
     case RpcCode::kBackpressure: return "backpressure";
     case RpcCode::kDeadlineExceeded: return "deadline-exceeded";
     case RpcCode::kBadRequest: return "bad-request";
+    case RpcCode::kNotPrimary: return "not-primary";
   }
   return "?";
 }
@@ -438,7 +551,7 @@ const char* to_string(DecodeStatus status) noexcept {
 }
 
 MessageType message_type(const AnyMessage& message) noexcept {
-  // The variant's alternative order matches the MessageType values 1..13.
+  // The variant's alternative order matches the MessageType values 1..18.
   return static_cast<MessageType>(message.index() + 1);
 }
 
@@ -464,6 +577,11 @@ bool is_request(MessageType type) noexcept {
     default:
       return false;
   }
+}
+
+bool is_replication_request(MessageType type) noexcept {
+  return type == MessageType::kJournalShip ||
+         type == MessageType::kPromoteRequest;
 }
 
 std::vector<std::uint8_t> encode(const AnyMessage& message) {
@@ -503,7 +621,7 @@ Decoded decode_frame(const std::vector<std::uint8_t>& frame) {
   if (d[4] != kWireVersion) return fail(DecodeStatus::kBadVersion);
   const std::uint8_t raw_type = d[5];
   if (raw_type < static_cast<std::uint8_t>(MessageType::kReserveRequest) ||
-      raw_type > static_cast<std::uint8_t>(MessageType::kTearMsg))
+      raw_type > static_cast<std::uint8_t>(MessageType::kRedirectReply))
     return fail(DecodeStatus::kBadType);
   std::uint32_t length = 0;
   for (int i = 0; i < 4; ++i)

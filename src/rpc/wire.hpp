@@ -34,7 +34,10 @@
 // `lease_deadline` to ReserveReply/RenewReply: the model checker showed
 // that a client deriving the deadline from its own receive time believes
 // a lease lives longer than the broker does and keeps acting on a
-// reclaimed holding (DESIGN.md §13).
+// reclaimed holding (DESIGN.md §13). v3 added broker replication
+// (DESIGN.md §14): a fencing `epoch` in every RequestHeader, the
+// kNotPrimary code + RedirectReply redirect hint, and the replication
+// vocabulary (JournalShip/ShipAck, PromoteRequest/PromoteReply).
 #pragma once
 
 #include <cstdint>
@@ -47,7 +50,7 @@
 
 namespace qres::rpc {
 
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::size_t kHeaderSize = 20;
 /// Upper bound on one frame's payload; larger length fields are rejected
 /// before any allocation is sized from attacker-controlled input.
@@ -69,6 +72,11 @@ enum class MessageType : std::uint8_t {
   kPathMsg = 11,
   kResvMsg = 12,
   kTearMsg = 13,
+  kJournalShip = 14,
+  kShipAck = 15,
+  kPromoteRequest = 16,
+  kPromoteReply = 17,
+  kRedirectReply = 18,
 };
 
 /// Application-level outcome carried in every reply.
@@ -79,6 +87,8 @@ enum class RpcCode : std::uint8_t {
   kBackpressure = 3,       ///< service execution queue full (fast-reject)
   kDeadlineExceeded = 4,   ///< the request's deadline passed before execution
   kBadRequest = 5,         ///< malformed/out-of-range request fields
+  kNotPrimary = 6,         ///< peer is fenced/standby or the epoch is stale;
+                           ///< the reply is a RedirectReply with the hint
 };
 
 /// Why a frame failed to decode. Strictly typed — every corruption mode
@@ -107,6 +117,12 @@ struct RequestHeader {
   std::uint64_t request_id = 0;
   std::uint32_t session = SessionId::kInvalid;
   double deadline = 0.0;
+  /// Replication fencing epoch the caller believes the target resource is
+  /// in (v3). 0 = unreplicated / unknown — accepted by any serving
+  /// replica. A non-zero stale value is rejected kNotPrimary with a
+  /// RedirectReply so a client that re-homed once never silently lands a
+  /// mutation on a deposed primary (DESIGN.md §14).
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const RequestHeader&, const RequestHeader&) = default;
 };
@@ -254,10 +270,75 @@ struct TearMsg {
   friend bool operator==(const TearMsg&, const TearMsg&) = default;
 };
 
+/// Primary -> standby: a contiguous batch of journal records, shipped in
+/// the broker journal's canonical text form (to_line / parse_line — the
+/// same exactly-round-tripping serialization `qresctl journal` replays).
+/// `seq_first` is the journal sequence number of records[0]; a standby
+/// applies the batch only when seq_first == its watermark (idempotent:
+/// lower batches re-ack, gapped batches are refused so the primary
+/// rewinds). `epoch` fences: a batch from a deposed primary is dropped.
+struct JournalShip {
+  RequestHeader header;
+  std::uint32_t resource = ResourceId::kInvalid;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq_first = 0;
+  std::vector<std::string> records;
+
+  friend bool operator==(const JournalShip&, const JournalShip&) = default;
+};
+
+/// Standby -> primary: replication watermark after applying (or refusing)
+/// a shipped batch. `watermark` = number of journal records durably
+/// applied, i.e. the sequence number the standby expects next.
+struct ShipAck {
+  std::uint64_t request_id = 0;
+  RpcCode code = RpcCode::kOk;
+  std::uint64_t epoch = 0;
+  std::uint64_t watermark = 0;
+
+  friend bool operator==(const ShipAck&, const ShipAck&) = default;
+};
+
+/// Coordinator -> standby: adopt `epoch` and serve as primary. The
+/// receiver refuses (kNotPrimary) when `epoch` is not strictly newer than
+/// its own — double promotions tie-break on epoch, never on wall order.
+struct PromoteRequest {
+  RequestHeader header;
+  std::uint32_t resource = ResourceId::kInvalid;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const PromoteRequest&, const PromoteRequest&) =
+      default;
+};
+
+struct PromoteReply {
+  std::uint64_t request_id = 0;
+  RpcCode code = RpcCode::kOk;
+  std::uint64_t epoch = 0;      ///< the epoch now in force at the receiver
+  std::uint64_t watermark = 0;  ///< its journal watermark at promotion
+
+  friend bool operator==(const PromoteReply&, const PromoteReply&) = default;
+};
+
+/// Any-service -> client: typed kNotPrimary rejection with a re-homing
+/// hint. `primary_host` names the replica the sender believes is serving
+/// `epoch` (may itself be stale — clients re-probe, they do not trust it
+/// transitively); kInvalid = sender has no hint, client must re-discover.
+struct RedirectReply {
+  std::uint64_t request_id = 0;
+  RpcCode code = RpcCode::kNotPrimary;
+  std::uint64_t epoch = 0;
+  std::uint32_t primary_host = HostId::kInvalid;
+
+  friend bool operator==(const RedirectReply&, const RedirectReply&) = default;
+};
+
 using AnyMessage =
     std::variant<ReserveRequest, ReserveReply, ReleaseRequest, ReleaseReply,
                  RenewRequest, RenewReply, ReconcileRequest, ReconcileReply,
-                 QueryRequest, QueryReply, PathMsg, ResvMsg, TearMsg>;
+                 QueryRequest, QueryReply, PathMsg, ResvMsg, TearMsg,
+                 JournalShip, ShipAck, PromoteRequest, PromoteReply,
+                 RedirectReply>;
 
 /// The message's wire type tag.
 MessageType message_type(const AnyMessage& message) noexcept;
@@ -268,6 +349,11 @@ std::uint64_t request_id_of(const AnyMessage& message) noexcept;
 
 /// True for the five *Request types the broker service executes.
 bool is_request(MessageType type) noexcept;
+
+/// True for the replication-plane requests (JournalShip, PromoteRequest)
+/// the replication service executes. Disjoint from is_request: the broker
+/// service's dedup/backpressure path never sees these.
+bool is_replication_request(MessageType type) noexcept;
 
 /// Serializes `message` into one framed buffer (header + payload).
 std::vector<std::uint8_t> encode(const AnyMessage& message);

@@ -1,0 +1,117 @@
+#include "sim/failover.hpp"
+
+#include "util/assert.hpp"
+
+namespace qres {
+
+FailoverCoordinator::FailoverCoordinator(BrokerRegistry* registry,
+                                         ReplicationDirectory* directory,
+                                         HostId coordinator_host,
+                                         FailoverConfig config)
+    : registry_(registry),
+      directory_(directory),
+      coordinator_host_(coordinator_host),
+      config_(config) {
+  QRES_REQUIRE(registry != nullptr && directory != nullptr,
+               "FailoverCoordinator: null registry/directory");
+  QRES_REQUIRE(config_.miss_threshold >= 1,
+               "FailoverCoordinator: miss_threshold must be >= 1");
+}
+
+void FailoverCoordinator::watch(ResourceId resource) {
+  ReplicatedBroker* rep = registry_->replicated(resource);
+  QRES_REQUIRE(rep != nullptr,
+               "FailoverCoordinator::watch: not a replicated resource");
+  watches_.push_back(Watch{resource, 0});
+  directory_->update(resource, rep->epoch(), rep->primary_host());
+}
+
+void FailoverCoordinator::attach_channel(rpc::RpcChannel* channel,
+                                         rpc::ReplicationLink* link) {
+  channel_ = channel;
+  link_ = link;
+}
+
+int FailoverCoordinator::misses(ResourceId resource) const {
+  for (const Watch& w : watches_)
+    if (w.resource == resource) return w.misses;
+  return 0;
+}
+
+bool FailoverCoordinator::primary_alive(const ReplicatedBroker& rep,
+                                        double now) {
+  // A crashed primary process shows as an invalid primary host before
+  // any network probe; the ping then covers the network path (and its
+  // verdict goes through the channel's breaker like every other call).
+  const HostId primary = rep.primary_host();
+  if (!primary.valid()) return false;
+  if (channel_ == nullptr) return true;
+  return channel_->ping(coordinator_host_, primary, now).ok();
+}
+
+void FailoverCoordinator::tick(double now) {
+  for (Watch& watch : watches_) {
+    ReplicatedBroker* rep = registry_->replicated(watch.resource);
+    QRES_REQUIRE(rep != nullptr, "FailoverCoordinator: group disappeared");
+    ++stats_.heartbeats;
+    if (primary_alive(*rep, now)) {
+      watch.misses = 0;
+      // Keep the directory fresh: a promotion someone else performed
+      // (a second coordinator, a test) still re-homes our clients.
+      directory_->update(watch.resource, rep->epoch(), rep->primary_host());
+      continue;
+    }
+    ++stats_.missed;
+    if (++watch.misses < config_.miss_threshold) continue;
+    fail_over(watch, *rep, now);
+  }
+}
+
+void FailoverCoordinator::fail_over(Watch& watch, ReplicatedBroker& rep,
+                                    double now) {
+  // Most-caught-up up standby; ties break toward the earliest host in
+  // group order so racing coordinators converge on the same candidate.
+  HostId candidate;
+  std::uint64_t best = 0;
+  for (HostId host : rep.hosts()) {
+    if (rep.role_of(host) != ReplicaRole::kStandby || !rep.replica_up(host))
+      continue;
+    const std::uint64_t mark = rep.watermark_of(host);
+    if (!candidate.valid() || mark > best) {
+      candidate = host;
+      best = mark;
+    }
+  }
+  if (!candidate.valid()) {
+    // Headless and nothing to promote: keep counting misses; a standby
+    // restart (journal recovery) makes a later tick succeed.
+    ++stats_.no_candidate;
+    return;
+  }
+  const std::uint64_t new_epoch = rep.next_epoch();
+  if (link_ != nullptr) {
+    const std::optional<rpc::PromoteReply> reply = link_->send_promote(
+        coordinator_host_, candidate, watch.resource, new_epoch, now);
+    if (!reply.has_value()) {
+      ++stats_.promote_lost;  // retried on the next tick
+      return;
+    }
+    if (reply->code != rpc::RpcCode::kOk) {
+      ++stats_.promote_refused;  // raced a newer epoch; re-observe
+      watch.misses = 0;
+      return;
+    }
+  } else {
+    if (!rep.promote(candidate, new_epoch, now)) {
+      ++stats_.promote_refused;
+      watch.misses = 0;
+      return;
+    }
+  }
+  watch.misses = 0;
+  ++stats_.failovers;
+  directory_->update(watch.resource, rep.epoch(), rep.primary_host());
+  if (listener_) listener_(watch.resource, candidate, rep.epoch(), now);
+}
+
+}  // namespace qres

@@ -1,0 +1,106 @@
+// Failover coordinator: lease-style liveness detection over replicated
+// broker groups and standby promotion (DESIGN.md §14).
+//
+// The BrokerSupervisor makes crashes *happen*; this coordinator makes
+// the world survive them. Each tick it heartbeats every watched group's
+// primary — through the RpcChannel when one is attached, so heartbeats
+// share the channel's per-peer circuit breakers and fault plane, exactly
+// like any other control message — and after `miss_threshold`
+// consecutive misses declares the primary dead and fails over:
+//
+//   1. candidate selection: the most-caught-up *up* standby (largest
+//      replication watermark; ties break toward the earliest host in the
+//      group's host order, so two coordinators racing the same
+//      observation pick the same candidate);
+//   2. promotion under epoch = group.next_epoch(): via a typed
+//      PromoteRequest frame when a ReplicationLink is attached (the ack
+//      may be lost — the next tick retries; the receiver answers kOk for
+//      an epoch already in force so a lost ack cannot wedge the group),
+//      else by calling ReplicatedBroker::promote in-process;
+//   3. re-homing: the ReplicationDirectory learns the new primary and
+//      epoch, so SessionCoordinator dispatches route there and stale
+//      clients are bounced kNotPrimary with the same hint; the
+//      on_failover hook is where session reconciliation
+//      (SessionCoordinator::reconcile_broker) and the service's replay
+//      cache rebuild (BrokerService::rebuild_dedup) start.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "broker/registry.hpp"
+#include "broker/replication.hpp"
+#include "rpc/channel.hpp"
+#include "rpc/replication_link.hpp"
+
+namespace qres {
+
+struct FailoverConfig {
+  /// Consecutive missed heartbeats before a primary is declared dead.
+  /// (The heartbeat cadence itself is whoever calls tick() — the sim
+  /// schedules ticks on its event queue.)
+  int miss_threshold = 3;
+};
+
+class FailoverCoordinator {
+ public:
+  FailoverCoordinator(BrokerRegistry* registry,
+                      ReplicationDirectory* directory, HostId coordinator_host,
+                      FailoverConfig config = {});
+
+  /// Watches `resource` (must name a replicated group). Seeds the
+  /// directory with the group's current primary and epoch.
+  void watch(ResourceId resource);
+
+  /// Routes heartbeats through `channel` (ping, breakers, fault plane)
+  /// and promotions through `link` as typed PromoteRequest frames.
+  /// Without this, liveness is observed in-process and promote() is a
+  /// direct call.
+  void attach_channel(rpc::RpcChannel* channel, rpc::ReplicationLink* link);
+
+  /// One heartbeat round at `now` across every watched group.
+  void tick(double now);
+
+  /// Fires after each completed failover (promotion acked, directory
+  /// updated): (resource, new primary, new epoch, now). Reconciliation
+  /// and dedup rebuild hang off this.
+  using FailoverListener =
+      std::function<void(ResourceId, HostId, std::uint64_t, double)>;
+  void on_failover(FailoverListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  struct Stats {
+    std::uint64_t heartbeats = 0;        ///< primary probes sent
+    std::uint64_t missed = 0;            ///< probes that found no live primary
+    std::uint64_t failovers = 0;         ///< completed promotions
+    std::uint64_t promote_lost = 0;      ///< promotion RPCs with no usable ack
+    std::uint64_t promote_refused = 0;   ///< promotions answered kNotPrimary
+    std::uint64_t no_candidate = 0;      ///< dead primary, no up standby
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  int misses(ResourceId resource) const;
+
+ private:
+  struct Watch {
+    ResourceId resource;
+    int misses = 0;
+  };
+
+  bool primary_alive(const ReplicatedBroker& rep, double now);
+  void fail_over(Watch& watch, ReplicatedBroker& rep, double now);
+
+  BrokerRegistry* registry_;
+  ReplicationDirectory* directory_;
+  HostId coordinator_host_;
+  FailoverConfig config_;
+  rpc::RpcChannel* channel_ = nullptr;
+  rpc::ReplicationLink* link_ = nullptr;
+  std::vector<Watch> watches_;
+  FailoverListener listener_;
+  Stats stats_;
+};
+
+}  // namespace qres

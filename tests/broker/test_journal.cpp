@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "broker/resource_broker.hpp"
+#include "util/assert.hpp"
 
 namespace qres {
 namespace {
@@ -229,6 +230,110 @@ TEST(Journal, ReadFileRejectsMalformedLines) {
   }
   EXPECT_THROW(FileJournal::read_file(path), std::runtime_error);
   std::remove(path.c_str());
+}
+
+// --- Sink I/O failure injection --------------------------------------------
+
+/// Sink that refuses appends on command: delegates to a MemoryJournal
+/// until `fail_after` records have landed, then answers `status` for
+/// every further append until `healed` — a disk that filled up (or a
+/// file that vanished) partway through a broker's life.
+struct FaultySink final : IJournalSink {
+  MemoryJournal inner;
+  std::uint64_t fail_after = 0;  ///< appends that land before failing
+  JournalStatus status = JournalStatus::kWriteFailed;
+  bool healed = false;
+  std::uint64_t refused = 0;
+
+  JournalStatus append(const JournalRecord& record) override {
+    if (!healed && inner.appended() >= fail_after) {
+      ++refused;
+      return status;
+    }
+    return inner.append(record);
+  }
+  std::vector<JournalRecord> load() const override { return inner.load(); }
+  std::uint64_t appended() const override { return inner.appended(); }
+};
+
+TEST(Journal, FileJournalOpenFailureThrows) {
+  // The constructor's contract: a path that cannot be opened is fatal at
+  // attach time, never a silent no-durability broker.
+  EXPECT_THROW(FileJournal("no_such_dir/sub/journal.wal"),
+               std::runtime_error);
+  EXPECT_THROW(FileJournal::read_file("no_such_file.wal"),
+               std::runtime_error);
+}
+
+TEST(Journal, AttachTimeSnapshotFailureIsFatal) {
+  // A broker that cannot write its very first snapshot has no durability
+  // story to degrade to: attach_journal refuses to start.
+  FaultySink sink;  // fail_after 0: every append refused
+  ResourceBroker broker = make();
+  EXPECT_THROW(broker.attach_journal(&sink), ContractViolation);
+}
+
+TEST(Journal, RefusedAppendFailsTheMutationAndNeverDiverges) {
+  FaultySink sink;
+  sink.fail_after = 2;  // attach snapshot + one reserve land, then fail
+  ResourceBroker broker = make();
+  broker.attach_journal(&sink, 64, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+
+  // The sink now refuses: the mutation must fail WITHOUT applying — a
+  // broker whose journal is missing an applied mutation would recover
+  // into a different state than it died in.
+  EXPECT_FALSE(broker.reserve(2.0, s2, 20.0));
+  EXPECT_EQ(broker.held_by(s2), 0.0);
+  EXPECT_EQ(broker.available(), 90.0);
+  EXPECT_EQ(broker.journal_failures(), 1u);
+  EXPECT_EQ(sink.refused, 1u);
+
+  // Releases go through the same gate.
+  broker.release_amount(3.0, s1, 4.0);
+  EXPECT_EQ(broker.held_by(s1), 10.0);
+  EXPECT_EQ(broker.journal_failures(), 2u);
+
+  // After the sink heals, mutations land again and recovery from the
+  // journal is bit-identical: the refused operations left no trace on
+  // either side.
+  sink.healed = true;
+  ASSERT_TRUE(broker.reserve(4.0, s2, 20.0));
+  const ResourceBroker recovered = ResourceBroker::recover(sink.load());
+  EXPECT_EQ(to_line(recovered.snapshot(4.0)), to_line(broker.snapshot(4.0)));
+}
+
+TEST(Journal, RefusedCompactionSnapshotRetriesOnTheNextMutation) {
+  FaultySink sink;
+  sink.fail_after = 3;  // attach snapshot + two reserves land
+  ResourceBroker broker = make();
+  broker.attach_journal(&sink, /*snapshot_every=*/2, 0.0);
+  ASSERT_TRUE(broker.reserve(1.0, s1, 10.0));
+  ASSERT_TRUE(broker.reserve(2.0, s2, 20.0));
+
+  // The second mutation crossed snapshot_every, so a compaction snapshot
+  // was attempted and refused. That is an optimization loss, not a
+  // correctness failure: the mutations themselves are durable.
+  EXPECT_EQ(broker.journal_failures(), 1u);
+  EXPECT_EQ(sink.refused, 1u);
+  EXPECT_EQ(broker.journaled_mutations(), 2u);
+
+  // Once the sink heals, the next mutation retries the snapshot: the
+  // journal ends with a fresh self-contained snapshot again.
+  sink.healed = true;
+  ASSERT_TRUE(broker.reserve(3.0, s3, 5.0));
+  const std::vector<JournalRecord> records = sink.load();
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.back().op, JournalOp::kSnapshot);
+  EXPECT_EQ(broker.journal_failures(), 1u);  // no new failures
+  const ResourceBroker recovered = ResourceBroker::recover(records);
+  EXPECT_EQ(to_line(recovered.snapshot(3.0)), to_line(broker.snapshot(3.0)));
+}
+
+TEST(Journal, JournalStatusNamesAreStable) {
+  EXPECT_STREQ(to_string(JournalStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(JournalStatus::kOpenFailed), "open-failed");
+  EXPECT_STREQ(to_string(JournalStatus::kWriteFailed), "write-failed");
 }
 
 // --- Recovery and crash–restart -------------------------------------------

@@ -1,0 +1,87 @@
+// Failover fuzzing for the replicated-broker plane (DESIGN.md §14).
+//
+// Complements crash_fuzz.* (single journaled broker, restart recovery)
+// with the replica-group fault model: a ReplicatedBroker whose primary
+// ships journal records to hot standbys through a lossy, partitionable
+// transport, while replicas crash, restart from their own journals, and
+// the most-caught-up standby is promoted under fresh epochs. Each
+// iteration derives everything from one seed — group shape (3 or 5
+// replicas, sync or async, quorum), ship-loss rate, and an operation
+// schedule of grants, releases, crashes, restarts, promotions and
+// partition toggles — and proves:
+//
+//   * no split-brain, ever: with fencing on, at most one live replica
+//     serves in primary role after every single operation;
+//   * no confirmed loss: every grant the group confirmed while its
+//     records were quorum-held is still held by whichever replica serves
+//     as primary after any chain of failovers (sync confirms imply
+//     quorum; async grants become durable at each quorum-met flush) —
+//     checked against an independent per-session model;
+//   * promotion safety: promoting a candidate that lags a live standby
+//     is refused; the chosen max-watermark candidate is accepted;
+//   * primary-side conservation: capacity minus available equals the sum
+//     of session holdings at the serving primary, exactly, after every
+//     operation;
+//   * convergence: after healing the partition, restarting every down
+//     replica and flushing, any standby whose watermark reaches the
+//     primary's holds bit-identical per-session state;
+//   * recovery bit-identity: ResourceBroker::recover() on the final
+//     primary's journal reproduces its snapshot record exactly.
+//
+// Test-framework-free, like its siblings: links into tools/qres_fuzz
+// (--mode failover) for long sanitizer runs and into the bounded gtest
+// smoke (test_failover_fuzz_smoke.cpp). Failure messages carry the
+// iteration seed; reproduce with
+// `qres_fuzz --mode failover --repro-seed <seed>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qres::fuzz {
+
+/// Tallies of what the failover iterations actually exercised.
+struct FailoverFuzzStats {
+  std::uint64_t grants_attempted = 0;
+  std::uint64_t grants_confirmed = 0;
+  std::uint64_t grants_refused = 0;   ///< incl. quorum failures + headless
+  std::uint64_t releases = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t promotions = 0;        ///< accepted promotions
+  std::uint64_t promote_refused = 0;   ///< lagging/raced candidates bounced
+  std::uint64_t partitions = 0;        ///< partition windows opened
+  std::uint64_t ship_batches = 0;      ///< batches the groups shipped
+  std::uint64_t ship_lost = 0;         ///< ... lost by the flaky transport
+  std::uint64_t quorum_failures = 0;   ///< sync grants compensated away
+  std::uint64_t truncated_records = 0; ///< unconfirmed tails dropped
+  std::uint64_t durability_checks = 0; ///< confirmed-survives assertions
+  std::uint64_t convergence_checks = 0;///< standby bit-identity proofs
+  std::uint64_t recoveries_checked = 0;///< recover() bit-identity proofs
+
+  void merge(const FailoverFuzzStats& o) {
+    grants_attempted += o.grants_attempted;
+    grants_confirmed += o.grants_confirmed;
+    grants_refused += o.grants_refused;
+    releases += o.releases;
+    crashes += o.crashes;
+    restarts += o.restarts;
+    promotions += o.promotions;
+    promote_refused += o.promote_refused;
+    partitions += o.partitions;
+    ship_batches += o.ship_batches;
+    ship_lost += o.ship_lost;
+    quorum_failures += o.quorum_failures;
+    truncated_records += o.truncated_records;
+    durability_checks += o.durability_checks;
+    convergence_checks += o.convergence_checks;
+    recoveries_checked += o.recoveries_checked;
+  }
+};
+
+/// Runs one seeded failover iteration. Returns "" on success, else a
+/// human-readable failure message that includes the seed.
+std::string run_failover_iteration(std::uint64_t seed,
+                                   FailoverFuzzStats* stats);
+
+}  // namespace qres::fuzz

@@ -1,0 +1,63 @@
+// Bounded smoke for the failover fuzzer (see failover_fuzz.hpp): a fixed
+// seed range must run clean, exercise every fault class the oracles
+// depend on, and be deterministic per seed. Long randomized runs belong
+// to tools/qres_fuzz --mode failover under the sanitizer lanes.
+#include "failover_fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace qres::fuzz {
+namespace {
+
+TEST(FailoverFuzzSmoke, BoundedIterationsRunClean) {
+  FailoverFuzzStats stats;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::string failure = run_failover_iteration(seed, &stats);
+    EXPECT_EQ(failure, "") << "seed " << seed;
+  }
+  // The schedule must actually reach the interesting regimes, not just
+  // grant against a healthy group.
+  EXPECT_GT(stats.grants_confirmed, 0u);
+  EXPECT_GT(stats.grants_refused, 0u);
+  EXPECT_GT(stats.crashes, 0u);
+  EXPECT_GT(stats.restarts, 0u);
+  EXPECT_GT(stats.promotions, 0u);
+  EXPECT_GT(stats.partitions, 0u);
+  EXPECT_GT(stats.ship_batches, 0u);
+  EXPECT_GT(stats.ship_lost, 0u);
+  EXPECT_GT(stats.durability_checks, 0u);
+  EXPECT_GT(stats.convergence_checks, 0u);
+  EXPECT_EQ(stats.recoveries_checked, 20u);
+}
+
+TEST(FailoverFuzzSmoke, IterationsAreDeterministicPerSeed) {
+  for (std::uint64_t seed : {3u, 11u, 17u}) {
+    FailoverFuzzStats a, b;
+    EXPECT_EQ(run_failover_iteration(seed, &a),
+              run_failover_iteration(seed, &b));
+    EXPECT_EQ(a.grants_attempted, b.grants_attempted);
+    EXPECT_EQ(a.grants_confirmed, b.grants_confirmed);
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.promotions, b.promotions);
+    EXPECT_EQ(a.ship_batches, b.ship_batches);
+    EXPECT_EQ(a.ship_lost, b.ship_lost);
+  }
+}
+
+TEST(FailoverFuzzSmoke, StatsMergeAccumulates) {
+  FailoverFuzzStats a, b;
+  run_failover_iteration(5, &a);
+  run_failover_iteration(6, &b);
+  FailoverFuzzStats sum = a;
+  sum.merge(b);
+  EXPECT_EQ(sum.grants_attempted, a.grants_attempted + b.grants_attempted);
+  EXPECT_EQ(sum.restarts, a.restarts + b.restarts);
+  EXPECT_EQ(sum.recoveries_checked,
+            a.recoveries_checked + b.recoveries_checked);
+}
+
+}  // namespace
+}  // namespace qres::fuzz

@@ -353,5 +353,157 @@ TEST(RpcChannel, TypedCallHonorsTheRequestDeadline) {
   EXPECT_EQ(service.stats().frames, 0u);
 }
 
+/// Scripted deposed primary: refuses kNotPrimary (with a configurable
+/// hint) until the request carries `serving_epoch`, then grants. Records
+/// the epoch of every request it saw, so tests can prove the channel
+/// adopted the redirect's epoch before re-sending.
+struct RedirectingServer : IFrameServer {
+  std::uint64_t serving_epoch = 5;
+  std::uint32_t hint = 2;        ///< primary_host hint; kInvalid = none
+  bool always_redirect = false;  ///< refuse even a matching epoch
+  int redirects_sent = 0;
+  int grants = 0;
+  std::vector<std::uint64_t> seen_epochs;
+
+  void handle_frame(const std::vector<std::uint8_t>& frame, double,
+                    std::vector<std::vector<std::uint8_t>>* replies) override {
+    const Decoded decoded = decode_frame(frame);
+    if (!decoded.ok()) return;
+    const auto* request = std::get_if<ReserveRequest>(&decoded.message);
+    if (request == nullptr) return;
+    seen_epochs.push_back(request->header.epoch);
+    if (always_redirect || request->header.epoch != serving_epoch) {
+      ++redirects_sent;
+      // Alternate the hint when asked to redirect forever, so every hop
+      // points away from the current target and the hop bound (not the
+      // self-hint guard) is what stops the chain.
+      const std::uint32_t host =
+          always_redirect ? (redirects_sent % 2 == 1 ? 2u : 3u) : hint;
+      replies->push_back(encode(RedirectReply{
+          request->header.request_id, RpcCode::kNotPrimary, serving_epoch,
+          host}));
+      return;
+    }
+    ++grants;
+    replies->push_back(
+        encode(ReserveReply{request->header.request_id, RpcCode::kOk, 75.0}));
+  }
+};
+
+TEST(RpcChannel, RoutedCallFollowsRedirectUnderOneRequestId) {
+  RedirectingServer server;
+  RpcChannel channel(nullptr, &server, nullptr);
+
+  // The client believes epoch 0; host 1 is deposed and points at host 2.
+  ReserveRequest request{{0, 4, 0.0}, 7, 25.0, 0.0};
+  const RoutedResult routed =
+      channel.call_routed(HostId{0}, HostId{1}, request, 1.0);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.redirects, 1);
+  EXPECT_EQ(routed.served_by, HostId{2});
+  EXPECT_EQ(routed.epoch_hint, 5u);
+  // One redirect, then a grant — and the second leg carried the
+  // redirect's epoch, not the stale one.
+  EXPECT_EQ(server.redirects_sent, 1);
+  EXPECT_EQ(server.grants, 1);
+  EXPECT_EQ(server.seen_epochs, (std::vector<std::uint64_t>{0u, 5u}));
+  // Both legs re-sent the SAME request id (stamped once, id 1): the new
+  // primary's dedup cache sees one request, not two.
+  EXPECT_EQ(std::get<ReserveReply>(routed.result.reply).request_id, 1u);
+  // Each hop was accounted against the peer that actually served it.
+  EXPECT_EQ(channel.peer_stats().at(HostId{1}).calls, 1u);
+  EXPECT_EQ(channel.peer_stats().at(HostId{2}).calls, 1u);
+}
+
+TEST(RpcChannel, RoutedCallSurfacesAHintlessRedirect) {
+  RedirectingServer server;
+  server.hint = HostId::kInvalid;
+  RpcChannel channel(nullptr, &server, nullptr);
+
+  ReserveRequest request{{0, 4, 0.0}, 7, 25.0, 0.0};
+  const RoutedResult routed =
+      channel.call_routed(HostId{0}, HostId{1}, request, 1.0);
+  // The call itself succeeded — the reply is the redirect, surfaced for
+  // the caller to re-discover via its directory.
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.redirects, 0);
+  EXPECT_EQ(routed.served_by, HostId{1});
+  EXPECT_EQ(routed.epoch_hint, 5u);
+  ASSERT_TRUE(std::holds_alternative<RedirectReply>(routed.result.reply));
+  EXPECT_EQ(server.redirects_sent, 1);
+  EXPECT_EQ(server.grants, 0);
+}
+
+TEST(RpcChannel, RoutedCallRefusesAHintPointingBackAtTheRefuser) {
+  RedirectingServer server;
+  server.hint = 1;  // "the primary is... me" — a stale or confused peer
+  RpcChannel channel(nullptr, &server, nullptr);
+
+  ReserveRequest request{{0, 4, 0.0}, 7, 25.0, 0.0};
+  const RoutedResult routed =
+      channel.call_routed(HostId{0}, HostId{1}, request, 1.0);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.redirects, 0);
+  ASSERT_TRUE(std::holds_alternative<RedirectReply>(routed.result.reply));
+  // Exactly one send: following the self-hint would loop forever.
+  EXPECT_EQ(server.redirects_sent, 1);
+}
+
+TEST(RpcChannel, RoutedCallBoundsTheRedirectChain) {
+  RedirectingServer server;
+  server.always_redirect = true;  // every peer claims someone else serves
+  RpcChannel channel(nullptr, &server, nullptr);
+
+  ReserveRequest request{{0, 4, 0.0}, 7, 25.0, 0.0};
+  const RoutedResult routed =
+      channel.call_routed(HostId{0}, HostId{1}, request, 1.0, 2);
+  ASSERT_TRUE(routed.ok());
+  // Hops 1 -> 2 -> 3, then the bound stops the chain with the final
+  // redirect surfaced (3 sends, 2 followed).
+  EXPECT_EQ(routed.redirects, 2);
+  EXPECT_EQ(routed.served_by, HostId{3});
+  ASSERT_TRUE(std::holds_alternative<RedirectReply>(routed.result.reply));
+  EXPECT_EQ(server.redirects_sent, 3);
+  EXPECT_EQ(server.grants, 0);
+}
+
+TEST(RpcChannel, RedirectLegsDoNotTripTheRefusersBreaker) {
+  // A kNotPrimary refusal is a *successful* call — the deposed peer is
+  // healthy, just not serving. It must not accumulate breaker failures.
+  RedirectingServer server;
+  RpcChannel channel(nullptr, &server, nullptr, breaker_config(1));
+
+  ReserveRequest request{{0, 4, 0.0}, 7, 25.0, 0.0};
+  const RoutedResult routed =
+      channel.call_routed(HostId{0}, HostId{1}, request, 1.0);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.redirects, 1);
+  EXPECT_EQ(channel.breaker_state(HostId{1}, 1.0), BreakerState::kClosed);
+  EXPECT_EQ(channel.peer_stats().at(HostId{1}).failures, 0u);
+}
+
+TEST(RpcChannel, RoutedCallFastFailsWhenTheHintedPeersBreakerIsOpen) {
+  // Re-homing is not a breaker bypass: when the hinted primary's breaker
+  // is already open, the redirected leg fast-fails like any other call.
+  FakeTransport transport;
+  RedirectingServer server;
+  RpcChannel channel(&transport, &server, nullptr, breaker_config(1));
+
+  // Trip host 2's breaker (threshold 1) while the transport is down.
+  channel.ping(HostId{0}, HostId{2}, 0.0);
+  ASSERT_EQ(channel.breaker_state(HostId{2}, 0.0), BreakerState::kOpen);
+  transport.healthy = true;
+
+  ReserveRequest request{{0, 4, 0.0}, 7, 25.0, 0.0};
+  const RoutedResult routed =
+      channel.call_routed(HostId{0}, HostId{1}, request, 0.5);
+  EXPECT_FALSE(routed.ok());
+  EXPECT_EQ(routed.result.status, CallStatus::kBreakerOpen);
+  // The failure is pinned on the hinted peer, not the redirecting one.
+  EXPECT_EQ(routed.served_by, HostId{2});
+  EXPECT_EQ(routed.redirects, 1);
+  EXPECT_EQ(channel.peer_stats().at(HostId{2}).breaker_fast_fails, 1u);
+}
+
 }  // namespace
 }  // namespace qres::rpc

@@ -1,7 +1,7 @@
 // Wire-format tests: encode/decode round-trips for every message type,
-// pinned golden bytes for the v1 layout (an accidental wire break fails
-// loudly here before any cross-version peer sees it), and one test per
-// typed DecodeStatus proving strict rejection of malformed frames.
+// pinned golden bytes for the current layout (an accidental wire break
+// fails loudly here before any cross-version peer sees it), and one test
+// per typed DecodeStatus proving strict rejection of malformed frames.
 #include "rpc/wire.hpp"
 
 #include <gtest/gtest.h>
@@ -64,6 +64,15 @@ TEST(Wire, EveryMessageTypeRoundTrips) {
   expect_roundtrip(PathMsg{12, 99, 0, 1, 2.5, {5, 6}});
   expect_roundtrip(ResvMsg{13, 99, 2.5, {6, 5}});
   expect_roundtrip(TearMsg{14, 99, {5}});
+  // Replication vocabulary (v3, DESIGN.md §14). The shipped records are
+  // journal text lines, carried verbatim.
+  expect_roundtrip(JournalShip{
+      {20, 0, kInf, 7}, 1, 7, 3, {"reserve 1.5 s2 r1", "release s2 r1"}});
+  expect_roundtrip(JournalShip{{20, 0, kInf, 7}, 1, 7, 0, {}});
+  expect_roundtrip(ShipAck{20, RpcCode::kOk, 7, 5});
+  expect_roundtrip(PromoteRequest{{21, 0, kInf, 8}, 1, 8});
+  expect_roundtrip(PromoteReply{21, RpcCode::kNotPrimary, 9, 5});
+  expect_roundtrip(RedirectReply{22, RpcCode::kNotPrimary, 8, 3});
 }
 
 TEST(Wire, ExtremeValuesRoundTripBitExactly) {
@@ -86,52 +95,77 @@ TEST(Wire, ExtremeValuesRoundTripBitExactly) {
   EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
 }
 
-TEST(Wire, GoldenBytesV2) {
-  // Pinned v2 encodings: any layout change must bump kWireVersion and
+TEST(Wire, GoldenBytesV3) {
+  // Pinned v3 encodings: any layout change must bump kWireVersion and
   // regenerate these, never silently reinterpret old frames. v2 added
-  // the authoritative lease_deadline to ReserveReply/RenewReply.
+  // the authoritative lease_deadline to ReserveReply/RenewReply; v3 added
+  // the fencing epoch to every RequestHeader and the replication
+  // vocabulary (DESIGN.md §14).
   EXPECT_EQ(to_hex(encode(ReserveRequest{{7, 3, 12.5}, 2, 4.5, 0.0})),
-            "51525043020100002800000017c8b796418a32df0700000000000000030000000"
-            "0000000000029400200000000000000000012400000000000000000");
+            "5152504303010000300000004a54a35fde85a4cf07000000000000000300000000"
+            "000000000029400000000000000000020000000000000000001240000000000000"
+            "0000");
+  // The same request pinned in epoch 5: only the epoch field (and the
+  // checksum) may differ from the epoch-0 frame above.
+  EXPECT_EQ(to_hex(encode(ReserveRequest{{7, 3, 12.5, 5}, 2, 4.5, 0.0})),
+            "5152504303010000300000005ff21d8acecd9ab707000000000000000300000000"
+            "000000000029400500000000000000020000000000000000001240000000000000"
+            "0000");
   EXPECT_EQ(to_hex(encode(ReserveReply{7, RpcCode::kOk, 95.5, 42.0})),
-            "51525043020200001900000081964b151bd0905c07000000000000000000000000"
+            "5152504303020000190000002ed3e7b7c8b705b507000000000000000000000000"
             "00e057400000000000004540");
   EXPECT_EQ(to_hex(encode(ReleaseRequest{{8, 3, kInf}, 2, 1, 0.0})),
-            "515250430203000021000000c4978965c5a9b1b20800000000000000"
-            "03000000000000000000f07f02000000010000000000000000");
+            "515250430303000029000000ef286125e8337d4908000000000000000300000000"
+            "0000000000f07f000000000000000002000000010000000000000000");
   EXPECT_EQ(to_hex(encode(ReleaseReply{8, RpcCode::kOk, 4.5})),
-            "515250430204000011000000a245010dfc404e5d08000000000000000000000000"
+            "51525043030400001100000031326da658e57e8608000000000000000000000000"
             "00001240");
   EXPECT_EQ(to_hex(encode(RenewRequest{{9, 3, 12.5}, 2, 30.0})),
-            "51525043020500002000000059a6254ba7cba2b709000000000000000300000000"
-            "00000000002940020000000000000000003e40");
+            "515250430305000028000000ac811aafb0e453ba09000000000000000300000000"
+            "000000000029400000000000000000020000000000000000003e40");
   EXPECT_EQ(to_hex(encode(RenewReply{9, RpcCode::kOk, 1, 42.0})),
-            "51525043020600001200000036100da3512f10a5090000000000000000010000000"
-            "000004540");
+            "515250430306000012000000c7b4ff2b683ade5c09000000000000000001000000"
+            "0000004540");
   EXPECT_EQ(to_hex(encode(ReconcileRequest{{10, 3, 12.5}, 2, 4.5})),
-            "51525043020700002000000030e23dc612984f010a000000000000000300000000"
-            "00000000002940020000000000000000001240");
+            "515250430307000028000000e958271e3cbf3fb30a000000000000000300000000"
+            "000000000029400000000000000000020000000000000000001240");
   EXPECT_EQ(to_hex(encode(ReconcileReply{10, RpcCode::kOk, 4.5})),
-            "515250430208000011000000a07bebb84815668f0a000000000000000000000000"
+            "515250430308000011000000f78294c20fd7865a0a000000000000000000000000"
             "00001240");
-  EXPECT_EQ(
-      to_hex(encode(QueryRequest{{11, 3, 12.5}, {{2, 1.0}, {4, 2.0}}})),
-      "5152504302090000300000008646ef84b8d4ec110b0000000000000003000000000000"
-      "0000002940"
-      "0200000002000000000000000000f03f040000000000000000000040");
+  EXPECT_EQ(to_hex(encode(QueryRequest{{11, 3, 12.5}, {{2, 1.0}, {4, 2.0}}})),
+            "515250430309000038000000031f9e5b87e75ba10b000000000000000300000000"
+            "0000000000294000000000000000000200000002000000000000000000f03f0400"
+            "00000000000000000040");
   EXPECT_EQ(to_hex(encode(QueryReply{11, RpcCode::kOk, {{2, 80.0, 1.0, 1}}})),
-            "51525043020a000022000000f3f39e679e94a6830b000000000000000001000000"
+            "51525043030a00002200000052dc354bb6de3dad0b000000000000000001000000"
             "020000000000000000005440000000000000f03f01");
   EXPECT_EQ(to_hex(encode(PathMsg{12, 99, 0, 1, 2.5, {5, 6}})),
-            "51525043020b00002c0000003b09f9616c597eb90c0000000000000063000000000"
-            "00000000000000100000000000000000004"
-            "40020000000500000006000000");
+            "51525043030b00002c000000ca9a11f5f5e2014f0c000000000000006300000000"
+            "00000000000000010000000000000000000440020000000500000006000000");
   EXPECT_EQ(to_hex(encode(ResvMsg{13, 99, 2.5, {6, 5}})),
-            "51525043020c0000240000005e105745425723430d0000000000000063000000000"
-            "000000000000000000440020000000600000005000000");
+            "51525043030c000024000000cf27a928c5aa4c240d000000000000006300000000"
+            "0000000000000000000440020000000600000005000000");
   EXPECT_EQ(to_hex(encode(TearMsg{14, 99, {5}})),
-            "51525043020d00001800000077f05a5d89b5a2eb0e0000000000000063000000000"
-            "000000100000005000000");
+            "51525043030d000018000000ca364420cc4e17210e000000000000006300000000"
+            "0000000100000005000000");
+  // Replication vocabulary (v3): shipped journal records are length-
+  // prefixed byte strings, one per record, batch-prefixed by a count.
+  EXPECT_EQ(to_hex(encode(JournalShip{{20, 0, kInf, 7}, 1, 7, 3, {"r a", "r b"}})),
+            "51525043030e0000420000000c11610929b9cd1d14000000000000000000000000"
+            "0000000000f07f0700000000000000010000000700000000000000030000000000"
+            "0000020000000300000072206103000000722062");
+  EXPECT_EQ(to_hex(encode(ShipAck{20, RpcCode::kOk, 7, 5})),
+            "51525043030f00001900000096836c4807557f7f14000000000000000007000000"
+            "000000000500000000000000");
+  EXPECT_EQ(to_hex(encode(PromoteRequest{{21, 0, kInf, 8}, 1, 8})),
+            "515250430310000028000000c5313e2bea53364d15000000000000000000000000"
+            "0000000000f07f0800000000000000010000000800000000000000");
+  EXPECT_EQ(to_hex(encode(PromoteReply{21, RpcCode::kOk, 8, 5})),
+            "515250430311000019000000d400275464c96e2e15000000000000000008000000"
+            "000000000500000000000000");
+  EXPECT_EQ(to_hex(encode(RedirectReply{22, RpcCode::kNotPrimary, 8, 3})),
+            "515250430312000015000000b6991f39cf8d690a16000000000000000608000000"
+            "0000000003000000");
 }
 
 TEST(Wire, RejectsTruncatedFrames) {
@@ -160,11 +194,11 @@ TEST(Wire, RejectsBadMagicVersionTypeLengthAndTrailing) {
   frame = good;
   frame[5] = 0;  // below the first MessageType
   EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kBadType);
-  frame[5] = 14;  // past the last MessageType
+  frame[5] = 19;  // past the last MessageType (kRedirectReply = 18)
   EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kBadType);
 
   frame = good;
-  frame[11] = 0x01;  // declared length 0x01000011 > kMaxPayloadBytes
+  frame[11] = 0x01;  // declared length 0x01000019 > kMaxPayloadBytes
   EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kBadLength);
 
   frame = good;
@@ -200,7 +234,24 @@ TEST(Wire, RejectsMalformedPayloadFields) {
 
   // A wire boolean must be 0 or 1.
   frame = encode(ReleaseRequest{{8, 3, kInf}, 2, 0, 1.0});
-  frame[kHeaderSize + 24] = 2;  // release_all byte after header + resource
+  // release_all byte after the request header (28 bytes incl. the v3
+  // epoch) + resource (4).
+  frame[kHeaderSize + 32] = 2;
+  refresh_checksum(frame);
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
+
+  // A shipped journal record whose length prefix runs past the payload is
+  // malformed, never an out-of-bounds read.
+  frame = encode(JournalShip{{20, 0, kInf, 7}, 1, 7, 3, {"r a"}});
+  // String length u32 after header (28) + resource (4) + epoch (8) +
+  // seq_first (8) + record count (4).
+  frame[kHeaderSize + 52] = 0xff;
+  refresh_checksum(frame);
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
+
+  // A ShipAck with an out-of-range RpcCode byte is malformed too.
+  frame = encode(ShipAck{20, RpcCode::kOk, 7, 5});
+  frame[kHeaderSize + 8] = 99;
   refresh_checksum(frame);
   EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kMalformedPayload);
 }
@@ -215,6 +266,15 @@ TEST(Wire, MessageMetadataHelpers) {
   EXPECT_TRUE(is_request(MessageType::kQueryRequest));
   EXPECT_FALSE(is_request(MessageType::kQueryReply));
   EXPECT_FALSE(is_request(MessageType::kPathMsg));
+
+  // The replication plane is disjoint from the broker-service plane: its
+  // requests never enter the service's dedup/backpressure path.
+  EXPECT_TRUE(is_replication_request(MessageType::kJournalShip));
+  EXPECT_TRUE(is_replication_request(MessageType::kPromoteRequest));
+  EXPECT_FALSE(is_replication_request(MessageType::kShipAck));
+  EXPECT_FALSE(is_replication_request(MessageType::kReserveRequest));
+  EXPECT_FALSE(is_request(MessageType::kJournalShip));
+  EXPECT_FALSE(is_request(MessageType::kPromoteRequest));
 
   // FNV-1a 64 reference vectors (empty string = offset basis, "a").
   EXPECT_EQ(fnv1a64(nullptr, 0), 14695981039346656037ull);

@@ -53,8 +53,20 @@
 //   * under outages + RPC loss, post-restart reconciliation keeps the
 //     auditor's conservation proof exact and leaks zero capacity.
 //
+// With --mode failover (see tests/fuzz/failover_fuzz.*) each iteration
+// drives a ReplicatedBroker group through a lossy, partitionable ship
+// transport with crash/restart/promotion schedules and proves:
+//   * no split-brain: with fencing on, at most one live replica serves
+//     in primary role after every operation,
+//   * no quorum-confirmed grant is lost across any chain of failovers
+//     (sync confirms imply quorum; async grants harden at quorum-met
+//     flushes), and lagging promotion candidates are refused,
+//   * primary-side conservation is exact after every operation, and
+//     after healing, standbys converge bit-identically and
+//     ResourceBroker::recover() rebuilds the serving primary exactly.
+//
 // Usage:
-//   qres_fuzz [--mode planner|faults|adapt|rpc|crash|parallel|all]
+//   qres_fuzz [--mode planner|faults|adapt|rpc|crash|failover|parallel|all]
 //             [--iterations N]
 //             [--seed S] [--repro-seed X] [--verbose]
 //
@@ -76,6 +88,7 @@
 
 #include "../tests/fuzz/adapt_fuzz.hpp"
 #include "../tests/fuzz/crash_fuzz.hpp"
+#include "../tests/fuzz/failover_fuzz.hpp"
 #include "../tests/fuzz/fault_fuzz.hpp"
 #include "../tests/fuzz/fuzz_lib.hpp"
 #include "../tests/fuzz/parallel_fuzz.hpp"
@@ -86,7 +99,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--mode planner|faults|adapt|rpc|crash|parallel|all] "
+               "usage: %s [--mode "
+               "planner|faults|adapt|rpc|crash|failover|parallel|all] "
                "[--iterations N] [--seed S] [--repro-seed X] [--verbose]\n",
                argv0);
 }
@@ -104,6 +118,7 @@ int main(int argc, char** argv) {
   bool run_adapt = false;
   bool run_rpc = false;
   bool run_crash = false;
+  bool run_failover = false;
   bool run_parallel = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -129,7 +144,7 @@ int main(int argc, char** argv) {
       }
       const std::string mode = argv[++i];
       run_planner = run_faults = run_adapt = run_rpc = run_crash =
-          run_parallel = false;
+          run_failover = run_parallel = false;
       if (mode == "planner") {
         run_planner = true;
       } else if (mode == "faults") {
@@ -140,11 +155,13 @@ int main(int argc, char** argv) {
         run_rpc = true;
       } else if (mode == "crash") {
         run_crash = true;
+      } else if (mode == "failover") {
+        run_failover = true;
       } else if (mode == "parallel") {
         run_parallel = true;
       } else if (mode == "all") {
         run_planner = run_faults = run_adapt = run_rpc = run_crash =
-            run_parallel = true;
+            run_failover = run_parallel = true;
       } else {
         std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
         usage(argv[0]);
@@ -174,6 +191,7 @@ int main(int argc, char** argv) {
   qres::fuzz::AdaptFuzzStats adapt_stats;
   qres::fuzz::RpcFuzzStats rpc_stats;
   qres::fuzz::CrashFuzzStats crash_stats;
+  qres::fuzz::FailoverFuzzStats failover_stats;
   qres::fuzz::ParallelFuzzStats parallel_stats;
   std::uint64_t failures = 0;
   qres::Rng master(master_seed);
@@ -192,6 +210,8 @@ int main(int argc, char** argv) {
         failure = qres::fuzz::run_rpc_iteration(seed, &rpc_stats);
       if (failure.empty() && run_crash)
         failure = qres::fuzz::run_crash_iteration(seed, &crash_stats);
+      if (failure.empty() && run_failover)
+        failure = qres::fuzz::run_failover_iteration(seed, &failover_stats);
       if (failure.empty() && run_parallel)
         failure = qres::fuzz::run_parallel_iteration(seed, &parallel_stats);
     } catch (const std::exception& e) {
@@ -283,6 +303,25 @@ int main(int argc, char** argv) {
         crash_stats.excess_released, crash_stats.rpc_failures,
         crash_stats.leases_expired, crash_stats.leaked_rollbacks,
         crash_stats.recoveries_checked, crash_stats.audits);
+  if (run_failover)
+    std::printf(
+        "qres_fuzz failover: %" PRIu64 " iteration(s), %" PRIu64
+        " failure(s); %" PRIu64 "/%" PRIu64 " grants confirmed, %" PRIu64
+        " releases, %" PRIu64 " crashes, %" PRIu64 " restarts, %" PRIu64
+        " promotions (%" PRIu64 " refused), %" PRIu64
+        " partitions, %" PRIu64 " batches shipped (%" PRIu64
+        " lost), %" PRIu64 " quorum failures, %" PRIu64
+        " records truncated, %" PRIu64 " durability + %" PRIu64
+        " convergence checks, %" PRIu64 " recoveries checked\n",
+        total, failures, failover_stats.grants_confirmed,
+        failover_stats.grants_attempted, failover_stats.releases,
+        failover_stats.crashes, failover_stats.restarts,
+        failover_stats.promotions, failover_stats.promote_refused,
+        failover_stats.partitions, failover_stats.ship_batches,
+        failover_stats.ship_lost, failover_stats.quorum_failures,
+        failover_stats.truncated_records, failover_stats.durability_checks,
+        failover_stats.convergence_checks,
+        failover_stats.recoveries_checked);
   if (run_parallel)
     std::printf(
         "qres_fuzz parallel: %" PRIu64 " iteration(s), %" PRIu64

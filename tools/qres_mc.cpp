@@ -1,9 +1,11 @@
 // qres_mc — explicit-state model checker for the signaling x lease x
-// crash-restart protocol (DESIGN.md §13).
+// crash-restart protocol (DESIGN.md §13) and the replication/failover
+// protocol (DESIGN.md §14).
 //
 //   qres_mc list
 //       one line per built-in micro-topology (verification targets and
-//       expected-violation demos)
+//       expected-violation demos), signaling and failover alike;
+//       failover topology names start with "failover-"
 //   qres_mc check <topology> [--states N] [--depth N] [--no-por]
 //                 [--config key=value]... [--emit-trace <file>]
 //       exhaustive DFS over the topology under its protocol flags (plus
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "mc/checker.hpp"
+#include "mc/failover.hpp"
 #include "mc/topology.hpp"
 #include "mc/trace.hpp"
 
@@ -202,10 +205,88 @@ bool check_one(const mc::Topology& topology, const CheckOptions& options,
   return expected;
 }
 
+/// Failover-model counterpart of check_one: same stats block shape
+/// (no sleep-set line — the failover DFS has no POR), same
+/// expectation-matching contract.
+bool check_failover_one(const mc::FailoverTopology& topology,
+                        const CheckOptions& options, bool print_trace) {
+  mc::FailoverCheckLimits limits;
+  limits.max_states = options.limits.max_states;
+  limits.max_depth = options.limits.max_depth;
+
+  const auto start = std::chrono::steady_clock::now();
+  const mc::FailoverCheckResult result = mc::check_failover(topology, limits);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::cout << "qres_mc: " << topology.name << " — " << topology.summary
+            << "\n"
+            << "  distinct states  " << result.distinct_states << "\n"
+            << "  transitions      " << result.transitions << "\n"
+            << "  revisits         " << result.revisits << "\n"
+            << "  frontier depth   " << result.deepest << "\n"
+            << "  states/sec       "
+            << (seconds > 0.0
+                    ? static_cast<std::uint64_t>(
+                          static_cast<double>(result.distinct_states) /
+                          seconds)
+                    : result.distinct_states)
+            << "\n";
+
+  if (result.violation_found) {
+    std::cout << "  verdict          VIOLATION " << result.invariant << " ("
+              << result.trace.size() << "-step minimized trace)\n";
+    if (print_trace)
+      for (const mc::FailoverAction& action : result.trace)
+        std::cout << "    action: " << mc::to_string(action) << "\n";
+    if (!options.emit_trace.empty()) {
+      mc::FailoverTraceFile trace;
+      trace.topology = topology.name;
+      trace.expect_violation = true;
+      trace.expected_invariant = result.invariant;
+      trace.actions = result.trace;
+      std::ofstream file(options.emit_trace);
+      file << mc::format_failover_trace(trace);
+      if (!file) {
+        std::cerr << "qres_mc: cannot write " << options.emit_trace << "\n";
+        return false;
+      }
+      std::cout << "  trace written to " << options.emit_trace << "\n";
+    }
+  } else if (result.budget_exhausted) {
+    std::cout << "  verdict          INCONCLUSIVE (budget exhausted)\n";
+  } else {
+    std::cout << "  verdict          VERIFIED (exhaustive, no violation)\n";
+  }
+
+  const bool expected =
+      topology.expect_violation
+          ? result.violation_found &&
+                result.invariant == topology.expected_invariant
+          : result.verified() ||
+                (options.allow_inconclusive && !result.violation_found);
+  if (!expected)
+    std::cout << "  EXPECTATION MISMATCH: wanted "
+              << (topology.expect_violation
+                      ? "violation " + topology.expected_invariant
+                      : std::string("verified"))
+              << "\n";
+  return expected;
+}
+
 int cmd_list() {
+  for (const mc::FailoverTopology& topology : mc::all_failover_topologies()) {
+    std::cout << "  " << topology.name;
+    for (std::size_t i = topology.name.size(); i < 28; ++i) std::cout << ' ';
+    std::cout << (topology.expect_violation
+                      ? "violation " + topology.expected_invariant
+                      : std::string("verify"));
+    std::cout << "  " << topology.summary << "\n";
+  }
   for (const mc::Topology& topology : mc::all_topologies()) {
     std::cout << "  " << topology.name;
-    for (std::size_t i = topology.name.size(); i < 18; ++i) std::cout << ' ';
+    for (std::size_t i = topology.name.size(); i < 28; ++i) std::cout << ' ';
     std::cout << (topology.expect_violation
                       ? "violation " + topology.expected_invariant
                       : std::string("verify"));
@@ -216,15 +297,26 @@ int cmd_list() {
 
 int cmd_check(int argc, char** argv) {
   if (argc < 3) return usage();
+  CheckOptions options;
   const mc::Topology* topology = mc::find_topology(argv[2]);
-  if (topology == nullptr) {
+  if (topology != nullptr) {
+    if (!parse_check_flags(argc, argv, 3, &options)) return 2;
+    return check_one(*topology, options, /*print_trace=*/true) ? 0 : 1;
+  }
+  const mc::FailoverTopology* failover = mc::find_failover_topology(argv[2]);
+  if (failover == nullptr) {
     std::cerr << "qres_mc: unknown topology '" << argv[2]
               << "' (try: qres_mc list)\n";
     return 2;
   }
-  CheckOptions options;
   if (!parse_check_flags(argc, argv, 3, &options)) return 2;
-  return check_one(*topology, options, /*print_trace=*/true) ? 0 : 1;
+  if (!options.overrides.empty()) {
+    // --config keys name signaling protocol flags; the failover model's
+    // knobs are baked into its topologies.
+    std::cerr << "qres_mc: --config does not apply to failover topologies\n";
+    return 2;
+  }
+  return check_failover_one(*failover, options, /*print_trace=*/true) ? 0 : 1;
 }
 
 int cmd_replay(int argc, char** argv) {
@@ -239,8 +331,28 @@ int cmd_replay(int argc, char** argv) {
     }
     std::ostringstream text;
     text << file.rdbuf();
-    mc::TraceFile trace;
     std::string error;
+    if (mc::is_failover_trace(text.str())) {
+      mc::FailoverTraceFile trace;
+      if (!mc::parse_failover_trace(text.str(), &trace, &error)) {
+        std::cout << argv[i] << ": PARSE ERROR (" << error << ")\n";
+        all_ok = false;
+        continue;
+      }
+      if (!mc::run_failover_trace(trace, &error)) {
+        std::cout << argv[i] << ": FAILED (" << error << ")\n";
+        all_ok = false;
+        continue;
+      }
+      std::cout << argv[i] << ": ok (" << trace.actions.size()
+                << " action(s), "
+                << (trace.expect_violation
+                        ? "violation " + trace.expected_invariant
+                        : std::string("clean"))
+                << ")\n";
+      continue;
+    }
+    mc::TraceFile trace;
     if (!mc::parse_trace(text.str(), &trace, &error)) {
       std::cout << argv[i] << ": PARSE ERROR (" << error << ")\n";
       all_ok = false;
@@ -272,6 +384,9 @@ int cmd_sweep(int argc, char** argv) {
   bool all_ok = true;
   for (const mc::Topology& topology : mc::all_topologies())
     all_ok = check_one(topology, options, /*print_trace=*/false) && all_ok;
+  for (const mc::FailoverTopology& topology : mc::all_failover_topologies())
+    all_ok =
+        check_failover_one(topology, options, /*print_trace=*/false) && all_ok;
   std::cout << (all_ok ? "sweep: every topology matches its expected verdict\n"
                        : "sweep: FAILED\n");
   return all_ok ? 0 : 1;

@@ -38,6 +38,12 @@
 //                         distinct-state budget; prints states/sec,
 //                         distinct states, frontier depth, reduction ratio
 //                         and the verdict (DESIGN.md §13)
+//   replication [sync|async]
+//                         run an in-process replicated-broker episode
+//                         (grants -> mid-epoch primary kill -> promotion
+//                         of the most-caught-up standby) and dump the
+//                         per-replica roles/epochs/watermarks plus the
+//                         full ReplicationStats ledger (DESIGN.md §14)
 //   quit
 //
 // Reservations go through an AdaptationEngine (default config, no
@@ -52,6 +58,7 @@
 #include "adapt/adaptation_engine.hpp"
 #include "broker/journal.hpp"
 #include "broker/registry.hpp"
+#include "broker/replication.hpp"
 #include "core/model_io.hpp"
 #include "mc/checker.hpp"
 #include "mc/topology.hpp"
@@ -379,10 +386,67 @@ int main(int argc, char** argv) {
           std::cout << "mc verdict: INCONCLUSIVE (budget exhausted)\n";
         else
           std::cout << "mc verdict: VERIFIED (exhaustive, no violation)\n";
+      } else if (command == "replication") {
+        std::string mode_token = "sync";
+        stream >> mode_token;
+        if (mode_token != "sync" && mode_token != "async") {
+          std::cout << "usage: replication [sync|async]\n";
+          continue;
+        }
+        ReplicationConfig config;
+        config.mode = mode_token == "async" ? ReplicationMode::kAsync
+                                            : ReplicationMode::kSync;
+        const std::vector<HostId> hosts{HostId{1}, HostId{2}, HostId{3}};
+        ReplicatedBroker group(ResourceId{0}, "demo_group", 100.0, hosts,
+                               config);
+        // A short scripted episode: confirm grants, then kill the primary
+        // mid-epoch and promote the most-caught-up standby.
+        double t = 0.0;
+        int confirmed = 0;
+        for (std::uint32_t s = 1; s <= 4; ++s)
+          if (group.reserve(t += 1.0, SessionId{s}, 10.0)) ++confirmed;
+        group.crash_replica(group.primary_host(), t += 1.0);
+        HostId candidate;
+        for (HostId host : hosts) {
+          if (group.role_of(host) != ReplicaRole::kStandby ||
+              !group.replica_up(host))
+            continue;
+          if (!candidate.valid() ||
+              group.watermark_of(host) > group.watermark_of(candidate))
+            candidate = host;
+        }
+        if (candidate.valid())
+          group.promote(candidate, group.next_epoch(), t += 1.0);
+        int survived = 0;
+        for (std::uint32_t s = 1; s <= 4; ++s)
+          if (group.held_by(SessionId{s}) > 0.0) ++survived;
+        std::cout << "replication " << mode_token << ": epoch "
+                  << group.epoch() << ", primary host "
+                  << group.primary_host().value() << ", quorum "
+                  << group.quorum() << "/" << hosts.size() << "\n";
+        for (HostId host : hosts)
+          std::cout << "  host " << host.value() << ": "
+                    << to_string(group.role_of(host)) << ", epoch "
+                    << group.epoch_of(host) << ", watermark "
+                    << group.watermark_of(host) << ", "
+                    << (group.replica_up(host) ? "up" : "down") << "\n";
+        const ReplicationStats& rs = group.stats();
+        std::cout << "stats: grants " << rs.grants_local << " local / "
+                  << rs.grants_confirmed << " confirmed, quorum failures "
+                  << rs.quorum_failures << ", batches " << rs.ship_batches
+                  << " (" << rs.ship_records << " record(s), "
+                  << rs.ship_lost << " lost), acks " << rs.acks
+                  << ", gap refusals " << rs.gap_refusals
+                  << ", fenced refusals " << rs.fenced_refusals
+                  << ", promotions " << rs.promotions << ", truncated "
+                  << rs.truncated_records << "\n";
+        std::cout << "replication verdict: " << survived << "/" << confirmed
+                  << " confirmed grant(s) survived the failover\n";
       } else {
         std::cout << "commands: plan [scale] | reserve [scale] | release "
                      "<id> | avail | sinks | contention | rpc | journal | "
-                     "mc <topology> [states] | quit\n";
+                     "mc <topology> [states] | replication [sync|async] | "
+                     "quit\n";
       }
     } catch (const std::exception& error) {
       std::cout << "error: " << error.what() << "\n";
