@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "broker/registry.hpp"
+#include "util/annotations.hpp"
 #include "core/ids.hpp"
 #include "util/flat_map.hpp"
 
@@ -107,11 +108,11 @@ class ReservationAuditor {
   /// Audits every leaf broker in the registry against the model. Down
   /// brokers are skipped — their in-memory state is gone by definition;
   /// they re-enter the audit after restart + reconciliation.
-  std::vector<std::string> audit_hosts() const;
+  QRES_NODISCARD std::vector<std::string> audit_hosts() const;
 
   /// Audits the signaling plane: `reserved(l)` / `flow_count(l)` must
   /// return the actual state of link l, for all `link_count` links.
-  std::vector<std::string> audit_links(
+  QRES_NODISCARD std::vector<std::string> audit_links(
       const std::function<double(LinkId)>& reserved,
       const std::function<std::size_t(LinkId)>& flow_count,
       std::size_t link_count) const;

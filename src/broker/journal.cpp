@@ -258,6 +258,9 @@ JournalStatus FileJournal::append(const JournalRecord& record) {
   std::ofstream file(path_, std::ios::app);
   if (!file) return JournalStatus::kOpenFailed;
   file << to_line(record) << '\n';
+  // qres-lint: allow(unchecked-status): ofstream::flush (name-collides with
+  // ReplicatedBroker::flush) returns the stream; durability is checked via
+  // the stream state on the next line
   file.flush();
   // A failed flush means the line may be torn or absent on disk: the
   // record is not durable and the counter must not claim it is. The

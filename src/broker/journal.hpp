@@ -62,7 +62,7 @@ const char* to_string(JournalOp op) noexcept;
 /// diverging from its journal (a broker whose journal is missing a
 /// mutation it applied would recover into a different state than it
 /// died in — the one corruption recovery cannot detect).
-enum class JournalStatus : std::uint8_t {
+enum class QRES_NODISCARD JournalStatus : std::uint8_t {
   kOk = 0,
   kOpenFailed,   ///< the sink's backing store could not be (re)opened
   kWriteFailed,  ///< the record was not durably written (short write)

@@ -288,6 +288,9 @@ double ReplicatedBroker::expire_due(double now,
 void ReplicatedBroker::after_mutation(double now) {
   if (!auto_commit_) return;  // the service flushes at its commit point
   if (config_.mode == ReplicationMode::kSync)
+    // qres-lint: allow(unchecked-status): releases/renews tolerate a failed
+    // ship — losing one under-reports free capacity, which reconciliation
+    // repairs; grants are confirmed separately in confirm_grant
     flush(now);
   else
     after_async_mutation(now);
@@ -304,11 +307,15 @@ void ReplicatedBroker::after_async_mutation(double now) {
     any = true;
   }
   if (!any) return;
+  // qres-lint: allow(unchecked-status): the lag-bound ship is opportunistic;
+  // async mode promises at most max_async_lag lost records, not zero
   if (ship_next_ - best_acked >= config_.max_async_lag) flush(now);
 }
 
 bool ReplicatedBroker::confirm_grant(Replica& p, double now,
                                      SessionId session, double amount) {
+  // qres-lint: allow(unchecked-status): quorum_met on the next line is the
+  // authoritative confirmation check, not flush's aggregate verdict
   flush(now);
   if (quorum_met(ship_next_)) {
     ++stats_.grants_confirmed;
@@ -319,6 +326,8 @@ bool ReplicatedBroker::confirm_grant(Replica& p, double now,
   // stay in lockstep and the standbys (when reachable again) converge to
   // the same no-grant outcome. The caller sees a refusal.
   p.broker->release_amount(now, session, amount);
+  // qres-lint: allow(unchecked-status): the caller already sees a refusal;
+  // the compensating release ships whenever the standbys are next reachable
   flush(now);  // best effort; the compensation ships like any record
   return false;
 }

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "broker/resource_broker.hpp"
+#include "util/annotations.hpp"
 #include "util/flat_map.hpp"
 
 namespace qres {
@@ -76,7 +77,7 @@ struct ReplicationConfig {
 };
 
 /// How a standby answered (or failed to answer) one shipped batch.
-enum class ShipAckCode : std::uint8_t {
+enum class QRES_NODISCARD ShipAckCode : std::uint8_t {
   kApplied,  ///< batch applied (or already held); watermark is current
   kGap,      ///< seq_first is ahead of the watermark — primary must rewind
   kFenced,   ///< batch epoch is stale — sender was deposed
@@ -85,7 +86,7 @@ enum class ShipAckCode : std::uint8_t {
 
 const char* to_string(ShipAckCode code) noexcept;
 
-struct ShipAckInfo {
+struct QRES_NODISCARD ShipAckInfo {
   ShipAckCode code = ShipAckCode::kApplied;
   std::uint64_t epoch = 0;      ///< epoch in force at the receiver
   std::uint64_t watermark = 0;  ///< records the receiver holds (next seq)
@@ -109,7 +110,7 @@ struct ShipBatch {
 class IShipTransport {
  public:
   virtual ~IShipTransport() = default;
-  virtual std::optional<ShipAckInfo> ship(HostId to, const ShipBatch& batch,
+  QRES_NODISCARD virtual std::optional<ShipAckInfo> ship(HostId to, const ShipBatch& batch,
                                           double now) = 0;
 };
 
@@ -237,7 +238,7 @@ class ReplicatedBroker final : public IBroker {
   /// non-primary replica refuses; with fencing off a deposed primary
   /// happily grants, which is the split-brain the checker demonstrates.
   /// `lease` 0 = permanent.
-  bool reserve_at(HostId host, double now, SessionId session, double amount,
+  QRES_NODISCARD bool reserve_at(HostId host, double now, SessionId session, double amount,
                   double lease = 0.0);
 
   /// Standby-side batch application (also the in-process "transport").
@@ -254,7 +255,7 @@ class ReplicatedBroker final : public IBroker {
   /// truncated to the promoted watermark: records only the dead primary
   /// held are gone, which is safe because no such record was ever
   /// quorum-confirmed.
-  bool promote(HostId host, std::uint64_t new_epoch, double now);
+  QRES_NODISCARD bool promote(HostId host, std::uint64_t new_epoch, double now);
 
   /// Crash/restart of one replica's broker process (journal survives).
   void crash_replica(HostId host, double now);
@@ -264,7 +265,7 @@ class ReplicatedBroker final : public IBroker {
   /// confirmation; async mode on the lag bound). Returns true when the
   /// quorum holds everything the primary has written — the commit gate
   /// the broker service uses in sync mode.
-  bool flush(double now);
+  QRES_NODISCARD bool flush(double now);
 
   /// Service orchestration (two-phase): with auto-commit off, grants
   /// apply locally and confirmation is deferred to an explicit flush()
@@ -276,7 +277,7 @@ class ReplicatedBroker final : public IBroker {
   /// Appends a non-mutation record (the service's kReplyCache) to the
   /// primary's journal so it ships with the group. Returns false when
   /// the group is headless or the append was refused.
-  bool append_aux(const JournalRecord& record);
+  QRES_NODISCARD bool append_aux(const JournalRecord& record);
   /// Mutation records the primary has journaled (see
   /// ResourceBroker::journaled_mutations); 0 while headless.
   std::uint64_t journaled_mutations() const noexcept;

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "core/ids.hpp"
+#include "util/annotations.hpp"
 
 namespace qres {
 
@@ -52,7 +53,7 @@ const char* to_string(ExchangeStatus status) noexcept;
 /// Typed result of one reliable exchange: status plus the number of
 /// transmissions actually spent (>= 1 on success; the attempts burned
 /// before giving up on failure).
-struct ExchangeResult {
+struct QRES_NODISCARD ExchangeResult {
   ExchangeStatus status = ExchangeStatus::kOk;
   int transmissions = 0;
 

@@ -224,6 +224,8 @@ void FailoverWorld::apply(const FailoverAction& action) {
       --promotions_left_;
       // Refusal (raced epoch) only burns the budget, like a real
       // coordinator's promote_refused.
+      // qres-lint: allow(unchecked-status): the model deliberately explores
+      // refused promotions too; the checker's invariants judge the outcome
       group_->promote(replica_host(action.replica), group_->next_epoch(),
                       now_);
       break;
@@ -236,6 +238,8 @@ void FailoverWorld::apply(const FailoverAction& action) {
       partitioned_ = false;
       transport_->online = true;
       // Anti-entropy on reconnect: the primary re-ships its pending tail.
+      // qres-lint: allow(unchecked-status): convergence is asserted by
+      // check_invariants below, not by this ship's aggregate verdict
       if (group_->up()) group_->flush(now_);
       break;
   }

@@ -681,7 +681,10 @@ void World::resolve_failure(int client) {
       c.believed_deadline = kInf;
       c.phase = Phase::kDone;
       break;
-    default:
+    case Phase::kIdle:
+    case Phase::kGranted:
+    case Phase::kDone:
+    case Phase::kAborted:
       QRES_ENSURE(false, "mc: failure resolution in a settled phase");
   }
 }

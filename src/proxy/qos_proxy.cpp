@@ -294,12 +294,16 @@ SessionCoordinator::Dispatch SessionCoordinator::dispatch_reserve(
       return Dispatch::kAdmission;
     case rpc::RpcCode::kBrokerDown:
       return Dispatch::kBrokerDown;
-    default:
-      // Backpressure / deadline / bad-request: the dispatch never took
-      // effect — retryable, like an unreachable owner.
+    case rpc::RpcCode::kBadRequest:
+    case rpc::RpcCode::kDeadlineExceeded:
+    case rpc::RpcCode::kBackpressure:
+    case rpc::RpcCode::kNotPrimary:
+      // The dispatch never took effect — retryable, like an unreachable
+      // owner.
       ++stats->unreachable_proxies;
       return Dispatch::kUnreachable;
   }
+  return Dispatch::kUnreachable;  // out-of-range code from a hostile peer
 }
 
 bool SessionCoordinator::dispatch_release(ResourceId id, double now,

@@ -252,7 +252,11 @@ CallResult RpcChannel::call(HostId from, HostId to, AnyMessage request,
         case CallStatus::kDeadlineExceeded:
           ++stats.deadline_exceeded;
           break;
-        default: break;
+        case CallStatus::kOk:
+        case CallStatus::kBreakerOpen:
+          // kOk cannot reach the failure path; breaker fast-fails are
+          // counted where the breaker rejects the call.
+          break;
       }
       ++stats.failures;
       breaker_on_failure(to, now);

@@ -39,6 +39,7 @@
 #include "core/transport.hpp"
 #include "rpc/frame.hpp"
 #include "rpc/wire.hpp"
+#include "util/annotations.hpp"
 #include "util/flat_map.hpp"
 
 namespace qres::rpc {
@@ -67,7 +68,7 @@ enum class CallStatus : std::uint8_t {
 
 const char* to_string(CallStatus status) noexcept;
 
-struct CallResult {
+struct QRES_NODISCARD CallResult {
   CallStatus status = CallStatus::kOk;
   int transmissions = 0;  ///< transport transmissions spent
   AnyMessage reply;       ///< meaningful only when status == kOk
@@ -76,7 +77,7 @@ struct CallResult {
 };
 
 /// Result of a redirect-following call (see RpcChannel::call_routed).
-struct RoutedResult {
+struct QRES_NODISCARD RoutedResult {
   CallResult result;
   HostId served_by;              ///< peer that produced result.reply
   int redirects = 0;             ///< kNotPrimary hops followed

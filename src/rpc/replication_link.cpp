@@ -22,8 +22,12 @@ std::optional<ShipAckCode> rpc_to_ship_ack(RpcCode code) noexcept {
     case RpcCode::kBadRequest: return ShipAckCode::kGap;
     case RpcCode::kNotPrimary: return ShipAckCode::kFenced;
     case RpcCode::kBrokerDown: return ShipAckCode::kDown;
-    default: return std::nullopt;
+    case RpcCode::kAdmissionReject:
+    case RpcCode::kDeadlineExceeded:
+    case RpcCode::kBackpressure:
+      return std::nullopt;  // not a ship-ack outcome
   }
+  return std::nullopt;
 }
 
 namespace {

@@ -574,9 +574,22 @@ bool is_request(MessageType type) noexcept {
     case MessageType::kReconcileRequest:
     case MessageType::kQueryRequest:
       return true;
-    default:
+    case MessageType::kReserveReply:
+    case MessageType::kReleaseReply:
+    case MessageType::kRenewReply:
+    case MessageType::kReconcileReply:
+    case MessageType::kQueryReply:
+    case MessageType::kPathMsg:
+    case MessageType::kResvMsg:
+    case MessageType::kTearMsg:
+    case MessageType::kJournalShip:
+    case MessageType::kShipAck:
+    case MessageType::kPromoteRequest:
+    case MessageType::kPromoteReply:
+    case MessageType::kRedirectReply:
       return false;
   }
+  return false;
 }
 
 bool is_replication_request(MessageType type) noexcept {

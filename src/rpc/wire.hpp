@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "util/annotations.hpp"
 
 namespace qres::rpc {
 
@@ -80,7 +81,7 @@ enum class MessageType : std::uint8_t {
 };
 
 /// Application-level outcome carried in every reply.
-enum class RpcCode : std::uint8_t {
+enum class QRES_NODISCARD RpcCode : std::uint8_t {
   kOk = 0,
   kAdmissionReject = 1,    ///< the broker rejected the amount (capacity)
   kBrokerDown = 2,         ///< the target broker process is down
@@ -93,7 +94,7 @@ enum class RpcCode : std::uint8_t {
 
 /// Why a frame failed to decode. Strictly typed — every corruption mode
 /// maps to exactly one of these, and decode never reads past the buffer.
-enum class DecodeStatus : std::uint8_t {
+enum class QRES_NODISCARD DecodeStatus : std::uint8_t {
   kOk = 0,
   kTruncated,         ///< shorter than the header or the declared payload
   kBadMagic,          ///< first four bytes are not "QRPC"
@@ -360,7 +361,7 @@ std::vector<std::uint8_t> encode(const AnyMessage& message);
 
 /// Result of a strict decode. `message` is meaningful only when
 /// status == kOk.
-struct Decoded {
+struct QRES_NODISCARD Decoded {
   DecodeStatus status = DecodeStatus::kOk;
   AnyMessage message;
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "broker/resource_broker.hpp"
+#include "util/annotations.hpp"
 #include "core/event_queue.hpp"
 #include "signal/fault_plane.hpp"
 #include "core/topology.hpp"
@@ -61,7 +62,7 @@ struct RsvpConfig {
 /// Why a signaling operation concluded the way it did. Distinguishes hard
 /// rejections (admission) from retryable faults, so callers can decide to
 /// re-plan around a dead link instead of giving up.
-enum class SignalStatus : std::uint8_t {
+enum class QRES_NODISCARD SignalStatus : std::uint8_t {
   kOk,         ///< reservation in place, confirmation delivered
   kAdmission,  ///< a link broker rejected the bandwidth (hard failure)
   kTimeout,    ///< signaling lost beyond the retry budget (retryable)
@@ -74,7 +75,7 @@ const char* to_string(SignalStatus status) noexcept;
 
 /// Outcome of a reservation request, delivered asynchronously once the
 /// Resv (or ResvErr) completes — or once the watchdog gives up.
-struct RsvpResult {
+struct QRES_NODISCARD RsvpResult {
   SignalStatus status = SignalStatus::kTimeout;
   /// Link on which admission failed or the outage hit (invalid
   /// otherwise).

@@ -20,6 +20,10 @@
 
 #include <mutex>
 
+#ifdef QRES_LOCK_WITNESS
+#include "util/lock_witness.hpp"
+#endif
+
 #if defined(__clang__) && (!defined(SWIG))
 #define QRES_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -63,19 +67,52 @@
 #define QRES_NO_THREAD_SAFETY_ANALYSIS \
   QRES_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/// Marks a status-like type or status-returning function: discarding the
+/// value is a bug the compiler warns about and qres_lint's
+/// unchecked-status rule rejects (tools/qres_lint.cpp builds its symbol
+/// index from exactly these marks). Place it on the type when every
+/// function returning it is a status source (ExchangeResult,
+/// DecodeStatus, JournalStatus, ...), on the function when only that
+/// entry point is (bool-returning commit gates like
+/// ReplicatedBroker::flush).
+#define QRES_NODISCARD [[nodiscard]]
+
 namespace qres {
 
 /// std::mutex with capability annotations: clang's analysis tracks
 /// lock()/unlock() pairs and enforces QRES_GUARDED_BY members.
+///
+/// Under QRES_LOCK_WITNESS (the asan/tsan presets) every acquisition
+/// and release additionally feeds the runtime lock-order witness
+/// (util/lock_witness.hpp): the process-wide acquisition-edge set is
+/// checked for cycles on each first-seen edge, and an inversion aborts
+/// with both acquisition stacks. Release builds compile the hooks out
+/// entirely.
 class QRES_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#ifdef QRES_LOCK_WITNESS
+  void lock() QRES_ACQUIRE() {
+    impl_.lock();
+    lock_witness::on_acquire(this);
+  }
+  void unlock() QRES_RELEASE() {
+    lock_witness::on_release(this);
+    impl_.unlock();
+  }
+  bool try_lock() QRES_TRY_ACQUIRE(true) {
+    const bool acquired = impl_.try_lock();
+    if (acquired) lock_witness::on_try_acquire(this);
+    return acquired;
+  }
+#else
   void lock() QRES_ACQUIRE() { impl_.lock(); }
   void unlock() QRES_RELEASE() { impl_.unlock(); }
   bool try_lock() QRES_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+#endif
 
  private:
   // qres-lint: allow(concurrency-raw-mutex): this IS the sanctioned wrapper

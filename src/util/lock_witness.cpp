@@ -1,0 +1,233 @@
+// Runtime lock-order witness implementation (see lock_witness.hpp).
+//
+// Everything here is debug-lane diagnostics: the containers are keyed by
+// mutex addresses because the witness must work before any naming
+// scheme exists, and the report is consumed by a human (or a test's
+// capturing handler), never by deterministic simulation code — the
+// determinism rules' pointer-order concerns do not apply.
+#ifdef QRES_LOCK_WITNESS
+
+#include "util/lock_witness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace qres::lock_witness {
+namespace {
+
+struct EdgeInfo {
+  // The acquiring thread's held stack when this edge was first seen,
+  // bottom first; the last element is the lock being acquired.
+  std::vector<const void*> stack;
+  std::string thread_id;
+};
+
+using Edge = std::pair<const void*, const void*>;
+
+// The witness's own lock. A plain std::mutex on purpose: qres::Mutex
+// would re-enter these hooks.
+// qres-lint: allow(concurrency-raw-mutex): the witness cannot guard
+// itself with the instrumented wrapper without infinite recursion
+std::mutex g_mu;
+
+// Pointer-keyed by design: addresses are the only identity mutexes
+// have, and iteration order only affects report formatting.
+// qres-lint: allow(determinism-pointer-keyed-container): diagnostic-only
+// state keyed by mutex addresses; never feeds simulation results
+std::map<Edge, EdgeInfo> g_edges;
+// qres-lint: allow(determinism-pointer-keyed-container): same rationale
+// as g_edges — adjacency mirror for the cycle walk
+std::map<const void*, std::set<const void*>> g_adj;
+
+Handler g_handler = nullptr;
+
+// The per-thread held stack MUST be trivially destructible: the main
+// thread's thread_locals are destroyed before objects with static
+// storage duration, and static-duration destructors (a function-local
+// `static ThreadPool`, say) still lock qres::Mutex — which re-enters
+// these hooks. A std::vector here would be pushed into after its own
+// destructor ran (heap corruption at exit); a flat array stays valid
+// storage until the thread truly ends. Depth beyond kMaxHeld is not
+// tracked (64 simultaneously-held locks on one thread is already a
+// bug in its own right).
+constexpr std::size_t kMaxHeld = 64;
+thread_local const void* t_held[kMaxHeld];
+thread_local std::size_t t_held_count = 0;
+
+std::string thread_id_string() {
+  std::ostringstream out;
+  out << std::this_thread::get_id();
+  return out.str();
+}
+
+std::string format_stack(const std::vector<const void*>& stack) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < stack.size(); ++i)
+    out << (i == 0 ? "" : " -> ") << stack[i];
+  return out.str();
+}
+
+void default_handler(const std::string& report) {
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Finds a path `from ->* to` in g_adj (g_mu held). Returns the node
+// sequence including both endpoints, or empty when unreachable.
+std::vector<const void*> find_path(const void* from, const void* to) {
+  std::vector<const void*> path{from};
+  // qres-lint: allow(determinism-pointer-keyed-container): DFS scratch
+  // over addresses; order only shapes which of several cycles is printed
+  std::set<const void*> visited{from};
+  // Iterative DFS carrying the current path.
+  struct Frame {
+    const void* node;
+    // qres-lint: allow(determinism-pointer-keyed-container): iterators
+    // into the diagnostic adjacency set above
+    std::set<const void*>::const_iterator next, end;
+  };
+  std::vector<Frame> frames;
+  auto it = g_adj.find(from);
+  if (it == g_adj.end()) return {};
+  frames.push_back({from, it->second.begin(), it->second.end()});
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.next == f.end) {
+      frames.pop_back();
+      path.pop_back();
+      continue;
+    }
+    const void* child = *f.next++;
+    if (visited.count(child)) continue;
+    visited.insert(child);
+    path.push_back(child);
+    if (child == to) return path;
+    auto cit = g_adj.find(child);
+    if (cit == g_adj.end()) {
+      path.pop_back();
+      continue;
+    }
+    frames.push_back({child, cit->second.begin(), cit->second.end()});
+  }
+  return {};
+}
+
+// Builds the inversion report for new edge a->b closing the cycle
+// through `path` (= b ->* a). g_mu held.
+std::string build_report(const void* a, const void* b,
+                         const EdgeInfo& fresh,
+                         const std::vector<const void*>& path) {
+  std::ostringstream out;
+  out << "qres lock witness: lock acquisition cycle detected\n";
+  out << "  new edge:      " << a << " -> " << b << "  (thread "
+      << fresh.thread_id << ", held stack: " << format_stack(fresh.stack)
+      << ")\n";
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto it = g_edges.find({path[i], path[i + 1]});
+    out << "  prior edge:    " << path[i] << " -> " << path[i + 1];
+    if (it != g_edges.end())
+      out << "  (thread " << it->second.thread_id
+          << ", held stack: " << format_stack(it->second.stack) << ")";
+    out << "\n";
+  }
+  out << "  a consistent global acquisition order is required to rule "
+         "out deadlock\n";
+  return out.str();
+}
+
+}  // namespace
+
+void on_acquire(const void* mutex) {
+  std::string report;
+  {
+    // qres-lint: allow(concurrency-raw-mutex): witness-internal lock (g_mu)
+    std::scoped_lock guard(g_mu);
+    if (t_held_count > 0) {
+      const void* top = t_held[t_held_count - 1];
+      Edge edge{top, mutex};
+      if (top != mutex && !g_edges.count(edge)) {
+        // New edge: does the reverse direction already exist?
+        std::vector<const void*> back_path = find_path(mutex, top);
+        EdgeInfo info;
+        info.stack.assign(t_held, t_held + t_held_count);
+        info.stack.push_back(mutex);
+        info.thread_id = thread_id_string();
+        if (!back_path.empty())
+          report = build_report(top, mutex, info, back_path);
+        g_edges.emplace(edge, std::move(info));
+        g_adj[top].insert(mutex);
+      }
+    }
+    if (t_held_count < kMaxHeld) t_held[t_held_count++] = mutex;
+  }
+  if (!report.empty()) {
+    Handler h;
+    {
+      // qres-lint: allow(concurrency-raw-mutex): witness-internal lock (g_mu)
+      std::scoped_lock guard(g_mu);
+      h = g_handler;
+    }
+    (h != nullptr ? h : &default_handler)(report);
+  }
+}
+
+void on_try_acquire(const void* mutex) {
+  // Held, but no edge: a try_lock never blocks, so it cannot be the
+  // waiting half of a deadlock (see header).
+  if (t_held_count < kMaxHeld) t_held[t_held_count++] = mutex;
+}
+
+void on_release(const void* mutex) {
+  // Locks are almost always released LIFO (MutexLock), but unlock() is
+  // public: erase the newest matching entry wherever it sits.
+  for (std::size_t i = t_held_count; i-- > 0;) {
+    if (t_held[i] == mutex) {
+      for (std::size_t j = i + 1; j < t_held_count; ++j)
+        t_held[j - 1] = t_held[j];
+      --t_held_count;
+      return;
+    }
+  }
+}
+
+void set_handler(Handler handler) {
+  // qres-lint: allow(concurrency-raw-mutex): witness-internal lock (g_mu)
+  std::scoped_lock guard(g_mu);
+  g_handler = handler;
+}
+
+void reset_handler() {
+  // qres-lint: allow(concurrency-raw-mutex): witness-internal lock (g_mu)
+  std::scoped_lock guard(g_mu);
+  g_handler = nullptr;
+}
+
+void reset() {
+  // qres-lint: allow(concurrency-raw-mutex): witness-internal lock (g_mu)
+  std::scoped_lock guard(g_mu);
+  g_edges.clear();
+  g_adj.clear();
+  t_held_count = 0;
+}
+
+std::size_t edge_count() {
+  // qres-lint: allow(concurrency-raw-mutex): witness-internal lock (g_mu)
+  std::scoped_lock guard(g_mu);
+  return g_edges.size();
+}
+
+}  // namespace qres::lock_witness
+
+#else  // !QRES_LOCK_WITNESS
+
+// Anchor so this TU is never empty when the witness is compiled out.
+namespace qres::lock_witness {}
+
+#endif  // QRES_LOCK_WITNESS

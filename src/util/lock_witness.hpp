@@ -1,0 +1,72 @@
+// Runtime lock-order witness: the dynamic twin of qres_lint's static
+// concurrency-lock-order rule (DESIGN.md §10).
+//
+// The static rule proves the MutexLock nesting it can SEE is acyclic;
+// this witness checks the orders that actually happen at runtime,
+// including ones threaded through virtual calls, std::function
+// callbacks and condition-variable wait loops the textual analyzer
+// cannot follow. Compiled in only under QRES_LOCK_WITNESS (the asan and
+// tsan CMake presets turn it on; release builds carry zero overhead —
+// qres::Mutex does not even reference these hooks).
+//
+// Model: each thread keeps a stack of the qres::Mutex addresses it
+// holds. A blocking acquire of B while A is on top records the directed
+// edge A -> B in a global, process-wide edge set, together with a
+// snapshot of the acquiring thread's held stack ("acquisition stack").
+// The FIRST time a new edge closes a cycle in that set, the witness
+// builds a report naming every edge on the cycle with the acquisition
+// stack captured when the edge was first seen — both sides of the
+// inversion, which is exactly what a deadlock ticket needs — and hands
+// it to the installed handler. The default handler prints the report to
+// stderr and aborts, so a CI lane running the suite with the witness on
+// fails loudly on the first inversion even if the interleaving never
+// actually deadlocked.
+//
+// try_lock successes record the lock as HELD (later blocking acquires
+// above it must order against it) but add no edge themselves: a
+// try_lock cannot block, so it can never be the waiting half of a
+// deadlock cycle.
+//
+// The edge set is cumulative across the whole process: two orders need
+// not race in one run to be caught — thread 1 doing A->B at startup and
+// thread 2 doing B->A minutes later still trip the witness.
+#pragma once
+
+#ifdef QRES_LOCK_WITNESS
+
+#include <cstddef>
+#include <string>
+
+namespace qres::lock_witness {
+
+/// Hook called by qres::Mutex::lock() after the underlying mutex is
+/// acquired. Records held state, new ordering edges, and runs cycle
+/// detection when the edge is new.
+void on_acquire(const void* mutex);
+
+/// Hook for a successful qres::Mutex::try_lock(): records held state
+/// only (no ordering edge — see file comment).
+void on_try_acquire(const void* mutex);
+
+/// Hook called by qres::Mutex::unlock() before the underlying release.
+void on_release(const void* mutex);
+
+/// Receives the human-readable inversion report. Installing a handler
+/// replaces the default (print to stderr + abort); tests install a
+/// capturing handler around a seeded inversion.
+using Handler = void (*)(const std::string& report);
+void set_handler(Handler handler);
+
+/// Restores the default abort handler.
+void reset_handler();
+
+/// Clears the global edge set and the CALLING thread's held stack —
+/// test isolation between cases that reuse mutex addresses.
+void reset();
+
+/// Number of distinct acquisition edges recorded so far.
+std::size_t edge_count();
+
+}  // namespace qres::lock_witness
+
+#endif  // QRES_LOCK_WITNESS

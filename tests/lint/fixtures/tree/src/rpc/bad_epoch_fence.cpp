@@ -1,0 +1,21 @@
+// Fixture: contract-epoch-fence. The Service's frame handler posts the
+// mutation into the broker before consulting the request epoch, so a
+// deposed primary would mutate instead of redirecting.
+struct FencedBroker {
+  bool try_post(double now);
+  unsigned long long epoch() const;
+};
+
+class ShadowService {
+ public:
+  explicit ShadowService(FencedBroker* broker) : broker_(broker) {}
+
+  int handle_frame(unsigned long long request_epoch, double now) {
+    if (!broker_->try_post(now)) return -1;
+    if (request_epoch < broker_->epoch()) return 0;
+    return 1;
+  }
+
+ private:
+  FencedBroker* broker_;
+};

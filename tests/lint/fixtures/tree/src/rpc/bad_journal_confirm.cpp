@@ -1,0 +1,18 @@
+// Fixture: contract-journal-before-confirm. execute() flushes the
+// replication group before journaling the kReplyCache record, so a
+// crash between the two loses the dedup reply while keeping the
+// committed mutation.
+enum class MirrorOp { kMutationRec, kReplyCache };
+
+class MirrorService {
+ public:
+  bool execute(double now) {
+    const bool confirmed = flush(now);
+    append_record(MirrorOp::kReplyCache, now);
+    return confirmed;
+  }
+
+ private:
+  bool flush(double now);
+  void append_record(MirrorOp op, double now);
+};

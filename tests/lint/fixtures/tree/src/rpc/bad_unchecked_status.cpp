@@ -1,0 +1,16 @@
+// Fixture: discarded status-returning calls. ShipCode is QRES_NODISCARD,
+// so every function returning it is a status source; pump() drops the
+// result (seeded unchecked-status) and drain()'s suppression is missing
+// its justification (seeded lint-bad-suppression, and the original
+// violation must still fire alongside it).
+enum class QRES_NODISCARD ShipCode { kOk, kLost };
+
+ShipCode ship_one();
+
+void pump() {
+  ship_one();
+}
+
+void drain() {
+  ship_one();  // qres-lint: allow(unchecked-status):
+}

@@ -1,0 +1,24 @@
+// Fixture: wire-exhaustive-switch. classify_defaulted hides two
+// enumerators behind an unjustified default (violation reported at the
+// default); classify_naked misses one enumerator with no default
+// (violation reported at the switch).
+enum class FrameKind { kData, kAck, kTear };
+
+int classify_defaulted(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kData:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+int classify_naked(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kData:
+      return 1;
+    case FrameKind::kAck:
+      return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fixture: concurrency-lock-order. forward() nests intake_ before
+// outlet_, drain() nests them the other way around: the global
+// acquisition graph has a cycle and either order can deadlock against
+// the other.
+#include "util/annotations.hpp"
+
+class PumpRelay {
+ public:
+  void forward() {
+    qres::MutexLock in(intake_);
+    qres::MutexLock out(outlet_);
+  }
+
+  void drain() {
+    qres::MutexLock out(outlet_);
+    qres::MutexLock in(intake_);
+  }
+
+ private:
+  qres::Mutex intake_;
+  qres::Mutex outlet_;
+};

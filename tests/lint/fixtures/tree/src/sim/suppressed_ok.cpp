@@ -1,5 +1,28 @@
-// Fixture: a justified suppression — this file must produce no output.
+// Fixture: justified suppressions — this file must produce no output.
 #include <unordered_map>
 
 // qres-lint: allow(determinism-unordered-container): fixture; order unused
 static std::unordered_map<int, int> cache;
+
+// A justified discard: the new unchecked-status rule must honor the
+// allow-comment exactly like the legacy rules do.
+enum class QRES_NODISCARD OkCode { kFine, kSlow };
+
+OkCode poke();
+
+void tick() {
+  // qres-lint: allow(unchecked-status): fixture; fire-and-forget poke
+  poke();
+}
+
+// A justified default: wire-exhaustive-switch reports at the default's
+// line, so the allow-comment there blesses the pooling.
+int classify(OkCode code) {
+  switch (code) {
+    case OkCode::kFine:
+      return 1;
+    // qres-lint: allow(wire-exhaustive-switch): fixture; kSlow pooled on purpose
+    default:
+      return 0;
+  }
+}

@@ -42,8 +42,13 @@ const char* const kRuleIds[] = {
     "determinism-pointer-keyed-container",
     "concurrency-raw-mutex",
     "concurrency-unannotated-mutex",
+    "concurrency-lock-order",
     "layering-upward-include",
     "rpc-direct-exchange",
+    "unchecked-status",
+    "wire-exhaustive-switch",
+    "contract-epoch-fence",
+    "contract-journal-before-confirm",
     "contracts-missing-guard",
     "contracts-assert-side-effect",
     "hygiene-using-namespace-header",
@@ -78,8 +83,35 @@ TEST(QresLint, FixtureTreeFiresEveryRuleAtItsSeededLine) {
       "src/proxy/bad_direct_exchange.cpp:4 rpc-direct-exchange direct "
       "IControlTransport::exchange call outside the RPC shim; route "
       "control-plane traffic through rpc::RpcChannel\n"
+      "src/rpc/bad_epoch_fence.cpp:14 contract-epoch-fence mutation "
+      "'try_post' in ShadowService::handle_frame runs before any epoch "
+      "check; fence stale epochs first so a deposed primary redirects "
+      "instead of mutating\n"
+      "src/rpc/bad_journal_confirm.cpp:10 contract-journal-before-confirm "
+      "replication flush in MirrorService::execute runs before the "
+      "kReplyCache journal record; journal the cached reply first so "
+      "restart-dedup survives the commit\n"
+      "src/rpc/bad_unchecked_status.cpp:11 unchecked-status "
+      "status-returning call 'ship_one' discards its result; consume the "
+      "status or suppress with a justified allow-comment\n"
+      "src/rpc/bad_unchecked_status.cpp:15 lint-bad-suppression suppression "
+      "of 'unchecked-status' is missing its justification\n"
+      "src/rpc/bad_unchecked_status.cpp:15 unchecked-status "
+      "status-returning call 'ship_one' discards its result; consume the "
+      "status or suppress with a justified allow-comment\n"
+      "src/rpc/bad_wire_switch.cpp:11 wire-exhaustive-switch switch over "
+      "'FrameKind' hides enumerators (kAck, kTear) behind a default; name "
+      "them or justify the default with an allow-comment\n"
+      "src/rpc/bad_wire_switch.cpp:17 wire-exhaustive-switch switch over "
+      "'FrameKind' does not handle kTear and has no default; name every "
+      "enumerator\n"
       "src/sim/bad_libc_rand.cpp:4 determinism-libc-rand libc random "
       "generator breaks bit-determinism; use qres::Rng\n"
+      "src/sim/bad_lock_order.cpp:11 concurrency-lock-order lock "
+      "acquisition cycle PumpRelay::intake_ -> PumpRelay::outlet_ -> "
+      "PumpRelay::intake_ (edges at src/sim/bad_lock_order.cpp:11, "
+      "src/sim/bad_lock_order.cpp:16); a consistent global order is "
+      "required to rule out deadlock\n"
       "src/sim/bad_missing_pragma.hpp:1 hygiene-missing-pragma-once header "
       "does not use #pragma once (the repo's include-guard convention)\n"
       "src/sim/bad_pointer_keyed.cpp:4 determinism-pointer-keyed-container "
@@ -126,6 +158,43 @@ TEST(QresLint, InvalidSuppressionDoesNotSuppress) {
       std::string::npos);
   EXPECT_NE(r.output.find("bad_suppression.cpp:4 lint-bad-suppression"),
             std::string::npos);
+}
+
+TEST(QresLint, NewRuleBadSuppressionDoesNotSuppress) {
+  RunResult r = run_lint(std::string("--root ") + QRES_LINT_FIXTURES);
+  // The empty-justification allow() on the unchecked-status discard must
+  // leave the violation standing and add the bad-suppression error.
+  EXPECT_NE(r.output.find("bad_unchecked_status.cpp:15 unchecked-status"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("bad_unchecked_status.cpp:15 lint-bad-suppression"),
+            std::string::npos);
+}
+
+TEST(QresLint, JsonFormatEmitsOneObjectPerViolation) {
+  RunResult r =
+      run_lint(std::string("--format=json --root ") + QRES_LINT_FIXTURES);
+  EXPECT_EQ(r.exit_code, 1);
+  ASSERT_FALSE(r.output.empty());
+  EXPECT_EQ(r.output.front(), '[');
+  // One {"file": ...} object per violation, same count as the text form.
+  std::size_t objects = 0;
+  for (std::size_t pos = 0;
+       (pos = r.output.find("{\"file\": ", pos)) != std::string::npos; ++pos)
+    ++objects;
+  EXPECT_EQ(objects, 23u);
+  EXPECT_NE(r.output.find("\"rule\": \"contract-epoch-fence\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"rule\": \"concurrency-lock-order\""),
+            std::string::npos);
+  // The human summary line must not leak into the machine format.
+  EXPECT_EQ(r.output.find("violations in"), std::string::npos);
+}
+
+TEST(QresLint, JsonFormatCleanScanIsEmptyArray) {
+  RunResult r = run_lint(std::string("--format=json --root ") +
+                         QRES_LINT_FIXTURES + " tests");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "[]\n");
 }
 
 TEST(QresLint, TestsSubtreeIsExemptFromDeterminismRules) {

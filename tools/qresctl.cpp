@@ -415,8 +415,10 @@ int main(int argc, char** argv) {
               group.watermark_of(host) > group.watermark_of(candidate))
             candidate = host;
         }
-        if (candidate.valid())
-          group.promote(candidate, group.next_epoch(), t += 1.0);
+        if (candidate.valid() &&
+            !group.promote(candidate, group.next_epoch(), t += 1.0))
+          std::cout << "promotion refused: host " << candidate.value()
+                    << " lost the epoch race; group stays unled\n";
         int survived = 0;
         for (std::uint32_t s = 1; s <= 4; ++s)
           if (group.held_by(SessionId{s}) > 0.0) ++survived;
